@@ -1,0 +1,236 @@
+// Benchmarks regenerating every table and figure of the paper at smoke
+// scale (one bench per table/figure), plus micro-benchmarks of the hot
+// paths: ANN training, full-space prediction, the analytic device models
+// and the functional runtime.
+//
+// The figure benches run complete experiments, so single iterations take
+// seconds; `go test -bench=. -benchtime=1x` is the intended invocation
+// for a full sweep. Paper-scale numbers come from `go run
+// ./cmd/experiments -scale paper`.
+package mltune_test
+
+import (
+	"io"
+	"math/rand"
+	"testing"
+
+	mltune "repro"
+	"repro/internal/ann"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/opencl"
+)
+
+// runExperiment executes one registered experiment at smoke scale.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	for i := 0; i < b.N; i++ {
+		if err := mltune.RunExperiment(id, "smoke", 42, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// --- One benchmark per paper table/figure -------------------------------
+
+// BenchmarkTable1SpaceSizes regenerates Table 1 (benchmarks and space sizes).
+func BenchmarkTable1SpaceSizes(b *testing.B) { runExperiment(b, "table1") }
+
+// BenchmarkTable2Parameters regenerates Table 2 (tuning parameters).
+func BenchmarkTable2Parameters(b *testing.B) { runExperiment(b, "table2") }
+
+// BenchmarkFig1CrossDevice regenerates Figure 1 (cross-device slowdowns of
+// per-device best convolution configurations).
+func BenchmarkFig1CrossDevice(b *testing.B) { runExperiment(b, "fig1") }
+
+// BenchmarkFig4ErrorCurveIntel regenerates Figure 4 (model error vs
+// training size on the Intel i7).
+func BenchmarkFig4ErrorCurveIntel(b *testing.B) { runExperiment(b, "fig4") }
+
+// BenchmarkFig5ErrorCurveNvidia regenerates Figure 5 (Nvidia K40).
+func BenchmarkFig5ErrorCurveNvidia(b *testing.B) { runExperiment(b, "fig5") }
+
+// BenchmarkFig6ErrorCurveAMD regenerates Figure 6 (AMD HD 7970).
+func BenchmarkFig6ErrorCurveAMD(b *testing.B) { runExperiment(b, "fig6") }
+
+// BenchmarkFig7NvidiaGenerations regenerates Figure 7 (convolution error
+// across K40 / GTX980 / C2070).
+func BenchmarkFig7NvidiaGenerations(b *testing.B) { runExperiment(b, "fig7") }
+
+// BenchmarkFig8ScatterIntel regenerates Figure 8 (predicted-vs-actual
+// scatter on the Intel i7, including the image-without-local cluster).
+func BenchmarkFig8ScatterIntel(b *testing.B) { runExperiment(b, "fig8") }
+
+// BenchmarkFig9ScatterNvidia regenerates Figure 9 (Nvidia K40 scatter).
+func BenchmarkFig9ScatterNvidia(b *testing.B) { runExperiment(b, "fig9") }
+
+// BenchmarkFig10ScatterAMD regenerates Figure 10 (AMD 7970 scatter).
+func BenchmarkFig10ScatterAMD(b *testing.B) { runExperiment(b, "fig10") }
+
+// BenchmarkFig11TunerGridNvidia regenerates Figure 11 (auto-tuner
+// slowdown vs global optimum over the N x M grid, Nvidia K40).
+func BenchmarkFig11TunerGridNvidia(b *testing.B) { runExperiment(b, "fig11") }
+
+// BenchmarkFig12TunerGridIntel regenerates Figure 12 (Intel i7).
+func BenchmarkFig12TunerGridIntel(b *testing.B) { runExperiment(b, "fig12") }
+
+// BenchmarkFig13TunerGridAMD regenerates Figure 13 (AMD 7970).
+func BenchmarkFig13TunerGridAMD(b *testing.B) { runExperiment(b, "fig13") }
+
+// BenchmarkFig14LargeSpaces regenerates Figure 14 (tuner vs best of 50K
+// random configurations on raycasting and stereo).
+func BenchmarkFig14LargeSpaces(b *testing.B) { runExperiment(b, "fig14") }
+
+// BenchmarkTuningCostAccounting regenerates the §6 cost observation
+// (gathering dominates training).
+func BenchmarkTuningCostAccounting(b *testing.B) { runExperiment(b, "cost") }
+
+// BenchmarkAblations regenerates the design-choice ablations (log target,
+// bagging k, hidden width, second stage, invalid penalty).
+func BenchmarkAblations(b *testing.B) { runExperiment(b, "ablation") }
+
+// BenchmarkSearchBaselines compares the ML tuner against random search
+// and hill climbing at an equal measurement budget.
+func BenchmarkSearchBaselines(b *testing.B) { runExperiment(b, "baselines") }
+
+// --- Micro-benchmarks of the hot paths -----------------------------------
+
+// BenchmarkANNTraining measures fitting one 30-hidden-neuron network to
+// 500 samples of 9 features (one bagging member of a convolution model).
+func BenchmarkANNTraining(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	xs := make([][]float64, 500)
+	ys := make([]float64, 500)
+	for i := range xs {
+		x := make([]float64, 9)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = x[0]*x[1] - x[2]
+	}
+	cfg := ann.TrainConfig{Epochs: 100, LearningRate: 0.3, Momentum: 0.9, BatchSize: 4}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		net := ann.MustNew(rand.New(rand.NewSource(2)), []int{9, 30, 1}, ann.Sigmoid, ann.Linear)
+		if _, err := net.Train(rand.New(rand.NewSource(3)), xs, ys, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEnsemblePredict measures single-configuration prediction
+// through the full k=11 ensemble (the unit of the full-space sweep).
+func BenchmarkEnsemblePredict(b *testing.B) {
+	rng := rand.New(rand.NewSource(4))
+	xs := make([][]float64, 200)
+	ys := make([]float64, 200)
+	for i := range xs {
+		x := make([]float64, 9)
+		for j := range x {
+			x[j] = rng.Float64()
+		}
+		xs[i] = x
+		ys[i] = x[0] + x[1]
+	}
+	cfg := ann.DefaultEnsembleConfig(5)
+	cfg.Train = ann.TrainConfig{Epochs: 30, LearningRate: 0.3, BatchSize: 4}
+	e, err := ann.TrainEnsemble(xs, ys, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	scratch := e.NewScratch()
+	x := xs[0]
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = e.Predict(x, scratch)
+	}
+}
+
+// BenchmarkDeviceModel measures one analytic timing evaluation
+// (profile build + GPU model), the unit of exhaustive search.
+func BenchmarkDeviceModel(b *testing.B) {
+	bm := bench.MustLookup("convolution")
+	dev := devsim.MustLookup(devsim.NvidiaK40)
+	cfg, err := bm.Space().FromMap(map[string]int{
+		"wg_x": 16, "wg_y": 16, "ppt_x": 2, "ppt_y": 2,
+		"use_image": 1, "use_local": 1, "pad": 1, "interleaved": 0, "unroll": 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		prof, err := bm.Profile(cfg, bench.Size{})
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := dev.TrueTime(prof); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkExhaustiveConvolution measures a full exhaustive sweep of the
+// 131K convolution space on one device (the Figure 1/11-13 substrate).
+func BenchmarkExhaustiveConvolution(b *testing.B) {
+	bm := bench.MustLookup("convolution")
+	dev := devsim.MustLookup(devsim.NvidiaK40)
+	for i := 0; i < b.N; i++ {
+		m, err := core.NewSimMeasurer(bm, dev, bench.Size{}, 3)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := core.Exhaustive(m); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFunctionalKernel measures one functional execution of the
+// convolution kernel on the simulated runtime (goroutine work-groups,
+// barriers, instrumentation) at test size.
+func BenchmarkFunctionalKernel(b *testing.B) {
+	bm := bench.MustLookup("convolution")
+	dev, err := opencl.DeviceByName(devsim.NvidiaK40)
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := dev.NewContext()
+	size := bm.TestSize()
+	data := bm.NewData(size, 1)
+	cfg, err := bm.Space().FromMap(map[string]int{
+		"wg_x": 8, "wg_y": 8, "ppt_x": 2, "ppt_y": 2,
+		"use_image": 0, "use_local": 1, "pad": 1, "interleaved": 1, "unroll": 1,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := bm.Run(ctx, cfg, size, data); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTuneSmall measures a complete small-budget tuning run
+// end to end (gather, train, predict, second stage).
+func BenchmarkTuneSmall(b *testing.B) {
+	m, err := mltune.NewMeasurer("convolution", mltune.NvidiaK40, mltune.Size{})
+	if err != nil {
+		b.Fatal(err)
+	}
+	for i := 0; i < b.N; i++ {
+		opts := mltune.DefaultOptions(int64(i))
+		opts.TrainingSamples = 200
+		opts.SecondStage = 50
+		if _, err := mltune.Tune(m, opts); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

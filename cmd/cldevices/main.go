@@ -1,0 +1,39 @@
+// Command cldevices lists the simulated OpenCL platforms and devices with
+// the properties relevant to tuning, mirroring the common clinfo tool.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/opencl"
+)
+
+func main() {
+	verbose := flag.Bool("v", false, "print full architectural parameters")
+	flag.Parse()
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	defer w.Flush()
+	for _, p := range opencl.Platforms() {
+		fmt.Fprintf(w, "platform\t%s\n", p.Name())
+		for _, d := range p.Devices() {
+			desc := d.Sim().Descriptor()
+			fmt.Fprintf(w, "  device\t%s\t%s\n", d.Name(), desc.Kind)
+			fmt.Fprintf(w, "    compute units\t%d\n", desc.ComputeUnits)
+			fmt.Fprintf(w, "    max work-group size\t%d\n", desc.MaxWorkGroupSize)
+			fmt.Fprintf(w, "    local memory\t%d KB\n", desc.LocalMemLimit()>>10)
+			fmt.Fprintf(w, "    image support\t%v\n", desc.ImageSupport)
+			if *verbose {
+				fmt.Fprintf(w, "    SIMD width\t%d\n", desc.SIMDWidth)
+				fmt.Fprintf(w, "    clock\t%.0f MHz\n", desc.ClockGHz*1e3)
+				fmt.Fprintf(w, "    memory bandwidth\t%.0f GB/s\n", desc.MemBandwidthGBs)
+				fmt.Fprintf(w, "    last-level cache\t%d KB\n", desc.LLCBytes>>10)
+				fmt.Fprintf(w, "    registers per CU\t%d\n", desc.RegistersPerCU)
+				fmt.Fprintf(w, "    max resident warps\t%d\n", desc.MaxWarpsPerCU)
+			}
+		}
+	}
+}

@@ -1,0 +1,74 @@
+// Command experiments regenerates every table and figure of the paper's
+// evaluation on the simulated devices.
+//
+// Usage:
+//
+//	experiments [-run id[,id...]] [-scale quick|paper|smoke] [-seed N] [-out dir] [-list]
+//
+// Without -run, all experiments execute in order. Text reports go to
+// stdout; with -out, each table is additionally written as CSV.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/experiments"
+)
+
+func main() {
+	var (
+		runIDs  = flag.String("run", "", "comma-separated experiment ids (default: all)")
+		scale   = flag.String("scale", "quick", "sweep size: quick, paper or smoke")
+		seed    = flag.Int64("seed", 42, "base random seed")
+		outDir  = flag.String("out", "", "directory for CSV output (optional)")
+		list    = flag.Bool("list", false, "list experiment ids and exit")
+		verbose = flag.Bool("v", true, "log progress to stderr")
+	)
+	flag.Parse()
+
+	if *list {
+		for _, id := range experiments.IDs() {
+			e, _ := experiments.Lookup(id)
+			fmt.Printf("%-10s %s\n", id, e.Title)
+		}
+		return
+	}
+
+	sc, err := experiments.ParseScale(*scale)
+	if err != nil {
+		fatal(err)
+	}
+	ctx := &experiments.Ctx{Scale: sc, Seed: *seed}
+	if *verbose {
+		ctx.Log = os.Stderr
+	}
+
+	ids := experiments.IDs()
+	if *runIDs != "" {
+		ids = strings.Split(*runIDs, ",")
+	}
+	for _, id := range ids {
+		e, err := experiments.Lookup(strings.TrimSpace(id))
+		if err != nil {
+			fatal(err)
+		}
+		rep, err := e.Execute(ctx)
+		if err != nil {
+			fatal(err)
+		}
+		rep.WriteText(os.Stdout)
+		if *outDir != "" {
+			if err := rep.SaveCSV(*outDir); err != nil {
+				fatal(err)
+			}
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,126 @@
+// Command mltune runs the machine-learning auto-tuner on one benchmark
+// and one simulated device.
+//
+// Usage:
+//
+//	mltune [-bench name] [-device name] [-n N] [-m M] [-seed S]
+//	       [-runtime] [-compare-exhaustive] [-list]
+//
+// By default it measures configurations with the fast analytic device
+// models; -runtime executes the kernels functionally on the OpenCL-style
+// runtime at a reduced problem size instead (slower, verifies output).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"text/tabwriter"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/opencl"
+)
+
+func main() {
+	var (
+		benchName  = flag.String("bench", "convolution", "benchmark to tune")
+		deviceName = flag.String("device", devsim.NvidiaK40, "simulated device")
+		n          = flag.Int("n", 2000, "training samples (first stage)")
+		m          = flag.Int("m", 200, "measured candidates (second stage)")
+		seed       = flag.Int64("seed", 1, "random seed")
+		useRuntime = flag.Bool("runtime", false, "measure on the functional runtime (reduced size)")
+		compare    = flag.Bool("compare-exhaustive", false, "also run exhaustive search and report the tuner's slowdown")
+		list       = flag.Bool("list", false, "list benchmarks and devices, then exit")
+	)
+	flag.Parse()
+
+	if *list {
+		fmt.Println("benchmarks:")
+		for _, name := range bench.Names() {
+			b := bench.MustLookup(name)
+			fmt.Printf("  %-12s %d configurations — %s\n", name, b.Space().Size(), b.Description())
+		}
+		fmt.Println("devices:")
+		for _, name := range devsim.Names() {
+			fmt.Printf("  %s\n", devsim.MustLookup(name))
+		}
+		return
+	}
+
+	b, err := bench.Lookup(*benchName)
+	if err != nil {
+		fatal(err)
+	}
+
+	var measurer core.Measurer
+	if *useRuntime {
+		dev, err := opencl.DeviceByName(*deviceName)
+		if err != nil {
+			fatal(err)
+		}
+		rm, err := core.NewRuntimeMeasurer(b, dev, b.TestSize(), *seed, true)
+		if err != nil {
+			fatal(err)
+		}
+		measurer = rm
+		fmt.Printf("tuning %s on %s (functional runtime, size %+v)\n", b.Name(), *deviceName, b.TestSize())
+	} else {
+		dev, err := devsim.Lookup(*deviceName)
+		if err != nil {
+			fatal(err)
+		}
+		sm, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+		if err != nil {
+			fatal(err)
+		}
+		measurer = sm
+		fmt.Printf("tuning %s on %s (analytic device model, size %+v)\n", b.Name(), *deviceName, sm.Size())
+	}
+
+	opts := core.Options{
+		TrainingSamples: *n,
+		SecondStage:     *m,
+		Seed:            *seed,
+		Model:           core.DefaultModelConfig(*seed),
+	}
+	res, err := core.Tune(measurer, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "space size\t%d\n", measurer.Space().Size())
+	fmt.Fprintf(w, "stage-1 attempts\t%d (%d invalid)\n", res.Attempts, res.InvalidTrain)
+	fmt.Fprintf(w, "stage-2 candidates\t%d (%d invalid)\n", len(res.Predicted), res.InvalidSecond)
+	fmt.Fprintf(w, "space measured\t%.2f%%\n", res.MeasuredFraction*100)
+	if res.Found {
+		fmt.Fprintf(w, "best config\t%s\n", res.Best)
+		fmt.Fprintf(w, "best time\t%.4f ms\n", res.BestSeconds*1e3)
+		params := measurer.Space().Params()
+		for i, p := range params {
+			fmt.Fprintf(w, "  %s\t%d\n", p.Name, res.Best.Values()[i])
+		}
+	} else {
+		fmt.Fprintf(w, "result\tnone — every second-stage candidate was invalid (paper §7)\n")
+	}
+	fmt.Fprintf(w, "gather cost\t%.1f s (simulated)\n", res.Cost.GatherSeconds)
+	fmt.Fprintf(w, "train cost\t%.2f s (wall)\n", res.Cost.TrainSeconds)
+	fmt.Fprintf(w, "predict cost\t%.2f s (wall)\n", res.Cost.PredictSeconds)
+	w.Flush()
+
+	if *compare && res.Found {
+		ex, err := core.Exhaustive(measurer)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("exhaustive best: %s at %.4f ms\n", ex.Best, ex.BestSeconds*1e3)
+		fmt.Printf("tuner slowdown vs optimum: %.3f\n", res.BestSeconds/ex.BestSeconds)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mltune:", err)
+	os.Exit(1)
+}

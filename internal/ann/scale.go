@@ -1,0 +1,51 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+)
+
+// TargetScaler standardizes regression targets (the paper trains on
+// log(time); standardizing keeps the linear output neuron's weights in a
+// comfortable range regardless of the device's absolute speed).
+type TargetScaler struct {
+	Mean, Std float64
+}
+
+// FitTargetScaler computes the mean/std of ys. A zero std (constant
+// targets) is replaced by 1 so that Apply/Invert stay well-defined.
+func FitTargetScaler(ys []float64) (TargetScaler, error) {
+	if len(ys) == 0 {
+		return TargetScaler{}, fmt.Errorf("ann: cannot fit scaler to empty targets")
+	}
+	var sum float64
+	for _, y := range ys {
+		sum += y
+	}
+	mean := sum / float64(len(ys))
+	var varsum float64
+	for _, y := range ys {
+		d := y - mean
+		varsum += d * d
+	}
+	std := math.Sqrt(varsum / float64(len(ys)))
+	if std == 0 || math.IsNaN(std) {
+		std = 1
+	}
+	return TargetScaler{Mean: mean, Std: std}, nil
+}
+
+// Apply maps a raw target to standardized space.
+func (s TargetScaler) Apply(y float64) float64 { return (y - s.Mean) / s.Std }
+
+// Invert maps a standardized prediction back to raw space.
+func (s TargetScaler) Invert(y float64) float64 { return y*s.Std + s.Mean }
+
+// ApplyAll returns a standardized copy of ys.
+func (s TargetScaler) ApplyAll(ys []float64) []float64 {
+	out := make([]float64, len(ys))
+	for i, y := range ys {
+		out[i] = s.Apply(y)
+	}
+	return out
+}

@@ -1,0 +1,151 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// TrainConfig controls stochastic-gradient training.
+type TrainConfig struct {
+	// Epochs is the maximum number of passes over the data.
+	Epochs int
+	// LearningRate is the initial step size.
+	LearningRate float64
+	// LRDecay multiplies the learning rate after each epoch.
+	LRDecay float64
+	// Momentum is the classical momentum coefficient.
+	Momentum float64
+	// BatchSize is the mini-batch size (1 = pure SGD).
+	BatchSize int
+	// Patience stops training early when the training MSE has not
+	// improved by at least Tolerance for this many epochs (0 disables).
+	Patience  int
+	Tolerance float64
+}
+
+// DefaultTrainConfig returns the configuration used by the auto-tuner:
+// values found, like the paper's topology, "through experimentation".
+func DefaultTrainConfig() TrainConfig {
+	return TrainConfig{
+		Epochs:       600,
+		LearningRate: 0.30,
+		LRDecay:      0.994,
+		Momentum:     0.9,
+		BatchSize:    4,
+		Patience:     50,
+		Tolerance:    1e-5,
+	}
+}
+
+// TrainResult reports the outcome of a training run.
+type TrainResult struct {
+	// Epochs is the number of epochs actually run.
+	Epochs int
+	// FinalMSE is the mean squared training error after the last epoch.
+	FinalMSE float64
+}
+
+// Train fits the network to the samples (xs[i] -> ys[i]) by mini-batch
+// gradient descent with momentum, shuffling each epoch with rng.
+func (n *Network) Train(rng *rand.Rand, xs [][]float64, ys []float64, cfg TrainConfig) (TrainResult, error) {
+	if len(xs) != len(ys) {
+		return TrainResult{}, fmt.Errorf("ann: %d inputs vs %d targets", len(xs), len(ys))
+	}
+	if len(xs) == 0 {
+		return TrainResult{}, fmt.Errorf("ann: no training samples")
+	}
+	for i, x := range xs {
+		if len(x) != n.sizes[0] {
+			return TrainResult{}, fmt.Errorf("ann: sample %d has %d features, network expects %d", i, len(x), n.sizes[0])
+		}
+	}
+	if cfg.Epochs <= 0 {
+		cfg.Epochs = DefaultTrainConfig().Epochs
+	}
+	if cfg.LearningRate <= 0 {
+		cfg.LearningRate = DefaultTrainConfig().LearningRate
+	}
+	if cfg.LRDecay <= 0 || cfg.LRDecay > 1 {
+		cfg.LRDecay = 1
+	}
+	if cfg.BatchSize <= 0 {
+		cfg.BatchSize = 1
+	}
+
+	scratch := n.NewScratch()
+	grads := n.newGrads()
+	velocity := n.newGrads()
+	order := rng.Perm(len(xs))
+
+	lr := cfg.LearningRate
+	best := math.Inf(1)
+	sinceImproved := 0
+	var result TrainResult
+
+	for epoch := 0; epoch < cfg.Epochs; epoch++ {
+		// Fisher-Yates reshuffle of the visiting order.
+		for i := len(order) - 1; i > 0; i-- {
+			j := rng.Intn(i + 1)
+			order[i], order[j] = order[j], order[i]
+		}
+
+		var sumSE float64
+		for start := 0; start < len(order); start += cfg.BatchSize {
+			end := start + cfg.BatchSize
+			if end > len(order) {
+				end = len(order)
+			}
+			for l := range grads {
+				clearSlice(grads[l])
+			}
+			for _, idx := range order[start:end] {
+				sumSE += n.backprop(xs[idx], ys[idx], scratch, grads)
+			}
+			scale := lr / float64(end-start)
+			for l, w := range n.weights {
+				g, v := grads[l], velocity[l]
+				for i := range w {
+					v[i] = cfg.Momentum*v[i] - scale*g[i]
+					w[i] += v[i]
+				}
+			}
+		}
+		lr *= cfg.LRDecay
+
+		mse := 2 * sumSE / float64(len(xs))
+		result = TrainResult{Epochs: epoch + 1, FinalMSE: mse}
+		if cfg.Patience > 0 {
+			if mse < best-cfg.Tolerance {
+				best = mse
+				sinceImproved = 0
+			} else {
+				sinceImproved++
+				if sinceImproved >= cfg.Patience {
+					break
+				}
+			}
+		}
+	}
+	return result, nil
+}
+
+// MSE returns the mean squared error of the network over the samples.
+func (n *Network) MSE(xs [][]float64, ys []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	s := n.NewScratch()
+	var sum float64
+	for i, x := range xs {
+		d := n.Predict(x, s) - ys[i]
+		sum += d * d
+	}
+	return sum / float64(len(xs))
+}
+
+func clearSlice(s []float64) {
+	for i := range s {
+		s[i] = 0
+	}
+}

@@ -1,0 +1,178 @@
+// Package bench implements the paper's three parameterized OpenCL
+// benchmarks (Table 1): convolution, raycasting and stereo, each with the
+// tuning parameters of Table 2.
+//
+// Every benchmark provides three views of itself:
+//
+//   - Space: the tuning-parameter space (used by the auto-tuner),
+//   - Profile: an analytic operation profile for a configuration at a
+//     problem size (used by the device performance models for paper-scale
+//     experiments), and
+//   - Run: a functional kernel executing on the internal/opencl runtime
+//     (used to verify functional portability across configurations and to
+//     validate the analytic profiles against traced instrumentation).
+//
+// Configurations may be invalid independent of any device (for example a
+// work-group wider than the decomposed grid); such configurations yield an
+// *InvalidConfigError from Profile and Run.
+package bench
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/hashx"
+	"repro/internal/kprofile"
+	"repro/internal/opencl"
+	"repro/internal/tuning"
+)
+
+// Size describes the problem size of a benchmark instance. Fields are
+// interpreted per benchmark; zero values select the paper's defaults.
+type Size struct {
+	// W, H are the output dimensions (all benchmarks).
+	W, H int
+	// D is the volume depth (raycasting).
+	D int
+	// Disp is the number of disparity candidates (stereo).
+	Disp int
+	// Win is the SAD window width (stereo).
+	Win int
+}
+
+// Data holds the host-side input data of one benchmark instance. Unused
+// fields stay nil.
+type Data struct {
+	// Image is the convolution input, row-major W x H (pre-padding).
+	Image []float32
+	// Volume is the raycasting volume, x-major W x H x D... scaled cube.
+	Volume []float32
+	// TF is the raycasting transfer function (256 alpha entries).
+	TF []float32
+	// Left, Right are the stereo image pair, row-major W x H.
+	Left, Right []float32
+}
+
+// Benchmark is one parameterized benchmark.
+type Benchmark interface {
+	// Name returns the benchmark's short name ("convolution", ...).
+	Name() string
+	// Description returns the Table 1 description.
+	Description() string
+	// Space returns the tuning-parameter space (Table 2).
+	Space() *tuning.Space
+	// DefaultSize returns the paper's problem size.
+	DefaultSize() Size
+	// TestSize returns a reduced size suitable for functional execution
+	// in tests and examples.
+	TestSize() Size
+	// Normalize fills zero fields of size with defaults and validates it.
+	Normalize(size Size) (Size, error)
+	// Profile returns the analytic operation profile of cfg at size.
+	Profile(cfg tuning.Config, size Size) (*kprofile.Profile, error)
+	// NewData generates deterministic synthetic input for size.
+	NewData(size Size, seed int64) *Data
+	// Reference computes the expected output sequentially on the host.
+	Reference(size Size, data *Data) []float32
+	// Run executes the benchmark kernel for cfg on the given context and
+	// returns the output and the profiling event.
+	Run(ctx *opencl.Context, cfg tuning.Config, size Size, data *Data) ([]float32, *opencl.Event, error)
+}
+
+// InvalidConfigError reports a configuration invalid for a benchmark
+// independent of any device (bad grid decomposition and similar).
+type InvalidConfigError struct {
+	Benchmark string
+	Reason    string
+}
+
+func (e *InvalidConfigError) Error() string {
+	return fmt.Sprintf("bench: %s: invalid configuration: %s", e.Benchmark, e.Reason)
+}
+
+// InvalidConfig marks the error as a configuration-validity error
+// (devsim.IsInvalid recognizes it).
+func (e *InvalidConfigError) InvalidConfig() {}
+
+var registry = map[string]Benchmark{}
+
+func register(b Benchmark) {
+	if _, dup := registry[b.Name()]; dup {
+		panic("bench: duplicate benchmark " + b.Name())
+	}
+	registry[b.Name()] = b
+}
+
+// Names returns the registered benchmark names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(registry))
+	for n := range registry {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the named benchmark.
+func Lookup(name string) (Benchmark, error) {
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown benchmark %q (have %v)", name, Names())
+	}
+	return b, nil
+}
+
+// MustLookup is Lookup but panics on error.
+func MustLookup(name string) Benchmark {
+	b, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return b
+}
+
+// All returns the three paper benchmarks in Table 1 order.
+func All() []Benchmark {
+	return []Benchmark{
+		MustLookup("convolution"),
+		MustLookup("raycasting"),
+		MustLookup("stereo"),
+	}
+}
+
+// configKey derives the stable 64-bit key identifying (benchmark, config),
+// consumed by the deterministic stochastic layers of the device models.
+func configKey(benchmark string, cfg tuning.Config) uint64 {
+	return hashx.Combine(hashx.String(benchmark), uint64(cfg.Index()))
+}
+
+// gridGeometry computes and validates the NDRange decomposition common to
+// all three benchmarks: each work-item produces pptX x pptY outputs, so
+// the launched grid is (W/pptX) x (H/pptY) work-items, which the
+// work-group size must tile exactly.
+func gridGeometry(name string, w, h, wgX, wgY, pptX, pptY int) (globalX, globalY int, err error) {
+	if w%pptX != 0 || h%pptY != 0 {
+		return 0, 0, &InvalidConfigError{
+			Benchmark: name,
+			Reason:    fmt.Sprintf("outputs per thread %dx%d does not divide output size %dx%d", pptX, pptY, w, h),
+		}
+	}
+	globalX, globalY = w/pptX, h/pptY
+	if globalX%wgX != 0 || globalY%wgY != 0 {
+		return 0, 0, &InvalidConfigError{
+			Benchmark: name,
+			Reason: fmt.Sprintf("work-group %dx%d does not tile grid %dx%d (outputs per thread %dx%d)",
+				wgX, wgY, globalX, globalY, pptX, pptY),
+		}
+	}
+	return globalX, globalY, nil
+}
+
+// log2i returns ceil(log2(n)) for n >= 1.
+func log2i(n int) int {
+	bits := 0
+	for v := n - 1; v > 0; v >>= 1 {
+		bits++
+	}
+	return bits
+}

@@ -1,0 +1,535 @@
+package bench
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/devsim"
+	"repro/internal/opencl"
+	"repro/internal/tuning"
+)
+
+func TestRegistryAndTable1(t *testing.T) {
+	names := Names()
+	want := []string{"convolution", "raycasting", "stereo"}
+	if len(names) != len(want) {
+		t.Fatalf("registered benchmarks %v", names)
+	}
+	for i, n := range want {
+		if names[i] != n {
+			t.Errorf("names[%d] = %q, want %q", i, names[i], n)
+		}
+	}
+	if _, err := Lookup("fft"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	// Table 1 space sizes: 131072, 655360 and 2359296.
+	sizes := map[string]int64{
+		"convolution": 131072,
+		"raycasting":  655360,
+		"stereo":      2359296,
+	}
+	for name, wantSize := range sizes {
+		b := MustLookup(name)
+		if got := b.Space().Size(); got != wantSize {
+			t.Errorf("%s space size = %d, want %d (Table 1)", name, got, wantSize)
+		}
+		if b.Description() == "" {
+			t.Errorf("%s has no description", name)
+		}
+	}
+}
+
+func TestTable2Parameters(t *testing.T) {
+	// The all-benchmark parameters of Table 2 must be present everywhere
+	// with values 1..128.
+	for _, b := range All() {
+		for _, pname := range []string{"wg_x", "wg_y", "ppt_x", "ppt_y"} {
+			p, ok := b.Space().Param(pname)
+			if !ok {
+				t.Errorf("%s missing parameter %s", b.Name(), pname)
+				continue
+			}
+			if p.Arity() != 8 || p.Values[0] != 1 || p.Values[7] != 128 {
+				t.Errorf("%s %s values = %v", b.Name(), pname, p.Values)
+			}
+		}
+	}
+	// Benchmark-specific parameters.
+	conv := MustLookup("convolution").Space()
+	for _, pname := range []string{"use_image", "use_local", "pad", "interleaved", "unroll"} {
+		if _, ok := conv.Param(pname); !ok {
+			t.Errorf("convolution missing %s", pname)
+		}
+	}
+	ray := MustLookup("raycasting").Space()
+	if p, ok := ray.Param("unroll"); !ok || p.Arity() != 5 || p.Values[4] != 16 {
+		t.Errorf("raycasting unroll = %v", p.Values)
+	}
+	st := MustLookup("stereo").Space()
+	if p, ok := st.Param("unroll_disp"); !ok || p.Arity() != 4 || p.Values[3] != 8 {
+		t.Errorf("stereo unroll_disp = %v", p.Values)
+	}
+	for _, pname := range []string{"unroll_diff_x", "unroll_diff_y"} {
+		if p, ok := st.Param(pname); !ok || p.Arity() != 3 || p.Values[2] != 4 {
+			t.Errorf("stereo %s = %v", pname, p.Values)
+		}
+	}
+}
+
+func TestDefaultSizes(t *testing.T) {
+	conv := MustLookup("convolution")
+	if s := conv.DefaultSize(); s.W != 2048 || s.H != 2048 {
+		t.Errorf("convolution default size %+v", s)
+	}
+	ray := MustLookup("raycasting")
+	if s := ray.DefaultSize(); s.W != 1024 || s.H != 1024 || s.D != 512 {
+		t.Errorf("raycasting default size %+v", s)
+	}
+	st := MustLookup("stereo")
+	if s := st.DefaultSize(); s.W != 1024 || s.H != 1024 || s.Disp == 0 || s.Win == 0 {
+		t.Errorf("stereo default size %+v", s)
+	}
+}
+
+func TestNormalizeRejectsBadSizes(t *testing.T) {
+	if _, err := MustLookup("convolution").Normalize(Size{W: 2, H: 2}); err == nil {
+		t.Error("tiny convolution size accepted")
+	}
+	if _, err := MustLookup("stereo").Normalize(Size{W: 64, H: 64, Disp: 7, Win: 4}); err == nil {
+		t.Error("non-multiple-of-8 disparity accepted")
+	}
+	if _, err := MustLookup("raycasting").Normalize(Size{W: 4, H: 4, D: 1}); err == nil {
+		t.Error("depth-1 volume accepted")
+	}
+}
+
+func TestGridGeometryInvalid(t *testing.T) {
+	b := MustLookup("convolution")
+	// wg_x * ppt_x > W cannot tile the grid.
+	cfg, err := b.Space().FromMap(map[string]int{
+		"wg_x": 128, "wg_y": 1, "ppt_x": 128, "ppt_y": 1,
+		"use_image": 0, "use_local": 0, "pad": 0, "interleaved": 0, "unroll": 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = b.Profile(cfg, Size{W: 2048, H: 2048})
+	if err == nil || !devsim.IsInvalid(err) {
+		t.Fatalf("non-tiling config not rejected as invalid: %v", err)
+	}
+}
+
+func TestProfileCountsConvolution(t *testing.T) {
+	b := MustLookup("convolution")
+	size := Size{W: 256, H: 256}
+	cfg, err := b.Space().FromMap(map[string]int{
+		"wg_x": 16, "wg_y": 16, "ppt_x": 1, "ppt_y": 1,
+		"use_image": 0, "use_local": 0, "pad": 1, "interleaved": 1, "unroll": 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	prof, err := b.Profile(cfg, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	outputs := float64(256 * 256)
+	if prof.GlobalReads != outputs*25 {
+		t.Errorf("GlobalReads = %g, want %g", prof.GlobalReads, outputs*25)
+	}
+	if prof.GlobalWrites != outputs {
+		t.Errorf("GlobalWrites = %g", prof.GlobalWrites)
+	}
+	if prof.ImageReads != 0 || prof.LocalReads != 0 {
+		t.Errorf("unexpected image/local traffic: %+v", prof)
+	}
+	if err := prof.Validate(); err != nil {
+		t.Errorf("profile invalid: %v", err)
+	}
+
+	// Local-memory variant: staged tile + LDS reads.
+	cfgL, _ := b.Space().FromMap(map[string]int{
+		"wg_x": 16, "wg_y": 16, "ppt_x": 1, "ppt_y": 1,
+		"use_image": 0, "use_local": 1, "pad": 1, "interleaved": 1, "unroll": 0,
+	})
+	profL, err := b.Profile(cfgL, size)
+	if err != nil {
+		t.Fatal(err)
+	}
+	groups := float64(16 * 16)
+	tile := float64(20 * 20)
+	if profL.GlobalReads != groups*tile {
+		t.Errorf("staging reads = %g, want %g", profL.GlobalReads, groups*tile)
+	}
+	if profL.LocalReads != outputs*25 {
+		t.Errorf("LocalReads = %g", profL.LocalReads)
+	}
+	if profL.LocalMemBytes != 4*20*20 {
+		t.Errorf("LocalMemBytes = %d", profL.LocalMemBytes)
+	}
+	if profL.BarriersPerItem != 1 {
+		t.Errorf("BarriersPerItem = %d", profL.BarriersPerItem)
+	}
+}
+
+// runAndCompare executes cfg functionally and checks the output against
+// the reference; returns false if the config is invalid.
+func runAndCompare(t *testing.T, b Benchmark, ctx *opencl.Context, cfg tuning.Config, size Size, data *Data, ref []float32) bool {
+	t.Helper()
+	out, ev, err := b.Run(ctx, cfg, size, data)
+	if err != nil {
+		if devsim.IsInvalid(err) {
+			return false
+		}
+		t.Fatalf("%s %v: %v", b.Name(), cfg, err)
+	}
+	if ev.Seconds() <= 0 {
+		t.Fatalf("%s %v: non-positive event time", b.Name(), cfg)
+	}
+	for i := range ref {
+		if d := out[i] - ref[i]; d > 1e-4 || d < -1e-4 {
+			t.Fatalf("%s %v: output[%d] = %g, want %g", b.Name(), cfg, i, out[i], ref[i])
+		}
+	}
+	return true
+}
+
+// TestFunctionalEquivalence is the central portability property: every
+// valid configuration must produce the reference output, on a CPU device
+// and a GPU device.
+func TestFunctionalEquivalence(t *testing.T) {
+	rng := rand.New(rand.NewSource(2024))
+	for _, devName := range []string{devsim.IntelI7, devsim.NvidiaK40} {
+		dev, err := opencl.DeviceByName(devName)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := dev.NewContext()
+		for _, b := range All() {
+			size := b.TestSize()
+			data := b.NewData(size, 7)
+			ref := b.Reference(size, data)
+			valid := 0
+			for _, cfg := range b.Space().Sample(rng, 40) {
+				if runAndCompare(t, b, ctx, cfg, size, data, ref) {
+					valid++
+				}
+			}
+			if valid == 0 {
+				t.Errorf("%s on %s: no valid configs in sample", b.Name(), devName)
+			}
+			t.Logf("%s on %s: %d/40 sampled configs valid, all outputs equal", b.Name(), devName, valid)
+		}
+	}
+}
+
+// TestHandPickedConfigsEquivalent pins down the characteristic parameter
+// combinations (each memory-space path, unrolling, interleaving).
+func TestHandPickedConfigsEquivalent(t *testing.T) {
+	dev, _ := opencl.DeviceByName(devsim.NvidiaK40)
+	ctx := dev.NewContext()
+
+	conv := MustLookup("convolution")
+	size := conv.TestSize()
+	data := conv.NewData(size, 3)
+	ref := conv.Reference(size, data)
+	for _, vals := range []map[string]int{
+		{"wg_x": 8, "wg_y": 8, "ppt_x": 1, "ppt_y": 1, "use_image": 1, "use_local": 1, "pad": 1, "interleaved": 0, "unroll": 1},
+		{"wg_x": 8, "wg_y": 8, "ppt_x": 2, "ppt_y": 2, "use_image": 1, "use_local": 0, "pad": 0, "interleaved": 1, "unroll": 0},
+		{"wg_x": 4, "wg_y": 4, "ppt_x": 4, "ppt_y": 1, "use_image": 0, "use_local": 1, "pad": 0, "interleaved": 1, "unroll": 0},
+		{"wg_x": 16, "wg_y": 1, "ppt_x": 1, "ppt_y": 8, "use_image": 0, "use_local": 0, "pad": 1, "interleaved": 0, "unroll": 1},
+	} {
+		cfg, err := conv.Space().FromMap(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !runAndCompare(t, conv, ctx, cfg, size, data, ref) {
+			t.Errorf("hand-picked convolution config %v invalid", vals)
+		}
+	}
+
+	ray := MustLookup("raycasting")
+	rsize := ray.TestSize()
+	rdata := ray.NewData(rsize, 3)
+	rref := ray.Reference(rsize, rdata)
+	for _, vals := range []map[string]int{
+		{"wg_x": 8, "wg_y": 8, "ppt_x": 1, "ppt_y": 1, "use_image_data": 1, "use_image_tf": 1, "use_local_tf": 1, "use_const_tf": 0, "interleaved": 1, "unroll": 4},
+		{"wg_x": 4, "wg_y": 4, "ppt_x": 2, "ppt_y": 2, "use_image_data": 0, "use_image_tf": 0, "use_local_tf": 0, "use_const_tf": 1, "interleaved": 0, "unroll": 16},
+		{"wg_x": 8, "wg_y": 2, "ppt_x": 1, "ppt_y": 4, "use_image_data": 0, "use_image_tf": 0, "use_local_tf": 1, "use_const_tf": 1, "interleaved": 1, "unroll": 1},
+	} {
+		cfg, err := ray.Space().FromMap(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !runAndCompare(t, ray, ctx, cfg, rsize, rdata, rref) {
+			t.Errorf("hand-picked raycasting config %v invalid", vals)
+		}
+	}
+
+	st := MustLookup("stereo")
+	ssize := st.TestSize()
+	sdata := st.NewData(ssize, 3)
+	sref := st.Reference(ssize, sdata)
+	for _, vals := range []map[string]int{
+		{"wg_x": 8, "wg_y": 8, "ppt_x": 1, "ppt_y": 1, "use_image_left": 1, "use_image_right": 1, "use_local_left": 1, "use_local_right": 1, "unroll_disp": 2, "unroll_diff_x": 2, "unroll_diff_y": 2},
+		{"wg_x": 4, "wg_y": 4, "ppt_x": 2, "ppt_y": 2, "use_image_left": 0, "use_image_right": 1, "use_local_left": 1, "use_local_right": 0, "unroll_disp": 8, "unroll_diff_x": 4, "unroll_diff_y": 1},
+		{"wg_x": 16, "wg_y": 2, "ppt_x": 1, "ppt_y": 2, "use_image_left": 0, "use_image_right": 0, "use_local_left": 0, "use_local_right": 0, "unroll_disp": 1, "unroll_diff_x": 1, "unroll_diff_y": 1},
+	} {
+		cfg, err := st.Space().FromMap(vals)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !runAndCompare(t, st, ctx, cfg, ssize, sdata, sref) {
+			t.Errorf("hand-picked stereo config %v invalid", vals)
+		}
+	}
+}
+
+// TestTracedVsAnalyticProfiles validates the analytic profile builders
+// against instrumentation counters from real (functional) execution.
+func TestTracedVsAnalyticProfiles(t *testing.T) {
+	dev, _ := opencl.DeviceByName(devsim.NvidiaK40)
+	ctx := dev.NewContext()
+	rng := rand.New(rand.NewSource(99))
+
+	check := func(name string, analytic, traced, tolerance float64) {
+		t.Helper()
+		if analytic == 0 && traced == 0 {
+			return
+		}
+		denom := math.Max(math.Abs(analytic), 1)
+		if math.Abs(analytic-traced)/denom > tolerance {
+			t.Errorf("%s: analytic %g vs traced %g (tolerance %g)", name, analytic, traced, tolerance)
+		}
+	}
+
+	for _, b := range All() {
+		size := b.TestSize()
+		data := b.NewData(size, 11)
+		tested := 0
+		for _, cfg := range b.Space().Sample(rng, 30) {
+			analytic, err := b.Profile(cfg, size)
+			if err != nil {
+				continue
+			}
+			_, ev, err := b.Run(ctx, cfg, size, data)
+			if err != nil {
+				if devsim.IsInvalid(err) {
+					continue
+				}
+				t.Fatal(err)
+			}
+			traced := ev.Profile()
+			tested++
+
+			check(b.Name()+" globalReads "+cfg.String(), analytic.GlobalReads, traced.GlobalReads, 0.35)
+			check(b.Name()+" globalWrites "+cfg.String(), analytic.GlobalWrites, traced.GlobalWrites, 0.01)
+			check(b.Name()+" imageReads "+cfg.String(), analytic.ImageReads, traced.ImageReads, 0.35)
+			check(b.Name()+" localReads "+cfg.String(), analytic.LocalReads, traced.LocalReads, 0.35)
+			check(b.Name()+" localWrites "+cfg.String(), analytic.LocalWrites, traced.LocalWrites, 0.35)
+			check(b.Name()+" flops "+cfg.String(), analytic.Flops, traced.Flops, 0.40)
+			if analytic.LocalMemBytes != traced.LocalMemBytes {
+				t.Errorf("%s %v: local mem analytic %d vs traced %d",
+					b.Name(), cfg, analytic.LocalMemBytes, traced.LocalMemBytes)
+			}
+			if analytic.RegistersPerItem != traced.RegistersPerItem {
+				t.Errorf("%s %v: registers analytic %d vs traced %d",
+					b.Name(), cfg, analytic.RegistersPerItem, traced.RegistersPerItem)
+			}
+		}
+		if tested < 3 {
+			t.Errorf("%s: only %d configs compared", b.Name(), tested)
+		}
+	}
+}
+
+// TestRaycastingStepFraction validates the analytic early-termination
+// constant against actual traced traversal.
+func TestRaycastingStepFraction(t *testing.T) {
+	b := MustLookup("raycasting").(*raycasting)
+	size := Size{W: 64, H: 64, D: 64}
+	data := b.NewData(size, 5)
+	// Count actual steps marched by the reference (unroll 1).
+	totalSteps := 0
+	for y := 0; y < size.H; y++ {
+		for x := 0; x < size.W; x++ {
+			d := size.D
+			vx, vy := x*d/size.W, y*d/size.H
+			var alpha float32
+			for z := 0; z < d; z++ {
+				sample := data.Volume[(z*d+vy)*d+vx]
+				ti := int(sample * (rayTFSize - 1))
+				if ti >= rayTFSize {
+					ti = rayTFSize - 1
+				}
+				a := data.TF[ti]
+				alpha += (1 - alpha) * a
+				totalSteps++
+				if alpha >= raySaturation {
+					break
+				}
+			}
+		}
+	}
+	actual := float64(totalSteps) / float64(size.W*size.H) / float64(size.D)
+	if math.Abs(actual-rayStepFraction) > 0.15 {
+		t.Errorf("actual step fraction %.3f deviates from analytic constant %.3f", actual, rayStepFraction)
+	}
+}
+
+func TestDataGenerationDeterministic(t *testing.T) {
+	for _, b := range All() {
+		size := b.TestSize()
+		d1 := b.NewData(size, 42)
+		d2 := b.NewData(size, 42)
+		d3 := b.NewData(size, 43)
+		pick := func(d *Data) []float32 {
+			switch {
+			case d.Image != nil:
+				return d.Image
+			case d.Volume != nil:
+				return d.Volume
+			default:
+				return d.Left
+			}
+		}
+		a, bb, c := pick(d1), pick(d2), pick(d3)
+		same, diff := true, false
+		for i := range a {
+			if a[i] != bb[i] {
+				same = false
+			}
+			if a[i] != c[i] {
+				diff = true
+			}
+		}
+		if !same {
+			t.Errorf("%s: same seed produced different data", b.Name())
+		}
+		if !diff {
+			t.Errorf("%s: different seeds produced identical data", b.Name())
+		}
+	}
+}
+
+func TestInvalidRateReasonable(t *testing.T) {
+	// At paper sizes a substantial share of each space must be invalid on
+	// the AMD 7970 (max work-group 256) and less on the CPU — the paper's
+	// §7 observation. Checked on a random sample of profiles.
+	rng := rand.New(rand.NewSource(31))
+	amd := devsim.MustLookup(devsim.AMD7970)
+	cpu := devsim.MustLookup(devsim.IntelI7)
+	for _, b := range All() {
+		invalidAMD, invalidCPU := 0, 0
+		n := 800
+		for _, cfg := range b.Space().Sample(rng, n) {
+			prof, err := b.Profile(cfg, Size{})
+			if err != nil {
+				invalidAMD++
+				invalidCPU++
+				continue
+			}
+			if _, err := amd.TrueTime(prof); err != nil {
+				invalidAMD++
+			}
+			if _, err := cpu.TrueTime(prof); err != nil {
+				invalidCPU++
+			}
+		}
+		if invalidAMD <= invalidCPU {
+			t.Errorf("%s: AMD invalid %d not above CPU invalid %d", b.Name(), invalidAMD, invalidCPU)
+		}
+		if invalidAMD == n {
+			t.Errorf("%s: everything invalid on AMD", b.Name())
+		}
+	}
+}
+
+// TestProfilePropertyRandomConfigs: for any configuration, Profile either
+// reports a device-independent invalidity or yields a self-consistent
+// profile with sane derived quantities.
+func TestProfilePropertyRandomConfigs(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	for _, b := range All() {
+		valid := 0
+		for _, cfg := range b.Space().Sample(rng, 400) {
+			prof, err := b.Profile(cfg, Size{})
+			if err != nil {
+				if !devsim.IsInvalid(err) {
+					t.Fatalf("%s %v: non-invalid error %v", b.Name(), cfg, err)
+				}
+				continue
+			}
+			valid++
+			if verr := prof.Validate(); verr != nil {
+				t.Fatalf("%s %v: invalid profile: %v", b.Name(), cfg, verr)
+			}
+			if prof.Flops <= 0 || prof.GlobalWrites <= 0 {
+				t.Fatalf("%s %v: zero work: %+v", b.Name(), cfg, prof)
+			}
+			if prof.TotalMemOps() < prof.GlobalWrites {
+				t.Fatalf("%s %v: memory accounting broken", b.Name(), cfg)
+			}
+			if prof.UsesLocal != (prof.LocalMemBytes > 0) {
+				t.Fatalf("%s %v: UsesLocal flag inconsistent with %d local bytes",
+					b.Name(), cfg, prof.LocalMemBytes)
+			}
+			if prof.ConfigKey == 0 {
+				t.Fatalf("%s %v: missing config key", b.Name(), cfg)
+			}
+		}
+		if valid < 50 {
+			t.Errorf("%s: only %d/400 random configs valid", b.Name(), valid)
+		}
+	}
+}
+
+// TestProfileDeterministic: the analytic profile of a configuration is a
+// pure function of (config, size).
+func TestProfileDeterministic(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	for _, b := range All() {
+		for _, cfg := range b.Space().Sample(rng, 50) {
+			p1, err1 := b.Profile(cfg, Size{})
+			p2, err2 := b.Profile(cfg, Size{})
+			if (err1 == nil) != (err2 == nil) {
+				t.Fatalf("%s %v: nondeterministic validity", b.Name(), cfg)
+			}
+			if err1 != nil {
+				continue
+			}
+			if *p1 != *p2 {
+				t.Fatalf("%s %v: nondeterministic profile", b.Name(), cfg)
+			}
+		}
+	}
+}
+
+// TestTrueTimeSpreadIsWide: tuning must matter — the valid-config time
+// spread on every device and benchmark must span at least one order of
+// magnitude at paper scale (the premise of the whole paper).
+func TestTrueTimeSpreadIsWide(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	for _, b := range All() {
+		for _, dev := range devsim.PaperDevices() {
+			lo, hi := math.Inf(1), 0.0
+			for _, cfg := range b.Space().Sample(rng, 400) {
+				prof, err := b.Profile(cfg, Size{})
+				if err != nil {
+					continue
+				}
+				secs, err := dev.TrueTime(prof)
+				if err != nil {
+					continue
+				}
+				lo = math.Min(lo, secs)
+				hi = math.Max(hi, secs)
+			}
+			if hi/lo < 10 {
+				t.Errorf("%s on %s: spread %.1fx < 10x", b.Name(), dev.Name(), hi/lo)
+			}
+		}
+	}
+}

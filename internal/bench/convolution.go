@@ -1,0 +1,433 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/kprofile"
+	"repro/internal/opencl"
+	"repro/internal/tuning"
+)
+
+// convRadius is the box-filter radius: a 5x5 filter as in Table 1.
+const convRadius = 2
+
+// convTaps is the number of filter taps.
+const convTaps = (2*convRadius + 1) * (2*convRadius + 1)
+
+// convolution implements the paper's convolution benchmark: a 5x5 box
+// filter over a 2048x2048 image, the canonical stencil computation.
+//
+// Tuning parameters (Table 2): work-group size, outputs per work-item,
+// image memory, local memory (a staged tile with halo), input padding
+// (edge-replicated border, making rows transaction-aligned and removing
+// boundary branches), interleaved reads (lane-stride-1 output assignment
+// within the work-group block) and driver-pragma loop unrolling.
+type convolution struct {
+	space *tuning.Space
+}
+
+func init() {
+	register(&convolution{space: tuning.NewSpace("convolution",
+		tuning.Pow2Param("wg_x", 1, 128),
+		tuning.Pow2Param("wg_y", 1, 128),
+		tuning.Pow2Param("ppt_x", 1, 128),
+		tuning.Pow2Param("ppt_y", 1, 128),
+		tuning.BoolParam("use_image"),
+		tuning.BoolParam("use_local"),
+		tuning.BoolParam("pad"),
+		tuning.BoolParam("interleaved"),
+		tuning.BoolParam("unroll"),
+	)})
+}
+
+func (c *convolution) Name() string { return "convolution" }
+
+func (c *convolution) Description() string {
+	return "convolution of 2048x2048 2D image with 5x5 box filter, example of stencil computation"
+}
+
+func (c *convolution) Space() *tuning.Space { return c.space }
+
+func (c *convolution) DefaultSize() Size { return Size{W: 2048, H: 2048} }
+
+func (c *convolution) TestSize() Size { return Size{W: 128, H: 128} }
+
+func (c *convolution) Normalize(size Size) (Size, error) {
+	def := c.DefaultSize()
+	if size.W == 0 {
+		size.W = def.W
+	}
+	if size.H == 0 {
+		size.H = def.H
+	}
+	if size.W < 2*convRadius+1 || size.H < 2*convRadius+1 {
+		return Size{}, fmt.Errorf("bench: convolution size %dx%d smaller than filter", size.W, size.H)
+	}
+	return size, nil
+}
+
+// convPlan is everything derived from a configuration and problem size
+// that both the analytic profile and the compiled kernel must agree on.
+type convPlan struct {
+	wgX, wgY, pptX, pptY                    int
+	useImage, useLocal, pad, interleaved    bool
+	unroll                                  bool
+	globalX, globalY                        int
+	tileW, tileH, localBytes, regs, stride  int
+	barriers                                int
+	divergence                              float64
+	unrollFactor, innerItersPerOutput       int
+	flopsPerOutput, extraBoundaryFlops      int
+	blockW, blockH                          int
+	workingSet                              int64
+	imageLocality, rowAligned, driverUnroll bool
+}
+
+func (c *convolution) plan(cfg tuning.Config, size Size) (*convPlan, error) {
+	size, err := c.Normalize(size)
+	if err != nil {
+		return nil, err
+	}
+	p := &convPlan{
+		wgX: cfg.Value("wg_x"), wgY: cfg.Value("wg_y"),
+		pptX: cfg.Value("ppt_x"), pptY: cfg.Value("ppt_y"),
+		useImage: cfg.Bool("use_image"), useLocal: cfg.Bool("use_local"),
+		pad: cfg.Bool("pad"), interleaved: cfg.Bool("interleaved"),
+		unroll: cfg.Bool("unroll"),
+	}
+	p.globalX, p.globalY, err = gridGeometry(c.Name(), size.W, size.H, p.wgX, p.wgY, p.pptX, p.pptY)
+	if err != nil {
+		return nil, err
+	}
+	p.blockW, p.blockH = p.wgX*p.pptX, p.wgY*p.pptY
+	p.tileW, p.tileH = p.blockW+2*convRadius, p.blockH+2*convRadius
+	if p.useLocal {
+		p.localBytes = 4 * p.tileW * p.tileH
+		p.barriers = 1
+	}
+	p.regs = 14 + 2*log2i(p.pptX*p.pptY+1) + 4*boolToInt(p.useLocal) + 2*boolToInt(p.interleaved)
+	if p.unroll {
+		p.regs += 8
+	}
+	// Memory access pattern: cooperative staging is always lane-linear;
+	// otherwise the interleaved parameter decides the lane stride.
+	switch {
+	case p.useLocal || p.interleaved || p.pptX == 1:
+		p.stride = 1
+	default:
+		p.stride = p.pptX
+	}
+	p.imageLocality = true
+	p.rowAligned = p.pad
+	if p.pad {
+		p.divergence = 0.004
+	} else {
+		p.divergence = 0.045
+	}
+	// The driver unrolls the inner 5-tap x loop when requested.
+	if p.unroll {
+		p.unrollFactor = 2*convRadius + 1
+		p.innerItersPerOutput = 2*convRadius + 1
+	} else {
+		p.unrollFactor = 1
+		p.innerItersPerOutput = convTaps
+	}
+	p.driverUnroll = p.unroll
+	p.flopsPerOutput = 2*convTaps + 6
+	if !p.pad {
+		p.extraBoundaryFlops = 7
+	}
+	p.workingSet = int64(4 * p.tileW * p.tileH)
+	return p, nil
+}
+
+func (c *convolution) Profile(cfg tuning.Config, size Size) (*kprofile.Profile, error) {
+	size, err := c.Normalize(size)
+	if err != nil {
+		return nil, err
+	}
+	p, err := c.plan(cfg, size)
+	if err != nil {
+		return nil, err
+	}
+	outputs := float64(size.W * size.H)
+	items := float64(p.globalX * p.globalY)
+	groups := float64((p.globalX / p.wgX) * (p.globalY / p.wgY))
+
+	prof := &kprofile.Profile{
+		Kernel:  c.Name(),
+		GlobalX: p.globalX, GlobalY: p.globalY,
+		LocalX: p.wgX, LocalY: p.wgY,
+		OutputsPerItemX: p.pptX, OutputsPerItemY: p.pptY,
+
+		Flops: outputs * float64(p.flopsPerOutput+p.extraBoundaryFlops),
+
+		GlobalWrites:     outputs,
+		GlobalReadStride: p.stride,
+		ImageLocality2D:  p.useImage && p.imageLocality,
+		RowAligned:       p.rowAligned,
+
+		InnerIters:   outputs*float64(p.innerItersPerOutput) + items*float64(p.pptX*p.pptY),
+		UnrollFactor: p.unrollFactor,
+		DriverUnroll: p.driverUnroll,
+
+		RegistersPerItem:  p.regs,
+		LocalMemBytes:     p.localBytes,
+		BarriersPerItem:   p.barriers,
+		WorkingSetBytes:   p.workingSet,
+		DivergentFraction: p.divergence,
+		UsesImage:         p.useImage,
+		UsesLocal:         p.useLocal,
+		ConfigKey:         configKey(c.Name(), cfg),
+	}
+
+	if p.useLocal {
+		staging := groups * float64(p.tileW*p.tileH)
+		if p.useImage {
+			prof.ImageReads = staging
+		} else {
+			prof.GlobalReads = staging
+		}
+		prof.LocalWrites = staging
+		prof.LocalReads = outputs * convTaps
+		prof.InnerIters += staging
+	} else {
+		reads := outputs * convTaps
+		if p.useImage {
+			prof.ImageReads = reads
+		} else {
+			prof.GlobalReads = reads
+		}
+	}
+	return prof, nil
+}
+
+func (c *convolution) NewData(size Size, seed int64) *Data {
+	size, err := c.Normalize(size)
+	if err != nil {
+		panic(err)
+	}
+	return &Data{Image: genImage(size.W, size.H, seed)}
+}
+
+// Reference computes the edge-clamped 5x5 box mean sequentially.
+func (c *convolution) Reference(size Size, data *Data) []float32 {
+	size, err := c.Normalize(size)
+	if err != nil {
+		panic(err)
+	}
+	w, h := size.W, size.H
+	out := make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			var sum float32
+			for dy := -convRadius; dy <= convRadius; dy++ {
+				for dx := -convRadius; dx <= convRadius; dx++ {
+					sx := clampI(x+dx, 0, w-1)
+					sy := clampI(y+dy, 0, h-1)
+					sum += data.Image[sy*w+sx]
+				}
+			}
+			out[y*w+x] = sum / convTaps
+		}
+	}
+	return out
+}
+
+// kernelSource builds the functional kernel for the runtime. Kernel
+// arguments: 0 input (*Buffer or *Image2D), 1 output *Buffer, 2 outW,
+// 3 outH, 4 srcW (row stride of the possibly padded input), 5 srcOff
+// (border offset of the input origin: convRadius when padded, else 0).
+func (c *convolution) kernelSource(cfg tuning.Config, size Size) opencl.KernelSource {
+	return opencl.KernelSource{
+		Name: c.Name(),
+		Compile: func(dev *opencl.Device, opts opencl.BuildOptions) (opencl.KernelFunc, opencl.Resources, error) {
+			p, err := c.plan(cfg, size)
+			if err != nil {
+				return nil, opencl.Resources{}, err
+			}
+			res := opencl.Resources{
+				LocalMemBytes:     p.localBytes,
+				RegistersPerItem:  p.regs,
+				BarriersPerItem:   p.barriers,
+				OutputsPerItemX:   p.pptX,
+				OutputsPerItemY:   p.pptY,
+				GlobalReadStride:  p.stride,
+				RowAligned:        p.rowAligned,
+				ImageLocality2D:   p.useImage && p.imageLocality,
+				DivergentFraction: p.divergence,
+				UnrollFactor:      p.unrollFactor,
+				DriverUnroll:      p.driverUnroll,
+				WorkingSetBytes:   p.workingSet,
+				UsesImage:         p.useImage,
+				UsesLocal:         p.useLocal,
+				ConfigKey:         configKey(c.Name(), cfg),
+			}
+			fn := func(wi *opencl.WorkItem) { c.kernelBody(wi, p) }
+			return fn, res, nil
+		},
+	}
+}
+
+// kernelBody executes one work-item of the convolution kernel.
+func (c *convolution) kernelBody(wi *opencl.WorkItem, p *convPlan) {
+	outBuf := wi.ArgBuffer(1)
+	outW := wi.ArgInt(2)
+	outH := wi.ArgInt(3)
+	srcW := wi.ArgInt(4)
+	srcOff := wi.ArgInt(5)
+
+	var srcBuf *opencl.Buffer
+	var srcImg *opencl.Image2D
+	if p.useImage {
+		srcImg = wi.ArgImage2D(0)
+	} else {
+		srcBuf = wi.ArgBuffer(0)
+	}
+
+	// readSrc reads the input at output-space coordinates (x, y); the
+	// padded layout shifts by srcOff, the unpadded one clamps.
+	readSrc := func(x, y int) float32 {
+		sx, sy := x+srcOff, y+srcOff
+		if srcOff == 0 {
+			sx = clampI(sx, 0, outW-1)
+			sy = clampI(sy, 0, outH-1)
+		}
+		if srcImg != nil {
+			return wi.ReadImage2D(srcImg, sx, sy)
+		}
+		return wi.LoadGlobal(srcBuf, sy*srcW+sx)
+	}
+
+	blockX := wi.GroupIDX() * p.blockW
+	blockY := wi.GroupIDY() * p.blockH
+
+	var tile []float32
+	if p.useLocal {
+		tile = wi.LocalFloats("tile", p.tileW*p.tileH)
+		linear := wi.LocalIDY()*p.wgX + wi.LocalIDX()
+		groupSize := p.wgX * p.wgY
+		for idx := linear; idx < p.tileW*p.tileH; idx += groupSize {
+			tx, ty := idx%p.tileW, idx/p.tileW
+			v := readSrc(blockX+tx-convRadius, blockY+ty-convRadius)
+			wi.StoreLocal(tile, idx, v)
+			wi.LoopIter(1)
+		}
+		wi.Barrier()
+	}
+
+	for py := 0; py < p.pptY; py++ {
+		for px := 0; px < p.pptX; px++ {
+			var ox, oy int
+			if p.interleaved {
+				ox = blockX + wi.LocalIDX() + px*p.wgX
+				oy = blockY + wi.LocalIDY() + py*p.wgY
+			} else {
+				ox = blockX + wi.LocalIDX()*p.pptX + px
+				oy = blockY + wi.LocalIDY()*p.pptY + py
+			}
+			var sum float32
+			for dy := -convRadius; dy <= convRadius; dy++ {
+				if p.useLocal {
+					ty := oy + dy - blockY + convRadius
+					rowBase := ty * p.tileW
+					txBase := ox - blockX
+					for dx := 0; dx <= 2*convRadius; dx++ {
+						sum += wi.LoadLocal(tile, rowBase+txBase+dx)
+					}
+				} else {
+					for dx := -convRadius; dx <= convRadius; dx++ {
+						sum += readSrc(ox+dx, oy+dy)
+					}
+				}
+			}
+			wi.StoreGlobal(outBuf, oy*outW+ox, sum/convTaps)
+			wi.Flops(p.flopsPerOutput)
+			if p.extraBoundaryFlops > 0 {
+				wi.Flops(p.extraBoundaryFlops)
+			}
+			wi.LoopIter(p.innerItersPerOutput + 1)
+		}
+	}
+}
+
+// Run executes the convolution kernel for cfg at size on ctx.
+func (c *convolution) Run(ctx *opencl.Context, cfg tuning.Config, size Size, data *Data) ([]float32, *opencl.Event, error) {
+	size, err := c.Normalize(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := c.plan(cfg, size)
+	if err != nil {
+		return nil, nil, err
+	}
+	w, h := size.W, size.H
+
+	// Host-side input preparation: optional edge-replicated padding.
+	src := data.Image
+	srcW, srcOff := w, 0
+	if p.pad {
+		srcW, srcOff = w+2*convRadius, convRadius
+		padded := make([]float32, srcW*(h+2*convRadius))
+		for y := 0; y < h+2*convRadius; y++ {
+			sy := clampI(y-convRadius, 0, h-1)
+			for x := 0; x < srcW; x++ {
+				sx := clampI(x-convRadius, 0, w-1)
+				padded[y*srcW+x] = data.Image[sy*w+sx]
+			}
+		}
+		src = padded
+	}
+
+	prog, err := ctx.BuildProgram(toBuildOptions(cfg), c.kernelSource(cfg, size))
+	if err != nil {
+		return nil, nil, err
+	}
+	kern, err := prog.Kernel(c.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	var input any
+	if p.useImage {
+		img, err := ctx.NewImage2D(srcW, len(src)/srcW, src)
+		if err != nil {
+			return nil, nil, err
+		}
+		input = img
+	} else {
+		input = ctx.NewBufferFrom(src)
+	}
+	out := ctx.NewBuffer(w * h)
+	if err := kern.SetArgs(input, out, w, h, srcW, srcOff); err != nil {
+		return nil, nil, err
+	}
+
+	ev, err := ctx.NewQueue().EnqueueNDRange(kern, p.globalX, p.globalY, p.wgX, p.wgY)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Read(), ev, nil
+}
+
+func boolToInt(b bool) int {
+	if b {
+		return 1
+	}
+	return 0
+}
+
+func clampI(v, lo, hi int) int {
+	if v < lo {
+		return lo
+	}
+	if v > hi {
+		return hi
+	}
+	return v
+}
+
+// toBuildOptions converts a tuning configuration into kernel build macros.
+func toBuildOptions(cfg tuning.Config) opencl.BuildOptions {
+	return opencl.BuildOptions(cfg.Map())
+}

@@ -1,0 +1,131 @@
+package bench
+
+import "math/rand"
+
+// genImage generates a deterministic synthetic grayscale image with both
+// smooth structure and texture, so that stereo matching and convolution
+// outputs are non-trivial.
+func genImage(w, h int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	img := make([]float32, w*h)
+	// Smooth low-frequency base: sum of a few random cosines evaluated
+	// incrementally (cheap, no math import needed beyond rand).
+	type wave struct{ fx, fy, amp, phase float64 }
+	waves := make([]wave, 4)
+	for i := range waves {
+		waves[i] = wave{
+			fx:    rng.Float64() * 0.05,
+			fy:    rng.Float64() * 0.05,
+			amp:   0.1 + 0.2*rng.Float64(),
+			phase: rng.Float64() * 6.28318,
+		}
+	}
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			v := 0.5
+			for _, wv := range waves {
+				v += wv.amp * cosApprox(wv.fx*float64(x)+wv.fy*float64(y)+wv.phase)
+			}
+			// Texture detail, needed so SAD matching has a sharp optimum.
+			v += 0.15 * (rng.Float64() - 0.5)
+			if v < 0 {
+				v = 0
+			}
+			if v > 1 {
+				v = 1
+			}
+			img[y*w+x] = float32(v)
+		}
+	}
+	return img
+}
+
+// genVolume generates a synthetic volume with a dense ellipsoidal core in
+// a sparse shell, giving rays a predictable mix of early termination
+// (through the core) and full traversal (missing it).
+func genVolume(w, h, d int, seed int64) []float32 {
+	rng := rand.New(rand.NewSource(seed))
+	vol := make([]float32, w*h*d)
+	cx, cy, cz := float64(w)/2, float64(h)/2, float64(d)/2
+	rx, ry, rz := float64(w)*0.30, float64(h)*0.30, float64(d)*0.38
+	for z := 0; z < d; z++ {
+		for y := 0; y < h; y++ {
+			for x := 0; x < w; x++ {
+				dx := (float64(x) - cx) / rx
+				dy := (float64(y) - cy) / ry
+				dz := (float64(z) - cz) / rz
+				r2 := dx*dx + dy*dy + dz*dz
+				var v float64
+				if r2 < 1 {
+					v = 0.55 + 0.35*(1-r2) + 0.10*rng.Float64()
+				} else {
+					v = 0.05 * rng.Float64()
+				}
+				vol[(z*h+y)*w+x] = float32(v)
+			}
+		}
+	}
+	return vol
+}
+
+// genTF generates the 256-entry transfer function: opacity ramps up for
+// dense samples so rays saturate inside the volume core.
+func genTF(seed int64) []float32 {
+	tf := make([]float32, 256)
+	for i := range tf {
+		t := float64(i) / 255
+		switch {
+		case t < 0.3:
+			tf[i] = 0
+		case t < 0.6:
+			tf[i] = float32((t - 0.3) / 0.3 * 0.12)
+		default:
+			tf[i] = float32(0.12 + (t-0.6)/0.4*0.5)
+		}
+	}
+	return tf
+}
+
+// genStereoPair generates a left image and a right image that is the left
+// shifted by a spatially varying disparity, plus noise — enough for SAD
+// block matching to have a meaningful answer.
+func genStereoPair(w, h, maxDisp int, seed int64) (left, right []float32) {
+	left = genImage(w, h, seed)
+	right = make([]float32, w*h)
+	rng := rand.New(rand.NewSource(seed + 1))
+	for y := 0; y < h; y++ {
+		// Disparity varies smoothly with y, bounded by maxDisp-1.
+		disp := (y * (maxDisp - 1) / max(1, h-1))
+		for x := 0; x < w; x++ {
+			sx := x - disp
+			if sx < 0 {
+				sx = 0
+			}
+			right[y*w+x] = left[y*w+sx] + float32(0.02*(rng.Float64()-0.5))
+		}
+	}
+	return left, right
+}
+
+// cosApprox is a cheap cosine via Bhaskara-like polynomial after range
+// reduction; accuracy is irrelevant for data synthesis, determinism is.
+func cosApprox(x float64) float64 {
+	const twoPi = 6.283185307179586
+	x -= twoPi * float64(int64(x/twoPi))
+	if x < 0 {
+		x += twoPi
+	}
+	// Map to [-pi, pi].
+	if x > twoPi/2 {
+		x -= twoPi
+	}
+	x2 := x * x
+	return 1 - x2/2 + x2*x2/24 - x2*x2*x2/720
+}
+
+func max(a, b int) int {
+	if a > b {
+		return a
+	}
+	return b
+}

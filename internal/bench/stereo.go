@@ -1,0 +1,448 @@
+package bench
+
+import (
+	"fmt"
+
+	"repro/internal/kprofile"
+	"repro/internal/opencl"
+	"repro/internal/tuning"
+)
+
+// stereo implements the paper's stereo benchmark: block-matching disparity
+// between a 1024x1024 stereo pair. For every pixel it scans Disp candidate
+// disparities, scoring each with the sum of absolute differences over a
+// Win x Win window, and outputs the best disparity.
+//
+// Tuning parameters (Table 2): work-group size, outputs per work-item,
+// image memory independently for the left and right images, local memory
+// independently for both (staged tiles; the right tile is widened by the
+// disparity range), and driver-pragma unroll factors for the disparity
+// loop and the two difference loops.
+type stereo struct {
+	space *tuning.Space
+}
+
+func init() {
+	register(&stereo{space: tuning.NewSpace("stereo",
+		tuning.Pow2Param("wg_x", 1, 128),
+		tuning.Pow2Param("wg_y", 1, 128),
+		tuning.Pow2Param("ppt_x", 1, 128),
+		tuning.Pow2Param("ppt_y", 1, 128),
+		tuning.BoolParam("use_image_left"),
+		tuning.BoolParam("use_image_right"),
+		tuning.BoolParam("use_local_left"),
+		tuning.BoolParam("use_local_right"),
+		tuning.NewParam("unroll_disp", 1, 2, 4, 8),
+		tuning.NewParam("unroll_diff_x", 1, 2, 4),
+		tuning.NewParam("unroll_diff_y", 1, 2, 4),
+	)})
+}
+
+func (s *stereo) Name() string { return "stereo" }
+
+func (s *stereo) Description() string {
+	return "computing disparity between two 1024x1024 stereo images to determine distances to objects"
+}
+
+func (s *stereo) Space() *tuning.Space { return s.space }
+
+func (s *stereo) DefaultSize() Size { return Size{W: 1024, H: 1024, Disp: 32, Win: 8} }
+
+func (s *stereo) TestSize() Size { return Size{W: 64, H: 64, Disp: 8, Win: 4} }
+
+func (s *stereo) Normalize(size Size) (Size, error) {
+	def := s.DefaultSize()
+	if size.W == 0 {
+		size.W = def.W
+	}
+	if size.H == 0 {
+		size.H = def.H
+	}
+	if size.Disp == 0 {
+		size.Disp = def.Disp
+	}
+	if size.Win == 0 {
+		size.Win = def.Win
+	}
+	switch {
+	case size.W < size.Win || size.H < size.Win:
+		return Size{}, fmt.Errorf("bench: stereo size %dx%d smaller than window %d", size.W, size.H, size.Win)
+	case size.Disp%8 != 0:
+		return Size{}, fmt.Errorf("bench: stereo disparity range %d must be a multiple of 8 (unroll factors)", size.Disp)
+	case size.Win%4 != 0:
+		return Size{}, fmt.Errorf("bench: stereo window %d must be a multiple of 4 (unroll factors)", size.Win)
+	}
+	return size, nil
+}
+
+// stereoPlan mirrors convPlan for the stereo benchmark.
+type stereoPlan struct {
+	wgX, wgY, pptX, pptY   int
+	imageL, imageR         bool
+	localL, localR         bool
+	ud, ux, uy             int
+	globalX, globalY       int
+	blockW, blockH         int
+	ltileW, rtileW, tileH  int
+	localBytes, regs       int
+	stride, barriers       int
+	divergence             float64
+	unrollFactor           int
+	workingSet             int64
+	flopsPerOutputPerDisp  int
+	innerItersPerOutput    float64
+	driverUnroll, anyLocal bool
+}
+
+func (s *stereo) plan(cfg tuning.Config, size Size) (*stereoPlan, error) {
+	size, err := s.Normalize(size)
+	if err != nil {
+		return nil, err
+	}
+	p := &stereoPlan{
+		wgX: cfg.Value("wg_x"), wgY: cfg.Value("wg_y"),
+		pptX: cfg.Value("ppt_x"), pptY: cfg.Value("ppt_y"),
+		imageL: cfg.Bool("use_image_left"), imageR: cfg.Bool("use_image_right"),
+		localL: cfg.Bool("use_local_left"), localR: cfg.Bool("use_local_right"),
+		ud: cfg.Value("unroll_disp"), ux: cfg.Value("unroll_diff_x"), uy: cfg.Value("unroll_diff_y"),
+	}
+	p.globalX, p.globalY, err = gridGeometry(s.Name(), size.W, size.H, p.wgX, p.wgY, p.pptX, p.pptY)
+	if err != nil {
+		return nil, err
+	}
+	p.blockW, p.blockH = p.wgX*p.pptX, p.wgY*p.pptY
+	p.tileH = p.blockH + size.Win
+	p.ltileW = p.blockW + size.Win
+	p.rtileW = p.blockW + size.Win + size.Disp
+	if p.localL {
+		p.localBytes += 4 * p.ltileW * p.tileH
+	}
+	if p.localR {
+		p.localBytes += 4 * p.rtileW * p.tileH
+	}
+	p.anyLocal = p.localL || p.localR
+	if p.anyLocal {
+		p.barriers = 1
+	}
+	p.unrollFactor = p.ud * p.ux * p.uy
+	p.driverUnroll = p.unrollFactor > 1
+	p.regs = 16 + 2*(p.ud+p.ux+p.uy) + 2*log2i(p.pptX*p.pptY+1) +
+		3*boolToInt(p.localL) + 3*boolToInt(p.localR)
+	if p.pptX == 1 {
+		p.stride = 1
+	} else {
+		p.stride = p.pptX
+	}
+	p.divergence = 0.015
+	p.workingSet = int64(4 * (p.ltileW + p.rtileW) * p.tileH)
+	p.flopsPerOutputPerDisp = size.Win*size.Win*3 + 3
+	p.innerItersPerOutput = float64(size.Disp*size.Win*size.Win) / float64(p.unrollFactor)
+	return p, nil
+}
+
+func (s *stereo) Profile(cfg tuning.Config, size Size) (*kprofile.Profile, error) {
+	size, err := s.Normalize(size)
+	if err != nil {
+		return nil, err
+	}
+	p, err := s.plan(cfg, size)
+	if err != nil {
+		return nil, err
+	}
+	outputs := float64(size.W * size.H)
+	items := float64(p.globalX * p.globalY)
+	groups := float64((p.globalX / p.wgX) * (p.globalY / p.wgY))
+	winReads := outputs * float64(size.Disp) * float64(size.Win*size.Win)
+
+	prof := &kprofile.Profile{
+		Kernel:  s.Name(),
+		GlobalX: p.globalX, GlobalY: p.globalY,
+		LocalX: p.wgX, LocalY: p.wgY,
+		OutputsPerItemX: p.pptX, OutputsPerItemY: p.pptY,
+
+		Flops:        outputs * float64(size.Disp) * float64(p.flopsPerOutputPerDisp),
+		GlobalWrites: outputs,
+
+		GlobalReadStride: p.stride,
+		ImageLocality2D:  true,
+		RowAligned:       true,
+
+		InnerIters:   outputs*p.innerItersPerOutput + items*float64(p.pptX*p.pptY),
+		UnrollFactor: p.unrollFactor,
+		DriverUnroll: p.driverUnroll,
+
+		RegistersPerItem:  p.regs,
+		LocalMemBytes:     p.localBytes,
+		BarriersPerItem:   p.barriers,
+		WorkingSetBytes:   p.workingSet,
+		DivergentFraction: p.divergence,
+		UsesImage:         p.imageL || p.imageR,
+		UsesLocal:         p.anyLocal,
+		ConfigKey:         configKey(s.Name(), cfg),
+	}
+
+	// Left image traffic.
+	if p.localL {
+		staging := groups * float64(p.ltileW*p.tileH)
+		if p.imageL {
+			prof.ImageReads += staging
+		} else {
+			prof.GlobalReads += staging
+		}
+		prof.LocalWrites += staging
+		prof.LocalReads += winReads
+		prof.InnerIters += staging
+	} else if p.imageL {
+		prof.ImageReads += winReads
+	} else {
+		prof.GlobalReads += winReads
+	}
+
+	// Right image traffic.
+	if p.localR {
+		staging := groups * float64(p.rtileW*p.tileH)
+		if p.imageR {
+			prof.ImageReads += staging
+		} else {
+			prof.GlobalReads += staging
+		}
+		prof.LocalWrites += staging
+		prof.LocalReads += winReads
+		prof.InnerIters += staging
+	} else if p.imageR {
+		prof.ImageReads += winReads
+	} else {
+		prof.GlobalReads += winReads
+	}
+
+	return prof, nil
+}
+
+func (s *stereo) NewData(size Size, seed int64) *Data {
+	size, err := s.Normalize(size)
+	if err != nil {
+		panic(err)
+	}
+	left, right := genStereoPair(size.W, size.H, size.Disp, seed)
+	return &Data{Left: left, Right: right}
+}
+
+// Reference computes block-matching disparity sequentially: for each
+// pixel, the disparity whose SAD over the window is minimal (ties go to
+// the smaller disparity, matching the kernel's scan order).
+func (s *stereo) Reference(size Size, data *Data) []float32 {
+	size, err := s.Normalize(size)
+	if err != nil {
+		panic(err)
+	}
+	w, h := size.W, size.H
+	half := size.Win / 2
+	out := make([]float32, w*h)
+	for y := 0; y < h; y++ {
+		for x := 0; x < w; x++ {
+			best, bestD := float32(1e30), 0
+			for d := 0; d < size.Disp; d++ {
+				var sad float32
+				for j := -half; j < size.Win-half; j++ {
+					sy := clampI(y+j, 0, h-1)
+					for i := -half; i < size.Win-half; i++ {
+						lx := clampI(x+i, 0, w-1)
+						rx := clampI(x+i-d, 0, w-1)
+						diff := data.Left[sy*w+lx] - data.Right[sy*w+rx]
+						if diff < 0 {
+							diff = -diff
+						}
+						sad += diff
+					}
+				}
+				if sad < best {
+					best, bestD = sad, d
+				}
+			}
+			out[y*w+x] = float32(bestD)
+		}
+	}
+	return out
+}
+
+// kernelSource builds the functional stereo kernel. Arguments: 0 left
+// (*Buffer or *Image2D), 1 right (*Buffer or *Image2D), 2 output *Buffer,
+// 3 W, 4 H.
+func (s *stereo) kernelSource(cfg tuning.Config, size Size) opencl.KernelSource {
+	return opencl.KernelSource{
+		Name: s.Name(),
+		Compile: func(dev *opencl.Device, opts opencl.BuildOptions) (opencl.KernelFunc, opencl.Resources, error) {
+			p, err := s.plan(cfg, size)
+			if err != nil {
+				return nil, opencl.Resources{}, err
+			}
+			res := opencl.Resources{
+				LocalMemBytes:     p.localBytes,
+				RegistersPerItem:  p.regs,
+				BarriersPerItem:   p.barriers,
+				OutputsPerItemX:   p.pptX,
+				OutputsPerItemY:   p.pptY,
+				GlobalReadStride:  p.stride,
+				RowAligned:        true,
+				ImageLocality2D:   true,
+				DivergentFraction: p.divergence,
+				UnrollFactor:      p.unrollFactor,
+				DriverUnroll:      p.driverUnroll,
+				WorkingSetBytes:   p.workingSet,
+				UsesImage:         p.imageL || p.imageR,
+				UsesLocal:         p.anyLocal,
+				ConfigKey:         configKey(s.Name(), cfg),
+			}
+			fn := func(wi *opencl.WorkItem) { s.kernelBody(wi, p, size) }
+			return fn, res, nil
+		},
+	}
+}
+
+func (s *stereo) kernelBody(wi *opencl.WorkItem, p *stereoPlan, size Size) {
+	out := wi.ArgBuffer(2)
+	w := wi.ArgInt(3)
+	h := wi.ArgInt(4)
+	half := size.Win / 2
+
+	var leftBuf, rightBuf *opencl.Buffer
+	var leftImg, rightImg *opencl.Image2D
+	if p.imageL {
+		leftImg = wi.ArgImage2D(0)
+	} else {
+		leftBuf = wi.ArgBuffer(0)
+	}
+	if p.imageR {
+		rightImg = wi.ArgImage2D(1)
+	} else {
+		rightBuf = wi.ArgBuffer(1)
+	}
+
+	readLeft := func(x, y int) float32 {
+		x, y = clampI(x, 0, w-1), clampI(y, 0, h-1)
+		if leftImg != nil {
+			return wi.ReadImage2D(leftImg, x, y)
+		}
+		return wi.LoadGlobal(leftBuf, y*w+x)
+	}
+	readRight := func(x, y int) float32 {
+		x, y = clampI(x, 0, w-1), clampI(y, 0, h-1)
+		if rightImg != nil {
+			return wi.ReadImage2D(rightImg, x, y)
+		}
+		return wi.LoadGlobal(rightBuf, y*w+x)
+	}
+
+	blockX := wi.GroupIDX() * p.blockW
+	blockY := wi.GroupIDY() * p.blockH
+
+	// Cooperative staging of the tiles that are placed in local memory.
+	var ltile, rtile []float32
+	linear := wi.LocalIDY()*p.wgX + wi.LocalIDX()
+	groupSize := p.wgX * p.wgY
+	if p.localL {
+		ltile = wi.LocalFloats("left", p.ltileW*p.tileH)
+		for idx := linear; idx < p.ltileW*p.tileH; idx += groupSize {
+			tx, ty := idx%p.ltileW, idx/p.ltileW
+			wi.StoreLocal(ltile, idx, readLeft(blockX+tx-half, blockY+ty-half))
+			wi.LoopIter(1)
+		}
+	}
+	if p.localR {
+		rtile = wi.LocalFloats("right", p.rtileW*p.tileH)
+		rOrigin := blockX - half - (size.Disp - 1)
+		for idx := linear; idx < p.rtileW*p.tileH; idx += groupSize {
+			tx, ty := idx%p.rtileW, idx/p.rtileW
+			wi.StoreLocal(rtile, idx, readRight(rOrigin+tx, blockY+ty-half))
+			wi.LoopIter(1)
+		}
+	}
+	if p.anyLocal {
+		wi.Barrier()
+	}
+
+	sampleLeft := func(x, y int) float32 {
+		if ltile != nil {
+			return wi.LoadLocal(ltile, (y-blockY+half)*p.ltileW+(x-blockX+half))
+		}
+		return readLeft(x, y)
+	}
+	sampleRight := func(x, y int) float32 {
+		if rtile != nil {
+			return wi.LoadLocal(rtile, (y-blockY+half)*p.rtileW+(x-(blockX-half-(size.Disp-1))))
+		}
+		return readRight(x, y)
+	}
+
+	for py := 0; py < p.pptY; py++ {
+		for px := 0; px < p.pptX; px++ {
+			ox := blockX + wi.LocalIDX()*p.pptX + px
+			oy := blockY + wi.LocalIDY()*p.pptY + py
+			best, bestD := float32(1e30), 0
+			for d := 0; d < size.Disp; d++ {
+				var sad float32
+				for j := -half; j < size.Win-half; j++ {
+					for i := -half; i < size.Win-half; i++ {
+						diff := sampleLeft(ox+i, oy+j) - sampleRight(ox+i-d, oy+j)
+						if diff < 0 {
+							diff = -diff
+						}
+						sad += diff
+					}
+				}
+				if sad < best {
+					best, bestD = sad, d
+				}
+				wi.Flops(p.flopsPerOutputPerDisp)
+			}
+			wi.LoopIter(int(p.innerItersPerOutput))
+			wi.StoreGlobal(out, oy*w+ox, float32(bestD))
+			wi.LoopIter(1)
+		}
+	}
+}
+
+// Run executes the stereo kernel for cfg at size on ctx.
+func (s *stereo) Run(ctx *opencl.Context, cfg tuning.Config, size Size, data *Data) ([]float32, *opencl.Event, error) {
+	size, err := s.Normalize(size)
+	if err != nil {
+		return nil, nil, err
+	}
+	p, err := s.plan(cfg, size)
+	if err != nil {
+		return nil, nil, err
+	}
+
+	prog, err := ctx.BuildProgram(toBuildOptions(cfg), s.kernelSource(cfg, size))
+	if err != nil {
+		return nil, nil, err
+	}
+	kern, err := prog.Kernel(s.Name())
+	if err != nil {
+		return nil, nil, err
+	}
+
+	mkInput := func(data []float32, asImage bool) (any, error) {
+		if asImage {
+			return ctx.NewImage2D(size.W, size.H, data)
+		}
+		return ctx.NewBufferFrom(data), nil
+	}
+	left, err := mkInput(data.Left, p.imageL)
+	if err != nil {
+		return nil, nil, err
+	}
+	right, err := mkInput(data.Right, p.imageR)
+	if err != nil {
+		return nil, nil, err
+	}
+	out := ctx.NewBuffer(size.W * size.H)
+	if err := kern.SetArgs(left, right, out, size.W, size.H); err != nil {
+		return nil, nil, err
+	}
+	ev, err := ctx.NewQueue().EnqueueNDRange(kern, p.globalX, p.globalY, p.wgX, p.wgY)
+	if err != nil {
+		return nil, nil, err
+	}
+	return out.Read(), ev, nil
+}

@@ -1,0 +1,128 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"runtime"
+	"sync"
+
+	"repro/internal/devsim"
+	"repro/internal/tuning"
+)
+
+// SearchResult is the outcome of a baseline search.
+type SearchResult struct {
+	// Found reports whether any valid configuration was measured.
+	Found bool
+	// Best is the fastest configuration found.
+	Best tuning.Config
+	// BestSeconds is Best's measured time.
+	BestSeconds float64
+	// Measured counts valid measurements; Invalid counts failed ones.
+	Measured, Invalid int
+}
+
+// RandomSearch measures n randomly drawn configurations (without
+// replacement) and returns the fastest — the paper's baseline for the
+// large spaces (Figure 14 compares the tuner against the best of 50K
+// random configurations).
+func RandomSearch(m Measurer, n int, seed int64) (*SearchResult, error) {
+	if err := checkMeasurer(m); err != nil {
+		return nil, err
+	}
+	if n <= 0 {
+		return nil, fmt.Errorf("core: RandomSearch needs a positive sample count, got %d", n)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	idxs := m.Space().SampleIndices(rng, n)
+	return searchIndices(m, idxs)
+}
+
+// Exhaustive measures every configuration in the space and returns the
+// fastest — the paper's ground-truth procedure for the convolution
+// benchmark ("it was therefore possible to measure the actual execution
+// times of all possible configurations").
+func Exhaustive(m Measurer) (*SearchResult, error) {
+	if err := checkMeasurer(m); err != nil {
+		return nil, err
+	}
+	size := m.Space().Size()
+	idxs := make([]int64, size)
+	for i := range idxs {
+		idxs[i] = int64(i)
+	}
+	return searchIndices(m, idxs)
+}
+
+// searchIndices measures the given configuration indices in parallel and
+// reduces to the fastest valid one.
+func searchIndices(m Measurer, idxs []int64) (*SearchResult, error) {
+	space := m.Space()
+	workers := runtime.GOMAXPROCS(0)
+	if workers > len(idxs) {
+		workers = len(idxs)
+	}
+	if workers < 1 {
+		workers = 1
+	}
+	chunk := (len(idxs) + workers - 1) / workers
+
+	type partial struct {
+		res SearchResult
+		err error
+	}
+	parts := make([]partial, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := w * chunk
+			hi := lo + chunk
+			if hi > len(idxs) {
+				hi = len(idxs)
+			}
+			best := math.Inf(1)
+			p := &parts[w]
+			for _, idx := range idxs[lo:hi] {
+				cfg := space.At(idx)
+				secs, err := m.Measure(cfg)
+				if err != nil {
+					if devsim.IsInvalid(err) {
+						p.res.Invalid++
+						continue
+					}
+					p.err = err
+					return
+				}
+				p.res.Measured++
+				if secs < best {
+					best = secs
+					p.res.Best = cfg
+					p.res.BestSeconds = secs
+					p.res.Found = true
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+
+	out := &SearchResult{BestSeconds: math.Inf(1)}
+	for _, p := range parts {
+		if p.err != nil {
+			return nil, p.err
+		}
+		out.Measured += p.res.Measured
+		out.Invalid += p.res.Invalid
+		if p.res.Found && p.res.BestSeconds < out.BestSeconds {
+			out.Found = true
+			out.Best = p.res.Best
+			out.BestSeconds = p.res.BestSeconds
+		}
+	}
+	if !out.Found {
+		out.BestSeconds = 0
+	}
+	return out, nil
+}

@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/devsim"
+	"repro/internal/tuning"
+)
+
+// HillClimb is a classical local-search baseline: from random valid
+// starting points, repeatedly move to the best neighbouring configuration
+// (one parameter changed by one step) until no neighbour improves, within
+// a total measurement budget. It is the kind of empirical search the
+// paper's model-based approach competes with: cheap per step, but easily
+// trapped by the non-convex, invalid-riddled landscapes of §6.
+func HillClimb(m Measurer, budget, restarts int, seed int64) (*SearchResult, error) {
+	if err := checkMeasurer(m); err != nil {
+		return nil, err
+	}
+	if budget <= 0 {
+		return nil, fmt.Errorf("core: HillClimb needs a positive budget, got %d", budget)
+	}
+	if restarts <= 0 {
+		restarts = 1
+	}
+	space := m.Space()
+	rng := rand.New(rand.NewSource(seed))
+	res := &SearchResult{BestSeconds: math.Inf(1)}
+
+	measure := func(cfg tuning.Config) (float64, bool, error) {
+		if res.Measured+res.Invalid >= budget {
+			return 0, false, nil
+		}
+		secs, err := m.Measure(cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				res.Invalid++
+				return 0, false, nil
+			}
+			return 0, false, err
+		}
+		res.Measured++
+		if secs < res.BestSeconds {
+			res.Best = cfg
+			res.BestSeconds = secs
+			res.Found = true
+		}
+		return secs, true, nil
+	}
+
+	for r := 0; r < restarts && res.Measured+res.Invalid < budget; r++ {
+		// Find a valid random starting point.
+		var cur tuning.Config
+		var curTime float64
+		for res.Measured+res.Invalid < budget {
+			cand := space.At(rng.Int63n(space.Size()))
+			secs, ok, err := measure(cand)
+			if err != nil {
+				return nil, err
+			}
+			if ok {
+				cur, curTime = cand, secs
+				break
+			}
+		}
+		if !res.Found {
+			break
+		}
+
+		// Steepest-descent over single-parameter neighbours.
+		for res.Measured+res.Invalid < budget {
+			improved := false
+			bestN, bestNTime := cur, curTime
+			for _, n := range neighbours(cur) {
+				secs, ok, err := measure(n)
+				if err != nil {
+					return nil, err
+				}
+				if ok && secs < bestNTime {
+					bestN, bestNTime = n, secs
+					improved = true
+				}
+			}
+			if !improved {
+				break
+			}
+			cur, curTime = bestN, bestNTime
+		}
+	}
+	if !res.Found {
+		res.BestSeconds = 0
+	}
+	return res, nil
+}
+
+// neighbours returns the configurations reachable by moving one parameter
+// one position up or down its value list.
+func neighbours(cfg tuning.Config) []tuning.Config {
+	space := cfg.Space()
+	params := space.Params()
+	var out []tuning.Config
+	for i, p := range params {
+		pos := p.IndexOf(cfg.Values()[i])
+		for _, next := range []int{pos - 1, pos + 1} {
+			if next < 0 || next >= p.Arity() {
+				continue
+			}
+			vals := append([]int(nil), cfg.Values()...)
+			vals[i] = p.Values[next]
+			n, err := space.Make(vals...)
+			if err != nil {
+				continue // cannot happen: values come from the parameter
+			}
+			out = append(out, n)
+		}
+	}
+	return out
+}

@@ -1,0 +1,221 @@
+// Package core implements the paper's primary contribution: the two-stage
+// machine-learning-based auto-tuner (§5, Figure 3).
+//
+// Stage 1 measures a random subset of the tuning space and trains a
+// bagged neural-network model on log execution times. The model then
+// predicts the entire space, and stage 2 measures the M
+// best-predicted configurations, returning the fastest. Invalid
+// configurations are skipped during training (paper §5.2) and may cause
+// stage 2 — and thus the whole tuning run — to come up empty (§7), which
+// the Result reports instead of hiding.
+package core
+
+import (
+	"fmt"
+	"sync"
+
+	"repro/internal/bench"
+	"repro/internal/devsim"
+	"repro/internal/hashx"
+	"repro/internal/opencl"
+	"repro/internal/tuning"
+)
+
+// Measurer abstracts "run this configuration and time it" — the only
+// operation the auto-tuner needs from the system under tuning. Errors for
+// which devsim.IsInvalid returns true mark invalid configurations; any
+// other error aborts tuning.
+//
+// Implementations must be safe for concurrent use.
+type Measurer interface {
+	// Space returns the tuning space being measured.
+	Space() *tuning.Space
+	// Measure returns one timed execution of cfg, in seconds.
+	Measure(cfg tuning.Config) (float64, error)
+}
+
+// Coster is optionally implemented by measurers that can report the
+// one-time kernel build cost of a configuration, enabling the paper's
+// data-gathering cost accounting (§6).
+type Coster interface {
+	CompileSeconds(cfg tuning.Config) float64
+}
+
+// TrueTimer is optionally implemented by measurers that can report the
+// noise-free ground-truth time of a configuration; experiments use it to
+// score tuner output against the true optimum.
+type TrueTimer interface {
+	TrueTime(cfg tuning.Config) (float64, error)
+}
+
+// SimMeasurer measures configurations of a benchmark on a simulated
+// device using the analytic operation profiles — the fast path used for
+// paper-scale experiments.
+type SimMeasurer struct {
+	bench  bench.Benchmark
+	device *devsim.Device
+	size   bench.Size
+	reps   int
+
+	mu       sync.Mutex
+	attempts map[int64]uint64
+}
+
+// NewSimMeasurer creates a measurer for benchmark b on device d at the
+// given problem size (zero fields = paper defaults). Each Measure call
+// simulates the usual protocol of reps timed runs, keeping the fastest;
+// reps <= 0 means 3.
+func NewSimMeasurer(b bench.Benchmark, d *devsim.Device, size bench.Size, reps int) (*SimMeasurer, error) {
+	size, err := b.Normalize(size)
+	if err != nil {
+		return nil, err
+	}
+	if reps <= 0 {
+		reps = 3
+	}
+	return &SimMeasurer{
+		bench:    b,
+		device:   d,
+		size:     size,
+		reps:     reps,
+		attempts: make(map[int64]uint64),
+	}, nil
+}
+
+// Space returns the benchmark's tuning space.
+func (m *SimMeasurer) Space() *tuning.Space { return m.bench.Space() }
+
+// Benchmark returns the benchmark under measurement.
+func (m *SimMeasurer) Benchmark() bench.Benchmark { return m.bench }
+
+// Device returns the simulated device.
+func (m *SimMeasurer) Device() *devsim.Device { return m.device }
+
+// Size returns the normalized problem size.
+func (m *SimMeasurer) Size() bench.Size { return m.size }
+
+// Measure simulates one measurement protocol run for cfg. Repeated calls
+// for the same configuration see fresh measurement noise, yet the whole
+// sequence is deterministic.
+func (m *SimMeasurer) Measure(cfg tuning.Config) (float64, error) {
+	prof, err := m.bench.Profile(cfg, m.size)
+	if err != nil {
+		return 0, err
+	}
+	idx := cfg.Index()
+	m.mu.Lock()
+	attempt := m.attempts[idx]
+	m.attempts[idx] = attempt + 1
+	m.mu.Unlock()
+	seed := hashx.Combine(uint64(idx), 0x5eed0000+attempt*uint64(m.reps))
+	return m.device.MeasureBest(prof, m.reps, seed)
+}
+
+// TrueTime returns the noise-free ground-truth time of cfg.
+func (m *SimMeasurer) TrueTime(cfg tuning.Config) (float64, error) {
+	prof, err := m.bench.Profile(cfg, m.size)
+	if err != nil {
+		return 0, err
+	}
+	return m.device.TrueTime(prof)
+}
+
+// CompileSeconds returns the simulated kernel build time for cfg;
+// 0 for configurations whose invalidity is already known statically
+// (the host skips the build).
+func (m *SimMeasurer) CompileSeconds(cfg tuning.Config) float64 {
+	prof, err := m.bench.Profile(cfg, m.size)
+	if err != nil {
+		return 0
+	}
+	return m.device.CompileMs(prof) / 1e3
+}
+
+var _ Measurer = (*SimMeasurer)(nil)
+var _ Coster = (*SimMeasurer)(nil)
+var _ TrueTimer = (*SimMeasurer)(nil)
+
+// RuntimeMeasurer measures configurations by actually executing the
+// benchmark kernel on the functional OpenCL-style runtime — slower, but
+// it exercises the full compile/launch/run/profile path and optionally
+// verifies the functional output against the sequential reference.
+// Intended for reduced problem sizes.
+type RuntimeMeasurer struct {
+	bench  bench.Benchmark
+	size   bench.Size
+	data   *bench.Data
+	ctx    *opencl.Context
+	verify bool
+	ref    []float32
+}
+
+// NewRuntimeMeasurer creates a measurer that runs benchmark b on the
+// functional runtime for the given device. When verify is true every
+// measurement also checks the kernel output against the reference,
+// turning each tuning step into a correctness test.
+func NewRuntimeMeasurer(b bench.Benchmark, dev *opencl.Device, size bench.Size, seed int64, verify bool) (*RuntimeMeasurer, error) {
+	size, err := b.Normalize(size)
+	if err != nil {
+		return nil, err
+	}
+	m := &RuntimeMeasurer{
+		bench:  b,
+		size:   size,
+		data:   b.NewData(size, seed),
+		ctx:    dev.NewContext(),
+		verify: verify,
+	}
+	if verify {
+		m.ref = b.Reference(size, m.data)
+	}
+	return m, nil
+}
+
+// Space returns the benchmark's tuning space.
+func (m *RuntimeMeasurer) Space() *tuning.Space { return m.bench.Space() }
+
+// Measure executes cfg on the runtime and returns the profiled time.
+func (m *RuntimeMeasurer) Measure(cfg tuning.Config) (float64, error) {
+	out, ev, err := m.bench.Run(m.ctx, cfg, m.size, m.data)
+	if err != nil {
+		return 0, err
+	}
+	if m.verify {
+		for i := range m.ref {
+			d := out[i] - m.ref[i]
+			if d > 1e-4 || d < -1e-4 {
+				return 0, fmt.Errorf("core: %s config %s output mismatch at %d: got %g want %g",
+					m.bench.Name(), cfg, i, out[i], m.ref[i])
+			}
+		}
+	}
+	return ev.Seconds(), nil
+}
+
+var _ Measurer = (*RuntimeMeasurer)(nil)
+
+// FuncMeasurer adapts an arbitrary function to the Measurer interface;
+// used by tests and by callers tuning systems outside this repository.
+type FuncMeasurer struct {
+	TuningSpace *tuning.Space
+	Fn          func(cfg tuning.Config) (float64, error)
+}
+
+// Space returns the adapted space.
+func (m *FuncMeasurer) Space() *tuning.Space { return m.TuningSpace }
+
+// Measure invokes the adapted function.
+func (m *FuncMeasurer) Measure(cfg tuning.Config) (float64, error) { return m.Fn(cfg) }
+
+var _ Measurer = (*FuncMeasurer)(nil)
+
+// sanity check helper shared by tuner entry points.
+func checkMeasurer(m Measurer) error {
+	if m == nil || m.Space() == nil {
+		return fmt.Errorf("core: nil measurer or space")
+	}
+	if m.Space().Size() == 0 {
+		return fmt.Errorf("core: empty tuning space")
+	}
+	return nil
+}

@@ -1,0 +1,261 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/ann"
+	"repro/internal/tuning"
+)
+
+// Sample is one measured configuration.
+type Sample struct {
+	Config  tuning.Config
+	Seconds float64
+}
+
+// ModelConfig controls performance-model construction.
+type ModelConfig struct {
+	// Ensemble configures the bagged neural networks (paper: k=11
+	// networks, one hidden layer of 30 sigmoid neurons).
+	Ensemble ann.EnsembleConfig
+	// LogTransform trains on log(time) so the squared-error objective
+	// minimizes *relative* error (paper §5.2). Disabling it is an
+	// ablation, not a recommended mode.
+	LogTransform bool
+	// InvalidPenalty, when positive, implements the paper's suggested
+	// future-work improvement (§7/§8): instead of ignoring invalid
+	// configurations, they are added to the training set with a target
+	// this many times the slowest valid measurement, teaching the model
+	// to avoid invalid regions. Zero reproduces the paper's behaviour.
+	InvalidPenalty float64
+}
+
+// DefaultModelConfig returns the paper's model configuration.
+func DefaultModelConfig(seed int64) ModelConfig {
+	return ModelConfig{
+		Ensemble:     ann.DefaultEnsembleConfig(seed),
+		LogTransform: true,
+	}
+}
+
+// Model is a trained performance model over a tuning space: it predicts
+// execution time in seconds from a configuration.
+type Model struct {
+	space    *tuning.Space
+	enc      *tuning.Encoder
+	ensemble *ann.Ensemble
+	scaler   ann.TargetScaler
+	logT     bool
+}
+
+// TrainModel fits the paper's model to the measured samples. invalid
+// lists configurations that failed to run; they are ignored unless
+// cfg.InvalidPenalty > 0.
+func TrainModel(space *tuning.Space, samples []Sample, invalid []tuning.Config, cfg ModelConfig) (*Model, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: cannot train model without samples")
+	}
+	enc := tuning.NewEncoder(space)
+
+	n := len(samples)
+	extra := 0
+	if cfg.InvalidPenalty > 0 {
+		extra = len(invalid)
+	}
+	xs := make([][]float64, 0, n+extra)
+	ys := make([]float64, 0, n+extra)
+	slowest := 0.0
+	for _, s := range samples {
+		if s.Seconds <= 0 {
+			return nil, fmt.Errorf("core: sample %s has non-positive time %g", s.Config, s.Seconds)
+		}
+		xs = append(xs, enc.Encode(s.Config, make([]float64, 0, enc.Dim())))
+		ys = append(ys, target(s.Seconds, cfg.LogTransform))
+		if s.Seconds > slowest {
+			slowest = s.Seconds
+		}
+	}
+	if cfg.InvalidPenalty > 0 {
+		penalty := target(slowest*cfg.InvalidPenalty, cfg.LogTransform)
+		for _, c := range invalid {
+			xs = append(xs, enc.Encode(c, make([]float64, 0, enc.Dim())))
+			ys = append(ys, penalty)
+		}
+	}
+
+	scaler, err := ann.FitTargetScaler(ys)
+	if err != nil {
+		return nil, err
+	}
+	ensemble, err := ann.TrainEnsemble(xs, scaler.ApplyAll(ys), cfg.Ensemble)
+	if err != nil {
+		return nil, err
+	}
+	return &Model{space: space, enc: enc, ensemble: ensemble, scaler: scaler, logT: cfg.LogTransform}, nil
+}
+
+func target(seconds float64, logT bool) float64 {
+	if logT {
+		return math.Log(seconds)
+	}
+	return seconds
+}
+
+// Space returns the model's tuning space.
+func (m *Model) Space() *tuning.Space { return m.space }
+
+// Ensemble returns the underlying bagged networks.
+func (m *Model) Ensemble() *ann.Ensemble { return m.ensemble }
+
+// PredictScratch carries the per-goroutine buffers for prediction.
+type PredictScratch struct {
+	ps  *ann.PredictScratch
+	buf []float64
+}
+
+// NewScratch allocates prediction buffers.
+func (m *Model) NewScratch() *PredictScratch {
+	return &PredictScratch{ps: m.ensemble.NewScratch(), buf: make([]float64, 0, m.enc.Dim())}
+}
+
+// Predict returns the predicted execution time of cfg in seconds.
+// Safe for concurrent use with distinct scratches.
+func (m *Model) Predict(cfg tuning.Config, s *PredictScratch) float64 {
+	s.buf = m.enc.Encode(cfg, s.buf[:0])
+	y := m.scaler.Invert(m.ensemble.Predict(s.buf, s.ps))
+	if m.logT {
+		return math.Exp(y)
+	}
+	return y
+}
+
+// Predicted pairs a configuration index with its predicted time.
+type Predicted struct {
+	Index   int64
+	Seconds float64
+}
+
+// TopM sweeps the entire tuning space — the paper's "predict the
+// execution time for all possible configurations" step — and returns the
+// M configurations with the lowest predicted times, best first.
+// The sweep runs on all available cores.
+func (m *Model) TopM(M int) []Predicted {
+	size := m.space.Size()
+	if int64(M) > size {
+		M = int(size)
+	}
+	if M <= 0 {
+		return nil
+	}
+
+	workers := runtime.GOMAXPROCS(0)
+	if int64(workers) > size {
+		workers = int(size)
+	}
+	chunk := (size + int64(workers) - 1) / int64(workers)
+
+	results := make([][]Predicted, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			lo := int64(w) * chunk
+			hi := lo + chunk
+			if hi > size {
+				hi = size
+			}
+			scratch := m.NewScratch()
+			best := newTopHeap(M)
+			for idx := lo; idx < hi; idx++ {
+				t := m.Predict(m.space.At(idx), scratch)
+				best.offer(Predicted{Index: idx, Seconds: t})
+			}
+			results[w] = best.items()
+		}(w)
+	}
+	wg.Wait()
+
+	merged := make([]Predicted, 0, workers*M)
+	for _, r := range results {
+		merged = append(merged, r...)
+	}
+	sort.Slice(merged, func(i, j int) bool { return merged[i].Seconds < merged[j].Seconds })
+	if len(merged) > M {
+		merged = merged[:M]
+	}
+	return merged
+}
+
+// PredictBatch predicts the times of the given configurations, in order.
+func (m *Model) PredictBatch(cfgs []tuning.Config) []float64 {
+	out := make([]float64, len(cfgs))
+	scratch := m.NewScratch()
+	for i, c := range cfgs {
+		out[i] = m.Predict(c, scratch)
+	}
+	return out
+}
+
+// topHeap keeps the M smallest offered items as a bounded max-heap.
+type topHeap struct {
+	cap  int
+	heap []Predicted // max-heap by Seconds
+}
+
+func newTopHeap(capacity int) *topHeap {
+	return &topHeap{cap: capacity, heap: make([]Predicted, 0, capacity)}
+}
+
+func (h *topHeap) offer(p Predicted) {
+	if len(h.heap) < h.cap {
+		h.heap = append(h.heap, p)
+		h.up(len(h.heap) - 1)
+		return
+	}
+	if p.Seconds >= h.heap[0].Seconds {
+		return
+	}
+	h.heap[0] = p
+	h.down(0)
+}
+
+func (h *topHeap) up(i int) {
+	for i > 0 {
+		parent := (i - 1) / 2
+		if h.heap[parent].Seconds >= h.heap[i].Seconds {
+			return
+		}
+		h.heap[parent], h.heap[i] = h.heap[i], h.heap[parent]
+		i = parent
+	}
+}
+
+func (h *topHeap) down(i int) {
+	n := len(h.heap)
+	for {
+		l, r := 2*i+1, 2*i+2
+		largest := i
+		if l < n && h.heap[l].Seconds > h.heap[largest].Seconds {
+			largest = l
+		}
+		if r < n && h.heap[r].Seconds > h.heap[largest].Seconds {
+			largest = r
+		}
+		if largest == i {
+			return
+		}
+		h.heap[i], h.heap[largest] = h.heap[largest], h.heap[i]
+		i = largest
+	}
+}
+
+func (h *topHeap) items() []Predicted {
+	out := append([]Predicted(nil), h.heap...)
+	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	return out
+}

@@ -1,0 +1,119 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+)
+
+// SuggestM implements the paper's §5.3 proposal: "by making assumptions
+// about the distribution of the execution times, as well as the
+// distribution of prediction errors, ... one could determine values for M
+// so that the samples in the second stage contain the optimal one with a
+// given probability."
+//
+// The assumptions made concrete here:
+//
+//   - prediction errors in log space are i.i.d. Gaussian with a standard
+//     deviation estimated from the model's residuals on the held-out
+//     validation samples, and
+//   - the predicted-time distribution over a uniform subsample of the
+//     space represents the whole space (ranks scale proportionally).
+//
+// Under them, the true optimum's rank in the predicted ordering is
+// simulated by Monte Carlo: each trial perturbs the predicted log times
+// with fresh Gaussian noise, finds which configuration would truly be
+// fastest, and records its predicted rank. The returned M is the
+// confidence-quantile of that rank distribution, scaled from the
+// subsample to the full space and clamped to [1, space size].
+func SuggestM(model *Model, validation []Sample, confidence float64, trials int, seed int64) (int, error) {
+	if model == nil {
+		return 0, fmt.Errorf("core: SuggestM needs a model")
+	}
+	if len(validation) < 8 {
+		return 0, fmt.Errorf("core: SuggestM needs at least 8 validation samples, got %d", len(validation))
+	}
+	if confidence <= 0 || confidence >= 1 {
+		return 0, fmt.Errorf("core: confidence %v outside (0,1)", confidence)
+	}
+	if trials <= 0 {
+		trials = 200
+	}
+
+	// Residual spread of log predictions on held-out data.
+	scratch := model.NewScratch()
+	var residuals []float64
+	for _, s := range validation {
+		if s.Seconds <= 0 {
+			return 0, fmt.Errorf("core: validation sample %s has non-positive time", s.Config)
+		}
+		pred := model.Predict(s.Config, scratch)
+		residuals = append(residuals, math.Log(pred)-math.Log(s.Seconds))
+	}
+	sigma := stddev(residuals)
+	if sigma < 1e-6 {
+		return 1, nil // a perfect model needs no second stage
+	}
+
+	// Predicted log times over a uniform subsample of the space.
+	space := model.Space()
+	rng := rand.New(rand.NewSource(seed))
+	subN := 20000
+	if int64(subN) > space.Size() {
+		subN = int(space.Size())
+	}
+	idxs := space.SampleIndices(rng, subN)
+	logPred := make([]float64, len(idxs))
+	for i, idx := range idxs {
+		logPred[i] = math.Log(model.Predict(space.At(idx), scratch))
+	}
+	order := make([]int, len(logPred))
+	for i := range order {
+		order[i] = i
+	}
+	sort.Slice(order, func(a, b int) bool { return logPred[order[a]] < logPred[order[b]] })
+	rankOf := make([]int, len(logPred))
+	for rank, i := range order {
+		rankOf[i] = rank
+	}
+
+	// Monte Carlo over hypothetical truths.
+	ranks := make([]int, trials)
+	for t := 0; t < trials; t++ {
+		bestI, bestV := 0, math.Inf(1)
+		for i, lp := range logPred {
+			v := lp - sigma*rng.NormFloat64() // truth = prediction minus error
+			if v < bestV {
+				bestI, bestV = i, v
+			}
+		}
+		ranks[t] = rankOf[bestI]
+	}
+	sort.Ints(ranks)
+	q := ranks[int(math.Ceil(confidence*float64(trials)))-1]
+
+	// Scale the subsample rank to the full space.
+	scale := float64(space.Size()) / float64(subN)
+	m := int(math.Ceil(float64(q+1) * scale))
+	if m < 1 {
+		m = 1
+	}
+	if int64(m) > space.Size() {
+		m = int(space.Size())
+	}
+	return m, nil
+}
+
+func stddev(xs []float64) float64 {
+	var sum float64
+	for _, x := range xs {
+		sum += x
+	}
+	mean := sum / float64(len(xs))
+	var v float64
+	for _, x := range xs {
+		v += (x - mean) * (x - mean)
+	}
+	return math.Sqrt(v / float64(len(xs)))
+}

@@ -1,0 +1,211 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"time"
+
+	"repro/internal/devsim"
+	"repro/internal/tuning"
+)
+
+// Options configures one auto-tuning run (the knobs of Figure 3).
+type Options struct {
+	// TrainingSamples is N: the number of *valid* measured
+	// configurations used to train the model (paper: 100-4000).
+	TrainingSamples int
+	// SecondStage is M: the number of best-predicted configurations
+	// measured in the second stage (paper: 10-200, large spaces 300).
+	SecondStage int
+	// Seed drives sampling and model initialization.
+	Seed int64
+	// Model configures the performance model; zero value means the
+	// paper's defaults (log transform, k=11, 30 hidden neurons).
+	Model ModelConfig
+	// MaxAttempts bounds the stage-1 draws used to find valid
+	// configurations (0 = 4*N + 1000). Spaces with many invalid regions
+	// may exhaust it, in which case the tuner trains on what it has.
+	MaxAttempts int
+}
+
+// DefaultOptions returns the configuration highlighted in the paper's
+// results (N=2000, M=200).
+func DefaultOptions(seed int64) Options {
+	return Options{
+		TrainingSamples: 2000,
+		SecondStage:     200,
+		Seed:            seed,
+		Model:           DefaultModelConfig(seed),
+	}
+}
+
+// CostReport accounts for where tuning time goes (paper §6: gathering
+// data dominates; training is comparatively cheap). Gather time is
+// *simulated* (compile + runs + invalid attempts); train/predict times
+// are real wall-clock.
+type CostReport struct {
+	// GatherSeconds is the simulated cost of stage-1 data collection:
+	// kernel builds, benchmark runs and failed attempts.
+	GatherSeconds float64
+	// SecondStageSeconds is the simulated cost of stage-2 measurements.
+	SecondStageSeconds float64
+	// TrainSeconds is the wall-clock model training time.
+	TrainSeconds float64
+	// PredictSeconds is the wall-clock full-space prediction time.
+	PredictSeconds float64
+}
+
+// Result is the outcome of one auto-tuning run.
+type Result struct {
+	// Found reports whether any second-stage configuration was valid.
+	// When false the tuner "gives no prediction at all" (paper §7).
+	Found bool
+	// Best is the fastest configuration found, valid only when Found.
+	Best tuning.Config
+	// BestSeconds is Best's measured time.
+	BestSeconds float64
+
+	// Samples holds the valid stage-1 measurements (the training set).
+	Samples []Sample
+	// InvalidTrain counts stage-1 draws that turned out invalid.
+	InvalidTrain int
+	// Attempts counts all stage-1 draws.
+	Attempts int
+
+	// SecondStage holds the valid stage-2 measurements.
+	SecondStage []Sample
+	// InvalidSecond counts stage-2 candidates that turned out invalid.
+	InvalidSecond int
+	// Predicted holds the model's predictions for the stage-2
+	// candidates, aligned with the order they were measured in.
+	Predicted []Predicted
+
+	// MeasuredFraction is (Attempts + M) / |space|: the share of the
+	// space actually executed (paper: as low as 0.1%).
+	MeasuredFraction float64
+
+	// Model is the trained performance model (reusable for analysis).
+	Model *Model
+	// Cost breaks down where the tuning time went.
+	Cost CostReport
+}
+
+// Tune runs the complete two-stage auto-tuner of the paper against the
+// measurer.
+func Tune(m Measurer, opts Options) (*Result, error) {
+	if err := checkMeasurer(m); err != nil {
+		return nil, err
+	}
+	if opts.TrainingSamples <= 0 {
+		return nil, fmt.Errorf("core: TrainingSamples must be positive, got %d", opts.TrainingSamples)
+	}
+	if opts.SecondStage <= 0 {
+		return nil, fmt.Errorf("core: SecondStage must be positive, got %d", opts.SecondStage)
+	}
+	if opts.Model.Ensemble.K == 0 {
+		opts.Model = DefaultModelConfig(opts.Seed)
+	}
+	res := &Result{}
+
+	// --- Stage 1: gather training data -----------------------------------
+	samples, invalidCfgs, attempts, gather, err := gatherSamples(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Samples = samples
+	res.InvalidTrain = len(invalidCfgs)
+	res.Attempts = attempts
+	res.Cost.GatherSeconds = gather
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: no valid configurations among %d attempts", attempts)
+	}
+
+	// --- Train the model ---------------------------------------------------
+	t0 := time.Now()
+	model, err := TrainModel(m.Space(), samples, invalidCfgs, opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	res.Model = model
+	res.Cost.TrainSeconds = time.Since(t0).Seconds()
+
+	// --- Predict the whole space, pick the M most promising ----------------
+	t0 = time.Now()
+	top := model.TopM(opts.SecondStage)
+	res.Predicted = top
+	res.Cost.PredictSeconds = time.Since(t0).Seconds()
+
+	// --- Stage 2: measure the candidates ------------------------------------
+	best := math.Inf(1)
+	for _, p := range top {
+		cfg := m.Space().At(p.Index)
+		res.Cost.SecondStageSeconds += compileCost(m, cfg)
+		secs, err := m.Measure(cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				res.InvalidSecond++
+				continue
+			}
+			return nil, err
+		}
+		res.Cost.SecondStageSeconds += secs
+		res.SecondStage = append(res.SecondStage, Sample{Config: cfg, Seconds: secs})
+		if secs < best {
+			best = secs
+			res.Best = cfg
+			res.BestSeconds = secs
+			res.Found = true
+		}
+	}
+
+	res.MeasuredFraction = float64(attempts+len(top)) / float64(m.Space().Size())
+	return res, nil
+}
+
+// gatherSamples draws random configurations until it has measured
+// opts.TrainingSamples valid ones (or exhausts its attempt budget),
+// mirroring the paper's data-gathering phase including the time "wasted
+// attempting to compile and launch kernels with invalid configurations".
+func gatherSamples(m Measurer, opts Options) (samples []Sample, invalid []tuning.Config, attempts int, gatherSeconds float64, err error) {
+	space := m.Space()
+	maxAttempts := opts.MaxAttempts
+	if maxAttempts <= 0 {
+		maxAttempts = 4*opts.TrainingSamples + 1000
+	}
+	if int64(maxAttempts) > space.Size() {
+		maxAttempts = int(space.Size())
+	}
+	rng := rand.New(rand.NewSource(opts.Seed))
+	idxs := space.SampleIndices(rng, maxAttempts)
+
+	samples = make([]Sample, 0, opts.TrainingSamples)
+	for _, idx := range idxs {
+		if len(samples) >= opts.TrainingSamples {
+			break
+		}
+		cfg := space.At(idx)
+		attempts++
+		gatherSeconds += compileCost(m, cfg)
+		secs, err := m.Measure(cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				invalid = append(invalid, cfg)
+				continue
+			}
+			return nil, nil, attempts, gatherSeconds, err
+		}
+		gatherSeconds += secs
+		samples = append(samples, Sample{Config: cfg, Seconds: secs})
+	}
+	return samples, invalid, attempts, gatherSeconds, nil
+}
+
+// compileCost returns the simulated kernel build time when the measurer
+// can report it.
+func compileCost(m Measurer, cfg tuning.Config) float64 {
+	if c, ok := m.(Coster); ok {
+		return c.CompileSeconds(cfg)
+	}
+	return 0
+}

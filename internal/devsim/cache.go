@@ -1,0 +1,51 @@
+package devsim
+
+import "math"
+
+// cacheHitFraction estimates the fraction of accesses served by a cache of
+// capacity capBytes when the accessing unit streams over a working set of
+// wsBytes with a reuse pattern characterised by locality2D.
+//
+// The model is a smooth capacity curve: while the working set fits, nearly
+// all reuse hits (compulsory misses only); once it exceeds capacity the
+// hit rate decays with the ratio. 2D-local patterns degrade more
+// gracefully than streaming ones because row reuse survives partial
+// eviction.
+func cacheHitFraction(capBytes int64, wsBytes int64, locality2D bool) float64 {
+	if capBytes <= 0 || wsBytes <= 0 {
+		return 0
+	}
+	ratio := float64(wsBytes) / float64(capBytes)
+	if ratio <= 1 {
+		return 0.95
+	}
+	// Power-law capacity decay: in log space (where the tuning features
+	// live) this is linear, matching the gradual degradation measured for
+	// tiled access patterns; 2D-local patterns keep row reuse longer.
+	decay := 1.8
+	if locality2D {
+		decay = 1.2
+	}
+	hit := 0.95 * math.Pow(ratio, -decay)
+	if hit < 0.02 {
+		hit = 0.02
+	}
+	return hit
+}
+
+// softmax2 smoothly combines bottleneck times: the result approaches
+// max(times...) when one term dominates and slightly exceeds it when
+// several bottlenecks are comparable, matching how real pipelines overlap
+// imperfectly. p controls the sharpness (p -> inf is exact max).
+func softmaxP(p float64, times ...float64) float64 {
+	var sum float64
+	for _, t := range times {
+		if t > 0 {
+			sum += math.Pow(t, p)
+		}
+	}
+	if sum == 0 {
+		return 0
+	}
+	return math.Pow(sum, 1/p)
+}

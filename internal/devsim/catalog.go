@@ -1,0 +1,301 @@
+package devsim
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Canonical device names, matching the paper.
+const (
+	IntelI7   = "Intel i7 3770"
+	NvidiaK40 = "Nvidia K40"
+	AMD7970   = "AMD Radeon HD 7970"
+	// Additional Nvidia generations used in the paper's Figure 7.
+	NvidiaC2070  = "Nvidia C2070"
+	NvidiaGTX980 = "Nvidia GTX980"
+)
+
+// intelI7Desc models an Intel i7 3770 (Ivy Bridge, 4 cores / 8 threads,
+// 3.4 GHz, AVX, dual-channel DDR3-1600) under an Intel OpenCL CPU runtime:
+// work-groups map to threads, work-items are implicitly vectorized 8 wide,
+// and all logical memory spaces live in main memory; image sampling is
+// emulated in software, which is the paper's explanation for the Intel
+// scatter-plot clustering (Fig. 8).
+var intelI7Desc = Descriptor{
+	Name:              IntelI7,
+	Vendor:            "Intel",
+	Kind:              CPU,
+	ComputeUnits:      8, // logical cores exposed as compute units
+	SIMDWidth:         8, // AVX, 8 x float32
+	ClockGHz:          3.4,
+	FlopsPerLaneCycle: 1.6, // sustained, between add-only and FMA-ish mul+add
+
+	MemBandwidthGBs: 25.6,
+	MemLatencyNs:    60,
+	CacheLineBytes:  64,
+	LLCBytes:        8 << 20, // 8 MB L3
+	// The CPU has no texture hardware: image reads are emulated.
+	TexCacheBytesPerCU: 0,
+	TexelsPerCUCycle:   0,
+	ImageSupport:       true,
+	ImageSampleCycles:  20, // software address clamp + layout + gather
+
+	LDSBytesPerCU:    32 << 10, // Intel runtime reports 32 KB local memory
+	LocalMemPerGroup: 32 << 10,
+	LDSLanesPerCU:    8, // "local" memory is ordinary cached memory
+
+	MaxWorkGroupSize: 8192, // Intel CPU runtimes allow very large groups
+	RegistersPerCU:   1 << 20,
+	MaxRegsPerItem:   1 << 20, // spilling is the compiler's problem; never fails
+	MaxWarpsPerCU:    1 << 20,
+	MaxGroupsPerCU:   1, // one group per thread at a time
+
+	KernelLaunchOverheadUs:  25,
+	GroupScheduleOverheadNs: 450,
+	BarrierCycles:           0, // modeled per-item in the CPU model
+
+	DriverUnrollReliability: 0.97,
+	RoughnessSigma:          0.045,
+	DriverUnrollRoughness:   0.02,
+	NoiseSigma:              0.016, // long runtimes => reliable timing (paper §7)
+
+	CompileBaseMs: 110,
+	CompileVarMs:  160,
+	Salt:          0x1e37c0de0001,
+}
+
+// nvidiaK40Desc models an Nvidia Tesla K40 (Kepler GK110B): 15 SMX,
+// 745 MHz base, 288 GB/s GDDR5, 48 KB shared memory and a 48 KB read-only
+// texture path per SMX, 64 K registers and up to 64 resident warps per SMX.
+var nvidiaK40Desc = Descriptor{
+	Name:              NvidiaK40,
+	Vendor:            "Nvidia",
+	Kind:              GPU,
+	ComputeUnits:      15,
+	SIMDWidth:         32,
+	ClockGHz:          0.745,
+	FlopsPerLaneCycle: 2, // FMA
+
+	MemBandwidthGBs: 288,
+	MemLatencyNs:    350,
+	CacheLineBytes:  128,
+	LLCBytes:        1536 << 10,
+
+	TexCacheBytesPerCU: 48 << 10,
+	TexelsPerCUCycle:   32, // GK110: 16 bilinear texels/clk, ~2x for unfiltered fetches
+	ImageSupport:       true,
+	ImageSampleCycles:  0,
+
+	LDSBytesPerCU:    48 << 10,
+	LocalMemPerGroup: 48 << 10,
+	LDSLanesPerCU:    12, // Kepler's shared memory lagged its FLOP rate
+
+	MaxWorkGroupSize: 1024,
+	RegistersPerCU:   65536,
+	MaxRegsPerItem:   255,
+	MaxWarpsPerCU:    64,
+	MaxGroupsPerCU:   16,
+
+	KernelLaunchOverheadUs:  8,
+	GroupScheduleOverheadNs: 25,
+	BarrierCycles:           40,
+
+	DriverUnrollReliability: 0.88,
+	RoughnessSigma:          0.090,
+	DriverUnrollRoughness:   0.05,
+	NoiseSigma:              0.032,
+
+	CompileBaseMs: 210,
+	CompileVarMs:  420,
+	Salt:          0x1e37c0de0040,
+}
+
+// amd7970Desc models an AMD Radeon HD 7970 (GCN Tahiti): 32 CUs,
+// 925 MHz, 264 GB/s, 64 KB LDS per CU with a 32 KB per-group limit, and a
+// 256-work-item group limit (the AMD runtime default), which makes many
+// more configurations invalid than on the other devices (paper §7).
+// Its OpenCL compiler's pragma-based loop unrolling is modeled as
+// unreliable, the paper's explanation for raycasting (manual unrolling)
+// being much more predictable than convolution/stereo on this device.
+var amd7970Desc = Descriptor{
+	Name:              AMD7970,
+	Vendor:            "AMD",
+	Kind:              GPU,
+	ComputeUnits:      32,
+	SIMDWidth:         64,
+	ClockGHz:          0.925,
+	FlopsPerLaneCycle: 2,
+
+	MemBandwidthGBs: 264,
+	MemLatencyNs:    330,
+	CacheLineBytes:  64,
+	LLCBytes:        768 << 10,
+
+	TexCacheBytesPerCU: 16 << 10,
+	TexelsPerCUCycle:   8, // GCN: 4 sampler units + L1-hit bandwidth
+	ImageSupport:       true,
+	ImageSampleCycles:  0,
+
+	LDSBytesPerCU:    64 << 10,
+	LocalMemPerGroup: 32 << 10,
+	LDSLanesPerCU:    32,
+
+	MaxWorkGroupSize: 256,
+	RegistersPerCU:   65536,
+	MaxRegsPerItem:   255,
+	MaxWarpsPerCU:    40,
+	MaxGroupsPerCU:   16,
+
+	KernelLaunchOverheadUs:  10,
+	GroupScheduleOverheadNs: 30,
+	BarrierCycles:           35,
+
+	DriverUnrollReliability: 0.45,
+	RoughnessSigma:          0.060,
+	DriverUnrollRoughness:   0.50,
+	NoiseSigma:              0.035,
+
+	CompileBaseMs: 260,
+	CompileVarMs:  520,
+	Salt:          0x1e37c0de7970,
+}
+
+// nvidiaC2070Desc models an Nvidia Tesla C2070 (Fermi GF100): 14 SMs,
+// 1.15 GHz, 144 GB/s, 48 KB shared memory, 32 K registers and 48 resident
+// warps per SM.
+var nvidiaC2070Desc = Descriptor{
+	Name:              NvidiaC2070,
+	Vendor:            "Nvidia",
+	Kind:              GPU,
+	ComputeUnits:      14,
+	SIMDWidth:         32,
+	ClockGHz:          1.15,
+	FlopsPerLaneCycle: 2,
+
+	MemBandwidthGBs: 144,
+	MemLatencyNs:    400,
+	CacheLineBytes:  128,
+	LLCBytes:        768 << 10,
+
+	TexCacheBytesPerCU: 12 << 10,
+	TexelsPerCUCycle:   4,
+	ImageSupport:       true,
+	ImageSampleCycles:  0,
+
+	LDSBytesPerCU:    48 << 10,
+	LocalMemPerGroup: 48 << 10,
+	LDSLanesPerCU:    16,
+
+	MaxWorkGroupSize: 1024,
+	RegistersPerCU:   32768,
+	MaxRegsPerItem:   63,
+	MaxWarpsPerCU:    48,
+	MaxGroupsPerCU:   8,
+
+	KernelLaunchOverheadUs:  10,
+	GroupScheduleOverheadNs: 30,
+	BarrierCycles:           45,
+
+	DriverUnrollReliability: 0.85,
+	RoughnessSigma:          0.085,
+	DriverUnrollRoughness:   0.06,
+	NoiseSigma:              0.033,
+
+	CompileBaseMs: 230,
+	CompileVarMs:  430,
+	Salt:          0x1e37c0de2070,
+}
+
+// nvidiaGTX980Desc models an Nvidia GTX980 (Maxwell GM204): 16 SMM,
+// 1.126 GHz, 224 GB/s, 96 KB shared memory per SMM (48 KB per group).
+// Its landscape is modeled slightly rougher than Kepler/Fermi, matching
+// the paper's Figure 7 where GTX980 accuracy is marginally worse.
+var nvidiaGTX980Desc = Descriptor{
+	Name:              NvidiaGTX980,
+	Vendor:            "Nvidia",
+	Kind:              GPU,
+	ComputeUnits:      16,
+	SIMDWidth:         32,
+	ClockGHz:          1.126,
+	FlopsPerLaneCycle: 2,
+
+	MemBandwidthGBs: 224,
+	MemLatencyNs:    300,
+	CacheLineBytes:  128,
+	LLCBytes:        2048 << 10,
+
+	TexCacheBytesPerCU: 24 << 10,
+	TexelsPerCUCycle:   16, // GM204 unfiltered fetch rate
+	ImageSupport:       true,
+	ImageSampleCycles:  0,
+
+	LDSBytesPerCU:    96 << 10,
+	LocalMemPerGroup: 48 << 10,
+	LDSLanesPerCU:    32,
+
+	MaxWorkGroupSize: 1024,
+	RegistersPerCU:   65536,
+	MaxRegsPerItem:   255,
+	MaxWarpsPerCU:    64,
+	MaxGroupsPerCU:   32,
+
+	KernelLaunchOverheadUs:  7,
+	GroupScheduleOverheadNs: 20,
+	BarrierCycles:           35,
+
+	DriverUnrollReliability: 0.85,
+	RoughnessSigma:          0.110,
+	DriverUnrollRoughness:   0.06,
+	NoiseSigma:              0.032,
+
+	CompileBaseMs: 190,
+	CompileVarMs:  380,
+	Salt:          0x1e37c0de0980,
+}
+
+var catalog = map[string]Descriptor{
+	IntelI7:      intelI7Desc,
+	NvidiaK40:    nvidiaK40Desc,
+	AMD7970:      amd7970Desc,
+	NvidiaC2070:  nvidiaC2070Desc,
+	NvidiaGTX980: nvidiaGTX980Desc,
+}
+
+// Names returns all catalog device names, sorted.
+func Names() []string {
+	names := make([]string, 0, len(catalog))
+	for name := range catalog {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Lookup returns the device with the given catalog name.
+func Lookup(name string) (*Device, error) {
+	desc, ok := catalog[name]
+	if !ok {
+		return nil, fmt.Errorf("devsim: unknown device %q (have %v)", name, Names())
+	}
+	return New(desc)
+}
+
+// MustLookup is Lookup but panics on error; for tests and examples.
+func MustLookup(name string) *Device {
+	d, err := Lookup(name)
+	if err != nil {
+		panic(err)
+	}
+	return d
+}
+
+// PaperDevices returns the three devices of the paper's main evaluation:
+// the Intel CPU, the Nvidia K40 and the AMD HD 7970, in that order.
+func PaperDevices() []*Device {
+	return []*Device{MustLookup(IntelI7), MustLookup(NvidiaK40), MustLookup(AMD7970)}
+}
+
+// Figure7Devices returns the three Nvidia generations compared in Fig. 7.
+func Figure7Devices() []*Device {
+	return []*Device{MustLookup(NvidiaK40), MustLookup(NvidiaGTX980), MustLookup(NvidiaC2070)}
+}

@@ -1,0 +1,46 @@
+package devsim
+
+// coalesceFactor returns the average number of memory transactions issued
+// per SIMD-batch memory instruction, normalized so that a perfectly
+// coalesced access (stride 1, aligned) costs 1.0 "transaction units".
+//
+//   - stride 0 (broadcast): all lanes hit one address - a single
+//     transaction.
+//   - stride 1: lanes cover simdWidth*4 contiguous bytes =>
+//     ceil(simdWidth*4/lineBytes) transactions, the best case and the
+//     normalization unit.
+//   - stride s > 1: lanes touch s-times more lines, saturating at one
+//     transaction per lane.
+//
+// When rowAligned is false (the benchmark's "add padding to image"
+// optimization is off and rows start misaligned), each batch touches one
+// extra line, a small constant penalty.
+func coalesceFactor(d *Descriptor, stride int, simdWidth int, rowAligned bool) float64 {
+	elemBytes := 4.0
+	line := float64(d.CacheLineBytes)
+	linesBest := float64(simdWidth) * elemBytes / line
+	if linesBest < 1 {
+		linesBest = 1
+	}
+	var lines float64
+	switch {
+	case stride <= 0:
+		lines = 1
+	case float64(stride)*elemBytes >= line:
+		// Every lane lands on a distinct line.
+		lines = float64(simdWidth)
+	default:
+		lines = float64(simdWidth) * float64(stride) * elemBytes / line
+		if lines < 1 {
+			lines = 1
+		}
+	}
+	if !rowAligned {
+		lines++
+	}
+	f := lines / linesBest
+	if f < 1.0/float64(simdWidth) {
+		f = 1.0 / float64(simdWidth)
+	}
+	return f
+}

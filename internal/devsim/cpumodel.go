@@ -1,0 +1,111 @@
+package devsim
+
+import (
+	"math"
+
+	"repro/internal/kprofile"
+)
+
+// cpuTime computes the smooth execution time in seconds of profile p on
+// CPU descriptor d under an OpenCL CPU runtime (work-group per thread,
+// implicit vectorization across work-items in the x dimension).
+//
+// Differences from the GPU model that matter to the paper's results:
+//
+//   - All logical memory spaces live in main memory, so the memory-space
+//     tuning parameters move less performance (paper §7's explanation for
+//     the CPU's higher model accuracy).
+//   - Image reads are emulated in software at ImageSampleCycles per
+//     access, which makes image-without-local configurations dramatically
+//     slower — the clustering visible in the paper's Figure 8.
+//   - Work-group barriers force the runtime to strip-mine the kernel,
+//     costing per-item loop restart work rather than a cheap hardware sync.
+//   - Many small work-groups expose per-group scheduling overhead.
+func cpuTime(d *Descriptor, p *kprofile.Profile) (float64, error) {
+	clockHz := d.ClockGHz * 1e9
+	groups := float64(p.WorkGroups())
+	items := float64(p.WorkItems())
+
+	// Thread-level parallelism: groups spread over logical cores; with
+	// hyper-threading, 8 logical cores deliver ~5.2 physical cores' worth
+	// of arithmetic throughput.
+	parallel := math.Min(groups, float64(d.ComputeUnits))
+	effCores := parallel
+	if parallel > 4 {
+		effCores = 4 + (parallel-4)*0.30
+	}
+
+	// Vectorization: the runtime packs SIMDWidth consecutive work-items
+	// in x; narrower groups still vectorize partially (masked lanes and
+	// remainder loops), so efficiency ramps smoothly with group width.
+	// Strided gathers and divergent control flow spoil it.
+	scalarEff := 1.0 / float64(d.SIMDWidth)
+	vecEff := scalarEff
+	if p.GlobalReadStride <= 1 && p.DivergentFraction < 0.05 {
+		fill := float64(p.LocalX) / float64(d.SIMDWidth)
+		if fill > 1 {
+			fill = 1
+		}
+		vecEff = scalarEff + (0.80-scalarEff)*math.Pow(fill, 0.8)
+	}
+
+	// --- Arithmetic ------------------------------------------------------------
+	loopOps := 4 * p.InnerIters // loop control is pricier without branch-free SIMT
+	ilp := 1 + 0.10*math.Log2(float64(p.UnrollFactor))
+	divPenalty := 1 + 1.5*p.DivergentFraction // branchy code defeats the vector units
+	computeOps := (p.Flops + loopOps) * divPenalty / ilp
+	computeTime := computeOps /
+		(effCores * float64(d.SIMDWidth) * vecEff * d.FlopsPerLaneCycle * clockHz)
+
+	// --- Memory ------------------------------------------------------------------
+	// Every logical space is ordinary cacheable memory. Strided access
+	// wastes line bandwidth exactly as on the GPU but the caches are
+	// large; the per-core working set decides hit rates.
+	coal := coalesceFactor(d, p.GlobalReadStride, d.SIMDWidth, p.RowAligned)
+	totalReads := p.GlobalReads + p.ImageReads + p.ConstReads + p.LocalReads
+	totalWrites := p.GlobalWrites + p.LocalWrites
+	bytes := (totalReads*coal + totalWrites) * 4
+	hit := cacheHitFraction(d.LLCBytes/int64(d.ComputeUnits), p.WorkingSetBytes, p.ImageLocality2D)
+	dramBytes := bytes * (1 - hit)
+	dramTime := dramBytes / (d.MemBandwidthGBs * 1e9)
+	// Cache-served accesses still cost ~2 cycles per element amortized.
+	cacheTime := bytes * hit / 4 * 2 / (effCores * float64(d.SIMDWidth) * vecEff * clockHz)
+
+	// --- Local-memory emulation ---------------------------------------------------
+	// On the CPU, "local" memory is ordinary memory behind extra copies
+	// and strip-mined barriers: staging through it never wins (Intel's
+	// optimization guides say as much), it only costs. The surcharge is
+	// the scalar-issue overhead of the staging loops and fences.
+	localTime := 0.0
+	if p.LocalReads+p.LocalWrites > 0 {
+		localTime = (p.LocalReads + p.LocalWrites) * 5 /
+			(effCores * float64(d.SIMDWidth) * vecEff * clockHz)
+	}
+
+	// --- Emulated image sampling -----------------------------------------------
+	// Each image read runs a software sampler (clamping, layout
+	// arithmetic, gather): scalar work that cannot be vectorized well.
+	samplerTime := 0.0
+	if p.ImageReads > 0 {
+		samplerTime = p.ImageReads * d.ImageSampleCycles / (effCores * 2 * clockHz)
+	}
+
+	// CPUs overlap compute and memory via out-of-order execution but far
+	// less perfectly than a GPU hides latency; combine with a soft max.
+	busy := softmaxP(2, computeTime, dramTime+cacheTime+localTime, samplerTime)
+
+	// --- Barriers ------------------------------------------------------------------
+	// Each barrier forces the runtime to suspend/resume every work-item
+	// in the group (loop fission): ~6 cycles per item per barrier.
+	barrierTime := float64(p.BarriersPerItem) * items * 6 / (effCores * clockHz)
+
+	// --- Scheduling ------------------------------------------------------------------
+	schedTime := groups * d.GroupScheduleOverheadNs * 1e-9 / effCores
+	launchTime := d.KernelLaunchOverheadUs * 1e-6
+
+	// Tail effect: fewer groups than cores leaves cores idle; the smooth
+	// p-norm avoids wave-quantization sawtooth (absorbed by roughness).
+	busy *= softmaxP(4, 1, float64(d.ComputeUnits)/groups)
+
+	return busy + barrierTime + schedTime + launchTime, nil
+}

@@ -1,0 +1,168 @@
+// Package devsim provides analytic performance models of the five devices
+// used in the paper: an Intel i7 3770 CPU, Nvidia K40, C2070 and GTX980
+// GPUs, and an AMD Radeon HD 7970 GPU.
+//
+// A Device turns a kernel operation profile (package kprofile) into a
+// simulated execution time. The models are first-order architectural
+// models in the spirit of Hong & Kim [13]: a roofline over compute,
+// DRAM bandwidth, texture and local-memory throughput and memory latency,
+// modulated by occupancy, coalescing, caching, SIMD lane efficiency and
+// divergence, plus launch/barrier overheads. On top of the smooth model
+// sit two stochastic layers:
+//
+//   - roughness: a deterministic, configuration-dependent irregularity
+//     (hash of the configuration) standing in for driver and code-
+//     generation effects that real auto-tuners cannot predict from the
+//     tuning parameters (the irreducible error floor in Figs. 4-7), and
+//   - noise: per-measurement multiplicative jitter standing in for timer
+//     and system noise.
+//
+// Both layers are seeded and fully reproducible.
+package devsim
+
+import "fmt"
+
+// Kind distinguishes CPU-like from GPU-like devices.
+type Kind int
+
+const (
+	// CPU devices map work-groups to cores and rely on implicit
+	// vectorization across work-items.
+	CPU Kind = iota
+	// GPU devices map work-groups to compute units and work-items to
+	// SIMD lanes.
+	GPU
+)
+
+// String returns "CPU" or "GPU".
+func (k Kind) String() string {
+	if k == CPU {
+		return "CPU"
+	}
+	return "GPU"
+}
+
+// Descriptor holds the architectural parameters of a simulated device.
+// Values are taken from vendor documentation for the real hardware; fields
+// that real drivers do not publish (overheads, reliabilities, noise) are
+// calibrated so that the simulated landscapes reproduce the paper's
+// qualitative results.
+type Descriptor struct {
+	Name   string
+	Vendor string
+	Kind   Kind
+
+	// ComputeUnits is the number of OpenCL compute units: SMs on Nvidia,
+	// CUs on AMD, logical cores on the CPU.
+	ComputeUnits int
+	// SIMDWidth is the warp (32), wavefront (64) or vector width (8).
+	SIMDWidth int
+	// ClockGHz is the core clock in GHz.
+	ClockGHz float64
+	// FlopsPerLaneCycle is sustained arithmetic ops per lane per cycle.
+	FlopsPerLaneCycle float64
+
+	// MemBandwidthGBs is peak off-chip bandwidth in GB/s.
+	MemBandwidthGBs float64
+	// MemLatencyNs is uncontended DRAM access latency in nanoseconds.
+	MemLatencyNs float64
+	// CacheLineBytes is the memory transaction granularity.
+	CacheLineBytes int
+	// LLCBytes is the last-level cache capacity (L2 on GPUs).
+	LLCBytes int64
+	// TexCacheBytesPerCU is the per-compute-unit texture cache capacity;
+	// zero means no dedicated texture path.
+	TexCacheBytesPerCU int64
+	// TexelsPerCUCycle is the texture-unit sampling throughput.
+	TexelsPerCUCycle float64
+	// LDSBytesPerCU is on-chip scratchpad per compute unit; also the
+	// per-work-group local memory limit unless LocalMemPerGroup is set.
+	LDSBytesPerCU int
+	// LocalMemPerGroup is the per-work-group local memory limit.
+	LocalMemPerGroup int
+	// LDSLanesPerCU is local-memory access throughput (words per cycle).
+	LDSLanesPerCU float64
+
+	// MaxWorkGroupSize is the largest allowed work-group.
+	MaxWorkGroupSize int
+	// RegistersPerCU is the register-file size in 32-bit registers.
+	RegistersPerCU int
+	// MaxRegsPerItem is the per-work-item register limit; exceeding it
+	// spills to scratch memory.
+	MaxRegsPerItem int
+	// MaxWarpsPerCU limits resident warps/wavefronts (GPU occupancy).
+	MaxWarpsPerCU int
+	// MaxGroupsPerCU limits resident work-groups per compute unit.
+	MaxGroupsPerCU int
+
+	// ImageSupport reports whether image memory is available at all.
+	ImageSupport bool
+	// ImageSampleCycles is the per-access cost of an image read on
+	// devices that emulate sampling in software (the CPU); zero for
+	// hardware texture units.
+	ImageSampleCycles float64
+
+	// KernelLaunchOverheadUs is fixed per-launch host overhead.
+	KernelLaunchOverheadUs float64
+	// GroupScheduleOverheadNs is per-work-group scheduling cost.
+	GroupScheduleOverheadNs float64
+	// BarrierCycles is the per-barrier cost per work-group.
+	BarrierCycles float64
+
+	// DriverUnrollReliability is the probability (over configurations)
+	// that a #pragma unroll request is honoured profitably by the
+	// driver's compiler; manual macro unrolling is always honoured.
+	DriverUnrollReliability float64
+	// RoughnessSigma is the lognormal sigma of the deterministic
+	// per-configuration irregularity layer.
+	RoughnessSigma float64
+	// DriverUnrollRoughness is extra irregularity applied to
+	// configurations that request driver-pragma unrolling.
+	DriverUnrollRoughness float64
+	// NoiseSigma is the lognormal sigma of per-measurement jitter.
+	NoiseSigma float64
+
+	// CompileBaseMs and CompileVarMs model the kernel build time:
+	// base plus a configuration-dependent term (heavier unrolling and
+	// larger per-thread tiles take longer to compile).
+	CompileBaseMs float64
+	CompileVarMs  float64
+
+	// Salt differentiates the stochastic layers between devices so that
+	// two GPUs with identical specs still disagree on exact timings.
+	Salt uint64
+}
+
+// Validate performs a basic sanity check of the descriptor. Device
+// construction calls it so that catalog typos fail fast.
+func (d *Descriptor) Validate() error {
+	switch {
+	case d.Name == "":
+		return fmt.Errorf("devsim: descriptor missing name")
+	case d.ComputeUnits <= 0:
+		return fmt.Errorf("devsim: %s: non-positive compute units", d.Name)
+	case d.SIMDWidth <= 0:
+		return fmt.Errorf("devsim: %s: non-positive SIMD width", d.Name)
+	case d.ClockGHz <= 0:
+		return fmt.Errorf("devsim: %s: non-positive clock", d.Name)
+	case d.MemBandwidthGBs <= 0:
+		return fmt.Errorf("devsim: %s: non-positive bandwidth", d.Name)
+	case d.MaxWorkGroupSize <= 0:
+		return fmt.Errorf("devsim: %s: non-positive max work-group size", d.Name)
+	case d.CacheLineBytes <= 0:
+		return fmt.Errorf("devsim: %s: non-positive cache line", d.Name)
+	case d.DriverUnrollReliability < 0 || d.DriverUnrollReliability > 1:
+		return fmt.Errorf("devsim: %s: unroll reliability outside [0,1]", d.Name)
+	case d.RoughnessSigma < 0 || d.NoiseSigma < 0:
+		return fmt.Errorf("devsim: %s: negative sigma", d.Name)
+	}
+	return nil
+}
+
+// LocalMemLimit returns the per-work-group local memory limit in bytes.
+func (d *Descriptor) LocalMemLimit() int {
+	if d.LocalMemPerGroup > 0 {
+		return d.LocalMemPerGroup
+	}
+	return d.LDSBytesPerCU
+}

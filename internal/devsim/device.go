@@ -1,0 +1,133 @@
+package devsim
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/kprofile"
+)
+
+// Device is a simulated OpenCL device: a descriptor plus the timing model
+// matching its kind. Devices are immutable and safe for concurrent use.
+type Device struct {
+	desc Descriptor
+}
+
+// New validates desc and returns a Device for it.
+func New(desc Descriptor) (*Device, error) {
+	if err := desc.Validate(); err != nil {
+		return nil, err
+	}
+	return &Device{desc: desc}, nil
+}
+
+// Descriptor returns a copy of the device's architectural parameters.
+func (d *Device) Descriptor() Descriptor { return d.desc }
+
+// Name returns the device's catalog name.
+func (d *Device) Name() string { return d.desc.Name }
+
+// Kind returns CPU or GPU.
+func (d *Device) Kind() Kind { return d.desc.Kind }
+
+// String implements fmt.Stringer.
+func (d *Device) String() string {
+	return fmt.Sprintf("%s (%s, %d CUs, %.0f GB/s)",
+		d.desc.Name, d.desc.Kind, d.desc.ComputeUnits, d.desc.MemBandwidthGBs)
+}
+
+// CheckStatic performs the device-dependent validity checks that are
+// possible without compiling the kernel. It returns a *StaticError for
+// invalid configurations and nil otherwise.
+func (d *Device) CheckStatic(p *kprofile.Profile) error {
+	if err := p.Validate(); err != nil {
+		return &StaticError{Device: d.desc.Name, Reason: err.Error()}
+	}
+	if gs := p.GroupSize(); gs > d.desc.MaxWorkGroupSize {
+		return &StaticError{
+			Device: d.desc.Name,
+			Reason: fmt.Sprintf("work-group size %d exceeds device maximum %d", gs, d.desc.MaxWorkGroupSize),
+		}
+	}
+	if p.LocalMemBytes > d.desc.LocalMemLimit() {
+		return &StaticError{
+			Device: d.desc.Name,
+			Reason: fmt.Sprintf("local memory %d B exceeds device limit %d B", p.LocalMemBytes, d.desc.LocalMemLimit()),
+		}
+	}
+	if p.UsesImage && !d.desc.ImageSupport {
+		return &StaticError{Device: d.desc.Name, Reason: "device has no image support"}
+	}
+	return nil
+}
+
+// TrueTime returns the deterministic execution time of p: the smooth
+// architectural model multiplied by the per-configuration roughness layer,
+// without measurement noise. This is what repeated measurements converge
+// to, and what experiments use as ground truth.
+//
+// TrueTime performs the full validity pipeline: static checks, then the
+// dynamic ("compile and run to find out") checks inside the timing model.
+func (d *Device) TrueTime(p *kprofile.Profile) (float64, error) {
+	if err := d.CheckStatic(p); err != nil {
+		return 0, err
+	}
+	var t float64
+	var err error
+	switch d.desc.Kind {
+	case CPU:
+		t, err = cpuTime(&d.desc, p)
+	default:
+		t, err = gpuTime(&d.desc, p)
+	}
+	if err != nil {
+		return 0, err
+	}
+	if math.IsNaN(t) || math.IsInf(t, 0) || t <= 0 {
+		return 0, fmt.Errorf("devsim: %s: model produced non-finite time %v for %s", d.desc.Name, t, p.Kernel)
+	}
+	return t * roughness(&d.desc, p), nil
+}
+
+// Measure simulates one timed kernel run: TrueTime with measurement noise
+// applied. rep distinguishes repeated measurements of the same
+// configuration; the result is deterministic in (device, profile, rep).
+func (d *Device) Measure(p *kprofile.Profile, rep uint64) (float64, error) {
+	t, err := d.TrueTime(p)
+	if err != nil {
+		return 0, err
+	}
+	return t * noiseFactor(&d.desc, p.ConfigKey, rep), nil
+}
+
+// MeasureBest simulates the usual benchmarking protocol: run the kernel
+// reps times and keep the fastest run. seed lets callers decorrelate
+// repeated protocol invocations.
+func (d *Device) MeasureBest(p *kprofile.Profile, reps int, seed uint64) (float64, error) {
+	if reps < 1 {
+		reps = 1
+	}
+	best := math.Inf(1)
+	for r := 0; r < reps; r++ {
+		t, err := d.Measure(p, seed+uint64(r))
+		if err != nil {
+			return 0, err
+		}
+		if t < best {
+			best = t
+		}
+	}
+	return best, nil
+}
+
+// CompileMs returns the simulated kernel build time in milliseconds for
+// profile p: a device-dependent base plus configuration-dependent work
+// (unrolled loop bodies and large per-item tiles inflate the generated
+// code). Invalid configurations still pay this cost before failing, which
+// is why the paper's data gathering is so much slower than model training.
+func (d *Device) CompileMs(p *kprofile.Profile) float64 {
+	key := combine(p.ConfigKey, combine(d.desc.Salt, 0xc0))
+	size := 1 + 0.18*math.Log2(float64(p.UnrollFactor)) +
+		0.10*math.Log2(float64(p.OutputsPerItemX*p.OutputsPerItemY))
+	return d.desc.CompileBaseMs + d.desc.CompileVarMs*size*hash01(key)
+}

@@ -1,0 +1,445 @@
+package devsim
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/kprofile"
+)
+
+func gpuProfile() *kprofile.Profile {
+	return &kprofile.Profile{
+		Kernel:  "t",
+		GlobalX: 2048, GlobalY: 2048,
+		LocalX: 16, LocalY: 16,
+		OutputsPerItemX: 1, OutputsPerItemY: 1,
+		Flops:            2048 * 2048 * 56,
+		GlobalReads:      2048 * 2048 * 25,
+		GlobalWrites:     2048 * 2048,
+		GlobalReadStride: 1,
+		RowAligned:       true,
+		InnerIters:       2048 * 2048 * 25,
+		UnrollFactor:     1,
+		RegistersPerItem: 20,
+		WorkingSetBytes:  4 * 20 * 20,
+		ConfigKey:        12345,
+	}
+}
+
+func TestCatalogComplete(t *testing.T) {
+	names := Names()
+	if len(names) != 5 {
+		t.Fatalf("catalog has %d devices, want 5: %v", len(names), names)
+	}
+	for _, n := range []string{IntelI7, NvidiaK40, AMD7970, NvidiaC2070, NvidiaGTX980} {
+		d, err := Lookup(n)
+		if err != nil {
+			t.Fatalf("Lookup(%q): %v", n, err)
+		}
+		if d.Name() != n {
+			t.Errorf("Lookup(%q).Name() = %q", n, d.Name())
+		}
+	}
+	if _, err := Lookup("HAL 9000"); err == nil {
+		t.Error("Lookup of unknown device did not fail")
+	}
+}
+
+func TestPaperDevices(t *testing.T) {
+	devs := PaperDevices()
+	if len(devs) != 3 {
+		t.Fatalf("PaperDevices returned %d", len(devs))
+	}
+	if devs[0].Kind() != CPU || devs[1].Kind() != GPU || devs[2].Kind() != GPU {
+		t.Errorf("unexpected device kinds: %v %v %v", devs[0].Kind(), devs[1].Kind(), devs[2].Kind())
+	}
+}
+
+func TestDescriptorValidate(t *testing.T) {
+	desc := intelI7Desc
+	if err := desc.Validate(); err != nil {
+		t.Fatalf("catalog descriptor invalid: %v", err)
+	}
+	bad := desc
+	bad.ComputeUnits = 0
+	if err := bad.Validate(); err == nil {
+		t.Error("zero compute units accepted")
+	}
+	bad = desc
+	bad.RoughnessSigma = -1
+	if err := bad.Validate(); err == nil {
+		t.Error("negative sigma accepted")
+	}
+	bad = desc
+	bad.Name = ""
+	if _, err := New(bad); err == nil {
+		t.Error("New accepted invalid descriptor")
+	}
+}
+
+func TestTrueTimePositiveFiniteDeterministic(t *testing.T) {
+	p := gpuProfile()
+	for _, name := range Names() {
+		d := MustLookup(name)
+		t1, err := d.TrueTime(p)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if t1 <= 0 || math.IsInf(t1, 0) || math.IsNaN(t1) {
+			t.Fatalf("%s: bad time %v", name, t1)
+		}
+		t2, _ := d.TrueTime(p)
+		if t1 != t2 {
+			t.Fatalf("%s: TrueTime not deterministic: %v vs %v", name, t1, t2)
+		}
+	}
+}
+
+func TestMeasureNoisyButDeterministic(t *testing.T) {
+	d := MustLookup(NvidiaK40)
+	p := gpuProfile()
+	a, err := d.Measure(p, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := d.Measure(p, 2)
+	if a == b {
+		t.Error("different reps produced identical measurements")
+	}
+	a2, _ := d.Measure(p, 1)
+	if a != a2 {
+		t.Error("same rep produced different measurements")
+	}
+	base, _ := d.TrueTime(p)
+	if math.Abs(a-base)/base > 0.5 {
+		t.Errorf("noise too large: true=%v measured=%v", base, a)
+	}
+}
+
+func TestMeasureBestIsMin(t *testing.T) {
+	d := MustLookup(AMD7970)
+	p := gpuProfile()
+	best, err := d.MeasureBest(p, 5, 100)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for r := 0; r < 5; r++ {
+		single, _ := d.Measure(p, 100+uint64(r))
+		if single < best {
+			t.Fatalf("MeasureBest %v above individual rep %v", best, single)
+		}
+	}
+}
+
+func TestCheckStaticWorkGroupTooLarge(t *testing.T) {
+	d := MustLookup(AMD7970) // max work-group 256
+	p := gpuProfile()
+	p.LocalX, p.LocalY = 32, 16 // 512
+	err := d.CheckStatic(p)
+	if err == nil || !IsInvalid(err) {
+		t.Fatalf("oversized work-group not rejected: %v", err)
+	}
+	if _, ok := err.(*StaticError); !ok {
+		t.Errorf("want *StaticError, got %T", err)
+	}
+	// The same group is fine on the K40.
+	if err := MustLookup(NvidiaK40).CheckStatic(p); err != nil {
+		t.Errorf("512 work-items rejected on K40: %v", err)
+	}
+}
+
+func TestCheckStaticLocalMem(t *testing.T) {
+	d := MustLookup(NvidiaK40)
+	p := gpuProfile()
+	p.LocalMemBytes = 49 << 10 // over the 48 KB limit
+	p.UsesLocal = true
+	if err := d.CheckStatic(p); err == nil || !IsInvalid(err) {
+		t.Fatalf("local memory overflow not rejected: %v", err)
+	}
+}
+
+func TestLaunchFailureRegisterFile(t *testing.T) {
+	// One work-group demanding more registers than the whole register
+	// file must fail at launch (dynamic invalidity).
+	d := MustLookup(NvidiaC2070) // 32K registers per SM, 63 regs/item max
+	p := gpuProfile()
+	p.LocalX, p.LocalY = 32, 32 // 1024 items
+	p.RegistersPerItem = 60     // 60*1024 > 32768
+	_, err := d.TrueTime(p)
+	if err == nil || !IsInvalid(err) {
+		t.Fatalf("register-file overflow not rejected: %v", err)
+	}
+	if _, ok := err.(*LaunchError); !ok {
+		t.Errorf("want *LaunchError, got %T", err)
+	}
+}
+
+func TestIsInvalid(t *testing.T) {
+	cases := []struct {
+		err  error
+		want bool
+	}{
+		{&StaticError{Device: "d", Reason: "r"}, true},
+		{&BuildError{Device: "d", Reason: "r"}, true},
+		{&LaunchError{Device: "d", Reason: "r"}, true},
+		{errFake{}, false},
+		{nil, false},
+	}
+	for _, c := range cases {
+		if got := IsInvalid(c.err); got != c.want {
+			t.Errorf("IsInvalid(%v) = %v, want %v", c.err, got, c.want)
+		}
+	}
+}
+
+type errFake struct{}
+
+func (errFake) Error() string { return "fake" }
+
+func TestErrorStrings(t *testing.T) {
+	for _, e := range []error{
+		&StaticError{Device: "dev", Reason: "why"},
+		&BuildError{Device: "dev", Reason: "why"},
+		&LaunchError{Device: "dev", Reason: "why"},
+	} {
+		s := e.Error()
+		if !strings.Contains(s, "dev") || !strings.Contains(s, "why") {
+			t.Errorf("error string %q lacks device or reason", s)
+		}
+	}
+}
+
+func TestOccupancyBounds(t *testing.T) {
+	d := nvidiaK40Desc
+	p := gpuProfile()
+	occ, ok := occupancy(&d, p)
+	if !ok {
+		t.Fatal("occupancy failed for modest kernel")
+	}
+	if occ.Fraction <= 0 || occ.Fraction > 1 {
+		t.Errorf("occupancy fraction %v outside (0,1]", occ.Fraction)
+	}
+	if occ.ResidentGroups < 1 {
+		t.Errorf("resident groups %v < 1", occ.ResidentGroups)
+	}
+	if occ.WarpsPerGroup != 8 {
+		t.Errorf("warps per group = %d, want 8 (256/32)", occ.WarpsPerGroup)
+	}
+}
+
+func TestOccupancyLocalMemLimiter(t *testing.T) {
+	d := nvidiaK40Desc
+	p := gpuProfile()
+	p.LocalMemBytes = 24 << 10 // two groups' worth of 48 KB
+	occ, ok := occupancy(&d, p)
+	if !ok {
+		t.Fatal("occupancy failed")
+	}
+	if occ.Limiter != "localmem" {
+		t.Errorf("limiter = %q, want localmem", occ.Limiter)
+	}
+	if occ.ResidentGroups != 2 {
+		t.Errorf("resident groups = %v, want 2", occ.ResidentGroups)
+	}
+}
+
+func TestOccupancySpill(t *testing.T) {
+	d := nvidiaK40Desc
+	p := gpuProfile()
+	p.RegistersPerItem = 300 // above the 255 cap
+	occ, ok := occupancy(&d, p)
+	if !ok {
+		t.Fatal("occupancy failed")
+	}
+	if occ.SpilledRegisters != 45 || occ.RegistersPerItem != 255 {
+		t.Errorf("spill accounting: spilled=%d capped=%d", occ.SpilledRegisters, occ.RegistersPerItem)
+	}
+}
+
+func TestLatencyHidingMonotone(t *testing.T) {
+	prev := -1.0
+	for f := 0.01; f <= 1.0; f += 0.01 {
+		v := latencyHiding(f)
+		if v < prev {
+			t.Fatalf("latencyHiding not monotone at %v", f)
+		}
+		if v <= 0 || v > 1 {
+			t.Fatalf("latencyHiding(%v) = %v outside (0,1]", f, v)
+		}
+		prev = v
+	}
+	if latencyHiding(1.0) != 1 {
+		t.Error("full occupancy must reach peak bandwidth")
+	}
+}
+
+func TestCoalesceFactorProperties(t *testing.T) {
+	d := &nvidiaK40Desc
+	base := coalesceFactor(d, 1, 32, true)
+	if base != 1 {
+		t.Errorf("unit stride aligned = %v, want 1", base)
+	}
+	// Monotone in stride.
+	prev := 0.0
+	for stride := 1; stride <= 64; stride *= 2 {
+		f := coalesceFactor(d, stride, 32, true)
+		if f < prev {
+			t.Fatalf("coalesce factor not monotone at stride %d", stride)
+		}
+		prev = f
+	}
+	// Saturates at one transaction per lane.
+	if f := coalesceFactor(d, 1024, 32, true); f != 32 {
+		t.Errorf("huge stride factor = %v, want 32", f)
+	}
+	// Broadcast cheaper than or equal to coalesced.
+	if f := coalesceFactor(d, 0, 32, true); f > 1 {
+		t.Errorf("broadcast factor = %v > 1", f)
+	}
+	// Misalignment costs extra.
+	if coalesceFactor(d, 1, 32, false) <= coalesceFactor(d, 1, 32, true) {
+		t.Error("misaligned access not penalized")
+	}
+}
+
+func TestCacheHitFraction(t *testing.T) {
+	if h := cacheHitFraction(1<<20, 1<<19, false); h != 0.95 {
+		t.Errorf("fitting working set hit = %v, want 0.95", h)
+	}
+	// Monotone decreasing in working set.
+	prev := 1.0
+	for ws := int64(1 << 20); ws <= 1<<30; ws *= 4 {
+		h := cacheHitFraction(1<<20, ws, false)
+		if h > prev {
+			t.Fatalf("hit fraction increased at ws=%d", ws)
+		}
+		prev = h
+	}
+	// 2D locality degrades more slowly.
+	if cacheHitFraction(1<<20, 1<<24, true) <= cacheHitFraction(1<<20, 1<<24, false) {
+		t.Error("2D locality not rewarded")
+	}
+	if h := cacheHitFraction(0, 100, false); h != 0 {
+		t.Errorf("zero-capacity cache hit = %v", h)
+	}
+}
+
+func TestRoughnessDeterministicAndCentered(t *testing.T) {
+	d := &amd7970Desc
+	p := gpuProfile()
+	p.DriverUnroll = false
+	a := roughness(d, p)
+	if a != roughness(d, p) {
+		t.Error("roughness not deterministic")
+	}
+	// Over many configs the mean factor should be near 1.
+	sum := 0.0
+	n := 2000
+	for i := 0; i < n; i++ {
+		q := *p
+		q.ConfigKey = uint64(i) * 7919
+		sum += roughness(d, &q)
+	}
+	mean := sum / float64(n)
+	if mean < 0.97 || mean > 1.05 {
+		t.Errorf("roughness mean = %v, want near 1", mean)
+	}
+}
+
+func TestDriverUnrollRoughnessPenalty(t *testing.T) {
+	d := &amd7970Desc
+	// Unrolled driver-pragma configs on AMD must be rougher on average
+	// than non-unrolled ones, and the misfire must never speed things up.
+	n := 3000
+	var sumPlain, sumUnrolled float64
+	for i := 0; i < n; i++ {
+		p := gpuProfile()
+		p.ConfigKey = uint64(i) * 2654435761
+		base := roughness(d, p)
+		sumPlain += base
+		p.DriverUnroll = true
+		p.UnrollFactor = 4
+		ru := roughness(d, p)
+		sumUnrolled += ru
+		if ru < base*0.999 {
+			t.Fatalf("config %d: unroll misfire produced a speedup (%v < %v)", i, ru, base)
+		}
+	}
+	if sumUnrolled <= sumPlain {
+		t.Error("driver unrolling on AMD not penalized on average")
+	}
+}
+
+func TestCompileMsPositiveAndConfigDependent(t *testing.T) {
+	d := MustLookup(NvidiaK40)
+	p := gpuProfile()
+	c1 := d.CompileMs(p)
+	if c1 <= 0 {
+		t.Fatalf("compile time %v", c1)
+	}
+	p2 := gpuProfile()
+	p2.ConfigKey = 999
+	if d.CompileMs(p2) == c1 {
+		t.Error("compile time identical across configs")
+	}
+}
+
+func TestCPUFasterWithMoreGroups(t *testing.T) {
+	// One work-group cannot use 8 cores; many groups can.
+	d := MustLookup(IntelI7)
+	single := gpuProfile()
+	single.GlobalX, single.GlobalY = 64, 64
+	single.LocalX, single.LocalY = 64, 64
+	many := gpuProfile()
+	many.GlobalX, many.GlobalY = 64, 64
+	many.LocalX, many.LocalY = 8, 8
+	ts, err := d.TrueTime(single)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tm, err := d.TrueTime(many)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tm >= ts {
+		t.Errorf("64 groups (%v) not faster than 1 group (%v) on 8-core CPU", tm, ts)
+	}
+}
+
+func TestGPUCoalescingMatters(t *testing.T) {
+	// A strided kernel must be slower than a unit-stride one on a
+	// bandwidth-bound profile.
+	d := MustLookup(NvidiaK40)
+	unit := gpuProfile()
+	strided := gpuProfile()
+	strided.GlobalReadStride = 32
+	tu, _ := d.TrueTime(unit)
+	ts, _ := d.TrueTime(strided)
+	if ts <= tu {
+		t.Errorf("strided (%v) not slower than coalesced (%v)", ts, tu)
+	}
+}
+
+func TestCPUImageSamplerPenalty(t *testing.T) {
+	// Image reads on the CPU are emulated and must cost clearly more
+	// than the same reads from a buffer (the paper's Figure 8 cluster).
+	d := MustLookup(IntelI7)
+	buf := gpuProfile()
+	img := gpuProfile()
+	img.ImageReads = img.GlobalReads
+	img.GlobalReads = 0
+	img.UsesImage = true
+	tb, _ := d.TrueTime(buf)
+	ti, _ := d.TrueTime(img)
+	if ti < tb*2 {
+		t.Errorf("CPU image sampling (%v) not clearly slower than buffers (%v)", ti, tb)
+	}
+	// On the K40 the texture path must not carry the CPU's penalty.
+	k := MustLookup(NvidiaK40)
+	tbk, _ := k.TrueTime(buf)
+	tik, _ := k.TrueTime(img)
+	if tik > tbk*2 {
+		t.Errorf("K40 image path (%v) unexpectedly catastrophic vs buffers (%v)", tik, tbk)
+	}
+}

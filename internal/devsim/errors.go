@@ -1,0 +1,64 @@
+package devsim
+
+import (
+	"errors"
+	"fmt"
+)
+
+// invalidConfig is implemented by all errors that mean "this tuning
+// configuration cannot run on this device" — as opposed to programming
+// errors, which the auto-tuner must not swallow.
+type invalidConfig interface {
+	error
+	InvalidConfig()
+}
+
+// StaticError reports a configuration rejected by static checks, before
+// any compilation is attempted (paper §5.2: "if the specific device is
+// known, most of the invalid configurations can be determined statically").
+type StaticError struct {
+	Device string
+	Reason string
+}
+
+func (e *StaticError) Error() string {
+	return fmt.Sprintf("devsim: %s: invalid configuration (static): %s", e.Device, e.Reason)
+}
+
+// InvalidConfig marks StaticError as a configuration-validity error.
+func (e *StaticError) InvalidConfig() {}
+
+// BuildError reports a configuration whose kernel fails to compile
+// (discovered only by attempting the build).
+type BuildError struct {
+	Device string
+	Reason string
+}
+
+func (e *BuildError) Error() string {
+	return fmt.Sprintf("devsim: %s: kernel build failed: %s", e.Device, e.Reason)
+}
+
+// InvalidConfig marks BuildError as a configuration-validity error.
+func (e *BuildError) InvalidConfig() {}
+
+// LaunchError reports a configuration that compiles but cannot launch
+// (e.g. a single work-group exceeds on-chip resources).
+type LaunchError struct {
+	Device string
+	Reason string
+}
+
+func (e *LaunchError) Error() string {
+	return fmt.Sprintf("devsim: %s: kernel launch failed: %s", e.Device, e.Reason)
+}
+
+// InvalidConfig marks LaunchError as a configuration-validity error.
+func (e *LaunchError) InvalidConfig() {}
+
+// IsInvalid reports whether err (anywhere in its chain) marks an invalid
+// tuning configuration rather than an internal failure.
+func IsInvalid(err error) bool {
+	var ic invalidConfig
+	return errors.As(err, &ic)
+}

@@ -1,0 +1,115 @@
+package devsim
+
+import (
+	"math"
+
+	"repro/internal/kprofile"
+)
+
+// gpuTime computes the smooth (roughness- and noise-free) execution time in
+// seconds of profile p on GPU descriptor d. It returns a *LaunchError when
+// the kernel cannot run at all (dynamic invalidity).
+//
+// Structure: a smoothed roofline over five potential bottlenecks —
+// arithmetic, DRAM bandwidth, memory latency, texture sampling and local
+// memory — plus serial overheads (launch, group scheduling, barriers) and
+// a tail-effect correction when the grid does not fill whole waves.
+func gpuTime(d *Descriptor, p *kprofile.Profile) (float64, error) {
+	occ, ok := occupancy(d, p)
+	if !ok {
+		return 0, &LaunchError{Device: d.Name, Reason: "work-group exceeds on-chip resources"}
+	}
+
+	clockHz := d.ClockGHz * 1e9
+	cu := float64(d.ComputeUnits)
+	groups := float64(p.WorkGroups())
+	groupSize := p.GroupSize()
+
+	// SIMD lane efficiency: partial warps waste lanes; divergence idles
+	// lanes on top of that.
+	laneEff := float64(groupSize) / float64(occ.WarpsPerGroup*d.SIMDWidth)
+	effLanes := float64(d.SIMDWidth) * laneEff * (1 - p.DivergentFraction)
+	if effLanes < 1 {
+		effLanes = 1
+	}
+
+	// --- Arithmetic bottleneck --------------------------------------------
+	// Loop-control instructions cost ~3 ops per iteration; unrolling
+	// already reduced InnerIters in the profile. Mild ILP benefit from
+	// unrolling (more independent instructions in flight).
+	loopOps := 3 * p.InnerIters
+	ilp := 1 + 0.06*math.Log2(float64(p.UnrollFactor))
+	computeOps := (p.Flops + loopOps) / ilp
+	computeTime := computeOps / (cu * effLanes * d.FlopsPerLaneCycle * clockHz)
+
+	// --- DRAM bandwidth bottleneck ----------------------------------------
+	coal := coalesceFactor(d, p.GlobalReadStride, d.SIMDWidth, p.RowAligned)
+	globalBytes := (p.GlobalReads*coal + p.GlobalWrites) * 4
+	// Register spills become scratch traffic: one round trip per spilled
+	// register per inner iteration is pessimistic; use outputs as scale.
+	if occ.SpilledRegisters > 0 {
+		globalBytes += float64(occ.SpilledRegisters) * float64(p.WorkItems()) * 8
+	}
+	llcHit := cacheHitFraction(d.LLCBytes, int64(groups/cu)*p.WorkingSetBytes, p.ImageLocality2D)
+	// The LLC mostly helps re-referenced lines, which track the stride
+	// inefficiency portion (uncoalesced lanes re-touch neighbour lines).
+	// Texture-cache misses flow through the same LLC before DRAM.
+	texMissBytes := 0.0
+	if p.ImageReads > 0 {
+		texHit := cacheHitFraction(d.TexCacheBytesPerCU, p.WorkingSetBytes, p.ImageLocality2D)
+		texMissBytes = p.ImageReads * 4 * (1 - texHit)
+	}
+	dramBytes := (globalBytes + texMissBytes) * (1 - 0.6*llcHit)
+	// Constant memory is broadcast-cached: negligible DRAM traffic.
+	bwEff := latencyHiding(occ.Fraction)
+	dramTime := dramBytes / (d.MemBandwidthGBs * 1e9 * bwEff)
+
+	// --- Memory latency bottleneck ----------------------------------------
+	// With few resident warps, dependent loads expose raw latency.
+	transactions := (p.GlobalReads*coal + p.GlobalWrites + texMissBytes/4) / float64(d.SIMDWidth)
+	const memParallelism = 6 // outstanding requests per warp
+	latTime := transactions * d.MemLatencyNs * 1e-9 /
+		(cu * occ.ResidentWarps * memParallelism)
+
+	// --- Texture sampling throughput ---------------------------------------
+	texTime := 0.0
+	if p.ImageReads > 0 && d.TexelsPerCUCycle > 0 {
+		texTime = p.ImageReads / (cu * d.TexelsPerCUCycle * clockHz)
+	}
+
+	// --- Local memory throughput --------------------------------------------
+	ldsTime := 0.0
+	if p.LocalReads+p.LocalWrites > 0 {
+		ldsOps := p.LocalReads + p.LocalWrites
+		ldsTime = ldsOps / (cu * d.LDSLanesPerCU * clockHz)
+	}
+
+	// Roofline with soft transitions between bottlenecks.
+	busy := softmaxP(4, computeTime, dramTime, latTime, texTime, ldsTime)
+
+	// --- Serial overheads -----------------------------------------------------
+	barrierTime := float64(p.BarriersPerItem) * groups * d.BarrierCycles /
+		(cu * occ.ResidentGroups * clockHz)
+	schedTime := groups * d.GroupScheduleOverheadNs * 1e-9 / cu
+	launchTime := d.KernelLaunchOverheadUs * 1e-6
+
+	// --- Tail (grid too small to fill the device) --------------------------------
+	// With fewer groups than one wave (cu*ResidentGroups), part of the
+	// device idles and time stretches by wave/groups. The smooth p-norm
+	// keeps the learnable landscape free of wave-quantization sawtooth,
+	// which the roughness layer represents instead.
+	wave := cu * occ.ResidentGroups
+	busy *= softmaxP(4, 1, wave/groups)
+
+	// --- Very large work-groups ---------------------------------------------------
+	// Beyond ~8 warps per group the scheduler loses flexibility: fewer
+	// independent groups per compute unit, coarser load balancing and
+	// longer barrier shadows. The penalty grows smoothly with group size
+	// so that work-group-size optima sit in the interior of the valid
+	// range, as on real hardware.
+	if groupSize > 128 {
+		busy *= 1 + 0.15*math.Log2(float64(groupSize)/128)
+	}
+
+	return busy + barrierTime + schedTime + launchTime, nil
+}

@@ -1,0 +1,10 @@
+package devsim
+
+import "repro/internal/hashx"
+
+// Thin aliases over the shared deterministic mixing primitives; see
+// package hashx for the definitions.
+
+func hash01(key uint64) float64     { return hashx.Uniform01(key) }
+func hashNormal(key uint64) float64 { return hashx.Normal(key) }
+func combine(a, b uint64) uint64    { return hashx.Combine(a, b) }

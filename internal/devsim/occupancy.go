@@ -1,0 +1,103 @@
+package devsim
+
+import (
+	"repro/internal/kprofile"
+)
+
+// Occupancy describes how many work-groups and warps a compute unit keeps
+// resident for a given kernel, and which resource limits it.
+//
+// Resource limits are evaluated fractionally (e.g. 2.6 groups' worth of
+// LDS) rather than floor()ed: the integer quantization present on real
+// hardware is one of the effects absorbed by the model's roughness layer,
+// keeping the learnable part of the landscape smooth while failures
+// (resident < 1) still reproduce hard launch errors.
+type Occupancy struct {
+	// WarpsPerGroup is the number of SIMD batches per work-group.
+	WarpsPerGroup int
+	// ResidentGroups is the (fractional) number of work-groups
+	// simultaneously resident on one compute unit.
+	ResidentGroups float64
+	// ResidentWarps = ResidentGroups * WarpsPerGroup, capped at the
+	// device maximum.
+	ResidentWarps float64
+	// Fraction is ResidentWarps / MaxWarpsPerCU, in (0, 1].
+	Fraction float64
+	// Limiter names the binding resource: "groups", "warps", "localmem"
+	// or "registers".
+	Limiter string
+	// RegistersPerItem is the post-cap register usage; SpilledRegisters
+	// (demand beyond MaxRegsPerItem) turn into scratch-memory traffic.
+	RegistersPerItem int
+	SpilledRegisters int
+}
+
+// occupancy computes the GPU occupancy of profile p on device d.
+// Returns ok=false when even a single work-group exceeds the compute
+// unit's registers or LDS, which surfaces to callers as a launch failure —
+// the "attempt to compile and run" dynamic invalidity of paper §5.2.
+func occupancy(d *Descriptor, p *kprofile.Profile) (Occupancy, bool) {
+	group := p.GroupSize()
+	warps := (group + d.SIMDWidth - 1) / d.SIMDWidth
+
+	regs := p.RegistersPerItem
+	spilled := 0
+	if regs > d.MaxRegsPerItem {
+		spilled = regs - d.MaxRegsPerItem
+		regs = d.MaxRegsPerItem
+	}
+
+	resident := float64(d.MaxGroupsPerCU)
+	limiter := "groups"
+	if byWarps := float64(d.MaxWarpsPerCU) / float64(warps); byWarps < resident {
+		resident, limiter = byWarps, "warps"
+	}
+	if p.LocalMemBytes > 0 {
+		if byLocal := float64(d.LDSBytesPerCU) / float64(p.LocalMemBytes); byLocal < resident {
+			resident, limiter = byLocal, "localmem"
+		}
+	}
+	if regs > 0 {
+		if byRegs := float64(d.RegistersPerCU) / float64(regs*group); byRegs < resident {
+			resident, limiter = byRegs, "registers"
+		}
+	}
+	if resident < 1 {
+		return Occupancy{}, false
+	}
+
+	occ := Occupancy{
+		WarpsPerGroup:    warps,
+		ResidentGroups:   resident,
+		ResidentWarps:    resident * float64(warps),
+		Limiter:          limiter,
+		RegistersPerItem: regs,
+		SpilledRegisters: spilled,
+	}
+	if max := float64(d.MaxWarpsPerCU); occ.ResidentWarps > max {
+		occ.ResidentWarps = max
+	}
+	occ.Fraction = occ.ResidentWarps / float64(d.MaxWarpsPerCU)
+	if occ.Fraction > 1 {
+		occ.Fraction = 1
+	}
+	return occ, true
+}
+
+// latencyHiding converts an occupancy fraction into the achievable share
+// of peak memory bandwidth: with few resident warps there are not enough
+// outstanding requests to saturate DRAM. The curve rises steeply and
+// saturates around 45% occupancy, the usual rule of thumb for
+// bandwidth-bound kernels.
+func latencyHiding(fraction float64) float64 {
+	x := fraction / 0.45
+	if x > 1 {
+		return 1
+	}
+	if x < 0.02 {
+		x = 0.02
+	}
+	// Smooth knee: x*(2-x) rises with slope 2 at the origin and reaches
+	// 1 at x=1 with zero slope.
+	return x * (2 - x)
+}

@@ -1,0 +1,213 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(&Experiment{
+		ID: "ablation",
+		Title: "Ablations of the paper's design choices: log transform (§5.2), bagging k (§5.2), " +
+			"hidden-layer size (§5.2), second stage (§5.3) and invalid-config penalty (§7 future work)",
+		Run: runAblations,
+	})
+}
+
+func runAblations(ctx *Ctx) (*Report, error) {
+	nTrain, nEval := 1000, 300
+	if ctx.Scale == Smoke {
+		nTrain, nEval = 200, 100
+	}
+	b := bench.MustLookup("convolution")
+	dev := devsim.MustLookup(devsim.NvidiaK40)
+	m, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+	if err != nil {
+		return nil, err
+	}
+
+	// Shared train/eval split for all model-side ablations.
+	train, evalSet, err := ablationSplit(m, nTrain, nEval, ctx.Seed+997)
+	if err != nil {
+		return nil, err
+	}
+
+	evalErr := func(mc core.ModelConfig) (float64, error) {
+		model, err := core.TrainModel(m.Space(), train, nil, mc)
+		if err != nil {
+			return 0, err
+		}
+		s := model.NewScratch()
+		var pred, act []float64
+		for _, smp := range evalSet {
+			pred = append(pred, model.Predict(smp.Config, s))
+			act = append(act, smp.Seconds)
+		}
+		return stats.MeanRelError(pred, act), nil
+	}
+
+	rep := &Report{}
+
+	// --- Log transform ------------------------------------------------------
+	logT := &Table{
+		Title:   "Ablation: training on log(time) vs raw seconds (convolution, K40)",
+		Columns: []string{"target", "mean relative error"},
+	}
+	for _, useLog := range []bool{true, false} {
+		mc := core.DefaultModelConfig(ctx.Seed + 1)
+		mc.LogTransform = useLog
+		e, err := evalErr(mc)
+		if err != nil {
+			return nil, err
+		}
+		name := "log(time) (paper)"
+		if !useLog {
+			name = "raw seconds"
+		}
+		logT.Add(name, pct(e))
+	}
+	rep.Tables = append(rep.Tables, logT)
+
+	// --- Bagging k ------------------------------------------------------------
+	bag := &Table{
+		Title:   "Ablation: bagging ensemble size k (paper uses 11)",
+		Columns: []string{"k", "mean relative error"},
+	}
+	for _, k := range []int{1, 3, 11} {
+		mc := core.DefaultModelConfig(ctx.Seed + 2)
+		mc.Ensemble.K = k
+		e, err := evalErr(mc)
+		if err != nil {
+			return nil, err
+		}
+		bag.Add(fmt.Sprint(k), pct(e))
+	}
+	rep.Tables = append(rep.Tables, bag)
+
+	// --- Hidden-layer size ------------------------------------------------------
+	hidden := &Table{
+		Title:   "Ablation: hidden-layer width (paper uses 30 sigmoid neurons)",
+		Columns: []string{"hidden neurons", "mean relative error"},
+	}
+	for _, h := range []int{5, 30, 100} {
+		mc := core.DefaultModelConfig(ctx.Seed + 3)
+		mc.Ensemble.Hidden = h
+		e, err := evalErr(mc)
+		if err != nil {
+			return nil, err
+		}
+		hidden.Add(fmt.Sprint(h), pct(e))
+	}
+	rep.Tables = append(rep.Tables, hidden)
+
+	// --- Second stage ------------------------------------------------------------
+	second := &Table{
+		Title:   "Ablation: second-stage size M (M=1 trusts the model blindly)",
+		Columns: []string{"M", "slowdown vs global optimum"},
+	}
+	ex, err := core.Exhaustive(m)
+	if err != nil {
+		return nil, err
+	}
+	mc := core.DefaultModelConfig(ctx.Seed + 4)
+	model, err := core.TrainModel(m.Space(), train, nil, mc)
+	if err != nil {
+		return nil, err
+	}
+	top := model.TopM(200)
+	times := make([]float64, len(top))
+	for i, p := range top {
+		secs, err := m.Measure(m.Space().At(p.Index))
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				times[i] = math.Inf(1)
+				continue
+			}
+			return nil, err
+		}
+		times[i] = secs
+	}
+	for _, M := range []int{1, 10, 50, 100, 200} {
+		best := math.Inf(1)
+		for i := 0; i < M && i < len(times); i++ {
+			if times[i] < best {
+				best = times[i]
+			}
+		}
+		if math.IsInf(best, 1) {
+			second.Add(fmt.Sprint(M), "- (all invalid)")
+		} else {
+			second.Add(fmt.Sprint(M), f3(best/ex.BestSeconds))
+		}
+	}
+	rep.Tables = append(rep.Tables, second)
+
+	// --- Invalid-config penalty (the paper's §7 suggested improvement) --------
+	invalid := &Table{
+		Title: "Extension: penalty-labelled invalid configs vs ignoring them " +
+			"(stereo on K40, share of second stage that is invalid)",
+		Columns: []string{"invalid handling", "2nd-stage invalid", "tuner found result"},
+	}
+	stereoB := bench.MustLookup("stereo")
+	sm, err := core.NewSimMeasurer(stereoB, dev, bench.Size{}, 3)
+	if err != nil {
+		return nil, err
+	}
+	nStereo := nTrain
+	for _, penalty := range []float64{0, 2} {
+		opts := core.Options{
+			TrainingSamples: nStereo,
+			SecondStage:     100,
+			Seed:            ctx.Seed + 5,
+			Model:           core.DefaultModelConfig(ctx.Seed + 5),
+		}
+		opts.Model.InvalidPenalty = penalty
+		res, err := core.Tune(sm, opts)
+		if err != nil {
+			return nil, err
+		}
+		name := "ignore (paper)"
+		if penalty > 0 {
+			name = fmt.Sprintf("penalty %gx slowest", penalty)
+		}
+		invalid.Add(name, fmt.Sprint(res.InvalidSecond), fmt.Sprint(res.Found))
+	}
+	rep.Tables = append(rep.Tables, invalid)
+
+	return rep, nil
+}
+
+// ablationSplit gathers disjoint valid train and eval samples.
+func ablationSplit(m core.Measurer, nTrain, nEval int, seed int64) (train, evalSet []core.Sample, err error) {
+	space := m.Space()
+	rng := rand.New(rand.NewSource(seed))
+	budget := 4*(nTrain+nEval) + 2000
+	if int64(budget) > space.Size() {
+		budget = int(space.Size())
+	}
+	for _, idx := range space.SampleIndices(rng, budget) {
+		if len(train) >= nTrain && len(evalSet) >= nEval {
+			break
+		}
+		cfg := space.At(idx)
+		secs, err := m.Measure(cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				continue
+			}
+			return nil, nil, err
+		}
+		if len(train) < nTrain {
+			train = append(train, core.Sample{Config: cfg, Seconds: secs})
+		} else {
+			evalSet = append(evalSet, core.Sample{Config: cfg, Seconds: secs})
+		}
+	}
+	return train, evalSet, nil
+}

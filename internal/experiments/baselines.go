@@ -1,0 +1,79 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+func init() {
+	register(&Experiment{
+		ID: "baselines",
+		Title: "Search strategies at equal measurement budget: ML tuner vs random " +
+			"search vs hill climbing (extension; convolution)",
+		Run: runBaselines,
+	})
+}
+
+// runBaselines compares the paper's model-based tuner against the two
+// classical empirical strategies it implicitly competes with, giving each
+// the same number of measurements (N+M). The paper argues the model makes
+// a fixed budget go further than blind sampling; hill climbing adds the
+// other classical contender, which the invalid-riddled, multi-modal
+// landscapes punish.
+func runBaselines(ctx *Ctx) (*Report, error) {
+	n, m2 := 1000, 100
+	if ctx.Scale == Smoke {
+		n, m2 = 200, 30
+	}
+	budget := n + m2
+	b := bench.MustLookup("convolution")
+
+	t := &Table{
+		Title:   fmt.Sprintf("Slowdown vs global optimum with a budget of %d measurements", budget),
+		Columns: []string{"device", "ML tuner (paper)", "random search", "hill climbing"},
+	}
+	for _, dev := range devsim.PaperDevices() {
+		meas, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := core.Exhaustive(meas)
+		if err != nil {
+			return nil, err
+		}
+		cell := func(r *core.SearchResult) string {
+			if !r.Found {
+				return "-"
+			}
+			return f3(r.BestSeconds / ex.BestSeconds)
+		}
+
+		opts := core.Options{
+			TrainingSamples: n, SecondStage: m2,
+			Seed: ctx.Seed + 37, Model: core.DefaultModelConfig(ctx.Seed + 37),
+		}
+		tuned, err := core.Tune(meas, opts)
+		if err != nil {
+			return nil, err
+		}
+		tunedCell := "-"
+		if tuned.Found {
+			tunedCell = f3(tuned.BestSeconds / ex.BestSeconds)
+		}
+
+		rnd, err := core.RandomSearch(meas, budget, ctx.Seed+38)
+		if err != nil {
+			return nil, err
+		}
+		hc, err := core.HillClimb(meas, budget, 8, ctx.Seed+39)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(dev.Name(), tunedCell, cell(rnd), cell(hc))
+		ctx.logf("  baselines %s: tuner=%s random=%s hillclimb=%s", dev.Name(), tunedCell, cell(rnd), cell(hc))
+	}
+	return &Report{Tables: []*Table{t}}, nil
+}

@@ -1,0 +1,63 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+func init() {
+	register(&Experiment{
+		ID: "cost",
+		Title: "Tuning-cost accounting: data gathering vs model training " +
+			"(paper §6: ~30 min gathering vs ~1 min training for 2000 samples)",
+		Run: runCost,
+	})
+}
+
+// runCost reproduces the paper's §6 cost observation for the convolution
+// benchmark: gathering the training data (kernel builds, benchmark runs,
+// failed attempts at invalid configurations) dwarfs the time spent
+// training the neural-network model. Gathering time is simulated (it is
+// the sum of the simulated compile and run times); training and
+// prediction times are real wall-clock.
+func runCost(ctx *Ctx) (*Report, error) {
+	n := 2000
+	if ctx.Scale == Smoke {
+		n = 200
+	}
+	b := bench.MustLookup("convolution")
+
+	t := &Table{
+		Title: fmt.Sprintf("Cost breakdown for tuning convolution with N=%d, M=200", n),
+		Columns: []string{"device", "gather (min, simulated)", "invalid attempts",
+			"train (s, wall)", "predict space (s, wall)", "2nd stage (s, simulated)"},
+	}
+	for _, dev := range devsim.PaperDevices() {
+		m, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+		if err != nil {
+			return nil, err
+		}
+		opts := core.Options{
+			TrainingSamples: n,
+			SecondStage:     200,
+			Seed:            ctx.Seed + 577,
+			Model:           core.DefaultModelConfig(ctx.Seed + 577),
+		}
+		res, err := core.Tune(m, opts)
+		if err != nil {
+			return nil, err
+		}
+		t.Add(dev.Name(),
+			f2(res.Cost.GatherSeconds/60),
+			fmt.Sprint(res.InvalidTrain),
+			f2(res.Cost.TrainSeconds),
+			f2(res.Cost.PredictSeconds),
+			f2(res.Cost.SecondStageSeconds))
+		ctx.logf("  cost %s: gather %.1f min vs train %.1f s", dev.Name(),
+			res.Cost.GatherSeconds/60, res.Cost.TrainSeconds)
+	}
+	return &Report{Tables: []*Table{t}}, nil
+}

@@ -1,0 +1,240 @@
+package experiments
+
+import (
+	"bytes"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+func smokeCtx() *Ctx {
+	return &Ctx{Scale: Smoke, Seed: 42}
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7",
+		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
+		"cost", "ablation",
+	}
+	ids := IDs()
+	have := map[string]bool{}
+	for _, id := range ids {
+		have[id] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q not registered", id)
+		}
+	}
+	if _, err := Lookup("nope"); err == nil {
+		t.Error("unknown id accepted")
+	}
+}
+
+func TestParseScale(t *testing.T) {
+	for in, want := range map[string]Scale{"quick": Quick, "PAPER": Paper, "Smoke": Smoke} {
+		got, err := ParseScale(in)
+		if err != nil || got != want {
+			t.Errorf("ParseScale(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseScale("gigantic"); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if Quick.String() != "quick" || Paper.String() != "paper" || Smoke.String() != "smoke" {
+		t.Error("Scale.String round trip broken")
+	}
+}
+
+func TestTableRenderAndCSV(t *testing.T) {
+	tab := &Table{
+		Title:   "demo",
+		Columns: []string{"a", "b"},
+	}
+	tab.Add("1", "x,y")
+	tab.Add("2", `quote"d`)
+	var text bytes.Buffer
+	tab.Render(&text)
+	if !strings.Contains(text.String(), "demo") || !strings.Contains(text.String(), "x,y") {
+		t.Errorf("render output: %s", text.String())
+	}
+	var csv bytes.Buffer
+	if err := tab.CSV(&csv); err != nil {
+		t.Fatal(err)
+	}
+	got := csv.String()
+	if !strings.Contains(got, `"x,y"`) || !strings.Contains(got, `"quote""d"`) {
+		t.Errorf("csv quoting wrong: %s", got)
+	}
+}
+
+func TestReportSaveCSV(t *testing.T) {
+	dir := t.TempDir()
+	rep := &Report{ID: "unit", Tables: []*Table{
+		{Title: "t0", Columns: []string{"c"}, Rows: [][]string{{"v"}}},
+		{Title: "t1", Columns: []string{"c"}, Rows: [][]string{{"w"}}},
+	}}
+	if err := rep.SaveCSV(dir); err != nil {
+		t.Fatal(err)
+	}
+	for _, name := range []string{"unit_0.csv", "unit_1.csv"} {
+		if _, err := os.Stat(filepath.Join(dir, name)); err != nil {
+			t.Errorf("missing %s: %v", name, err)
+		}
+	}
+}
+
+func TestTables(t *testing.T) {
+	for _, id := range []string{"table1", "table2"} {
+		e, err := Lookup(id)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rep, err := e.Execute(smokeCtx())
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(rep.Tables) == 0 {
+			t.Errorf("%s produced no tables", id)
+		}
+	}
+}
+
+func TestFig1Smoke(t *testing.T) {
+	e, _ := Lookup("fig1")
+	rep, err := e.Execute(smokeCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("fig1 produced %d tables", len(rep.Tables))
+	}
+	matrix := rep.Tables[1]
+	if len(matrix.Rows) != 3 {
+		t.Fatalf("fig1 matrix rows = %d", len(matrix.Rows))
+	}
+	// Diagonal must be 1.00; off-diagonals at least 1 (own best is best).
+	for i, row := range matrix.Rows {
+		if row[i+1] != "1.00" {
+			t.Errorf("diagonal cell [%d] = %q, want 1.00", i, row[i+1])
+		}
+	}
+}
+
+func TestEvalModelSmoke(t *testing.T) {
+	b := bench.MustLookup("convolution")
+	dev := devsim.MustLookup(devsim.IntelI7)
+	m, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := EvalModel(m, 150, 60, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Train != 150 || res.Eval != 60 {
+		t.Errorf("split = %d/%d", res.Train, res.Eval)
+	}
+	if res.MeanRelErr <= 0 || res.MeanRelErr > 1.5 {
+		t.Errorf("mean relative error = %v", res.MeanRelErr)
+	}
+	if len(res.Actual) != 60 || len(res.Predicted) != 60 {
+		t.Errorf("series lengths %d/%d", len(res.Actual), len(res.Predicted))
+	}
+}
+
+func TestErrorCurveSmoke(t *testing.T) {
+	e, _ := Lookup("fig4")
+	rep, err := e.Execute(smokeCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	if len(tab.Rows) != len(trainingSizes(Smoke)) {
+		t.Fatalf("rows = %d", len(tab.Rows))
+	}
+	if len(tab.Columns) != 4 { // sizes + 3 benchmarks
+		t.Fatalf("columns = %v", tab.Columns)
+	}
+}
+
+func TestScatterSmoke(t *testing.T) {
+	e, _ := Lookup("fig8")
+	rep, err := e.Execute(smokeCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 2 {
+		t.Fatalf("fig8 tables = %d", len(rep.Tables))
+	}
+	if got := len(rep.Tables[1].Rows); got != 100 {
+		t.Errorf("scatter points = %d, want 100", got)
+	}
+}
+
+func TestMemorySpaceFlags(t *testing.T) {
+	img, loc := memorySpaceFlags(map[string]int{"use_image": 1, "use_local": 0})
+	if !img || loc {
+		t.Errorf("conv flags = %v/%v", img, loc)
+	}
+	img, loc = memorySpaceFlags(map[string]int{"use_image_tf": 0, "use_local_tf": 1, "use_const_tf": 1})
+	if img || !loc {
+		t.Errorf("ray flags = %v/%v", img, loc)
+	}
+	img, loc = memorySpaceFlags(map[string]int{"use_image_left": 1, "use_local_right": 1})
+	if !img || !loc {
+		t.Errorf("stereo flags = %v/%v", img, loc)
+	}
+}
+
+func TestTunerGridSmoke(t *testing.T) {
+	e, _ := Lookup("fig11")
+	rep, err := e.Execute(smokeCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := rep.Tables[0]
+	ns, msz, _ := gridParams(Smoke)
+	if len(tab.Rows) != len(ns) || len(tab.Columns) != len(msz)+1 {
+		t.Fatalf("grid shape %dx%d", len(tab.Rows), len(tab.Columns))
+	}
+	// Slowdowns, when present, must be >= 1 (cannot beat the optimum by
+	// more than measurement noise; allow 3% slack for noisy re-measures).
+	for _, row := range tab.Rows {
+		for _, cell := range row[1:] {
+			if cell == "-" {
+				continue
+			}
+			var v float64
+			if _, err := fmtSscan(cell, &v); err != nil {
+				t.Fatalf("bad cell %q", cell)
+			}
+			if v < 0.97 {
+				t.Errorf("slowdown %v below 1", v)
+			}
+		}
+	}
+}
+
+func TestCostSmoke(t *testing.T) {
+	e, _ := Lookup("cost")
+	rep, err := e.Execute(smokeCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables[0].Rows) != 3 {
+		t.Errorf("cost rows = %d", len(rep.Tables[0].Rows))
+	}
+}
+
+// fmtSscan wraps fmt.Sscan to keep the test import list tidy.
+func fmtSscan(s string, v *float64) (int, error) {
+	return fmt.Sscan(s, v)
+}

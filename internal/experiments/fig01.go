@@ -1,0 +1,92 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+func init() {
+	register(&Experiment{
+		ID: "fig1",
+		Title: "Motivational example: slowdown of each device's best convolution " +
+			"configuration on every other device (paper Figure 1)",
+		Run: runFig1,
+	})
+}
+
+// runFig1 reproduces the paper's §2 study: exhaustively find the best
+// convolution configuration per device, then measure all three
+// configurations on all three devices and report slowdowns relative to
+// each device's own best.
+func runFig1(ctx *Ctx) (*Report, error) {
+	b := bench.MustLookup("convolution")
+	size := bench.Size{}
+	if ctx.Scale == Smoke {
+		size = bench.Size{W: 512, H: 512}
+	}
+	devices := devsim.PaperDevices()
+
+	type entry struct {
+		meas *core.SimMeasurer
+		best core.SearchResult
+	}
+	entries := make(map[string]*entry, len(devices))
+	for _, dev := range devices {
+		m, err := core.NewSimMeasurer(b, dev, size, 3)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := core.Exhaustive(m)
+		if err != nil {
+			return nil, err
+		}
+		if !ex.Found {
+			return nil, fmt.Errorf("fig1: no valid configuration on %s", dev.Name())
+		}
+		entries[dev.Name()] = &entry{meas: m, best: *ex}
+		ctx.logf("fig1: best on %s: %v (%.3f ms; %d valid, %d invalid)",
+			dev.Name(), ex.Best, ex.BestSeconds*1e3, ex.Measured, ex.Invalid)
+	}
+
+	bests := &Table{
+		Title:   "Per-device best configurations (exhaustive search)",
+		Columns: []string{"device", "best config", "time (ms)", "valid configs", "invalid configs"},
+	}
+	for _, dev := range devices {
+		e := entries[dev.Name()]
+		bests.Add(dev.Name(), e.best.Best.String(), ms(e.best.BestSeconds),
+			fmt.Sprint(e.best.Measured), fmt.Sprint(e.best.Invalid))
+	}
+
+	matrix := &Table{
+		Title:   "Slowdown of transplanted configurations (rows: run on; columns: config from)",
+		Columns: []string{"run on \\ config from"},
+	}
+	for _, from := range devices {
+		matrix.Columns = append(matrix.Columns, from.Name())
+	}
+	for _, on := range devices {
+		row := []string{on.Name()}
+		own := entries[on.Name()]
+		ownTime, err := own.meas.TrueTime(own.best.Best)
+		if err != nil {
+			return nil, err
+		}
+		for _, from := range devices {
+			t, err := own.meas.TrueTime(entries[from.Name()].best.Best)
+			if err != nil {
+				if devsim.IsInvalid(err) {
+					row = append(row, "invalid")
+					continue
+				}
+				return nil, err
+			}
+			row = append(row, f2(t/ownTime))
+		}
+		matrix.Add(row...)
+	}
+	return &Report{Tables: []*Table{bests, matrix}}, nil
+}

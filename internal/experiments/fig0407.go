@@ -1,0 +1,127 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig4",
+		Title: "Mean prediction error vs training-set size, Intel i7 (paper Figure 4)",
+		Run:   errorCurveRunner(devsim.IntelI7),
+	})
+	register(&Experiment{
+		ID:    "fig5",
+		Title: "Mean prediction error vs training-set size, Nvidia K40 (paper Figure 5)",
+		Run:   errorCurveRunner(devsim.NvidiaK40),
+	})
+	register(&Experiment{
+		ID:    "fig6",
+		Title: "Mean prediction error vs training-set size, AMD 7970 (paper Figure 6)",
+		Run:   errorCurveRunner(devsim.AMD7970),
+	})
+	register(&Experiment{
+		ID:    "fig7",
+		Title: "Mean prediction error for convolution across Nvidia generations (paper Figure 7)",
+		Run:   runFig7,
+	})
+}
+
+// trainingSizes returns the x axis of the error-curve figures.
+func trainingSizes(scale Scale) []int {
+	switch scale {
+	case Paper:
+		return []int{100, 200, 300, 400, 500, 600, 700, 800, 900, 1000, 1500, 2000, 2500, 3000, 3500, 4000}
+	case Smoke:
+		return []int{100, 300}
+	default:
+		return []int{100, 200, 400, 700, 1000, 1500, 2000}
+	}
+}
+
+func curveParams(scale Scale) (reps, evalN int) {
+	switch scale {
+	case Paper:
+		return 3, 500
+	case Smoke:
+		return 1, 100
+	default:
+		return 2, 300
+	}
+}
+
+// errorCurveRunner builds the Figure 4/5/6 driver for one device: for
+// each training-set size and each benchmark, train models on random valid
+// configurations and report the mean relative error on held-out valid
+// configurations, averaged over repetitions.
+func errorCurveRunner(device string) func(*Ctx) (*Report, error) {
+	return func(ctx *Ctx) (*Report, error) {
+		dev := devsim.MustLookup(device)
+		sizes := trainingSizes(ctx.Scale)
+		reps, evalN := curveParams(ctx.Scale)
+
+		t := &Table{
+			Title:   fmt.Sprintf("Mean relative prediction error on %s", device),
+			Columns: []string{"training configs"},
+		}
+		for _, b := range bench.All() {
+			t.Columns = append(t.Columns, b.Name())
+		}
+
+		for _, n := range sizes {
+			row := []string{fmt.Sprint(n)}
+			for _, b := range bench.All() {
+				m, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+				if err != nil {
+					return nil, err
+				}
+				mean, err := MeanEvalError(m, n, evalN, reps, ctx.Seed+int64(n))
+				if err != nil {
+					return nil, err
+				}
+				row = append(row, pct(mean))
+			}
+			t.Add(row...)
+			ctx.logf("  %s N=%d: %v", device, n, row[1:])
+		}
+		return &Report{Tables: []*Table{t}}, nil
+	}
+}
+
+// runFig7 compares convolution model accuracy across the three Nvidia
+// generations (Fermi C2070, Kepler K40, Maxwell GTX980).
+func runFig7(ctx *Ctx) (*Report, error) {
+	b := bench.MustLookup("convolution")
+	sizes := trainingSizes(ctx.Scale)
+	reps, evalN := curveParams(ctx.Scale)
+	devices := devsim.Figure7Devices()
+
+	t := &Table{
+		Title:   "Mean relative prediction error for convolution",
+		Columns: []string{"training configs"},
+	}
+	for _, dev := range devices {
+		t.Columns = append(t.Columns, dev.Name())
+	}
+	for _, n := range sizes {
+		row := []string{fmt.Sprint(n)}
+		for _, dev := range devices {
+			m, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+			if err != nil {
+				return nil, err
+			}
+			mean, err := MeanEvalError(m, n, evalN, reps, ctx.Seed+int64(n))
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, pct(mean))
+		}
+		t.Add(row...)
+		ctx.logf("  fig7 N=%d: %v", n, row[1:])
+	}
+	return &Report{Tables: []*Table{t}}, nil
+}

@@ -1,0 +1,122 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig8",
+		Title: "Predicted vs actual execution times, convolution on Intel i7 (paper Figure 8)",
+		Run:   scatterRunner(devsim.IntelI7),
+	})
+	register(&Experiment{
+		ID:    "fig9",
+		Title: "Predicted vs actual execution times, convolution on Nvidia K40 (paper Figure 9)",
+		Run:   scatterRunner(devsim.NvidiaK40),
+	})
+	register(&Experiment{
+		ID:    "fig10",
+		Title: "Predicted vs actual execution times, convolution on AMD 7970 (paper Figure 10)",
+		Run:   scatterRunner(devsim.AMD7970),
+	})
+}
+
+// scatterRunner reproduces the Figures 8-10 scatter data: one model
+// (no averaging over repetitions, as in the paper), 100 held-out
+// configurations, predicted and actual times in milliseconds.
+func scatterRunner(device string) func(*Ctx) (*Report, error) {
+	return func(ctx *Ctx) (*Report, error) {
+		dev := devsim.MustLookup(device)
+		b := bench.MustLookup("convolution")
+		m, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+		if err != nil {
+			return nil, err
+		}
+		nTrain := 2000
+		if ctx.Scale == Smoke {
+			nTrain = 200
+		}
+		res, err := EvalModel(m, nTrain, 100, ctx.Seed+811)
+		if err != nil {
+			return nil, err
+		}
+
+		scatter := &Table{
+			Title:   fmt.Sprintf("Predicted vs actual execution time on %s (ms, log axes in the paper)", device),
+			Columns: []string{"actual (ms)", "predicted (ms)", "uses image", "uses local"},
+		}
+		for i, cfg := range res.EvalConfigs {
+			img, loc := memorySpaceFlags(cfg.Map())
+			scatter.Add(ms(res.Actual[i]), ms(res.Predicted[i]),
+				fmt.Sprint(img), fmt.Sprint(loc))
+		}
+
+		summary := &Table{
+			Title:   "Scatter summary",
+			Columns: []string{"metric", "value"},
+		}
+		summary.Add("mean relative error", pct(res.MeanRelErr))
+		summary.Add("rank correlation (Spearman)", f3(stats.Spearman(res.Predicted, res.Actual)))
+		summary.Add("log-time Pearson", f3(logPearson(res.Predicted, res.Actual)))
+
+		// The paper attributes the Intel clustering to image-without-local
+		// configurations; report the cluster gap explicitly.
+		var slowCluster, rest []float64
+		for i, cfg := range res.EvalConfigs {
+			img, loc := memorySpaceFlags(cfg.Map())
+			if img && !loc {
+				slowCluster = append(slowCluster, res.Actual[i])
+			} else {
+				rest = append(rest, res.Actual[i])
+			}
+		}
+		if len(slowCluster) > 0 && len(rest) > 0 {
+			summary.Add("median actual, image w/o local (ms)", ms(stats.Median(slowCluster)))
+			summary.Add("median actual, others (ms)", ms(stats.Median(rest)))
+			summary.Add("cluster separation (x)", f2(stats.Median(slowCluster)/stats.Median(rest)))
+		}
+		return &Report{Tables: []*Table{summary, scatter}}, nil
+	}
+}
+
+// memorySpaceFlags extracts "uses image memory at all" and "uses local
+// memory at all" from a configuration map, across the different parameter
+// namings of the three benchmarks.
+func memorySpaceFlags(m map[string]int) (img, loc bool) {
+	for name, v := range m {
+		if v == 0 {
+			continue
+		}
+		switch name {
+		case "use_image", "use_image_data", "use_image_tf", "use_image_left", "use_image_right":
+			img = true
+		case "use_local", "use_local_tf", "use_local_left", "use_local_right":
+			loc = true
+		}
+	}
+	return img, loc
+}
+
+func logPearson(a, b []float64) float64 {
+	la := make([]float64, len(a))
+	lb := make([]float64, len(b))
+	for i := range a {
+		la[i] = logOr(a[i])
+		lb[i] = logOr(b[i])
+	}
+	return stats.Pearson(la, lb)
+}
+
+func logOr(v float64) float64 {
+	if v <= 0 {
+		return 0
+	}
+	return math.Log(v)
+}

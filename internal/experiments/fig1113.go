@@ -1,0 +1,161 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/stats"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "fig11",
+		Title: "Auto-tuner slowdown vs global optimum, convolution on Nvidia K40 (paper Figure 11)",
+		Run:   tunerGridRunner(devsim.NvidiaK40),
+	})
+	register(&Experiment{
+		ID:    "fig12",
+		Title: "Auto-tuner slowdown vs global optimum, convolution on Intel i7 (paper Figure 12)",
+		Run:   tunerGridRunner(devsim.IntelI7),
+	})
+	register(&Experiment{
+		ID:    "fig13",
+		Title: "Auto-tuner slowdown vs global optimum, convolution on AMD 7970 (paper Figure 13)",
+		Run:   tunerGridRunner(devsim.AMD7970),
+	})
+}
+
+func gridParams(scale Scale) (ns []int, msizes []int, reps int) {
+	switch scale {
+	case Paper:
+		return []int{100, 200, 300, 400, 500, 1000, 2000}, []int{10, 50, 100, 150, 200}, 3
+	case Smoke:
+		return []int{200, 500}, []int{10, 50}, 1
+	default:
+		return []int{100, 300, 500, 1000, 2000}, []int{10, 50, 100, 200}, 2
+	}
+}
+
+// tunerGridRunner reproduces Figures 11-13: the mean slowdown of the
+// auto-tuner's result relative to the exhaustively determined global
+// optimum, over a grid of training-set sizes N and second-stage sizes M.
+// Grid cells where every repetition ended with an all-invalid second
+// stage are reported as "-" (the paper's "some results missing due to
+// invalid configurations").
+func tunerGridRunner(device string) func(*Ctx) (*Report, error) {
+	return func(ctx *Ctx) (*Report, error) {
+		dev := devsim.MustLookup(device)
+		b := bench.MustLookup("convolution")
+		size := bench.Size{}
+		if ctx.Scale == Smoke {
+			size = bench.Size{W: 512, H: 512}
+		}
+		m, err := core.NewSimMeasurer(b, dev, size, 3)
+		if err != nil {
+			return nil, err
+		}
+		ex, err := core.Exhaustive(m)
+		if err != nil {
+			return nil, err
+		}
+		if !ex.Found {
+			return nil, fmt.Errorf("fig11-13: no valid configuration on %s", device)
+		}
+		ctx.logf("  global optimum on %s: %v (%.3f ms)", device, ex.Best, ex.BestSeconds*1e3)
+
+		ns, msizes, reps := gridParams(ctx.Scale)
+		maxM := msizes[len(msizes)-1]
+
+		t := &Table{
+			Title: fmt.Sprintf("Mean slowdown vs global optimum on %s (convolution; optimum %.3f ms)",
+				device, ex.BestSeconds*1e3),
+			Columns: []string{"training configs"},
+		}
+		for _, M := range msizes {
+			t.Columns = append(t.Columns, fmt.Sprintf("M=%d", M))
+		}
+
+		for _, n := range ns {
+			// slowdowns[mi] collects the per-repetition slowdowns for
+			// msizes[mi]; a nil entry for a repetition means "no result".
+			slowdowns := make([][]float64, len(msizes))
+			for rep := 0; rep < reps; rep++ {
+				seed := ctx.Seed + int64(n)*31 + int64(rep)*7919
+				top, err := trainAndRank(m, n, maxM, seed)
+				if err != nil {
+					return nil, err
+				}
+				// Measure candidates once, best-prefix per M.
+				times := make([]float64, len(top))
+				for i, p := range top {
+					secs, err := m.Measure(m.Space().At(p.Index))
+					if err != nil {
+						if devsim.IsInvalid(err) {
+							times[i] = math.Inf(1)
+							continue
+						}
+						return nil, err
+					}
+					times[i] = secs
+				}
+				for mi, M := range msizes {
+					best := math.Inf(1)
+					for i := 0; i < M && i < len(times); i++ {
+						if times[i] < best {
+							best = times[i]
+						}
+					}
+					if !math.IsInf(best, 1) {
+						slowdowns[mi] = append(slowdowns[mi], best/ex.BestSeconds)
+					}
+				}
+			}
+			row := []string{fmt.Sprint(n)}
+			for mi := range msizes {
+				if len(slowdowns[mi]) == 0 {
+					row = append(row, "-") // all second stages invalid
+				} else {
+					row = append(row, f3(stats.Mean(slowdowns[mi])))
+				}
+			}
+			t.Add(row...)
+			ctx.logf("  %s N=%d: %v", device, n, row[1:])
+		}
+		return &Report{Tables: []*Table{t}}, nil
+	}
+}
+
+// trainAndRank gathers n valid training samples, trains the paper's
+// model, and returns the maxM best-predicted configurations.
+func trainAndRank(m core.Measurer, n, maxM int, seed int64) ([]core.Predicted, error) {
+	space := m.Space()
+	rng := rand.New(rand.NewSource(seed))
+	budget := 4*n + 1000
+	if int64(budget) > space.Size() {
+		budget = int(space.Size())
+	}
+	var samples []core.Sample
+	for _, idx := range space.SampleIndices(rng, budget) {
+		if len(samples) >= n {
+			break
+		}
+		cfg := space.At(idx)
+		secs, err := m.Measure(cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				continue
+			}
+			return nil, err
+		}
+		samples = append(samples, core.Sample{Config: cfg, Seconds: secs})
+	}
+	model, err := core.TrainModel(space, samples, nil, core.DefaultModelConfig(seed))
+	if err != nil {
+		return nil, err
+	}
+	return model.TopM(maxM), nil
+}

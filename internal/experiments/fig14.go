@@ -1,0 +1,73 @@
+package experiments
+
+import (
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+func init() {
+	register(&Experiment{
+		ID: "fig14",
+		Title: "Auto-tuner vs best of 50K random configurations, raycasting and stereo " +
+			"(paper Figure 14)",
+		Run: runFig14,
+	})
+}
+
+// runFig14 reproduces the large-space evaluation: the raycasting and
+// stereo spaces are too large to search exhaustively, so the tuner
+// (N=3000 first-stage, M=300 second-stage) is compared against the best
+// of 50K random configurations. The paper reports no stereo results on
+// the GPUs because the model predicted mostly invalid configurations
+// there; the same outcome surfaces here as "no result".
+func runFig14(ctx *Ctx) (*Report, error) {
+	nTrain, m2, randomN := 3000, 300, 50000
+	switch ctx.Scale {
+	case Quick:
+		nTrain, m2, randomN = 1500, 150, 10000
+	case Smoke:
+		nTrain, m2, randomN = 250, 30, 2000
+	}
+
+	t := &Table{
+		Title: "Tuner result vs best of random search (slowdown = tuned / best-random)",
+		Columns: []string{"benchmark", "device", "best random (ms)", "tuned (ms)",
+			"slowdown", "2nd-stage invalid", "space sampled"},
+	}
+	for _, bname := range []string{"raycasting", "stereo"} {
+		b := bench.MustLookup(bname)
+		for _, dev := range devsim.PaperDevices() {
+			meas, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+			if err != nil {
+				return nil, err
+			}
+			rnd, err := core.RandomSearch(meas, randomN, ctx.Seed+101)
+			if err != nil {
+				return nil, err
+			}
+			opts := core.Options{
+				TrainingSamples: nTrain,
+				SecondStage:     m2,
+				Seed:            ctx.Seed + 211,
+				Model:           core.DefaultModelConfig(ctx.Seed + 211),
+			}
+			res, err := core.Tune(meas, opts)
+			if err != nil {
+				return nil, err
+			}
+			sampled := pct(res.MeasuredFraction)
+			if !res.Found || !rnd.Found {
+				t.Add(bname, dev.Name(), ms(rnd.BestSeconds), "no result", "-",
+					f3(float64(res.InvalidSecond)), sampled)
+				ctx.logf("  fig14 %s/%s: no tuner result (%d invalid stage-2)", bname, dev.Name(), res.InvalidSecond)
+				continue
+			}
+			t.Add(bname, dev.Name(), ms(rnd.BestSeconds), ms(res.BestSeconds),
+				f3(res.BestSeconds/rnd.BestSeconds),
+				f3(float64(res.InvalidSecond)), sampled)
+			ctx.logf("  fig14 %s/%s: slowdown %.3f", bname, dev.Name(), res.BestSeconds/rnd.BestSeconds)
+		}
+	}
+	return &Report{Tables: []*Table{t}}, nil
+}

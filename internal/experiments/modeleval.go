@@ -1,0 +1,98 @@
+package experiments
+
+import (
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/stats"
+	"repro/internal/tuning"
+)
+
+// EvalResult is the outcome of one model-accuracy evaluation: train on N
+// valid random configurations, predict a disjoint held-out set of valid
+// configurations, and report the mean relative error — the procedure
+// behind the paper's Figures 4-7.
+type EvalResult struct {
+	// Train is the number of valid training samples actually gathered.
+	Train int
+	// Eval is the held-out set size.
+	Eval int
+	// MeanRelErr is mean(|predicted-actual| / actual) over the held-out
+	// set (the paper's "mean error").
+	MeanRelErr float64
+	// Model is the trained model (for scatter plots etc.).
+	Model *core.Model
+	// Actual and Predicted align element-wise over the held-out set.
+	Actual, Predicted []float64
+	// EvalConfigs are the held-out configurations.
+	EvalConfigs []tuning.Config
+}
+
+// EvalModel trains a model with nTrain valid samples and scores it on
+// nEval disjoint valid samples. All draws and network initializations
+// derive from seed.
+func EvalModel(m core.Measurer, nTrain, nEval int, seed int64) (*EvalResult, error) {
+	space := m.Space()
+	rng := rand.New(rand.NewSource(seed))
+
+	// One stream of distinct indices: first fill the training set with
+	// valid measurements, then the held-out set.
+	budget := 4*(nTrain+nEval) + 2000
+	if int64(budget) > space.Size() {
+		budget = int(space.Size())
+	}
+	idxs := space.SampleIndices(rng, budget)
+
+	var train []core.Sample
+	var evalSet []core.Sample
+	for _, idx := range idxs {
+		if len(train) >= nTrain && len(evalSet) >= nEval {
+			break
+		}
+		cfg := space.At(idx)
+		secs, err := m.Measure(cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				continue
+			}
+			return nil, err
+		}
+		if len(train) < nTrain {
+			train = append(train, core.Sample{Config: cfg, Seconds: secs})
+		} else {
+			evalSet = append(evalSet, core.Sample{Config: cfg, Seconds: secs})
+		}
+	}
+
+	mc := core.DefaultModelConfig(seed)
+	model, err := core.TrainModel(space, train, nil, mc)
+	if err != nil {
+		return nil, err
+	}
+
+	res := &EvalResult{Train: len(train), Eval: len(evalSet), Model: model}
+	scratch := model.NewScratch()
+	for _, s := range evalSet {
+		res.EvalConfigs = append(res.EvalConfigs, s.Config)
+		res.Actual = append(res.Actual, s.Seconds)
+		res.Predicted = append(res.Predicted, model.Predict(s.Config, scratch))
+	}
+	res.MeanRelErr = stats.MeanRelError(res.Predicted, res.Actual)
+	return res, nil
+}
+
+// MeanEvalError repeats EvalModel reps times with derived seeds and
+// returns the mean of the mean relative errors, reproducing the paper's
+// "we built several neural networks ... and report the mean".
+func MeanEvalError(m core.Measurer, nTrain, nEval, reps int, seed int64) (float64, error) {
+	var errs []float64
+	for r := 0; r < reps; r++ {
+		res, err := EvalModel(m, nTrain, nEval, seed+int64(r)*7919)
+		if err != nil {
+			return 0, err
+		}
+		errs = append(errs, res.MeanRelErr)
+	}
+	return stats.Mean(errs), nil
+}

@@ -1,0 +1,247 @@
+// Package experiments contains one driver per table and figure of the
+// paper's evaluation (§2 and §6): it regenerates the motivational
+// cross-device study (Fig. 1), the benchmark/parameter tables (Tables 1-2),
+// the model-accuracy curves (Figs. 4-7), the predicted-vs-actual scatters
+// (Figs. 8-10), the auto-tuner quality grids (Figs. 11-13), the
+// large-space comparison (Fig. 14) and the §6 tuning-cost accounting.
+//
+// Every experiment produces Tables (text + CSV) so results can be diffed
+// against the paper's reported numbers; EXPERIMENTS.md records that
+// comparison.
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"time"
+)
+
+// Scale selects the experiment size.
+type Scale int
+
+const (
+	// Quick runs reduced sweeps (fewer training sizes, repetitions and
+	// random draws) sized for minutes, not hours.
+	Quick Scale = iota
+	// Paper runs the full sweeps of the paper.
+	Paper
+	// Smoke runs minimal versions for tests and benchmarks.
+	Smoke
+)
+
+// ParseScale converts a -scale flag value.
+func ParseScale(s string) (Scale, error) {
+	switch strings.ToLower(s) {
+	case "quick":
+		return Quick, nil
+	case "paper":
+		return Paper, nil
+	case "smoke":
+		return Smoke, nil
+	}
+	return 0, fmt.Errorf("experiments: unknown scale %q (quick, paper, smoke)", s)
+}
+
+// String returns the scale's flag value.
+func (s Scale) String() string {
+	switch s {
+	case Paper:
+		return "paper"
+	case Smoke:
+		return "smoke"
+	default:
+		return "quick"
+	}
+}
+
+// Ctx carries experiment-wide settings.
+type Ctx struct {
+	// Scale selects sweep sizes.
+	Scale Scale
+	// Seed drives all sampling and model initialization.
+	Seed int64
+	// Log receives progress lines (nil silences them).
+	Log io.Writer
+}
+
+func (c *Ctx) logf(format string, args ...any) {
+	if c.Log != nil {
+		fmt.Fprintf(c.Log, format+"\n", args...)
+	}
+}
+
+// Table is a rectangular result with named columns, renderable as text
+// or CSV.
+type Table struct {
+	Title   string
+	Columns []string
+	Rows    [][]string
+}
+
+// Add appends a row of stringified cells.
+func (t *Table) Add(cells ...string) {
+	t.Rows = append(t.Rows, cells)
+}
+
+// Render writes the table as aligned text.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Columns))
+	for i, c := range t.Columns {
+		widths[i] = len(c)
+	}
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) && len(cell) > widths[i] {
+				widths[i] = len(cell)
+			}
+		}
+	}
+	fmt.Fprintf(w, "## %s\n\n", t.Title)
+	for i, c := range t.Columns {
+		fmt.Fprintf(w, "%-*s  ", widths[i], c)
+	}
+	fmt.Fprintln(w)
+	for i := range t.Columns {
+		fmt.Fprintf(w, "%s  ", strings.Repeat("-", widths[i]))
+	}
+	fmt.Fprintln(w)
+	for _, row := range t.Rows {
+		for i, cell := range row {
+			if i < len(widths) {
+				fmt.Fprintf(w, "%-*s  ", widths[i], cell)
+			}
+		}
+		fmt.Fprintln(w)
+	}
+	fmt.Fprintln(w)
+}
+
+// CSV writes the table as comma-separated values (cells with commas are
+// quoted).
+func (t *Table) CSV(w io.Writer) error {
+	writeRow := func(cells []string) error {
+		parts := make([]string, len(cells))
+		for i, c := range cells {
+			if strings.ContainsAny(c, ",\"\n") {
+				c = "\"" + strings.ReplaceAll(c, "\"", "\"\"") + "\""
+			}
+			parts[i] = c
+		}
+		_, err := io.WriteString(w, strings.Join(parts, ",")+"\n")
+		return err
+	}
+	if err := writeRow(t.Columns); err != nil {
+		return err
+	}
+	for _, row := range t.Rows {
+		if err := writeRow(row); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Report is the result of one experiment.
+type Report struct {
+	ID     string
+	Title  string
+	Tables []*Table
+	// Elapsed is the wall-clock runtime of the experiment.
+	Elapsed time.Duration
+}
+
+// WriteText renders all tables to w.
+func (r *Report) WriteText(w io.Writer) {
+	fmt.Fprintf(w, "# %s — %s (elapsed %s)\n\n", r.ID, r.Title, r.Elapsed.Round(time.Millisecond))
+	for _, t := range r.Tables {
+		t.Render(w)
+	}
+}
+
+// SaveCSV writes each table to dir as <id>_<n>.csv.
+func (r *Report) SaveCSV(dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	for i, t := range r.Tables {
+		name := fmt.Sprintf("%s_%d.csv", r.ID, i)
+		f, err := os.Create(filepath.Join(dir, name))
+		if err != nil {
+			return err
+		}
+		if err := t.CSV(f); err != nil {
+			f.Close()
+			return err
+		}
+		if err := f.Close(); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// Experiment is a registered, runnable experiment.
+type Experiment struct {
+	ID    string
+	Title string
+	Run   func(ctx *Ctx) (*Report, error)
+}
+
+var registry = map[string]*Experiment{}
+
+func register(e *Experiment) {
+	if _, dup := registry[e.ID]; dup {
+		panic("experiments: duplicate id " + e.ID)
+	}
+	registry[e.ID] = e
+}
+
+// IDs returns all experiment ids in run order.
+func IDs() []string {
+	ids := make([]string, 0, len(registry))
+	for id := range registry {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	return ids
+}
+
+// Lookup returns the experiment with the given id.
+func Lookup(id string) (*Experiment, error) {
+	e, ok := registry[id]
+	if !ok {
+		return nil, fmt.Errorf("experiments: unknown experiment %q (have %v)", id, IDs())
+	}
+	return e, nil
+}
+
+// Run executes the experiment with timing.
+func (e *Experiment) Execute(ctx *Ctx) (*Report, error) {
+	start := time.Now()
+	ctx.logf("== %s: %s (scale %s)", e.ID, e.Title, ctx.Scale)
+	rep, err := e.Run(ctx)
+	if err != nil {
+		return nil, fmt.Errorf("experiments: %s: %w", e.ID, err)
+	}
+	rep.ID = e.ID
+	rep.Title = e.Title
+	rep.Elapsed = time.Since(start)
+	ctx.logf("== %s done in %s", e.ID, rep.Elapsed.Round(time.Millisecond))
+	return rep, nil
+}
+
+// f2 formats a float with two decimals.
+func f2(v float64) string { return fmt.Sprintf("%.2f", v) }
+
+// f3 formats a float with three decimals.
+func f3(v float64) string { return fmt.Sprintf("%.3f", v) }
+
+// pct formats a fraction as a percentage with one decimal.
+func pct(v float64) string { return fmt.Sprintf("%.1f%%", v*100) }
+
+// ms formats seconds as milliseconds.
+func ms(v float64) string { return fmt.Sprintf("%.3f", v*1e3) }

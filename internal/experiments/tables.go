@@ -1,0 +1,55 @@
+package experiments
+
+import (
+	"fmt"
+
+	"repro/internal/bench"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "table1",
+		Title: "Benchmarks used (paper Table 1) and configuration-space sizes",
+		Run:   runTable1,
+	})
+	register(&Experiment{
+		ID:    "table2",
+		Title: "Tuning parameters and their possible values (paper Table 2)",
+		Run:   runTable2,
+	})
+}
+
+func runTable1(ctx *Ctx) (*Report, error) {
+	t := &Table{
+		Title:   "Benchmarks",
+		Columns: []string{"benchmark", "description", "parameters", "space size"},
+	}
+	for _, b := range bench.All() {
+		t.Add(b.Name(), b.Description(),
+			fmt.Sprint(len(b.Space().Params())),
+			fmt.Sprint(b.Space().Size()))
+	}
+	return &Report{Tables: []*Table{t}}, nil
+}
+
+func runTable2(ctx *Ctx) (*Report, error) {
+	rep := &Report{}
+	for _, b := range bench.All() {
+		t := &Table{
+			Title:   b.Name(),
+			Columns: []string{"parameter", "possible values"},
+		}
+		for _, p := range b.Space().Params() {
+			vals := ""
+			for i, v := range p.Values {
+				if i > 0 {
+					vals += ","
+				}
+				vals += fmt.Sprint(v)
+			}
+			t.Add(p.Name, vals)
+		}
+		rep.Tables = append(rep.Tables, t)
+	}
+	return rep, nil
+}

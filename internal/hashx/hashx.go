@@ -1,0 +1,47 @@
+// Package hashx provides the deterministic 64-bit mixing primitives used
+// to derive all reproducible pseudo-randomness in the simulator: stable
+// configuration keys, per-configuration model irregularity and
+// per-measurement noise.
+package hashx
+
+import "math"
+
+// SplitMix64 is the SplitMix64 finalizer: a fast, high-quality 64-bit
+// mixing function.
+func SplitMix64(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+// Combine mixes two keys into one, order-sensitively.
+func Combine(a, b uint64) uint64 {
+	return SplitMix64(a ^ (b + 0x9e3779b97f4a7c15 + (a << 6) + (a >> 2)))
+}
+
+// String hashes a string to a 64-bit key (FNV-1a followed by mixing).
+func String(s string) uint64 {
+	var h uint64 = 0xcbf29ce484222325
+	for i := 0; i < len(s); i++ {
+		h ^= uint64(s[i])
+		h *= 0x100000001b3
+	}
+	return SplitMix64(h)
+}
+
+// Uniform01 maps a key to a uniform float64 in [0, 1).
+func Uniform01(key uint64) float64 {
+	return float64(SplitMix64(key)>>11) / float64(1<<53)
+}
+
+// Normal maps a key to a standard normal deviate via the Box-Muller
+// transform over two derived uniforms. Deterministic in key.
+func Normal(key uint64) float64 {
+	u1 := Uniform01(key)
+	u2 := Uniform01(key ^ 0xa5a5a5a5a5a5a5a5)
+	if u1 < 1e-300 {
+		u1 = 1e-300
+	}
+	return math.Sqrt(-2*math.Log(u1)) * math.Cos(2*math.Pi*u2)
+}

@@ -1,0 +1,78 @@
+package hashx
+
+import (
+	"math"
+	"testing"
+)
+
+func TestSplitMix64Deterministic(t *testing.T) {
+	if SplitMix64(42) != SplitMix64(42) {
+		t.Fatal("not deterministic")
+	}
+	if SplitMix64(1) == SplitMix64(2) {
+		t.Fatal("trivial collision")
+	}
+}
+
+func TestCombineOrderSensitive(t *testing.T) {
+	if Combine(1, 2) == Combine(2, 1) {
+		t.Error("Combine is symmetric; keys would collide")
+	}
+	if Combine(1, 2) != Combine(1, 2) {
+		t.Error("Combine not deterministic")
+	}
+}
+
+func TestStringHash(t *testing.T) {
+	if String("convolution") == String("raycasting") {
+		t.Error("string hash collision between benchmark names")
+	}
+	if String("a") != String("a") {
+		t.Error("String not deterministic")
+	}
+}
+
+func TestUniform01Range(t *testing.T) {
+	for i := uint64(0); i < 10000; i++ {
+		u := Uniform01(i)
+		if u < 0 || u >= 1 {
+			t.Fatalf("Uniform01(%d) = %v", i, u)
+		}
+	}
+}
+
+func TestUniform01Mean(t *testing.T) {
+	var sum float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		sum += Uniform01(uint64(i) * 2654435761)
+	}
+	mean := sum / float64(n)
+	if math.Abs(mean-0.5) > 0.01 {
+		t.Errorf("mean = %v, want ~0.5", mean)
+	}
+}
+
+func TestNormalMoments(t *testing.T) {
+	var sum, sum2 float64
+	n := 50000
+	for i := 0; i < n; i++ {
+		v := Normal(uint64(i) * 0x9e3779b97f4a7c15)
+		sum += v
+		sum2 += v * v
+	}
+	mean := sum / float64(n)
+	variance := sum2/float64(n) - mean*mean
+	if math.Abs(mean) > 0.02 {
+		t.Errorf("mean = %v, want ~0", mean)
+	}
+	if math.Abs(variance-1) > 0.05 {
+		t.Errorf("variance = %v, want ~1", variance)
+	}
+}
+
+func TestNormalDeterministic(t *testing.T) {
+	if Normal(7) != Normal(7) {
+		t.Error("Normal not deterministic")
+	}
+}

@@ -1,0 +1,153 @@
+// Package kprofile defines the abstract operation profile of one kernel
+// launch under one tuning configuration. A Profile is the contract between
+// the parameterized benchmarks (which know what work a configuration
+// performs) and the device performance models (which know what that work
+// costs on a given architecture).
+//
+// Profiles can be constructed two ways:
+//
+//   - analytically, by a benchmark's profile builder (fast; used by the
+//     auto-tuning experiments at paper scale), or
+//   - by tracing, from instrumentation counters collected while the kernel
+//     actually executes on the functional OpenCL-style runtime (slow; used
+//     to validate the analytic builders).
+//
+// All memory counts are in 4-byte elements, totalled over the entire
+// NDRange launch.
+package kprofile
+
+import "fmt"
+
+// Profile describes the work performed by one kernel launch.
+type Profile struct {
+	// Kernel names the kernel, e.g. "convolution".
+	Kernel string
+
+	// NDRange geometry: total work-items launched and work-group shape.
+	GlobalX, GlobalY int
+	LocalX, LocalY   int
+
+	// OutputsPerItemX/Y give the per-work-item output tile shape
+	// ("output pixels per thread" in the paper's Table 2).
+	OutputsPerItemX, OutputsPerItemY int
+
+	// Flops is the total count of arithmetic operations.
+	Flops float64
+
+	// Memory traffic totals, by logical OpenCL memory space.
+	GlobalReads  float64
+	GlobalWrites float64
+	ImageReads   float64
+	ConstReads   float64
+	LocalReads   float64
+	LocalWrites  float64
+
+	// GlobalReadStride is the element distance between global-memory
+	// addresses read by adjacent work-items in the x dimension at the same
+	// instruction: 1 means perfectly coalescable, larger strides cost
+	// proportionally more memory transactions on GPUs. 0 means a broadcast
+	// (all lanes read the same address).
+	GlobalReadStride int
+
+	// ImageLocality2D reports whether image reads follow a 2D spatially
+	// local pattern (texture-cache friendly).
+	ImageLocality2D bool
+
+	// RowAligned reports whether rows of the global data structures start
+	// on transaction boundaries (the convolution benchmark's "add padding
+	// to image" optimization). Misaligned rows cost one extra transaction
+	// per SIMD batch.
+	RowAligned bool
+
+	// InnerIters is the total number of dominant inner-loop iterations
+	// across all work-items, after unrolling (used for loop overhead).
+	InnerIters float64
+
+	// UnrollFactor is the applied unroll factor (1 = none). DriverUnroll
+	// distinguishes driver-pragma unrolling (unreliable on some drivers)
+	// from manual macro-based unrolling.
+	UnrollFactor int
+	DriverUnroll bool
+
+	// Resource usage.
+	RegistersPerItem int   // estimated registers per work-item
+	LocalMemBytes    int   // local memory per work-group
+	BarriersPerItem  int   // barriers executed per work-item
+	WorkingSetBytes  int64 // approximate per-work-group working set
+
+	// DivergentFraction is the average fraction of SIMD lanes idle due to
+	// control-flow divergence (0 = uniform, approaches 1 = fully serial).
+	DivergentFraction float64
+
+	// Convenience flags for the memory-space tuning parameters.
+	UsesImage, UsesLocal bool
+
+	// ConfigKey is a stable hash of the originating tuning configuration,
+	// used to generate deterministic per-configuration model irregularity.
+	ConfigKey uint64
+}
+
+// WorkItems returns the total number of work-items in the launch.
+func (p *Profile) WorkItems() int { return p.GlobalX * p.GlobalY }
+
+// WorkGroups returns the number of work-groups in the launch.
+func (p *Profile) WorkGroups() int {
+	if p.LocalX == 0 || p.LocalY == 0 {
+		return 0
+	}
+	return (p.GlobalX / p.LocalX) * (p.GlobalY / p.LocalY)
+}
+
+// GroupSize returns the number of work-items per work-group.
+func (p *Profile) GroupSize() int { return p.LocalX * p.LocalY }
+
+// Outputs returns the total number of output elements produced.
+func (p *Profile) Outputs() int {
+	return p.WorkItems() * p.OutputsPerItemX * p.OutputsPerItemY
+}
+
+// Validate checks internal consistency: positive geometry, local sizes
+// dividing global sizes, and non-negative counters. The device models call
+// this before costing a profile so that benchmark bugs surface as errors
+// rather than nonsense timings.
+func (p *Profile) Validate() error {
+	switch {
+	case p.GlobalX <= 0 || p.GlobalY <= 0:
+		return fmt.Errorf("kprofile: non-positive global size %dx%d", p.GlobalX, p.GlobalY)
+	case p.LocalX <= 0 || p.LocalY <= 0:
+		return fmt.Errorf("kprofile: non-positive local size %dx%d", p.LocalX, p.LocalY)
+	case p.GlobalX%p.LocalX != 0 || p.GlobalY%p.LocalY != 0:
+		return fmt.Errorf("kprofile: local size %dx%d does not divide global size %dx%d",
+			p.LocalX, p.LocalY, p.GlobalX, p.GlobalY)
+	case p.OutputsPerItemX <= 0 || p.OutputsPerItemY <= 0:
+		return fmt.Errorf("kprofile: non-positive outputs per item %dx%d",
+			p.OutputsPerItemX, p.OutputsPerItemY)
+	case p.Flops < 0 || p.GlobalReads < 0 || p.GlobalWrites < 0 ||
+		p.ImageReads < 0 || p.ConstReads < 0 || p.LocalReads < 0 || p.LocalWrites < 0:
+		return fmt.Errorf("kprofile: negative operation count")
+	case p.UnrollFactor < 1:
+		return fmt.Errorf("kprofile: unroll factor %d < 1", p.UnrollFactor)
+	case p.DivergentFraction < 0 || p.DivergentFraction > 1:
+		return fmt.Errorf("kprofile: divergent fraction %g outside [0,1]", p.DivergentFraction)
+	case p.LocalMemBytes < 0 || p.RegistersPerItem < 0:
+		return fmt.Errorf("kprofile: negative resource usage")
+	}
+	return nil
+}
+
+// TotalMemOps returns the total number of memory operations across all
+// spaces, a rough proxy for memory-boundedness used in reports.
+func (p *Profile) TotalMemOps() float64 {
+	return p.GlobalReads + p.GlobalWrites + p.ImageReads + p.ConstReads +
+		p.LocalReads + p.LocalWrites
+}
+
+// ArithmeticIntensity returns flops per off-chip element access
+// (global + image + constant), or 0 when there is no off-chip traffic.
+func (p *Profile) ArithmeticIntensity() float64 {
+	off := p.GlobalReads + p.GlobalWrites + p.ImageReads + p.ConstReads
+	if off == 0 {
+		return 0
+	}
+	return p.Flops / off
+}

@@ -1,0 +1,92 @@
+package kprofile
+
+import "testing"
+
+func validProfile() *Profile {
+	return &Profile{
+		Kernel:  "test",
+		GlobalX: 256, GlobalY: 256,
+		LocalX: 16, LocalY: 16,
+		OutputsPerItemX: 1, OutputsPerItemY: 1,
+		Flops:        1000,
+		GlobalReads:  500,
+		GlobalWrites: 100,
+		UnrollFactor: 1,
+	}
+}
+
+func TestGeometryHelpers(t *testing.T) {
+	p := validProfile()
+	if got := p.WorkItems(); got != 256*256 {
+		t.Errorf("WorkItems = %d", got)
+	}
+	if got := p.WorkGroups(); got != 16*16 {
+		t.Errorf("WorkGroups = %d", got)
+	}
+	if got := p.GroupSize(); got != 256 {
+		t.Errorf("GroupSize = %d", got)
+	}
+	p.OutputsPerItemX, p.OutputsPerItemY = 2, 4
+	if got := p.Outputs(); got != 256*256*8 {
+		t.Errorf("Outputs = %d", got)
+	}
+}
+
+func TestWorkGroupsZeroLocal(t *testing.T) {
+	p := validProfile()
+	p.LocalX = 0
+	if got := p.WorkGroups(); got != 0 {
+		t.Errorf("WorkGroups with zero local = %d, want 0", got)
+	}
+}
+
+func TestValidateAcceptsGood(t *testing.T) {
+	if err := validProfile().Validate(); err != nil {
+		t.Fatalf("valid profile rejected: %v", err)
+	}
+}
+
+func TestValidateRejectsBad(t *testing.T) {
+	mutations := []struct {
+		name string
+		mut  func(*Profile)
+	}{
+		{"zero global", func(p *Profile) { p.GlobalX = 0 }},
+		{"zero local", func(p *Profile) { p.LocalY = 0 }},
+		{"non-dividing local", func(p *Profile) { p.LocalX = 48 }},
+		{"zero outputs per item", func(p *Profile) { p.OutputsPerItemX = 0 }},
+		{"negative flops", func(p *Profile) { p.Flops = -1 }},
+		{"negative reads", func(p *Profile) { p.ImageReads = -2 }},
+		{"zero unroll", func(p *Profile) { p.UnrollFactor = 0 }},
+		{"divergence above one", func(p *Profile) { p.DivergentFraction = 1.5 }},
+		{"negative divergence", func(p *Profile) { p.DivergentFraction = -0.1 }},
+		{"negative local mem", func(p *Profile) { p.LocalMemBytes = -4 }},
+		{"negative registers", func(p *Profile) { p.RegistersPerItem = -1 }},
+	}
+	for _, m := range mutations {
+		p := validProfile()
+		m.mut(p)
+		if err := p.Validate(); err == nil {
+			t.Errorf("%s: Validate accepted bad profile", m.name)
+		}
+	}
+}
+
+func TestTotalMemOpsAndIntensity(t *testing.T) {
+	p := validProfile()
+	p.ImageReads = 50
+	p.LocalReads = 25
+	p.LocalWrites = 25
+	p.ConstReads = 10
+	if got := p.TotalMemOps(); got != 500+100+50+25+25+10 {
+		t.Errorf("TotalMemOps = %g", got)
+	}
+	// Off-chip = 500+100+50+10 = 660.
+	if got := p.ArithmeticIntensity(); got != 1000.0/660 {
+		t.Errorf("ArithmeticIntensity = %g", got)
+	}
+	p2 := &Profile{Flops: 10}
+	if got := p2.ArithmeticIntensity(); got != 0 {
+		t.Errorf("ArithmeticIntensity with no traffic = %g, want 0", got)
+	}
+}

@@ -1,0 +1,286 @@
+package opencl
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// barrier is a reusable cyclic barrier for the work-items of one group,
+// implementing the semantics of OpenCL's barrier(CLK_LOCAL_MEM_FENCE):
+// every work-item of the group must reach it before any may continue.
+type barrier struct {
+	mu      sync.Mutex
+	cond    *sync.Cond
+	parties int
+	waiting int
+	phase   int
+}
+
+func newBarrier(parties int) *barrier {
+	b := &barrier{parties: parties}
+	b.cond = sync.NewCond(&b.mu)
+	return b
+}
+
+func (b *barrier) await() {
+	b.mu.Lock()
+	phase := b.phase
+	b.waiting++
+	if b.waiting == b.parties {
+		b.waiting = 0
+		b.phase++
+		b.cond.Broadcast()
+	} else {
+		for b.phase == phase {
+			b.cond.Wait()
+		}
+	}
+	b.mu.Unlock()
+}
+
+// workGroup is the shared state of one executing work-group.
+type workGroup struct {
+	bar *barrier
+
+	mu    sync.Mutex
+	local map[string][]float32
+}
+
+// localFloats returns the group-shared local buffer for key, allocating
+// it on first use. All work-items must request the same size.
+func (g *workGroup) localFloats(key string, n int) []float32 {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	if buf, ok := g.local[key]; ok {
+		if len(buf) != n {
+			panic(fmt.Sprintf("opencl: local buffer %q requested with size %d then %d", key, len(buf), n))
+		}
+		return buf
+	}
+	if g.local == nil {
+		g.local = make(map[string][]float32)
+	}
+	buf := make([]float32, n)
+	g.local[key] = buf
+	return buf
+}
+
+// localBytes returns the total local memory allocated by the group.
+func (g *workGroup) localBytes() int {
+	g.mu.Lock()
+	defer g.mu.Unlock()
+	total := 0
+	for _, buf := range g.local {
+		total += 4 * len(buf)
+	}
+	return total
+}
+
+// counters accumulates instrumentation during functional execution. Each
+// work-item counts privately; totals are merged per launch.
+type counters struct {
+	flops        int64
+	loopIters    int64
+	globalReads  int64
+	globalWrites int64
+	imageReads   int64
+	constReads   int64
+	localReads   int64
+	localWrites  int64
+}
+
+func (c *counters) add(o *counters) {
+	c.flops += o.flops
+	c.loopIters += o.loopIters
+	c.globalReads += o.globalReads
+	c.globalWrites += o.globalWrites
+	c.imageReads += o.imageReads
+	c.constReads += o.constReads
+	c.localReads += o.localReads
+	c.localWrites += o.localWrites
+}
+
+// WorkItem is the execution context handed to a kernel body: work-item
+// identity queries, argument access, instrumented memory operations,
+// barriers and local-memory allocation — the parts of the OpenCL C
+// built-in library the benchmarks need.
+type WorkItem struct {
+	gidX, gidY   int
+	lidX, lidY   int
+	grpX, grpY   int
+	lszX, lszY   int
+	gszX, gszY   int
+	group        *workGroup
+	kernel       *Kernel
+	c            counters
+	barrierCount int
+}
+
+// GlobalIDX returns get_global_id(0).
+func (wi *WorkItem) GlobalIDX() int { return wi.gidX }
+
+// GlobalIDY returns get_global_id(1).
+func (wi *WorkItem) GlobalIDY() int { return wi.gidY }
+
+// LocalIDX returns get_local_id(0).
+func (wi *WorkItem) LocalIDX() int { return wi.lidX }
+
+// LocalIDY returns get_local_id(1).
+func (wi *WorkItem) LocalIDY() int { return wi.lidY }
+
+// GroupIDX returns get_group_id(0).
+func (wi *WorkItem) GroupIDX() int { return wi.grpX }
+
+// GroupIDY returns get_group_id(1).
+func (wi *WorkItem) GroupIDY() int { return wi.grpY }
+
+// LocalSizeX returns get_local_size(0).
+func (wi *WorkItem) LocalSizeX() int { return wi.lszX }
+
+// LocalSizeY returns get_local_size(1).
+func (wi *WorkItem) LocalSizeY() int { return wi.lszY }
+
+// GlobalSizeX returns get_global_size(0).
+func (wi *WorkItem) GlobalSizeX() int { return wi.gszX }
+
+// GlobalSizeY returns get_global_size(1).
+func (wi *WorkItem) GlobalSizeY() int { return wi.gszY }
+
+// Barrier synchronizes all work-items of the group.
+func (wi *WorkItem) Barrier() {
+	wi.barrierCount++
+	wi.group.bar.await()
+}
+
+// LocalFloats returns the group-shared local-memory buffer named key with
+// n float32 elements, allocating it on first use.
+func (wi *WorkItem) LocalFloats(key string, n int) []float32 {
+	return wi.group.localFloats(key, n)
+}
+
+// --- argument access ---------------------------------------------------
+
+func (wi *WorkItem) arg(i int) any {
+	if i < 0 || i >= len(wi.kernel.args) {
+		panic(fmt.Sprintf("opencl: kernel %q has no argument %d", wi.kernel.name, i))
+	}
+	return wi.kernel.args[i]
+}
+
+// ArgBuffer returns argument i as a *Buffer.
+func (wi *WorkItem) ArgBuffer(i int) *Buffer { return wi.arg(i).(*Buffer) }
+
+// ArgImage2D returns argument i as a *Image2D.
+func (wi *WorkItem) ArgImage2D(i int) *Image2D { return wi.arg(i).(*Image2D) }
+
+// ArgImage3D returns argument i as a *Image3D.
+func (wi *WorkItem) ArgImage3D(i int) *Image3D { return wi.arg(i).(*Image3D) }
+
+// ArgInt returns argument i as an int.
+func (wi *WorkItem) ArgInt(i int) int { return wi.arg(i).(int) }
+
+// ArgFloat returns argument i as a float32 (accepting float64 literals).
+func (wi *WorkItem) ArgFloat(i int) float32 {
+	switch v := wi.arg(i).(type) {
+	case float32:
+		return v
+	case float64:
+		return float32(v)
+	default:
+		panic(fmt.Sprintf("opencl: kernel %q argument %d is %T, not float", wi.kernel.name, i, v))
+	}
+}
+
+// --- instrumented operations --------------------------------------------
+
+// Flops records n arithmetic operations.
+func (wi *WorkItem) Flops(n int) { wi.c.flops += int64(n) }
+
+// LoopIter records n executed iterations of a (non-unrolled) loop body,
+// feeding the loop-overhead term of the device models.
+func (wi *WorkItem) LoopIter(n int) { wi.c.loopIters += int64(n) }
+
+// LoadGlobal reads element i of a global-memory buffer.
+func (wi *WorkItem) LoadGlobal(b *Buffer, i int) float32 {
+	wi.c.globalReads++
+	return b.data[i]
+}
+
+// StoreGlobal writes element i of a global-memory buffer.
+func (wi *WorkItem) StoreGlobal(b *Buffer, i int, v float32) {
+	wi.c.globalWrites++
+	b.data[i] = v
+}
+
+// LoadConst reads element i of a buffer bound to constant memory.
+func (wi *WorkItem) LoadConst(b *Buffer, i int) float32 {
+	wi.c.constReads++
+	return b.data[i]
+}
+
+// LoadLocal reads element i of a local-memory buffer.
+func (wi *WorkItem) LoadLocal(mem []float32, i int) float32 {
+	wi.c.localReads++
+	return mem[i]
+}
+
+// StoreLocal writes element i of a local-memory buffer.
+func (wi *WorkItem) StoreLocal(mem []float32, i int, v float32) {
+	wi.c.localWrites++
+	mem[i] = v
+}
+
+// ReadImage2D samples a 2D image at integer coordinates (nearest,
+// clamp-to-edge).
+func (wi *WorkItem) ReadImage2D(im *Image2D, x, y int) float32 {
+	wi.c.imageReads++
+	return im.texel(x, y)
+}
+
+// SampleImage2D samples a 2D image at floating-point texel coordinates
+// with the given filter and clamp-to-edge addressing. Following the
+// OpenCL convention, the texel centre sits at +0.5.
+func (wi *WorkItem) SampleImage2D(im *Image2D, s Sampler, x, y float32) float32 {
+	wi.c.imageReads++
+	if s == Nearest {
+		return im.texel(int(math.Floor(float64(x))), int(math.Floor(float64(y))))
+	}
+	fx, fy := float64(x)-0.5, float64(y)-0.5
+	x0, y0 := int(math.Floor(fx)), int(math.Floor(fy))
+	ax, ay := float32(fx-float64(x0)), float32(fy-float64(y0))
+	v00 := im.texel(x0, y0)
+	v10 := im.texel(x0+1, y0)
+	v01 := im.texel(x0, y0+1)
+	v11 := im.texel(x0+1, y0+1)
+	return lerp(lerp(v00, v10, ax), lerp(v01, v11, ax), ay)
+}
+
+// ReadImage3D samples a 3D image at integer coordinates (nearest,
+// clamp-to-edge).
+func (wi *WorkItem) ReadImage3D(im *Image3D, x, y, z int) float32 {
+	wi.c.imageReads++
+	return im.texel(x, y, z)
+}
+
+// SampleImage3D samples a 3D image at floating-point texel coordinates
+// with the given filter and clamp-to-edge addressing.
+func (wi *WorkItem) SampleImage3D(im *Image3D, s Sampler, x, y, z float32) float32 {
+	wi.c.imageReads++
+	if s == Nearest {
+		return im.texel(
+			int(math.Floor(float64(x))),
+			int(math.Floor(float64(y))),
+			int(math.Floor(float64(z))))
+	}
+	fx, fy, fz := float64(x)-0.5, float64(y)-0.5, float64(z)-0.5
+	x0, y0, z0 := int(math.Floor(fx)), int(math.Floor(fy)), int(math.Floor(fz))
+	ax, ay, az := float32(fx-float64(x0)), float32(fy-float64(y0)), float32(fz-float64(z0))
+	c00 := lerp(im.texel(x0, y0, z0), im.texel(x0+1, y0, z0), ax)
+	c10 := lerp(im.texel(x0, y0+1, z0), im.texel(x0+1, y0+1, z0), ax)
+	c01 := lerp(im.texel(x0, y0, z0+1), im.texel(x0+1, y0, z0+1), ax)
+	c11 := lerp(im.texel(x0, y0+1, z0+1), im.texel(x0+1, y0+1, z0+1), ax)
+	return lerp(lerp(c00, c10, ay), lerp(c01, c11, ay), az)
+}
+
+func lerp(a, b, t float32) float32 { return a + (b-a)*t }

@@ -1,0 +1,82 @@
+package tuning
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Config is one point in a parameter space: the value chosen for each
+// parameter, in the space's parameter order. A Config is only meaningful
+// together with the Space that produced it.
+type Config struct {
+	space  *Space
+	values []int
+}
+
+// Space returns the space this configuration belongs to.
+func (c Config) Space() *Space { return c.space }
+
+// Values returns the raw parameter values in parameter order.
+// The returned slice is shared; callers must not modify it.
+func (c Config) Values() []int { return c.values }
+
+// Value returns the value of the named parameter.
+// It panics if the parameter does not exist, which always indicates a
+// programming error in a kernel or model implementation.
+func (c Config) Value(name string) int {
+	i, ok := c.space.paramIndex[name]
+	if !ok {
+		panic(fmt.Sprintf("tuning: config has no parameter %q", name))
+	}
+	return c.values[i]
+}
+
+// Bool returns the value of the named parameter interpreted as a flag.
+func (c Config) Bool(name string) bool { return c.Value(name) != 0 }
+
+// Index returns the dense index of this configuration within its space.
+func (c Config) Index() int64 {
+	var idx int64
+	for i, p := range c.space.params {
+		pos := p.IndexOf(c.values[i])
+		if pos < 0 {
+			panic(fmt.Sprintf("tuning: config value %d invalid for parameter %q", c.values[i], p.Name))
+		}
+		idx = idx*int64(p.Arity()) + int64(pos)
+	}
+	return idx
+}
+
+// Map returns the configuration as a name -> value map. Useful for
+// constructing kernel build options.
+func (c Config) Map() map[string]int {
+	m := make(map[string]int, len(c.values))
+	for i, p := range c.space.params {
+		m[p.Name] = c.values[i]
+	}
+	return m
+}
+
+// String renders the configuration as "(v1,v2,...)", matching the notation
+// used in the paper's Figure 3.
+func (c Config) String() string {
+	parts := make([]string, len(c.values))
+	for i, v := range c.values {
+		parts[i] = fmt.Sprint(v)
+	}
+	return "(" + strings.Join(parts, ",") + ")"
+}
+
+// Equal reports whether two configurations have identical values.
+// Configurations from different spaces are never equal.
+func (c Config) Equal(o Config) bool {
+	if c.space != o.space || len(c.values) != len(o.values) {
+		return false
+	}
+	for i := range c.values {
+		if c.values[i] != o.values[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,74 @@
+package tuning
+
+import "math"
+
+// Encoder maps configurations to fixed-length float feature vectors for
+// the neural network. Following the paper (§3: "our method uses values of
+// tuning parameters to directly predict execution time"), each parameter
+// contributes exactly one feature. Power-of-two-valued parameters are
+// encoded as log2(value) so that doubling steps are equidistant, then all
+// features are scaled to [0, 1] per parameter; binary parameters map to
+// {0, 1} directly. The scaling keeps sigmoid units in their sensitive
+// range without requiring a data-dependent standardization pass.
+type Encoder struct {
+	space  *Space
+	useLog []bool    // per parameter: encode as log2
+	lo, hi []float64 // per parameter: raw feature range before scaling
+}
+
+// NewEncoder builds an encoder for the given space.
+func NewEncoder(space *Space) *Encoder {
+	e := &Encoder{
+		space:  space,
+		useLog: make([]bool, len(space.params)),
+		lo:     make([]float64, len(space.params)),
+		hi:     make([]float64, len(space.params)),
+	}
+	for i, p := range space.params {
+		e.useLog[i] = allPositivePow2(p.Values) && len(p.Values) > 2
+		lo, hi := math.Inf(1), math.Inf(-1)
+		for _, v := range p.Values {
+			f := e.raw(i, v)
+			lo = math.Min(lo, f)
+			hi = math.Max(hi, f)
+		}
+		e.lo[i], e.hi[i] = lo, hi
+	}
+	return e
+}
+
+// Dim returns the feature-vector length (one feature per parameter).
+func (e *Encoder) Dim() int { return len(e.space.params) }
+
+// raw returns the unscaled feature for parameter i at value v.
+func (e *Encoder) raw(i, v int) float64 {
+	if e.useLog[i] {
+		return math.Log2(float64(v))
+	}
+	return float64(v)
+}
+
+// Encode appends the feature vector for cfg to dst and returns it.
+// Passing a dst with sufficient capacity avoids allocation in the
+// full-space prediction sweep.
+func (e *Encoder) Encode(cfg Config, dst []float64) []float64 {
+	for i, v := range cfg.values {
+		f := e.raw(i, v)
+		if e.hi[i] > e.lo[i] {
+			f = (f - e.lo[i]) / (e.hi[i] - e.lo[i])
+		} else {
+			f = 0
+		}
+		dst = append(dst, f)
+	}
+	return dst
+}
+
+func allPositivePow2(values []int) bool {
+	for _, v := range values {
+		if v <= 0 || v&(v-1) != 0 {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,82 @@
+// Package tuning defines tuning-parameter spaces: named parameters with
+// finite value sets, dense index <-> configuration bijections over the
+// cartesian product, random sampling without replacement, and the feature
+// encoding used to feed configurations to the machine-learning model.
+//
+// The package is deliberately independent of both the benchmarks that
+// declare spaces and the devices that constrain them; device-dependent
+// validity is expressed by predicates supplied by callers.
+package tuning
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Param is a single tuning parameter with a finite, ordered set of integer
+// values. Boolean parameters use the values {0, 1}.
+type Param struct {
+	// Name identifies the parameter, e.g. "wg_x" or "use_local".
+	Name string
+	// Values lists the allowed values in the order used for indexing.
+	Values []int
+}
+
+// NewParam returns a parameter with the given name and values.
+// It panics if no values are provided or values are duplicated, since a
+// malformed parameter invalidates every index computation built on it.
+func NewParam(name string, values ...int) Param {
+	if len(values) == 0 {
+		panic(fmt.Sprintf("tuning: parameter %q has no values", name))
+	}
+	seen := make(map[int]bool, len(values))
+	for _, v := range values {
+		if seen[v] {
+			panic(fmt.Sprintf("tuning: parameter %q has duplicate value %d", name, v))
+		}
+		seen[v] = true
+	}
+	return Param{Name: name, Values: append([]int(nil), values...)}
+}
+
+// BoolParam returns an on/off parameter with values {0, 1}.
+func BoolParam(name string) Param {
+	return NewParam(name, 0, 1)
+}
+
+// Pow2Param returns a parameter whose values are the powers of two from
+// lo to hi inclusive. It panics unless lo and hi are powers of two with
+// lo <= hi.
+func Pow2Param(name string, lo, hi int) Param {
+	if lo <= 0 || hi < lo || lo&(lo-1) != 0 || hi&(hi-1) != 0 {
+		panic(fmt.Sprintf("tuning: Pow2Param(%q, %d, %d) invalid bounds", name, lo, hi))
+	}
+	var vals []int
+	for v := lo; v <= hi; v *= 2 {
+		vals = append(vals, v)
+	}
+	return NewParam(name, vals...)
+}
+
+// Arity returns the number of allowed values.
+func (p Param) Arity() int { return len(p.Values) }
+
+// IndexOf returns the position of value v in the parameter's value list,
+// or -1 if v is not an allowed value.
+func (p Param) IndexOf(v int) int {
+	for i, pv := range p.Values {
+		if pv == v {
+			return i
+		}
+	}
+	return -1
+}
+
+// String renders the parameter as "name{v1,v2,...}".
+func (p Param) String() string {
+	parts := make([]string, len(p.Values))
+	for i, v := range p.Values {
+		parts[i] = fmt.Sprint(v)
+	}
+	return p.Name + "{" + strings.Join(parts, ",") + "}"
+}

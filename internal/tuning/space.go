@@ -1,0 +1,177 @@
+package tuning
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// Space is the cartesian product of a list of parameters. It provides a
+// dense bijection between configurations and indices in [0, Size()), which
+// the auto-tuner uses both to sample training configurations without
+// replacement and to sweep the entire space during prediction.
+type Space struct {
+	name       string
+	params     []Param
+	paramIndex map[string]int
+	size       int64
+}
+
+// NewSpace builds a space from the given parameters. Parameter names must
+// be unique.
+func NewSpace(name string, params ...Param) *Space {
+	s := &Space{
+		name:       name,
+		params:     append([]Param(nil), params...),
+		paramIndex: make(map[string]int, len(params)),
+		size:       1,
+	}
+	for i, p := range s.params {
+		if _, dup := s.paramIndex[p.Name]; dup {
+			panic(fmt.Sprintf("tuning: duplicate parameter %q in space %q", p.Name, name))
+		}
+		s.paramIndex[p.Name] = i
+		s.size *= int64(p.Arity())
+	}
+	return s
+}
+
+// Name returns the space's name (normally the benchmark name).
+func (s *Space) Name() string { return s.name }
+
+// Params returns the parameters in declaration order.
+// The returned slice is shared; callers must not modify it.
+func (s *Space) Params() []Param { return s.params }
+
+// Param returns the named parameter and whether it exists.
+func (s *Space) Param(name string) (Param, bool) {
+	i, ok := s.paramIndex[name]
+	if !ok {
+		return Param{}, false
+	}
+	return s.params[i], true
+}
+
+// Size returns the total number of configurations in the space.
+func (s *Space) Size() int64 { return s.size }
+
+// At returns the configuration with the given dense index.
+// It panics if idx is out of range.
+func (s *Space) At(idx int64) Config {
+	if idx < 0 || idx >= s.size {
+		panic(fmt.Sprintf("tuning: index %d out of range for space %q of size %d", idx, s.name, s.size))
+	}
+	values := make([]int, len(s.params))
+	for i := len(s.params) - 1; i >= 0; i-- {
+		arity := int64(s.params[i].Arity())
+		values[i] = s.params[i].Values[idx%arity]
+		idx /= arity
+	}
+	return Config{space: s, values: values}
+}
+
+// Make builds a configuration from explicit values, validating each against
+// its parameter. The values slice must have one entry per parameter.
+func (s *Space) Make(values ...int) (Config, error) {
+	if len(values) != len(s.params) {
+		return Config{}, fmt.Errorf("tuning: space %q needs %d values, got %d", s.name, len(s.params), len(values))
+	}
+	for i, v := range values {
+		if s.params[i].IndexOf(v) < 0 {
+			return Config{}, fmt.Errorf("tuning: value %d invalid for parameter %q", v, s.params[i].Name)
+		}
+	}
+	return Config{space: s, values: append([]int(nil), values...)}, nil
+}
+
+// MustMake is Make but panics on error; intended for tests and literals.
+func (s *Space) MustMake(values ...int) Config {
+	c, err := s.Make(values...)
+	if err != nil {
+		panic(err)
+	}
+	return c
+}
+
+// FromMap builds a configuration from a name -> value map. Every parameter
+// must be present.
+func (s *Space) FromMap(m map[string]int) (Config, error) {
+	values := make([]int, len(s.params))
+	for i, p := range s.params {
+		v, ok := m[p.Name]
+		if !ok {
+			return Config{}, fmt.Errorf("tuning: map missing parameter %q", p.Name)
+		}
+		values[i] = v
+	}
+	return s.Make(values...)
+}
+
+// Each calls fn for every configuration in the space, in index order,
+// stopping early if fn returns false. It is the exhaustive-search primitive.
+func (s *Space) Each(fn func(Config) bool) {
+	for idx := int64(0); idx < s.size; idx++ {
+		if !fn(s.At(idx)) {
+			return
+		}
+	}
+}
+
+// Sample returns n distinct configurations drawn uniformly at random,
+// using the provided random source. If n >= Size() the whole space is
+// returned in random order. This is the paper's "pick random configs" step.
+func (s *Space) Sample(rng *rand.Rand, n int) []Config {
+	if int64(n) >= s.size {
+		n = int(s.size)
+	}
+	idxs := sampleIndices(rng, s.size, n)
+	out := make([]Config, n)
+	for i, idx := range idxs {
+		out[i] = s.At(idx)
+	}
+	return out
+}
+
+// SampleIndices returns n distinct indices drawn uniformly from [0, Size()).
+func (s *Space) SampleIndices(rng *rand.Rand, n int) []int64 {
+	if int64(n) >= s.size {
+		n = int(s.size)
+	}
+	return sampleIndices(rng, s.size, n)
+}
+
+// sampleIndices draws n distinct values from [0, size) without replacement.
+// For dense draws (n a sizable fraction of size) it uses a partial
+// Fisher-Yates shuffle; for sparse draws it uses rejection sampling with a
+// set, which avoids materializing the whole index range.
+func sampleIndices(rng *rand.Rand, size int64, n int) []int64 {
+	if int64(n) > size {
+		n = int(size)
+	}
+	if size <= int64(4*n) || size <= 1<<20 {
+		perm := make([]int64, size)
+		for i := range perm {
+			perm[i] = int64(i)
+		}
+		// Partial Fisher-Yates: only the first n positions are needed.
+		for i := 0; i < n; i++ {
+			j := int64(i) + rng.Int63n(size-int64(i))
+			perm[i], perm[j] = perm[j], perm[i]
+		}
+		return perm[:n]
+	}
+	seen := make(map[int64]bool, n)
+	out := make([]int64, 0, n)
+	for len(out) < n {
+		idx := rng.Int63n(size)
+		if !seen[idx] {
+			seen[idx] = true
+			out = append(out, idx)
+		}
+	}
+	return out
+}
+
+// String renders the space with its parameters and total size.
+func (s *Space) String() string {
+	return fmt.Sprintf("space %q: %d params, %d configurations", s.name, len(s.params), s.size)
+}

@@ -1,0 +1,296 @@
+package tuning
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func testSpace() *Space {
+	return NewSpace("test",
+		Pow2Param("wg_x", 1, 8),
+		Pow2Param("wg_y", 1, 4),
+		BoolParam("flag"),
+		NewParam("unroll", 1, 2, 4, 8, 16),
+	)
+}
+
+func TestParamConstructors(t *testing.T) {
+	p := Pow2Param("p", 1, 128)
+	want := []int{1, 2, 4, 8, 16, 32, 64, 128}
+	if p.Arity() != len(want) {
+		t.Fatalf("Pow2Param arity = %d, want %d", p.Arity(), len(want))
+	}
+	for i, v := range want {
+		if p.Values[i] != v {
+			t.Errorf("Pow2Param values[%d] = %d, want %d", i, p.Values[i], v)
+		}
+	}
+	b := BoolParam("b")
+	if b.Arity() != 2 || b.Values[0] != 0 || b.Values[1] != 1 {
+		t.Errorf("BoolParam = %v", b)
+	}
+}
+
+func TestParamPanics(t *testing.T) {
+	cases := []func(){
+		func() { NewParam("empty") },
+		func() { NewParam("dup", 1, 1) },
+		func() { Pow2Param("bad", 3, 8) },
+		func() { Pow2Param("bad", 8, 4) },
+		func() { Pow2Param("bad", 0, 4) },
+	}
+	for i, fn := range cases {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("case %d did not panic", i)
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestParamIndexOf(t *testing.T) {
+	p := NewParam("p", 1, 2, 4)
+	if got := p.IndexOf(2); got != 1 {
+		t.Errorf("IndexOf(2) = %d, want 1", got)
+	}
+	if got := p.IndexOf(3); got != -1 {
+		t.Errorf("IndexOf(3) = %d, want -1", got)
+	}
+}
+
+func TestSpaceSize(t *testing.T) {
+	s := testSpace()
+	want := int64(4 * 3 * 2 * 5)
+	if s.Size() != want {
+		t.Fatalf("Size = %d, want %d", s.Size(), want)
+	}
+}
+
+func TestSpaceDuplicateParamPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate parameter name did not panic")
+		}
+	}()
+	NewSpace("dup", BoolParam("a"), BoolParam("a"))
+}
+
+// The index <-> config mapping must be a bijection over the whole space.
+func TestIndexBijection(t *testing.T) {
+	s := testSpace()
+	seen := make(map[string]bool)
+	for idx := int64(0); idx < s.Size(); idx++ {
+		cfg := s.At(idx)
+		if back := cfg.Index(); back != idx {
+			t.Fatalf("At(%d).Index() = %d", idx, back)
+		}
+		key := cfg.String()
+		if seen[key] {
+			t.Fatalf("duplicate config %s", key)
+		}
+		seen[key] = true
+	}
+	if int64(len(seen)) != s.Size() {
+		t.Fatalf("enumerated %d distinct configs, want %d", len(seen), s.Size())
+	}
+}
+
+func TestAtOutOfRangePanics(t *testing.T) {
+	s := testSpace()
+	for _, idx := range []int64{-1, s.Size()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("At(%d) did not panic", idx)
+				}
+			}()
+			s.At(idx)
+		}()
+	}
+}
+
+func TestMakeAndFromMap(t *testing.T) {
+	s := testSpace()
+	cfg, err := s.Make(4, 2, 1, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Value("wg_x") != 4 || cfg.Value("unroll") != 8 || !cfg.Bool("flag") {
+		t.Errorf("Make values wrong: %v", cfg)
+	}
+	if _, err := s.Make(3, 2, 1, 8); err == nil {
+		t.Error("Make with invalid value did not fail")
+	}
+	if _, err := s.Make(4, 2, 1); err == nil {
+		t.Error("Make with missing value did not fail")
+	}
+
+	m := cfg.Map()
+	cfg2, err := s.FromMap(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !cfg.Equal(cfg2) {
+		t.Errorf("FromMap(Map()) = %v, want %v", cfg2, cfg)
+	}
+	delete(m, "flag")
+	if _, err := s.FromMap(m); err == nil {
+		t.Error("FromMap with missing key did not fail")
+	}
+}
+
+func TestConfigValuePanics(t *testing.T) {
+	s := testSpace()
+	cfg := s.At(0)
+	defer func() {
+		if recover() == nil {
+			t.Error("Value of unknown parameter did not panic")
+		}
+	}()
+	cfg.Value("nope")
+}
+
+func TestConfigString(t *testing.T) {
+	s := testSpace()
+	cfg := s.MustMake(2, 1, 0, 4)
+	if got := cfg.String(); got != "(2,1,0,4)" {
+		t.Errorf("String = %q", got)
+	}
+}
+
+func TestEach(t *testing.T) {
+	s := testSpace()
+	count := 0
+	s.Each(func(Config) bool { count++; return true })
+	if int64(count) != s.Size() {
+		t.Errorf("Each visited %d, want %d", count, s.Size())
+	}
+	count = 0
+	s.Each(func(Config) bool { count++; return count < 10 })
+	if count != 10 {
+		t.Errorf("Each early stop visited %d, want 10", count)
+	}
+}
+
+func TestSampleDistinct(t *testing.T) {
+	s := testSpace()
+	rng := rand.New(rand.NewSource(42))
+	for _, n := range []int{1, 10, 50, int(s.Size()), int(s.Size()) + 10} {
+		got := s.Sample(rng, n)
+		want := n
+		if int64(n) > s.Size() {
+			want = int(s.Size())
+		}
+		if len(got) != want {
+			t.Fatalf("Sample(%d) returned %d configs, want %d", n, len(got), want)
+		}
+		seen := make(map[int64]bool)
+		for _, cfg := range got {
+			idx := cfg.Index()
+			if seen[idx] {
+				t.Fatalf("Sample(%d) returned duplicate index %d", n, idx)
+			}
+			seen[idx] = true
+		}
+	}
+}
+
+func TestSampleDeterministic(t *testing.T) {
+	s := testSpace()
+	a := s.SampleIndices(rand.New(rand.NewSource(7)), 20)
+	b := s.SampleIndices(rand.New(rand.NewSource(7)), 20)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("sampling not deterministic at %d: %d vs %d", i, a[i], b[i])
+		}
+	}
+}
+
+func TestSampleSparsePath(t *testing.T) {
+	// A large space exercises the rejection-sampling path.
+	big := NewSpace("big",
+		Pow2Param("a", 1, 128), Pow2Param("b", 1, 128),
+		Pow2Param("c", 1, 128), Pow2Param("d", 1, 128),
+		Pow2Param("e", 1, 128), Pow2Param("f", 1, 128),
+		Pow2Param("g", 1, 128), Pow2Param("h", 1, 128),
+	)
+	if big.Size() != 1<<24 {
+		t.Fatalf("big space size = %d", big.Size())
+	}
+	idxs := big.SampleIndices(rand.New(rand.NewSource(3)), 100)
+	seen := make(map[int64]bool)
+	for _, idx := range idxs {
+		if idx < 0 || idx >= big.Size() {
+			t.Fatalf("index %d out of range", idx)
+		}
+		if seen[idx] {
+			t.Fatalf("duplicate index %d", idx)
+		}
+		seen[idx] = true
+	}
+}
+
+func TestEncoderRangeAndDim(t *testing.T) {
+	s := testSpace()
+	e := NewEncoder(s)
+	if e.Dim() != 4 {
+		t.Fatalf("Dim = %d, want 4", e.Dim())
+	}
+	buf := make([]float64, 0, e.Dim())
+	seenLo := make([]bool, e.Dim())
+	seenHi := make([]bool, e.Dim())
+	for idx := int64(0); idx < s.Size(); idx++ {
+		buf = e.Encode(s.At(idx), buf[:0])
+		for i, f := range buf {
+			if f < 0 || f > 1 {
+				t.Fatalf("feature %d = %g outside [0,1]", i, f)
+			}
+			if f == 0 {
+				seenLo[i] = true
+			}
+			if f == 1 {
+				seenHi[i] = true
+			}
+		}
+	}
+	for i := range seenLo {
+		if !seenLo[i] || !seenHi[i] {
+			t.Errorf("feature %d never reached both 0 and 1 (lo=%v hi=%v)", i, seenLo[i], seenHi[i])
+		}
+	}
+}
+
+func TestEncoderLogSpacing(t *testing.T) {
+	s := NewSpace("p2", Pow2Param("x", 1, 8))
+	e := NewEncoder(s)
+	// Values 1,2,4,8 must be equidistant in feature space (log encoding).
+	var feats []float64
+	for _, v := range []int{1, 2, 4, 8} {
+		cfg := s.MustMake(v)
+		feats = append(feats, e.Encode(cfg, nil)[0])
+	}
+	for i := 1; i < len(feats); i++ {
+		d := feats[i] - feats[i-1]
+		if d < 0.33 || d > 0.34 {
+			t.Errorf("log spacing step %d = %g, want 1/3", i, d)
+		}
+	}
+}
+
+func TestEncoderDistinctConfigsDistinctFeatures(t *testing.T) {
+	s := testSpace()
+	e := NewEncoder(s)
+	seen := make(map[[4]float64]int64)
+	for idx := int64(0); idx < s.Size(); idx++ {
+		f := e.Encode(s.At(idx), nil)
+		var key [4]float64
+		copy(key[:], f)
+		if prev, dup := seen[key]; dup {
+			t.Fatalf("configs %d and %d encode identically", prev, idx)
+		}
+		seen[key] = idx
+	}
+}

@@ -1,0 +1,214 @@
+// Package mltune is a machine-learning-based auto-tuner for OpenCL-style
+// kernels, reproducing Falch & Elster, "Machine Learning Based Auto-tuning
+// for Enhanced OpenCL Performance Portability" (IPDPSW 2015).
+//
+// The package ties together:
+//
+//   - three parameterized benchmarks (convolution, raycasting, stereo)
+//     with the paper's tuning parameters (internal/bench),
+//   - simulated devices — Intel i7 3770, Nvidia K40/C2070/GTX980, AMD
+//     HD 7970 — with analytic performance models (internal/devsim),
+//   - a functional OpenCL-style runtime that executes the kernels and
+//     verifies their output (internal/opencl),
+//   - the paper's model: bagged single-hidden-layer neural networks
+//     trained on log execution time (internal/ann), and
+//   - the two-stage auto-tuner built from them (internal/core).
+//
+// Quick start:
+//
+//	m, _ := mltune.NewMeasurer("convolution", mltune.NvidiaK40, mltune.Size{})
+//	res, _ := mltune.Tune(m, mltune.DefaultOptions(42))
+//	fmt.Println(res.Best, res.BestSeconds)
+//
+// Custom systems plug in through the Measurer interface: anything that
+// can time one configuration of a tuning Space can be auto-tuned.
+package mltune
+
+import (
+	"io"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/experiments"
+	"repro/internal/opencl"
+	"repro/internal/tuning"
+)
+
+// Re-exported types: the public surface of the library. The underlying
+// packages live under internal/ to keep their implementation details
+// private; these aliases are the supported names.
+type (
+	// Benchmark is a parameterized benchmark (Table 1 of the paper).
+	Benchmark = bench.Benchmark
+	// Size selects a benchmark problem size; the zero value means the
+	// paper's defaults.
+	Size = bench.Size
+	// Device is a simulated OpenCL device with a performance model.
+	Device = devsim.Device
+	// Space is a tuning-parameter space.
+	Space = tuning.Space
+	// Param is one tuning parameter.
+	Param = tuning.Param
+	// Config is one point of a tuning space.
+	Config = tuning.Config
+	// Measurer measures the execution time of one configuration.
+	Measurer = core.Measurer
+	// FuncMeasurer adapts a plain function to the Measurer interface.
+	FuncMeasurer = core.FuncMeasurer
+	// SimMeasurer measures benchmark configurations on a simulated
+	// device via analytic profiles (fast; paper-scale experiments).
+	SimMeasurer = core.SimMeasurer
+	// RuntimeMeasurer measures by executing kernels on the functional
+	// OpenCL-style runtime (slow; verifies output).
+	RuntimeMeasurer = core.RuntimeMeasurer
+	// Sample is one measured configuration.
+	Sample = core.Sample
+	// Options configures a tuning run (N, M, seed, model).
+	Options = core.Options
+	// ModelConfig configures the neural-network performance model.
+	ModelConfig = core.ModelConfig
+	// Model is a trained performance model.
+	Model = core.Model
+	// Result is the outcome of a tuning run.
+	Result = core.Result
+	// SearchResult is the outcome of a baseline search.
+	SearchResult = core.SearchResult
+)
+
+// Canonical device names (the devices of the paper's evaluation).
+const (
+	IntelI7      = devsim.IntelI7
+	NvidiaK40    = devsim.NvidiaK40
+	AMD7970      = devsim.AMD7970
+	NvidiaC2070  = devsim.NvidiaC2070
+	NvidiaGTX980 = devsim.NvidiaGTX980
+)
+
+// Benchmarks returns the paper's three benchmarks.
+func Benchmarks() []Benchmark { return bench.All() }
+
+// BenchmarkNames returns the registered benchmark names.
+func BenchmarkNames() []string { return bench.Names() }
+
+// LookupBenchmark returns the named benchmark.
+func LookupBenchmark(name string) (Benchmark, error) { return bench.Lookup(name) }
+
+// DeviceNames returns the simulated device catalog names.
+func DeviceNames() []string { return devsim.Names() }
+
+// LookupDevice returns the named simulated device.
+func LookupDevice(name string) (*Device, error) { return devsim.Lookup(name) }
+
+// PaperDevices returns the Intel i7 3770, Nvidia K40 and AMD HD 7970.
+func PaperDevices() []*Device { return devsim.PaperDevices() }
+
+// NewMeasurer builds the standard measurer: benchmark by name, device by
+// name, analytic profiles, best-of-3 measurement protocol.
+func NewMeasurer(benchmark, device string, size Size) (*SimMeasurer, error) {
+	b, err := bench.Lookup(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	d, err := devsim.Lookup(device)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewSimMeasurer(b, d, size, 3)
+}
+
+// NewRuntimeMeasurer builds a measurer that executes the benchmark's
+// kernel on the functional OpenCL-style runtime, verifying every output
+// against the sequential reference.
+func NewRuntimeMeasurer(benchmark, device string, size Size, seed int64) (*RuntimeMeasurer, error) {
+	b, err := bench.Lookup(benchmark)
+	if err != nil {
+		return nil, err
+	}
+	d, err := opencl.DeviceByName(device)
+	if err != nil {
+		return nil, err
+	}
+	return core.NewRuntimeMeasurer(b, d, size, seed, true)
+}
+
+// Tune runs the paper's two-stage auto-tuner against the measurer.
+func Tune(m Measurer, opts Options) (*Result, error) { return core.Tune(m, opts) }
+
+// DefaultOptions returns the paper's highlighted configuration
+// (N=2000 training samples, M=200 second-stage candidates).
+func DefaultOptions(seed int64) Options { return core.DefaultOptions(seed) }
+
+// DefaultModelConfig returns the paper's model: k=11 bagged networks with
+// one hidden layer of 30 sigmoid neurons, trained on log(time).
+func DefaultModelConfig(seed int64) ModelConfig { return core.DefaultModelConfig(seed) }
+
+// TrainModel fits a performance model to measured samples (stage 1 of
+// the tuner, usable standalone for prediction studies).
+func TrainModel(space *Space, samples []Sample, invalid []Config, cfg ModelConfig) (*Model, error) {
+	return core.TrainModel(space, samples, invalid, cfg)
+}
+
+// RandomSearch measures n random configurations and returns the fastest.
+func RandomSearch(m Measurer, n int, seed int64) (*SearchResult, error) {
+	return core.RandomSearch(m, n, seed)
+}
+
+// Exhaustive measures every configuration and returns the fastest.
+func Exhaustive(m Measurer) (*SearchResult, error) { return core.Exhaustive(m) }
+
+// HillClimb runs the steepest-descent local-search baseline within a
+// measurement budget, with random restarts.
+func HillClimb(m Measurer, budget, restarts int, seed int64) (*SearchResult, error) {
+	return core.HillClimb(m, budget, restarts, seed)
+}
+
+// SuggestM estimates the smallest second-stage size M that contains the
+// true optimum with the given confidence, from a trained model and
+// held-out validation samples (the paper's §5.3 proposal).
+func SuggestM(model *Model, validation []Sample, confidence float64, trials int, seed int64) (int, error) {
+	return core.SuggestM(model, validation, confidence, trials, seed)
+}
+
+// IsInvalid reports whether err marks an invalid tuning configuration
+// (as opposed to an internal failure).
+func IsInvalid(err error) bool { return devsim.IsInvalid(err) }
+
+// Tuning-space constructors for user-defined kernels.
+
+// NewSpace builds a tuning space from parameters.
+func NewSpace(name string, params ...Param) *Space { return tuning.NewSpace(name, params...) }
+
+// NewParam builds a parameter with explicit values.
+func NewParam(name string, values ...int) Param { return tuning.NewParam(name, values...) }
+
+// Pow2Param builds a power-of-two-valued parameter in [lo, hi].
+func Pow2Param(name string, lo, hi int) Param { return tuning.Pow2Param(name, lo, hi) }
+
+// BoolParam builds an on/off parameter.
+func BoolParam(name string) Param { return tuning.BoolParam(name) }
+
+// Experiments returns the ids of the paper's tables and figures that can
+// be regenerated (see cmd/experiments).
+func Experiments() []string { return experiments.IDs() }
+
+// RunExperiment regenerates one paper table/figure at the given scale
+// ("smoke", "quick" or "paper"), writing the text report to w.
+func RunExperiment(id, scale string, seed int64, w io.Writer) error {
+	sc, err := experiments.ParseScale(scale)
+	if err != nil {
+		return err
+	}
+	e, err := experiments.Lookup(id)
+	if err != nil {
+		return err
+	}
+	rep, err := e.Execute(&experiments.Ctx{Scale: sc, Seed: seed})
+	if err != nil {
+		return err
+	}
+	if w != nil {
+		rep.WriteText(w)
+	}
+	return nil
+}

@@ -1,0 +1,135 @@
+package mltune_test
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	mltune "repro"
+)
+
+func TestFacadeCatalogs(t *testing.T) {
+	if got := mltune.BenchmarkNames(); len(got) != 3 {
+		t.Errorf("BenchmarkNames = %v", got)
+	}
+	if got := mltune.DeviceNames(); len(got) != 5 {
+		t.Errorf("DeviceNames = %v", got)
+	}
+	if got := mltune.Benchmarks(); len(got) != 3 {
+		t.Errorf("Benchmarks returned %d", len(got))
+	}
+	if got := mltune.PaperDevices(); len(got) != 3 {
+		t.Errorf("PaperDevices returned %d", len(got))
+	}
+	if _, err := mltune.LookupBenchmark("convolution"); err != nil {
+		t.Error(err)
+	}
+	if _, err := mltune.LookupDevice(mltune.AMD7970); err != nil {
+		t.Error(err)
+	}
+	if _, err := mltune.LookupBenchmark("nope"); err == nil {
+		t.Error("unknown benchmark accepted")
+	}
+	exps := mltune.Experiments()
+	if len(exps) < 12 {
+		t.Errorf("only %d experiments registered: %v", len(exps), exps)
+	}
+}
+
+func TestFacadeMeasurerAndSpaceBuilders(t *testing.T) {
+	m, err := mltune.NewMeasurer("convolution", mltune.IntelI7, mltune.Size{W: 512, H: 512})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m.Space().Size() != 131072 {
+		t.Errorf("space size = %d", m.Space().Size())
+	}
+
+	space := mltune.NewSpace("custom",
+		mltune.Pow2Param("a", 1, 4),
+		mltune.BoolParam("b"),
+		mltune.NewParam("c", 3, 5, 7),
+	)
+	if space.Size() != 3*2*3 {
+		t.Errorf("custom space size = %d", space.Size())
+	}
+}
+
+func TestFacadeEndToEndTune(t *testing.T) {
+	space := mltune.NewSpace("toy",
+		mltune.Pow2Param("x", 1, 64),
+		mltune.Pow2Param("y", 1, 64),
+	)
+	m := &mltune.FuncMeasurer{
+		TuningSpace: space,
+		Fn: func(cfg mltune.Config) (float64, error) {
+			// Optimum at x=64, y=1.
+			return 1.0/float64(cfg.Value("x")) + 0.05*float64(cfg.Value("y")), nil
+		},
+	}
+	opts := mltune.DefaultOptions(5)
+	opts.TrainingSamples = 25
+	opts.SecondStage = 12
+	res, err := mltune.Tune(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found {
+		t.Fatal("no result")
+	}
+	ex, err := mltune.Exhaustive(m)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.BestSeconds > 3*ex.BestSeconds {
+		t.Errorf("tuned %v vs optimum %v", res.BestSeconds, ex.BestSeconds)
+	}
+	rnd, err := mltune.RandomSearch(m, 20, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !rnd.Found {
+		t.Error("random search found nothing")
+	}
+}
+
+func TestFacadeRuntimeMeasurer(t *testing.T) {
+	b, _ := mltune.LookupBenchmark("convolution")
+	m, err := mltune.NewRuntimeMeasurer("convolution", mltune.NvidiaK40, b.TestSize(), 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg, err := b.Space().FromMap(map[string]int{
+		"wg_x": 8, "wg_y": 8, "ppt_x": 1, "ppt_y": 1,
+		"use_image": 0, "use_local": 0, "pad": 0, "interleaved": 0, "unroll": 0,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	secs, err := m.Measure(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if secs <= 0 {
+		t.Errorf("measured %v", secs)
+	}
+}
+
+func TestRunExperimentSmoke(t *testing.T) {
+	var buf bytes.Buffer
+	if err := mltune.RunExperiment("table1", "smoke", 1, &buf); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{"convolution", "131072", "655360", "2359296"} {
+		if !strings.Contains(out, want) {
+			t.Errorf("table1 output missing %q:\n%s", want, out)
+		}
+	}
+	if err := mltune.RunExperiment("table1", "warp9", 1, nil); err == nil {
+		t.Error("bad scale accepted")
+	}
+	if err := mltune.RunExperiment("fig99", "smoke", 1, nil); err == nil {
+		t.Error("unknown experiment accepted")
+	}
+}
