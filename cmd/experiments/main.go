@@ -10,9 +10,11 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
 
 	"repro/internal/experiments"
@@ -41,7 +43,11 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	ctx := &experiments.Ctx{Scale: sc, Seed: *seed}
+	// ^C aborts the current sweep mid-measurement instead of waiting for
+	// the next experiment boundary.
+	runCtx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	ctx := &experiments.Ctx{Scale: sc, Seed: *seed, Context: runCtx}
 	if *verbose {
 		ctx.Log = os.Stderr
 	}

@@ -1,42 +1,66 @@
-// Command mltune runs the machine-learning auto-tuner on one benchmark
-// and one simulated device.
+// Command mltune runs a registered search strategy on one benchmark and
+// one simulated device.
 //
 // Usage:
 //
-//	mltune [-bench name] [-device name] [-n N] [-m M] [-seed S]
-//	       [-runtime] [-compare-exhaustive] [-list]
+//	mltune [-strategy ml|random|hillclimb|exhaustive] [-bench name]
+//	       [-device name] [-n N] [-m M] [-budget B] [-restarts R]
+//	       [-seed S] [-timeout D] [-runtime] [-compare-exhaustive]
+//	       [-save-model file] [-load-model file] [-progress] [-list]
 //
 // By default it measures configurations with the fast analytic device
 // models; -runtime executes the kernels functionally on the OpenCL-style
 // runtime at a reduced problem size instead (slower, verifies output).
+// ^C (or -timeout) cancels a run mid-measurement.
+//
+// -save-model persists the trained performance model after an "ml" run;
+// -load-model skips training entirely and instead ranks the space with a
+// previously saved model, measuring its top-M predictions — the
+// cross-device reuse workflow of the paper's portability story.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"text/tabwriter"
+	"time"
 
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/devsim"
 	"repro/internal/opencl"
+	"repro/internal/tuning"
 )
 
 func main() {
 	var (
+		strategy   = flag.String("strategy", "ml", "search strategy (see -list)")
 		benchName  = flag.String("bench", "convolution", "benchmark to tune")
 		deviceName = flag.String("device", devsim.NvidiaK40, "simulated device")
 		n          = flag.Int("n", 2000, "training samples (first stage)")
 		m          = flag.Int("m", 200, "measured candidates (second stage)")
+		budget     = flag.Int("budget", 0, "measurement budget for random/hillclimb (0 = n+m)")
+		restarts   = flag.Int("restarts", 4, "hill-climbing restarts")
 		seed       = flag.Int64("seed", 1, "random seed")
+		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
 		useRuntime = flag.Bool("runtime", false, "measure on the functional runtime (reduced size)")
-		compare    = flag.Bool("compare-exhaustive", false, "also run exhaustive search and report the tuner's slowdown")
-		list       = flag.Bool("list", false, "list benchmarks and devices, then exit")
+		compare    = flag.Bool("compare-exhaustive", false, "also run exhaustive search and report the strategy's slowdown")
+		saveModel  = flag.String("save-model", "", "write the trained model to this file (ml strategy)")
+		loadModel  = flag.String("load-model", "", "rank with a previously saved model instead of training")
+		progress   = flag.Bool("progress", false, "print candidate improvements as they happen")
+		list       = flag.Bool("list", false, "list strategies, benchmarks and devices, then exit")
 	)
 	flag.Parse()
 
 	if *list {
+		fmt.Println("strategies:")
+		for _, name := range core.Registry() {
+			st, _ := core.LookupStrategy(name)
+			fmt.Printf("  %-12s %s\n", name, st.Description())
+		}
 		fmt.Println("benchmarks:")
 		for _, name := range bench.Names() {
 			b := bench.MustLookup(name)
@@ -79,21 +103,65 @@ func main() {
 		fmt.Printf("tuning %s on %s (analytic device model, size %+v)\n", b.Name(), *deviceName, sm.Size())
 	}
 
+	// ^C cancels the run mid-measurement; -timeout bounds it.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt)
+	defer stop()
+	if *timeout > 0 {
+		var cancel context.CancelFunc
+		ctx, cancel = context.WithTimeout(ctx, *timeout)
+		defer cancel()
+	}
+
 	opts := core.Options{
 		TrainingSamples: *n,
 		SecondStage:     *m,
+		Budget:          *budget,
+		Restarts:        *restarts,
 		Seed:            *seed,
-		Model:           core.DefaultModelConfig(*seed),
 	}
-	res, err := core.Tune(measurer, opts)
+	var sopts []core.SessionOption
+	if *progress {
+		start := time.Now()
+		sopts = append(sopts, core.WithObserver(func(ev core.Event) {
+			switch ev.Kind {
+			case core.EventStageStarted:
+				fmt.Fprintf(os.Stderr, "[%7.2fs] stage %s\n", time.Since(start).Seconds(), ev.Stage)
+			case core.EventCandidateAccepted:
+				fmt.Fprintf(os.Stderr, "[%7.2fs] new best %s -> %.4f ms\n",
+					time.Since(start).Seconds(), ev.Config, ev.Seconds*1e3)
+			}
+		}))
+	}
+	session, err := core.NewSession(measurer, opts, sopts...)
+	if err != nil {
+		fatal(err)
+	}
+
+	if *loadModel != "" {
+		// The loaded model replaces the whole strategy run, so flags
+		// that only make sense for one would be silently ignored —
+		// reject them instead.
+		if *strategy != "ml" || *saveModel != "" || *compare {
+			fatal(fmt.Errorf("-load-model replaces the strategy run; it cannot be combined with -strategy, -save-model or -compare-exhaustive"))
+		}
+		runWithLoadedModel(ctx, session, *loadModel, *m)
+		return
+	}
+
+	res, err := session.Run(ctx, *strategy)
 	if err != nil {
 		fatal(err)
 	}
 
 	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	fmt.Fprintf(w, "strategy\t%s\n", res.Strategy)
 	fmt.Fprintf(w, "space size\t%d\n", measurer.Space().Size())
-	fmt.Fprintf(w, "stage-1 attempts\t%d (%d invalid)\n", res.Attempts, res.InvalidTrain)
-	fmt.Fprintf(w, "stage-2 candidates\t%d (%d invalid)\n", len(res.Predicted), res.InvalidSecond)
+	if res.Strategy == "ml" {
+		fmt.Fprintf(w, "stage-1 attempts\t%d (%d invalid)\n", res.Attempts, res.InvalidTrain)
+		fmt.Fprintf(w, "stage-2 candidates\t%d (%d invalid)\n", len(res.Predicted), res.InvalidSecond)
+	} else {
+		fmt.Fprintf(w, "measurements\t%d (%d invalid)\n", res.Measured, res.Invalid)
+	}
 	fmt.Fprintf(w, "space measured\t%.2f%%\n", res.MeasuredFraction*100)
 	if res.Found {
 		fmt.Fprintf(w, "best config\t%s\n", res.Best)
@@ -103,21 +171,101 @@ func main() {
 			fmt.Fprintf(w, "  %s\t%d\n", p.Name, res.Best.Values()[i])
 		}
 	} else {
-		fmt.Fprintf(w, "result\tnone — every second-stage candidate was invalid (paper §7)\n")
+		fmt.Fprintf(w, "result\tnone — every candidate was invalid (paper §7)\n")
 	}
-	fmt.Fprintf(w, "gather cost\t%.1f s (simulated)\n", res.Cost.GatherSeconds)
-	fmt.Fprintf(w, "train cost\t%.2f s (wall)\n", res.Cost.TrainSeconds)
-	fmt.Fprintf(w, "predict cost\t%.2f s (wall)\n", res.Cost.PredictSeconds)
+	if res.Strategy == "ml" {
+		fmt.Fprintf(w, "gather cost\t%.1f s (simulated)\n", res.Cost.GatherSeconds)
+		fmt.Fprintf(w, "train cost\t%.2f s (wall)\n", res.Cost.TrainSeconds)
+		fmt.Fprintf(w, "predict cost\t%.2f s (wall)\n", res.Cost.PredictSeconds)
+	}
 	w.Flush()
 
+	if *saveModel != "" {
+		if res.Model == nil {
+			fatal(fmt.Errorf("strategy %q trains no model to save", res.Strategy))
+		}
+		if err := res.Model.SaveFile(*saveModel); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+
 	if *compare && res.Found {
-		ex, err := core.Exhaustive(measurer)
+		ex, err := session.Run(ctx, "exhaustive")
 		if err != nil {
 			fatal(err)
 		}
 		fmt.Printf("exhaustive best: %s at %.4f ms\n", ex.Best, ex.BestSeconds*1e3)
-		fmt.Printf("tuner slowdown vs optimum: %.3f\n", res.BestSeconds/ex.BestSeconds)
+		fmt.Printf("%s slowdown vs optimum: %.3f\n", res.Strategy, res.BestSeconds/ex.BestSeconds)
 	}
+}
+
+// runWithLoadedModel ranks the space with a saved model and measures its
+// top-M predictions on the session's device — reusing a model trained
+// elsewhere instead of paying for training data again.
+func runWithLoadedModel(ctx context.Context, session *core.Session, path string, m int) {
+	model, err := core.LoadModelFile(path)
+	if err != nil {
+		fatal(err)
+	}
+	space := session.Space()
+	if err := compatibleSpaces(model.Space(), space); err != nil {
+		fatal(err)
+	}
+	fmt.Printf("ranking %d configurations with model %s\n", space.Size(), path)
+	best := core.Result{}
+	invalid := 0
+	for _, p := range model.TopM(m) {
+		cfg := space.At(p.Index)
+		secs, err := session.Measure(ctx, cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				invalid++
+				continue
+			}
+			fatal(err)
+		}
+		if !best.Found || secs < best.BestSeconds {
+			best.Found = true
+			best.Best = cfg
+			best.BestSeconds = secs
+			fmt.Printf("  %s predicted %.4f ms, measured %.4f ms (new best)\n",
+				cfg, p.Seconds*1e3, secs*1e3)
+		}
+	}
+	if !best.Found {
+		fatal(fmt.Errorf("every one of the model's top-%d predictions was invalid on this device", m))
+	}
+	fmt.Printf("best of model's top-%d on this device: %s -> %.4f ms (%d invalid)\n",
+		m, best.Best, best.BestSeconds*1e3, invalid)
+}
+
+// compatibleSpaces checks that the saved model's space matches the
+// benchmark's parameter for parameter, so a model for one benchmark is
+// never silently applied to another whose space merely has the same
+// size (dense indices would map onto unrelated configurations).
+func compatibleSpaces(model, bench *tuning.Space) error {
+	mp, bp := model.Params(), bench.Params()
+	if len(mp) != len(bp) {
+		return fmt.Errorf("model space %q has %d parameters, benchmark space %q has %d",
+			model.Name(), len(mp), bench.Name(), len(bp))
+	}
+	for i := range mp {
+		mismatch := mp[i].Name != bp[i].Name || mp[i].Arity() != bp[i].Arity()
+		if !mismatch {
+			for j, v := range mp[i].Values {
+				if bp[i].Values[j] != v {
+					mismatch = true
+					break
+				}
+			}
+		}
+		if mismatch {
+			return fmt.Errorf("model space %q parameter %d is %s, benchmark space %q has %s",
+				model.Name(), i, mp[i], bench.Name(), bp[i])
+		}
+	}
+	return nil
 }
 
 func fatal(err error) {

@@ -1,7 +1,7 @@
 // Customkernel: auto-tune a user-defined kernel, not one of the paper's
 // benchmarks. This is the intended extension path of the library: define
 // a tuning space, implement the Measurer interface for your own system,
-// and hand both to the tuner.
+// and run any registered strategy against a session over it.
 //
 // The "system" here is a transposed matrix-vector product whose cost
 // model rewards one particular tile shape and vector width; it stands in
@@ -14,6 +14,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math"
@@ -34,7 +35,9 @@ func main() {
 
 	// 2. Implement measurement: any func(Config) (seconds, error).
 	//    Returning an error recognized by mltune.IsInvalid marks a
-	//    configuration as unrunnable; the tuner skips it.
+	//    configuration as unrunnable; the tuner skips it. (Slow external
+	//    measurements can use FuncMeasurer.CtxFn instead to honour
+	//    cancellation mid-measurement.)
 	measure := func(cfg mltune.Config) (float64, error) {
 		rows := float64(cfg.Value("tile_rows"))
 		cols := float64(cfg.Value("tile_cols"))
@@ -57,11 +60,19 @@ func main() {
 
 	m := &mltune.FuncMeasurer{TuningSpace: space, Fn: measure}
 
-	// 3. Tune. Budgets scale with the space: 150 samples, 30 candidates.
+	// 3. Build one session and compare strategies on it. Budgets scale
+	//    with the space: 150 samples, 30 candidates for the ML tuner;
+	//    the baselines get the same 180-measurement budget by default.
 	opts := mltune.DefaultOptions(3)
 	opts.TrainingSamples = 150
 	opts.SecondStage = 30
-	res, err := mltune.Tune(m, opts)
+	s, err := mltune.NewSession(m, opts)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	ctx := context.Background()
+	res, err := s.Run(ctx, "ml")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -74,7 +85,18 @@ func main() {
 		fmt.Printf("  %-14s = %d\n", p.Name, res.Best.Value(p.Name))
 	}
 
-	ex, err := mltune.Exhaustive(m)
+	// The budgeted baselines run on the same session (and reuse its
+	// measurement cache where they overlap).
+	for _, name := range []string{"random", "hillclimb"} {
+		r, err := s.Run(ctx, name)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-10s best: %s -> %.4f ms (%d measured, %d invalid)\n",
+			name, r.Best, r.BestSeconds*1e3, r.Measured, r.Invalid)
+	}
+
+	ex, err := s.Run(ctx, "exhaustive")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -2,9 +2,14 @@
 // Figure 1) — a configuration tuned for one device can be several times
 // slower than the best configuration on another device.
 //
-// For each of the three paper devices this program tunes raycasting,
-// then measures every device's tuned configuration on every device and
-// prints the slowdown matrix.
+// For each of the three paper devices this program tunes raycasting with
+// the "ml" strategy, then measures every device's tuned configuration on
+// every device and prints the slowdown matrix.
+//
+// It also exercises the model-persistence half of the portability story:
+// each device's trained performance model is saved to disk, reloaded,
+// and verified to predict bit-identically — the workflow for shipping a
+// model tuned on one machine to another.
 //
 // Run with:
 //
@@ -12,14 +17,23 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"os"
+	"path/filepath"
 
 	mltune "repro"
 )
 
 func main() {
+	ctx := context.Background()
 	devices := []string{mltune.IntelI7, mltune.NvidiaK40, mltune.AMD7970}
+	modelDir, err := os.MkdirTemp("", "mltune-models")
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer os.RemoveAll(modelDir)
 
 	type tuned struct {
 		m    *mltune.SimMeasurer
@@ -36,7 +50,17 @@ func main() {
 		opts := mltune.DefaultOptions(7)
 		opts.TrainingSamples = 800
 		opts.SecondStage = 100
-		res, err := mltune.Tune(m, opts)
+		// The AMD device rejects most of the raycasting space; with the
+		// paper's ignore-invalids behaviour the model extrapolates into
+		// the invalid region and the whole second stage can come up
+		// empty (§7). The penalty extension teaches the model to avoid
+		// invalid configurations instead.
+		opts.Model.InvalidPenalty = 2
+		s, err := mltune.NewSession(m, opts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := s.Run(ctx, "ml")
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -45,6 +69,25 @@ func main() {
 		}
 		results[dev] = &tuned{m: m, best: res.Best, secs: res.BestSeconds}
 		fmt.Printf("best for %-20s %s  (%.2f ms)\n", dev+":", res.Best, res.BestSeconds*1e3)
+
+		// Persist the trained model and prove the round trip: the
+		// reloaded model must predict exactly what the original does.
+		path := filepath.Join(modelDir, dev+".mlt")
+		if err := res.Model.SaveFile(path); err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := mltune.LoadModelFile(path)
+		if err != nil {
+			log.Fatal(err)
+		}
+		probe := res.Best
+		want := res.Model.Predict(probe, res.Model.NewScratch())
+		got := loaded.Predict(loaded.Space().At(probe.Index()), loaded.NewScratch())
+		if got != want {
+			log.Fatalf("reloaded model for %s predicts %v, original %v", dev, got, want)
+		}
+		fmt.Printf("  model saved to %s and reloaded: predicts %.3f ms for the best config\n",
+			filepath.Base(path), got*1e3)
 	}
 
 	fmt.Printf("\nslowdown of transplanted configurations (row: runs on; column: tuned for):\n")

@@ -1,6 +1,6 @@
 // Quickstart: auto-tune the convolution benchmark for an Nvidia K40 with
 // the paper's default settings and compare the result against exhaustive
-// search.
+// search — all through the Session/Strategy API.
 //
 // Run with:
 //
@@ -8,8 +8,10 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"time"
 
 	mltune "repro"
 )
@@ -23,6 +25,7 @@ func main() {
 	}
 	fmt.Printf("tuning convolution on %s: %d configurations\n",
 		mltune.NvidiaK40, m.Space().Size())
+	fmt.Printf("available strategies: %v\n", mltune.Registry())
 
 	// Stage 1 measures 500 random configurations and trains the model;
 	// stage 2 measures the 100 most promising ones.
@@ -30,7 +33,21 @@ func main() {
 	opts.TrainingSamples = 500
 	opts.SecondStage = 100
 
-	res, err := mltune.Tune(m, opts)
+	// The session owns the measurer, the measurement cache and the
+	// observer stream; the context bounds the whole run.
+	ctx, cancel := context.WithTimeout(context.Background(), 5*time.Minute)
+	defer cancel()
+	s, err := mltune.NewSession(m, opts,
+		mltune.WithObserver(func(ev mltune.Event) {
+			if ev.Kind == mltune.EventCandidateAccepted {
+				fmt.Printf("  new best: %s -> %.3f ms\n", ev.Config, ev.Seconds*1e3)
+			}
+		}))
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	res, err := s.Run(ctx, "ml")
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -42,7 +59,9 @@ func main() {
 
 	// Exhaustive search gives the global optimum to compare against —
 	// feasible here only because the convolution space is "small" (131K).
-	ex, err := mltune.Exhaustive(m)
+	// Running it on the same session reuses every measurement the tuner
+	// already paid for.
+	ex, err := s.Run(ctx, "exhaustive")
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -13,6 +13,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"math/rand"
@@ -37,7 +38,7 @@ func main() {
 		var fastest, slowest float64
 		var fastCfg, slowCfg mltune.Config
 		for _, cfg := range b.Space().Sample(rng, 60) {
-			secs, err := m.Measure(cfg)
+			secs, err := m.Measure(context.Background(), cfg)
 			if err != nil {
 				if mltune.IsInvalid(err) {
 					invalid++

@@ -1,17 +1,16 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"math/rand"
-	"runtime"
-	"sync"
 
-	"repro/internal/devsim"
 	"repro/internal/tuning"
 )
 
-// SearchResult is the outcome of a baseline search.
+// SearchResult is the outcome of a baseline search in the classic,
+// pre-Session shape. New code should use Result (every strategy returns
+// one); SearchResult remains the return type of the deprecated wrappers.
 type SearchResult struct {
 	// Found reports whether any valid configuration was measured.
 	Found bool
@@ -23,106 +22,104 @@ type SearchResult struct {
 	Measured, Invalid int
 }
 
-// RandomSearch measures n randomly drawn configurations (without
-// replacement) and returns the fastest — the paper's baseline for the
-// large spaces (Figure 14 compares the tuner against the best of 50K
+// randomStrategy measures Options.Budget randomly drawn configurations
+// (without replacement) and keeps the fastest — the paper's baseline for
+// the large spaces (Figure 14 compares the tuner against the best of 50K
 // random configurations).
-func RandomSearch(m Measurer, n int, seed int64) (*SearchResult, error) {
-	if err := checkMeasurer(m); err != nil {
-		return nil, err
-	}
-	if n <= 0 {
-		return nil, fmt.Errorf("core: RandomSearch needs a positive sample count, got %d", n)
-	}
-	rng := rand.New(rand.NewSource(seed))
-	idxs := m.Space().SampleIndices(rng, n)
-	return searchIndices(m, idxs)
+type randomStrategy struct{}
+
+func (randomStrategy) Name() string { return "random" }
+
+func (randomStrategy) Description() string {
+	return "measure Budget random configurations without replacement, keep the fastest"
 }
 
-// Exhaustive measures every configuration in the space and returns the
-// fastest — the paper's ground-truth procedure for the convolution
-// benchmark ("it was therefore possible to measure the actual execution
-// times of all possible configurations").
-func Exhaustive(m Measurer) (*SearchResult, error) {
-	if err := checkMeasurer(m); err != nil {
-		return nil, err
+func (randomStrategy) Run(ctx context.Context, s *Session) (*Result, error) {
+	n := s.Options().budget()
+	if n <= 0 {
+		return nil, fmt.Errorf("core: random search needs a positive budget, got %d", n)
 	}
-	size := m.Space().Size()
+	rng := rand.New(rand.NewSource(s.Options().Seed))
+	idxs := s.Space().SampleIndices(rng, n)
+	return searchIndices(ctx, s, "random-search", idxs)
+}
+
+// exhaustiveStrategy measures every configuration in the space — the
+// paper's ground-truth procedure for the convolution benchmark ("it was
+// therefore possible to measure the actual execution times of all
+// possible configurations").
+type exhaustiveStrategy struct{}
+
+func (exhaustiveStrategy) Name() string { return "exhaustive" }
+
+func (exhaustiveStrategy) Description() string {
+	return "measure every configuration in the space (ground truth for small spaces)"
+}
+
+func (exhaustiveStrategy) Run(ctx context.Context, s *Session) (*Result, error) {
+	size := s.Space().Size()
 	idxs := make([]int64, size)
 	for i := range idxs {
 		idxs[i] = int64(i)
 	}
-	return searchIndices(m, idxs)
+	return searchIndices(ctx, s, "exhaustive", idxs)
 }
 
-// searchIndices measures the given configuration indices in parallel and
-// reduces to the fastest valid one.
-func searchIndices(m Measurer, idxs []int64) (*SearchResult, error) {
-	space := m.Space()
-	workers := runtime.GOMAXPROCS(0)
-	if workers > len(idxs) {
-		workers = len(idxs)
-	}
-	if workers < 1 {
-		workers = 1
-	}
-	chunk := (len(idxs) + workers - 1) / workers
-
-	type partial struct {
-		res SearchResult
-		err error
-	}
-	parts := make([]partial, workers)
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func(w int) {
-			defer wg.Done()
-			lo := w * chunk
-			hi := lo + chunk
-			if hi > len(idxs) {
-				hi = len(idxs)
-			}
-			best := math.Inf(1)
-			p := &parts[w]
-			for _, idx := range idxs[lo:hi] {
-				cfg := space.At(idx)
-				secs, err := m.Measure(cfg)
-				if err != nil {
-					if devsim.IsInvalid(err) {
-						p.res.Invalid++
-						continue
-					}
-					p.err = err
-					return
-				}
-				p.res.Measured++
-				if secs < best {
-					best = secs
-					p.res.Best = cfg
-					p.res.BestSeconds = secs
-					p.res.Found = true
-				}
-			}
-		}(w)
-	}
-	wg.Wait()
-
-	out := &SearchResult{BestSeconds: math.Inf(1)}
-	for _, p := range parts {
-		if p.err != nil {
-			return nil, p.err
+// searchIndices measures the given configuration indices through the
+// session's parallel gather pool and reduces, in deterministic index
+// order, to the fastest valid one.
+func searchIndices(ctx context.Context, s *Session, stage string, idxs []int64) (*Result, error) {
+	res := &Result{}
+	_, _, err := s.gather(ctx, stage, idxs, 0, func(cfg tuning.Config, mt measurement) {
+		if mt.err != nil {
+			res.Invalid++
+			return
 		}
-		out.Measured += p.res.Measured
-		out.Invalid += p.res.Invalid
-		if p.res.Found && p.res.BestSeconds < out.BestSeconds {
-			out.Found = true
-			out.Best = p.res.Best
-			out.BestSeconds = p.res.BestSeconds
+		res.Measured++
+		if res.accept(cfg, mt.secs) {
+			s.emit(Event{Kind: EventCandidateAccepted, Stage: stage, Config: cfg, Seconds: mt.secs})
 		}
+	})
+	if err != nil {
+		return nil, err
 	}
-	if !out.Found {
-		out.BestSeconds = 0
+	res.MeasuredFraction = float64(len(idxs)) / float64(s.Space().Size())
+	return res, nil
+}
+
+// RandomSearch measures n random configurations and returns the fastest.
+//
+// Deprecated: RandomSearch is the pre-Session entry point, kept for
+// compatibility. Build a Session with Options{Budget: n, Seed: seed} and
+// run the "random" strategy instead.
+func RandomSearch(m Measurer, n int, seed int64) (*SearchResult, error) {
+	if n <= 0 {
+		return nil, fmt.Errorf("core: RandomSearch needs a positive sample count, got %d", n)
 	}
-	return out, nil
+	s, err := NewSession(m, Options{Budget: n, Seed: seed})
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run(context.Background(), "random")
+	if err != nil {
+		return nil, err
+	}
+	return res.Search(), nil
+}
+
+// Exhaustive measures every configuration and returns the fastest.
+//
+// Deprecated: Exhaustive is the pre-Session entry point, kept for
+// compatibility. Build a Session and run the "exhaustive" strategy
+// instead.
+func Exhaustive(m Measurer) (*SearchResult, error) {
+	s, err := NewSession(m, Options{})
+	if err != nil {
+		return nil, err
+	}
+	res, err := s.Run(context.Background(), "exhaustive")
+	if err != nil {
+		return nil, err
+	}
+	return res.Search(), nil
 }

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"math"
 	"math/rand"
 	"sort"
@@ -173,13 +174,13 @@ func TestTrainModelLogTransformAblation(t *testing.T) {
 	rng := rand.New(rand.NewSource(17))
 	var samples []Sample
 	for _, cfg := range space.Sample(rng, 80) {
-		secs, _ := wide.Measure(cfg)
+		secs, _ := wide.Measure(context.Background(), cfg)
 		samples = append(samples, Sample{Config: cfg, Seconds: secs})
 	}
 	var evalCfgs []tuning.Config
 	var actual []float64
 	for _, cfg := range space.Sample(rng, 40) {
-		secs, _ := wide.Measure(cfg)
+		secs, _ := wide.Measure(context.Background(), cfg)
 		evalCfgs = append(evalCfgs, cfg)
 		actual = append(actual, secs)
 	}
@@ -219,7 +220,7 @@ func TestModelTopM(t *testing.T) {
 	rng := rand.New(rand.NewSource(23))
 	var samples []Sample
 	for _, cfg := range space.Sample(rng, 100) {
-		secs, _ := m.Measure(cfg)
+		secs, _ := m.Measure(context.Background(), cfg)
 		samples = append(samples, Sample{Config: cfg, Seconds: secs})
 	}
 	model, err := TrainModel(space, samples, nil, fastModelConfig(23))
@@ -353,11 +354,11 @@ func TestSimMeasurerAgainstDevice(t *testing.T) {
 		"wg_x": 16, "wg_y": 16, "ppt_x": 1, "ppt_y": 1,
 		"use_image": 0, "use_local": 0, "pad": 1, "interleaved": 1, "unroll": 0,
 	})
-	t1, err := m.Measure(cfg)
+	t1, err := m.Measure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
-	t2, err := m.Measure(cfg)
+	t2, err := m.Measure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -377,6 +378,9 @@ func TestSimMeasurerAgainstDevice(t *testing.T) {
 }
 
 func TestRuntimeMeasurerVerifies(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime measurer executes kernels functionally; skipped in -short")
+	}
 	b := bench.MustLookup("convolution")
 	dev, _ := opencl.DeviceByName(devsim.IntelI7)
 	m, err := NewRuntimeMeasurer(b, dev, b.TestSize(), 1, true)
@@ -387,7 +391,7 @@ func TestRuntimeMeasurerVerifies(t *testing.T) {
 		"wg_x": 8, "wg_y": 8, "ppt_x": 1, "ppt_y": 1,
 		"use_image": 1, "use_local": 1, "pad": 0, "interleaved": 0, "unroll": 1,
 	})
-	secs, err := m.Measure(cfg)
+	secs, err := m.Measure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -399,7 +403,7 @@ func TestRuntimeMeasurerVerifies(t *testing.T) {
 		"wg_x": 128, "wg_y": 128, "ppt_x": 128, "ppt_y": 128,
 		"use_image": 0, "use_local": 0, "pad": 0, "interleaved": 0, "unroll": 0,
 	})
-	if _, err := m.Measure(bad); err == nil || !devsim.IsInvalid(err) {
+	if _, err := m.Measure(context.Background(), bad); err == nil || !devsim.IsInvalid(err) {
 		t.Errorf("invalid geometry not reported: %v", err)
 	}
 }
@@ -510,7 +514,7 @@ func TestSuggestM(t *testing.T) {
 	rng := rand.New(rand.NewSource(41))
 	var train, val []Sample
 	for i, cfg := range space.Sample(rng, 100) {
-		secs, _ := m.Measure(cfg)
+		secs, _ := m.Measure(context.Background(), cfg)
 		if i < 70 {
 			train = append(train, Sample{Config: cfg, Seconds: secs})
 		} else {
@@ -556,7 +560,7 @@ func TestSuggestMValidation(t *testing.T) {
 	rng := rand.New(rand.NewSource(43))
 	var train []Sample
 	for _, cfg := range space.Sample(rng, 40) {
-		secs, _ := m.Measure(cfg)
+		secs, _ := m.Measure(context.Background(), cfg)
 		train = append(train, Sample{Config: cfg, Seconds: secs})
 	}
 	model, err := TrainModel(space, train, nil, fastModelConfig(43))

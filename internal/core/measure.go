@@ -11,6 +11,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"sync"
 
@@ -24,14 +25,16 @@ import (
 // Measurer abstracts "run this configuration and time it" — the only
 // operation the auto-tuner needs from the system under tuning. Errors for
 // which devsim.IsInvalid returns true mark invalid configurations; any
-// other error aborts tuning.
+// other error aborts tuning. The context carries cancellation and
+// deadlines: implementations should return ctx.Err() promptly once the
+// context is done, especially when a single measurement is slow.
 //
 // Implementations must be safe for concurrent use.
 type Measurer interface {
 	// Space returns the tuning space being measured.
 	Space() *tuning.Space
 	// Measure returns one timed execution of cfg, in seconds.
-	Measure(cfg tuning.Config) (float64, error)
+	Measure(ctx context.Context, cfg tuning.Config) (float64, error)
 }
 
 // Coster is optionally implemented by measurers that can report the
@@ -97,7 +100,10 @@ func (m *SimMeasurer) Size() bench.Size { return m.size }
 // Measure simulates one measurement protocol run for cfg. Repeated calls
 // for the same configuration see fresh measurement noise, yet the whole
 // sequence is deterministic.
-func (m *SimMeasurer) Measure(cfg tuning.Config) (float64, error) {
+func (m *SimMeasurer) Measure(ctx context.Context, cfg tuning.Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	prof, err := m.bench.Profile(cfg, m.size)
 	if err != nil {
 		return 0, err
@@ -175,7 +181,10 @@ func NewRuntimeMeasurer(b bench.Benchmark, dev *opencl.Device, size bench.Size, 
 func (m *RuntimeMeasurer) Space() *tuning.Space { return m.bench.Space() }
 
 // Measure executes cfg on the runtime and returns the profiled time.
-func (m *RuntimeMeasurer) Measure(cfg tuning.Config) (float64, error) {
+func (m *RuntimeMeasurer) Measure(ctx context.Context, cfg tuning.Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
 	out, ev, err := m.bench.Run(m.ctx, cfg, m.size, m.data)
 	if err != nil {
 		return 0, err
@@ -196,16 +205,28 @@ var _ Measurer = (*RuntimeMeasurer)(nil)
 
 // FuncMeasurer adapts an arbitrary function to the Measurer interface;
 // used by tests and by callers tuning systems outside this repository.
+// Exactly one of Fn and CtxFn must be set; CtxFn additionally receives
+// the tuning context so long-running measurements can honour
+// cancellation themselves.
 type FuncMeasurer struct {
 	TuningSpace *tuning.Space
 	Fn          func(cfg tuning.Config) (float64, error)
+	CtxFn       func(ctx context.Context, cfg tuning.Config) (float64, error)
 }
 
 // Space returns the adapted space.
 func (m *FuncMeasurer) Space() *tuning.Space { return m.TuningSpace }
 
 // Measure invokes the adapted function.
-func (m *FuncMeasurer) Measure(cfg tuning.Config) (float64, error) { return m.Fn(cfg) }
+func (m *FuncMeasurer) Measure(ctx context.Context, cfg tuning.Config) (float64, error) {
+	if m.CtxFn != nil {
+		return m.CtxFn(ctx, cfg)
+	}
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	return m.Fn(cfg)
+}
 
 var _ Measurer = (*FuncMeasurer)(nil)
 

@@ -1,0 +1,185 @@
+package core
+
+import (
+	"bufio"
+	"encoding/gob"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"repro/internal/ann"
+	"repro/internal/tuning"
+)
+
+// modelFormat and modelVersion identify the on-disk model format. The
+// format is a single JSON header line (human-inspectable with `head -1`)
+// followed by a gob payload carrying the ensemble weights and target
+// scaler. Bump modelVersion on any incompatible change and keep decoding
+// the old versions.
+const (
+	modelFormat  = "mltune-model"
+	modelVersion = 1
+)
+
+// modelHeader is the JSON first line of a saved model. It carries
+// everything needed to rebuild the tuning space (and thus the feature
+// encoder) plus the model flags, so a model trained on one machine can
+// be reloaded and queried anywhere — the artifact behind the paper's
+// performance portability story.
+type modelHeader struct {
+	Format       string      `json:"format"`
+	Version      int         `json:"version"`
+	Space        spaceHeader `json:"space"`
+	LogTransform bool        `json:"log_transform"`
+	Members      int         `json:"members"`
+}
+
+type spaceHeader struct {
+	Name   string        `json:"name"`
+	Params []paramHeader `json:"params"`
+}
+
+type paramHeader struct {
+	Name   string `json:"name"`
+	Values []int  `json:"values"`
+}
+
+// modelPayload is the gob-encoded body of a saved model.
+type modelPayload struct {
+	Scaler   ann.TargetScaler
+	Ensemble ann.EnsembleState
+}
+
+// Save writes the model to w in the versioned persistence format:
+// a one-line JSON header followed by a gob payload. A model saved on one
+// device reloads with LoadModel to bit-identical predictions.
+func (m *Model) Save(w io.Writer) error {
+	params := make([]paramHeader, len(m.space.Params()))
+	for i, p := range m.space.Params() {
+		params[i] = paramHeader{Name: p.Name, Values: append([]int(nil), p.Values...)}
+	}
+	hdr := modelHeader{
+		Format:       modelFormat,
+		Version:      modelVersion,
+		Space:        spaceHeader{Name: m.space.Name(), Params: params},
+		LogTransform: m.logT,
+		Members:      m.ensemble.Size(),
+	}
+	line, err := json.Marshal(hdr)
+	if err != nil {
+		return fmt.Errorf("core: encoding model header: %w", err)
+	}
+	if _, err := w.Write(append(line, '\n')); err != nil {
+		return fmt.Errorf("core: writing model header: %w", err)
+	}
+	payload := modelPayload{Scaler: m.scaler, Ensemble: m.ensemble.State()}
+	if err := gob.NewEncoder(w).Encode(&payload); err != nil {
+		return fmt.Errorf("core: encoding model payload: %w", err)
+	}
+	return nil
+}
+
+// SaveFile saves the model to the named file (see Save).
+func (m *Model) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := m.Save(f); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadModel reads a model previously written by Model.Save. The tuning
+// space is rebuilt from the header, so the loaded model predicts over an
+// equivalent space without needing the original benchmark definition.
+func LoadModel(r io.Reader) (*Model, error) {
+	br := bufio.NewReader(r)
+	line, err := br.ReadBytes('\n')
+	if err != nil {
+		return nil, fmt.Errorf("core: reading model header: %w", err)
+	}
+	var hdr modelHeader
+	if err := json.Unmarshal(line, &hdr); err != nil {
+		return nil, fmt.Errorf("core: parsing model header: %w", err)
+	}
+	if hdr.Format != modelFormat {
+		return nil, fmt.Errorf("core: not a saved model (format %q, want %q)", hdr.Format, modelFormat)
+	}
+	if hdr.Version != modelVersion {
+		return nil, fmt.Errorf("core: unsupported model version %d (this build reads version %d)", hdr.Version, modelVersion)
+	}
+	space, err := spaceFromHeader(hdr.Space)
+	if err != nil {
+		return nil, err
+	}
+	var payload modelPayload
+	if err := gob.NewDecoder(br).Decode(&payload); err != nil {
+		return nil, fmt.Errorf("core: decoding model payload: %w", err)
+	}
+	ensemble, err := ann.EnsembleFromState(payload.Ensemble)
+	if err != nil {
+		return nil, err
+	}
+	m := &Model{
+		space:    space,
+		enc:      tuning.NewEncoder(space),
+		ensemble: ensemble,
+		scaler:   payload.Scaler,
+		logT:     hdr.LogTransform,
+	}
+	// The encoder derives one feature per parameter; the ensemble input
+	// width must match or predictions would read out of bounds.
+	for _, n := range ensemble.Members() {
+		if n.Sizes()[0] != m.enc.Dim() {
+			return nil, fmt.Errorf("core: model expects %d features, space %q encodes %d",
+				n.Sizes()[0], space.Name(), m.enc.Dim())
+		}
+	}
+	return m, nil
+}
+
+// LoadModelFile loads a model from the named file (see LoadModel).
+func LoadModelFile(path string) (*Model, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return LoadModel(f)
+}
+
+// spaceFromHeader validates and rebuilds a tuning space from a saved
+// header, without trusting the input (tuning.NewSpace panics on
+// malformed parameters, so everything is checked here first).
+func spaceFromHeader(sh spaceHeader) (*tuning.Space, error) {
+	if len(sh.Params) == 0 {
+		return nil, fmt.Errorf("core: saved model has an empty tuning space")
+	}
+	names := make(map[string]bool, len(sh.Params))
+	params := make([]tuning.Param, len(sh.Params))
+	for i, ph := range sh.Params {
+		if ph.Name == "" {
+			return nil, fmt.Errorf("core: saved model parameter %d has no name", i)
+		}
+		if names[ph.Name] {
+			return nil, fmt.Errorf("core: saved model has duplicate parameter %q", ph.Name)
+		}
+		names[ph.Name] = true
+		if len(ph.Values) == 0 {
+			return nil, fmt.Errorf("core: saved model parameter %q has no values", ph.Name)
+		}
+		seen := make(map[int]bool, len(ph.Values))
+		for _, v := range ph.Values {
+			if seen[v] {
+				return nil, fmt.Errorf("core: saved model parameter %q has duplicate value %d", ph.Name, v)
+			}
+			seen[v] = true
+		}
+		params[i] = tuning.NewParam(ph.Name, ph.Values...)
+	}
+	return tuning.NewSpace(sh.Name, params...), nil
+}

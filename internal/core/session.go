@@ -1,0 +1,383 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"repro/internal/ann"
+	"repro/internal/devsim"
+	"repro/internal/hashx"
+	"repro/internal/tuning"
+)
+
+// EventKind classifies observer events.
+type EventKind int
+
+const (
+	// EventStageStarted marks the beginning of a named strategy stage
+	// (e.g. "gather", "train", "second-stage").
+	EventStageStarted EventKind = iota
+	// EventSampleMeasured reports one measured configuration. Err is nil
+	// for a valid measurement and an invalid-config error otherwise;
+	// Cached marks results served from the session's memo cache.
+	EventSampleMeasured
+	// EventCandidateAccepted reports a new best configuration.
+	EventCandidateAccepted
+	// EventStageFinished marks the end of a named stage.
+	EventStageFinished
+)
+
+// String returns the event kind's name.
+func (k EventKind) String() string {
+	switch k {
+	case EventStageStarted:
+		return "stage-started"
+	case EventSampleMeasured:
+		return "sample-measured"
+	case EventCandidateAccepted:
+		return "candidate-accepted"
+	case EventStageFinished:
+		return "stage-finished"
+	}
+	return fmt.Sprintf("event(%d)", int(k))
+}
+
+// Event is one entry of a session's observer stream. Events are emitted
+// serially (never concurrently) and, within a stage, sample events appear
+// in the deterministic gather order, independent of the worker count.
+type Event struct {
+	Kind  EventKind
+	Stage string
+	// Config and Seconds are set for sample and candidate events.
+	Config  tuning.Config
+	Seconds float64
+	// Err carries the invalid-config error of a failed sample.
+	Err error
+	// Cached marks a sample served from the measurement memo cache.
+	Cached bool
+}
+
+// Observer receives session events. Observers run synchronously on the
+// session's event path and must be fast; they must not call back into the
+// session.
+type Observer func(Event)
+
+// PartialError reports a run that was interrupted — typically by context
+// cancellation — after completing part of its measurements. It unwraps to
+// the underlying cause, so errors.Is(err, context.Canceled) works.
+type PartialError struct {
+	// Stage names the stage that was interrupted.
+	Stage string
+	// Measured counts the valid measurements completed before the
+	// interruption.
+	Measured int
+	// Err is the underlying cause (usually ctx.Err()).
+	Err error
+}
+
+func (e *PartialError) Error() string {
+	return fmt.Sprintf("core: %s interrupted after %d measurements: %v", e.Stage, e.Measured, e.Err)
+}
+
+func (e *PartialError) Unwrap() error { return e.Err }
+
+// measurement is one memoised measurement outcome. Only settled outcomes
+// (a time, or an invalid-config error) are cached; transient errors such
+// as context cancellation are never stored.
+type measurement struct {
+	secs float64
+	err  error
+}
+
+// gatherChunk is the unit of work scheduling in the parallel gather pool.
+// It is a fixed constant — not a function of the worker count — so that
+// the exact set of configurations measured (and hence every downstream
+// noise stream and cache state) is identical no matter how many workers
+// run. Workers only change wall-clock time, never results.
+const gatherChunk = 64
+
+// Session owns everything one tuning run (or several, sharing state)
+// needs: the measurer, the options, a measurement memo cache, the
+// deterministic parallel gather pool and the observer stream. Strategies
+// execute against a session via Run.
+//
+// A session is safe for concurrent use by a single strategy's workers;
+// running multiple strategies on one session is supported sequentially
+// (the cache carries over, which is the point: a strategy can reuse
+// measurements a previous strategy already paid for).
+type Session struct {
+	m       Measurer
+	opts    Options
+	workers int
+
+	obsMu sync.Mutex
+	obs   []Observer
+
+	memoMu sync.Mutex
+	memo   map[int64]measurement
+	fresh  int // measurer invocations
+	hits   int // cache hits
+}
+
+// SessionOption customises a session at construction time.
+type SessionOption func(*Session)
+
+// WithWorkers bounds the gather pool's parallelism (default: GOMAXPROCS).
+// The worker count never affects results, only wall-clock time.
+func WithWorkers(n int) SessionOption {
+	return func(s *Session) {
+		if n > 0 {
+			s.workers = n
+		}
+	}
+}
+
+// WithObserver subscribes an observer to the session's event stream.
+func WithObserver(o Observer) SessionOption {
+	return func(s *Session) {
+		if o != nil {
+			s.obs = append(s.obs, o)
+		}
+	}
+}
+
+// NewSession validates the measurer and options and builds a session.
+// Zero-valued option fields are filled with the paper's defaults
+// (field by field — a partially specified Options.Model keeps every
+// field the caller did set).
+func NewSession(m Measurer, opts Options, sopts ...SessionOption) (*Session, error) {
+	if err := checkMeasurer(m); err != nil {
+		return nil, err
+	}
+	opts.Model = fillModelConfig(opts.Model, opts.Seed)
+	s := &Session{
+		m:       m,
+		opts:    opts,
+		workers: runtime.GOMAXPROCS(0),
+		memo:    make(map[int64]measurement),
+	}
+	for _, o := range sopts {
+		o(s)
+	}
+	return s, nil
+}
+
+// Measurer returns the session's measurer.
+func (s *Session) Measurer() Measurer { return s.m }
+
+// Space returns the tuning space under search.
+func (s *Session) Space() *tuning.Space { return s.m.Space() }
+
+// Options returns the session's (default-filled) options.
+func (s *Session) Options() Options { return s.opts }
+
+// CacheStats reports the number of measurer invocations and memo-cache
+// hits so far.
+func (s *Session) CacheStats() (fresh, hits int) {
+	s.memoMu.Lock()
+	defer s.memoMu.Unlock()
+	return s.fresh, s.hits
+}
+
+// Run executes the named registered strategy against the session.
+func (s *Session) Run(ctx context.Context, strategy string) (*Result, error) {
+	st, err := LookupStrategy(strategy)
+	if err != nil {
+		return nil, err
+	}
+	res, err := st.Run(ctx, s)
+	if err != nil {
+		return nil, err
+	}
+	res.Strategy = st.Name()
+	return res, nil
+}
+
+// emit delivers an event to all observers, serially.
+func (s *Session) emit(ev Event) {
+	s.obsMu.Lock()
+	defer s.obsMu.Unlock()
+	for _, o := range s.obs {
+		o(ev)
+	}
+}
+
+// rngFor derives an independent, deterministic RNG for one shard of a
+// stage's work (a restart, a worker, an item). Sharding the randomness by
+// a stable key — instead of consuming one sequential stream — is what
+// keeps results seed-stable regardless of worker count and scheduling.
+func (s *Session) rngFor(stage string, shard int64) *rand.Rand {
+	key := hashx.Combine(hashx.Combine(uint64(s.opts.Seed), hashx.String(stage)), uint64(shard))
+	return rand.New(rand.NewSource(int64(key)))
+}
+
+// measureOne measures the configuration at idx through the memo cache.
+// cached reports whether the result was served from the cache.
+func (s *Session) measureOne(ctx context.Context, idx int64) (mt measurement, cached bool) {
+	s.memoMu.Lock()
+	if m, ok := s.memo[idx]; ok {
+		s.hits++
+		s.memoMu.Unlock()
+		return m, true
+	}
+	s.memoMu.Unlock()
+
+	secs, err := s.m.Measure(ctx, s.Space().At(idx))
+	mt = measurement{secs: secs, err: err}
+	if err == nil || devsim.IsInvalid(err) {
+		s.memoMu.Lock()
+		s.fresh++
+		s.memo[idx] = mt
+		s.memoMu.Unlock()
+	}
+	return mt, false
+}
+
+// Measure measures one configuration through the session's memo cache,
+// emitting a sample event. Strategies and callers should prefer it over
+// touching the measurer directly.
+func (s *Session) Measure(ctx context.Context, cfg tuning.Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	mt, cached := s.measureOne(ctx, cfg.Index())
+	if mt.err == nil || devsim.IsInvalid(mt.err) {
+		s.emit(Event{Kind: EventSampleMeasured, Config: cfg, Seconds: mt.secs, Err: mt.err, Cached: cached})
+	}
+	return mt.secs, mt.err
+}
+
+// outcome is one position of a gather result.
+type outcome struct {
+	mt     measurement
+	cached bool
+}
+
+// gather measures idxs in parallel, preserving index order in both the
+// returned outcomes and the emitted sample events. If needValid > 0 it
+// stops once that many valid measurements exist in prefix order and
+// returns only the consumed prefix; consumed is its length (the number
+// of "attempts" a sequential gatherer would have made). onSample, when
+// non-nil, is invoked in index order right after each sample event —
+// strategies use it to fold results and emit candidate events in stream
+// order.
+//
+// Work is scheduled in fixed-size chunks so the set of measured
+// configurations never depends on the worker count. A non-invalid
+// measurement error aborts the gather; cancellation surfaces as a
+// *PartialError wrapping ctx.Err().
+func (s *Session) gather(ctx context.Context, stage string, idxs []int64, needValid int,
+	onSample func(cfg tuning.Config, mt measurement)) (out []outcome, consumed int, err error) {
+	s.emit(Event{Kind: EventStageStarted, Stage: stage})
+	defer s.emit(Event{Kind: EventStageFinished, Stage: stage})
+
+	out = make([]outcome, 0, len(idxs))
+	valid := 0
+	for lo := 0; lo < len(idxs); {
+		// Never schedule more work than could still be needed: with
+		// needValid set, the chunk shrinks to the missing valid count,
+		// so an all-valid prefix measures exactly needValid
+		// configurations. The size depends only on deterministic reduce
+		// state, preserving worker-count invariance.
+		size := gatherChunk
+		if needValid > 0 && needValid-valid < size {
+			size = needValid - valid
+		}
+		hi := lo + size
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		chunk := idxs[lo:hi]
+		lo = hi
+		results := make([]outcome, len(chunk))
+
+		workers := s.workers
+		if workers > len(chunk) {
+			workers = len(chunk)
+		}
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(chunk) {
+						return
+					}
+					if err := ctx.Err(); err != nil {
+						results[i] = outcome{mt: measurement{err: err}}
+						continue
+					}
+					mt, cached := s.measureOne(ctx, chunk[i])
+					results[i] = outcome{mt: mt, cached: cached}
+				}
+			}()
+		}
+		wg.Wait()
+
+		// Reduce the chunk in index order: event emission, validity
+		// accounting and early exit are all deterministic.
+		for i, r := range results {
+			if r.mt.err != nil && !devsim.IsInvalid(r.mt.err) {
+				if ctxErr := ctx.Err(); ctxErr != nil {
+					return out, len(out), &PartialError{Stage: stage, Measured: valid, Err: ctxErr}
+				}
+				return out, len(out), r.mt.err
+			}
+			cfg := s.Space().At(chunk[i])
+			s.emit(Event{Kind: EventSampleMeasured, Stage: stage,
+				Config: cfg, Seconds: r.mt.secs, Err: r.mt.err, Cached: r.cached})
+			if onSample != nil {
+				onSample(cfg, r.mt)
+			}
+			out = append(out, r)
+			if r.mt.err == nil {
+				valid++
+				if needValid > 0 && valid >= needValid {
+					return out, len(out), nil
+				}
+			}
+		}
+	}
+	return out, len(out), nil
+}
+
+// fillModelConfig replaces zero-valued fields of cfg with the paper's
+// defaults, preserving everything the caller set. A wholly zero
+// ModelConfig means "use the defaults" and becomes
+// DefaultModelConfig(seed). LogTransform is on by default and cannot be
+// distinguished from "unset" when false, so it is only honoured as
+// "off" — the ablation mode — when the caller configured the ensemble
+// explicitly (as DefaultModelConfig does); a config that only sets e.g.
+// InvalidPenalty keeps the recommended log-time training.
+func fillModelConfig(cfg ModelConfig, seed int64) ModelConfig {
+	if cfg == (ModelConfig{}) {
+		return DefaultModelConfig(seed)
+	}
+	def := DefaultModelConfig(seed)
+	if cfg.Ensemble == (ann.EnsembleConfig{}) {
+		cfg.LogTransform = def.LogTransform
+	}
+	if cfg.Ensemble.K == 0 {
+		cfg.Ensemble.K = def.Ensemble.K
+	}
+	if cfg.Ensemble.Hidden == 0 {
+		cfg.Ensemble.Hidden = def.Ensemble.Hidden
+	}
+	if cfg.Ensemble.HiddenLayers == 0 {
+		cfg.Ensemble.HiddenLayers = def.Ensemble.HiddenLayers
+	}
+	if cfg.Ensemble.Train == (ann.TrainConfig{}) {
+		cfg.Ensemble.Train = def.Ensemble.Train
+	}
+	if cfg.Ensemble.Seed == 0 {
+		cfg.Ensemble.Seed = seed
+	}
+	return cfg
+}

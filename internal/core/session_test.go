@@ -1,0 +1,516 @@
+package core
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"math"
+	"math/rand"
+	"strings"
+	"sync/atomic"
+	"testing"
+
+	"repro/internal/tuning"
+)
+
+func TestRegistryBuiltins(t *testing.T) {
+	names := Registry()
+	if len(names) < 4 {
+		t.Fatalf("registry has %d strategies: %v", len(names), names)
+	}
+	for _, want := range []string{"ml", "random", "hillclimb", "exhaustive"} {
+		st, err := LookupStrategy(want)
+		if err != nil {
+			t.Errorf("builtin %q missing: %v", want, err)
+			continue
+		}
+		if st.Name() != want {
+			t.Errorf("strategy %q reports name %q", want, st.Name())
+		}
+		if st.Description() == "" {
+			t.Errorf("strategy %q has no description", want)
+		}
+	}
+	if _, err := LookupStrategy("simulated-annealing"); err == nil {
+		t.Error("unknown strategy lookup succeeded")
+	}
+}
+
+type namedStrategy string
+
+func (n namedStrategy) Name() string        { return string(n) }
+func (n namedStrategy) Description() string { return "test strategy" }
+func (n namedStrategy) Run(ctx context.Context, s *Session) (*Result, error) {
+	return &Result{}, nil
+}
+
+func TestRegisterStrategyValidation(t *testing.T) {
+	if err := RegisterStrategy(nil); err == nil {
+		t.Error("nil strategy registered")
+	}
+	if err := RegisterStrategy(namedStrategy("")); err == nil {
+		t.Error("unnamed strategy registered")
+	}
+	if err := RegisterStrategy(namedStrategy("ml")); err == nil {
+		t.Error("duplicate registration of \"ml\" accepted")
+	}
+	if err := RegisterStrategy(namedStrategy("session-test-custom")); err != nil {
+		t.Fatalf("fresh registration failed: %v", err)
+	}
+	if err := RegisterStrategy(namedStrategy("session-test-custom")); err == nil {
+		t.Error("duplicate registration of custom strategy accepted")
+	}
+	found := false
+	for _, n := range Registry() {
+		if n == "session-test-custom" {
+			found = true
+		}
+	}
+	if !found {
+		t.Error("registered strategy missing from Registry()")
+	}
+}
+
+func TestSessionRunStrategies(t *testing.T) {
+	// Every builtin strategy must run through the session API and agree
+	// on the Result contract.
+	_, m := quadSpace()
+	for _, name := range []string{"ml", "random", "hillclimb", "exhaustive"} {
+		opts := Options{TrainingSamples: 40, SecondStage: 20, Budget: 120, Restarts: 2,
+			Seed: 7, Model: fastModelConfig(7)}
+		s, err := NewSession(m, opts)
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background(), name)
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if res.Strategy != name {
+			t.Errorf("%s: result tagged %q", name, res.Strategy)
+		}
+		if !res.Found {
+			t.Errorf("%s found nothing", name)
+		}
+		if res.Measured <= 0 {
+			t.Errorf("%s measured %d", name, res.Measured)
+		}
+		// The quad bowl optimum is 0.5; every search should get within 4x.
+		if res.BestSeconds > 2.0 {
+			t.Errorf("%s best %v is far from optimum 0.5", name, res.BestSeconds)
+		}
+	}
+}
+
+func TestSessionCancelledBeforeStart(t *testing.T) {
+	_, m := quadSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	for _, name := range []string{"ml", "random", "hillclimb", "exhaustive"} {
+		s, err := NewSession(m, Options{TrainingSamples: 30, SecondStage: 10, Budget: 50, Seed: 1,
+			Model: fastModelConfig(1)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(ctx, name)
+		if err == nil {
+			t.Errorf("%s: cancelled run returned %+v", name, res)
+			continue
+		}
+		if !errors.Is(err, context.Canceled) {
+			t.Errorf("%s: error %v does not unwrap to context.Canceled", name, err)
+		}
+	}
+}
+
+func TestSessionCancelMidGather(t *testing.T) {
+	// Cancel after 10 measurements: the run must stop without completing
+	// stage 1 and report a partial-result error.
+	space, base := quadSpace()
+	ctx, cancel := context.WithCancel(context.Background())
+	var calls atomic.Int64
+	m := &FuncMeasurer{
+		TuningSpace: space,
+		CtxFn: func(ctx context.Context, cfg tuning.Config) (float64, error) {
+			if err := ctx.Err(); err != nil {
+				return 0, err
+			}
+			if calls.Add(1) == 10 {
+				cancel()
+			}
+			return base.Fn(cfg)
+		},
+	}
+	s, err := NewSession(m, Options{TrainingSamples: 200, SecondStage: 20, Seed: 3,
+		Model: fastModelConfig(3)})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = s.Run(ctx, "ml")
+	if err == nil {
+		t.Fatal("cancelled mid-gather run succeeded")
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("error %v does not unwrap to context.Canceled", err)
+	}
+	var pe *PartialError
+	if !errors.As(err, &pe) {
+		t.Fatalf("error %v is not a *PartialError", err)
+	}
+	if pe.Measured >= 200 {
+		t.Errorf("partial error reports a complete stage 1: %d measured", pe.Measured)
+	}
+	if got := calls.Load(); got >= 200 {
+		t.Errorf("measurer called %d times after mid-gather cancel", got)
+	}
+	if !strings.Contains(pe.Error(), "interrupted") {
+		t.Errorf("partial error message %q", pe.Error())
+	}
+}
+
+func TestSessionObserverOrdering(t *testing.T) {
+	_, m := quadSpace()
+	var events []Event
+	s, err := NewSession(m,
+		Options{TrainingSamples: 30, SecondStage: 10, Seed: 5, Model: fastModelConfig(5)},
+		WithObserver(func(ev Event) { events = append(events, ev) }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Stages must open and close in order, samples and candidates only
+	// inside their stage, and candidate times must strictly improve.
+	open := ""
+	var stages []string
+	lastBest := math.Inf(1)
+	measuredInStage := map[string]int{}
+	for i, ev := range events {
+		switch ev.Kind {
+		case EventStageStarted:
+			if open != "" {
+				t.Fatalf("event %d: stage %q started inside %q", i, ev.Stage, open)
+			}
+			open = ev.Stage
+			stages = append(stages, ev.Stage)
+		case EventStageFinished:
+			if ev.Stage != open {
+				t.Fatalf("event %d: stage %q finished while %q open", i, ev.Stage, open)
+			}
+			open = ""
+		case EventSampleMeasured:
+			if ev.Stage != open {
+				t.Fatalf("event %d: sample outside its stage (%q vs open %q)", i, ev.Stage, open)
+			}
+			measuredInStage[ev.Stage]++
+		case EventCandidateAccepted:
+			if ev.Stage != open {
+				t.Fatalf("event %d: candidate outside its stage", i)
+			}
+			if ev.Seconds >= lastBest {
+				t.Fatalf("event %d: accepted %v after %v", i, ev.Seconds, lastBest)
+			}
+			lastBest = ev.Seconds
+		}
+	}
+	if open != "" {
+		t.Errorf("stage %q never finished", open)
+	}
+	wantStages := []string{"gather", "train", "second-stage"}
+	if len(stages) != len(wantStages) {
+		t.Fatalf("stages = %v, want %v", stages, wantStages)
+	}
+	for i := range wantStages {
+		if stages[i] != wantStages[i] {
+			t.Fatalf("stages = %v, want %v", stages, wantStages)
+		}
+	}
+	if measuredInStage["gather"] != res.Attempts {
+		t.Errorf("gather events = %d, attempts = %d", measuredInStage["gather"], res.Attempts)
+	}
+	if measuredInStage["second-stage"] != len(res.SecondStage)+res.InvalidSecond {
+		t.Errorf("second-stage events = %d, measured+invalid = %d",
+			measuredInStage["second-stage"], len(res.SecondStage)+res.InvalidSecond)
+	}
+	if lastBest != res.BestSeconds {
+		t.Errorf("last accepted candidate %v, result best %v", lastBest, res.BestSeconds)
+	}
+}
+
+func TestSessionWorkerCountInvariance(t *testing.T) {
+	// The same seed must produce identical results and identical sample
+	// event streams no matter how many workers gather.
+	_, m := quadSpace()
+	run := func(workers int) (*Result, []Event) {
+		var events []Event
+		s, err := NewSession(m,
+			Options{TrainingSamples: 50, SecondStage: 15, Seed: 11, Model: fastModelConfig(11)},
+			WithWorkers(workers),
+			WithObserver(func(ev Event) {
+				if ev.Kind == EventSampleMeasured {
+					events = append(events, ev)
+				}
+			}))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, err := s.Run(context.Background(), "ml")
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, events
+	}
+	r1, e1 := run(1)
+	r8, e8 := run(8)
+	if !r1.Best.Equal(r8.Best) || r1.BestSeconds != r8.BestSeconds {
+		t.Errorf("workers changed the result: %v/%v vs %v/%v", r1.Best, r1.BestSeconds, r8.Best, r8.BestSeconds)
+	}
+	if len(e1) != len(e8) {
+		t.Fatalf("event counts differ: %d vs %d", len(e1), len(e8))
+	}
+	for i := range e1 {
+		if !e1[i].Config.Equal(e8[i].Config) || e1[i].Seconds != e8[i].Seconds {
+			t.Fatalf("event %d differs: %v/%v vs %v/%v", i,
+				e1[i].Config, e1[i].Seconds, e8[i].Config, e8[i].Seconds)
+		}
+	}
+}
+
+func TestSessionMemoCache(t *testing.T) {
+	space, base := quadSpace()
+	var calls atomic.Int64
+	m := &FuncMeasurer{
+		TuningSpace: space,
+		Fn: func(cfg tuning.Config) (float64, error) {
+			calls.Add(1)
+			return base.Fn(cfg)
+		},
+	}
+	s, err := NewSession(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := space.At(3)
+	a, err := s.Measure(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := s.Measure(context.Background(), cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Errorf("cached measurement changed: %v vs %v", a, b)
+	}
+	if got := calls.Load(); got != 1 {
+		t.Errorf("measurer called %d times for one config", got)
+	}
+	fresh, hits := s.CacheStats()
+	if fresh != 1 || hits != 1 {
+		t.Errorf("cache stats fresh=%d hits=%d, want 1/1", fresh, hits)
+	}
+}
+
+func TestSessionSecondStageReusesStageOne(t *testing.T) {
+	// Stage-2 candidates that were already measured in stage 1 must come
+	// from the memo cache, not cost a second measurement.
+	space, base := quadSpace()
+	var calls atomic.Int64
+	m := &FuncMeasurer{
+		TuningSpace: space,
+		Fn: func(cfg tuning.Config) (float64, error) {
+			calls.Add(1)
+			return base.Fn(cfg)
+		},
+	}
+	// Training samples cover most of the small space, so the second
+	// stage must overlap stage 1 heavily.
+	opts := Options{TrainingSamples: 100, SecondStage: 50, Seed: 2, Model: fastModelConfig(2)}
+	s, err := NewSession(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := s.Run(context.Background(), "ml"); err != nil {
+		t.Fatal(err)
+	}
+	fresh, hits := s.CacheStats()
+	if hits == 0 {
+		t.Error("second stage hit the cache 0 times despite heavy overlap")
+	}
+	if int64(fresh) != calls.Load() {
+		t.Errorf("fresh=%d but measurer called %d times", fresh, calls.Load())
+	}
+}
+
+func TestOptionsModelPartialFill(t *testing.T) {
+	// A partially specified Options.Model must keep the caller's fields
+	// (the old code replaced the whole config when Ensemble.K was 0).
+	_, m := quadSpace()
+	opts := Options{TrainingSamples: 10, SecondStage: 5, Seed: 9}
+	opts.Model.LogTransform = true
+	opts.Model.InvalidPenalty = 3
+	s, err := NewSession(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := s.Options().Model
+	if got.InvalidPenalty != 3 {
+		t.Errorf("InvalidPenalty dropped: %v", got.InvalidPenalty)
+	}
+	if !got.LogTransform {
+		t.Error("LogTransform dropped")
+	}
+	if got.Ensemble.K != 11 || got.Ensemble.Hidden != 30 || got.Ensemble.HiddenLayers != 1 {
+		t.Errorf("ensemble defaults not filled: %+v", got.Ensemble)
+	}
+	if got.Ensemble.Train.Epochs == 0 {
+		t.Error("train config not filled")
+	}
+	if got.Ensemble.Seed != 9 {
+		t.Errorf("ensemble seed = %d, want options seed 9", got.Ensemble.Seed)
+	}
+
+	// A wholly zero model still means the paper's defaults.
+	s2, err := NewSession(m, Options{TrainingSamples: 10, SecondStage: 5, Seed: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s2.Options().Model; !got.LogTransform || got.Ensemble.K != 11 {
+		t.Errorf("zero model config not defaulted: %+v", got)
+	}
+
+	// A fully specified config passes through untouched.
+	full := DefaultModelConfig(123)
+	full.Ensemble.K = 5
+	s3, err := NewSession(m, Options{TrainingSamples: 10, SecondStage: 5, Seed: 4, Model: full})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := s3.Options().Model; got != full {
+		t.Errorf("full config modified: %+v vs %+v", got, full)
+	}
+}
+
+func TestModelSaveLoadRoundTrip(t *testing.T) {
+	space, m := quadSpace()
+	rng := rand.New(rand.NewSource(31))
+	var samples []Sample
+	for _, cfg := range space.Sample(rng, 80) {
+		secs, _ := m.Measure(context.Background(), cfg)
+		samples = append(samples, Sample{Config: cfg, Seconds: secs})
+	}
+	model, err := TrainModel(space, samples, nil, fastModelConfig(31))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.HasPrefix(buf.String(), `{"format":"mltune-model","version":1`) {
+		t.Errorf("saved model does not start with the JSON header: %.80q", buf.String())
+	}
+	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// The reconstructed space must be equivalent...
+	if loaded.Space().Size() != space.Size() || loaded.Space().Name() != space.Name() {
+		t.Fatalf("space mismatch: %v vs %v", loaded.Space(), space)
+	}
+	// ...and every prediction bit-identical.
+	s1, s2 := model.NewScratch(), loaded.NewScratch()
+	for idx := int64(0); idx < space.Size(); idx++ {
+		want := model.Predict(space.At(idx), s1)
+		got := loaded.Predict(loaded.Space().At(idx), s2)
+		if want != got {
+			t.Fatalf("prediction %d differs after reload: %v vs %v", idx, want, got)
+		}
+	}
+
+	// Saving the loaded model again must reproduce the same bytes.
+	var buf2 bytes.Buffer
+	if err := loaded.Save(&buf2); err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(buf.Bytes(), buf2.Bytes()) {
+		t.Error("save -> load -> save is not byte-stable")
+	}
+}
+
+func TestLoadModelRejectsGarbage(t *testing.T) {
+	cases := map[string]string{
+		"not json":      "hello world\n",
+		"wrong format":  `{"format":"other","version":1}` + "\n",
+		"wrong version": `{"format":"mltune-model","version":99}` + "\n",
+		"empty space":   `{"format":"mltune-model","version":1,"space":{"name":"x","params":[]}}` + "\n",
+		"dup param":     `{"format":"mltune-model","version":1,"space":{"name":"x","params":[{"name":"a","values":[1]},{"name":"a","values":[2]}]}}` + "\n",
+		"dup value":     `{"format":"mltune-model","version":1,"space":{"name":"x","params":[{"name":"a","values":[1,1]}]}}` + "\n",
+		"no payload":    `{"format":"mltune-model","version":1,"space":{"name":"x","params":[{"name":"a","values":[1,2]}]}}` + "\n",
+	}
+	for name, in := range cases {
+		if _, err := LoadModel(strings.NewReader(in)); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}
+
+func TestModelSaveFileRoundTrip(t *testing.T) {
+	space, m := quadSpace()
+	rng := rand.New(rand.NewSource(37))
+	var samples []Sample
+	for _, cfg := range space.Sample(rng, 60) {
+		secs, _ := m.Measure(context.Background(), cfg)
+		samples = append(samples, Sample{Config: cfg, Seconds: secs})
+	}
+	model, err := TrainModel(space, samples, nil, fastModelConfig(37))
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/model.mlt"
+	if err := model.SaveFile(path); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := LoadModelFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := space.At(7)
+	if got, want := loaded.Predict(loaded.Space().At(7), loaded.NewScratch()),
+		model.Predict(cfg, model.NewScratch()); got != want {
+		t.Errorf("file round trip prediction %v, want %v", got, want)
+	}
+}
+
+func TestDeprecatedWrappersSeedStable(t *testing.T) {
+	// The old entry points delegate to the new API; fixed seeds must
+	// keep producing identical results run over run.
+	_, m := quadSpace()
+	r1, err := RandomSearch(m, 60, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := RandomSearch(m, 60, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !r1.Best.Equal(r2.Best) || r1.BestSeconds != r2.BestSeconds {
+		t.Errorf("RandomSearch not seed-stable: %v vs %v", r1, r2)
+	}
+	h1, err := HillClimb(m, 80, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	h2, err := HillClimb(m, 80, 2, 17)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !h1.Best.Equal(h2.Best) || h1.BestSeconds != h2.BestSeconds {
+		t.Errorf("HillClimb not seed-stable: %v vs %v", h1, h2)
+	}
+}

@@ -1,0 +1,91 @@
+package core
+
+import (
+	"context"
+	"fmt"
+	"sort"
+	"sync"
+)
+
+// Strategy is a pluggable search algorithm over a tuning space. A
+// strategy pulls everything it needs — the measurer, budgets, seeds, the
+// memoising gather pool and the observer stream — from the Session it is
+// handed, and reports its outcome in the shared Result shape, so that
+// strategies are interchangeable from the caller's point of view.
+//
+// Run must honour ctx: once the context is cancelled or times out, it
+// should stop measuring promptly and return an error wrapping ctx.Err()
+// (usually a *PartialError carrying how far it got).
+type Strategy interface {
+	// Name returns the registry name, e.g. "ml" or "random".
+	Name() string
+	// Description is a one-line human-readable summary.
+	Description() string
+	// Run executes the search within the session.
+	Run(ctx context.Context, s *Session) (*Result, error)
+}
+
+var (
+	strategyMu  sync.RWMutex
+	strategyReg = map[string]Strategy{}
+)
+
+// RegisterStrategy adds a strategy to the global registry. It fails on an
+// empty name or a duplicate registration.
+func RegisterStrategy(st Strategy) error {
+	if st == nil || st.Name() == "" {
+		return fmt.Errorf("core: cannot register a nil or unnamed strategy")
+	}
+	strategyMu.Lock()
+	defer strategyMu.Unlock()
+	if _, dup := strategyReg[st.Name()]; dup {
+		return fmt.Errorf("core: strategy %q already registered", st.Name())
+	}
+	strategyReg[st.Name()] = st
+	return nil
+}
+
+// MustRegisterStrategy is RegisterStrategy but panics on error; intended
+// for package init functions.
+func MustRegisterStrategy(st Strategy) {
+	if err := RegisterStrategy(st); err != nil {
+		panic(err)
+	}
+}
+
+// LookupStrategy returns the registered strategy with the given name.
+func LookupStrategy(name string) (Strategy, error) {
+	strategyMu.RLock()
+	st, ok := strategyReg[name]
+	names := registeredNames()
+	strategyMu.RUnlock()
+	if !ok {
+		return nil, fmt.Errorf("core: unknown strategy %q (have %v)", name, names)
+	}
+	return st, nil
+}
+
+// Registry returns the names of all registered strategies, sorted.
+func Registry() []string {
+	strategyMu.RLock()
+	defer strategyMu.RUnlock()
+	return registeredNames()
+}
+
+// registeredNames returns the sorted strategy names; callers must hold
+// strategyMu.
+func registeredNames() []string {
+	names := make([]string, 0, len(strategyReg))
+	for name := range strategyReg {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	return names
+}
+
+func init() {
+	MustRegisterStrategy(mlStrategy{})
+	MustRegisterStrategy(randomStrategy{})
+	MustRegisterStrategy(hillClimbStrategy{})
+	MustRegisterStrategy(exhaustiveStrategy{})
+}

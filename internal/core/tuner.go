@@ -1,12 +1,11 @@
 package core
 
 import (
+	"context"
 	"fmt"
-	"math"
 	"math/rand"
 	"time"
 
-	"repro/internal/devsim"
 	"repro/internal/tuning"
 )
 
@@ -20,13 +19,22 @@ type Options struct {
 	SecondStage int
 	// Seed drives sampling and model initialization.
 	Seed int64
-	// Model configures the performance model; zero value means the
-	// paper's defaults (log transform, k=11, 30 hidden neurons).
+	// Model configures the performance model. Zero-valued fields are
+	// filled with the paper's defaults field by field, so a partially
+	// specified config keeps everything the caller set; a wholly zero
+	// value means the paper's defaults (log transform, k=11, 30 hidden
+	// neurons).
 	Model ModelConfig
 	// MaxAttempts bounds the stage-1 draws used to find valid
 	// configurations (0 = 4*N + 1000). Spaces with many invalid regions
 	// may exhaust it, in which case the tuner trains on what it has.
 	MaxAttempts int
+	// Budget bounds the total measurements of the budgeted search
+	// strategies ("random", "hillclimb"). 0 means TrainingSamples +
+	// SecondStage, giving every strategy the same spend by default.
+	Budget int
+	// Restarts is the random-restart count of "hillclimb" (0 = 1).
+	Restarts int
 }
 
 // DefaultOptions returns the configuration highlighted in the paper's
@@ -40,15 +48,26 @@ func DefaultOptions(seed int64) Options {
 	}
 }
 
+// budget returns the measurement budget of the budgeted strategies.
+func (o Options) budget() int {
+	if o.Budget > 0 {
+		return o.Budget
+	}
+	return o.TrainingSamples + o.SecondStage
+}
+
 // CostReport accounts for where tuning time goes (paper §6: gathering
 // data dominates; training is comparatively cheap). Gather time is
 // *simulated* (compile + runs + invalid attempts); train/predict times
 // are real wall-clock.
 type CostReport struct {
 	// GatherSeconds is the simulated cost of stage-1 data collection:
-	// kernel builds, benchmark runs and failed attempts.
+	// kernel builds, benchmark runs and failed attempts. Samples served
+	// from the session's memo cache cost nothing.
 	GatherSeconds float64
 	// SecondStageSeconds is the simulated cost of stage-2 measurements.
+	// Candidates already measured in stage 1 are served from the
+	// session's memo cache and cost nothing.
 	SecondStageSeconds float64
 	// TrainSeconds is the wall-clock model training time.
 	TrainSeconds float64
@@ -56,17 +75,29 @@ type CostReport struct {
 	PredictSeconds float64
 }
 
-// Result is the outcome of one auto-tuning run.
+// Result is the outcome of one strategy run. All strategies share it:
+// the baseline searches fill the search-result core (Found, Best,
+// BestSeconds, Measured, Invalid), the ML tuner additionally reports its
+// stages, model and cost breakdown.
 type Result struct {
-	// Found reports whether any second-stage configuration was valid.
-	// When false the tuner "gives no prediction at all" (paper §7).
+	// Strategy is the registry name of the strategy that produced this
+	// result ("ml", "random", "hillclimb", "exhaustive", ...).
+	Strategy string
+
+	// Found reports whether any valid configuration was measured. When
+	// false the tuner "gives no prediction at all" (paper §7).
 	Found bool
 	// Best is the fastest configuration found, valid only when Found.
 	Best tuning.Config
 	// BestSeconds is Best's measured time.
 	BestSeconds float64
+	// Measured counts distinct valid measurements; Invalid counts
+	// distinct failed ones. Re-evaluations served from the session's
+	// memo cache are not counted again.
+	Measured, Invalid int
 
 	// Samples holds the valid stage-1 measurements (the training set).
+	// Only the "ml" strategy fills it.
 	Samples []Sample
 	// InvalidTrain counts stage-1 draws that turned out invalid.
 	InvalidTrain int
@@ -85,90 +116,61 @@ type Result struct {
 	// space actually executed (paper: as low as 0.1%).
 	MeasuredFraction float64
 
-	// Model is the trained performance model (reusable for analysis).
+	// Model is the trained performance model (reusable for analysis,
+	// and persistable with Model.Save). Only the "ml" strategy fills it.
 	Model *Model
 	// Cost breaks down where the tuning time went.
 	Cost CostReport
 }
 
-// Tune runs the complete two-stage auto-tuner of the paper against the
-// measurer.
-func Tune(m Measurer, opts Options) (*Result, error) {
-	if err := checkMeasurer(m); err != nil {
-		return nil, err
+// Search returns the result reduced to the classic SearchResult shape
+// used by the deprecated baseline entry points.
+func (r *Result) Search() *SearchResult {
+	return &SearchResult{
+		Found:       r.Found,
+		Best:        r.Best,
+		BestSeconds: r.BestSeconds,
+		Measured:    r.Measured,
+		Invalid:     r.Invalid,
 	}
+}
+
+// accept folds one valid measurement into the result's best-so-far,
+// reporting whether it became the new best.
+func (r *Result) accept(cfg tuning.Config, secs float64) bool {
+	if r.Found && secs >= r.BestSeconds {
+		return false
+	}
+	r.Found = true
+	r.Best = cfg
+	r.BestSeconds = secs
+	return true
+}
+
+// mlStrategy is the paper's primary contribution: the two-stage
+// machine-learning auto-tuner (§5, Figure 3), re-expressed as a session
+// strategy.
+type mlStrategy struct{}
+
+func (mlStrategy) Name() string { return "ml" }
+
+func (mlStrategy) Description() string {
+	return "two-stage ML tuner: train a bagged ANN on random samples, measure its top-M predictions (paper §5)"
+}
+
+func (mlStrategy) Run(ctx context.Context, s *Session) (*Result, error) {
+	opts := s.Options()
 	if opts.TrainingSamples <= 0 {
 		return nil, fmt.Errorf("core: TrainingSamples must be positive, got %d", opts.TrainingSamples)
 	}
 	if opts.SecondStage <= 0 {
 		return nil, fmt.Errorf("core: SecondStage must be positive, got %d", opts.SecondStage)
 	}
-	if opts.Model.Ensemble.K == 0 {
-		opts.Model = DefaultModelConfig(opts.Seed)
-	}
+	m := s.Measurer()
+	space := s.Space()
 	res := &Result{}
 
 	// --- Stage 1: gather training data -----------------------------------
-	samples, invalidCfgs, attempts, gather, err := gatherSamples(m, opts)
-	if err != nil {
-		return nil, err
-	}
-	res.Samples = samples
-	res.InvalidTrain = len(invalidCfgs)
-	res.Attempts = attempts
-	res.Cost.GatherSeconds = gather
-	if len(samples) == 0 {
-		return nil, fmt.Errorf("core: no valid configurations among %d attempts", attempts)
-	}
-
-	// --- Train the model ---------------------------------------------------
-	t0 := time.Now()
-	model, err := TrainModel(m.Space(), samples, invalidCfgs, opts.Model)
-	if err != nil {
-		return nil, err
-	}
-	res.Model = model
-	res.Cost.TrainSeconds = time.Since(t0).Seconds()
-
-	// --- Predict the whole space, pick the M most promising ----------------
-	t0 = time.Now()
-	top := model.TopM(opts.SecondStage)
-	res.Predicted = top
-	res.Cost.PredictSeconds = time.Since(t0).Seconds()
-
-	// --- Stage 2: measure the candidates ------------------------------------
-	best := math.Inf(1)
-	for _, p := range top {
-		cfg := m.Space().At(p.Index)
-		res.Cost.SecondStageSeconds += compileCost(m, cfg)
-		secs, err := m.Measure(cfg)
-		if err != nil {
-			if devsim.IsInvalid(err) {
-				res.InvalidSecond++
-				continue
-			}
-			return nil, err
-		}
-		res.Cost.SecondStageSeconds += secs
-		res.SecondStage = append(res.SecondStage, Sample{Config: cfg, Seconds: secs})
-		if secs < best {
-			best = secs
-			res.Best = cfg
-			res.BestSeconds = secs
-			res.Found = true
-		}
-	}
-
-	res.MeasuredFraction = float64(attempts+len(top)) / float64(m.Space().Size())
-	return res, nil
-}
-
-// gatherSamples draws random configurations until it has measured
-// opts.TrainingSamples valid ones (or exhausts its attempt budget),
-// mirroring the paper's data-gathering phase including the time "wasted
-// attempting to compile and launch kernels with invalid configurations".
-func gatherSamples(m Measurer, opts Options) (samples []Sample, invalid []tuning.Config, attempts int, gatherSeconds float64, err error) {
-	space := m.Space()
 	maxAttempts := opts.MaxAttempts
 	if maxAttempts <= 0 {
 		maxAttempts = 4*opts.TrainingSamples + 1000
@@ -179,26 +181,105 @@ func gatherSamples(m Measurer, opts Options) (samples []Sample, invalid []tuning
 	rng := rand.New(rand.NewSource(opts.Seed))
 	idxs := space.SampleIndices(rng, maxAttempts)
 
-	samples = make([]Sample, 0, opts.TrainingSamples)
-	for _, idx := range idxs {
-		if len(samples) >= opts.TrainingSamples {
-			break
-		}
-		cfg := space.At(idx)
-		attempts++
-		gatherSeconds += compileCost(m, cfg)
-		secs, err := m.Measure(cfg)
-		if err != nil {
-			if devsim.IsInvalid(err) {
-				invalid = append(invalid, cfg)
-				continue
-			}
-			return nil, nil, attempts, gatherSeconds, err
-		}
-		gatherSeconds += secs
-		samples = append(samples, Sample{Config: cfg, Seconds: secs})
+	var invalidCfgs []tuning.Config
+	outs, consumed, err := s.gather(ctx, "gather", idxs, opts.TrainingSamples, nil)
+	if err != nil {
+		return nil, err
 	}
-	return samples, invalid, attempts, gatherSeconds, nil
+	res.Samples = make([]Sample, 0, opts.TrainingSamples)
+	for i, o := range outs {
+		cfg := space.At(idxs[i])
+		if !o.cached {
+			res.Cost.GatherSeconds += compileCost(m, cfg)
+		}
+		if o.mt.err != nil {
+			invalidCfgs = append(invalidCfgs, cfg)
+			continue
+		}
+		if !o.cached {
+			res.Cost.GatherSeconds += o.mt.secs
+		}
+		res.Samples = append(res.Samples, Sample{Config: cfg, Seconds: o.mt.secs})
+	}
+	res.InvalidTrain = len(invalidCfgs)
+	res.Attempts = consumed
+	if len(res.Samples) == 0 {
+		return nil, fmt.Errorf("core: no valid configurations among %d attempts", consumed)
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, &PartialError{Stage: "gather", Measured: len(res.Samples), Err: err}
+	}
+
+	// --- Train the model ---------------------------------------------------
+	s.emit(Event{Kind: EventStageStarted, Stage: "train"})
+	t0 := time.Now()
+	model, err := TrainModel(space, res.Samples, invalidCfgs, opts.Model)
+	if err != nil {
+		return nil, err
+	}
+	res.Model = model
+	res.Cost.TrainSeconds = time.Since(t0).Seconds()
+	s.emit(Event{Kind: EventStageFinished, Stage: "train"})
+	if err := ctx.Err(); err != nil {
+		return nil, &PartialError{Stage: "train", Measured: len(res.Samples), Err: err}
+	}
+
+	// --- Predict the whole space, pick the M most promising ----------------
+	t0 = time.Now()
+	top := model.TopM(opts.SecondStage)
+	res.Predicted = top
+	res.Cost.PredictSeconds = time.Since(t0).Seconds()
+
+	// --- Stage 2: measure the candidates ------------------------------------
+	cand := make([]int64, len(top))
+	for i, p := range top {
+		cand[i] = p.Index
+	}
+	res.SecondStage = make([]Sample, 0, len(cand))
+	outs2, _, err := s.gather(ctx, "second-stage", cand, 0, func(cfg tuning.Config, mt measurement) {
+		if mt.err != nil {
+			res.InvalidSecond++
+			return
+		}
+		res.SecondStage = append(res.SecondStage, Sample{Config: cfg, Seconds: mt.secs})
+		if res.accept(cfg, mt.secs) {
+			s.emit(Event{Kind: EventCandidateAccepted, Stage: "second-stage", Config: cfg, Seconds: mt.secs})
+		}
+	})
+	if err != nil {
+		return nil, err
+	}
+	freshSecond := 0
+	for i, o := range outs2 {
+		if o.mt.err == nil && !o.cached {
+			freshSecond++
+			res.Cost.SecondStageSeconds += compileCost(m, space.At(cand[i])) + o.mt.secs
+		}
+	}
+
+	// Stage-2 candidates served from the memo cache (typically stage-1
+	// overlap) were already counted once; Measured stays a count of
+	// distinct valid measurements.
+	res.Measured = len(res.Samples) + freshSecond
+	res.Invalid = res.InvalidTrain + res.InvalidSecond
+	res.MeasuredFraction = float64(consumed+len(top)) / float64(space.Size())
+	return res, nil
+}
+
+// Tune runs the complete two-stage auto-tuner of the paper against the
+// measurer.
+//
+// Deprecated: Tune is the pre-Session entry point, kept for
+// compatibility. Build a Session and run the "ml" strategy instead:
+//
+//	s, _ := NewSession(m, opts)
+//	res, _ := s.Run(ctx, "ml")
+func Tune(m Measurer, opts Options) (*Result, error) {
+	s, err := NewSession(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(context.Background(), "ml")
 }
 
 // compileCost returns the simulated kernel build time when the measurer

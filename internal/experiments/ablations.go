@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -33,7 +34,7 @@ func runAblations(ctx *Ctx) (*Report, error) {
 	}
 
 	// Shared train/eval split for all model-side ablations.
-	train, evalSet, err := ablationSplit(m, nTrain, nEval, ctx.Seed+997)
+	train, evalSet, err := ablationSplit(ctx.context(), m, nTrain, nEval, ctx.Seed+997)
 	if err != nil {
 		return nil, err
 	}
@@ -111,7 +112,7 @@ func runAblations(ctx *Ctx) (*Report, error) {
 		Title:   "Ablation: second-stage size M (M=1 trusts the model blindly)",
 		Columns: []string{"M", "slowdown vs global optimum"},
 	}
-	ex, err := core.Exhaustive(m)
+	ex, err := runStrategy(ctx, m, "exhaustive", core.Options{})
 	if err != nil {
 		return nil, err
 	}
@@ -123,7 +124,7 @@ func runAblations(ctx *Ctx) (*Report, error) {
 	top := model.TopM(200)
 	times := make([]float64, len(top))
 	for i, p := range top {
-		secs, err := m.Measure(m.Space().At(p.Index))
+		secs, err := m.Measure(ctx.context(), m.Space().At(p.Index))
 		if err != nil {
 			if devsim.IsInvalid(err) {
 				times[i] = math.Inf(1)
@@ -168,7 +169,7 @@ func runAblations(ctx *Ctx) (*Report, error) {
 			Model:           core.DefaultModelConfig(ctx.Seed + 5),
 		}
 		opts.Model.InvalidPenalty = penalty
-		res, err := core.Tune(sm, opts)
+		res, err := runStrategy(ctx, sm, "ml", opts)
 		if err != nil {
 			return nil, err
 		}
@@ -184,7 +185,7 @@ func runAblations(ctx *Ctx) (*Report, error) {
 }
 
 // ablationSplit gathers disjoint valid train and eval samples.
-func ablationSplit(m core.Measurer, nTrain, nEval int, seed int64) (train, evalSet []core.Sample, err error) {
+func ablationSplit(ctx context.Context, m core.Measurer, nTrain, nEval int, seed int64) (train, evalSet []core.Sample, err error) {
 	space := m.Space()
 	rng := rand.New(rand.NewSource(seed))
 	budget := 4*(nTrain+nEval) + 2000
@@ -196,7 +197,7 @@ func ablationSplit(m core.Measurer, nTrain, nEval int, seed int64) (train, evalS
 			break
 		}
 		cfg := space.At(idx)
-		secs, err := m.Measure(cfg)
+		secs, err := m.Measure(ctx, cfg)
 		if err != nil {
 			if devsim.IsInvalid(err) {
 				continue

@@ -40,11 +40,11 @@ func runBaselines(ctx *Ctx) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex, err := core.Exhaustive(meas)
+		ex, err := runStrategy(ctx, meas, "exhaustive", core.Options{})
 		if err != nil {
 			return nil, err
 		}
-		cell := func(r *core.SearchResult) string {
+		cell := func(r *core.Result) string {
 			if !r.Found {
 				return "-"
 			}
@@ -55,7 +55,7 @@ func runBaselines(ctx *Ctx) (*Report, error) {
 			TrainingSamples: n, SecondStage: m2,
 			Seed: ctx.Seed + 37, Model: core.DefaultModelConfig(ctx.Seed + 37),
 		}
-		tuned, err := core.Tune(meas, opts)
+		tuned, err := runStrategy(ctx, meas, "ml", opts)
 		if err != nil {
 			return nil, err
 		}
@@ -64,11 +64,11 @@ func runBaselines(ctx *Ctx) (*Report, error) {
 			tunedCell = f3(tuned.BestSeconds / ex.BestSeconds)
 		}
 
-		rnd, err := core.RandomSearch(meas, budget, ctx.Seed+38)
+		rnd, err := runStrategy(ctx, meas, "random", core.Options{Budget: budget, Seed: ctx.Seed + 38})
 		if err != nil {
 			return nil, err
 		}
-		hc, err := core.HillClimb(meas, budget, 8, ctx.Seed+39)
+		hc, err := runStrategy(ctx, meas, "hillclimb", core.Options{Budget: budget, Restarts: 8, Seed: ctx.Seed + 39})
 		if err != nil {
 			return nil, err
 		}

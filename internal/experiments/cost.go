@@ -46,7 +46,7 @@ func runCost(ctx *Ctx) (*Report, error) {
 			Seed:            ctx.Seed + 577,
 			Model:           core.DefaultModelConfig(ctx.Seed + 577),
 		}
-		res, err := core.Tune(m, opts)
+		res, err := runStrategy(ctx, m, "ml", opts)
 		if err != nil {
 			return nil, err
 		}

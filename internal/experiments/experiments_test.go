@@ -2,6 +2,7 @@ package experiments
 
 import (
 	"bytes"
+	"context"
 	"fmt"
 	"os"
 	"path/filepath"
@@ -135,7 +136,7 @@ func TestEvalModelSmoke(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := EvalModel(m, 150, 60, 5)
+	res, err := EvalModel(context.Background(), m, 150, 60, 5)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -31,7 +31,7 @@ func runFig1(ctx *Ctx) (*Report, error) {
 
 	type entry struct {
 		meas *core.SimMeasurer
-		best core.SearchResult
+		best core.Result
 	}
 	entries := make(map[string]*entry, len(devices))
 	for _, dev := range devices {
@@ -39,7 +39,7 @@ func runFig1(ctx *Ctx) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex, err := core.Exhaustive(m)
+		ex, err := runStrategy(ctx, m, "exhaustive", core.Options{})
 		if err != nil {
 			return nil, err
 		}

@@ -79,7 +79,7 @@ func errorCurveRunner(device string) func(*Ctx) (*Report, error) {
 				if err != nil {
 					return nil, err
 				}
-				mean, err := MeanEvalError(m, n, evalN, reps, ctx.Seed+int64(n))
+				mean, err := MeanEvalError(ctx.context(), m, n, evalN, reps, ctx.Seed+int64(n))
 				if err != nil {
 					return nil, err
 				}
@@ -114,7 +114,7 @@ func runFig7(ctx *Ctx) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			mean, err := MeanEvalError(m, n, evalN, reps, ctx.Seed+int64(n))
+			mean, err := MeanEvalError(ctx.context(), m, n, evalN, reps, ctx.Seed+int64(n))
 			if err != nil {
 				return nil, err
 			}

@@ -43,7 +43,7 @@ func scatterRunner(device string) func(*Ctx) (*Report, error) {
 		if ctx.Scale == Smoke {
 			nTrain = 200
 		}
-		res, err := EvalModel(m, nTrain, 100, ctx.Seed+811)
+		res, err := EvalModel(ctx.context(), m, nTrain, 100, ctx.Seed+811)
 		if err != nil {
 			return nil, err
 		}

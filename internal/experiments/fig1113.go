@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -58,7 +59,7 @@ func tunerGridRunner(device string) func(*Ctx) (*Report, error) {
 		if err != nil {
 			return nil, err
 		}
-		ex, err := core.Exhaustive(m)
+		ex, err := runStrategy(ctx, m, "exhaustive", core.Options{})
 		if err != nil {
 			return nil, err
 		}
@@ -85,14 +86,14 @@ func tunerGridRunner(device string) func(*Ctx) (*Report, error) {
 			slowdowns := make([][]float64, len(msizes))
 			for rep := 0; rep < reps; rep++ {
 				seed := ctx.Seed + int64(n)*31 + int64(rep)*7919
-				top, err := trainAndRank(m, n, maxM, seed)
+				top, err := trainAndRank(ctx.context(), m, n, maxM, seed)
 				if err != nil {
 					return nil, err
 				}
 				// Measure candidates once, best-prefix per M.
 				times := make([]float64, len(top))
 				for i, p := range top {
-					secs, err := m.Measure(m.Space().At(p.Index))
+					secs, err := m.Measure(ctx.context(), m.Space().At(p.Index))
 					if err != nil {
 						if devsim.IsInvalid(err) {
 							times[i] = math.Inf(1)
@@ -131,7 +132,7 @@ func tunerGridRunner(device string) func(*Ctx) (*Report, error) {
 
 // trainAndRank gathers n valid training samples, trains the paper's
 // model, and returns the maxM best-predicted configurations.
-func trainAndRank(m core.Measurer, n, maxM int, seed int64) ([]core.Predicted, error) {
+func trainAndRank(ctx context.Context, m core.Measurer, n, maxM int, seed int64) ([]core.Predicted, error) {
 	space := m.Space()
 	rng := rand.New(rand.NewSource(seed))
 	budget := 4*n + 1000
@@ -144,7 +145,7 @@ func trainAndRank(m core.Measurer, n, maxM int, seed int64) ([]core.Predicted, e
 			break
 		}
 		cfg := space.At(idx)
-		secs, err := m.Measure(cfg)
+		secs, err := m.Measure(ctx, cfg)
 		if err != nil {
 			if devsim.IsInvalid(err) {
 				continue

@@ -42,7 +42,7 @@ func runFig14(ctx *Ctx) (*Report, error) {
 			if err != nil {
 				return nil, err
 			}
-			rnd, err := core.RandomSearch(meas, randomN, ctx.Seed+101)
+			rnd, err := runStrategy(ctx, meas, "random", core.Options{Budget: randomN, Seed: ctx.Seed + 101})
 			if err != nil {
 				return nil, err
 			}
@@ -52,7 +52,7 @@ func runFig14(ctx *Ctx) (*Report, error) {
 				Seed:            ctx.Seed + 211,
 				Model:           core.DefaultModelConfig(ctx.Seed + 211),
 			}
-			res, err := core.Tune(meas, opts)
+			res, err := runStrategy(ctx, meas, "ml", opts)
 			if err != nil {
 				return nil, err
 			}

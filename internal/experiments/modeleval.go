@@ -1,6 +1,7 @@
 package experiments
 
 import (
+	"context"
 	"math/rand"
 
 	"repro/internal/core"
@@ -31,8 +32,8 @@ type EvalResult struct {
 
 // EvalModel trains a model with nTrain valid samples and scores it on
 // nEval disjoint valid samples. All draws and network initializations
-// derive from seed.
-func EvalModel(m core.Measurer, nTrain, nEval int, seed int64) (*EvalResult, error) {
+// derive from seed; ctx cancels the gathering.
+func EvalModel(ctx context.Context, m core.Measurer, nTrain, nEval int, seed int64) (*EvalResult, error) {
 	space := m.Space()
 	rng := rand.New(rand.NewSource(seed))
 
@@ -51,7 +52,7 @@ func EvalModel(m core.Measurer, nTrain, nEval int, seed int64) (*EvalResult, err
 			break
 		}
 		cfg := space.At(idx)
-		secs, err := m.Measure(cfg)
+		secs, err := m.Measure(ctx, cfg)
 		if err != nil {
 			if devsim.IsInvalid(err) {
 				continue
@@ -85,10 +86,10 @@ func EvalModel(m core.Measurer, nTrain, nEval int, seed int64) (*EvalResult, err
 // MeanEvalError repeats EvalModel reps times with derived seeds and
 // returns the mean of the mean relative errors, reproducing the paper's
 // "we built several neural networks ... and report the mean".
-func MeanEvalError(m core.Measurer, nTrain, nEval, reps int, seed int64) (float64, error) {
+func MeanEvalError(ctx context.Context, m core.Measurer, nTrain, nEval, reps int, seed int64) (float64, error) {
 	var errs []float64
 	for r := 0; r < reps; r++ {
-		res, err := EvalModel(m, nTrain, nEval, seed+int64(r)*7919)
+		res, err := EvalModel(ctx, m, nTrain, nEval, seed+int64(r)*7919)
 		if err != nil {
 			return 0, err
 		}

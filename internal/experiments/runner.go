@@ -11,6 +11,7 @@
 package experiments
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -18,6 +19,8 @@ import (
 	"sort"
 	"strings"
 	"time"
+
+	"repro/internal/core"
 )
 
 // Scale selects the experiment size.
@@ -66,12 +69,34 @@ type Ctx struct {
 	Seed int64
 	// Log receives progress lines (nil silences them).
 	Log io.Writer
+	// Context, when set, cancels in-flight measurements — ^C on
+	// cmd/experiments aborts a sweep mid-gather instead of at the next
+	// experiment boundary. Nil means context.Background().
+	Context context.Context
 }
 
 func (c *Ctx) logf(format string, args ...any) {
 	if c.Log != nil {
 		fmt.Fprintf(c.Log, format+"\n", args...)
 	}
+}
+
+// context returns the cancellation context for measurements.
+func (c *Ctx) context() context.Context {
+	if c.Context != nil {
+		return c.Context
+	}
+	return context.Background()
+}
+
+// runStrategy builds a session over m and executes the named registered
+// strategy under the experiment's cancellation context.
+func runStrategy(ctx *Ctx, m core.Measurer, name string, opts core.Options) (*core.Result, error) {
+	s, err := core.NewSession(m, opts)
+	if err != nil {
+		return nil, err
+	}
+	return s.Run(ctx.context(), name)
 }
 
 // Table is a rectangular result with named columns, renderable as text

@@ -2,26 +2,44 @@
 // kernels, reproducing Falch & Elster, "Machine Learning Based Auto-tuning
 // for Enhanced OpenCL Performance Portability" (IPDPSW 2015).
 //
-// The package ties together:
+// Tuning is organised around three pieces:
 //
-//   - three parameterized benchmarks (convolution, raycasting, stereo)
-//     with the paper's tuning parameters (internal/bench),
-//   - simulated devices — Intel i7 3770, Nvidia K40/C2070/GTX980, AMD
-//     HD 7970 — with analytic performance models (internal/devsim),
-//   - a functional OpenCL-style runtime that executes the kernels and
-//     verifies their output (internal/opencl),
-//   - the paper's model: bagged single-hidden-layer neural networks
-//     trained on log execution time (internal/ann), and
-//   - the two-stage auto-tuner built from them (internal/core).
+//   - a Measurer, which times one configuration of a tuning Space on the
+//     system under tuning (simulated devices, the functional OpenCL-style
+//     runtime, or any user function via FuncMeasurer);
+//   - a Session, which owns the measurer plus the shared run machinery: a
+//     measurement memo cache, a deterministic parallel gather pool whose
+//     results are seed-stable regardless of worker count, and an observer
+//     event stream (stage started, sample measured, candidate accepted);
+//   - a Strategy, a named search algorithm run against a session. Four are
+//     registered out of the box: "ml" (the paper's two-stage tuner),
+//     "random", "hillclimb" and "exhaustive". Registry lists them;
+//     RegisterStrategy adds custom ones.
 //
 // Quick start:
 //
 //	m, _ := mltune.NewMeasurer("convolution", mltune.NvidiaK40, mltune.Size{})
-//	res, _ := mltune.Tune(m, mltune.DefaultOptions(42))
+//	s, _ := mltune.NewSession(m, mltune.DefaultOptions(42))
+//	res, _ := s.Run(context.Background(), "ml")
 //	fmt.Println(res.Best, res.BestSeconds)
 //
-// Custom systems plug in through the Measurer interface: anything that
-// can time one configuration of a tuning Space can be auto-tuned.
+// The context cancels or times out a run mid-measurement; an interrupted
+// run returns a *PartialError wrapping ctx.Err(). Every Measurer
+// implementation receives the context, so even a single slow measurement
+// can honour cancellation.
+//
+// The trained performance model — the artifact that makes tuning portable
+// across devices — persists with Model.Save and reloads with LoadModel on
+// any machine, predicting bit-identically.
+//
+// The pre-Session entry points (Tune, RandomSearch, HillClimb,
+// Exhaustive) still work but are deprecated; they are thin wrappers over
+// a one-shot session.
+//
+// Underneath sit the paper's three parameterized benchmarks
+// (internal/bench), the simulated devices with analytic performance
+// models (internal/devsim), a functional OpenCL-style runtime
+// (internal/opencl), and the bagged neural networks (internal/ann).
 package mltune
 
 import (
@@ -70,10 +88,35 @@ type (
 	ModelConfig = core.ModelConfig
 	// Model is a trained performance model.
 	Model = core.Model
-	// Result is the outcome of a tuning run.
+	// Result is the outcome of a strategy run; all strategies share it.
 	Result = core.Result
-	// SearchResult is the outcome of a baseline search.
+	// SearchResult is the outcome of a baseline search (the deprecated
+	// pre-Session shape; Result.Search converts).
 	SearchResult = core.SearchResult
+	// Session owns one tuning run's measurer, memo cache, gather pool
+	// and observer stream.
+	Session = core.Session
+	// SessionOption customises a Session at construction time.
+	SessionOption = core.SessionOption
+	// Strategy is a named, pluggable search algorithm over a Session.
+	Strategy = core.Strategy
+	// Observer receives session events.
+	Observer = core.Observer
+	// Event is one entry of a session's observer stream.
+	Event = core.Event
+	// EventKind classifies observer events.
+	EventKind = core.EventKind
+	// PartialError reports a run interrupted (usually by context
+	// cancellation) after completing part of its measurements.
+	PartialError = core.PartialError
+)
+
+// Observer event kinds.
+const (
+	EventStageStarted      = core.EventStageStarted
+	EventSampleMeasured    = core.EventSampleMeasured
+	EventCandidateAccepted = core.EventCandidateAccepted
+	EventStageFinished     = core.EventStageFinished
 )
 
 // Canonical device names (the devices of the paper's evaluation).
@@ -132,7 +175,48 @@ func NewRuntimeMeasurer(benchmark, device string, size Size, seed int64) (*Runti
 	return core.NewRuntimeMeasurer(b, d, size, seed, true)
 }
 
+// NewSession validates the measurer and options and builds a tuning
+// session. Strategies run against it with Session.Run; the session's
+// memo cache carries measurements across runs.
+func NewSession(m Measurer, opts Options, sopts ...SessionOption) (*Session, error) {
+	return core.NewSession(m, opts, sopts...)
+}
+
+// WithWorkers bounds the session gather pool's parallelism (default:
+// GOMAXPROCS). The worker count never affects results, only wall-clock
+// time.
+func WithWorkers(n int) SessionOption { return core.WithWorkers(n) }
+
+// WithObserver subscribes an observer to the session's event stream.
+func WithObserver(o Observer) SessionOption { return core.WithObserver(o) }
+
+// Registry returns the names of all registered strategies, sorted.
+func Registry() []string { return core.Registry() }
+
+// LookupStrategy returns the registered strategy with the given name.
+func LookupStrategy(name string) (Strategy, error) { return core.LookupStrategy(name) }
+
+// RegisterStrategy adds a custom strategy to the global registry. It
+// fails on an empty name or a duplicate registration.
+func RegisterStrategy(st Strategy) error { return core.RegisterStrategy(st) }
+
+// MustRegisterStrategy is RegisterStrategy but panics on error; intended
+// for package init functions.
+func MustRegisterStrategy(st Strategy) { core.MustRegisterStrategy(st) }
+
+// LoadModel reads a model previously written by Model.Save. The tuning
+// space is rebuilt from the saved header, so a model trained on one
+// device can be reloaded and queried anywhere, with bit-identical
+// predictions.
+func LoadModel(r io.Reader) (*Model, error) { return core.LoadModel(r) }
+
+// LoadModelFile loads a model from the named file (see LoadModel).
+func LoadModelFile(path string) (*Model, error) { return core.LoadModelFile(path) }
+
 // Tune runs the paper's two-stage auto-tuner against the measurer.
+//
+// Deprecated: build a Session and run the "ml" strategy instead; that
+// adds cancellation, progress events and measurement reuse.
 func Tune(m Measurer, opts Options) (*Result, error) { return core.Tune(m, opts) }
 
 // DefaultOptions returns the paper's highlighted configuration
@@ -150,15 +234,23 @@ func TrainModel(space *Space, samples []Sample, invalid []Config, cfg ModelConfi
 }
 
 // RandomSearch measures n random configurations and returns the fastest.
+//
+// Deprecated: build a Session with Options{Budget: n, Seed: seed} and
+// run the "random" strategy instead.
 func RandomSearch(m Measurer, n int, seed int64) (*SearchResult, error) {
 	return core.RandomSearch(m, n, seed)
 }
 
 // Exhaustive measures every configuration and returns the fastest.
+//
+// Deprecated: build a Session and run the "exhaustive" strategy instead.
 func Exhaustive(m Measurer) (*SearchResult, error) { return core.Exhaustive(m) }
 
 // HillClimb runs the steepest-descent local-search baseline within a
 // measurement budget, with random restarts.
+//
+// Deprecated: build a Session with Options{Budget: budget, Restarts:
+// restarts, Seed: seed} and run the "hillclimb" strategy instead.
 func HillClimb(m Measurer, budget, restarts int, seed int64) (*SearchResult, error) {
 	return core.HillClimb(m, budget, restarts, seed)
 }

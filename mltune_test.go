@@ -2,6 +2,8 @@ package mltune_test
 
 import (
 	"bytes"
+	"context"
+	"errors"
 	"strings"
 	"testing"
 
@@ -94,6 +96,9 @@ func TestFacadeEndToEndTune(t *testing.T) {
 }
 
 func TestFacadeRuntimeMeasurer(t *testing.T) {
+	if testing.Short() {
+		t.Skip("runtime measurer executes kernels functionally; skipped in -short")
+	}
 	b, _ := mltune.LookupBenchmark("convolution")
 	m, err := mltune.NewRuntimeMeasurer("convolution", mltune.NvidiaK40, b.TestSize(), 1)
 	if err != nil {
@@ -106,12 +111,77 @@ func TestFacadeRuntimeMeasurer(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	secs, err := m.Measure(cfg)
+	secs, err := m.Measure(context.Background(), cfg)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if secs <= 0 {
 		t.Errorf("measured %v", secs)
+	}
+}
+
+func TestFacadeSessionAPI(t *testing.T) {
+	have := map[string]bool{}
+	for _, name := range mltune.Registry() {
+		have[name] = true
+	}
+	for _, want := range []string{"ml", "random", "hillclimb", "exhaustive"} {
+		if !have[want] {
+			t.Errorf("strategy %q not in registry %v", want, mltune.Registry())
+		}
+	}
+
+	space := mltune.NewSpace("toy2",
+		mltune.Pow2Param("x", 1, 64),
+		mltune.Pow2Param("y", 1, 64),
+	)
+	m := &mltune.FuncMeasurer{
+		TuningSpace: space,
+		Fn: func(cfg mltune.Config) (float64, error) {
+			return 1.0/float64(cfg.Value("x")) + 0.05*float64(cfg.Value("y")), nil
+		},
+	}
+	events := 0
+	opts := mltune.DefaultOptions(8)
+	opts.TrainingSamples = 25
+	opts.SecondStage = 10
+	s, err := mltune.NewSession(m, opts,
+		mltune.WithWorkers(2),
+		mltune.WithObserver(func(ev mltune.Event) { events++ }))
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !res.Found || res.Strategy != "ml" {
+		t.Fatalf("session run: %+v", res)
+	}
+	if events == 0 {
+		t.Error("observer saw no events")
+	}
+
+	// Model persistence through the facade.
+	var buf bytes.Buffer
+	if err := res.Model.Save(&buf); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := mltune.LoadModel(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := space.At(5)
+	if got, want := loaded.Predict(loaded.Space().At(5), loaded.NewScratch()),
+		res.Model.Predict(cfg, res.Model.NewScratch()); got != want {
+		t.Errorf("loaded model predicts %v, original %v", got, want)
+	}
+
+	// A cancelled context aborts the run with a wrapped ctx error.
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	if _, err := s.Run(ctx, "random"); !errors.Is(err, context.Canceled) {
+		t.Errorf("cancelled run returned %v", err)
 	}
 }
 
