@@ -1,0 +1,91 @@
+// Command mltuned is the long-running auto-tuning daemon: it serves
+// trained performance models over HTTP/JSON and runs tuning jobs on a
+// bounded asynchronous queue.
+//
+// Usage:
+//
+//	mltuned [-addr :8372] [-models DIR] [-workers N] [-backlog N]
+//	        [-drain-timeout D]
+//
+// On startup the registry directory is scanned for saved models
+// (benchmark@device.mlt files in the core.Model.Save format — the same
+// artifacts cmd/mltune -save-model writes); each loads lazily on its
+// first predict/top-M query. SIGINT/SIGTERM trigger a graceful
+// shutdown: the listener stops, queued jobs are canceled, and running
+// jobs get -drain-timeout to finish before their contexts are cancelled.
+//
+// See the README's "mltuned" section for the endpoint reference and an
+// example curl session.
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"sync"
+	"syscall"
+	"time"
+
+	"repro/internal/service"
+)
+
+func main() {
+	var (
+		addr    = flag.String("addr", ":8372", "HTTP listen address")
+		models  = flag.String("models", "models", "model registry directory")
+		workers = flag.Int("workers", 0, "tuning worker pool size (0 = GOMAXPROCS)")
+		backlog = flag.Int("backlog", 64, "job queue capacity beyond the running jobs")
+		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
+	)
+	flag.Parse()
+
+	reg, err := service.OpenRegistry(*models)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mltuned:", err)
+		os.Exit(1)
+	}
+	srv := service.New(reg, *workers, *backlog)
+	log.Printf("mltuned: serving on %s (registry %s, %d models)", *addr, reg.Dir(), reg.Len())
+
+	httpSrv := &http.Server{Addr: *addr, Handler: srv}
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	select {
+	case err := <-errc:
+		// The listener died on its own (e.g. the port is taken).
+		fmt.Fprintln(os.Stderr, "mltuned:", err)
+		os.Exit(1)
+	case <-ctx.Done():
+	}
+	log.Printf("mltuned: shutting down, draining jobs for up to %s", *drain)
+
+	// The HTTP listener and the job queue drain concurrently, each with
+	// its own -drain-timeout budget: a stalled client connection must not
+	// eat into the grace period promised to running tuning jobs.
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		httpCtx, cancel := context.WithTimeout(context.Background(), *drain)
+		defer cancel()
+		if err := httpSrv.Shutdown(httpCtx); err != nil {
+			log.Printf("mltuned: http shutdown: %v", err)
+		}
+	}()
+	drainCtx, cancel := context.WithTimeout(context.Background(), *drain)
+	defer cancel()
+	if err := srv.Drain(drainCtx); err != nil && !errors.Is(err, context.Canceled) {
+		log.Printf("mltuned: %v: running jobs were canceled", err)
+	}
+	wg.Wait()
+	log.Printf("mltuned: bye")
+}

@@ -139,11 +139,30 @@ type Predicted struct {
 	Seconds float64
 }
 
+// less orders predictions by predicted time, tie-broken on Index. The
+// order is total (no two predictions compare equal), which is what makes
+// the TopM sweep worker-count invariant: without the tie-break, equal
+// predictions would rank by which worker partition they came from.
+func (p Predicted) less(q Predicted) bool {
+	if p.Seconds != q.Seconds {
+		return p.Seconds < q.Seconds
+	}
+	return p.Index < q.Index
+}
+
 // TopM sweeps the entire tuning space — the paper's "predict the
 // execution time for all possible configurations" step — and returns the
-// M configurations with the lowest predicted times, best first.
-// The sweep runs on all available cores.
+// M configurations with the lowest predicted times, best first (ties
+// broken towards the lower index). The sweep runs on all available
+// cores; like the session's gather pool, the result is identical no
+// matter how many.
 func (m *Model) TopM(M int) []Predicted {
+	return m.topM(M, runtime.GOMAXPROCS(0))
+}
+
+// topM is TopM with an explicit worker count; the invariance tests
+// exercise it directly.
+func (m *Model) topM(M, workers int) []Predicted {
 	size := m.space.Size()
 	if int64(M) > size {
 		M = int(size)
@@ -152,7 +171,9 @@ func (m *Model) TopM(M int) []Predicted {
 		return nil
 	}
 
-	workers := runtime.GOMAXPROCS(0)
+	if workers < 1 {
+		workers = 1
+	}
 	if int64(workers) > size {
 		workers = int(size)
 	}
@@ -184,7 +205,7 @@ func (m *Model) TopM(M int) []Predicted {
 	for _, r := range results {
 		merged = append(merged, r...)
 	}
-	sort.Slice(merged, func(i, j int) bool { return merged[i].Seconds < merged[j].Seconds })
+	sort.Slice(merged, func(i, j int) bool { return merged[i].less(merged[j]) })
 	if len(merged) > M {
 		merged = merged[:M]
 	}
@@ -201,10 +222,11 @@ func (m *Model) PredictBatch(cfgs []tuning.Config) []float64 {
 	return out
 }
 
-// topHeap keeps the M smallest offered items as a bounded max-heap.
+// topHeap keeps the M smallest offered items (in Predicted.less order)
+// as a bounded max-heap.
 type topHeap struct {
 	cap  int
-	heap []Predicted // max-heap by Seconds
+	heap []Predicted // max-heap by Predicted.less
 }
 
 func newTopHeap(capacity int) *topHeap {
@@ -217,7 +239,7 @@ func (h *topHeap) offer(p Predicted) {
 		h.up(len(h.heap) - 1)
 		return
 	}
-	if p.Seconds >= h.heap[0].Seconds {
+	if !p.less(h.heap[0]) {
 		return
 	}
 	h.heap[0] = p
@@ -227,7 +249,7 @@ func (h *topHeap) offer(p Predicted) {
 func (h *topHeap) up(i int) {
 	for i > 0 {
 		parent := (i - 1) / 2
-		if h.heap[parent].Seconds >= h.heap[i].Seconds {
+		if !h.heap[parent].less(h.heap[i]) {
 			return
 		}
 		h.heap[parent], h.heap[i] = h.heap[i], h.heap[parent]
@@ -240,10 +262,10 @@ func (h *topHeap) down(i int) {
 	for {
 		l, r := 2*i+1, 2*i+2
 		largest := i
-		if l < n && h.heap[l].Seconds > h.heap[largest].Seconds {
+		if l < n && h.heap[largest].less(h.heap[l]) {
 			largest = l
 		}
-		if r < n && h.heap[r].Seconds > h.heap[largest].Seconds {
+		if r < n && h.heap[largest].less(h.heap[r]) {
 			largest = r
 		}
 		if largest == i {
@@ -256,6 +278,6 @@ func (h *topHeap) down(i int) {
 
 func (h *topHeap) items() []Predicted {
 	out := append([]Predicted(nil), h.heap...)
-	sort.Slice(out, func(i, j int) bool { return out[i].Seconds < out[j].Seconds })
+	sort.Slice(out, func(i, j int) bool { return out[i].less(out[j]) })
 	return out
 }

@@ -1,0 +1,109 @@
+package core
+
+import (
+	"runtime"
+	"sort"
+	"testing"
+
+	"repro/internal/ann"
+	"repro/internal/tuning"
+)
+
+// tiedModel hand-builds a model whose predictions depend on exactly one
+// tuning parameter, so every configuration sharing that parameter's value
+// gets a bitwise-identical predicted time. With 4 values of "y" over a
+// 64-point space that forces tie groups of 16 — large enough to straddle
+// any worker partition boundary.
+func tiedModel(t *testing.T) (*Model, *tuning.Space) {
+	t.Helper()
+	space := tuning.NewSpace("ties",
+		tuning.Pow2Param("x", 1, 8), // 4 values
+		tuning.Pow2Param("y", 1, 8), // 4 values (feature 1 drives S)
+		tuning.Pow2Param("w", 1, 2), // 2 values
+		tuning.BoolParam("z"),       // 2 values
+	)
+	enc := tuning.NewEncoder(space)
+	// One linear neuron reading only feature 1 ("y"): prediction is a
+	// function of y alone.
+	weights := make([]float64, enc.Dim()+1)
+	weights[1] = 2
+	weights[enc.Dim()] = 1 // bias
+	ensemble, err := ann.EnsembleFromState(ann.EnsembleState{Nets: []ann.NetworkState{{
+		Sizes:   []int{enc.Dim(), 1},
+		Acts:    []string{"linear"},
+		Weights: [][]float64{weights},
+	}}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := &Model{space: space, enc: enc, ensemble: ensemble,
+		scaler: ann.TargetScaler{Mean: 1, Std: 0.5}, logT: false}
+	return m, space
+}
+
+// bruteTopM is the specification: predict everything, order by
+// (Seconds, Index), take M.
+func bruteTopM(m *Model, M int) []Predicted {
+	space := m.Space()
+	all := make([]Predicted, space.Size())
+	scratch := m.NewScratch()
+	for idx := int64(0); idx < space.Size(); idx++ {
+		all[idx] = Predicted{Index: idx, Seconds: m.Predict(space.At(idx), scratch)}
+	}
+	sort.Slice(all, func(i, j int) bool { return all[i].less(all[j]) })
+	return all[:M]
+}
+
+func TestTopMTieBreakWorkerInvariant(t *testing.T) {
+	m, space := tiedModel(t)
+	// Sanity: the construction really does force ties — 16 configurations
+	// per distinct prediction.
+	scratch := m.NewScratch()
+	distinct := map[float64]int{}
+	for idx := int64(0); idx < space.Size(); idx++ {
+		distinct[m.Predict(space.At(idx), scratch)]++
+	}
+	if len(distinct) != 4 {
+		t.Fatalf("tie construction broken: %d distinct predictions over %d configs", len(distinct), space.Size())
+	}
+
+	const M = 10
+	want := bruteTopM(m, M)
+	for i := 1; i < M; i++ {
+		if !want[i-1].less(want[i]) {
+			t.Fatalf("specification order not total at %d: %+v %+v", i, want[i-1], want[i])
+		}
+	}
+	for _, workers := range []int{1, 2, 3, 4, 5, 7, 8, 64, 100} {
+		got := m.topM(M, workers)
+		if len(got) != M {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), M)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Errorf("workers=%d: result %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+func TestTopMTieBreakGOMAXPROCSInvariant(t *testing.T) {
+	// The public TopM partitions by GOMAXPROCS; with forced ties the
+	// stage-2 candidate set must be identical at 1 and 4 procs.
+	m, _ := tiedModel(t)
+	const M = 12
+	run := func(procs int) []Predicted {
+		prev := runtime.GOMAXPROCS(procs)
+		defer runtime.GOMAXPROCS(prev)
+		return m.TopM(M)
+	}
+	one, four := run(1), run(4)
+	if len(one) != M || len(four) != M {
+		t.Fatalf("lengths %d/%d, want %d", len(one), len(four), M)
+	}
+	for i := range one {
+		if one[i] != four[i] {
+			t.Errorf("result %d differs across GOMAXPROCS: %+v vs %+v", i, one[i], four[i])
+		}
+	}
+}

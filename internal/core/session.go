@@ -93,6 +93,19 @@ type measurement struct {
 	err  error
 }
 
+// memoEntry is one slot of the measurement memo. An entry is created the
+// moment a goroutine commits to measuring an index and starts as
+// in-flight; done closes when the measurement settles (mt valid, entry
+// permanent) or aborts on a transient error (entry already removed).
+// Later callers for the same index wait on done instead of measuring —
+// the single-flight discipline that keeps noisy measurers (one noise
+// draw per invocation) deterministic under concurrency.
+type memoEntry struct {
+	done    chan struct{}
+	mt      measurement
+	settled bool
+}
+
 // gatherChunk is the unit of work scheduling in the parallel gather pool.
 // It is a fixed constant — not a function of the worker count — so that
 // the exact set of configurations measured (and hence every downstream
@@ -105,9 +118,13 @@ const gatherChunk = 64
 // deterministic parallel gather pool and the observer stream. Strategies
 // execute against a session via Run.
 //
-// A session is safe for concurrent use by a single strategy's workers;
-// running multiple strategies on one session is supported sequentially
-// (the cache carries over, which is the point: a strategy can reuse
+// A session is safe for concurrent Measure callers: any number of
+// goroutines may call Measure at once, and concurrent callers that miss
+// the memo for the same configuration are coalesced into a single
+// measurer invocation (single-flight), so exactly one noise draw is
+// consumed per configuration no matter the interleaving. Running
+// multiple strategies on one session is supported sequentially (the
+// cache carries over, which is the point: a strategy can reuse
 // measurements a previous strategy already paid for).
 type Session struct {
 	m       Measurer
@@ -118,9 +135,9 @@ type Session struct {
 	obs   []Observer
 
 	memoMu sync.Mutex
-	memo   map[int64]measurement
-	fresh  int // measurer invocations
-	hits   int // cache hits
+	memo   map[int64]*memoEntry
+	fresh  int // settled measurer invocations
+	hits   int // cache hits (including single-flight waiters)
 }
 
 // SessionOption customises a session at construction time.
@@ -158,7 +175,7 @@ func NewSession(m Measurer, opts Options, sopts ...SessionOption) (*Session, err
 		m:       m,
 		opts:    opts,
 		workers: runtime.GOMAXPROCS(0),
-		memo:    make(map[int64]measurement),
+		memo:    make(map[int64]*memoEntry),
 	}
 	for _, o := range sopts {
 		o(s)
@@ -217,24 +234,50 @@ func (s *Session) rngFor(stage string, shard int64) *rand.Rand {
 
 // measureOne measures the configuration at idx through the memo cache.
 // cached reports whether the result was served from the cache.
+//
+// Measurements are single-flight per index: when several goroutines miss
+// the memo for the same index at once, exactly one invokes the measurer
+// and the rest wait for (and share) its outcome. Without this, each
+// racer would consume its own noise draw from the measurer and which
+// result ended up memoised would depend on goroutine scheduling. A
+// waiter whose context is cancelled stops waiting and returns ctx.Err();
+// if the in-flight measurement aborts on a transient error, one waiter
+// takes over as the new leader.
 func (s *Session) measureOne(ctx context.Context, idx int64) (mt measurement, cached bool) {
-	s.memoMu.Lock()
-	if m, ok := s.memo[idx]; ok {
-		s.hits++
-		s.memoMu.Unlock()
-		return m, true
-	}
-	s.memoMu.Unlock()
-
-	secs, err := s.m.Measure(ctx, s.Space().At(idx))
-	mt = measurement{secs: secs, err: err}
-	if err == nil || devsim.IsInvalid(err) {
+	for {
 		s.memoMu.Lock()
-		s.fresh++
-		s.memo[idx] = mt
+		if e, ok := s.memo[idx]; ok {
+			if e.settled {
+				s.hits++
+				s.memoMu.Unlock()
+				return e.mt, true
+			}
+			s.memoMu.Unlock()
+			select {
+			case <-e.done:
+			case <-ctx.Done():
+				return measurement{err: ctx.Err()}, false
+			}
+			continue
+		}
+		e := &memoEntry{done: make(chan struct{})}
+		s.memo[idx] = e
 		s.memoMu.Unlock()
+
+		secs, err := s.m.Measure(ctx, s.Space().At(idx))
+		mt = measurement{secs: secs, err: err}
+		s.memoMu.Lock()
+		if err == nil || devsim.IsInvalid(err) {
+			s.fresh++
+			e.mt = mt
+			e.settled = true
+		} else {
+			delete(s.memo, idx)
+		}
+		s.memoMu.Unlock()
+		close(e.done)
+		return mt, false
 	}
-	return mt, false
 }
 
 // Measure measures one configuration through the session's memo cache,

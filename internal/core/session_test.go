@@ -7,9 +7,13 @@ import (
 	"math"
 	"math/rand"
 	"strings"
+	"sync"
 	"sync/atomic"
 	"testing"
+	"time"
 
+	"repro/internal/bench"
+	"repro/internal/devsim"
 	"repro/internal/tuning"
 )
 
@@ -311,6 +315,122 @@ func TestSessionMemoCache(t *testing.T) {
 	fresh, hits := s.CacheStats()
 	if fresh != 1 || hits != 1 {
 		t.Errorf("cache stats fresh=%d hits=%d, want 1/1", fresh, hits)
+	}
+}
+
+func TestSessionMeasureSingleFlight(t *testing.T) {
+	// Hammer Measure from many goroutines over a small colliding index
+	// set: every index must reach the measurer exactly once, with the
+	// losers of each race served the winner's memoised result.
+	space, base := quadSpace()
+	const nIdx = 8
+	var calls [nIdx]atomic.Int64
+	m := &FuncMeasurer{
+		TuningSpace: space,
+		CtxFn: func(ctx context.Context, cfg tuning.Config) (float64, error) {
+			calls[cfg.Index()].Add(1)
+			time.Sleep(time.Millisecond) // widen the race window
+			return base.Fn(cfg)
+		},
+	}
+	s, err := NewSession(m, Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	const goroutines = 32
+	results := make([][nIdx]float64, goroutines)
+	var wg sync.WaitGroup
+	for g := 0; g < goroutines; g++ {
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < nIdx; i++ {
+				secs, err := s.Measure(context.Background(), space.At(int64(i)))
+				if err != nil {
+					t.Errorf("goroutine %d index %d: %v", g, i, err)
+					return
+				}
+				results[g][i] = secs
+			}
+		}(g)
+	}
+	wg.Wait()
+	for i := range calls {
+		if got := calls[i].Load(); got != 1 {
+			t.Errorf("index %d reached the measurer %d times, want 1 (single-flight)", i, got)
+		}
+	}
+	for g := 1; g < goroutines; g++ {
+		if results[g] != results[0] {
+			t.Errorf("goroutine %d saw different results: %v vs %v", g, results[g], results[0])
+		}
+	}
+	fresh, hits := s.CacheStats()
+	if fresh != nIdx {
+		t.Errorf("fresh = %d, want %d", fresh, nIdx)
+	}
+	if fresh+hits != goroutines*nIdx {
+		t.Errorf("fresh+hits = %d, want %d (every call accounted for)", fresh+hits, goroutines*nIdx)
+	}
+}
+
+func TestSessionConcurrentMeasureMatchesSequential(t *testing.T) {
+	// SimMeasurer draws fresh noise per invocation, so pre-fix a race on
+	// one index memoised whichever attempt won the schedule. Concurrent
+	// hammering must memoise exactly the values a sequential session sees.
+	mk := func() Measurer {
+		m, err := NewSimMeasurer(bench.MustLookup("convolution"),
+			devsim.MustLookup(devsim.NvidiaK40), bench.Size{}, 3)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return m
+	}
+	const nIdx = 24
+	want := make([]float64, nIdx)
+	seq, err := NewSession(mk(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		secs, err := seq.Measure(context.Background(), seq.Space().At(int64(i)))
+		if err != nil && !devsim.IsInvalid(err) {
+			t.Fatal(err)
+		}
+		want[i] = secs
+	}
+
+	conc, err := NewSession(mk(), Options{Seed: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var wg sync.WaitGroup
+	got := make([][]float64, 16)
+	for g := range got {
+		got[g] = make([]float64, nIdx)
+		wg.Add(1)
+		go func(g int) {
+			defer wg.Done()
+			for i := 0; i < nIdx; i++ {
+				// Stagger the iteration order so different goroutines
+				// collide on different indices at once.
+				idx := (i + g) % nIdx
+				secs, err := conc.Measure(context.Background(), conc.Space().At(int64(idx)))
+				if err != nil && !devsim.IsInvalid(err) {
+					t.Errorf("goroutine %d index %d: %v", g, idx, err)
+					return
+				}
+				got[g][idx] = secs
+			}
+		}(g)
+	}
+	wg.Wait()
+	for g := range got {
+		for i := range want {
+			if got[g][i] != want[i] {
+				t.Errorf("goroutine %d index %d = %v, sequential session got %v", g, i, got[g][i], want[i])
+			}
+		}
 	}
 }
 

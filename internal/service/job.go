@@ -1,0 +1,355 @@
+package service
+
+import (
+	"context"
+	"errors"
+	"sync"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+// JobState is the lifecycle of a tuning job.
+type JobState string
+
+const (
+	// JobQueued: accepted, waiting for a worker.
+	JobQueued JobState = "queued"
+	// JobRunning: a worker is executing the tuning session.
+	JobRunning JobState = "running"
+	// JobSucceeded: the strategy finished; the trained model (if any)
+	// was persisted to the registry.
+	JobSucceeded JobState = "succeeded"
+	// JobFailed: the strategy or persistence returned an error.
+	JobFailed JobState = "failed"
+	// JobCanceled: canceled by the client or by shutdown before/while
+	// running.
+	JobCanceled JobState = "canceled"
+)
+
+// Done reports whether the state is terminal.
+func (s JobState) Done() bool {
+	return s == JobSucceeded || s == JobFailed || s == JobCanceled
+}
+
+// JobSpec is the client-supplied description of one tuning run.
+// Zero-valued fields take the documented defaults.
+type JobSpec struct {
+	// Benchmark and Device name the system under tuning (required).
+	Benchmark string `json:"benchmark"`
+	Device    string `json:"device"`
+	// Strategy is a registered strategy name (default "ml").
+	Strategy string `json:"strategy,omitempty"`
+	// TrainingSamples (N) and SecondStage (M) are the paper's stage
+	// sizes (defaults 2000/200, the paper's highlighted configuration).
+	TrainingSamples int `json:"training_samples,omitempty"`
+	SecondStage     int `json:"second_stage,omitempty"`
+	// Budget and Restarts configure the baseline strategies.
+	Budget   int `json:"budget,omitempty"`
+	Restarts int `json:"restarts,omitempty"`
+	// Seed drives sampling and model initialisation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// MaxAttempts bounds stage-1 draws (0 = core default).
+	MaxAttempts int `json:"max_attempts,omitempty"`
+	// EnsembleK, Hidden and Epochs override the model's ensemble size,
+	// hidden width and training epochs (0 = paper defaults). Smaller
+	// values trade model quality for job latency.
+	EnsembleK int `json:"ensemble_k,omitempty"`
+	Hidden    int `json:"hidden,omitempty"`
+	Epochs    int `json:"epochs,omitempty"`
+	// Workers bounds the session's gather parallelism (0 = GOMAXPROCS).
+	// Results never depend on it.
+	Workers int `json:"workers,omitempty"`
+	// Reps is the measurement protocol's repetition count (0 = 3).
+	Reps int `json:"reps,omitempty"`
+}
+
+// normalize fills defaults and validates every name against its registry
+// so submission fails fast with a 400 instead of queueing a doomed job.
+func (sp *JobSpec) normalize() error {
+	if sp.Strategy == "" {
+		sp.Strategy = "ml"
+	}
+	if sp.TrainingSamples <= 0 {
+		sp.TrainingSamples = 2000
+	}
+	if sp.SecondStage <= 0 {
+		sp.SecondStage = 200
+	}
+	if sp.Seed == 0 {
+		sp.Seed = 1
+	}
+	if sp.Reps <= 0 {
+		sp.Reps = 3
+	}
+	if _, err := bench.Lookup(sp.Benchmark); err != nil {
+		return err
+	}
+	if _, err := devsim.Lookup(sp.Device); err != nil {
+		return err
+	}
+	if _, err := core.LookupStrategy(sp.Strategy); err != nil {
+		return err
+	}
+	return nil
+}
+
+// options translates the spec to core tuning options.
+func (sp JobSpec) options() core.Options {
+	opts := core.Options{
+		TrainingSamples: sp.TrainingSamples,
+		SecondStage:     sp.SecondStage,
+		Budget:          sp.Budget,
+		Restarts:        sp.Restarts,
+		Seed:            sp.Seed,
+		MaxAttempts:     sp.MaxAttempts,
+	}
+	model := core.DefaultModelConfig(sp.Seed)
+	if sp.EnsembleK > 0 {
+		model.Ensemble.K = sp.EnsembleK
+	}
+	if sp.Hidden > 0 {
+		model.Ensemble.Hidden = sp.Hidden
+	}
+	if sp.Epochs > 0 {
+		model.Ensemble.Train.Epochs = sp.Epochs
+	}
+	opts.Model = model
+	return opts
+}
+
+// Key returns the registry slot this job's trained model persists under.
+func (sp JobSpec) Key() ModelKey {
+	return ModelKey{Benchmark: sp.Benchmark, Device: sp.Device}
+}
+
+// EventRecord is one session observer event, JSON-shaped for the job
+// status endpoint. Seq numbers the job's whole event stream from 0, so
+// clients poll incrementally with ?after=<last seen seq>.
+type EventRecord struct {
+	Seq     int     `json:"seq"`
+	Kind    string  `json:"kind"`
+	Stage   string  `json:"stage,omitempty"`
+	Config  string  `json:"config,omitempty"`
+	Seconds float64 `json:"seconds,omitempty"`
+	Error   string  `json:"error,omitempty"`
+	Cached  bool    `json:"cached,omitempty"`
+}
+
+// maxJobEvents bounds the per-job event buffer. A paper-default job
+// emits thousands of sample events; the buffer keeps the most recent
+// window and the status endpoint reports how many were dropped.
+const maxJobEvents = 8192
+
+// JobOutcome summarises a finished job's core.Result.
+type JobOutcome struct {
+	Strategy    string         `json:"strategy"`
+	Found       bool           `json:"found"`
+	Best        map[string]int `json:"best,omitempty"`
+	BestSeconds float64        `json:"best_seconds,omitempty"`
+	Measured    int            `json:"measured"`
+	Invalid     int            `json:"invalid"`
+	Attempts    int            `json:"attempts,omitempty"`
+	// ModelSaved reports that a trained model was persisted to the
+	// registry (only the "ml" strategy trains one).
+	ModelSaved bool `json:"model_saved"`
+}
+
+// Job is one queued/running/finished tuning run.
+type Job struct {
+	ID      string
+	Spec    JobSpec
+	Created time.Time
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	started  time.Time
+	finished time.Time
+	cancel   context.CancelFunc
+	outcome  *JobOutcome
+
+	events  []EventRecord
+	baseSeq int // Seq of events[0]; earlier events were dropped
+}
+
+func newJob(id string, spec JobSpec) *Job {
+	return &Job{ID: id, Spec: spec, Created: time.Now().UTC(), state: JobQueued}
+}
+
+// State returns the job's current lifecycle state.
+func (j *Job) State() JobState {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.state
+}
+
+// observe is the session observer: it appends one event record, dropping
+// the oldest beyond maxJobEvents. It runs on the session's serial event
+// path.
+func (j *Job) observe(ev core.Event) {
+	rec := EventRecord{Kind: ev.Kind.String(), Stage: ev.Stage, Cached: ev.Cached}
+	switch ev.Kind {
+	case core.EventSampleMeasured, core.EventCandidateAccepted:
+		rec.Config = ev.Config.String()
+		rec.Seconds = ev.Seconds
+		if ev.Err != nil {
+			rec.Error = ev.Err.Error()
+			rec.Seconds = 0
+		}
+	}
+	j.mu.Lock()
+	rec.Seq = j.baseSeq + len(j.events)
+	j.events = append(j.events, rec)
+	if len(j.events) > maxJobEvents {
+		// Drop a quarter of the buffer at once so the copy cost is
+		// amortised O(1) per event, not O(maxJobEvents) once full.
+		drop := maxJobEvents / 4
+		j.events = append(j.events[:0], j.events[drop:]...)
+		j.baseSeq += drop
+	}
+	j.mu.Unlock()
+}
+
+// eventsAfter returns the buffered events with Seq > after, plus the
+// number of events dropped from the front of the stream.
+func (j *Job) eventsAfter(after int) (evs []EventRecord, dropped int) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	lo := after + 1 - j.baseSeq
+	if lo < 0 {
+		lo = 0
+	}
+	if lo < len(j.events) {
+		evs = append([]EventRecord(nil), j.events[lo:]...)
+	}
+	return evs, j.baseSeq
+}
+
+// start transitions queued→running, recording the cancel func; it
+// reports false if the job was canceled before a worker picked it up.
+func (j *Job) start(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobRunning
+	j.started = time.Now().UTC()
+	j.cancel = cancel
+	return true
+}
+
+// finish records the terminal state from the strategy's outcome.
+func (j *Job) finish(res *core.Result, saved bool, err error) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.finished = time.Now().UTC()
+	j.cancel = nil
+	if err != nil {
+		if j.state == JobCanceled || isCanceled(err) {
+			j.state = JobCanceled
+		} else {
+			j.state = JobFailed
+		}
+		j.errMsg = err.Error()
+		return
+	}
+	j.state = JobSucceeded
+	out := &JobOutcome{
+		Strategy:    res.Strategy,
+		Found:       res.Found,
+		BestSeconds: res.BestSeconds,
+		Measured:    res.Measured,
+		Invalid:     res.Invalid,
+		Attempts:    res.Attempts,
+		ModelSaved:  saved,
+	}
+	if res.Found {
+		out.Best = res.Best.Map()
+	}
+	j.outcome = out
+}
+
+// cancelIfQueued atomically cancels the job only if it has not started.
+// The queue's drain uses it so that a job a worker picks up in the same
+// instant keeps its running-job grace period instead of being killed.
+func (j *Job) cancelIfQueued() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return j.cancelQueuedLocked()
+}
+
+// cancelQueuedLocked is the queued→canceled transition; callers hold j.mu.
+func (j *Job) cancelQueuedLocked() bool {
+	if j.state != JobQueued {
+		return false
+	}
+	j.state = JobCanceled
+	j.finished = time.Now().UTC()
+	j.errMsg = "canceled before start"
+	return true
+}
+
+// requestCancel cancels a queued or running job; terminal states are
+// unaffected. It reports whether anything changed.
+func (j *Job) requestCancel() bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	switch j.state {
+	case JobQueued:
+		return j.cancelQueuedLocked()
+	case JobRunning:
+		if j.cancel != nil {
+			// The worker observes ctx.Err() and finishes the job as
+			// canceled; the state flips there, not here.
+			j.cancel()
+			return true
+		}
+	}
+	return false
+}
+
+// JobStatus is the JSON view of a job.
+type JobStatus struct {
+	ID       string      `json:"id"`
+	Spec     JobSpec     `json:"spec"`
+	State    JobState    `json:"state"`
+	Error    string      `json:"error,omitempty"`
+	Created  time.Time   `json:"created"`
+	Started  *time.Time  `json:"started,omitempty"`
+	Finished *time.Time  `json:"finished,omitempty"`
+	Outcome  *JobOutcome `json:"outcome,omitempty"`
+}
+
+// status snapshots the job for JSON encoding.
+func (j *Job) status() JobStatus {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := JobStatus{
+		ID:      j.ID,
+		Spec:    j.Spec,
+		State:   j.state,
+		Error:   j.errMsg,
+		Created: j.Created,
+		Outcome: j.outcome,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		st.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		st.Finished = &t
+	}
+	return st
+}
+
+// isCanceled reports whether err stems from context cancellation or
+// deadline expiry (a *core.PartialError unwraps to ctx.Err(), so
+// interrupted runs are recognised too).
+func isCanceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}

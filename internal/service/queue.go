@@ -1,0 +1,226 @@
+package service
+
+import (
+	"context"
+	"fmt"
+	"sync"
+)
+
+// Queue is the bounded asynchronous job queue: one goroutine pool of
+// workers pulls submitted jobs and executes them with per-job context
+// cancellation. Submissions beyond the backlog are rejected immediately
+// (the HTTP layer maps that to 503) rather than blocking the handler —
+// under heavy traffic the daemon sheds load instead of stalling. The
+// backlog is a mutex-guarded list, not a channel, so canceling a queued
+// job frees its slot immediately.
+type Queue struct {
+	run     func(ctx context.Context, j *Job)
+	wg      sync.WaitGroup
+	baseCtx context.Context
+	stop    context.CancelFunc // cancels every running job (hard drain)
+
+	mu      sync.Mutex
+	cond    *sync.Cond // signalled when pending grows or the queue closes
+	pending []*Job     // FIFO backlog of jobs no worker has picked up
+	backlog int
+	jobs    map[string]*Job
+	order   []string
+	retain  int // max jobs kept in memory; oldest terminal jobs evict first
+	nextID  int
+	closed  bool
+}
+
+// defaultRetainedJobs bounds the in-memory job history: the daemon runs
+// for a long time, and every finished job holds its event buffer, so the
+// oldest terminal jobs (and only terminal ones — queued and running jobs
+// are never evicted) age out past this count. An evicted job's status
+// endpoint returns 404.
+const defaultRetainedJobs = 1024
+
+// ErrQueueFull rejects a submission when the backlog is at capacity.
+var ErrQueueFull = fmt.Errorf("service: job queue is full, retry later")
+
+// ErrQueueClosed rejects submissions after shutdown began.
+var ErrQueueClosed = fmt.Errorf("service: job queue is shut down")
+
+// NewQueue starts a queue with the given worker-pool size and backlog
+// capacity; run executes one job and must return when ctx is done.
+func NewQueue(workers, backlog int, run func(ctx context.Context, j *Job)) *Queue {
+	if workers < 1 {
+		workers = 1
+	}
+	if backlog < 1 {
+		backlog = 1
+	}
+	base, stop := context.WithCancel(context.Background())
+	q := &Queue{
+		run:     run,
+		baseCtx: base,
+		stop:    stop,
+		backlog: backlog,
+		jobs:    make(map[string]*Job),
+		retain:  defaultRetainedJobs,
+	}
+	q.cond = sync.NewCond(&q.mu)
+	for w := 0; w < workers; w++ {
+		q.wg.Add(1)
+		go q.worker()
+	}
+	return q
+}
+
+func (q *Queue) worker() {
+	defer q.wg.Done()
+	for {
+		q.mu.Lock()
+		for len(q.pending) == 0 && !q.closed {
+			q.cond.Wait()
+		}
+		if len(q.pending) == 0 {
+			q.mu.Unlock()
+			return // closed and drained
+		}
+		j := q.pending[0]
+		q.pending = q.pending[1:]
+		q.mu.Unlock()
+
+		ctx, cancel := context.WithCancel(q.baseCtx)
+		if !j.start(cancel) {
+			cancel() // canceled while queued; skip
+			continue
+		}
+		q.run(ctx, j)
+		cancel()
+	}
+}
+
+// Submit validates nothing (the caller normalizes the spec) and enqueues
+// a new job, returning it with its assigned ID. It never blocks: a full
+// backlog returns ErrQueueFull.
+func (q *Queue) Submit(spec JobSpec) (*Job, error) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	if q.closed {
+		return nil, ErrQueueClosed
+	}
+	if len(q.pending) >= q.backlog {
+		return nil, ErrQueueFull
+	}
+	q.nextID++
+	j := newJob(fmt.Sprintf("job-%06d", q.nextID), spec)
+	q.pending = append(q.pending, j)
+	q.jobs[j.ID] = j
+	q.order = append(q.order, j.ID)
+	q.evictLocked()
+	q.cond.Signal()
+	return j, nil
+}
+
+// evictLocked drops the oldest terminal jobs once the history exceeds
+// the retention cap; callers hold q.mu.
+func (q *Queue) evictLocked() {
+	excess := len(q.order) - q.retain
+	if excess <= 0 {
+		return
+	}
+	kept := q.order[:0]
+	for _, id := range q.order {
+		if excess > 0 && q.jobs[id].State().Done() {
+			delete(q.jobs, id)
+			excess--
+			continue
+		}
+		kept = append(kept, id)
+	}
+	q.order = kept
+}
+
+// Get returns the job with the given ID.
+func (q *Queue) Get(id string) (*Job, bool) {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	j, ok := q.jobs[id]
+	return j, ok
+}
+
+// Jobs returns all retained jobs in submission order.
+func (q *Queue) Jobs() []*Job {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	out := make([]*Job, len(q.order))
+	for i, id := range q.order {
+		out[i] = q.jobs[id]
+	}
+	return out
+}
+
+// Cancel cancels the job with the given ID and returns it. A queued job
+// leaves the backlog immediately (freeing its slot) and never starts; a
+// running job sees its context cancelled.
+func (q *Queue) Cancel(id string) (*Job, error) {
+	q.mu.Lock()
+	j, ok := q.jobs[id]
+	if ok {
+		for i, p := range q.pending {
+			if p == j {
+				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				break
+			}
+		}
+	}
+	q.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("service: no job %q", id)
+	}
+	j.requestCancel()
+	return j, nil
+}
+
+// Counts reports the number of retained jobs per state.
+func (q *Queue) Counts() map[JobState]int {
+	out := make(map[JobState]int)
+	for _, j := range q.Jobs() {
+		out[j.State()]++
+	}
+	return out
+}
+
+// Drain shuts the queue down gracefully: new submissions are rejected,
+// still-queued jobs are canceled without starting, and running jobs get
+// until ctx expires to finish before their contexts are cancelled.
+// It returns nil if everything finished on its own, or ctx.Err() after a
+// hard cancellation (the workers are waited for either way).
+func (q *Queue) Drain(ctx context.Context) error {
+	q.mu.Lock()
+	if q.closed {
+		q.mu.Unlock()
+		q.wg.Wait()
+		return nil
+	}
+	q.closed = true
+	pending := q.pending
+	q.pending = nil
+	q.cond.Broadcast()
+	q.mu.Unlock()
+
+	// Everything still in the backlog is canceled without starting;
+	// jobs that made it to a worker keep running until the deadline.
+	for _, j := range pending {
+		j.cancelIfQueued()
+	}
+
+	done := make(chan struct{})
+	go func() {
+		q.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+		q.stop() // release the base context
+		return nil
+	case <-ctx.Done():
+		q.stop() // hard-cancel the running jobs...
+		<-done   // ...and wait for the workers to observe it
+		return ctx.Err()
+	}
+}

@@ -1,0 +1,262 @@
+// Package service implements mltuned, the model-serving auto-tuning
+// daemon: a model registry persisting trained performance models keyed by
+// benchmark×device, a bounded asynchronous job queue running tuning
+// sessions concurrently, and the HTTP/JSON API tying them together.
+//
+// The registry is the paper's portability story made operational: a model
+// trained once (by a tuning job, or offline with cmd/mltune -save-model)
+// is a reusable artifact that keeps answering predict/top-M queries long
+// after tuning ran — across daemon restarts, and on machines that never
+// saw the benchmark.
+package service
+
+import (
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/core"
+)
+
+// modelExt is the registry file suffix, matching cmd/mltune -save-model
+// artifacts (the core.Model.Save format).
+const modelExt = ".mlt"
+
+// ModelKey identifies one registry slot: a model is trained for one
+// benchmark on one device.
+type ModelKey struct {
+	Benchmark string
+	Device    string
+}
+
+func (k ModelKey) String() string { return k.Benchmark + "@" + k.Device }
+
+// fileName is the on-disk name of a key's model:
+// <escape(benchmark)>@<escape(device)>.mlt. Query-escaping keeps device
+// names with spaces (e.g. "Nvidia K40") and any future '@' or '/'
+// unambiguous in a flat directory.
+func (k ModelKey) fileName() string {
+	return url.QueryEscape(k.Benchmark) + "@" + url.QueryEscape(k.Device) + modelExt
+}
+
+// keyFromFileName inverts fileName.
+func keyFromFileName(name string) (ModelKey, error) {
+	base := strings.TrimSuffix(name, modelExt)
+	if base == name {
+		return ModelKey{}, fmt.Errorf("service: %q is not a %s file", name, modelExt)
+	}
+	b, d, ok := strings.Cut(base, "@")
+	if !ok {
+		return ModelKey{}, fmt.Errorf("service: model file %q is not benchmark@device", name)
+	}
+	bench, err := url.QueryUnescape(b)
+	if err != nil {
+		return ModelKey{}, fmt.Errorf("service: model file %q: %w", name, err)
+	}
+	device, err := url.QueryUnescape(d)
+	if err != nil {
+		return ModelKey{}, fmt.Errorf("service: model file %q: %w", name, err)
+	}
+	if bench == "" || device == "" {
+		return ModelKey{}, fmt.Errorf("service: model file %q has an empty benchmark or device", name)
+	}
+	return ModelKey{Benchmark: bench, Device: device}, nil
+}
+
+// ErrModelNotFound reports a predict/top-M query for a key the registry
+// has no model for (the client should submit a tuning job first).
+var ErrModelNotFound = fmt.Errorf("service: no trained model for this benchmark and device")
+
+// regEntry is one registry slot. Models load lazily: startup only scans
+// file names, and the first query for a key pays the LoadModelFile.
+// model is an atomic pointer so readers (List, cached Gets) never block
+// on mu, which only serialises the one disk load.
+type regEntry struct {
+	path string
+
+	mu    sync.Mutex
+	model atomic.Pointer[core.Model]
+}
+
+// Registry stores trained models keyed by benchmark×device, backed by a
+// directory of core.Model.Save files. It is safe for concurrent use.
+type Registry struct {
+	dir string
+
+	// fsMu serialises directory-level operations (Reload's scan+swap,
+	// Put's rename+insert) so a reload snapshot taken mid-Put cannot
+	// overwrite the entries map without the just-persisted model.
+	fsMu sync.Mutex
+
+	mu      sync.Mutex
+	entries map[ModelKey]*regEntry
+}
+
+// OpenRegistry opens (creating if needed) the registry directory and
+// indexes the model files present. Files are indexed by name only; each
+// model's payload loads lazily on first use.
+func OpenRegistry(dir string) (*Registry, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating registry directory: %w", err)
+	}
+	r := &Registry{dir: dir}
+	if err := r.Reload(); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Dir returns the registry directory.
+func (r *Registry) Dir() string { return r.dir }
+
+// Reload rescans the registry directory, picking up models written by
+// other processes and dropping keys whose files disappeared. Cached
+// in-memory models are discarded, so subsequent queries re-read disk —
+// the handler behind POST /v1/reload.
+func (r *Registry) Reload() error {
+	r.fsMu.Lock()
+	defer r.fsMu.Unlock()
+	names, err := os.ReadDir(r.dir)
+	if err != nil {
+		return fmt.Errorf("service: scanning registry directory: %w", err)
+	}
+	entries := make(map[ModelKey]*regEntry)
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), modelExt) {
+			continue
+		}
+		if strings.HasPrefix(de.Name(), ".tmp-") {
+			// An orphaned Put temp file from a crash mid-write. No Put is
+			// in flight (we hold fsMu across create+rename), so it is
+			// safe to clean up rather than leak one file per crash.
+			os.Remove(filepath.Join(r.dir, de.Name()))
+			continue
+		}
+		key, err := keyFromFileName(de.Name())
+		if err != nil {
+			// A stray file in the registry directory is skipped, not fatal:
+			// the daemon should come up with whatever models are usable.
+			continue
+		}
+		entries[key] = &regEntry{path: filepath.Join(r.dir, de.Name())}
+	}
+	r.mu.Lock()
+	r.entries = entries
+	r.mu.Unlock()
+	return nil
+}
+
+// Get returns the model for key, loading it from disk on first use.
+// It returns ErrModelNotFound when the registry has no file for the key.
+func (r *Registry) Get(key ModelKey) (*core.Model, error) {
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	r.mu.Unlock()
+	if !ok {
+		return nil, fmt.Errorf("%w: %s", ErrModelNotFound, key)
+	}
+	if m := e.model.Load(); m != nil {
+		return m, nil
+	}
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if m := e.model.Load(); m != nil {
+		return m, nil
+	}
+	m, err := core.LoadModelFile(e.path)
+	if err != nil {
+		return nil, fmt.Errorf("service: loading model %s: %w", key, err)
+	}
+	e.model.Store(m)
+	return m, nil
+}
+
+// Put persists model under key (atomically: temp file + rename, so a
+// crash mid-write never corrupts a served model) and caches it in memory.
+func (r *Registry) Put(key ModelKey, model *core.Model) error {
+	r.fsMu.Lock()
+	defer r.fsMu.Unlock()
+	final := filepath.Join(r.dir, key.fileName())
+	tmp, err := os.CreateTemp(r.dir, ".tmp-*"+modelExt)
+	if err != nil {
+		return fmt.Errorf("service: saving model %s: %w", key, err)
+	}
+	if err := model.Save(tmp); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: saving model %s: %w", key, err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: saving model %s: %w", key, err)
+	}
+	if err := os.Rename(tmp.Name(), final); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: saving model %s: %w", key, err)
+	}
+	e := &regEntry{path: final}
+	e.model.Store(model)
+	r.mu.Lock()
+	r.entries[key] = e
+	r.mu.Unlock()
+	return nil
+}
+
+// ModelInfo describes one registry slot for the listing endpoint.
+type ModelInfo struct {
+	Benchmark string    `json:"benchmark"`
+	Device    string    `json:"device"`
+	File      string    `json:"file"`
+	Bytes     int64     `json:"bytes"`
+	Modified  time.Time `json:"modified"`
+	// Loaded reports whether the model is resident in memory (false for
+	// slots that have not been queried since startup or reload).
+	Loaded bool `json:"loaded"`
+	// SpaceSize is the tuning-space size of a loaded model (0 otherwise:
+	// reporting it for unloaded models would defeat lazy loading).
+	SpaceSize int64 `json:"space_size,omitempty"`
+}
+
+// List describes every registry slot, sorted by key.
+func (r *Registry) List() []ModelInfo {
+	r.mu.Lock()
+	keys := make([]ModelKey, 0, len(r.entries))
+	for k := range r.entries {
+		keys = append(keys, k)
+	}
+	entries := make([]*regEntry, len(keys))
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	for i, k := range keys {
+		entries[i] = r.entries[k]
+	}
+	r.mu.Unlock()
+
+	out := make([]ModelInfo, 0, len(keys))
+	for i, k := range keys {
+		e := entries[i]
+		info := ModelInfo{Benchmark: k.Benchmark, Device: k.Device, File: filepath.Base(e.path)}
+		if st, err := os.Stat(e.path); err == nil {
+			info.Bytes = st.Size()
+			info.Modified = st.ModTime().UTC()
+		}
+		if m := e.model.Load(); m != nil {
+			info.Loaded = true
+			info.SpaceSize = m.Space().Size()
+		}
+		out = append(out, info)
+	}
+	return out
+}
+
+// Len returns the number of registry slots.
+func (r *Registry) Len() int {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	return len(r.entries)
+}

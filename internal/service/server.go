@@ -1,0 +1,353 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/tuning"
+)
+
+// Server is the mltuned HTTP API: job submission and status over the
+// async queue, plus model-serving endpoints (predict, top-M, listing)
+// answered straight from the registry without re-tuning.
+//
+// Endpoints:
+//
+//	POST   /v1/jobs       submit a tuning run            → 202 JobStatus
+//	GET    /v1/jobs       list jobs                      → []JobStatus
+//	GET    /v1/jobs/{id}  status + observer events (?after=seq)
+//	DELETE /v1/jobs/{id}  cancel a queued/running job
+//	GET    /v1/models     registry listing               → []ModelInfo
+//	POST   /v1/reload     rescan the registry directory
+//	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &p.<param>=v)
+//	GET    /v1/topm       M best-predicted configurations (?benchmark=&device=&m=N)
+//	GET    /healthz       liveness + queue/registry counters
+type Server struct {
+	reg     *Registry
+	queue   *Queue
+	mux     *http.ServeMux
+	started time.Time
+}
+
+// New builds a server over the registry with a worker pool of the given
+// size (0 = GOMAXPROCS) and job backlog (0 = 64).
+func New(reg *Registry, workers, backlog int) *Server {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if backlog <= 0 {
+		backlog = 64
+	}
+	s := &Server{reg: reg, started: time.Now().UTC()}
+	s.queue = NewQueue(workers, backlog, s.runJob)
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
+	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
+	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
+	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("GET /v1/models", s.handleModels)
+	mux.HandleFunc("POST /v1/reload", s.handleReload)
+	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("GET /v1/topm", s.handleTopM)
+	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux = mux
+	return s
+}
+
+// ServeHTTP implements http.Handler.
+func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
+	s.mux.ServeHTTP(w, r)
+}
+
+// Queue exposes the job queue (for tests and the daemon's drain path).
+func (s *Server) Queue() *Queue { return s.queue }
+
+// Drain gracefully shuts the job queue down; see Queue.Drain.
+func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
+
+// runJob executes one tuning job end to end: build the measurer, run the
+// session with the job as observer, and persist a trained model to the
+// registry. It is the queue's worker body.
+func (s *Server) runJob(ctx context.Context, j *Job) {
+	res, saved, err := s.tune(ctx, j)
+	j.finish(res, saved, err)
+}
+
+func (s *Server) tune(ctx context.Context, j *Job) (*core.Result, bool, error) {
+	spec := j.Spec
+	b, err := bench.Lookup(spec.Benchmark)
+	if err != nil {
+		return nil, false, err
+	}
+	d, err := devsim.Lookup(spec.Device)
+	if err != nil {
+		return nil, false, err
+	}
+	m, err := core.NewSimMeasurer(b, d, bench.Size{}, spec.Reps)
+	if err != nil {
+		return nil, false, err
+	}
+	sopts := []core.SessionOption{core.WithObserver(j.observe)}
+	if spec.Workers > 0 {
+		sopts = append(sopts, core.WithWorkers(spec.Workers))
+	}
+	sess, err := core.NewSession(m, spec.options(), sopts...)
+	if err != nil {
+		return nil, false, err
+	}
+	res, err := sess.Run(ctx, spec.Strategy)
+	if err != nil {
+		return nil, false, err
+	}
+	saved := false
+	if res.Model != nil {
+		if err := s.reg.Put(spec.Key(), res.Model); err != nil {
+			return res, false, err
+		}
+		saved = true
+	}
+	return res, saved, nil
+}
+
+// --- JSON helpers -----------------------------------------------------
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	enc.Encode(v)
+}
+
+func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// --- job handlers -----------------------------------------------------
+
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec JobSpec
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&spec); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	j, err := s.queue.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case errors.Is(err, ErrQueueClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}
+
+func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
+	jobs := s.queue.Jobs()
+	out := make([]JobStatus, len(jobs))
+	for i, j := range jobs {
+		out[i] = j.status()
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+// jobWithEvents is the single-job status payload: the status plus the
+// observer event stream from ?after= on (seq-numbered, so clients poll
+// incrementally: pass the last seq seen to get only what is new).
+type jobWithEvents struct {
+	JobStatus
+	Events []EventRecord `json:"events"`
+	// EventsDropped counts events aged out of the buffer (clients that
+	// fell that far behind have a gap).
+	EventsDropped int `json:"events_dropped,omitempty"`
+}
+
+func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
+	j, ok := s.queue.Get(r.PathValue("id"))
+	if !ok {
+		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+		return
+	}
+	after := -1
+	if v := r.URL.Query().Get("after"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "after: %v", err)
+			return
+		}
+		after = n
+	}
+	evs, dropped := j.eventsAfter(after)
+	writeJSON(w, http.StatusOK, jobWithEvents{JobStatus: j.status(), Events: evs, EventsDropped: dropped})
+}
+
+func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
+	j, err := s.queue.Cancel(r.PathValue("id"))
+	if err != nil {
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, j.status())
+}
+
+// --- model-serving handlers -------------------------------------------
+
+func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.reg.List())
+}
+
+func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
+	if err := s.reg.Reload(); err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, map[string]int{"models": s.reg.Len()})
+}
+
+// model resolves the benchmark/device query parameters to a registry
+// model, writing the error response itself on failure.
+func (s *Server) model(w http.ResponseWriter, r *http.Request) (*core.Model, ModelKey, bool) {
+	key := ModelKey{
+		Benchmark: r.URL.Query().Get("benchmark"),
+		Device:    r.URL.Query().Get("device"),
+	}
+	if key.Benchmark == "" || key.Device == "" {
+		writeErr(w, http.StatusBadRequest, "benchmark and device query parameters are required")
+		return nil, key, false
+	}
+	m, err := s.reg.Get(key)
+	if errors.Is(err, ErrModelNotFound) {
+		writeErr(w, http.StatusNotFound, "%v (submit a tuning job first)", err)
+		return nil, key, false
+	}
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return nil, key, false
+	}
+	return m, key, true
+}
+
+// configFromQuery builds the configuration to predict: either ?index=N
+// (the flat space index) or one ?p.<name>=<value> per tuning parameter.
+func configFromQuery(space *tuning.Space, r *http.Request) (tuning.Config, error) {
+	q := r.URL.Query()
+	if v := q.Get("index"); v != "" {
+		idx, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			return tuning.Config{}, fmt.Errorf("index: %w", err)
+		}
+		if idx < 0 || idx >= space.Size() {
+			return tuning.Config{}, fmt.Errorf("index %d out of range [0, %d)", idx, space.Size())
+		}
+		return space.At(idx), nil
+	}
+	values := make(map[string]int)
+	for name, vs := range q {
+		pname, ok := strings.CutPrefix(name, "p.")
+		if !ok {
+			continue
+		}
+		v, err := strconv.Atoi(vs[0])
+		if err != nil {
+			return tuning.Config{}, fmt.Errorf("%s: %w", name, err)
+		}
+		values[pname] = v
+	}
+	if len(values) == 0 {
+		return tuning.Config{}, fmt.Errorf("pass index=N or one p.<param>=<value> per tuning parameter")
+	}
+	return space.FromMap(values)
+}
+
+// prediction is one predicted configuration in API responses.
+type prediction struct {
+	Index   int64          `json:"index"`
+	Config  map[string]int `json:"config"`
+	Seconds float64        `json:"seconds"`
+}
+
+func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	m, key, ok := s.model(w, r)
+	if !ok {
+		return
+	}
+	cfg, err := configFromQuery(m.Space(), r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	secs := m.Predict(cfg, m.NewScratch())
+	writeJSON(w, http.StatusOK, struct {
+		Benchmark string `json:"benchmark"`
+		Device    string `json:"device"`
+		prediction
+	}{key.Benchmark, key.Device, prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs}})
+}
+
+// maxTopM bounds one top-M response; the full candidate sweep stays
+// cheap but serialising an unbounded request would not be.
+const maxTopM = 10000
+
+func (s *Server) handleTopM(w http.ResponseWriter, r *http.Request) {
+	m, key, ok := s.model(w, r)
+	if !ok {
+		return
+	}
+	M := 10
+	if v := r.URL.Query().Get("m"); v != "" {
+		n, err := strconv.Atoi(v)
+		if err != nil || n <= 0 {
+			writeErr(w, http.StatusBadRequest, "m must be a positive integer")
+			return
+		}
+		M = n
+	}
+	if M > maxTopM {
+		M = maxTopM
+	}
+	top := m.TopM(M)
+	out := make([]prediction, len(top))
+	for i, p := range top {
+		cfg := m.Space().At(p.Index)
+		out[i] = prediction{Index: p.Index, Config: cfg.Map(), Seconds: p.Seconds}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Benchmark string       `json:"benchmark"`
+		Device    string       `json:"device"`
+		M         int          `json:"m"`
+		Top       []prediction `json:"top"`
+	}{key.Benchmark, key.Device, M, out})
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, struct {
+		OK            bool             `json:"ok"`
+		UptimeSeconds float64          `json:"uptime_seconds"`
+		Models        int              `json:"models"`
+		Jobs          map[JobState]int `json:"jobs"`
+	}{true, time.Since(s.started).Seconds(), s.reg.Len(), s.queue.Counts()})
+}

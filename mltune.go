@@ -28,6 +28,11 @@
 // implementation receives the context, so even a single slow measurement
 // can honour cancellation.
 //
+// A Session is safe for concurrent Measure callers: goroutines that miss
+// the memo cache for the same configuration are coalesced into a single
+// measurer invocation (single-flight), so exactly one measurement happens
+// per configuration and results never depend on goroutine scheduling.
+//
 // The trained performance model — the artifact that makes tuning portable
 // across devices — persists with Model.Save and reloads with LoadModel on
 // any machine, predicting bit-identically.
