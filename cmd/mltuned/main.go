@@ -10,9 +10,14 @@
 // On startup the registry directory is scanned for saved models
 // (benchmark@device.mlt files in the core.Model.Save format — the same
 // artifacts cmd/mltune -save-model writes); each loads lazily on its
-// first predict/top-M query. SIGINT/SIGTERM trigger a graceful
-// shutdown: the listener stops, queued jobs are canceled, and running
-// jobs get -drain-timeout to finish before their contexts are cancelled.
+// first predict/top-M query. The read path is batched: GET /v1/predict
+// answers single configurations, POST /v1/predict takes a JSON batch of
+// space indices or parameter maps, and both run through pooled
+// per-model scratches; /v1/topm responses are cached per (model, M)
+// until a tuning job or reload replaces the model. SIGINT/SIGTERM
+// trigger a graceful shutdown: the listener stops, queued jobs are
+// canceled, and running jobs get -drain-timeout to finish before their
+// contexts are cancelled.
 //
 // See the README's "mltuned" section for the endpoint reference and an
 // example curl session.

@@ -1,0 +1,210 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+	"sync"
+)
+
+// This file implements conservative output bounds for batched prediction:
+// a cheap lower/upper bracket of each sample's Predict value that never
+// calls a transcendental. The full-space top-M sweep uses the lower bound
+// to prune configurations that provably cannot enter the current top-M,
+// paying the exact (and expensive) forward pass only for survivors.
+//
+// Validity argument: every supported activation is monotone
+// non-decreasing, so the activation of an exact pre-activation s is
+// bracketed by table values at grid points surrounding s, and interval
+// affine layers stay valid because IEEE-754 addition, multiplication and
+// division are monotone. math.Exp is only faithfully (≤1 ulp) rounded, so
+// computed activations may wiggle non-monotonically by an ulp; callers
+// must therefore widen the final bound by a margin that dwarfs ulp-level
+// error (core uses 1e-9) before acting on it.
+
+// The activation bound tables sample each monotone activation on a fixed
+// grid; tab[i] holds the activation at actTableLo + i*step, inclusive of
+// both endpoints.
+const (
+	actTableLo = -40.0
+	actTableHi = 40.0
+	actTableN  = 8192
+)
+
+var (
+	actTableInvStep = float64(actTableN) / (actTableHi - actTableLo)
+	actTableOnce    sync.Once
+	sigmoidTab      []float64
+	tanhTab         []float64
+)
+
+func actTables() {
+	actTableOnce.Do(func() {
+		step := (actTableHi - actTableLo) / float64(actTableN)
+		sigmoidTab = make([]float64, actTableN+1)
+		tanhTab = make([]float64, actTableN+1)
+		for i := range sigmoidTab {
+			x := actTableLo + float64(i)*step
+			sigmoidTab[i] = Sigmoid.apply(x)
+			tanhTab[i] = Tanh.apply(x)
+		}
+	})
+}
+
+// tableBounds brackets a monotone activation at the exact input x:
+// tab[i] at the grid point at or below x is a lower bound, tab[i+1] an
+// upper bound. below/above bracket the activation outside the grid. A
+// NaN input (a diverged model) gets the activation's full range, so the
+// sweep never panics and never prunes on meaningless arithmetic — the
+// exact path decides what a NaN prediction means, as before.
+func tableBounds(tab []float64, below, above, x float64) (lo, hi float64) {
+	if math.IsNaN(x) {
+		return below, above
+	}
+	u := (x - actTableLo) * actTableInvStep
+	if u < 0 {
+		return below, tab[0]
+	}
+	if u >= actTableN {
+		// Checked in float space: converting first would overflow int for
+		// huge or +Inf inputs (a diverged model) and panic on a negative
+		// index.
+		return tab[actTableN], above
+	}
+	return tab[int(u)], tab[int(u)+1]
+}
+
+// bounds brackets a.apply(x) without transcendentals.
+func (a Activation) bounds(x float64) (lo, hi float64) {
+	switch a {
+	case Sigmoid:
+		return tableBounds(sigmoidTab, 0, 1, x)
+	case Tanh:
+		return tableBounds(tanhTab, -1, 1, x)
+	case ReLU:
+		v := a.apply(x) // exact: comparison and select only
+		return v, v
+	default: // Linear
+		return x, x
+	}
+}
+
+// boundsScratch lazily extends a BatchScratch with the lower/upper
+// activation buffers of the bounds pass.
+func (s *BatchScratch) boundsBuffers(sizes []int) (lb, ub [][]float64) {
+	if s.lbActs == nil {
+		s.lbActs = make([][]float64, len(sizes))
+		s.ubActs = make([][]float64, len(sizes))
+		for i, sz := range sizes {
+			s.lbActs[i] = make([]float64, s.capacity*sz)
+			s.ubActs[i] = make([]float64, s.capacity*sz)
+		}
+	}
+	return s.lbActs, s.ubActs
+}
+
+// PredictBatchBounds writes a conservative bracket of each sample's
+// Predict value to lb[:count] and ub[:count]: lb[b] ≤ Predict(sample b)
+// ≤ ub[b], up to ulp-level activation rounding (see the file comment).
+// No transcendentals are evaluated — activations are bracketed by
+// monotone grid tables — so a bounds pass is several times cheaper than
+// the exact forward pass. Shapes and panics match PredictBatch.
+func (n *Network) PredictBatchBounds(xs []float64, count int, s *BatchScratch, lb, ub []float64) {
+	actTables()
+	inputs := n.sizes[0]
+	outputs := n.sizes[len(n.sizes)-1]
+	switch {
+	case outputs != 1:
+		panic(fmt.Sprintf("ann: PredictBatchBounds on network with %d outputs", outputs))
+	case count < 0 || count > s.capacity:
+		panic(fmt.Sprintf("ann: PredictBatchBounds count %d outside scratch capacity %d", count, s.capacity))
+	case len(xs) < count*inputs:
+		panic(fmt.Sprintf("ann: PredictBatchBounds input block has %d values, %d samples need %d", len(xs), count, count*inputs))
+	case len(lb) < count || len(ub) < count:
+		panic(fmt.Sprintf("ann: PredictBatchBounds bound buffers hold %d/%d values, need %d", len(lb), len(ub), count))
+	}
+	if count == 0 {
+		return
+	}
+	lbActs, ubActs := s.boundsBuffers(n.sizes)
+	for l, w := range n.weights {
+		in := n.sizes[l]
+		out := n.sizes[l+1]
+		act := n.acts[l]
+		reslb := lbActs[l+1]
+		resub := ubActs[l+1]
+		if l == 0 {
+			// Exact inputs: compute exact pre-activations (reusing the
+			// batched dot kernel), then bracket the activation.
+			pre := s.activations[l+1]
+			preActBlock(w, in, out, count, xs, pre)
+			for t, v := range pre[:count*out] {
+				reslb[t], resub[t] = act.bounds(v)
+			}
+			continue
+		}
+		// Interval inputs: interval affine layer, then bracket the
+		// activation of each endpoint. IEEE multiplication/addition are
+		// monotone, so the interval stays valid under rounding.
+		srclb := lbActs[l]
+		srcub := ubActs[l]
+		cols := in + 1
+		for j := 0; j < out; j++ {
+			row := w[j*cols : j*cols+cols : j*cols+cols]
+			bias := row[in]
+			for b := 0; b < count; b++ {
+				xlo := srclb[b*in : b*in+in : b*in+in]
+				xhi := srcub[b*in : b*in+in : b*in+in]
+				plo, phi := bias, bias
+				for i, r := range row[:in] {
+					if r >= 0 {
+						plo += r * xlo[i]
+						phi += r * xhi[i]
+					} else {
+						plo += r * xhi[i]
+						phi += r * xlo[i]
+					}
+				}
+				alo, _ := act.bounds(plo)
+				_, ahi := act.bounds(phi)
+				reslb[b*out+j] = alo
+				resub[b*out+j] = ahi
+			}
+		}
+	}
+	last := len(n.sizes) - 1
+	copy(lb[:count], lbActs[last][:count])
+	copy(ub[:count], ubActs[last][:count])
+}
+
+// PredictBatchBounds brackets the ensemble prediction (member mean) for
+// count sample-major samples: lb[b] ≤ Predict(sample b) ≤ ub[b] up to
+// ulp-level activation rounding. See Network.PredictBatchBounds.
+func (e *Ensemble) PredictBatchBounds(xs []float64, count int, ps *BatchPredictScratch, lb, ub []float64) {
+	if count < 0 || count > ps.capacity {
+		panic(fmt.Sprintf("ann: PredictBatchBounds count %d outside scratch capacity %d", count, ps.capacity))
+	}
+	if len(lb) < count || len(ub) < count {
+		panic(fmt.Sprintf("ann: PredictBatchBounds bound buffers hold %d/%d values, need %d", len(lb), len(ub), count))
+	}
+	if ps.memberUb == nil {
+		ps.memberUb = make([]float64, ps.capacity)
+		ps.sumUb = make([]float64, ps.capacity)
+	}
+	sumLb := ps.sum[:count]
+	sumUb := ps.sumUb[:count]
+	for b := 0; b < count; b++ {
+		sumLb[b], sumUb[b] = 0, 0
+	}
+	for i, n := range e.nets {
+		n.PredictBatchBounds(xs, count, ps.scratches[i], ps.member, ps.memberUb)
+		for b := 0; b < count; b++ {
+			sumLb[b] += ps.member[b]
+			sumUb[b] += ps.memberUb[b]
+		}
+	}
+	k := float64(len(e.nets))
+	for b := 0; b < count; b++ {
+		lb[b] = sumLb[b] / k
+		ub[b] = sumUb[b] / k
+	}
+}

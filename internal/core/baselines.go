@@ -70,20 +70,28 @@ func (exhaustiveStrategy) Run(ctx context.Context, s *Session) (*Result, error) 
 // order, to the fastest valid one.
 func searchIndices(ctx context.Context, s *Session, stage string, idxs []int64) (*Result, error) {
 	res := &Result{}
-	_, _, err := s.gather(ctx, stage, idxs, 0, func(cfg tuning.Config, mt measurement) {
-		if mt.err != nil {
-			res.Invalid++
-			return
-		}
-		res.Measured++
-		if res.accept(cfg, mt.secs) {
+	outs, _, _, err := s.gather(ctx, stage, idxs, 0, func(cfg tuning.Config, mt measurement) {
+		if mt.err == nil && res.accept(cfg, mt.secs) {
 			s.emit(Event{Kind: EventCandidateAccepted, Stage: stage, Config: cfg, Seconds: mt.secs})
 		}
 	})
 	if err != nil {
 		return nil, err
 	}
-	res.MeasuredFraction = float64(len(idxs)) / float64(s.Space().Size())
+	// Count only fresh outcomes: evaluations replayed from the session's
+	// memo cache (a reused session) were neither measured again nor
+	// executed, matching the Result field docs and the other strategies.
+	for _, o := range outs {
+		if o.cached {
+			continue
+		}
+		if o.mt.err != nil {
+			res.Invalid++
+		} else {
+			res.Measured++
+		}
+	}
+	res.MeasuredFraction = float64(res.Measured+res.Invalid) / float64(s.Space().Size())
 	return res, nil
 }
 

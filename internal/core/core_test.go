@@ -5,6 +5,7 @@ import (
 	"math"
 	"math/rand"
 	"sort"
+	"sync/atomic"
 	"testing"
 
 	"repro/internal/ann"
@@ -575,5 +576,137 @@ func TestSuggestMValidation(t *testing.T) {
 	}
 	if _, err := SuggestM(model, train, 1.5, 10, 1); err == nil {
 		t.Error("confidence > 1 accepted")
+	}
+}
+
+// TestMeasuredFractionCountsDistinctExecutions pins the ml strategy's
+// MeasuredFraction accounting: stage-2 candidates that overlap the
+// stage-1 training set are served from the session's memo cache and must
+// not be counted as executed twice. Distinct executions are observable
+// directly — the measurer is invoked exactly once per distinct
+// configuration — so the fraction must equal invocations / |space|.
+func TestMeasuredFractionCountsDistinctExecutions(t *testing.T) {
+	space := tuning.NewSpace("overlap",
+		tuning.Pow2Param("x", 1, 8),
+		tuning.Pow2Param("y", 1, 8),
+		tuning.BoolParam("z"),
+		tuning.BoolParam("w"),
+	) // 64 configurations
+	var invocations atomic.Int64
+	m := &FuncMeasurer{
+		TuningSpace: space,
+		Fn: func(cfg tuning.Config) (float64, error) {
+			invocations.Add(1)
+			lx := math.Log2(float64(cfg.Value("x")))
+			ly := math.Log2(float64(cfg.Value("y")))
+			return 0.5 + (lx-2)*(lx-2) + (ly-2)*(ly-2), nil
+		},
+	}
+	opts := Options{TrainingSamples: 40, SecondStage: 20, Seed: 9, Model: fastModelConfig(9)}
+	s, err := NewSession(m, opts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := s.Run(context.Background(), "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	// The regression's precondition: the second stage really did overlap
+	// stage 1 (otherwise this test pins nothing).
+	if invocations.Load() >= int64(res.Attempts+len(res.Predicted)) {
+		t.Fatalf("no stage overlap: %d invocations for %d attempts + %d candidates",
+			invocations.Load(), res.Attempts, len(res.Predicted))
+	}
+	want := float64(invocations.Load()) / float64(space.Size())
+	if res.MeasuredFraction != want {
+		t.Errorf("MeasuredFraction = %v, want %v (= %d distinct executions / %d configs)",
+			res.MeasuredFraction, want, invocations.Load(), space.Size())
+	}
+	// The old formula — (attempts + M) / size — double-counts the overlap.
+	old := float64(res.Attempts+len(res.Predicted)) / float64(space.Size())
+	if res.MeasuredFraction >= old {
+		t.Errorf("MeasuredFraction %v not below the double-counting formula %v", res.MeasuredFraction, old)
+	}
+
+	// On a reused session the memo cache replays stage 1 too: the second
+	// run's fraction — and its Measured/Invalid distinct counts — must
+	// still equal its own fresh executions.
+	before := invocations.Load()
+	res2, err := s.Run(context.Background(), "ml")
+	if err != nil {
+		t.Fatal(err)
+	}
+	fresh2 := invocations.Load() - before
+	want2 := float64(fresh2) / float64(space.Size())
+	if res2.MeasuredFraction != want2 {
+		t.Errorf("reused session: MeasuredFraction = %v, want %v", res2.MeasuredFraction, want2)
+	}
+	if int64(res2.Measured+res2.Invalid) != fresh2 {
+		t.Errorf("reused session: Measured %d + Invalid %d != %d fresh executions",
+			res2.Measured, res2.Invalid, fresh2)
+	}
+}
+
+// TestRuntimeMeasurerConcurrentGather is the regression test for the
+// Measurer contract: Session.gather calls Measure from GOMAXPROCS
+// workers, and RuntimeMeasurer shares one opencl.Context and bench.Data
+// across runs, so Measure must serialise internally. Run under
+// `go test -race` this fails if the serialisation is ever removed while
+// the functional runtime (or a future measurer cache) mutates shared
+// state.
+func TestRuntimeMeasurerConcurrentGather(t *testing.T) {
+	b := bench.MustLookup("convolution")
+	dev, err := opencl.DeviceByName(devsim.IntelI7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := NewRuntimeMeasurer(b, dev, b.TestSize(), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	maps := []map[string]int{
+		{"wg_x": 8, "wg_y": 8, "ppt_x": 1, "ppt_y": 1, "use_image": 1, "use_local": 1, "pad": 0, "interleaved": 0, "unroll": 1},
+		{"wg_x": 4, "wg_y": 4, "ppt_x": 2, "ppt_y": 1, "use_image": 0, "use_local": 0, "pad": 1, "interleaved": 1, "unroll": 0},
+		{"wg_x": 8, "wg_y": 4, "ppt_x": 1, "ppt_y": 2, "use_image": 0, "use_local": 1, "pad": 1, "interleaved": 0, "unroll": 1},
+		{"wg_x": 4, "wg_y": 8, "ppt_x": 2, "ppt_y": 2, "use_image": 1, "use_local": 0, "pad": 0, "interleaved": 1, "unroll": 0},
+	}
+	idxs := make([]int64, len(maps))
+	for i, values := range maps {
+		cfg, err := b.Space().FromMap(values)
+		if err != nil {
+			t.Fatal(err)
+		}
+		idxs[i] = cfg.Index()
+	}
+	// Sequential reference first, then a concurrent gather on a fresh
+	// measurer: the runtime is deterministic, so serialised concurrent
+	// measurements must reproduce the sequential times exactly.
+	want := make([]float64, len(idxs))
+	for i, idx := range idxs {
+		secs, err := m.Measure(context.Background(), b.Space().At(idx))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = secs
+	}
+	m2, err := NewRuntimeMeasurer(b, dev, b.TestSize(), 1, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, err := NewSession(m2, Options{TrainingSamples: 1, SecondStage: 1, Seed: 1}, WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	outs, _, _, err := s.gather(context.Background(), "race", idxs, 0, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, o := range outs {
+		if o.mt.err != nil {
+			t.Fatalf("config %d: %v", i, o.mt.err)
+		}
+		if o.mt.secs != want[i] {
+			t.Errorf("config %d: concurrent %v, sequential %v", i, o.mt.secs, want[i])
+		}
 	}
 }

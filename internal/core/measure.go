@@ -146,6 +146,14 @@ var _ TrueTimer = (*SimMeasurer)(nil)
 // it exercises the full compile/launch/run/profile path and optionally
 // verifies the functional output against the sequential reference.
 // Intended for reduced problem sizes.
+//
+// The Measurer contract requires concurrency safety, and Session.gather
+// calls Measure from GOMAXPROCS workers. Every Measure run shares the
+// measurer's opencl.Context and bench.Data, and the functional runtime
+// makes no guarantee that concurrent launches against them are safe, so
+// Measure serialises on an internal mutex. (Parallelism is no loss:
+// each functional launch already fans its work-groups out across all
+// cores.)
 type RuntimeMeasurer struct {
 	bench  bench.Benchmark
 	size   bench.Size
@@ -153,6 +161,8 @@ type RuntimeMeasurer struct {
 	ctx    *opencl.Context
 	verify bool
 	ref    []float32
+
+	mu sync.Mutex // serialises Measure: ctx and data are shared state
 }
 
 // NewRuntimeMeasurer creates a measurer that runs benchmark b on the
@@ -181,7 +191,15 @@ func NewRuntimeMeasurer(b bench.Benchmark, dev *opencl.Device, size bench.Size, 
 func (m *RuntimeMeasurer) Space() *tuning.Space { return m.bench.Space() }
 
 // Measure executes cfg on the runtime and returns the profiled time.
+// Safe for concurrent use: runs are serialised on the measurer's mutex.
 func (m *RuntimeMeasurer) Measure(ctx context.Context, cfg tuning.Config) (float64, error) {
+	if err := ctx.Err(); err != nil {
+		return 0, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	// Re-check after acquiring the lock: a measurement queued behind a
+	// multi-second run must not start once its context is cancelled.
 	if err := ctx.Err(); err != nil {
 		return 0, err
 	}

@@ -126,11 +126,91 @@ func (m *Model) NewScratch() *PredictScratch {
 // Safe for concurrent use with distinct scratches.
 func (m *Model) Predict(cfg tuning.Config, s *PredictScratch) float64 {
 	s.buf = m.enc.Encode(cfg, s.buf[:0])
-	y := m.scaler.Invert(m.ensemble.Predict(s.buf, s.ps))
+	return m.finish(m.ensemble.Predict(s.buf, s.ps))
+}
+
+// finish maps one raw ensemble output back to seconds: invert the target
+// standardization, then undo the log transform. Shared by the scalar and
+// batched paths so they stay bit-identical by construction.
+func (m *Model) finish(y float64) float64 {
+	y = m.scaler.Invert(y)
 	if m.logT {
 		return math.Exp(y)
 	}
 	return y
+}
+
+// predictBlock is the block size of blocked batch prediction: large
+// enough to amortise per-block overhead, small enough that a block's
+// activations stay cache-resident.
+const predictBlock = 256
+
+// BatchScratch carries the reusable buffers of blocked batch prediction:
+// an encoded feature matrix, the ensemble's batch buffers and a raw
+// output block. Like PredictScratch it is single-goroutine state.
+type BatchScratch struct {
+	ps    *ann.BatchPredictScratch
+	xs    []float64 // block-sample-major encoded features
+	raw   []float64 // raw ensemble outputs for one block
+	block int
+}
+
+// NewBatchScratch allocates blocked batch-prediction buffers.
+func (m *Model) NewBatchScratch() *BatchScratch {
+	return &BatchScratch{
+		ps:    m.ensemble.NewBatchScratch(predictBlock),
+		xs:    make([]float64, 0, predictBlock*m.enc.Dim()),
+		raw:   make([]float64, predictBlock),
+		block: predictBlock,
+	}
+}
+
+// PredictBatchWith predicts cfgs in blocks through s, appending the times
+// (in cfgs order, seconds) to dst. Predictions are bit-identical to
+// calling Predict per configuration.
+func (m *Model) PredictBatchWith(cfgs []tuning.Config, s *BatchScratch, dst []float64) []float64 {
+	for lo := 0; lo < len(cfgs); lo += s.block {
+		hi := lo + s.block
+		if hi > len(cfgs) {
+			hi = len(cfgs)
+		}
+		s.xs = s.xs[:0]
+		for _, cfg := range cfgs[lo:hi] {
+			s.xs = m.enc.Encode(cfg, s.xs)
+		}
+		dst = m.predictEncodedBlock(hi-lo, s, dst)
+	}
+	return dst
+}
+
+// PredictIndices predicts the configurations at the given space indices
+// in blocks through s, appending the times to dst. It encodes straight
+// from the dense indices (tuning.Encoder.EncodeIndex), so the sweep never
+// materialises a Config — the allocation-free engine behind TopM.
+// Predictions are bit-identical to Predict(space.At(idx)).
+func (m *Model) PredictIndices(idxs []int64, s *BatchScratch, dst []float64) []float64 {
+	for lo := 0; lo < len(idxs); lo += s.block {
+		hi := lo + s.block
+		if hi > len(idxs) {
+			hi = len(idxs)
+		}
+		s.xs = s.xs[:0]
+		for _, idx := range idxs[lo:hi] {
+			s.xs = m.enc.EncodeIndex(idx, s.xs)
+		}
+		dst = m.predictEncodedBlock(hi-lo, s, dst)
+	}
+	return dst
+}
+
+// predictEncodedBlock runs the count samples encoded in s.xs through the
+// ensemble and appends the finished times to dst.
+func (m *Model) predictEncodedBlock(count int, s *BatchScratch, dst []float64) []float64 {
+	m.ensemble.PredictBatch(s.xs, count, s.ps, s.raw[:count])
+	for _, y := range s.raw[:count] {
+		dst = append(dst, m.finish(y))
+	}
+	return dst
 }
 
 // Predicted pairs a configuration index with its predicted time.
@@ -153,12 +233,34 @@ func (p Predicted) less(q Predicted) bool {
 // TopM sweeps the entire tuning space — the paper's "predict the
 // execution time for all possible configurations" step — and returns the
 // M configurations with the lowest predicted times, best first (ties
-// broken towards the lower index). The sweep runs on all available
-// cores; like the session's gather pool, the result is identical no
-// matter how many.
+// broken towards the lower index). Each worker predicts its partition in
+// blocks through the batched engine and feeds a bounded top-heap; once a
+// worker's heap is full, blocks first go through a cheap conservative
+// lower-bound pass (ann.Ensemble.PredictBatchBounds) and only the
+// configurations whose bound could still beat the heap's worst entry pay
+// the exact forward pass. Pruning never changes emitted values — a
+// pruned configuration provably loses to M already-seen ones — so the
+// result matches the plain sweep exactly. The sweep runs on all
+// available cores; like the session's gather pool, the result is
+// identical no matter how many: block predictions are bit-identical to
+// the scalar path and the (Seconds, Index) order is total, so the
+// heap+merge is worker-count invariant.
 func (m *Model) TopM(M int) []Predicted {
 	return m.topM(M, runtime.GOMAXPROCS(0))
 }
+
+// predictBoundMargin widens the bounds pass's lower bound before it is
+// compared against the heap: the ann bound tables are only valid up to
+// ulp-level activation rounding (see internal/ann/bounds.go), so the
+// margin — many orders above any accumulated ulp error, many below any
+// meaningful time difference — keeps pruning strictly conservative.
+const predictBoundMargin = 1e-9
+
+// canPrune reports whether the bound pass's ordering argument holds:
+// finish must be monotone, which needs a positive target-scale. Trained
+// and persisted models always qualify (FitTargetScaler returns a
+// positive Std); this guards hand-built models in tests and experiments.
+func (m *Model) canPrune() bool { return m.scaler.Std > 0 }
 
 // topM is TopM with an explicit worker count; the invariance tests
 // exercise it directly.
@@ -190,11 +292,53 @@ func (m *Model) topM(M, workers int) []Predicted {
 			if hi > size {
 				hi = size
 			}
-			scratch := m.NewScratch()
+			scratch := m.NewBatchScratch()
+			idxs := make([]int64, 0, scratch.block)
+			preds := make([]float64, 0, scratch.block)
+			lb := make([]float64, scratch.block)
+			ub := make([]float64, scratch.block)
+			survivors := make([]int64, 0, scratch.block)
+			prune := m.canPrune()
 			best := newTopHeap(M)
-			for idx := lo; idx < hi; idx++ {
-				t := m.Predict(m.space.At(idx), scratch)
-				best.offer(Predicted{Index: idx, Seconds: t})
+			for blockLo := lo; blockLo < hi; blockLo += int64(scratch.block) {
+				blockHi := blockLo + int64(scratch.block)
+				if blockHi > hi {
+					blockHi = hi
+				}
+				idxs = idxs[:0]
+				for idx := blockLo; idx < blockHi; idx++ {
+					idxs = append(idxs, idx)
+				}
+				if prune && best.full() {
+					// Bound pass: keep only configurations whose
+					// conservative lower bound could still enter the heap.
+					n := len(idxs)
+					scratch.xs = scratch.xs[:0]
+					for _, idx := range idxs {
+						scratch.xs = m.enc.EncodeIndex(idx, scratch.xs)
+					}
+					m.ensemble.PredictBatchBounds(scratch.xs, n, scratch.ps, lb[:n], ub[:n])
+					worst := best.worst()
+					survivors = survivors[:0]
+					for k := 0; k < n; k++ {
+						secLb := m.finish(lb[k] - predictBoundMargin)
+						if (Predicted{Index: idxs[k], Seconds: secLb}).less(worst) {
+							survivors = append(survivors, idxs[k])
+						}
+					}
+					if len(survivors) == 0 {
+						continue
+					}
+					preds = m.PredictIndices(survivors, scratch, preds[:0])
+					for k, t := range preds {
+						best.offer(Predicted{Index: survivors[k], Seconds: t})
+					}
+					continue
+				}
+				preds = m.PredictIndices(idxs, scratch, preds[:0])
+				for k, t := range preds {
+					best.offer(Predicted{Index: blockLo + int64(k), Seconds: t})
+				}
 			}
 			results[w] = best.items()
 		}(w)
@@ -212,14 +356,10 @@ func (m *Model) topM(M, workers int) []Predicted {
 	return merged
 }
 
-// PredictBatch predicts the times of the given configurations, in order.
+// PredictBatch predicts the times of the given configurations, in order,
+// through the blocked batch engine.
 func (m *Model) PredictBatch(cfgs []tuning.Config) []float64 {
-	out := make([]float64, len(cfgs))
-	scratch := m.NewScratch()
-	for i, c := range cfgs {
-		out[i] = m.Predict(c, scratch)
-	}
-	return out
+	return m.PredictBatchWith(cfgs, m.NewBatchScratch(), make([]float64, 0, len(cfgs)))
 }
 
 // topHeap keeps the M smallest offered items (in Predicted.less order)
@@ -232,6 +372,12 @@ type topHeap struct {
 func newTopHeap(capacity int) *topHeap {
 	return &topHeap{cap: capacity, heap: make([]Predicted, 0, capacity)}
 }
+
+// full reports whether the heap holds its full complement of M items.
+func (h *topHeap) full() bool { return len(h.heap) >= h.cap }
+
+// worst returns the M-th best item seen so far; only valid when full.
+func (h *topHeap) worst() Predicted { return h.heap[0] }
 
 func (h *topHeap) offer(p Predicted) {
 	if len(h.heap) < h.cap {

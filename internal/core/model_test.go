@@ -1,6 +1,8 @@
 package core
 
 import (
+	"math"
+	"math/rand"
 	"runtime"
 	"sort"
 	"testing"
@@ -105,5 +107,132 @@ func TestTopMTieBreakGOMAXPROCSInvariant(t *testing.T) {
 		if one[i] != four[i] {
 			t.Errorf("result %d differs across GOMAXPROCS: %+v vs %+v", i, one[i], four[i])
 		}
+	}
+}
+
+// trainedTestModel fits a small-but-real model over a 4096-point space so
+// the batched sweep exercises multiple blocks, heap warmup and the
+// bound-pruning path.
+func trainedTestModel(t testing.TB) *Model {
+	t.Helper()
+	space := tuning.NewSpace("batch",
+		tuning.Pow2Param("x", 1, 128),    // 8
+		tuning.Pow2Param("y", 1, 128),    // 8
+		tuning.NewParam("a", 1, 2, 3, 4), // 4
+		tuning.Pow2Param("w", 1, 8),      // 4
+		tuning.BoolParam("z"),            // 2
+	)
+	rng := rand.New(rand.NewSource(77))
+	samples := make([]Sample, 0, 300)
+	for _, cfg := range space.Sample(rng, 300) {
+		lx := math.Log2(float64(cfg.Value("x")))
+		ly := math.Log2(float64(cfg.Value("y")))
+		secs := 0.5 + (lx-3)*(lx-3) + 0.3*(ly-2)*(ly-2) + 0.1*float64(cfg.Value("a"))
+		if cfg.Bool("z") {
+			secs *= 1.2
+		}
+		samples = append(samples, Sample{Config: cfg, Seconds: secs})
+	}
+	mc := DefaultModelConfig(77)
+	mc.Ensemble.K = 5
+	mc.Ensemble.Hidden = 12
+	mc.Ensemble.Train = ann.TrainConfig{Epochs: 60, LearningRate: 0.3, Momentum: 0.9, BatchSize: 8}
+	model, err := TrainModel(space, samples, nil, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// TestPredictBatchBitIdenticalToScalar is the tentpole property test: the
+// blocked batch engine (configs, indices, and the deprecated PredictBatch
+// helper) returns bit-for-bit what scalar Predict returns.
+func TestPredictBatchBitIdenticalToScalar(t *testing.T) {
+	m := trainedTestModel(t)
+	space := m.Space()
+	rng := rand.New(rand.NewSource(78))
+
+	// A block larger than predictBlock plus a ragged tail.
+	idxs := space.SampleIndices(rng, predictBlock+37)
+	cfgs := make([]tuning.Config, len(idxs))
+	for i, idx := range idxs {
+		cfgs[i] = space.At(idx)
+	}
+
+	scalar := m.NewScratch()
+	want := make([]float64, len(cfgs))
+	for i, cfg := range cfgs {
+		want[i] = m.Predict(cfg, scalar)
+	}
+
+	byCfg := m.PredictBatch(cfgs)
+	byCfgWith := m.PredictBatchWith(cfgs, m.NewBatchScratch(), nil)
+	byIdx := m.PredictIndices(idxs, m.NewBatchScratch(), nil)
+	for i := range want {
+		if byCfg[i] != want[i] {
+			t.Fatalf("PredictBatch[%d] = %v, scalar %v", i, byCfg[i], want[i])
+		}
+		if byCfgWith[i] != want[i] {
+			t.Fatalf("PredictBatchWith[%d] = %v, scalar %v", i, byCfgWith[i], want[i])
+		}
+		if byIdx[i] != want[i] {
+			t.Fatalf("PredictIndices[%d] = %v, scalar %v", i, byIdx[i], want[i])
+		}
+	}
+}
+
+// TestTopMPrunedWorkerInvariant runs the batched, bound-pruned sweep on a
+// real trained model (pruning active: heap fills, later blocks prune)
+// and checks the result against the scalar brute-force specification for
+// worker counts 1..8.
+func TestTopMPrunedWorkerInvariant(t *testing.T) {
+	m := trainedTestModel(t)
+	if !m.canPrune() {
+		t.Fatal("trained model unexpectedly cannot prune")
+	}
+	const M = 50
+	want := bruteTopM(m, M)
+	for workers := 1; workers <= 8; workers++ {
+		got := m.topM(M, workers)
+		if len(got) != M {
+			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), M)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("workers=%d: result %d = %+v, want %+v", workers, i, got[i], want[i])
+			}
+		}
+	}
+}
+
+// TestSuggestMDeterministicWithBatching guards the batched subsample
+// scoring in SuggestM: determinism across invocations and a sane range,
+// with equivalence to scalar prediction covered by the bit-identity test
+// above.
+func TestSuggestMDeterministicWithBatching(t *testing.T) {
+	m := trainedTestModel(t)
+	space := m.Space()
+	rng := rand.New(rand.NewSource(79))
+	var val []Sample
+	scratch := m.NewScratch()
+	for _, cfg := range space.Sample(rng, 16) {
+		// Validation targets near the model's own predictions with a
+		// deterministic wobble, so residuals are non-zero.
+		pred := m.Predict(cfg, scratch)
+		val = append(val, Sample{Config: cfg, Seconds: pred * (1 + 0.1*rng.Float64())})
+	}
+	m1, err := SuggestM(m, val, 0.9, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m2, err := SuggestM(m, val, 0.9, 100, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if m1 != m2 {
+		t.Fatalf("SuggestM not deterministic: %d vs %d", m1, m2)
+	}
+	if m1 < 1 || int64(m1) > space.Size() {
+		t.Fatalf("SuggestM out of range: %d", m1)
 	}
 }

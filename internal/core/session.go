@@ -309,12 +309,21 @@ type outcome struct {
 // strategies use it to fold results and emit candidate events in stream
 // order.
 //
+// tail returns the outcomes of measurements the pool performed beyond
+// the needValid cut — aligned with idxs[consumed:consumed+len(tail)] —
+// without emitting events for them. They were really executed (and
+// memoised), so cost accounting must charge them even though no strategy
+// consumes their values. Under the current chunk-shrinking scheduler the
+// cut always lands on a chunk boundary and tail is empty; the contract
+// exists so accounting stays honest if the scheduling ever trades
+// over-measurement for tail-of-stage parallelism.
+//
 // Work is scheduled in fixed-size chunks so the set of measured
 // configurations never depends on the worker count. A non-invalid
 // measurement error aborts the gather; cancellation surfaces as a
 // *PartialError wrapping ctx.Err().
 func (s *Session) gather(ctx context.Context, stage string, idxs []int64, needValid int,
-	onSample func(cfg tuning.Config, mt measurement)) (out []outcome, consumed int, err error) {
+	onSample func(cfg tuning.Config, mt measurement)) (out, tail []outcome, consumed int, err error) {
 	s.emit(Event{Kind: EventStageStarted, Stage: stage})
 	defer s.emit(Event{Kind: EventStageFinished, Stage: stage})
 
@@ -369,9 +378,9 @@ func (s *Session) gather(ctx context.Context, stage string, idxs []int64, needVa
 		for i, r := range results {
 			if r.mt.err != nil && !devsim.IsInvalid(r.mt.err) {
 				if ctxErr := ctx.Err(); ctxErr != nil {
-					return out, len(out), &PartialError{Stage: stage, Measured: valid, Err: ctxErr}
+					return out, nil, len(out), &PartialError{Stage: stage, Measured: valid, Err: ctxErr}
 				}
-				return out, len(out), r.mt.err
+				return out, nil, len(out), r.mt.err
 			}
 			cfg := s.Space().At(chunk[i])
 			s.emit(Event{Kind: EventSampleMeasured, Stage: stage,
@@ -383,12 +392,14 @@ func (s *Session) gather(ctx context.Context, stage string, idxs []int64, needVa
 			if r.mt.err == nil {
 				valid++
 				if needValid > 0 && valid >= needValid {
-					return out, len(out), nil
+					// The rest of the chunk was measured by the pool but is
+					// not consumed; surface it for cost accounting.
+					return out, results[i+1:], len(out), nil
 				}
 			}
 		}
 	}
-	return out, len(out), nil
+	return out, nil, len(out), nil
 }
 
 // fillModelConfig replaces zero-valued fields of cfg with the paper's

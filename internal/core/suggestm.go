@@ -64,9 +64,9 @@ func SuggestM(model *Model, validation []Sample, confidence float64, trials int,
 		subN = int(space.Size())
 	}
 	idxs := space.SampleIndices(rng, subN)
-	logPred := make([]float64, len(idxs))
-	for i, idx := range idxs {
-		logPred[i] = math.Log(model.Predict(space.At(idx), scratch))
+	logPred := model.PredictIndices(idxs, model.NewBatchScratch(), make([]float64, 0, len(idxs)))
+	for i, p := range logPred {
+		logPred[i] = math.Log(p)
 	}
 	order := make([]int, len(logPred))
 	for i := range order {

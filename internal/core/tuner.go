@@ -6,6 +6,7 @@ import (
 	"math/rand"
 	"time"
 
+	"repro/internal/devsim"
 	"repro/internal/tuning"
 )
 
@@ -112,8 +113,10 @@ type Result struct {
 	// candidates, aligned with the order they were measured in.
 	Predicted []Predicted
 
-	// MeasuredFraction is (Attempts + M) / |space|: the share of the
-	// space actually executed (paper: as low as 0.1%).
+	// MeasuredFraction is the share of the space actually executed
+	// (paper: as low as 0.1%): distinct configurations run by this
+	// strategy, so stage-2 candidates replayed from the measurement cache
+	// are not double-counted.
 	MeasuredFraction float64
 
 	// Model is the trained performance model (reusable for analysis,
@@ -182,24 +185,44 @@ func (mlStrategy) Run(ctx context.Context, s *Session) (*Result, error) {
 	idxs := space.SampleIndices(rng, maxAttempts)
 
 	var invalidCfgs []tuning.Config
-	outs, consumed, err := s.gather(ctx, "gather", idxs, opts.TrainingSamples, nil)
+	outs, tailOuts, consumed, err := s.gather(ctx, "gather", idxs, opts.TrainingSamples, nil)
 	if err != nil {
 		return nil, err
 	}
 	res.Samples = make([]Sample, 0, opts.TrainingSamples)
+	freshGatherValid, freshGatherInvalid := 0, 0
 	for i, o := range outs {
 		cfg := space.At(idxs[i])
 		if !o.cached {
 			res.Cost.GatherSeconds += compileCost(m, cfg)
 		}
 		if o.mt.err != nil {
+			if !o.cached {
+				freshGatherInvalid++
+			}
 			invalidCfgs = append(invalidCfgs, cfg)
 			continue
 		}
 		if !o.cached {
+			freshGatherValid++
 			res.Cost.GatherSeconds += o.mt.secs
 		}
 		res.Samples = append(res.Samples, Sample{Config: cfg, Seconds: o.mt.secs})
+	}
+	// Measurements the gather pool performed beyond the needValid cut are
+	// discarded, not free: charge their compile/run cost and remember how
+	// many configurations they executed.
+	tailExecuted := 0
+	for k, o := range tailOuts {
+		if o.cached || (o.mt.err != nil && !devsim.IsInvalid(o.mt.err)) {
+			continue // cache hit, or a transient error that never ran
+		}
+		tailExecuted++
+		cfg := space.At(idxs[consumed+k])
+		res.Cost.GatherSeconds += compileCost(m, cfg)
+		if o.mt.err == nil {
+			res.Cost.GatherSeconds += o.mt.secs
+		}
 	}
 	res.InvalidTrain = len(invalidCfgs)
 	res.Attempts = consumed
@@ -236,7 +259,7 @@ func (mlStrategy) Run(ctx context.Context, s *Session) (*Result, error) {
 		cand[i] = p.Index
 	}
 	res.SecondStage = make([]Sample, 0, len(cand))
-	outs2, _, err := s.gather(ctx, "second-stage", cand, 0, func(cfg tuning.Config, mt measurement) {
+	outs2, _, _, err := s.gather(ctx, "second-stage", cand, 0, func(cfg tuning.Config, mt measurement) {
 		if mt.err != nil {
 			res.InvalidSecond++
 			return
@@ -249,20 +272,30 @@ func (mlStrategy) Run(ctx context.Context, s *Session) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	freshSecond := 0
+	freshSecond, freshInvalidSecond := 0, 0
 	for i, o := range outs2 {
-		if o.mt.err == nil && !o.cached {
+		if o.cached {
+			continue
+		}
+		if o.mt.err == nil {
 			freshSecond++
 			res.Cost.SecondStageSeconds += compileCost(m, space.At(cand[i])) + o.mt.secs
+		} else {
+			freshInvalidSecond++
+			res.Cost.SecondStageSeconds += compileCost(m, space.At(cand[i]))
 		}
 	}
 
-	// Stage-2 candidates served from the memo cache (typically stage-1
-	// overlap) were already counted once; Measured stays a count of
-	// distinct valid measurements.
-	res.Measured = len(res.Samples) + freshSecond
-	res.Invalid = res.InvalidTrain + res.InvalidSecond
-	res.MeasuredFraction = float64(consumed+len(top)) / float64(space.Size())
+	// Configurations served from the memo cache (stage-2 overlap with
+	// stage 1, or any stage replayed on a reused session) were not
+	// executed by this run: Measured/Invalid count distinct fresh
+	// measurements only, and MeasuredFraction the share of *distinct
+	// executed* configurations — fresh stage-1 attempts, any discarded
+	// gather tail, and the stage-2 candidates that actually ran.
+	res.Measured = freshGatherValid + freshSecond
+	res.Invalid = freshGatherInvalid + freshInvalidSecond
+	executed := freshGatherValid + freshGatherInvalid + tailExecuted + freshSecond + freshInvalidSecond
+	res.MeasuredFraction = float64(executed) / float64(space.Size())
 	return res, nil
 }
 

@@ -1,0 +1,98 @@
+package service
+
+import (
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/tuning"
+)
+
+// serveCache is the daemon's read-path cache: per-model pools of batch
+// prediction scratches (so /v1/predict allocates nothing steady-state)
+// and memoised top-M sweeps keyed (ModelKey, M) (so repeated /v1/topm
+// hits under load stop paying a full-space sweep).
+//
+// Entries are invalidated two ways, belt and braces: explicitly by the
+// Put/Reload paths (Server calls invalidate/invalidateAll), and
+// implicitly by pointer identity — entry returns a fresh slot whenever
+// the registry hands out a different *core.Model than the slot was built
+// for, so a cache can never serve results from a replaced model.
+type serveCache struct {
+	mu      sync.Mutex
+	entries map[ModelKey]*serveEntry
+}
+
+// serveEntry caches read-path state for one loaded model.
+type serveEntry struct {
+	model     *core.Model
+	scratches sync.Pool // of *core.BatchScratch
+
+	mu   sync.Mutex
+	topM map[int][]prediction
+}
+
+// maxTopMCacheEntries bounds the per-model number of distinct cached M
+// values; beyond it the map is reset rather than evicted piecemeal.
+const maxTopMCacheEntries = 8
+
+func newServeCache() *serveCache {
+	return &serveCache{entries: make(map[ModelKey]*serveEntry)}
+}
+
+// entry returns the cache slot for key's current model, building a fresh
+// one when none exists or the model pointer changed (reload, retrain).
+func (c *serveCache) entry(key ModelKey, m *core.Model) *serveEntry {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	e := c.entries[key]
+	if e == nil || e.model != m {
+		e = &serveEntry{model: m, topM: make(map[int][]prediction)}
+		e.scratches.New = func() any { return m.NewBatchScratch() }
+		c.entries[key] = e
+	}
+	return e
+}
+
+// invalidate drops key's slot (a retrained model was Put).
+func (c *serveCache) invalidate(key ModelKey) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	delete(c.entries, key)
+}
+
+// invalidateAll drops every slot (the registry was reloaded).
+func (c *serveCache) invalidateAll() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.entries = make(map[ModelKey]*serveEntry)
+}
+
+// predictBatch predicts cfgs through a pooled scratch, appending to dst.
+func (e *serveEntry) predictBatch(cfgs []tuning.Config, dst []float64) []float64 {
+	s := e.scratches.Get().(*core.BatchScratch)
+	defer e.scratches.Put(s)
+	return e.model.PredictBatchWith(cfgs, s, dst)
+}
+
+// topMCached returns the model's top-M predictions, computing and
+// memoising the sweep on first use. Concurrent requests for the same
+// entry serialise on the entry lock, so a burst of identical top-M
+// queries pays exactly one sweep.
+func (e *serveEntry) topMCached(M int) []prediction {
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if top, ok := e.topM[M]; ok {
+		return top
+	}
+	top := e.model.TopM(M)
+	out := make([]prediction, len(top))
+	for i, p := range top {
+		cfg := e.model.Space().At(p.Index)
+		out[i] = prediction{Index: p.Index, Config: cfg.Map(), Seconds: p.Seconds}
+	}
+	if len(e.topM) >= maxTopMCacheEntries {
+		e.topM = make(map[int][]prediction)
+	}
+	e.topM[M] = out
+	return out
+}

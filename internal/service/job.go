@@ -214,18 +214,30 @@ func (j *Job) observe(ev core.Event) {
 }
 
 // eventsAfter returns the buffered events with Seq > after, plus the
-// number of events dropped from the front of the stream.
+// number of events the caller actually missed: events that aged out of
+// the ring buffer past the caller's position, max(0, baseSeq-(after+1)).
+// An up-to-date incremental poller (after ≥ last seq seen) has no gap
+// even after the buffer wraps; only a client that fell behind the
+// retained window is told how much it lost.
 func (j *Job) eventsAfter(after int) (evs []EventRecord, dropped int) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	if after < -1 {
+		after = -1 // below the stream start there is nothing extra to miss
+	}
+	if last := j.baseSeq + len(j.events) - 1; after > last {
+		after = last // beyond the stream end: fully caught up (and no
+		// overflow in the position arithmetic below)
+	}
 	lo := after + 1 - j.baseSeq
 	if lo < 0 {
+		dropped = -lo
 		lo = 0
 	}
 	if lo < len(j.events) {
 		evs = append([]EventRecord(nil), j.events[lo:]...)
 	}
-	return evs, j.baseSeq
+	return evs, dropped
 }
 
 // start transitions queued→running, recording the cancel func; it

@@ -30,11 +30,18 @@ import (
 //	GET    /v1/models     registry listing               → []ModelInfo
 //	POST   /v1/reload     rescan the registry directory
 //	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &p.<param>=v)
+//	POST   /v1/predict    predict a batch                (JSON: indices or config maps)
 //	GET    /v1/topm       M best-predicted configurations (?benchmark=&device=&m=N)
 //	GET    /healthz       liveness + queue/registry counters
+//
+// The read path (predict/top-M) runs on the batched prediction engine:
+// per-model scratch pools keep steady-state predictions allocation-free,
+// and top-M sweeps are cached per (model, M) until the model is replaced
+// by a tuning job or a registry reload.
 type Server struct {
 	reg     *Registry
 	queue   *Queue
+	cache   *serveCache
 	mux     *http.ServeMux
 	started time.Time
 }
@@ -48,7 +55,7 @@ func New(reg *Registry, workers, backlog int) *Server {
 	if backlog <= 0 {
 		backlog = 64
 	}
-	s := &Server{reg: reg, started: time.Now().UTC()}
+	s := &Server{reg: reg, cache: newServeCache(), started: time.Now().UTC()}
 	s.queue = NewQueue(workers, backlog, s.runJob)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
@@ -58,6 +65,7 @@ func New(reg *Registry, workers, backlog int) *Server {
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
+	mux.HandleFunc("POST /v1/predict", s.handlePredictBatch)
 	mux.HandleFunc("GET /v1/topm", s.handleTopM)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
@@ -114,6 +122,7 @@ func (s *Server) tune(ctx context.Context, j *Job) (*core.Result, bool, error) {
 		if err := s.reg.Put(spec.Key(), res.Model); err != nil {
 			return res, false, err
 		}
+		s.cache.invalidate(spec.Key())
 		saved = true
 	}
 	return res, saved, nil
@@ -141,7 +150,7 @@ func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec JobSpec
-	dec := json.NewDecoder(r.Body)
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
 		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
@@ -181,8 +190,9 @@ func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
 type jobWithEvents struct {
 	JobStatus
 	Events []EventRecord `json:"events"`
-	// EventsDropped counts events aged out of the buffer (clients that
-	// fell that far behind have a gap).
+	// EventsDropped counts the events this client missed: events that
+	// aged out of the buffer beyond its ?after position. Zero for a
+	// poller that kept up, even after the buffer wrapped.
 	EventsDropped int `json:"events_dropped,omitempty"`
 }
 
@@ -225,18 +235,22 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusInternalServerError, "%v", err)
 		return
 	}
+	s.cache.invalidateAll()
 	writeJSON(w, http.StatusOK, map[string]int{"models": s.reg.Len()})
 }
 
 // model resolves the benchmark/device query parameters to a registry
 // model, writing the error response itself on failure.
 func (s *Server) model(w http.ResponseWriter, r *http.Request) (*core.Model, ModelKey, bool) {
-	key := ModelKey{
-		Benchmark: r.URL.Query().Get("benchmark"),
-		Device:    r.URL.Query().Get("device"),
-	}
+	return s.modelFor(w, r.URL.Query().Get("benchmark"), r.URL.Query().Get("device"))
+}
+
+// modelFor resolves an explicit benchmark/device pair to a registry
+// model, writing the error response itself on failure.
+func (s *Server) modelFor(w http.ResponseWriter, benchmark, device string) (*core.Model, ModelKey, bool) {
+	key := ModelKey{Benchmark: benchmark, Device: device}
 	if key.Benchmark == "" || key.Device == "" {
-		writeErr(w, http.StatusBadRequest, "benchmark and device query parameters are required")
+		writeErr(w, http.StatusBadRequest, "benchmark and device are required")
 		return nil, key, false
 	}
 	m, err := s.reg.Get(key)
@@ -300,7 +314,7 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	secs := m.Predict(cfg, m.NewScratch())
+	secs := s.cache.entry(key, m).predictBatch([]tuning.Config{cfg}, nil)[0]
 	writeJSON(w, http.StatusOK, struct {
 		Benchmark string `json:"benchmark"`
 		Device    string `json:"device"`
@@ -308,8 +322,77 @@ func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	}{key.Benchmark, key.Device, prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs}})
 }
 
+// maxPredictBatch bounds one POST /v1/predict request.
+const maxPredictBatch = 10000
+
+// predictBatchRequest is the POST /v1/predict body: the model key plus
+// exactly one of Indices (dense space indices) or Configs (parameter
+// maps, every parameter present).
+type predictBatchRequest struct {
+	Benchmark string           `json:"benchmark"`
+	Device    string           `json:"device"`
+	Indices   []int64          `json:"indices,omitempty"`
+	Configs   []map[string]int `json:"configs,omitempty"`
+}
+
+// maxPredictBatchBytes bounds the POST /v1/predict body so the size
+// limit holds *before* decoding: a maximal batch of config maps is well
+// under 4 MiB, and anything larger must not be parsed into memory first.
+const maxPredictBatchBytes = 4 << 20
+
+func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
+	var req predictBatchRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBatchBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding predict batch: %v", err)
+		return
+	}
+	if (len(req.Indices) == 0) == (len(req.Configs) == 0) {
+		writeErr(w, http.StatusBadRequest, "pass exactly one of indices or configs (non-empty)")
+		return
+	}
+	if n := len(req.Indices) + len(req.Configs); n > maxPredictBatch {
+		writeErr(w, http.StatusBadRequest, "batch of %d exceeds the limit of %d", n, maxPredictBatch)
+		return
+	}
+	m, key, ok := s.modelFor(w, req.Benchmark, req.Device)
+	if !ok {
+		return
+	}
+	space := m.Space()
+	cfgs := make([]tuning.Config, 0, len(req.Indices)+len(req.Configs))
+	for _, idx := range req.Indices {
+		if idx < 0 || idx >= space.Size() {
+			writeErr(w, http.StatusBadRequest, "index %d out of range [0, %d)", idx, space.Size())
+			return
+		}
+		cfgs = append(cfgs, space.At(idx))
+	}
+	for i, values := range req.Configs {
+		cfg, err := space.FromMap(values)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "config %d: %v", i, err)
+			return
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	secs := s.cache.entry(key, m).predictBatch(cfgs, make([]float64, 0, len(cfgs)))
+	out := make([]prediction, len(cfgs))
+	for i, cfg := range cfgs {
+		out[i] = prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs[i]}
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Benchmark   string       `json:"benchmark"`
+		Device      string       `json:"device"`
+		Predictions []prediction `json:"predictions"`
+	}{key.Benchmark, key.Device, out})
+}
+
 // maxTopM bounds one top-M response; the full candidate sweep stays
-// cheap but serialising an unbounded request would not be.
+// cheap but serialising an unbounded request would not be. Requests
+// beyond it are rejected, not clamped: silently returning fewer results
+// than asked would misrepresent the response.
 const maxTopM = 10000
 
 func (s *Server) handleTopM(w http.ResponseWriter, r *http.Request) {
@@ -324,17 +407,13 @@ func (s *Server) handleTopM(w http.ResponseWriter, r *http.Request) {
 			writeErr(w, http.StatusBadRequest, "m must be a positive integer")
 			return
 		}
+		if n > maxTopM {
+			writeErr(w, http.StatusBadRequest, "m %d exceeds the limit of %d", n, maxTopM)
+			return
+		}
 		M = n
 	}
-	if M > maxTopM {
-		M = maxTopM
-	}
-	top := m.TopM(M)
-	out := make([]prediction, len(top))
-	for i, p := range top {
-		cfg := m.Space().At(p.Index)
-		out[i] = prediction{Index: p.Index, Config: cfg.Map(), Seconds: p.Seconds}
-	}
+	out := s.cache.entry(key, m).topMCached(M)
 	writeJSON(w, http.StatusOK, struct {
 		Benchmark string       `json:"benchmark"`
 		Device    string       `json:"device"`

@@ -5,6 +5,7 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"math"
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
@@ -565,5 +566,272 @@ func TestQueueDrainLetsRunningJobsFinish(t *testing.T) {
 	}
 	if done == 0 {
 		t.Error("no job finished across a graceful drain")
+	}
+}
+
+// TestEventsAfterIncrementalPollerNoGap is the eventsAfter regression
+// test: once the ring buffer wraps, an up-to-date incremental poller
+// (?after= ≥ last seq it saw) must NOT be told it has a gap, while a
+// client that really fell behind the retained window is told exactly how
+// many events it lost.
+func TestEventsAfterIncrementalPollerNoGap(t *testing.T) {
+	j := newJob("job-gap", JobSpec{})
+	emit := func(n int) {
+		for i := 0; i < n; i++ {
+			j.observe(core.Event{Kind: core.EventStageStarted, Stage: "gather"})
+		}
+	}
+
+	// Fill the buffer without wrapping; incremental pollers see no gap.
+	emit(100)
+	evs, dropped := j.eventsAfter(49)
+	if dropped != 0 || len(evs) != 50 || evs[0].Seq != 50 {
+		t.Fatalf("pre-wrap poll: %d events from %d, dropped %d", len(evs), evs[0].Seq, dropped)
+	}
+
+	// An after below the stream start asks for everything; nothing was
+	// dropped, so no gap may be reported.
+	evs, dropped = j.eventsAfter(-100)
+	if dropped != 0 || len(evs) != 100 {
+		t.Fatalf("below-start poll: %d events, dropped %d", len(evs), dropped)
+	}
+
+	// An after beyond the stream end means fully caught up — no events,
+	// no gap, and no integer overflow at MaxInt.
+	for _, after := range []int{100, 5000, math.MaxInt} {
+		evs, dropped = j.eventsAfter(after)
+		if dropped != 0 || len(evs) != 0 {
+			t.Fatalf("beyond-end poll after=%d: %d events, dropped %d", after, len(evs), dropped)
+		}
+	}
+
+	// Wrap the ring buffer.
+	emit(maxJobEvents * 2)
+	total := 100 + maxJobEvents*2
+	evs, dropped = j.eventsAfter(-1)
+	if dropped == 0 {
+		t.Fatal("full-stream poll after wrap reports no drop")
+	}
+	if want := total - len(evs); dropped != want {
+		t.Errorf("full-stream poll dropped = %d, want %d", dropped, want)
+	}
+
+	// The regression: a poller that has seen everything up to the last
+	// seq is up to date — no gap, no events.
+	last := evs[len(evs)-1].Seq
+	if last != total-1 {
+		t.Fatalf("last seq %d, want %d", last, total-1)
+	}
+	tail, dropped := j.eventsAfter(last)
+	if dropped != 0 {
+		t.Errorf("up-to-date poller told it dropped %d events", dropped)
+	}
+	if len(tail) != 0 {
+		t.Errorf("up-to-date poller got %d events", len(tail))
+	}
+
+	// A poller one event behind gets exactly that event, no gap.
+	tail, dropped = j.eventsAfter(last - 1)
+	if dropped != 0 || len(tail) != 1 || tail[0].Seq != last {
+		t.Errorf("one-behind poller: %d events, dropped %d", len(tail), dropped)
+	}
+
+	// A poller behind the retained window is told its actual gap.
+	first := evs[0].Seq
+	_, dropped = j.eventsAfter(first - 10)
+	if dropped != 9 {
+		t.Errorf("lagging poller dropped = %d, want 9", dropped)
+	}
+}
+
+// TestPredictBatchEndpoint exercises POST /v1/predict: by indices, by
+// config maps, agreement with the single-prediction endpoint, and the
+// validation failure modes.
+func TestPredictBatchEndpoint(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	if err := reg.Put(key, trainTinyModel(t, 21)); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(reg, 1, 2)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	post := func(body any, wantCode int, out any) {
+		t.Helper()
+		buf, err := json.Marshal(body)
+		if err != nil {
+			t.Fatal(err)
+		}
+		resp, err := client.Post(ts.URL+"/v1/predict", "application/json", bytes.NewReader(buf))
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer resp.Body.Close()
+		if resp.StatusCode != wantCode {
+			t.Fatalf("POST /v1/predict: status %d, want %d", resp.StatusCode, wantCode)
+		}
+		if out != nil {
+			if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+				t.Fatal(err)
+			}
+		}
+	}
+
+	var batch struct {
+		Predictions []struct {
+			Index   int64          `json:"index"`
+			Config  map[string]int `json:"config"`
+			Seconds float64        `json:"seconds"`
+		} `json:"predictions"`
+	}
+	post(map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7,
+		"indices": []int64{7, 4242, 99},
+	}, http.StatusOK, &batch)
+	if len(batch.Predictions) != 3 {
+		t.Fatalf("got %d predictions", len(batch.Predictions))
+	}
+	for i, want := range []int64{7, 4242, 99} {
+		if batch.Predictions[i].Index != want || batch.Predictions[i].Seconds <= 0 {
+			t.Errorf("prediction %d: %+v", i, batch.Predictions[i])
+		}
+	}
+
+	// The batch agrees bit-for-bit with the single-prediction endpoint.
+	var single struct {
+		Seconds float64 `json:"seconds"`
+	}
+	jget(t, client, ts.URL, "/v1/predict?benchmark=convolution&device="+devQ+"&index=4242",
+		http.StatusOK, &single)
+	if single.Seconds != batch.Predictions[1].Seconds {
+		t.Errorf("batch %v != single %v for index 4242", batch.Predictions[1].Seconds, single.Seconds)
+	}
+
+	// By config maps: round-trips through the same configurations.
+	var byCfg struct {
+		Predictions []struct {
+			Index   int64   `json:"index"`
+			Seconds float64 `json:"seconds"`
+		} `json:"predictions"`
+	}
+	post(map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7,
+		"configs": []map[string]int{batch.Predictions[0].Config, batch.Predictions[2].Config},
+	}, http.StatusOK, &byCfg)
+	if len(byCfg.Predictions) != 2 ||
+		byCfg.Predictions[0].Index != 7 || byCfg.Predictions[0].Seconds != batch.Predictions[0].Seconds ||
+		byCfg.Predictions[1].Index != 99 || byCfg.Predictions[1].Seconds != batch.Predictions[2].Seconds {
+		t.Errorf("by-config batch mismatch: %+v", byCfg.Predictions)
+	}
+
+	// Validation: none or both of indices/configs, out-of-range index,
+	// bad config, oversized batch, unknown model.
+	post(map[string]any{"benchmark": "convolution", "device": devsim.IntelI7}, http.StatusBadRequest, nil)
+	post(map[string]any{"benchmark": "convolution", "device": devsim.IntelI7,
+		"indices": []int64{1}, "configs": []map[string]int{{"wg_x": 8}}}, http.StatusBadRequest, nil)
+	post(map[string]any{"benchmark": "convolution", "device": devsim.IntelI7,
+		"indices": []int64{-1}}, http.StatusBadRequest, nil)
+	post(map[string]any{"benchmark": "convolution", "device": devsim.IntelI7,
+		"configs": []map[string]int{{"wg_x": 3}}}, http.StatusBadRequest, nil)
+	big := make([]int64, maxPredictBatch+1)
+	post(map[string]any{"benchmark": "convolution", "device": devsim.IntelI7,
+		"indices": big}, http.StatusBadRequest, nil)
+	post(map[string]any{"benchmark": "convolution", "device": "TPU",
+		"indices": []int64{1}}, http.StatusNotFound, nil)
+}
+
+// TestTopMLimitAndCache checks that m beyond maxTopM is rejected with a
+// 400 naming the limit (not silently clamped), and that the top-M cache
+// serves identical results and is invalidated when the model changes.
+func TestTopMLimitAndCache(t *testing.T) {
+	dir := t.TempDir()
+	reg, err := OpenRegistry(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	if err := reg.Put(key, trainTinyModel(t, 31)); err != nil {
+		t.Fatal(err)
+	}
+	srv := New(reg, 1, 2)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Over the limit: a 400 naming the limit, not a truncated 200.
+	resp, err := client.Get(ts.URL + fmt.Sprintf("/v1/topm?benchmark=convolution&device=%s&m=%d", devQ, maxTopM+1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var apiErr struct {
+		Error string `json:"error"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&apiErr); err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("m over limit: status %d, want 400", resp.StatusCode)
+	}
+	if !strings.Contains(apiErr.Error, fmt.Sprint(maxTopM)) {
+		t.Errorf("error %q does not name the limit %d", apiErr.Error, maxTopM)
+	}
+
+	type topResp struct {
+		Top []struct {
+			Index   int64   `json:"index"`
+			Seconds float64 `json:"seconds"`
+		} `json:"top"`
+	}
+	var first, second topResp
+	jget(t, client, ts.URL, "/v1/topm?benchmark=convolution&device="+devQ+"&m=5", http.StatusOK, &first)
+	jget(t, client, ts.URL, "/v1/topm?benchmark=convolution&device="+devQ+"&m=5", http.StatusOK, &second)
+	if len(first.Top) != 5 || len(second.Top) != 5 {
+		t.Fatalf("top lengths %d/%d", len(first.Top), len(second.Top))
+	}
+	for i := range first.Top {
+		if first.Top[i] != second.Top[i] {
+			t.Errorf("cached top-M differs at %d: %+v vs %+v", i, first.Top[i], second.Top[i])
+		}
+	}
+
+	// Replacing the model must invalidate the cache: a different model
+	// yields a different ranking (and reload must pick it up).
+	if err := reg.Put(key, trainTinyModel(t, 99)); err != nil {
+		t.Fatal(err)
+	}
+	srv.cache.invalidate(key) // what the job path does after Put
+	var after topResp
+	jget(t, client, ts.URL, "/v1/topm?benchmark=convolution&device="+devQ+"&m=5", http.StatusOK, &after)
+	same := true
+	for i := range after.Top {
+		if after.Top[i] != first.Top[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("top-M unchanged after the model was replaced (stale cache?)")
+	}
+
+	// And POST /v1/reload must drop everything too: predictions after a
+	// reload come from the re-read file, not a stale in-memory model.
+	resp, err = client.Post(ts.URL+"/v1/reload", "application/json", nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	var reloaded topResp
+	jget(t, client, ts.URL, "/v1/topm?benchmark=convolution&device="+devQ+"&m=5", http.StatusOK, &reloaded)
+	for i := range reloaded.Top {
+		if reloaded.Top[i] != after.Top[i] {
+			t.Errorf("post-reload top-M differs at %d: %+v vs %+v", i, reloaded.Top[i], after.Top[i])
+		}
 	}
 }

@@ -10,10 +10,17 @@ import "math"
 // features are scaled to [0, 1] per parameter; binary parameters map to
 // {0, 1} directly. The scaling keeps sigmoid units in their sensitive
 // range without requiring a data-dependent standardization pass.
+//
+// The per-value features are precomputed at construction time, so Encode
+// and EncodeIndex are table lookups — no transcendentals in the
+// full-space prediction sweep.
 type Encoder struct {
 	space  *Space
 	useLog []bool    // per parameter: encode as log2
 	lo, hi []float64 // per parameter: raw feature range before scaling
+	// feat[i][pos] is the scaled feature of parameter i's pos-th value,
+	// exactly as Encode would compute it.
+	feat [][]float64
 }
 
 // NewEncoder builds an encoder for the given space.
@@ -23,6 +30,7 @@ func NewEncoder(space *Space) *Encoder {
 		useLog: make([]bool, len(space.params)),
 		lo:     make([]float64, len(space.params)),
 		hi:     make([]float64, len(space.params)),
+		feat:   make([][]float64, len(space.params)),
 	}
 	for i, p := range space.params {
 		e.useLog[i] = allPositivePow2(p.Values) && len(p.Values) > 2
@@ -33,6 +41,10 @@ func NewEncoder(space *Space) *Encoder {
 			hi = math.Max(hi, f)
 		}
 		e.lo[i], e.hi[i] = lo, hi
+		e.feat[i] = make([]float64, len(p.Values))
+		for pos, v := range p.Values {
+			e.feat[i][pos] = e.scale(i, e.raw(i, v))
+		}
 	}
 	return e
 }
@@ -48,18 +60,50 @@ func (e *Encoder) raw(i, v int) float64 {
 	return float64(v)
 }
 
+// scale maps parameter i's raw feature f into [0, 1].
+func (e *Encoder) scale(i int, f float64) float64 {
+	if e.hi[i] > e.lo[i] {
+		return (f - e.lo[i]) / (e.hi[i] - e.lo[i])
+	}
+	return 0
+}
+
 // Encode appends the feature vector for cfg to dst and returns it.
 // Passing a dst with sufficient capacity avoids allocation in the
 // full-space prediction sweep.
 func (e *Encoder) Encode(cfg Config, dst []float64) []float64 {
 	for i, v := range cfg.values {
-		f := e.raw(i, v)
-		if e.hi[i] > e.lo[i] {
-			f = (f - e.lo[i]) / (e.hi[i] - e.lo[i])
-		} else {
-			f = 0
+		pos := e.space.params[i].IndexOf(v)
+		if pos < 0 {
+			// Foreign config (not produced by this space): fall back to
+			// computing the feature directly, as before precomputation.
+			dst = append(dst, e.scale(i, e.raw(i, v)))
+			continue
 		}
-		dst = append(dst, f)
+		dst = append(dst, e.feat[i][pos])
+	}
+	return dst
+}
+
+// EncodeIndex appends the feature vector of the configuration with the
+// given dense space index to dst and returns it. It is bit-identical to
+// Encode(space.At(idx), dst) but decodes the index digits directly, never
+// materialising the Config — the allocation-free primitive of the blocked
+// full-space prediction sweep. It panics if idx is out of range, matching
+// Space.At.
+func (e *Encoder) EncodeIndex(idx int64, dst []float64) []float64 {
+	if idx < 0 || idx >= e.space.size {
+		panic("tuning: EncodeIndex index out of range")
+	}
+	base := len(dst)
+	n := len(e.space.params)
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	for i := n - 1; i >= 0; i-- {
+		arity := int64(e.space.params[i].Arity())
+		dst[base+i] = e.feat[i][idx%arity]
+		idx /= arity
 	}
 	return dst
 }

@@ -294,3 +294,50 @@ func TestEncoderDistinctConfigsDistinctFeatures(t *testing.T) {
 		seen[key] = idx
 	}
 }
+
+func TestEncodeIndexMatchesEncode(t *testing.T) {
+	spaces := []*Space{
+		testSpace(),
+		NewSpace("mixed",
+			NewParam("a", 3, 5, 9), // non-pow2: linear features
+			Pow2Param("b", 1, 64),
+			BoolParam("c"),
+			NewParam("single", 7), // degenerate: one value, zero feature
+		),
+	}
+	for _, space := range spaces {
+		enc := NewEncoder(space)
+		for idx := int64(0); idx < space.Size(); idx++ {
+			direct := enc.Encode(space.At(idx), nil)
+			byIndex := enc.EncodeIndex(idx, nil)
+			if len(direct) != len(byIndex) {
+				t.Fatalf("space %q idx %d: lengths %d vs %d", space.Name(), idx, len(direct), len(byIndex))
+			}
+			for i := range direct {
+				if direct[i] != byIndex[i] {
+					t.Fatalf("space %q idx %d feature %d: Encode %v, EncodeIndex %v",
+						space.Name(), idx, i, direct[i], byIndex[i])
+				}
+			}
+		}
+		// Appending to a non-empty dst leaves the prefix alone.
+		dst := enc.EncodeIndex(1, []float64{-7})
+		if dst[0] != -7 || len(dst) != enc.Dim()+1 {
+			t.Fatalf("EncodeIndex append broke the prefix: %v", dst)
+		}
+	}
+}
+
+func TestEncodeIndexOutOfRangePanics(t *testing.T) {
+	enc := NewEncoder(testSpace())
+	for _, idx := range []int64{-1, testSpace().Size()} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("EncodeIndex(%d) did not panic", idx)
+				}
+			}()
+			enc.EncodeIndex(idx, nil)
+		}()
+	}
+}
