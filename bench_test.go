@@ -428,7 +428,11 @@ func topMServer(b *testing.B) *service.Server {
 	if err := reg.Put(key, convolutionModel(b)); err != nil {
 		b.Fatal(err)
 	}
-	return service.New(reg, 1, 2)
+	srv, err := service.New(reg, 1, 2)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return srv
 }
 
 const topMURL = "/v1/topm?benchmark=convolution&device=Nvidia%20K40&m=200"

@@ -1,12 +1,18 @@
 // Command mltune runs a registered search strategy on one benchmark and
-// one simulated device.
+// one simulated device, or drives a running mltuned daemon's training
+// pipeline.
 //
 // Usage:
 //
 //	mltune [-strategy ml|random|hillclimb|exhaustive] [-bench name]
 //	       [-device name] [-n N] [-m M] [-budget B] [-restarts R]
 //	       [-seed S] [-timeout D] [-runtime] [-compare-exhaustive]
-//	       [-save-model file] [-load-model file] [-progress] [-list]
+//	       [-save-model file] [-load-model file] [-dump-samples file]
+//	       [-progress] [-list]
+//
+//	mltune train -daemon URL -bench name -device name [-samples file]
+//	       [-seed S] [-ensemble-k K] [-hidden H] [-epochs E]
+//	       [-train-workers W] [-min-samples N] [-verify] [-timeout D]
 //
 // By default it measures configurations with the fast analytic device
 // models; -runtime executes the kernels functionally on the OpenCL-style
@@ -17,6 +23,14 @@
 // -load-model skips training entirely and instead ranks the space with a
 // previously saved model, measuring its top-M predictions — the
 // cross-device reuse workflow of the paper's portability story.
+// -dump-samples writes the run's valid measurements as a JSONL sample
+// file.
+//
+// The train subcommand is the daemon-mode workflow: it ingests a sample
+// file (e.g. one written by -dump-samples, or by an external measurer)
+// through POST /v1/samples, submits an asynchronous POST /v1/train job,
+// streams its progress, and optionally verifies that the freshly swapped
+// model answers /v1/predict.
 package main
 
 import (
@@ -36,6 +50,10 @@ import (
 )
 
 func main() {
+	if len(os.Args) > 1 && os.Args[1] == "train" {
+		runTrain(os.Args[2:])
+		return
+	}
 	var (
 		strategy   = flag.String("strategy", "ml", "search strategy (see -list)")
 		benchName  = flag.String("bench", "convolution", "benchmark to tune")
@@ -49,6 +67,7 @@ func main() {
 		useRuntime = flag.Bool("runtime", false, "measure on the functional runtime (reduced size)")
 		compare    = flag.Bool("compare-exhaustive", false, "also run exhaustive search and report the strategy's slowdown")
 		saveModel  = flag.String("save-model", "", "write the trained model to this file (ml strategy)")
+		dumpSample = flag.String("dump-samples", "", "write the run's measurements as a JSONL sample file (ml strategy)")
 		loadModel  = flag.String("load-model", "", "rank with a previously saved model instead of training")
 		progress   = flag.Bool("progress", false, "print candidate improvements as they happen")
 		list       = flag.Bool("list", false, "list strategies, benchmarks and devices, then exit")
@@ -188,6 +207,15 @@ func main() {
 			fatal(err)
 		}
 		fmt.Printf("model saved to %s\n", *saveModel)
+	}
+
+	if *dumpSample != "" {
+		if len(res.Samples)+len(res.SecondStage) == 0 {
+			fatal(fmt.Errorf("strategy %q recorded no samples to dump", res.Strategy))
+		}
+		if err := writeSampleDump(*dumpSample, res); err != nil {
+			fatal(err)
+		}
 	}
 
 	if *compare && res.Found {

@@ -4,8 +4,8 @@
 //
 // Usage:
 //
-//	mltuned [-addr :8372] [-models DIR] [-workers N] [-backlog N]
-//	        [-drain-timeout D]
+//	mltuned [-addr :8372] [-models DIR] [-samples DIR] [-workers N]
+//	        [-train-workers N] [-backlog N] [-drain-timeout D]
 //
 // On startup the registry directory is scanned for saved models
 // (benchmark@device.mlt files in the core.Model.Save format — the same
@@ -14,10 +14,18 @@
 // answers single configurations, POST /v1/predict takes a JSON batch of
 // space indices or parameter maps, and both run through pooled
 // per-model scratches; /v1/topm responses are cached per (model, M)
-// until a tuning job or reload replaces the model. SIGINT/SIGTERM
-// trigger a graceful shutdown: the listener stops, queued jobs are
-// canceled, and running jobs get -drain-timeout to finish before their
-// contexts are cancelled.
+// until a tuning or training job or reload replaces the model.
+//
+// The write path is the server-side training pipeline: POST /v1/samples
+// ingests measurements into the per-benchmark×device sample store
+// (-samples, default <models>/samples; completed tuning jobs feed it
+// too), and POST /v1/train runs an async training job over the stored
+// samples — bounded by the -train-workers budget — atomically swapping
+// the retrained model into the registry without a restart.
+//
+// SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
+// queued jobs are canceled, and running jobs get -drain-timeout to
+// finish before their contexts are cancelled.
 //
 // See the README's "mltuned" section for the endpoint reference and an
 // example curl session.
@@ -41,11 +49,13 @@ import (
 
 func main() {
 	var (
-		addr    = flag.String("addr", ":8372", "HTTP listen address")
-		models  = flag.String("models", "models", "model registry directory")
-		workers = flag.Int("workers", 0, "tuning worker pool size (0 = GOMAXPROCS)")
-		backlog = flag.Int("backlog", 64, "job queue capacity beyond the running jobs")
-		drain   = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
+		addr         = flag.String("addr", ":8372", "HTTP listen address")
+		models       = flag.String("models", "models", "model registry directory")
+		samples      = flag.String("samples", "", "sample store directory (default <models>/samples)")
+		workers      = flag.Int("workers", 0, "tuning worker pool size (0 = GOMAXPROCS)")
+		trainWorkers = flag.Int("train-workers", 0, "per-job ensemble training parallelism budget (0 = GOMAXPROCS)")
+		backlog      = flag.Int("backlog", 64, "job queue capacity beyond the running jobs")
+		drain        = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
 	)
 	flag.Parse()
 
@@ -54,8 +64,25 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mltuned:", err)
 		os.Exit(1)
 	}
-	srv := service.New(reg, *workers, *backlog)
-	log.Printf("mltuned: serving on %s (registry %s, %d models)", *addr, reg.Dir(), reg.Len())
+	var opts []service.Option
+	if *samples != "" {
+		st, err := service.OpenSampleStore(*samples)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mltuned:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, service.WithSampleStore(st))
+	}
+	if *trainWorkers > 0 {
+		opts = append(opts, service.WithTrainWorkers(*trainWorkers))
+	}
+	srv, err := service.New(reg, *workers, *backlog, opts...)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mltuned:", err)
+		os.Exit(1)
+	}
+	log.Printf("mltuned: serving on %s (registry %s, %d models; samples %s)",
+		*addr, reg.Dir(), reg.Len(), srv.Samples().Dir())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,6 +1,7 @@
 package ann
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"runtime"
@@ -18,18 +19,44 @@ type Ensemble struct {
 // EnsembleConfig controls ensemble construction.
 type EnsembleConfig struct {
 	// K is the number of folds/member networks (paper: 11).
-	K int
+	K int `json:"k,omitempty"`
 	// Hidden is the hidden layer width (paper: 30).
-	Hidden int
+	Hidden int `json:"hidden,omitempty"`
 	// HiddenLayers is the number of hidden layers (paper: 1).
-	HiddenLayers int
+	HiddenLayers int `json:"hidden_layers,omitempty"`
 	// Train configures each member's gradient descent.
-	Train TrainConfig
+	Train TrainConfig `json:"train,omitempty"`
 	// Seed drives all stochastic choices (fold assignment, weight
 	// initialization, shuffling).
-	Seed int64
-	// Parallel trains members on all available cores when true.
-	Parallel bool
+	Seed int64 `json:"seed,omitempty"`
+	// Parallel trains members on all available cores when true. It is
+	// the legacy on/off knob: Workers, when positive, takes precedence.
+	Parallel bool `json:"parallel,omitempty"`
+	// Workers bounds the number of member networks trained concurrently
+	// (0 = GOMAXPROCS when Parallel, else 1). Because every stochastic
+	// choice is pre-drawn per member, the trained ensemble is
+	// bit-identical for every worker count — workers only change
+	// wall-clock time.
+	Workers int `json:"workers,omitempty"`
+}
+
+// workerCount resolves the effective training parallelism for k members.
+func (cfg EnsembleConfig) workerCount(k int) int {
+	w := cfg.Workers
+	if w <= 0 {
+		if cfg.Parallel {
+			w = runtime.GOMAXPROCS(0)
+		} else {
+			w = 1
+		}
+	}
+	if w > k {
+		w = k
+	}
+	if w < 1 {
+		w = 1
+	}
+	return w
 }
 
 // DefaultEnsembleConfig returns the paper's model: 11 bagged networks,
@@ -47,6 +74,22 @@ func DefaultEnsembleConfig(seed int64) EnsembleConfig {
 
 // TrainEnsemble fits a bagging ensemble to the samples.
 func TrainEnsemble(xs [][]float64, ys []float64, cfg EnsembleConfig) (*Ensemble, error) {
+	return TrainEnsembleProgress(context.Background(), xs, ys, cfg, nil)
+}
+
+// TrainEnsembleProgress is TrainEnsemble with cancellation and a
+// completion callback. Member networks train on a bounded worker pool of
+// cfg.workerCount goroutines; per-member seeds are pre-drawn from one
+// rng before any worker starts, so the trained ensemble is bit-identical
+// to the sequential path for every worker count. progress, when non-nil,
+// is called serially after each member finishes, with the number of
+// members done so far and the total. Cancelling ctx stops the pool at
+// the next member boundary (a member already training runs to
+// completion) and returns ctx.Err().
+func TrainEnsembleProgress(ctx context.Context, xs [][]float64, ys []float64, cfg EnsembleConfig, progress func(done, total int)) (*Ensemble, error) {
+	if ctx == nil {
+		ctx = context.Background()
+	}
 	if len(xs) != len(ys) {
 		return nil, fmt.Errorf("ann: %d inputs vs %d targets", len(xs), len(ys))
 	}
@@ -117,23 +160,56 @@ func TrainEnsemble(xs [][]float64, ys []float64, cfg EnsembleConfig) (*Ensemble,
 		nets[k] = net
 	}
 
-	if cfg.Parallel && runtime.GOMAXPROCS(0) > 1 && cfg.K > 1 {
-		var wg sync.WaitGroup
-		sem := make(chan struct{}, runtime.GOMAXPROCS(0))
-		for k := 0; k < cfg.K; k++ {
-			wg.Add(1)
-			sem <- struct{}{}
-			go func(k int) {
-				defer wg.Done()
-				defer func() { <-sem }()
-				trainMember(k)
-			}(k)
+	// Bounded worker pool: workers pull member indices from a channel, so
+	// at most workerCount members train concurrently no matter how large
+	// K is. All stochastic state (folds, per-member seeds) is fixed above,
+	// so scheduling cannot affect the result — only progress-call order.
+	var (
+		progMu sync.Mutex
+		done   int
+	)
+	memberDone := func() {
+		if progress == nil {
+			return
 		}
+		progMu.Lock()
+		done++
+		progress(done, cfg.K)
+		progMu.Unlock()
+	}
+	if workers := cfg.workerCount(cfg.K); workers > 1 {
+		var wg sync.WaitGroup
+		work := make(chan int)
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for k := range work {
+					if ctx.Err() != nil {
+						errs[k] = ctx.Err()
+						continue // drain the channel without training
+					}
+					trainMember(k)
+					memberDone()
+				}
+			}()
+		}
+		for k := 0; k < cfg.K; k++ {
+			work <- k
+		}
+		close(work)
 		wg.Wait()
 	} else {
 		for k := 0; k < cfg.K; k++ {
+			if err := ctx.Err(); err != nil {
+				return nil, err
+			}
 			trainMember(k)
+			memberDone()
 		}
+	}
+	if err := ctx.Err(); err != nil {
+		return nil, err
 	}
 	for _, err := range errs {
 		if err != nil {

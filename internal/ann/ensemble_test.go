@@ -1,0 +1,146 @@
+package ann
+
+import (
+	"context"
+	"fmt"
+	"math/rand"
+	"reflect"
+	"testing"
+)
+
+// synthSamples builds a smooth synthetic regression set: dim features in
+// [-1, 1], target a fixed nonlinear combination plus seeded noise.
+func synthSamples(seed int64, n, dim int) ([][]float64, []float64) {
+	rng := rand.New(rand.NewSource(seed))
+	xs := make([][]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		x := make([]float64, dim)
+		for j := range x {
+			x[j] = rng.Float64()*2 - 1
+		}
+		y := 0.3
+		for j := range x {
+			y += float64(j+1) * 0.2 * x[j] * x[(j+1)%dim]
+		}
+		xs[i] = x
+		ys[i] = y + rng.NormFloat64()*0.01
+	}
+	return xs, ys
+}
+
+// TestTrainEnsembleWorkerBitIdentity is the property test behind the
+// parallel training path: for the same config and data, every worker
+// count must produce exactly the same ensemble, weight for weight,
+// because all stochastic choices (fold assignment, per-member seeds) are
+// drawn before any member trains.
+func TestTrainEnsembleWorkerBitIdentity(t *testing.T) {
+	for _, seed := range []int64{1, 17, 4242} {
+		xs, ys := synthSamples(seed, 80, 4)
+		base := EnsembleConfig{
+			K: 5, Hidden: 6, HiddenLayers: 1,
+			Train: TrainConfig{Epochs: 60, LearningRate: 0.2, LRDecay: 0.99, Momentum: 0.9, BatchSize: 4},
+			Seed:  seed,
+		}
+		sequential := base
+		sequential.Workers = 1
+		want, err := TrainEnsemble(xs, ys, sequential)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for _, workers := range []int{2, 8} {
+			cfg := base
+			cfg.Workers = workers
+			got, err := TrainEnsemble(xs, ys, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.State(), want.State()) {
+				t.Errorf("seed %d: ensemble trained with %d workers differs from sequential", seed, workers)
+			}
+		}
+		// The legacy Parallel knob must agree with the explicit pool too.
+		legacy := base
+		legacy.Parallel = true
+		got, err := TrainEnsemble(xs, ys, legacy)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(got.State(), want.State()) {
+			t.Errorf("seed %d: Parallel ensemble differs from sequential", seed)
+		}
+	}
+}
+
+// TestTrainEnsembleProgress checks the completion callback: called once
+// per member with a strictly increasing done count, serially, for both
+// the sequential and the pooled path.
+func TestTrainEnsembleProgress(t *testing.T) {
+	xs, ys := synthSamples(3, 40, 3)
+	for _, workers := range []int{1, 4} {
+		cfg := EnsembleConfig{
+			K: 4, Hidden: 4, HiddenLayers: 1,
+			Train:   TrainConfig{Epochs: 20, LearningRate: 0.2, BatchSize: 4},
+			Seed:    3,
+			Workers: workers,
+		}
+		var calls []int
+		total := 0
+		_, err := TrainEnsembleProgress(context.Background(), xs, ys, cfg, func(done, tot int) {
+			calls = append(calls, done)
+			total = tot
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if total != cfg.K || len(calls) != cfg.K {
+			t.Fatalf("workers=%d: %d progress calls (total %d), want %d", workers, len(calls), total, cfg.K)
+		}
+		for i, done := range calls {
+			if done != i+1 {
+				t.Fatalf("workers=%d: progress calls %v not serial", workers, calls)
+			}
+		}
+	}
+}
+
+// TestTrainEnsembleCancel checks that a cancelled context aborts training
+// at a member boundary with ctx.Err().
+func TestTrainEnsembleCancel(t *testing.T) {
+	xs, ys := synthSamples(5, 60, 3)
+	for _, workers := range []int{1, 3} {
+		ctx, cancel := context.WithCancel(context.Background())
+		cancel()
+		cfg := EnsembleConfig{
+			K: 6, Hidden: 4, HiddenLayers: 1,
+			Train:   TrainConfig{Epochs: 10, LearningRate: 0.2, BatchSize: 4},
+			Seed:    5,
+			Workers: workers,
+		}
+		if _, err := TrainEnsembleProgress(ctx, xs, ys, cfg, nil); err != context.Canceled {
+			t.Errorf("workers=%d: cancelled training returned %v, want context.Canceled", workers, err)
+		}
+	}
+}
+
+// BenchmarkTrainEnsembleWorkers measures the wall-clock effect of the
+// bounded worker pool on the paper-default ensemble topology (11 members,
+// one hidden layer of 30 neurons). The trained weights are bit-identical
+// across sub-benchmarks; only the time may differ.
+func BenchmarkTrainEnsembleWorkers(b *testing.B) {
+	xs, ys := synthSamples(1, 300, 5)
+	for _, workers := range []int{1, 2, 4} {
+		b.Run(fmt.Sprintf("workers=%d", workers), func(b *testing.B) {
+			cfg := DefaultEnsembleConfig(1)
+			cfg.Train.Epochs = 60
+			cfg.Train.Patience = 0
+			cfg.Workers = workers
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := TrainEnsemble(xs, ys, cfg); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+	}
+}

@@ -9,19 +9,19 @@ import (
 // TrainConfig controls stochastic-gradient training.
 type TrainConfig struct {
 	// Epochs is the maximum number of passes over the data.
-	Epochs int
+	Epochs int `json:"epochs,omitempty"`
 	// LearningRate is the initial step size.
-	LearningRate float64
+	LearningRate float64 `json:"learning_rate,omitempty"`
 	// LRDecay multiplies the learning rate after each epoch.
-	LRDecay float64
+	LRDecay float64 `json:"lr_decay,omitempty"`
 	// Momentum is the classical momentum coefficient.
-	Momentum float64
+	Momentum float64 `json:"momentum,omitempty"`
 	// BatchSize is the mini-batch size (1 = pure SGD).
-	BatchSize int
+	BatchSize int `json:"batch_size,omitempty"`
 	// Patience stops training early when the training MSE has not
 	// improved by at least Tolerance for this many epochs (0 disables).
-	Patience  int
-	Tolerance float64
+	Patience  int     `json:"patience,omitempty"`
+	Tolerance float64 `json:"tolerance,omitempty"`
 }
 
 // DefaultTrainConfig returns the configuration used by the auto-tuner:

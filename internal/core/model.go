@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"runtime"
@@ -17,21 +18,22 @@ type Sample struct {
 	Seconds float64
 }
 
-// ModelConfig controls performance-model construction.
+// ModelConfig controls performance-model construction. The JSON form is
+// the wire format of mltuned's POST /v1/train endpoint.
 type ModelConfig struct {
 	// Ensemble configures the bagged neural networks (paper: k=11
 	// networks, one hidden layer of 30 sigmoid neurons).
-	Ensemble ann.EnsembleConfig
+	Ensemble ann.EnsembleConfig `json:"ensemble,omitempty"`
 	// LogTransform trains on log(time) so the squared-error objective
 	// minimizes *relative* error (paper §5.2). Disabling it is an
 	// ablation, not a recommended mode.
-	LogTransform bool
+	LogTransform bool `json:"log_transform,omitempty"`
 	// InvalidPenalty, when positive, implements the paper's suggested
 	// future-work improvement (§7/§8): instead of ignoring invalid
 	// configurations, they are added to the training set with a target
 	// this many times the slowest valid measurement, teaching the model
 	// to avoid invalid regions. Zero reproduces the paper's behaviour.
-	InvalidPenalty float64
+	InvalidPenalty float64 `json:"invalid_penalty,omitempty"`
 }
 
 // DefaultModelConfig returns the paper's model configuration.
@@ -56,6 +58,16 @@ type Model struct {
 // lists configurations that failed to run; they are ignored unless
 // cfg.InvalidPenalty > 0.
 func TrainModel(space *tuning.Space, samples []Sample, invalid []tuning.Config, cfg ModelConfig) (*Model, error) {
+	return TrainModelProgress(context.Background(), space, samples, invalid, cfg, nil)
+}
+
+// TrainModelProgress is TrainModel with cancellation and a per-member
+// completion callback (see ann.TrainEnsembleProgress): progress, when
+// non-nil, is called serially after each ensemble member finishes, and
+// cancelling ctx aborts training at the next member boundary with
+// ctx.Err(). The trained model is bit-identical to TrainModel for every
+// cfg.Ensemble.Workers value.
+func TrainModelProgress(ctx context.Context, space *tuning.Space, samples []Sample, invalid []tuning.Config, cfg ModelConfig, progress func(done, total int)) (*Model, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: cannot train model without samples")
 	}
@@ -91,7 +103,7 @@ func TrainModel(space *tuning.Space, samples []Sample, invalid []tuning.Config, 
 	if err != nil {
 		return nil, err
 	}
-	ensemble, err := ann.TrainEnsemble(xs, scaler.ApplyAll(ys), cfg.Ensemble)
+	ensemble, err := ann.TrainEnsembleProgress(ctx, xs, scaler.ApplyAll(ys), cfg.Ensemble, progress)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,8 @@
 package core
 
 import (
+	"bytes"
+	"context"
 	"math"
 	"math/rand"
 	"runtime"
@@ -234,5 +236,43 @@ func TestSuggestMDeterministicWithBatching(t *testing.T) {
 	}
 	if m1 < 1 || int64(m1) > space.Size() {
 		t.Fatalf("SuggestM out of range: %d", m1)
+	}
+}
+
+// TestTrainModelWorkersByteIdenticalPersist is the acceptance property of
+// the parallel training pipeline: training with N workers must persist a
+// byte-identical model file to the sequential path, because per-member
+// seeds are pre-drawn before any worker starts. Byte identity of the
+// Save output is the strongest form — it covers weights, scaler and
+// header alike.
+func TestTrainModelWorkersByteIdenticalPersist(t *testing.T) {
+	space, meas := quadSpace()
+	rng := rand.New(rand.NewSource(23))
+	var samples []Sample
+	for _, cfg := range space.Sample(rng, 70) {
+		secs, _ := meas.Measure(context.Background(), cfg)
+		samples = append(samples, Sample{Config: cfg, Seconds: secs})
+	}
+	persisted := func(workers int) []byte {
+		t.Helper()
+		mc := fastModelConfig(23)
+		mc.Ensemble.Train.Epochs = 80
+		mc.Ensemble.Workers = workers
+		model, err := TrainModel(space, samples, nil, mc)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := model.Save(&buf); err != nil {
+			t.Fatal(err)
+		}
+		return buf.Bytes()
+	}
+	want := persisted(1)
+	for _, workers := range []int{2, 4, 8} {
+		if got := persisted(workers); !bytes.Equal(got, want) {
+			t.Errorf("model persisted with %d workers differs from sequential (%d vs %d bytes)",
+				workers, len(got), len(want))
+		}
 	}
 }

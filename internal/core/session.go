@@ -170,7 +170,7 @@ func NewSession(m Measurer, opts Options, sopts ...SessionOption) (*Session, err
 	if err := checkMeasurer(m); err != nil {
 		return nil, err
 	}
-	opts.Model = fillModelConfig(opts.Model, opts.Seed)
+	opts.Model = FillModelConfig(opts.Model, opts.Seed)
 	s := &Session{
 		m:       m,
 		opts:    opts,
@@ -402,15 +402,17 @@ func (s *Session) gather(ctx context.Context, stage string, idxs []int64, needVa
 	return out, nil, len(out), nil
 }
 
-// fillModelConfig replaces zero-valued fields of cfg with the paper's
+// FillModelConfig replaces zero-valued fields of cfg with the paper's
 // defaults, preserving everything the caller set. A wholly zero
 // ModelConfig means "use the defaults" and becomes
 // DefaultModelConfig(seed). LogTransform is on by default and cannot be
 // distinguished from "unset" when false, so it is only honoured as
 // "off" — the ablation mode — when the caller configured the ensemble
 // explicitly (as DefaultModelConfig does); a config that only sets e.g.
-// InvalidPenalty keeps the recommended log-time training.
-func fillModelConfig(cfg ModelConfig, seed int64) ModelConfig {
+// InvalidPenalty keeps the recommended log-time training. NewSession
+// applies it to Options.Model; mltuned's training endpoint applies it to
+// client-supplied configs.
+func FillModelConfig(cfg ModelConfig, seed int64) ModelConfig {
 	if cfg == (ModelConfig{}) {
 		return DefaultModelConfig(seed)
 	}

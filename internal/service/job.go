@@ -3,6 +3,7 @@ package service
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 	"time"
 
@@ -34,10 +35,32 @@ func (s JobState) Done() bool {
 	return s == JobSucceeded || s == JobFailed || s == JobCanceled
 }
 
-// JobSpec is the client-supplied description of one tuning run.
+// JobKind distinguishes the work a job performs.
+type JobKind string
+
+const (
+	// KindTune runs a full tuning session (measure, train, second
+	// stage) and persists the trained model.
+	KindTune JobKind = "tune"
+	// KindTrain trains a model from the sample store (or request-inline
+	// samples) without measuring anything, and atomically swaps it into
+	// the registry — the retrain path behind POST /v1/train.
+	KindTrain JobKind = "train"
+)
+
+// minTrainSamples is the default floor of valid samples a training job
+// requires; below it the ensemble's folds degenerate.
+const minTrainSamples = 10
+
+// JobSpec is the client-supplied description of one job.
 // Zero-valued fields take the documented defaults.
 type JobSpec struct {
-	// Benchmark and Device name the system under tuning (required).
+	// Kind selects the job type ("" = "tune").
+	Kind JobKind `json:"kind,omitempty"`
+	// Benchmark and Device name the model key (required). Tuning jobs
+	// validate Device against the simulated-device catalog; training
+	// jobs accept any non-empty device label, so external measurers can
+	// feed models for hardware the daemon cannot simulate.
 	Benchmark string `json:"benchmark"`
 	Device    string `json:"device"`
 	// Strategy is a registered strategy name (default "ml").
@@ -59,41 +82,85 @@ type JobSpec struct {
 	EnsembleK int `json:"ensemble_k,omitempty"`
 	Hidden    int `json:"hidden,omitempty"`
 	Epochs    int `json:"epochs,omitempty"`
-	// Workers bounds the session's gather parallelism (0 = GOMAXPROCS).
-	// Results never depend on it.
+	// Workers bounds the session's gather parallelism for tuning jobs,
+	// and the ensemble training pool for training jobs (0 = the
+	// server's budget). Results never depend on it.
 	Workers int `json:"workers,omitempty"`
 	// Reps is the measurement protocol's repetition count (0 = 3).
 	Reps int `json:"reps,omitempty"`
+
+	// Model configures a training job's model; zero-valued fields take
+	// the paper defaults (see ModelSpec). Ignored by tuning jobs, which
+	// use the EnsembleK/Hidden/Epochs shorthand above.
+	Model *ModelSpec `json:"model,omitempty"`
+	// Samples inlines a training job's data instead of reading the
+	// sample store. Records are canonical (dense index) form; the
+	// /v1/train endpoint also resolves config maps into it.
+	Samples []SampleRecord `json:"samples,omitempty"`
+	// MinSamples fails a training job that has fewer valid samples
+	// (0 = 10).
+	MinSamples int `json:"min_samples,omitempty"`
 }
 
 // normalize fills defaults and validates every name against its registry
 // so submission fails fast with a 400 instead of queueing a doomed job.
 func (sp *JobSpec) normalize() error {
-	if sp.Strategy == "" {
-		sp.Strategy = "ml"
-	}
-	if sp.TrainingSamples <= 0 {
-		sp.TrainingSamples = 2000
-	}
-	if sp.SecondStage <= 0 {
-		sp.SecondStage = 200
+	if sp.Kind == "" {
+		sp.Kind = KindTune
 	}
 	if sp.Seed == 0 {
 		sp.Seed = 1
 	}
-	if sp.Reps <= 0 {
-		sp.Reps = 3
+	switch sp.Kind {
+	case KindTune:
+		if sp.Strategy == "" {
+			sp.Strategy = "ml"
+		}
+		if sp.TrainingSamples <= 0 {
+			sp.TrainingSamples = 2000
+		}
+		if sp.SecondStage <= 0 {
+			sp.SecondStage = 200
+		}
+		if sp.Reps <= 0 {
+			sp.Reps = 3
+		}
+		if _, err := bench.Lookup(sp.Benchmark); err != nil {
+			return err
+		}
+		if _, err := devsim.Lookup(sp.Device); err != nil {
+			return err
+		}
+		if _, err := core.LookupStrategy(sp.Strategy); err != nil {
+			return err
+		}
+		return nil
+	case KindTrain:
+		if sp.MinSamples <= 0 {
+			sp.MinSamples = minTrainSamples
+		}
+		b, err := bench.Lookup(sp.Benchmark)
+		if err != nil {
+			return err
+		}
+		if sp.Device == "" {
+			return fmt.Errorf("service: training job needs a device label")
+		}
+		if len(sp.Samples) > maxIngestBatch {
+			return fmt.Errorf("service: inline batch of %d exceeds the limit of %d", len(sp.Samples), maxIngestBatch)
+		}
+		size := b.Space().Size()
+		for i, rec := range sp.Samples {
+			if rec.Index < 0 || rec.Index >= size {
+				return fmt.Errorf("service: sample %d: index %d out of range [0, %d)", i, rec.Index, size)
+			}
+			if !rec.Invalid && rec.Seconds <= 0 {
+				return fmt.Errorf("service: sample %d: non-positive time %g", i, rec.Seconds)
+			}
+		}
+		return nil
 	}
-	if _, err := bench.Lookup(sp.Benchmark); err != nil {
-		return err
-	}
-	if _, err := devsim.Lookup(sp.Device); err != nil {
-		return err
-	}
-	if _, err := core.LookupStrategy(sp.Strategy); err != nil {
-		return err
-	}
-	return nil
+	return fmt.Errorf("service: unknown job kind %q", sp.Kind)
 }
 
 // options translates the spec to core tuning options.
@@ -136,6 +203,11 @@ type EventRecord struct {
 	Seconds float64 `json:"seconds,omitempty"`
 	Error   string  `json:"error,omitempty"`
 	Cached  bool    `json:"cached,omitempty"`
+	// Done/Total report incremental completion for "train-progress"
+	// (ensemble members trained) and "samples-stored" (records appended
+	// to the sample store) records.
+	Done  int `json:"done,omitempty"`
+	Total int `json:"total,omitempty"`
 }
 
 // maxJobEvents bounds the per-job event buffer. A paper-default job
@@ -200,6 +272,13 @@ func (j *Job) observe(ev core.Event) {
 			rec.Seconds = 0
 		}
 	}
+	j.observeRecord(rec)
+}
+
+// observeRecord appends a pre-built record to the job's event stream
+// (the training path's progress records and the sample-ingestion note go
+// through it directly; session events go through observe).
+func (j *Job) observeRecord(rec EventRecord) {
 	j.mu.Lock()
 	rec.Seq = j.baseSeq + len(j.events)
 	j.events = append(j.events, rec)

@@ -47,9 +47,16 @@ func (k ModelKey) fileName() string {
 
 // keyFromFileName inverts fileName.
 func keyFromFileName(name string) (ModelKey, error) {
-	base := strings.TrimSuffix(name, modelExt)
+	return keyFromEscaped(name, modelExt)
+}
+
+// keyFromEscaped parses an <escape(benchmark)>@<escape(device)><ext>
+// file name back into its key; the registry and the sample store share
+// the naming scheme (with different extensions).
+func keyFromEscaped(name, ext string) (ModelKey, error) {
+	base := strings.TrimSuffix(name, ext)
 	if base == name {
-		return ModelKey{}, fmt.Errorf("service: %q is not a %s file", name, modelExt)
+		return ModelKey{}, fmt.Errorf("service: %q is not a %s file", name, ext)
 	}
 	b, d, ok := strings.Cut(base, "@")
 	if !ok {
@@ -177,8 +184,10 @@ func (r *Registry) Get(key ModelKey) (*core.Model, error) {
 	return m, nil
 }
 
-// Put persists model under key (atomically: temp file + rename, so a
-// crash mid-write never corrupts a served model) and caches it in memory.
+// Put persists model under key (atomically: temp file + fsync + rename +
+// directory fsync, so neither a crash mid-write nor a power loss right
+// after the swap can corrupt or lose a served model) and caches it in
+// memory.
 func (r *Registry) Put(key ModelKey, model *core.Model) error {
 	r.fsMu.Lock()
 	defer r.fsMu.Unlock()
@@ -192,6 +201,14 @@ func (r *Registry) Put(key ModelKey, model *core.Model) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: saving model %s: %w", key, err)
 	}
+	// fsync before the rename: the rename must never become visible
+	// while the file's bytes are still only in the page cache, or a
+	// power loss would leave a truncated model under the final name.
+	if err := tmp.Sync(); err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: saving model %s: %w", key, err)
+	}
 	if err := tmp.Close(); err != nil {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: saving model %s: %w", key, err)
@@ -200,12 +217,37 @@ func (r *Registry) Put(key ModelKey, model *core.Model) error {
 		os.Remove(tmp.Name())
 		return fmt.Errorf("service: saving model %s: %w", key, err)
 	}
+	// The rename succeeded, so the new model IS the on-disk state:
+	// install it in memory unconditionally, or disk and memory would
+	// disagree until a reload. Only then report a directory-fsync
+	// failure (the swap is visible but its durability across power loss
+	// is not guaranteed).
 	e := &regEntry{path: final}
 	e.model.Store(model)
 	r.mu.Lock()
 	r.entries[key] = e
 	r.mu.Unlock()
+	// fsync the directory so the rename itself (the new directory entry)
+	// is durable, not just the file contents.
+	if err := syncDir(r.dir); err != nil {
+		return fmt.Errorf("service: saving model %s: %w", key, err)
+	}
 	return nil
+}
+
+// syncDir fsyncs a directory, making renames inside it durable across
+// power loss. Callers that just atomically swapped a file in dir must
+// call it before reporting success.
+func syncDir(dir string) error {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	err = d.Sync()
+	if cerr := d.Close(); err == nil {
+		err = cerr
+	}
+	return err
 }
 
 // ModelInfo describes one registry slot for the listing endpoint.

@@ -1,0 +1,332 @@
+package service
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"net/url"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// sampleExt is the sample-store file suffix: one JSONL file of
+// SampleRecord lines per benchmark×device key.
+const sampleExt = ".samples.jsonl"
+
+// defaultSampleCap bounds the number of records retained per key. An
+// append that pushes a key past the cap triggers an atomic rotation
+// keeping the newest records, so a long-lived daemon ingesting samples
+// forever holds bounded state per model.
+const defaultSampleCap = 100000
+
+// SampleRecord is one stored measurement: the JSONL line format of the
+// sample store, the element type of POST /v1/samples, and the line
+// format cmd/mltune -dump-samples writes.
+type SampleRecord struct {
+	// Index is the configuration's dense index in the benchmark's
+	// tuning space (the canonical identity; config maps are resolved to
+	// it at ingestion time).
+	Index int64 `json:"index"`
+	// Seconds is the measured execution time. Required positive for
+	// valid samples; ignored for invalid ones.
+	Seconds float64 `json:"seconds,omitempty"`
+	// Invalid marks a configuration that failed to run on the device.
+	// Invalid records train the model's invalid-penalty extension.
+	Invalid bool `json:"invalid,omitempty"`
+	// Source labels where the measurement came from (a job ID, an
+	// external measurer's name, ...). Informational only.
+	Source string `json:"source,omitempty"`
+}
+
+// sampleFileName is the on-disk name of a key's sample set, using the
+// registry's escaping scheme with the sample extension.
+func (k ModelKey) sampleFileName() string {
+	return url.QueryEscape(k.Benchmark) + "@" + url.QueryEscape(k.Device) + sampleExt
+}
+
+// sampleEntry is one store slot. Records load lazily: startup scans file
+// names only, and the first Append/Load for a key pays the file read.
+type sampleEntry struct {
+	path string
+
+	mu     sync.Mutex
+	loaded bool
+	recs   []SampleRecord
+}
+
+// SampleStore persists training samples keyed by benchmark×device,
+// backed by a directory of append-only JSONL files. Appends are durable
+// (fsync before returning) and rotation — trimming a key past its record
+// cap — is atomic (temp file + fsync + rename + directory fsync), so a
+// crash at any point leaves either the old or the new file, never a
+// corrupt one. It is safe for concurrent use.
+type SampleStore struct {
+	dir string
+	cap int
+
+	mu      sync.Mutex
+	entries map[ModelKey]*sampleEntry
+}
+
+// OpenSampleStore opens (creating if needed) the sample directory and
+// indexes the sample files present, sweeping temp files orphaned by a
+// crash mid-rotation. Records load lazily on first use per key.
+func OpenSampleStore(dir string) (*SampleStore, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("service: creating sample directory: %w", err)
+	}
+	st := &SampleStore{dir: dir, cap: defaultSampleCap, entries: make(map[ModelKey]*sampleEntry)}
+	names, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: scanning sample directory: %w", err)
+	}
+	for _, de := range names {
+		if de.IsDir() || !strings.HasSuffix(de.Name(), sampleExt) {
+			continue
+		}
+		if strings.HasPrefix(de.Name(), ".tmp-") {
+			// A rotation temp file orphaned by a crash; the data it was
+			// trimming is still in the original file.
+			os.Remove(filepath.Join(dir, de.Name()))
+			continue
+		}
+		key, err := keyFromEscaped(de.Name(), sampleExt)
+		if err != nil {
+			continue // stray file, not fatal
+		}
+		st.entries[key] = &sampleEntry{path: filepath.Join(dir, de.Name())}
+	}
+	return st, nil
+}
+
+// Dir returns the sample directory.
+func (st *SampleStore) Dir() string { return st.dir }
+
+// entry returns (creating if needed) the slot for key.
+func (st *SampleStore) entry(key ModelKey) *sampleEntry {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	e, ok := st.entries[key]
+	if !ok {
+		e = &sampleEntry{path: filepath.Join(st.dir, key.sampleFileName())}
+		st.entries[key] = e
+	}
+	return e
+}
+
+// load reads the entry's file into memory once; callers hold e.mu.
+// Malformed lines — for example a line truncated by a crash between an
+// append's write and its fsync — are skipped, not fatal: the store
+// serves every record that survived.
+func (e *sampleEntry) load() error {
+	if e.loaded {
+		return nil
+	}
+	f, err := os.Open(e.path)
+	if os.IsNotExist(err) {
+		e.loaded = true
+		return nil
+	}
+	if err != nil {
+		return fmt.Errorf("service: opening sample set: %w", err)
+	}
+	defer f.Close()
+	sc := bufio.NewScanner(f)
+	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		var rec SampleRecord
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			continue
+		}
+		if rec.Index < 0 || (!rec.Invalid && rec.Seconds <= 0) {
+			continue
+		}
+		e.recs = append(e.recs, rec)
+	}
+	if err := sc.Err(); err != nil {
+		return fmt.Errorf("service: reading sample set: %w", err)
+	}
+	e.loaded = true
+	return nil
+}
+
+// Append durably adds records to key's sample set and returns the total
+// record count afterwards. When the set exceeds the store's cap, the
+// oldest records are rotated out atomically.
+func (st *SampleStore) Append(key ModelKey, recs []SampleRecord) (total int, err error) {
+	if len(recs) == 0 {
+		return st.Count(key)
+	}
+	e := st.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.load(); err != nil {
+		return 0, err
+	}
+	f, err := os.OpenFile(e.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	if err != nil {
+		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
+	}
+	w := bufio.NewWriter(f)
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			f.Close()
+			return 0, fmt.Errorf("service: encoding sample for %s: %w", key, err)
+		}
+		w.Write(line)
+		w.WriteByte('\n')
+	}
+	if err := w.Flush(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
+	}
+	if err := f.Close(); err != nil {
+		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
+	}
+	e.recs = append(e.recs, recs...)
+	if len(e.recs) > st.cap {
+		// A failed rotation must not fail the append: the records are
+		// already durable, and surfacing an error here would make the
+		// client retry and duplicate them. The set stays over cap and
+		// the next append retries the rotation.
+		e.rotate(st.dir, st.cap)
+	}
+	return len(e.recs), nil
+}
+
+// rotate rewrites the entry's file with only the newest cap records:
+// write a temp file, fsync it, rename it over the original, fsync the
+// directory. Callers hold e.mu.
+func (e *sampleEntry) rotate(dir string, cap int) error {
+	keep := e.recs[len(e.recs)-cap:]
+	tmp, err := os.CreateTemp(dir, ".tmp-*"+sampleExt)
+	if err != nil {
+		return fmt.Errorf("service: rotating sample set: %w", err)
+	}
+	w := bufio.NewWriter(tmp)
+	for _, rec := range keep {
+		line, err := json.Marshal(rec)
+		if err == nil {
+			w.Write(line)
+			w.WriteByte('\n')
+		}
+	}
+	if err := w.Flush(); err == nil {
+		err = tmp.Sync()
+	}
+	if err != nil {
+		tmp.Close()
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: rotating sample set: %w", err)
+	}
+	if err := tmp.Close(); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: rotating sample set: %w", err)
+	}
+	if err := os.Rename(tmp.Name(), e.path); err != nil {
+		os.Remove(tmp.Name())
+		return fmt.Errorf("service: rotating sample set: %w", err)
+	}
+	if err := syncDir(dir); err != nil {
+		return fmt.Errorf("service: rotating sample set: %w", err)
+	}
+	e.recs = append(e.recs[:0], keep...)
+	return nil
+}
+
+// Load returns a copy of key's records (empty, not an error, for a key
+// that has never been fed).
+func (st *SampleStore) Load(key ModelKey) ([]SampleRecord, error) {
+	e := st.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.load(); err != nil {
+		return nil, err
+	}
+	return append([]SampleRecord(nil), e.recs...), nil
+}
+
+// Count returns the number of records stored for key.
+func (st *SampleStore) Count(key ModelKey) (int, error) {
+	e := st.entry(key)
+	e.mu.Lock()
+	defer e.mu.Unlock()
+	if err := e.load(); err != nil {
+		return 0, err
+	}
+	return len(e.recs), nil
+}
+
+// Len returns the number of sample sets the store tracks, without
+// touching the filesystem (the liveness-probe counter).
+func (st *SampleStore) Len() int {
+	st.mu.Lock()
+	defer st.mu.Unlock()
+	return len(st.entries)
+}
+
+// SampleSetInfo describes one stored sample set for the listing
+// endpoint.
+type SampleSetInfo struct {
+	Benchmark string    `json:"benchmark"`
+	Device    string    `json:"device"`
+	File      string    `json:"file"`
+	Bytes     int64     `json:"bytes"`
+	Modified  time.Time `json:"modified"`
+	// Loaded reports whether the set is resident in memory; Records is
+	// the exact count for loaded sets (0 otherwise: counting would
+	// defeat lazy loading, query the set explicitly for an exact count).
+	Loaded  bool `json:"loaded"`
+	Records int  `json:"records,omitempty"`
+}
+
+// List describes every sample set, sorted by key.
+func (st *SampleStore) List() []SampleSetInfo {
+	st.mu.Lock()
+	keys := make([]ModelKey, 0, len(st.entries))
+	for k := range st.entries {
+		keys = append(keys, k)
+	}
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	entries := make([]*sampleEntry, len(keys))
+	for i, k := range keys {
+		entries[i] = st.entries[k]
+	}
+	st.mu.Unlock()
+
+	out := make([]SampleSetInfo, 0, len(keys))
+	for i, k := range keys {
+		e := entries[i]
+		info := SampleSetInfo{Benchmark: k.Benchmark, Device: k.Device, File: filepath.Base(e.path)}
+		stat, statErr := os.Stat(e.path)
+		if statErr == nil {
+			info.Bytes = stat.Size()
+			info.Modified = stat.ModTime().UTC()
+		}
+		e.mu.Lock()
+		if e.loaded {
+			info.Loaded = true
+			info.Records = len(e.recs)
+		}
+		recs := len(e.recs)
+		e.mu.Unlock()
+		if statErr != nil && recs == 0 {
+			continue // a key that was only queried, never fed
+		}
+		out = append(out, info)
+	}
+	return out
+}

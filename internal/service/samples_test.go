@@ -1,0 +1,167 @@
+package service
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"sync"
+	"testing"
+
+	"repro/internal/devsim"
+)
+
+func TestSampleStoreAppendLoadRestart(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSampleStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	if n, err := st.Count(key); err != nil || n != 0 {
+		t.Fatalf("fresh store count %d, %v", n, err)
+	}
+	recs := []SampleRecord{
+		{Index: 7, Seconds: 0.004, Source: "test"},
+		{Index: 11, Seconds: 0.002},
+		{Index: 13, Invalid: true},
+	}
+	total, err := st.Append(key, recs)
+	if err != nil || total != 3 {
+		t.Fatalf("append: total %d, %v", total, err)
+	}
+	total, err = st.Append(key, []SampleRecord{{Index: 42, Seconds: 0.001}})
+	if err != nil || total != 4 {
+		t.Fatalf("second append: total %d, %v", total, err)
+	}
+
+	// A second store over the same directory — the restart case — must
+	// lazily serve the same records.
+	st2, err := OpenSampleStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	list := st2.List()
+	if len(list) != 1 || list[0].Loaded || list[0].Benchmark != "convolution" {
+		t.Fatalf("restart listing %+v", list)
+	}
+	got, err := st2.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 4 || got[0] != recs[0] || got[2] != recs[2] || got[3].Index != 42 {
+		t.Fatalf("reloaded records %+v", got)
+	}
+	list = st2.List()
+	if len(list) != 1 || !list[0].Loaded || list[0].Records != 4 {
+		t.Fatalf("post-load listing %+v", list)
+	}
+}
+
+// TestSampleStoreSkipsCorruptLines covers the crash-mid-append case: a
+// truncated or garbage tail line must not poison the records before it.
+func TestSampleStoreSkipsCorruptLines(t *testing.T) {
+	dir := t.TempDir()
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	content := `{"index":1,"seconds":0.5}
+not json at all
+{"index":-4,"seconds":0.5}
+{"index":9,"seconds":0}
+{"index":2,"seconds":0.25}
+{"index":3,"secon`
+	if err := os.WriteFile(filepath.Join(dir, key.sampleFileName()), []byte(content), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	st, err := OpenSampleStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := st.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 2 || got[0].Index != 1 || got[1].Index != 2 {
+		t.Fatalf("loaded %+v, want indices 1 and 2", got)
+	}
+}
+
+// TestSampleStoreRotation checks the cap: appends past it atomically trim
+// to the newest records, and the rotated file round-trips on restart.
+func TestSampleStoreRotation(t *testing.T) {
+	dir := t.TempDir()
+	st, err := OpenSampleStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st.cap = 10
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	for i := 0; i < 25; i++ {
+		if _, err := st.Append(key, []SampleRecord{{Index: int64(i), Seconds: 0.001}}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := st.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 {
+		t.Fatalf("after rotation: %d records, cap 10", len(got))
+	}
+	if got[0].Index != 15 || got[9].Index != 24 {
+		t.Fatalf("rotation kept %d..%d, want newest 15..24", got[0].Index, got[9].Index)
+	}
+	// Restart: the rotated file is what is on disk.
+	st2, err := OpenSampleStore(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got2, err := st2.Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(got2) != 10 || got2[0].Index != 15 {
+		t.Fatalf("restart after rotation: %+v", got2)
+	}
+
+	// An orphaned rotation temp file is swept on open.
+	orphan := filepath.Join(dir, ".tmp-999"+sampleExt)
+	if err := os.WriteFile(orphan, []byte("half"), 0o600); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSampleStore(dir); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := os.Stat(orphan); !os.IsNotExist(err) {
+		t.Errorf("orphaned rotation temp file not swept: %v", err)
+	}
+}
+
+// TestSampleStoreConcurrentAppend hammers one key from many goroutines;
+// run under -race this is the store's locking regression test.
+func TestSampleStoreConcurrentAppend(t *testing.T) {
+	st, err := OpenSampleStore(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	var wg sync.WaitGroup
+	const writers, per = 8, 20
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, err := st.Append(key, []SampleRecord{
+					{Index: int64(w*per + i), Seconds: 0.001, Source: fmt.Sprintf("w%d", w)},
+				}); err != nil {
+					t.Error(err)
+					return
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	n, err := st.Count(key)
+	if err != nil || n != writers*per {
+		t.Fatalf("count %d, want %d (%v)", n, writers*per, err)
+	}
+}

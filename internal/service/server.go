@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -18,15 +19,19 @@ import (
 )
 
 // Server is the mltuned HTTP API: job submission and status over the
-// async queue, plus model-serving endpoints (predict, top-M, listing)
-// answered straight from the registry without re-tuning.
+// async queue, model-serving endpoints (predict, top-M, listing)
+// answered straight from the registry without re-tuning, and the
+// server-side training pipeline (sample ingestion + async retrains).
 //
 // Endpoints:
 //
-//	POST   /v1/jobs       submit a tuning run            → 202 JobStatus
+//	POST   /v1/jobs       submit a tuning/training job   → 202 JobStatus
 //	GET    /v1/jobs       list jobs                      → []JobStatus
 //	GET    /v1/jobs/{id}  status + observer events (?after=seq)
 //	DELETE /v1/jobs/{id}  cancel a queued/running job
+//	POST   /v1/samples    ingest training samples        → counts
+//	GET    /v1/samples    sample-store listing (?benchmark=&device= for one set's exact count)
+//	POST   /v1/train      submit an async retrain job    → 202 JobStatus
 //	GET    /v1/models     registry listing               → []ModelInfo
 //	POST   /v1/reload     rescan the registry directory
 //	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &p.<param>=v)
@@ -37,31 +42,75 @@ import (
 // The read path (predict/top-M) runs on the batched prediction engine:
 // per-model scratch pools keep steady-state predictions allocation-free,
 // and top-M sweeps are cached per (model, M) until the model is replaced
-// by a tuning job or a registry reload.
+// by a tuning or training job or a registry reload. The write path is
+// the training pipeline: completed tuning jobs and external measurers
+// feed the persistent sample store, and training jobs turn stored
+// samples into registry models without a restart.
 type Server struct {
-	reg     *Registry
-	queue   *Queue
-	cache   *serveCache
-	mux     *http.ServeMux
-	started time.Time
+	reg          *Registry
+	samples      *SampleStore
+	queue        *Queue
+	cache        *serveCache
+	mux          *http.ServeMux
+	trainWorkers int
+	started      time.Time
+}
+
+// Option customises a Server at construction time.
+type Option func(*Server)
+
+// WithSampleStore uses an explicitly opened sample store instead of the
+// default directory under the registry.
+func WithSampleStore(st *SampleStore) Option {
+	return func(s *Server) { s.samples = st }
+}
+
+// WithTrainWorkers bounds the per-job ensemble-training parallelism (the
+// daemon's -train-workers budget; 0 = GOMAXPROCS). Training results
+// never depend on it.
+func WithTrainWorkers(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.trainWorkers = n
+		}
+	}
 }
 
 // New builds a server over the registry with a worker pool of the given
-// size (0 = GOMAXPROCS) and job backlog (0 = 64).
-func New(reg *Registry, workers, backlog int) *Server {
+// size (0 = GOMAXPROCS) and job backlog (0 = 64). Unless WithSampleStore
+// is given, the sample store opens under <registry dir>/samples.
+func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
 	if backlog <= 0 {
 		backlog = 64
 	}
-	s := &Server{reg: reg, cache: newServeCache(), started: time.Now().UTC()}
+	s := &Server{
+		reg:          reg,
+		cache:        newServeCache(),
+		trainWorkers: runtime.GOMAXPROCS(0),
+		started:      time.Now().UTC(),
+	}
+	for _, opt := range opts {
+		opt(s)
+	}
+	if s.samples == nil {
+		st, err := OpenSampleStore(filepath.Join(reg.Dir(), "samples"))
+		if err != nil {
+			return nil, err
+		}
+		s.samples = st
+	}
 	s.queue = NewQueue(workers, backlog, s.runJob)
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
 	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
 	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
 	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
+	mux.HandleFunc("POST /v1/samples", s.handleSamplesIngest)
+	mux.HandleFunc("GET /v1/samples", s.handleSamplesList)
+	mux.HandleFunc("POST /v1/train", s.handleTrain)
 	mux.HandleFunc("GET /v1/models", s.handleModels)
 	mux.HandleFunc("POST /v1/reload", s.handleReload)
 	mux.HandleFunc("GET /v1/predict", s.handlePredict)
@@ -69,8 +118,11 @@ func New(reg *Registry, workers, backlog int) *Server {
 	mux.HandleFunc("GET /v1/topm", s.handleTopM)
 	mux.HandleFunc("GET /healthz", s.handleHealthz)
 	s.mux = mux
-	return s
+	return s, nil
 }
+
+// Samples exposes the sample store (for tests and the daemon).
+func (s *Server) Samples() *SampleStore { return s.samples }
 
 // ServeHTTP implements http.Handler.
 func (s *Server) ServeHTTP(w http.ResponseWriter, r *http.Request) {
@@ -83,10 +135,14 @@ func (s *Server) Queue() *Queue { return s.queue }
 // Drain gracefully shuts the job queue down; see Queue.Drain.
 func (s *Server) Drain(ctx context.Context) error { return s.queue.Drain(ctx) }
 
-// runJob executes one tuning job end to end: build the measurer, run the
-// session with the job as observer, and persist a trained model to the
-// registry. It is the queue's worker body.
+// runJob executes one job end to end, dispatching on its kind. It is
+// the queue's worker body.
 func (s *Server) runJob(ctx context.Context, j *Job) {
+	if j.Spec.Kind == KindTrain {
+		res, saved, err := s.train(ctx, j)
+		j.finish(res, saved, err)
+		return
+	}
 	res, saved, err := s.tune(ctx, j)
 	j.finish(res, saved, err)
 }
@@ -125,6 +181,10 @@ func (s *Server) tune(ctx context.Context, j *Job) (*core.Result, bool, error) {
 		s.cache.invalidate(spec.Key())
 		saved = true
 	}
+	// Every completed tuning run contributes its measurements to the
+	// sample store, closing the loop: future POST /v1/train jobs retrain
+	// from data the daemon already paid for.
+	s.feedStore(j, res)
 	return res, saved, nil
 }
 
@@ -159,6 +219,21 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	if err := spec.normalize(); err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
+	}
+	// Training jobs get the same fail-fast as POST /v1/train: the two
+	// entry points must enforce identical limits.
+	if spec.Kind == KindTrain {
+		n, err := s.validTrainSamples(spec)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		if n < spec.MinSamples {
+			writeErr(w, http.StatusBadRequest,
+				"%d valid samples for %s, need at least %d (ingest via POST /v1/samples or inline samples)",
+				n, spec.Key(), spec.MinSamples)
+			return
+		}
 	}
 	j, err := s.queue.Submit(spec)
 	switch {
@@ -427,6 +502,7 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		OK            bool             `json:"ok"`
 		UptimeSeconds float64          `json:"uptime_seconds"`
 		Models        int              `json:"models"`
+		SampleSets    int              `json:"sample_sets"`
 		Jobs          map[JobState]int `json:"jobs"`
-	}{true, time.Since(s.started).Seconds(), s.reg.Len(), s.queue.Counts()})
+	}{true, time.Since(s.started).Seconds(), s.reg.Len(), s.samples.Len(), s.queue.Counts()})
 }

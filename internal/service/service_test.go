@@ -149,6 +149,17 @@ func TestRegistryPutGetListReload(t *testing.T) {
 	}
 }
 
+// newTestServer builds a Server over the registry, failing the test on
+// construction errors.
+func newTestServer(t *testing.T, reg *Registry, workers, backlog int, opts ...Option) *Server {
+	t.Helper()
+	srv, err := New(reg, workers, backlog, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return srv
+}
+
 // jget GETs path and decodes the JSON body into out, asserting the
 // status code.
 func jget(t *testing.T, client *http.Client, base, path string, wantCode int, out any) {
@@ -212,7 +223,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv := New(reg, 2, 8)
+	srv := newTestServer(t, reg, 2, 8)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := ts.Client()
@@ -328,7 +339,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv2 := New(reg2, 1, 2)
+	srv2 := newTestServer(t, reg2, 1, 2)
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 
@@ -366,7 +377,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	srv3 := New(reg3, 1, 2)
+	srv3 := newTestServer(t, reg3, 1, 2)
 	ts3 := httptest.NewServer(srv3)
 	defer ts3.Close()
 	jget(t, ts3.Client(), ts3.URL, "/v1/predict?benchmark=convolution&device="+devQ+"&index=7",
@@ -657,7 +668,7 @@ func TestPredictBatchEndpoint(t *testing.T) {
 	if err := reg.Put(key, trainTinyModel(t, 21)); err != nil {
 		t.Fatal(err)
 	}
-	srv := New(reg, 1, 2)
+	srv := newTestServer(t, reg, 1, 2)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := ts.Client()
@@ -759,7 +770,7 @@ func TestTopMLimitAndCache(t *testing.T) {
 	if err := reg.Put(key, trainTinyModel(t, 31)); err != nil {
 		t.Fatal(err)
 	}
-	srv := New(reg, 1, 2)
+	srv := newTestServer(t, reg, 1, 2)
 	ts := httptest.NewServer(srv)
 	defer ts.Close()
 	client := ts.Client()

@@ -1,0 +1,415 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"repro/internal/ann"
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/tuning"
+)
+
+// ModelSpec is the JSON model configuration of training jobs. It
+// mirrors core.ModelConfig with one difference: LogTransform is
+// tri-state — an omitted field means the paper default (on), so an API
+// client that only tunes ensemble knobs cannot silently fall into the
+// ablation mode core.FillModelConfig reserves for explicitly configured
+// ensembles. Pass "log_transform": false to request the ablation.
+type ModelSpec struct {
+	Ensemble       ann.EnsembleConfig `json:"ensemble,omitempty"`
+	LogTransform   *bool              `json:"log_transform,omitempty"`
+	InvalidPenalty float64            `json:"invalid_penalty,omitempty"`
+}
+
+// config resolves the spec (nil = all defaults) to a filled
+// core.ModelConfig.
+func (ms *ModelSpec) config(seed int64) core.ModelConfig {
+	cfg := core.ModelConfig{}
+	if ms != nil {
+		cfg.Ensemble = ms.Ensemble
+		cfg.InvalidPenalty = ms.InvalidPenalty
+	}
+	cfg = core.FillModelConfig(cfg, seed)
+	cfg.LogTransform = ms == nil || ms.LogTransform == nil || *ms.LogTransform
+	return cfg
+}
+
+// train executes one training job: load the samples (inline or from the
+// store), fit the paper's model on the bounded worker pool, and
+// atomically swap it into the registry. It is the queue's worker body
+// for KindTrain jobs. Progress surfaces on the job's seq-numbered event
+// stream as "train-progress" records, one per trained ensemble member.
+func (s *Server) train(ctx context.Context, j *Job) (*core.Result, bool, error) {
+	spec := j.Spec
+	b, err := bench.Lookup(spec.Benchmark)
+	if err != nil {
+		return nil, false, err
+	}
+	space := b.Space()
+
+	recs := spec.Samples
+	if len(recs) == 0 {
+		recs, err = s.samples.Load(spec.Key())
+		if err != nil {
+			return nil, false, err
+		}
+	}
+	samples, invalid := splitRecords(space, recs)
+	if len(samples) < spec.MinSamples {
+		return nil, false, fmt.Errorf("service: %d valid samples for %s, need at least %d (ingest more via POST /v1/samples)",
+			len(samples), spec.Key(), spec.MinSamples)
+	}
+
+	cfg := spec.Model.config(spec.Seed)
+	cfg.Ensemble.Workers = s.trainBudget(spec.Workers)
+
+	j.observe(core.Event{Kind: core.EventStageStarted, Stage: "train"})
+	t0 := time.Now()
+	model, err := core.TrainModelProgress(ctx, space, samples, invalid, cfg, func(done, total int) {
+		j.observeRecord(EventRecord{Kind: "train-progress", Stage: "train", Done: done, Total: total})
+	})
+	if err != nil {
+		return nil, false, err
+	}
+	j.observe(core.Event{Kind: core.EventStageFinished, Stage: "train"})
+	// A cancellation that raced the last member must not swap the model:
+	// the client asked for the job to stop, not for a surprise deploy.
+	if err := ctx.Err(); err != nil {
+		return nil, false, err
+	}
+
+	res := &core.Result{Strategy: "train", Model: model, Measured: len(samples), Invalid: len(invalid)}
+	res.Cost.TrainSeconds = time.Since(t0).Seconds()
+	if err := s.reg.Put(spec.Key(), model); err != nil {
+		return res, false, err
+	}
+	s.cache.invalidate(spec.Key())
+	return res, true, nil
+}
+
+// trainBudget clamps a job's requested training parallelism to the
+// server's worker budget (<=0 requests the full budget).
+func (s *Server) trainBudget(requested int) int {
+	if requested <= 0 || requested > s.trainWorkers {
+		return s.trainWorkers
+	}
+	return requested
+}
+
+// countValid returns how many records are trainable measurements (not
+// invalid-config markers).
+func countValid(recs []SampleRecord) int {
+	n := 0
+	for _, rec := range recs {
+		if !rec.Invalid && rec.Seconds > 0 {
+			n++
+		}
+	}
+	return n
+}
+
+// validTrainSamples counts the valid samples a training job would see —
+// its inline batch, or the stored set. The error is a store read
+// failure, not a shortage; callers compare the count to MinSamples.
+func (s *Server) validTrainSamples(spec JobSpec) (int, error) {
+	recs := spec.Samples
+	if len(recs) == 0 {
+		var err error
+		recs, err = s.samples.Load(spec.Key())
+		if err != nil {
+			return 0, err
+		}
+	}
+	return countValid(recs), nil
+}
+
+// splitRecords resolves stored records against the space: valid records
+// become training samples, invalid ones the penalty list. Records whose
+// index fell outside the space (a stale file from a changed benchmark)
+// are dropped.
+func splitRecords(space *tuning.Space, recs []SampleRecord) (samples []core.Sample, invalid []tuning.Config) {
+	for _, rec := range recs {
+		if rec.Index < 0 || rec.Index >= space.Size() {
+			continue
+		}
+		cfg := space.At(rec.Index)
+		if rec.Invalid {
+			invalid = append(invalid, cfg)
+			continue
+		}
+		if rec.Seconds <= 0 {
+			continue
+		}
+		samples = append(samples, core.Sample{Config: cfg, Seconds: rec.Seconds})
+	}
+	return samples, invalid
+}
+
+// feedStore appends a finished tuning job's fresh measurements to the
+// sample store, so every tuning run grows the training set future
+// retrains draw from. Store failures must not fail a tuning job that
+// already succeeded; they surface as an event record instead.
+func (s *Server) feedStore(j *Job, res *core.Result) {
+	recs := recordsFromResult(res, "job:"+j.ID)
+	if len(recs) == 0 {
+		return
+	}
+	total, err := s.samples.Append(j.Spec.Key(), recs)
+	rec := EventRecord{Kind: "samples-stored", Stage: "ingest", Done: len(recs), Total: total}
+	if err != nil {
+		rec.Error = err.Error()
+	}
+	j.observeRecord(rec)
+}
+
+// recordsFromResult flattens a tuning result's stage-1 and stage-2
+// measurements into store records, deduplicating by index (stage-2
+// candidates often overlap stage-1 samples).
+func recordsFromResult(res *core.Result, source string) []SampleRecord {
+	if res == nil {
+		return nil
+	}
+	seen := make(map[int64]bool, len(res.Samples)+len(res.SecondStage))
+	recs := make([]SampleRecord, 0, len(res.Samples)+len(res.SecondStage))
+	add := func(samples []core.Sample) {
+		for _, sm := range samples {
+			idx := sm.Config.Index()
+			if seen[idx] {
+				continue
+			}
+			seen[idx] = true
+			recs = append(recs, SampleRecord{Index: idx, Seconds: sm.Seconds, Source: source})
+		}
+	}
+	add(res.Samples)
+	add(res.SecondStage)
+	return recs
+}
+
+// --- HTTP handlers ----------------------------------------------------
+
+// maxIngestBatch bounds one POST /v1/samples request; clients stream
+// larger sets in batches.
+const maxIngestBatch = 10000
+
+// maxIngestBytes bounds the POST /v1/samples and POST /v1/train bodies.
+const maxIngestBytes = 4 << 20
+
+// sampleInput is one ingested sample: exactly one of Index (dense space
+// index) or Config (parameter map, every parameter present) identifies
+// the configuration. Source, when set, overrides the request-level
+// source label, so a replayed sample file keeps its provenance.
+type sampleInput struct {
+	Index   *int64         `json:"index,omitempty"`
+	Config  map[string]int `json:"config,omitempty"`
+	Seconds float64        `json:"seconds,omitempty"`
+	Invalid bool           `json:"invalid,omitempty"`
+	Source  string         `json:"source,omitempty"`
+}
+
+// sampleIngestRequest is the POST /v1/samples body.
+type sampleIngestRequest struct {
+	Benchmark string        `json:"benchmark"`
+	Device    string        `json:"device"`
+	Source    string        `json:"source,omitempty"`
+	Samples   []sampleInput `json:"samples"`
+}
+
+// resolve validates one input against the space and returns the
+// canonical record.
+func (in sampleInput) resolve(space *tuning.Space, source string, i int) (SampleRecord, error) {
+	if (in.Index == nil) == (len(in.Config) == 0) {
+		return SampleRecord{}, fmt.Errorf("sample %d: pass exactly one of index or config", i)
+	}
+	var idx int64
+	if in.Index != nil {
+		idx = *in.Index
+		if idx < 0 || idx >= space.Size() {
+			return SampleRecord{}, fmt.Errorf("sample %d: index %d out of range [0, %d)", i, idx, space.Size())
+		}
+	} else {
+		cfg, err := space.FromMap(in.Config)
+		if err != nil {
+			return SampleRecord{}, fmt.Errorf("sample %d: %v", i, err)
+		}
+		idx = cfg.Index()
+	}
+	if !in.Invalid && in.Seconds <= 0 {
+		return SampleRecord{}, fmt.Errorf("sample %d: non-positive time %g", i, in.Seconds)
+	}
+	if in.Source != "" {
+		source = in.Source
+	}
+	rec := SampleRecord{Index: idx, Invalid: in.Invalid, Source: source}
+	if !in.Invalid {
+		rec.Seconds = in.Seconds
+	}
+	return rec, nil
+}
+
+func (s *Server) handleSamplesIngest(w http.ResponseWriter, r *http.Request) {
+	var req sampleIngestRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding sample batch: %v", err)
+		return
+	}
+	if req.Benchmark == "" || req.Device == "" {
+		writeErr(w, http.StatusBadRequest, "benchmark and device are required")
+		return
+	}
+	b, err := bench.Lookup(req.Benchmark)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	if len(req.Samples) == 0 {
+		writeErr(w, http.StatusBadRequest, "samples must be non-empty")
+		return
+	}
+	if len(req.Samples) > maxIngestBatch {
+		writeErr(w, http.StatusBadRequest, "batch of %d exceeds the limit of %d", len(req.Samples), maxIngestBatch)
+		return
+	}
+	space := b.Space()
+	recs := make([]SampleRecord, len(req.Samples))
+	for i, in := range req.Samples {
+		rec, err := in.resolve(space, req.Source, i)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		recs[i] = rec
+	}
+	key := ModelKey{Benchmark: req.Benchmark, Device: req.Device}
+	total, err := s.samples.Append(key, recs)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusOK, struct {
+		Benchmark string `json:"benchmark"`
+		Device    string `json:"device"`
+		Ingested  int    `json:"ingested"`
+		Total     int    `json:"total"`
+	}{req.Benchmark, req.Device, len(recs), total})
+}
+
+func (s *Server) handleSamplesList(w http.ResponseWriter, r *http.Request) {
+	q := r.URL.Query()
+	benchmark, device := q.Get("benchmark"), q.Get("device")
+	if (benchmark == "") != (device == "") {
+		writeErr(w, http.StatusBadRequest, "pass both benchmark and device for one set's count, or neither for the listing")
+		return
+	}
+	if benchmark != "" && device != "" {
+		// Exact-count view of one set (loads it, unlike the lazy list).
+		key := ModelKey{Benchmark: benchmark, Device: device}
+		n, err := s.samples.Count(key)
+		if err != nil {
+			writeErr(w, http.StatusInternalServerError, "%v", err)
+			return
+		}
+		writeJSON(w, http.StatusOK, struct {
+			Benchmark string `json:"benchmark"`
+			Device    string `json:"device"`
+			Records   int    `json:"records"`
+		}{benchmark, device, n})
+		return
+	}
+	writeJSON(w, http.StatusOK, s.samples.List())
+}
+
+// trainRequest is the POST /v1/train body: the model key plus optional
+// model configuration and inline samples.
+type trainRequest struct {
+	Benchmark string `json:"benchmark"`
+	Device    string `json:"device"`
+	// Seed drives model initialisation (default 1).
+	Seed int64 `json:"seed,omitempty"`
+	// Model configures the trained model; zero-valued fields take the
+	// paper defaults.
+	Model *ModelSpec `json:"model,omitempty"`
+	// Samples inlines the training set; when empty the job trains from
+	// the persistent sample store (ingest via POST /v1/samples first).
+	Samples []sampleInput `json:"samples,omitempty"`
+	// MinSamples fails the job when fewer valid samples are available
+	// (0 = 10).
+	MinSamples int `json:"min_samples,omitempty"`
+	// Workers bounds the parallel ensemble training (0 = the server's
+	// -train-workers budget). Never affects the trained weights.
+	Workers int `json:"workers,omitempty"`
+}
+
+func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
+	var req trainRequest
+	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&req); err != nil {
+		writeErr(w, http.StatusBadRequest, "decoding train request: %v", err)
+		return
+	}
+	spec := JobSpec{
+		Kind:       KindTrain,
+		Benchmark:  req.Benchmark,
+		Device:     req.Device,
+		Seed:       req.Seed,
+		Model:      req.Model,
+		MinSamples: req.MinSamples,
+		Workers:    req.Workers,
+	}
+	if len(req.Samples) > maxIngestBatch {
+		writeErr(w, http.StatusBadRequest, "inline batch of %d exceeds the limit of %d", len(req.Samples), maxIngestBatch)
+		return
+	}
+	if len(req.Samples) > 0 {
+		b, err := bench.Lookup(req.Benchmark)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "%v", err)
+			return
+		}
+		space := b.Space()
+		spec.Samples = make([]SampleRecord, len(req.Samples))
+		for i, in := range req.Samples {
+			rec, err := in.resolve(space, "inline", i)
+			if err != nil {
+				writeErr(w, http.StatusBadRequest, "%v", err)
+				return
+			}
+			spec.Samples[i] = rec
+		}
+	}
+	if err := spec.normalize(); err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	// Fail fast when nothing could possibly train: fewer valid samples
+	// than the floor — inline or stored — is a doomed job.
+	n, err := s.validTrainSamples(spec)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	if n < spec.MinSamples {
+		writeErr(w, http.StatusBadRequest,
+			"%d valid samples for %s, need at least %d (ingest via POST /v1/samples or inline samples)",
+			n, spec.Key(), spec.MinSamples)
+		return
+	}
+	j, err := s.queue.Submit(spec)
+	switch {
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
+		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	writeJSON(w, http.StatusAccepted, j.status())
+}

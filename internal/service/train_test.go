@@ -1,0 +1,441 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+)
+
+// simSampleInputs measures n valid convolution configurations on the
+// simulated device and returns them in POST /v1/samples input form,
+// alternating the index and config-map addressing so both paths are
+// exercised.
+func simSampleInputs(t *testing.T, seed int64, n int) []map[string]any {
+	t.Helper()
+	b := bench.MustLookup("convolution")
+	m, err := core.NewSimMeasurer(b, devsim.MustLookup(devsim.IntelI7), bench.Size{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := make([]map[string]any, 0, n)
+	for _, cfg := range b.Space().Sample(rng, 4*n) {
+		if len(out) == n {
+			break
+		}
+		secs, err := m.Measure(context.Background(), cfg)
+		if err != nil {
+			out = append(out, map[string]any{"index": cfg.Index(), "invalid": true})
+			continue
+		}
+		if len(out)%2 == 0 {
+			out = append(out, map[string]any{"index": cfg.Index(), "seconds": secs})
+		} else {
+			out = append(out, map[string]any{"config": cfg.Map(), "seconds": secs})
+		}
+	}
+	if len(out) < n {
+		t.Fatalf("only %d sample inputs generated", len(out))
+	}
+	return out
+}
+
+// jpost POSTs a JSON body and decodes the response, asserting the code.
+func jpost(t *testing.T, client *http.Client, base, path string, body any, wantCode int, out any) {
+	t.Helper()
+	buf, err := json.Marshal(body)
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp, err := client.Post(base+path, "application/json", bytes.NewReader(buf))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != wantCode {
+		var raw bytes.Buffer
+		raw.ReadFrom(resp.Body)
+		t.Fatalf("POST %s: status %d, want %d (%s)", path, resp.StatusCode, wantCode, raw.String())
+	}
+	if out != nil {
+		if err := json.NewDecoder(resp.Body).Decode(out); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+// TestTrainingPipelineEndToEnd is the acceptance path: ingest samples
+// over POST /v1/samples, run a POST /v1/train job, and have /v1/predict
+// serve the retrained model without a restart — with the top-M cache
+// invalidated by the swap.
+func TestTrainingPipelineEndToEnd(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, reg, 2, 8)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	// Training before any samples exist fails fast at submission.
+	trainBody := map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7, "seed": 5,
+		"model": map[string]any{"ensemble": map[string]any{
+			"k": 2, "hidden": 6, "train": map[string]any{"epochs": 150}}},
+	}
+	jpost(t, client, ts.URL, "/v1/train", trainBody, http.StatusBadRequest, nil)
+
+	// Ingestion validation: bad shapes are 400s that name the sample.
+	jpost(t, client, ts.URL, "/v1/samples", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7,
+		"samples": []map[string]any{{"seconds": 0.1}}}, http.StatusBadRequest, nil)
+	jpost(t, client, ts.URL, "/v1/samples", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7,
+		"samples": []map[string]any{{"index": -1, "seconds": 0.1}}}, http.StatusBadRequest, nil)
+	jpost(t, client, ts.URL, "/v1/samples", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7,
+		"samples": []map[string]any{{"index": 3, "seconds": 0.0}}}, http.StatusBadRequest, nil)
+	jpost(t, client, ts.URL, "/v1/samples", map[string]any{
+		"benchmark": "nope", "device": devsim.IntelI7,
+		"samples": []map[string]any{{"index": 3, "seconds": 0.1}}}, http.StatusBadRequest, nil)
+
+	// A half-specified listing filter is a 400, not a silent full list.
+	jget(t, client, ts.URL, "/v1/samples?benchmark=convolution", http.StatusBadRequest, nil)
+
+	// Inline samples below the valid floor fail fast at submission —
+	// invalid markers do not count toward min_samples.
+	jpost(t, client, ts.URL, "/v1/train", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7,
+		"samples": []map[string]any{
+			{"index": 1, "seconds": 0.1}, {"index": 2, "seconds": 0.1},
+			{"index": 3, "invalid": true},
+		}}, http.StatusBadRequest, nil)
+
+	// Ingest real simulated measurements, split over two batches.
+	inputs := simSampleInputs(t, 7, 60)
+	var ing struct {
+		Ingested int `json:"ingested"`
+		Total    int `json:"total"`
+	}
+	jpost(t, client, ts.URL, "/v1/samples", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7, "source": "unit-test",
+		"samples": inputs[:40]}, http.StatusOK, &ing)
+	if ing.Ingested != 40 || ing.Total != 40 {
+		t.Fatalf("first ingest %+v", ing)
+	}
+	jpost(t, client, ts.URL, "/v1/samples", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7, "source": "unit-test",
+		"samples": inputs[40:]}, http.StatusOK, &ing)
+	if ing.Total != 60 {
+		t.Fatalf("second ingest %+v", ing)
+	}
+	var one struct {
+		Records int `json:"records"`
+	}
+	jget(t, client, ts.URL, "/v1/samples?benchmark=convolution&device="+devQ, http.StatusOK, &one)
+	if one.Records != 60 {
+		t.Fatalf("sample count %d, want 60", one.Records)
+	}
+
+	// Train from the store and poll the job to completion.
+	var st JobStatus
+	jpost(t, client, ts.URL, "/v1/train", trainBody, http.StatusAccepted, &st)
+	final := waitForJob(t, client, ts.URL, st.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("train job finished %s: %s", final.State, final.Error)
+	}
+	if final.Outcome == nil || final.Outcome.Strategy != "train" || !final.Outcome.ModelSaved {
+		t.Fatalf("train outcome %+v", final.Outcome)
+	}
+
+	// The job streamed train-progress events, one per ensemble member.
+	var withEvents struct {
+		Events []EventRecord `json:"events"`
+	}
+	jget(t, client, ts.URL, "/v1/jobs/"+st.ID, http.StatusOK, &withEvents)
+	var progress []EventRecord
+	for _, ev := range withEvents.Events {
+		if ev.Kind == "train-progress" {
+			progress = append(progress, ev)
+		}
+	}
+	if len(progress) != 2 {
+		t.Fatalf("got %d train-progress events, want 2 (k=2): %+v", len(progress), withEvents.Events)
+	}
+	if last := progress[len(progress)-1]; last.Done != 2 || last.Total != 2 {
+		t.Fatalf("final progress %+v", last)
+	}
+
+	// The retrained model serves predictions and top-M without restart.
+	var pred struct {
+		Seconds float64 `json:"seconds"`
+	}
+	jget(t, client, ts.URL, "/v1/predict?benchmark=convolution&device="+devQ+"&index=7",
+		http.StatusOK, &pred)
+	if pred.Seconds <= 0 {
+		t.Fatalf("prediction %+v", pred)
+	}
+	type topResp struct {
+		Top []struct {
+			Index   int64   `json:"index"`
+			Seconds float64 `json:"seconds"`
+		} `json:"top"`
+	}
+	var top1 topResp
+	jget(t, client, ts.URL, "/v1/topm?benchmark=convolution&device="+devQ+"&m=5", http.StatusOK, &top1)
+	if len(top1.Top) != 5 {
+		t.Fatalf("top-M %+v", top1)
+	}
+
+	// Retraining with a different seed must swap the model AND
+	// invalidate the (model, M) top-M cache: the cached ranking may not
+	// survive the swap.
+	retrain := map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7, "seed": 99,
+		"model": map[string]any{"ensemble": map[string]any{
+			"k": 2, "hidden": 6, "train": map[string]any{"epochs": 150}}},
+	}
+	jpost(t, client, ts.URL, "/v1/train", retrain, http.StatusAccepted, &st)
+	final = waitForJob(t, client, ts.URL, st.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("retrain finished %s: %s", final.State, final.Error)
+	}
+	var top2 topResp
+	jget(t, client, ts.URL, "/v1/topm?benchmark=convolution&device="+devQ+"&m=5", http.StatusOK, &top2)
+	same := len(top1.Top) == len(top2.Top)
+	if same {
+		for i := range top1.Top {
+			if top1.Top[i] != top2.Top[i] {
+				same = false
+				break
+			}
+		}
+	}
+	if same {
+		t.Error("top-M unchanged after retrain with a different seed (stale cache?)")
+	}
+
+	// Inline samples train a model for a device the simulator does not
+	// know — the external-measurer path (note the device label).
+	inline := map[string]any{
+		"benchmark": "convolution", "device": "lab-fpga-01", "seed": 3,
+		"samples": inputs,
+		"model": map[string]any{"ensemble": map[string]any{
+			"k": 2, "hidden": 4, "train": map[string]any{"epochs": 80}}},
+	}
+	jpost(t, client, ts.URL, "/v1/train", inline, http.StatusAccepted, &st)
+	final = waitForJob(t, client, ts.URL, st.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("inline train finished %s: %s", final.State, final.Error)
+	}
+	jget(t, client, ts.URL, "/v1/predict?benchmark=convolution&device=lab-fpga-01&index=7",
+		http.StatusOK, &pred)
+
+	ctx, cancel := context.WithTimeout(context.Background(), 5e9)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}
+
+// TestTuningJobFeedsSampleStore closes the loop the other way: a
+// completed tuning job's measurements land in the sample store, and a
+// subsequent training job can retrain from them without measuring
+// anything.
+func TestTuningJobFeedsSampleStore(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, reg, 1, 4)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	spec := map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7,
+		"training_samples": 30, "second_stage": 8, "seed": 42,
+		"ensemble_k": 2, "hidden": 6, "epochs": 200,
+	}
+	st := postJob(t, client, ts.URL, spec, http.StatusAccepted)
+	final := waitForJob(t, client, ts.URL, st.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("tuning job finished %s: %s", final.State, final.Error)
+	}
+
+	// The job's fresh measurements are in the store, tagged with its ID.
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	recs, err := srv.Samples().Load(key)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(recs) < 30 {
+		t.Fatalf("store has %d records after a 30-sample tuning job", len(recs))
+	}
+	seen := make(map[int64]bool)
+	for _, rec := range recs {
+		if rec.Source != "job:"+st.ID {
+			t.Fatalf("record source %q, want job:%s", rec.Source, st.ID)
+		}
+		if seen[rec.Index] {
+			t.Fatalf("duplicate index %d in store (stage overlap not deduplicated)", rec.Index)
+		}
+		seen[rec.Index] = true
+	}
+	// And the job reported the ingestion on its event stream.
+	var withEvents struct {
+		Events []EventRecord `json:"events"`
+	}
+	jget(t, client, ts.URL, "/v1/jobs/"+st.ID, http.StatusOK, &withEvents)
+	stored := false
+	for _, ev := range withEvents.Events {
+		if ev.Kind == "samples-stored" && ev.Error == "" && ev.Done == len(recs) {
+			stored = true
+		}
+	}
+	if !stored {
+		t.Fatalf("no samples-stored event among %+v", withEvents.Events)
+	}
+
+	// Retrain purely from stored samples.
+	var trainSt JobStatus
+	jpost(t, client, ts.URL, "/v1/train", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7, "seed": 8,
+		"model": map[string]any{"ensemble": map[string]any{
+			"k": 2, "hidden": 4, "train": map[string]any{"epochs": 80}}},
+	}, http.StatusAccepted, &trainSt)
+	final = waitForJob(t, client, ts.URL, trainSt.ID)
+	if final.State != JobSucceeded {
+		t.Fatalf("retrain finished %s: %s", final.State, final.Error)
+	}
+	if final.Outcome.Measured != len(seen) {
+		t.Errorf("retrain used %d samples, store holds %d distinct", final.Outcome.Measured, len(seen))
+	}
+}
+
+// TestConcurrentIngestTrainPredict is the -race hammer over the daemon's
+// concurrent surface: sample ingestion, training jobs and the read path
+// all running at once against one server.
+func TestConcurrentIngestTrainPredict(t *testing.T) {
+	reg, err := OpenRegistry(t.TempDir())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	if err := reg.Put(key, trainTinyModel(t, 51)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, reg, 2, 64)
+	ts := httptest.NewServer(srv)
+	defer ts.Close()
+	client := ts.Client()
+
+	inputs := simSampleInputs(t, 13, 30)
+	jpost(t, client, ts.URL, "/v1/samples", map[string]any{
+		"benchmark": "convolution", "device": devsim.IntelI7, "samples": inputs,
+	}, http.StatusOK, nil)
+
+	var wg sync.WaitGroup
+	fail := func(format string, args ...any) {
+		t.Errorf(format, args...)
+	}
+	// Ingesters: concurrent appends to the same key.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := 0; i < 5; i++ {
+				body, _ := json.Marshal(map[string]any{
+					"benchmark": "convolution", "device": devsim.IntelI7,
+					"source":  fmt.Sprintf("hammer-%d", w),
+					"samples": inputs[i : i+3],
+				})
+				resp, err := client.Post(ts.URL+"/v1/samples", "application/json", bytes.NewReader(body))
+				if err != nil {
+					fail("ingest: %v", err)
+					return
+				}
+				resp.Body.Close()
+				if resp.StatusCode != http.StatusOK {
+					fail("ingest status %d", resp.StatusCode)
+					return
+				}
+			}
+		}(w)
+	}
+	// Trainers: a few quick retrains racing the readers and ingesters.
+	trainIDs := make(chan string, 4)
+	for w := 0; w < 2; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			body, _ := json.Marshal(map[string]any{
+				"benchmark": "convolution", "device": devsim.IntelI7, "seed": 100 + w,
+				"min_samples": 5,
+				"model": map[string]any{"ensemble": map[string]any{
+					"k": 2, "hidden": 4, "train": map[string]any{"epochs": 40}}},
+			})
+			resp, err := client.Post(ts.URL+"/v1/train", "application/json", bytes.NewReader(body))
+			if err != nil {
+				fail("train: %v", err)
+				return
+			}
+			var st JobStatus
+			err = json.NewDecoder(resp.Body).Decode(&st)
+			resp.Body.Close()
+			if resp.StatusCode != http.StatusAccepted || err != nil {
+				fail("train status %d, %v", resp.StatusCode, err)
+				return
+			}
+			trainIDs <- st.ID
+		}(w)
+	}
+	// Readers: predictions and top-M against whatever model is current.
+	for w := 0; w < 3; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 10; i++ {
+				for _, path := range []string{
+					"/v1/predict?benchmark=convolution&device=" + devQ + "&index=7",
+					"/v1/topm?benchmark=convolution&device=" + devQ + "&m=3",
+				} {
+					resp, err := client.Get(ts.URL + path)
+					if err != nil {
+						fail("read: %v", err)
+						return
+					}
+					resp.Body.Close()
+					if resp.StatusCode != http.StatusOK {
+						fail("read status %d for %s", resp.StatusCode, path)
+						return
+					}
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	close(trainIDs)
+	for id := range trainIDs {
+		final := waitForJob(t, client, ts.URL, id)
+		if final.State != JobSucceeded {
+			t.Errorf("hammer train job %s finished %s: %s", id, final.State, final.Error)
+		}
+	}
+	ctx, cancel := context.WithTimeout(context.Background(), 10e9)
+	defer cancel()
+	if err := srv.Drain(ctx); err != nil {
+		t.Errorf("drain: %v", err)
+	}
+}

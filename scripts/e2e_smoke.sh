@@ -1,0 +1,67 @@
+#!/usr/bin/env bash
+# e2e_smoke.sh — the daemon must not rot: build the real binaries, start
+# mltuned, gather samples with the devsim measurer, ingest them over
+# POST /v1/samples, run a POST /v1/train job, and round-trip a
+# /v1/predict from the freshly trained model. CI runs this on every
+# push; it is also runnable locally from the repo root.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+ADDR="127.0.0.1:18372"
+BASE="http://$ADDR"
+DEVICE="Intel i7 3770"
+DEVICE_Q="Intel%20i7%203770"
+WORKDIR="$(mktemp -d)"
+BIN="$WORKDIR/bin"
+mkdir -p "$BIN"
+
+cleanup() {
+    [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
+    rm -rf "$WORKDIR"
+}
+trap cleanup EXIT
+
+echo "== building binaries"
+go build -o "$BIN/mltune" ./cmd/mltune
+go build -o "$BIN/mltuned" ./cmd/mltuned
+
+echo "== gathering samples offline (devsim measurer)"
+"$BIN/mltune" -bench convolution -device "$DEVICE" -n 60 -m 8 -seed 7 \
+    -dump-samples "$WORKDIR/samples.jsonl" >/dev/null
+[ -s "$WORKDIR/samples.jsonl" ] || { echo "no samples dumped" >&2; exit 1; }
+
+echo "== starting mltuned"
+"$BIN/mltuned" -addr "$ADDR" -models "$WORKDIR/models" \
+    -samples "$WORKDIR/samples" -train-workers 2 &
+DAEMON_PID=$!
+
+for i in $(seq 1 50); do
+    curl -fs "$BASE/healthz" >/dev/null 2>&1 && break
+    [ "$i" = 50 ] && { echo "daemon never became healthy" >&2; exit 1; }
+    sleep 0.2
+done
+
+echo "== predict before training must 404"
+code="$(curl -s -o /dev/null -w '%{http_code}' \
+    "$BASE/v1/predict?benchmark=convolution&device=$DEVICE_Q&index=7")"
+[ "$code" = 404 ] || { echo "pre-train predict returned $code, want 404" >&2; exit 1; }
+
+echo "== ingest + train + verify round-trip (mltune train)"
+"$BIN/mltune" train -daemon "$BASE" -bench convolution -device "$DEVICE" \
+    -samples "$WORKDIR/samples.jsonl" -ensemble-k 3 -hidden 8 -epochs 150 -verify
+
+echo "== predict after training serves the swapped model"
+out="$(curl -fs "$BASE/v1/predict?benchmark=convolution&device=$DEVICE_Q&index=7")"
+echo "$out"
+echo "$out" | grep -q '"seconds"' || { echo "prediction missing seconds" >&2; exit 1; }
+
+echo "== sample store and registry report the artifacts"
+curl -fs "$BASE/v1/samples?benchmark=convolution&device=$DEVICE_Q" | grep -q '"records"'
+curl -fs "$BASE/v1/models" | grep -q '"benchmark": "convolution"'
+
+echo "== graceful shutdown"
+kill -TERM "$DAEMON_PID"
+wait "$DAEMON_PID" 2>/dev/null || true
+DAEMON_PID=""
+
+echo "e2e smoke OK"
