@@ -8,11 +8,20 @@
 //	       [-device name] [-n N] [-m M] [-budget B] [-restarts R]
 //	       [-seed S] [-timeout D] [-runtime] [-compare-exhaustive]
 //	       [-save-model file] [-load-model file] [-dump-samples file]
-//	       [-progress] [-list]
+//	       [-progress] [-list] [-list-devices]
 //
 //	mltune train -daemon URL -bench name -device name [-samples file]
 //	       [-seed S] [-ensemble-k K] [-hidden H] [-epochs E]
-//	       [-train-workers W] [-min-samples N] [-verify] [-timeout D]
+//	       [-train-workers W] [-min-samples N] [-verify]
+//	       [-verify-device name] [-timeout D]
+//
+// -list-devices prints the devsim catalog together with the
+// descriptor-derived feature schema portable models condition on.
+// `mltune train -device '*'` trains the benchmark's portable model: the
+// daemon pools the sample store across every catalog device of the
+// benchmark and the per-sample device labels become model features;
+// -verify then needs -verify-device to pick a concrete device to
+// round-trip a prediction for.
 //
 // By default it measures configurations with the fast analytic device
 // models; -runtime executes the kernels functionally on the OpenCL-style
@@ -55,24 +64,30 @@ func main() {
 		return
 	}
 	var (
-		strategy   = flag.String("strategy", "ml", "search strategy (see -list)")
-		benchName  = flag.String("bench", "convolution", "benchmark to tune")
-		deviceName = flag.String("device", devsim.NvidiaK40, "simulated device")
-		n          = flag.Int("n", 2000, "training samples (first stage)")
-		m          = flag.Int("m", 200, "measured candidates (second stage)")
-		budget     = flag.Int("budget", 0, "measurement budget for random/hillclimb (0 = n+m)")
-		restarts   = flag.Int("restarts", 4, "hill-climbing restarts")
-		seed       = flag.Int64("seed", 1, "random seed")
-		timeout    = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
-		useRuntime = flag.Bool("runtime", false, "measure on the functional runtime (reduced size)")
-		compare    = flag.Bool("compare-exhaustive", false, "also run exhaustive search and report the strategy's slowdown")
-		saveModel  = flag.String("save-model", "", "write the trained model to this file (ml strategy)")
-		dumpSample = flag.String("dump-samples", "", "write the run's measurements as a JSONL sample file (ml strategy)")
-		loadModel  = flag.String("load-model", "", "rank with a previously saved model instead of training")
-		progress   = flag.Bool("progress", false, "print candidate improvements as they happen")
-		list       = flag.Bool("list", false, "list strategies, benchmarks and devices, then exit")
+		strategy    = flag.String("strategy", "ml", "search strategy (see -list)")
+		benchName   = flag.String("bench", "convolution", "benchmark to tune")
+		deviceName  = flag.String("device", devsim.NvidiaK40, "simulated device")
+		n           = flag.Int("n", 2000, "training samples (first stage)")
+		m           = flag.Int("m", 200, "measured candidates (second stage)")
+		budget      = flag.Int("budget", 0, "measurement budget for random/hillclimb (0 = n+m)")
+		restarts    = flag.Int("restarts", 4, "hill-climbing restarts")
+		seed        = flag.Int64("seed", 1, "random seed")
+		timeout     = flag.Duration("timeout", 0, "abort the run after this long (0 = no limit)")
+		useRuntime  = flag.Bool("runtime", false, "measure on the functional runtime (reduced size)")
+		compare     = flag.Bool("compare-exhaustive", false, "also run exhaustive search and report the strategy's slowdown")
+		saveModel   = flag.String("save-model", "", "write the trained model to this file (ml strategy)")
+		dumpSample  = flag.String("dump-samples", "", "write the run's measurements as a JSONL sample file (ml strategy)")
+		loadModel   = flag.String("load-model", "", "rank with a previously saved model instead of training")
+		progress    = flag.Bool("progress", false, "print candidate improvements as they happen")
+		list        = flag.Bool("list", false, "list strategies, benchmarks and devices, then exit")
+		listDevices = flag.Bool("list-devices", false, "print the devsim catalog with the descriptor fields portable models condition on, then exit")
 	)
 	flag.Parse()
+
+	if *listDevices {
+		printDeviceCatalog()
+		return
+	}
 
 	if *list {
 		fmt.Println("strategies:")
@@ -163,7 +178,7 @@ func main() {
 		if *strategy != "ml" || *saveModel != "" || *compare {
 			fatal(fmt.Errorf("-load-model replaces the strategy run; it cannot be combined with -strategy, -save-model or -compare-exhaustive"))
 		}
-		runWithLoadedModel(ctx, session, *loadModel, *m)
+		runWithLoadedModel(ctx, session, *loadModel, *m, *deviceName)
 		return
 	}
 
@@ -228,13 +243,55 @@ func main() {
 	}
 }
 
+// printDeviceCatalog lists every devsim catalog device with exactly the
+// descriptor-derived features the portable feature schema consumes
+// (tuning.DeviceFieldNames), raw and normalised — what a <bench>@*
+// model conditions on when it predicts for the device.
+func printDeviceCatalog() {
+	names := tuning.DeviceFieldNames()
+	fmt.Printf("device feature schema (%d features, in encode order):\n", len(names))
+	w := tabwriter.NewWriter(os.Stdout, 0, 4, 2, ' ', 0)
+	header := "device\tvendor"
+	for _, n := range names {
+		header += "\t" + n
+	}
+	fmt.Fprintln(w, header)
+	for _, name := range devsim.Names() {
+		desc := devsim.MustLookup(name).Descriptor()
+		vec := tuning.DeviceVector(&desc, nil)
+		row := fmt.Sprintf("%s\t%s", desc.Name, desc.Vendor)
+		for _, v := range vec {
+			row += fmt.Sprintf("\t%.3f", v)
+		}
+		fmt.Fprintln(w, row)
+	}
+	w.Flush()
+	fmt.Println("\nvalues are normalised to [0, 1] with fixed reference scales; an unseen")
+	fmt.Println("device predicts through a portable model by supplying these descriptor")
+	fmt.Println("fields inline (see README \"Portable models\").")
+}
+
 // runWithLoadedModel ranks the space with a saved model and measures its
 // top-M predictions on the session's device — reusing a model trained
-// elsewhere instead of paying for training data again.
-func runWithLoadedModel(ctx context.Context, session *core.Session, path string, m int) {
+// elsewhere instead of paying for training data again. A portable
+// (device-featurised) model file is bound to the session device's
+// catalog descriptor before ranking.
+func runWithLoadedModel(ctx context.Context, session *core.Session, path string, m int, deviceName string) {
 	model, err := core.LoadModelFile(path)
 	if err != nil {
 		fatal(err)
+	}
+	if model.Portable() {
+		d, err := devsim.Lookup(deviceName)
+		if err != nil {
+			fatal(fmt.Errorf("model %s is portable and needs a device descriptor to rank for: %v", path, err))
+		}
+		desc := d.Descriptor()
+		model, err = model.WithDevice(tuning.DeviceVector(&desc, nil))
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Printf("portable model bound to %s\n", deviceName)
 	}
 	space := session.Space()
 	if err := compatibleSpaces(model.Space(), space); err != nil {

@@ -40,11 +40,22 @@ func runTrain(args []string) {
 		workers    = fs.Int("train-workers", 0, "parallel member training (0 = server budget)")
 		minSamples = fs.Int("min-samples", 0, "fail below this many valid samples (0 = server default)")
 		verify     = fs.Bool("verify", false, "after training, round-trip a /v1/topm + /v1/predict")
+		verifyDev  = fs.String("verify-device", "", "device to verify against (required with -verify when -device is '*')")
 		timeout    = fs.Duration("timeout", 10*time.Minute, "overall deadline for the job")
 	)
 	fs.Parse(args)
 	if *deviceName == "" {
 		fatal(fmt.Errorf("train: -device is required"))
+	}
+	portable := *deviceName == service.PortableDevice
+	if portable && *samples != "" {
+		fatal(fmt.Errorf("train: -samples ingests under one concrete device; ingest per device first, then train -device '*' to pool them"))
+	}
+	if *verifyDev == "" {
+		*verifyDev = *deviceName
+	}
+	if *verify && *verifyDev == service.PortableDevice {
+		fatal(fmt.Errorf("train: -verify needs a concrete device for a portable model; pass -verify-device"))
 	}
 	base := strings.TrimRight(*daemon, "/")
 	client := &http.Client{Timeout: 30 * time.Second}
@@ -103,7 +114,10 @@ func runTrain(args []string) {
 		out.Measured, out.Invalid)
 
 	if *verify {
-		if err := verifyPredict(client, base, *benchName, *deviceName); err != nil {
+		// For a portable (device "*") model the verification device
+		// differs from the training key: resolution falls back to the
+		// freshly trained <bench>@* model and binds the verify device.
+		if err := verifyPredict(client, base, *benchName, *verifyDev); err != nil {
 			fatal(err)
 		}
 	}

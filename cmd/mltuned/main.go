@@ -21,7 +21,11 @@
 // (-samples, default <models>/samples; completed tuning jobs feed it
 // too), and POST /v1/train runs an async training job over the stored
 // samples — bounded by the -train-workers budget — atomically swapping
-// the retrained model into the registry without a restart.
+// the retrained model into the registry without a restart. Training
+// with device "*" pools the store across a benchmark's devices into a
+// portable <bench>@* model; predict/top-M requests for devices without
+// a model of their own fall back to it, binding the requesting device's
+// descriptor (catalog name or inline descriptor JSON).
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
 // queued jobs are canceled, and running jobs get -drain-timeout to

@@ -144,3 +144,40 @@ func BenchmarkTrainEnsembleWorkers(b *testing.B) {
 		})
 	}
 }
+
+// TestTrainEnsembleSchemaWidthInputs pins the input-dimension contract
+// the device-aware feature schema relies on: the ensemble trains and
+// predicts at the widened input width (kernel parameters plus the
+// 12-feature device block) exactly as it does at the narrow one, with
+// the batched path bit-identical to the scalar path at that width.
+func TestTrainEnsembleSchemaWidthInputs(t *testing.T) {
+	const paramDim, deviceDim = 9, 12
+	for _, dim := range []int{paramDim, paramDim + deviceDim} {
+		xs, ys := synthSamples(101, 120, dim)
+		cfg := EnsembleConfig{K: 3, Hidden: 8, HiddenLayers: 1, Train: DefaultTrainConfig(), Seed: 101}
+		cfg.Train.Epochs = 120
+		e, err := TrainEnsemble(xs, ys, cfg)
+		if err != nil {
+			t.Fatalf("dim %d: %v", dim, err)
+		}
+		for _, n := range e.Members() {
+			if n.Sizes()[0] != dim {
+				t.Fatalf("dim %d: member input width %d", dim, n.Sizes()[0])
+			}
+		}
+		scratch := e.NewScratch()
+		bs := e.NewBatchScratch(len(xs))
+		flat := make([]float64, 0, len(xs)*dim)
+		for _, x := range xs {
+			flat = append(flat, x...)
+		}
+		batched := make([]float64, len(xs))
+		e.PredictBatch(flat, len(xs), bs, batched)
+		for i, x := range xs {
+			want := e.Predict(x, scratch)
+			if batched[i] != want {
+				t.Fatalf("dim %d sample %d: batch %v, scalar %v", dim, i, batched[i], want)
+			}
+		}
+	}
+}

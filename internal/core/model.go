@@ -12,10 +12,15 @@ import (
 	"repro/internal/tuning"
 )
 
-// Sample is one measured configuration.
+// Sample is one measured configuration. Device, when the model is
+// trained with ModelConfig.DeviceFeatures, carries the normalised device
+// features (tuning.DeviceVector) of the hardware the measurement was
+// taken on — the per-sample device label that lets one portable model
+// pool training data across devices. It stays nil for per-device models.
 type Sample struct {
 	Config  tuning.Config
 	Seconds float64
+	Device  []float64
 }
 
 // ModelConfig controls performance-model construction. The JSON form is
@@ -34,6 +39,14 @@ type ModelConfig struct {
 	// this many times the slowest valid measurement, teaching the model
 	// to avoid invalid regions. Zero reproduces the paper's behaviour.
 	InvalidPenalty float64 `json:"invalid_penalty,omitempty"`
+	// DeviceFeatures widens the feature schema with the device block
+	// (tuning.DeviceFieldNames): every training sample must then carry
+	// its device's feature vector, and the trained model is *portable* —
+	// it predicts for any device once bound with Model.WithDevice.
+	// Incompatible with InvalidPenalty: configuration validity is
+	// device-specific, so pooled training drops invalid records instead
+	// of penalising them.
+	DeviceFeatures bool `json:"device_features,omitempty"`
 }
 
 // DefaultModelConfig returns the paper's model configuration.
@@ -45,13 +58,20 @@ func DefaultModelConfig(seed int64) ModelConfig {
 }
 
 // Model is a trained performance model over a tuning space: it predicts
-// execution time in seconds from a configuration.
+// execution time in seconds from a configuration. A model trained with
+// ModelConfig.DeviceFeatures is *portable*: its feature schema includes
+// the device block, and it must be bound to a concrete device's feature
+// vector (WithDevice) before any prediction.
 type Model struct {
 	space    *tuning.Space
-	enc      *tuning.Encoder
+	schema   *tuning.FeatureSchema
 	ensemble *ann.Ensemble
 	scaler   ann.TargetScaler
 	logT     bool
+	// tail is the bound feature tail of a portable model (the device
+	// vector WithDevice fixed); nil both for parameter-only models and
+	// for an unbound portable model.
+	tail []float64
 }
 
 // TrainModel fits the paper's model to the measured samples. invalid
@@ -71,7 +91,14 @@ func TrainModelProgress(ctx context.Context, space *tuning.Space, samples []Samp
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: cannot train model without samples")
 	}
-	enc := tuning.NewEncoder(space)
+	schema := tuning.ParamSchema(space)
+	if cfg.DeviceFeatures {
+		if cfg.InvalidPenalty > 0 {
+			return nil, fmt.Errorf("core: InvalidPenalty is incompatible with DeviceFeatures (validity is device-specific; drop invalid records from pooled training instead)")
+		}
+		schema = tuning.NewFeatureSchema(space, tuning.WithDeviceBlock())
+	}
+	tailDim := schema.TailDim()
 
 	n := len(samples)
 	extra := 0
@@ -85,7 +112,14 @@ func TrainModelProgress(ctx context.Context, space *tuning.Space, samples []Samp
 		if s.Seconds <= 0 {
 			return nil, fmt.Errorf("core: sample %s has non-positive time %g", s.Config, s.Seconds)
 		}
-		xs = append(xs, enc.Encode(s.Config, make([]float64, 0, enc.Dim())))
+		if len(s.Device) != tailDim {
+			if cfg.DeviceFeatures {
+				return nil, fmt.Errorf("core: sample %s carries %d device features, schema wants %d (attach tuning.DeviceVector per sample)",
+					s.Config, len(s.Device), tailDim)
+			}
+			return nil, fmt.Errorf("core: sample %s carries device features but cfg.DeviceFeatures is off", s.Config)
+		}
+		xs = append(xs, schema.Encode(s.Config, s.Device, make([]float64, 0, schema.Dim())))
 		ys = append(ys, target(s.Seconds, cfg.LogTransform))
 		if s.Seconds > slowest {
 			slowest = s.Seconds
@@ -94,7 +128,7 @@ func TrainModelProgress(ctx context.Context, space *tuning.Space, samples []Samp
 	if cfg.InvalidPenalty > 0 {
 		penalty := target(slowest*cfg.InvalidPenalty, cfg.LogTransform)
 		for _, c := range invalid {
-			xs = append(xs, enc.Encode(c, make([]float64, 0, enc.Dim())))
+			xs = append(xs, schema.Encode(c, nil, make([]float64, 0, schema.Dim())))
 			ys = append(ys, penalty)
 		}
 	}
@@ -107,7 +141,7 @@ func TrainModelProgress(ctx context.Context, space *tuning.Space, samples []Samp
 	if err != nil {
 		return nil, err
 	}
-	return &Model{space: space, enc: enc, ensemble: ensemble, scaler: scaler, logT: cfg.LogTransform}, nil
+	return &Model{space: space, schema: schema, ensemble: ensemble, scaler: scaler, logT: cfg.LogTransform}, nil
 }
 
 func target(seconds float64, logT bool) float64 {
@@ -120,6 +154,35 @@ func target(seconds float64, logT bool) float64 {
 // Space returns the model's tuning space.
 func (m *Model) Space() *tuning.Space { return m.space }
 
+// Schema returns the model's feature schema.
+func (m *Model) Schema() *tuning.FeatureSchema { return m.schema }
+
+// Portable reports whether the model was trained with device features
+// and can predict for any device once bound with WithDevice.
+func (m *Model) Portable() bool { return m.schema.HasDevice() }
+
+// Bound reports whether a portable model has been bound to a device.
+// Parameter-only models are trivially bound.
+func (m *Model) Bound() bool { return !m.Portable() || m.tail != nil }
+
+// WithDevice returns a view of a portable model bound to the given
+// device feature vector (tuning.DeviceVector of the target descriptor):
+// every prediction method of the view — Predict, the batch paths, TopM —
+// answers for that device. The view shares the trained weights with m
+// and is safe for concurrent use alongside other views; m itself is
+// unmodified, so one portable model serves many devices at once.
+func (m *Model) WithDevice(device []float64) (*Model, error) {
+	if !m.Portable() {
+		return nil, fmt.Errorf("core: model has no device features to bind (train with ModelConfig.DeviceFeatures)")
+	}
+	if want := m.schema.TailDim(); len(device) != want {
+		return nil, fmt.Errorf("core: device vector has %d features, schema wants %d", len(device), want)
+	}
+	bound := *m
+	bound.tail = append([]float64(nil), device...)
+	return &bound, nil
+}
+
 // Ensemble returns the underlying bagged networks.
 func (m *Model) Ensemble() *ann.Ensemble { return m.ensemble }
 
@@ -131,13 +194,13 @@ type PredictScratch struct {
 
 // NewScratch allocates prediction buffers.
 func (m *Model) NewScratch() *PredictScratch {
-	return &PredictScratch{ps: m.ensemble.NewScratch(), buf: make([]float64, 0, m.enc.Dim())}
+	return &PredictScratch{ps: m.ensemble.NewScratch(), buf: make([]float64, 0, m.schema.Dim())}
 }
 
 // Predict returns the predicted execution time of cfg in seconds.
 // Safe for concurrent use with distinct scratches.
 func (m *Model) Predict(cfg tuning.Config, s *PredictScratch) float64 {
-	s.buf = m.enc.Encode(cfg, s.buf[:0])
+	s.buf = m.schema.Encode(cfg, m.tail, s.buf[:0])
 	return m.finish(m.ensemble.Predict(s.buf, s.ps))
 }
 
@@ -171,7 +234,7 @@ type BatchScratch struct {
 func (m *Model) NewBatchScratch() *BatchScratch {
 	return &BatchScratch{
 		ps:    m.ensemble.NewBatchScratch(predictBlock),
-		xs:    make([]float64, 0, predictBlock*m.enc.Dim()),
+		xs:    make([]float64, 0, predictBlock*m.schema.Dim()),
 		raw:   make([]float64, predictBlock),
 		block: predictBlock,
 	}
@@ -188,7 +251,7 @@ func (m *Model) PredictBatchWith(cfgs []tuning.Config, s *BatchScratch, dst []fl
 		}
 		s.xs = s.xs[:0]
 		for _, cfg := range cfgs[lo:hi] {
-			s.xs = m.enc.Encode(cfg, s.xs)
+			s.xs = m.schema.Encode(cfg, m.tail, s.xs)
 		}
 		dst = m.predictEncodedBlock(hi-lo, s, dst)
 	}
@@ -208,7 +271,7 @@ func (m *Model) PredictIndices(idxs []int64, s *BatchScratch, dst []float64) []f
 		}
 		s.xs = s.xs[:0]
 		for _, idx := range idxs[lo:hi] {
-			s.xs = m.enc.EncodeIndex(idx, s.xs)
+			s.xs = m.schema.EncodeIndex(idx, m.tail, s.xs)
 		}
 		dst = m.predictEncodedBlock(hi-lo, s, dst)
 	}
@@ -274,9 +337,19 @@ const predictBoundMargin = 1e-9
 // positive Std); this guards hand-built models in tests and experiments.
 func (m *Model) canPrune() bool { return m.scaler.Std > 0 }
 
+// mustBeBound panics when a portable model is asked to predict without
+// a device binding: there is no meaningful answer, and the sweep workers
+// would otherwise die on an asynchronous encode panic.
+func (m *Model) mustBeBound() {
+	if !m.Bound() {
+		panic("core: portable model is not bound to a device; call Model.WithDevice before predicting")
+	}
+}
+
 // topM is TopM with an explicit worker count; the invariance tests
 // exercise it directly.
 func (m *Model) topM(M, workers int) []Predicted {
+	m.mustBeBound()
 	size := m.space.Size()
 	if int64(M) > size {
 		M = int(size)
@@ -327,7 +400,7 @@ func (m *Model) topM(M, workers int) []Predicted {
 					n := len(idxs)
 					scratch.xs = scratch.xs[:0]
 					for _, idx := range idxs {
-						scratch.xs = m.enc.EncodeIndex(idx, scratch.xs)
+						scratch.xs = m.schema.EncodeIndex(idx, m.tail, scratch.xs)
 					}
 					m.ensemble.PredictBatchBounds(scratch.xs, n, scratch.ps, lb[:n], ub[:n])
 					worst := best.worst()

@@ -40,7 +40,7 @@ func tiedModel(t *testing.T) (*Model, *tuning.Space) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	m := &Model{space: space, enc: enc, ensemble: ensemble,
+	m := &Model{space: space, schema: tuning.ParamSchema(space), ensemble: ensemble,
 		scaler: ann.TargetScaler{Mean: 1, Std: 0.5}, logT: false}
 	return m, space
 }

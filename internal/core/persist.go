@@ -12,27 +12,59 @@ import (
 	"repro/internal/tuning"
 )
 
-// modelFormat and modelVersion identify the on-disk model format. The
-// format is a single JSON header line (human-inspectable with `head -1`)
-// followed by a gob payload carrying the ensemble weights and target
-// scaler. Bump modelVersion on any incompatible change and keep decoding
-// the old versions.
+// modelFormat identifies the on-disk model format: a single JSON header
+// line (human-inspectable with `head -1`) followed by a gob payload
+// carrying the ensemble weights and target scaler. Two header versions
+// are in circulation:
+//
+//	version 1 — the original parameter-only layout: the header carries
+//	  the tuning space and model flags; the feature schema is implicitly
+//	  tuning.ParamSchema(space).
+//	version 2 — adds the "schema" field recording the feature blocks
+//	  beyond the parameters (the device block of portable models, and
+//	  any input block). The parameter encoding is unchanged, so a v1
+//	  file loaded by this build predicts bit-identically to the build
+//	  that wrote it.
+//
+// Save writes the *lowest* version able to represent the model —
+// parameter-only models still save as v1, so their artifacts remain
+// readable by older builds — and LoadModel dispatches on the header
+// version through a decoder table, returning *UnsupportedVersionError
+// for anything newer than maxModelVersion.
 const (
-	modelFormat  = "mltune-model"
-	modelVersion = 1
+	modelFormat     = "mltune-model"
+	modelVersion    = 1
+	modelVersionV2  = 2
+	maxModelVersion = modelVersionV2
 )
 
+// UnsupportedVersionError reports a model file written by a newer build:
+// its header version is not in this build's decoder table.
+type UnsupportedVersionError struct {
+	// Version is the file's header version.
+	Version int
+	// Max is the newest version this build decodes.
+	Max int
+}
+
+func (e *UnsupportedVersionError) Error() string {
+	return fmt.Sprintf("core: unsupported model version %d (this build reads versions 1 through %d)", e.Version, e.Max)
+}
+
 // modelHeader is the JSON first line of a saved model. It carries
-// everything needed to rebuild the tuning space (and thus the feature
-// encoder) plus the model flags, so a model trained on one machine can
-// be reloaded and queried anywhere — the artifact behind the paper's
-// performance portability story.
+// everything needed to rebuild the tuning space and feature schema (and
+// thus the feature encoder) plus the model flags, so a model trained on
+// one machine can be reloaded and queried anywhere — the artifact behind
+// the paper's performance portability story.
 type modelHeader struct {
 	Format       string      `json:"format"`
 	Version      int         `json:"version"`
 	Space        spaceHeader `json:"space"`
 	LogTransform bool        `json:"log_transform"`
 	Members      int         `json:"members"`
+	// Schema records the feature blocks beyond the parameter block
+	// (version >= 2; nil means parameter-only).
+	Schema *schemaHeader `json:"schema,omitempty"`
 }
 
 type spaceHeader struct {
@@ -45,6 +77,15 @@ type paramHeader struct {
 	Values []int  `json:"values"`
 }
 
+// schemaHeader records a schema's non-parameter blocks by feature name,
+// in encode order. Loading verifies the device names against the current
+// build's tuning.DeviceFieldNames: a model whose device features were
+// derived differently must not silently mis-predict.
+type schemaHeader struct {
+	Device []string `json:"device,omitempty"`
+	Input  []string `json:"input,omitempty"`
+}
+
 // modelPayload is the gob-encoded body of a saved model.
 type modelPayload struct {
 	Scaler   ann.TargetScaler
@@ -53,7 +94,9 @@ type modelPayload struct {
 
 // Save writes the model to w in the versioned persistence format:
 // a one-line JSON header followed by a gob payload. A model saved on one
-// device reloads with LoadModel to bit-identical predictions.
+// machine reloads with LoadModel to bit-identical predictions. Saving a
+// bound portable view persists the portable model; the binding is
+// per-process state, re-established with WithDevice after loading.
 func (m *Model) Save(w io.Writer) error {
 	params := make([]paramHeader, len(m.space.Params()))
 	for i, p := range m.space.Params() {
@@ -65,6 +108,13 @@ func (m *Model) Save(w io.Writer) error {
 		Space:        spaceHeader{Name: m.space.Name(), Params: params},
 		LogTransform: m.logT,
 		Members:      m.ensemble.Size(),
+	}
+	if m.schema.TailDim() > 0 {
+		hdr.Version = modelVersionV2
+		hdr.Schema = &schemaHeader{
+			Device: m.schema.DeviceFields(),
+			Input:  m.schema.InputFields(),
+		}
 	}
 	line, err := json.Marshal(hdr)
 	if err != nil {
@@ -93,9 +143,52 @@ func (m *Model) SaveFile(path string) error {
 	return f.Close()
 }
 
-// LoadModel reads a model previously written by Model.Save. The tuning
-// space is rebuilt from the header, so the loaded model predicts over an
-// equivalent space without needing the original benchmark definition.
+// modelDecoders maps a header version to its schema decoder: given the
+// parsed header and rebuilt space, it produces the feature schema that
+// version implies. The payload decoding is shared. Adding a version
+// means adding an entry here, never editing the old ones.
+var modelDecoders = map[int]func(hdr *modelHeader, space *tuning.Space) (*tuning.FeatureSchema, error){
+	modelVersion:   decodeSchemaV1,
+	modelVersionV2: decodeSchemaV2,
+}
+
+// decodeSchemaV1 is the original layout: parameter-only features.
+func decodeSchemaV1(hdr *modelHeader, space *tuning.Space) (*tuning.FeatureSchema, error) {
+	if hdr.Schema != nil {
+		return nil, fmt.Errorf("core: version-1 model header unexpectedly carries a schema")
+	}
+	return tuning.ParamSchema(space), nil
+}
+
+// decodeSchemaV2 rebuilds the recorded blocks, verifying the device
+// block against this build's feature derivation.
+func decodeSchemaV2(hdr *modelHeader, space *tuning.Space) (*tuning.FeatureSchema, error) {
+	var opts []tuning.SchemaOption
+	if hdr.Schema != nil && len(hdr.Schema.Device) > 0 {
+		want := tuning.DeviceFieldNames()
+		if len(hdr.Schema.Device) != len(want) {
+			return nil, fmt.Errorf("core: saved model records %d device features, this build derives %d",
+				len(hdr.Schema.Device), len(want))
+		}
+		for i, name := range hdr.Schema.Device {
+			if name != want[i] {
+				return nil, fmt.Errorf("core: saved model device feature %d is %q, this build derives %q",
+					i, name, want[i])
+			}
+		}
+		opts = append(opts, tuning.WithDeviceBlock())
+	}
+	if hdr.Schema != nil && len(hdr.Schema.Input) > 0 {
+		opts = append(opts, tuning.WithInputBlock(hdr.Schema.Input...))
+	}
+	return tuning.NewFeatureSchema(space, opts...), nil
+}
+
+// LoadModel reads a model previously written by Model.Save, dispatching
+// on the header version (see modelFormat). The tuning space and feature
+// schema are rebuilt from the header, so the loaded model predicts over
+// an equivalent space without needing the original benchmark definition.
+// Files written by a newer build fail with *UnsupportedVersionError.
 func LoadModel(r io.Reader) (*Model, error) {
 	br := bufio.NewReader(r)
 	line, err := br.ReadBytes('\n')
@@ -109,10 +202,15 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if hdr.Format != modelFormat {
 		return nil, fmt.Errorf("core: not a saved model (format %q, want %q)", hdr.Format, modelFormat)
 	}
-	if hdr.Version != modelVersion {
-		return nil, fmt.Errorf("core: unsupported model version %d (this build reads version %d)", hdr.Version, modelVersion)
+	decodeSchema, ok := modelDecoders[hdr.Version]
+	if !ok {
+		return nil, &UnsupportedVersionError{Version: hdr.Version, Max: maxModelVersion}
 	}
 	space, err := spaceFromHeader(hdr.Space)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := decodeSchema(&hdr, space)
 	if err != nil {
 		return nil, err
 	}
@@ -126,17 +224,17 @@ func LoadModel(r io.Reader) (*Model, error) {
 	}
 	m := &Model{
 		space:    space,
-		enc:      tuning.NewEncoder(space),
+		schema:   schema,
 		ensemble: ensemble,
 		scaler:   payload.Scaler,
 		logT:     hdr.LogTransform,
 	}
-	// The encoder derives one feature per parameter; the ensemble input
+	// The schema fixes the feature-vector width; the ensemble input
 	// width must match or predictions would read out of bounds.
 	for _, n := range ensemble.Members() {
-		if n.Sizes()[0] != m.enc.Dim() {
-			return nil, fmt.Errorf("core: model expects %d features, space %q encodes %d",
-				n.Sizes()[0], space.Name(), m.enc.Dim())
+		if n.Sizes()[0] != m.schema.Dim() {
+			return nil, fmt.Errorf("core: model expects %d features, schema for space %q encodes %d",
+				n.Sizes()[0], space.Name(), m.schema.Dim())
 		}
 	}
 	return m, nil

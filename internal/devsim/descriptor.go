@@ -20,7 +20,11 @@
 // Both layers are seeded and fully reproducible.
 package devsim
 
-import "fmt"
+import (
+	"encoding/json"
+	"fmt"
+	"strings"
+)
 
 // Kind distinguishes CPU-like from GPU-like devices.
 type Kind int
@@ -42,95 +46,114 @@ func (k Kind) String() string {
 	return "GPU"
 }
 
+// MarshalJSON renders the kind as its string form.
+func (k Kind) MarshalJSON() ([]byte, error) {
+	return json.Marshal(k.String())
+}
+
+// UnmarshalJSON accepts "CPU"/"GPU" (any case) or the numeric 0/1 form,
+// so inline descriptors in API requests can use the readable spelling.
+func (k *Kind) UnmarshalJSON(b []byte) error {
+	switch strings.ToLower(strings.Trim(string(b), `"`)) {
+	case "cpu", "0":
+		*k = CPU
+	case "gpu", "1":
+		*k = GPU
+	default:
+		return fmt.Errorf("devsim: unknown device kind %s (want \"CPU\" or \"GPU\")", b)
+	}
+	return nil
+}
+
 // Descriptor holds the architectural parameters of a simulated device.
 // Values are taken from vendor documentation for the real hardware; fields
 // that real drivers do not publish (overheads, reliabilities, noise) are
 // calibrated so that the simulated landscapes reproduce the paper's
 // qualitative results.
 type Descriptor struct {
-	Name   string
-	Vendor string
-	Kind   Kind
+	Name   string `json:"name"`
+	Vendor string `json:"vendor,omitempty"`
+	Kind   Kind   `json:"kind"`
 
 	// ComputeUnits is the number of OpenCL compute units: SMs on Nvidia,
 	// CUs on AMD, logical cores on the CPU.
-	ComputeUnits int
+	ComputeUnits int `json:"compute_units"`
 	// SIMDWidth is the warp (32), wavefront (64) or vector width (8).
-	SIMDWidth int
+	SIMDWidth int `json:"simd_width"`
 	// ClockGHz is the core clock in GHz.
-	ClockGHz float64
+	ClockGHz float64 `json:"clock_ghz"`
 	// FlopsPerLaneCycle is sustained arithmetic ops per lane per cycle.
-	FlopsPerLaneCycle float64
+	FlopsPerLaneCycle float64 `json:"flops_per_lane_cycle,omitempty"`
 
 	// MemBandwidthGBs is peak off-chip bandwidth in GB/s.
-	MemBandwidthGBs float64
+	MemBandwidthGBs float64 `json:"mem_bandwidth_gbs"`
 	// MemLatencyNs is uncontended DRAM access latency in nanoseconds.
-	MemLatencyNs float64
+	MemLatencyNs float64 `json:"mem_latency_ns,omitempty"`
 	// CacheLineBytes is the memory transaction granularity.
-	CacheLineBytes int
+	CacheLineBytes int `json:"cache_line_bytes"`
 	// LLCBytes is the last-level cache capacity (L2 on GPUs).
-	LLCBytes int64
+	LLCBytes int64 `json:"llc_bytes,omitempty"`
 	// TexCacheBytesPerCU is the per-compute-unit texture cache capacity;
 	// zero means no dedicated texture path.
-	TexCacheBytesPerCU int64
+	TexCacheBytesPerCU int64 `json:"tex_cache_bytes_per_cu,omitempty"`
 	// TexelsPerCUCycle is the texture-unit sampling throughput.
-	TexelsPerCUCycle float64
+	TexelsPerCUCycle float64 `json:"texels_per_cu_cycle,omitempty"`
 	// LDSBytesPerCU is on-chip scratchpad per compute unit; also the
 	// per-work-group local memory limit unless LocalMemPerGroup is set.
-	LDSBytesPerCU int
+	LDSBytesPerCU int `json:"lds_bytes_per_cu,omitempty"`
 	// LocalMemPerGroup is the per-work-group local memory limit.
-	LocalMemPerGroup int
+	LocalMemPerGroup int `json:"local_mem_per_group,omitempty"`
 	// LDSLanesPerCU is local-memory access throughput (words per cycle).
-	LDSLanesPerCU float64
+	LDSLanesPerCU float64 `json:"lds_lanes_per_cu,omitempty"`
 
 	// MaxWorkGroupSize is the largest allowed work-group.
-	MaxWorkGroupSize int
+	MaxWorkGroupSize int `json:"max_work_group_size"`
 	// RegistersPerCU is the register-file size in 32-bit registers.
-	RegistersPerCU int
+	RegistersPerCU int `json:"registers_per_cu,omitempty"`
 	// MaxRegsPerItem is the per-work-item register limit; exceeding it
 	// spills to scratch memory.
-	MaxRegsPerItem int
+	MaxRegsPerItem int `json:"max_regs_per_item,omitempty"`
 	// MaxWarpsPerCU limits resident warps/wavefronts (GPU occupancy).
-	MaxWarpsPerCU int
+	MaxWarpsPerCU int `json:"max_warps_per_cu,omitempty"`
 	// MaxGroupsPerCU limits resident work-groups per compute unit.
-	MaxGroupsPerCU int
+	MaxGroupsPerCU int `json:"max_groups_per_cu,omitempty"`
 
 	// ImageSupport reports whether image memory is available at all.
-	ImageSupport bool
+	ImageSupport bool `json:"image_support,omitempty"`
 	// ImageSampleCycles is the per-access cost of an image read on
 	// devices that emulate sampling in software (the CPU); zero for
 	// hardware texture units.
-	ImageSampleCycles float64
+	ImageSampleCycles float64 `json:"image_sample_cycles,omitempty"`
 
 	// KernelLaunchOverheadUs is fixed per-launch host overhead.
-	KernelLaunchOverheadUs float64
+	KernelLaunchOverheadUs float64 `json:"kernel_launch_overhead_us,omitempty"`
 	// GroupScheduleOverheadNs is per-work-group scheduling cost.
-	GroupScheduleOverheadNs float64
+	GroupScheduleOverheadNs float64 `json:"group_schedule_overhead_ns,omitempty"`
 	// BarrierCycles is the per-barrier cost per work-group.
-	BarrierCycles float64
+	BarrierCycles float64 `json:"barrier_cycles,omitempty"`
 
 	// DriverUnrollReliability is the probability (over configurations)
 	// that a #pragma unroll request is honoured profitably by the
 	// driver's compiler; manual macro unrolling is always honoured.
-	DriverUnrollReliability float64
+	DriverUnrollReliability float64 `json:"driver_unroll_reliability,omitempty"`
 	// RoughnessSigma is the lognormal sigma of the deterministic
 	// per-configuration irregularity layer.
-	RoughnessSigma float64
+	RoughnessSigma float64 `json:"roughness_sigma,omitempty"`
 	// DriverUnrollRoughness is extra irregularity applied to
 	// configurations that request driver-pragma unrolling.
-	DriverUnrollRoughness float64
+	DriverUnrollRoughness float64 `json:"driver_unroll_roughness,omitempty"`
 	// NoiseSigma is the lognormal sigma of per-measurement jitter.
-	NoiseSigma float64
+	NoiseSigma float64 `json:"noise_sigma,omitempty"`
 
 	// CompileBaseMs and CompileVarMs model the kernel build time:
 	// base plus a configuration-dependent term (heavier unrolling and
 	// larger per-thread tiles take longer to compile).
-	CompileBaseMs float64
-	CompileVarMs  float64
+	CompileBaseMs float64 `json:"compile_base_ms,omitempty"`
+	CompileVarMs  float64 `json:"compile_var_ms,omitempty"`
 
 	// Salt differentiates the stochastic layers between devices so that
 	// two GPUs with identical specs still disagree on exact timings.
-	Salt uint64
+	Salt uint64 `json:"salt,omitempty"`
 }
 
 // Validate performs a basic sanity check of the descriptor. Device

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"os"
 	"path/filepath"
+	"strconv"
 	"strings"
 	"testing"
 
@@ -22,7 +23,7 @@ func TestRegistryComplete(t *testing.T) {
 	want := []string{
 		"table1", "table2", "fig1", "fig4", "fig5", "fig6", "fig7",
 		"fig8", "fig9", "fig10", "fig11", "fig12", "fig13", "fig14",
-		"cost", "ablation",
+		"cost", "ablation", "transfer",
 	}
 	ids := IDs()
 	have := map[string]bool{}
@@ -238,4 +239,51 @@ func TestCostSmoke(t *testing.T) {
 // fmtSscan wraps fmt.Sscan to keep the test import list tidy.
 func fmtSscan(s string, v *float64) (int, error) {
 	return fmt.Sscan(s, v)
+}
+
+// TestTransferSmoke runs the leave-one-device-out study at smoke scale:
+// one row per held-out device, each reporting the portable model's and
+// the per-device baseline's achieved fraction of the true optimum.
+func TestTransferSmoke(t *testing.T) {
+	e, err := Lookup("transfer")
+	if err != nil {
+		t.Fatal(err)
+	}
+	rep, err := e.Execute(smokeCtx())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rep.Tables) != 1 {
+		t.Fatalf("transfer produced %d tables", len(rep.Tables))
+	}
+	tab := rep.Tables[0]
+	if len(tab.Rows) != 3 {
+		t.Fatalf("transfer rows %d, want one per held-out device", len(tab.Rows))
+	}
+	fracCol := func(name string) int {
+		for i, c := range tab.Columns {
+			if c == name {
+				return i
+			}
+		}
+		t.Fatalf("column %q missing in %v", name, tab.Columns)
+		return -1
+	}
+	pi, bi := fracCol("portable frac"), fracCol("baseline frac")
+	reported := 0
+	for _, row := range tab.Rows {
+		for _, col := range []int{pi, bi} {
+			if row[col] == "-" {
+				continue // every candidate invalid on that device (§7)
+			}
+			v, err := strconv.ParseFloat(row[col], 64)
+			if err != nil || v <= 0 || v > 1.0000001 {
+				t.Errorf("row %v: fraction %q out of (0, 1]", row, row[col])
+			}
+			reported++
+		}
+	}
+	if reported == 0 {
+		t.Error("no achieved fractions reported at all")
+	}
 }

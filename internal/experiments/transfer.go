@@ -1,0 +1,252 @@
+package experiments
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/tuning"
+)
+
+func init() {
+	register(&Experiment{
+		ID:    "transfer",
+		Title: "Leave-one-device-out transfer: portable model vs per-device baseline",
+		Run:   runTransfer,
+	})
+}
+
+// transferParams sizes the study per scale: which benchmarks and devices
+// participate, the per-device training-sample budget, and the top-M
+// candidate count scored on the held-out device.
+func transferParams(scale Scale) (benches, devices []string, nTrain, M int) {
+	switch scale {
+	case Paper:
+		return []string{"convolution", "stereo", "raycasting"},
+			devsim.Names(), 2000, 50
+	case Smoke:
+		// M is generous relative to N: the tiny smoke ensemble's top
+		// predictions often violate GPU work-group limits, and scoring a
+		// candidate (one TrueTime) is much cheaper than training.
+		return []string{"convolution"},
+			[]string{devsim.IntelI7, devsim.NvidiaK40, devsim.AMD7970}, 150, 100
+	default: // Quick
+		return []string{"convolution", "stereo"},
+			devsim.Names(), 500, 30
+	}
+}
+
+// transferModelConfig shrinks the paper's ensemble at the smaller scales
+// so the 2×K-fold training loop stays in budget; portable selects the
+// device-featurised schema.
+func transferModelConfig(scale Scale, seed int64, portable bool) core.ModelConfig {
+	cfg := core.DefaultModelConfig(seed)
+	switch scale {
+	case Smoke:
+		cfg.Ensemble.K = 3
+		cfg.Ensemble.Hidden = 8
+		cfg.Ensemble.Train.Epochs = 150
+	case Quick:
+		cfg.Ensemble.K = 5
+		cfg.Ensemble.Hidden = 16
+	}
+	cfg.DeviceFeatures = portable
+	return cfg
+}
+
+// deviceData is one device's contribution to the study: its measurer,
+// feature vector, gathered training samples and true optimum.
+type deviceData struct {
+	name     string
+	meas     *core.SimMeasurer
+	vec      []float64
+	samples  []core.Sample // Device left nil; attached when pooling
+	trueBest float64
+}
+
+// runTransfer is the leave-one-device-out transfer study. For every
+// benchmark it gathers the same per-device training budget on each
+// device, then for every held-out device h trains
+//
+//   - the portable model on the other K−1 devices' pooled samples
+//     (device features attached, ModelConfig.DeviceFeatures), bound to
+//     h's descriptor at prediction time — h contributed nothing; and
+//   - the per-device baseline on h's own samples (the paper's tuner),
+//
+// scores each model's top-M predicted configurations with h's noise-free
+// ground truth, and reports the achieved fraction of the true optimum
+// (1.0 = the model's candidate set contains the optimum). The portable
+// column is the PR's acceptance story: how close one pooled model gets
+// on hardware it never trained on.
+func runTransfer(ctx *Ctx) (*Report, error) {
+	benches, deviceNames, nTrain, M := transferParams(ctx.Scale)
+
+	t := &Table{
+		Title: fmt.Sprintf("Achieved fraction of true optimum on the held-out device (N=%d per device, top-%d measured)", nTrain, M),
+		Columns: []string{"benchmark", "held-out device", "portable frac", "baseline frac",
+			"pooled N", "own N", "portable invalid", "baseline invalid"},
+	}
+
+	for _, benchName := range benches {
+		b := bench.MustLookup(benchName)
+		devs := make([]*deviceData, 0, len(deviceNames))
+		for di, devName := range deviceNames {
+			dd, err := gatherDeviceData(ctx, b, devName, nTrain, ctx.Seed+int64(di)*7919)
+			if err != nil {
+				return nil, err
+			}
+			ctx.logf("  %s on %s: %d samples, true optimum %.4f ms",
+				benchName, devName, len(dd.samples), dd.trueBest*1e3)
+			devs = append(devs, dd)
+		}
+
+		for hi, held := range devs {
+			// Portable: pool every other device's samples, tagging each
+			// with its device's feature vector.
+			var pooled []core.Sample
+			for di, dd := range devs {
+				if di == hi {
+					continue
+				}
+				for _, sm := range dd.samples {
+					sm.Device = dd.vec
+					pooled = append(pooled, sm)
+				}
+			}
+			pcfg := transferModelConfig(ctx.Scale, ctx.Seed, true)
+			portable, err := core.TrainModel(b.Space(), pooled, nil, pcfg)
+			if err != nil {
+				return nil, err
+			}
+			bound, err := portable.WithDevice(held.vec)
+			if err != nil {
+				return nil, err
+			}
+			pBest, pInvalid, err := scoreTopM(bound, held, M)
+			if err != nil {
+				return nil, err
+			}
+
+			// Baseline: the per-device model trained on the held-out
+			// device's own budget — data the portable model never saw.
+			bcfg := transferModelConfig(ctx.Scale, ctx.Seed, false)
+			baseline, err := core.TrainModel(b.Space(), held.samples, nil, bcfg)
+			if err != nil {
+				return nil, err
+			}
+			bBest, bInvalid, err := scoreTopM(baseline, held, M)
+			if err != nil {
+				return nil, err
+			}
+
+			t.Add(benchName, held.name,
+				fraction(held.trueBest, pBest), fraction(held.trueBest, bBest),
+				fmt.Sprint(len(pooled)), fmt.Sprint(len(held.samples)),
+				fmt.Sprint(pInvalid), fmt.Sprint(bInvalid))
+			ctx.logf("  %s held-out %s: portable %s of optimum, baseline %s",
+				benchName, held.name, fraction(held.trueBest, pBest), fraction(held.trueBest, bBest))
+		}
+	}
+	return &Report{Tables: []*Table{t}}, nil
+}
+
+// gatherDeviceData measures nTrain valid random configurations of b on
+// the named device and sweeps the space for the true optimum.
+func gatherDeviceData(ctx *Ctx, b bench.Benchmark, devName string, nTrain int, seed int64) (*deviceData, error) {
+	dev, err := devsim.Lookup(devName)
+	if err != nil {
+		return nil, err
+	}
+	meas, err := core.NewSimMeasurer(b, dev, bench.Size{}, 3)
+	if err != nil {
+		return nil, err
+	}
+	desc := dev.Descriptor()
+	dd := &deviceData{name: devName, meas: meas, vec: tuning.DeviceVector(&desc, nil)}
+
+	space := b.Space()
+	rng := rand.New(rand.NewSource(seed))
+	budget := 4*nTrain + 2000
+	if int64(budget) > space.Size() {
+		budget = int(space.Size())
+	}
+	cctx := ctx.context()
+	for _, idx := range space.SampleIndices(rng, budget) {
+		if len(dd.samples) >= nTrain {
+			break
+		}
+		cfg := space.At(idx)
+		secs, err := meas.Measure(cctx, cfg)
+		if err != nil {
+			if devsim.IsInvalid(err) {
+				continue
+			}
+			return nil, err
+		}
+		dd.samples = append(dd.samples, core.Sample{Config: cfg, Seconds: secs})
+	}
+	if len(dd.samples) == 0 {
+		return nil, fmt.Errorf("transfer: no valid samples for %s on %s", b.Name(), devName)
+	}
+
+	// Noise-free ground truth: the best TrueTime over the whole space.
+	dd.trueBest = math.Inf(1)
+	var sweepErr error
+	space.Each(func(cfg tuning.Config) bool {
+		if err := cctx.Err(); err != nil {
+			sweepErr = err
+			return false
+		}
+		t, err := meas.TrueTime(cfg)
+		if err != nil {
+			return true // invalid on this device
+		}
+		if t < dd.trueBest {
+			dd.trueBest = t
+		}
+		return true
+	})
+	if sweepErr != nil {
+		return nil, sweepErr
+	}
+	if math.IsInf(dd.trueBest, 1) {
+		return nil, fmt.Errorf("transfer: every configuration invalid for %s on %s", b.Name(), devName)
+	}
+	return dd, nil
+}
+
+// scoreTopM evaluates a model's top-M candidate set against the held-out
+// device's ground truth: the best TrueTime among the valid candidates,
+// plus how many candidates were invalid there.
+func scoreTopM(m *core.Model, held *deviceData, M int) (best float64, invalid int, err error) {
+	best = math.Inf(1)
+	for _, p := range m.TopM(M) {
+		t, terr := held.meas.TrueTime(m.Space().At(p.Index))
+		if terr != nil {
+			if devsim.IsInvalid(terr) {
+				invalid++
+				continue
+			}
+			return 0, 0, terr
+		}
+		if t < best {
+			best = t
+		}
+	}
+	// best stays +Inf when every candidate was invalid on the held-out
+	// device — the paper's §7 "no prediction at all" case, which
+	// fraction renders as "-".
+	return best, invalid, nil
+}
+
+// fraction renders trueBest/achieved — 1.000 means the model's candidate
+// set contained the true optimum; "-" means no valid candidate at all.
+func fraction(trueBest, achieved float64) string {
+	if math.IsInf(achieved, 1) || achieved <= 0 {
+		return "-"
+	}
+	return f3(trueBest / achieved)
+}

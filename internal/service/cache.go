@@ -20,6 +20,18 @@ import (
 type serveCache struct {
 	mu      sync.Mutex
 	entries map[ModelKey]*serveEntry
+	// binds memoises portable-model device bindings per resolved key, so
+	// repeated requests for one device reuse the same bound *core.Model —
+	// which is what keeps the pointer-identity entry cache effective on
+	// the portable path. A bind is only valid while its parent (the
+	// registry's current portable model) is unchanged.
+	binds map[ModelKey]bindRec
+}
+
+// bindRec is one memoised device binding of a portable model.
+type bindRec struct {
+	parent *core.Model
+	bound  *core.Model
 }
 
 // serveEntry caches read-path state for one loaded model.
@@ -36,7 +48,25 @@ type serveEntry struct {
 const maxTopMCacheEntries = 8
 
 func newServeCache() *serveCache {
-	return &serveCache{entries: make(map[ModelKey]*serveEntry)}
+	return &serveCache{entries: make(map[ModelKey]*serveEntry), binds: make(map[ModelKey]bindRec)}
+}
+
+// bound returns parent bound to the given device vector, memoised under
+// key. The memo is keyed by the *resolved* key (benchmark@requesting
+// device), and revalidated by parent pointer: a retrained or reloaded
+// portable model invalidates every stale binding on first use.
+func (c *serveCache) bound(key ModelKey, parent *core.Model, device []float64) (*core.Model, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if r, ok := c.binds[key]; ok && r.parent == parent {
+		return r.bound, nil
+	}
+	bound, err := parent.WithDevice(device)
+	if err != nil {
+		return nil, err
+	}
+	c.binds[key] = bindRec{parent: parent, bound: bound}
+	return bound, nil
 }
 
 // entry returns the cache slot for key's current model, building a fresh
@@ -53,11 +83,14 @@ func (c *serveCache) entry(key ModelKey, m *core.Model) *serveEntry {
 	return e
 }
 
-// invalidate drops key's slot (a retrained model was Put).
+// invalidate drops key's slot and binding (a retrained model was Put).
+// Bindings of *other* keys that resolved through a replaced portable
+// model self-invalidate on their next use via the parent-pointer check.
 func (c *serveCache) invalidate(key ModelKey) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	delete(c.entries, key)
+	delete(c.binds, key)
 }
 
 // invalidateAll drops every slot (the registry was reloaded).
@@ -65,6 +98,7 @@ func (c *serveCache) invalidateAll() {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	c.entries = make(map[ModelKey]*serveEntry)
+	c.binds = make(map[ModelKey]bindRec)
 }
 
 // predictBatch predicts cfgs through a pooled scratch, appending to dst.

@@ -60,7 +60,11 @@ type JobSpec struct {
 	// Benchmark and Device name the model key (required). Tuning jobs
 	// validate Device against the simulated-device catalog; training
 	// jobs accept any non-empty device label, so external measurers can
-	// feed models for hardware the daemon cannot simulate.
+	// feed models for hardware the daemon cannot simulate. A training
+	// job with Device == "*" trains the benchmark's *portable* model:
+	// it pools the sample store across every device of the benchmark
+	// whose label resolves in the devsim catalog, turning each sample's
+	// device into model features.
 	Benchmark string `json:"benchmark"`
 	Device    string `json:"device"`
 	// Strategy is a registered strategy name (default "ml").
@@ -150,12 +154,16 @@ func (sp *JobSpec) normalize() error {
 			return fmt.Errorf("service: inline batch of %d exceeds the limit of %d", len(sp.Samples), maxIngestBatch)
 		}
 		size := b.Space().Size()
+		portable := sp.Device == PortableDevice
 		for i, rec := range sp.Samples {
 			if rec.Index < 0 || rec.Index >= size {
 				return fmt.Errorf("service: sample %d: index %d out of range [0, %d)", i, rec.Index, size)
 			}
 			if !rec.Invalid && rec.Seconds <= 0 {
 				return fmt.Errorf("service: sample %d: non-positive time %g", i, rec.Seconds)
+			}
+			if portable && rec.Device == "" {
+				return fmt.Errorf("service: sample %d: portable (device %q) training needs a per-sample device label", i, PortableDevice)
 			}
 		}
 		return nil

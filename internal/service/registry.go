@@ -7,7 +7,10 @@
 // trained once (by a tuning job, or offline with cmd/mltune -save-model)
 // is a reusable artifact that keeps answering predict/top-M queries long
 // after tuning ran — across daemon restarts, and on machines that never
-// saw the benchmark.
+// saw the benchmark. Portable models take it across hardware: a
+// device-featurised <benchmark>@* model (trained by pooling the sample
+// store with device "*") answers for devices that never trained, bound
+// per request to the requesting device's descriptor.
 package service
 
 import (
@@ -28,12 +31,24 @@ import (
 // artifacts (the core.Model.Save format).
 const modelExt = ".mlt"
 
+// PortableDevice is the reserved device label of a portable model: one
+// trained with device features from several devices' pooled samples and
+// stored under <benchmark>@*. Predict/top-M requests never address it
+// directly — resolution falls back to it and binds the requesting
+// device's descriptor (see Server resolution order).
+const PortableDevice = "*"
+
 // ModelKey identifies one registry slot: a model is trained for one
-// benchmark on one device.
+// benchmark on one device — or, with Device == PortableDevice, for a
+// benchmark across devices.
 type ModelKey struct {
 	Benchmark string
 	Device    string
 }
+
+// Portable reports whether the key addresses the benchmark's portable
+// slot.
+func (k ModelKey) Portable() bool { return k.Device == PortableDevice }
 
 func (k ModelKey) String() string { return k.Benchmark + "@" + k.Device }
 
@@ -252,11 +267,15 @@ func syncDir(dir string) error {
 
 // ModelInfo describes one registry slot for the listing endpoint.
 type ModelInfo struct {
-	Benchmark string    `json:"benchmark"`
-	Device    string    `json:"device"`
-	File      string    `json:"file"`
-	Bytes     int64     `json:"bytes"`
-	Modified  time.Time `json:"modified"`
+	Benchmark string `json:"benchmark"`
+	Device    string `json:"device"`
+	// Portable marks the benchmark's <bench>@* slot: a device-featurised
+	// model that predict/top-M resolution falls back to for devices
+	// without an exact model.
+	Portable bool      `json:"portable,omitempty"`
+	File     string    `json:"file"`
+	Bytes    int64     `json:"bytes"`
+	Modified time.Time `json:"modified"`
 	// Loaded reports whether the model is resident in memory (false for
 	// slots that have not been queried since startup or reload).
 	Loaded bool `json:"loaded"`
@@ -282,7 +301,7 @@ func (r *Registry) List() []ModelInfo {
 	out := make([]ModelInfo, 0, len(keys))
 	for i, k := range keys {
 		e := entries[i]
-		info := ModelInfo{Benchmark: k.Benchmark, Device: k.Device, File: filepath.Base(e.path)}
+		info := ModelInfo{Benchmark: k.Benchmark, Device: k.Device, Portable: k.Portable(), File: filepath.Base(e.path)}
 		if st, err := os.Stat(e.path); err == nil {
 			info.Bytes = st.Size()
 			info.Modified = st.ModTime().UTC()

@@ -40,6 +40,12 @@ type SampleRecord struct {
 	// Source labels where the measurement came from (a job ID, an
 	// external measurer's name, ...). Informational only.
 	Source string `json:"source,omitempty"`
+	// Device names the device the measurement was taken on. Stored sets
+	// are already keyed by device, so the field is usually empty there;
+	// it is required on the inline samples of a portable (device "*")
+	// training job, where each record must say which device it came from
+	// so the label can become the sample's device features.
+	Device string `json:"device,omitempty"`
 }
 
 // sampleFileName is the on-disk name of a key's sample set, using the
@@ -268,6 +274,20 @@ func (st *SampleStore) Count(key ModelKey) (int, error) {
 		return 0, err
 	}
 	return len(e.recs), nil
+}
+
+// Keys returns every sample-set key the store tracks, sorted — the
+// enumeration behind pooled (device "*") training, which loads one set
+// per device of the benchmark.
+func (st *SampleStore) Keys() []ModelKey {
+	st.mu.Lock()
+	keys := make([]ModelKey, 0, len(st.entries))
+	for k := range st.entries {
+		keys = append(keys, k)
+	}
+	st.mu.Unlock()
+	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
+	return keys
 }
 
 // Len returns the number of sample sets the store tracks, without

@@ -32,11 +32,13 @@ import (
 //	POST   /v1/samples    ingest training samples        → counts
 //	GET    /v1/samples    sample-store listing (?benchmark=&device= for one set's exact count)
 //	POST   /v1/train      submit an async retrain job    → 202 JobStatus
-//	GET    /v1/models     registry listing               → []ModelInfo
+//	GET    /v1/models     registry listing + resolution order → {resolution_order, models}
+//	                      (?benchmark= filters to one benchmark's models)
 //	POST   /v1/reload     rescan the registry directory
-//	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &p.<param>=v)
-//	POST   /v1/predict    predict a batch                (JSON: indices or config maps)
-//	GET    /v1/topm       M best-predicted configurations (?benchmark=&device=&m=N)
+//	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &p.<param>=v;
+//	                      ?descriptor=<JSON> resolves unseen hardware through the portable model)
+//	POST   /v1/predict    predict a batch                (JSON: indices or config maps; optional descriptor)
+//	GET    /v1/topm       M best-predicted configurations (?benchmark=&device=&m=N; ?descriptor= as above)
 //	GET    /healthz       liveness + queue/registry counters
 //
 // The read path (predict/top-M) runs on the batched prediction engine:
@@ -222,18 +224,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	// Training jobs get the same fail-fast as POST /v1/train: the two
 	// entry points must enforce identical limits.
-	if spec.Kind == KindTrain {
-		n, err := s.validTrainSamples(spec)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		if n < spec.MinSamples {
-			writeErr(w, http.StatusBadRequest,
-				"%d valid samples for %s, need at least %d (ingest via POST /v1/samples or inline samples)",
-				n, spec.Key(), spec.MinSamples)
-			return
-		}
+	if spec.Kind == KindTrain && !s.trainFailFast(w, spec) {
+		return
 	}
 	j, err := s.queue.Submit(spec)
 	switch {
@@ -301,8 +293,29 @@ func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
 
 // --- model-serving handlers -------------------------------------------
 
+// modelResolutionOrder documents how predict/top-M requests resolve to
+// a registry model; /v1/models surfaces it so clients can see why a
+// device without its own model still gets answers.
+var modelResolutionOrder = []string{
+	"exact: <benchmark>@<device>",
+	"portable: <benchmark>@* bound to the requesting device's descriptor (catalog name, or inline descriptor JSON for unseen hardware)",
+}
+
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, s.reg.List())
+	models := s.reg.List()
+	if b := r.URL.Query().Get("benchmark"); b != "" {
+		filtered := make([]ModelInfo, 0, len(models))
+		for _, info := range models {
+			if info.Benchmark == b {
+				filtered = append(filtered, info)
+			}
+		}
+		models = filtered
+	}
+	writeJSON(w, http.StatusOK, struct {
+		ResolutionOrder []string    `json:"resolution_order"`
+		Models          []ModelInfo `json:"models"`
+	}{modelResolutionOrder, models})
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -314,30 +327,181 @@ func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, map[string]int{"models": s.reg.Len()})
 }
 
-// model resolves the benchmark/device query parameters to a registry
-// model, writing the error response itself on failure.
-func (s *Server) model(w http.ResponseWriter, r *http.Request) (*core.Model, ModelKey, bool) {
-	return s.modelFor(w, r.URL.Query().Get("benchmark"), r.URL.Query().Get("device"))
+// Resolution labels of prediction responses: which registry slot
+// answered the request.
+const (
+	// resolutionExact: the benchmark@device model itself.
+	resolutionExact = "exact"
+	// resolutionPortable: the benchmark@* portable model, bound to the
+	// requesting device's feature vector.
+	resolutionPortable = "portable"
+)
+
+// resolvedModel is the outcome of predict/top-M model resolution: the
+// servable (bound) model, the key it serves under, the resolution label,
+// and whether the serve cache may hold state for it. Inline-descriptor
+// resolutions are ephemeral: their keys are client-controlled, so
+// caching under them would grow the cache without bound, and the same
+// name may describe different hardware across requests.
+type resolvedModel struct {
+	model     *core.Model
+	key       ModelKey
+	via       string
+	ephemeral bool
 }
 
-// modelFor resolves an explicit benchmark/device pair to a registry
-// model, writing the error response itself on failure.
-func (s *Server) modelFor(w http.ResponseWriter, benchmark, device string) (*core.Model, ModelKey, bool) {
-	key := ModelKey{Benchmark: benchmark, Device: device}
-	if key.Benchmark == "" || key.Device == "" {
-		writeErr(w, http.StatusBadRequest, "benchmark and device are required")
-		return nil, key, false
+// predictBatch predicts cfgs through the resolved model — pooled and
+// cached for registry-backed resolutions, a throwaway scratch for
+// ephemeral ones.
+func (s *Server) predictBatch(rm resolvedModel, cfgs []tuning.Config, dst []float64) []float64 {
+	if rm.ephemeral {
+		return rm.model.PredictBatchWith(cfgs, rm.model.NewBatchScratch(), dst)
 	}
-	m, err := s.reg.Get(key)
+	return s.cache.entry(rm.key, rm.model).predictBatch(cfgs, dst)
+}
+
+// topM answers a top-M query through the resolved model; ephemeral
+// resolutions pay the full sweep every time rather than polluting the
+// cache with client-controlled keys.
+func (s *Server) topM(rm resolvedModel, M int) []prediction {
+	if !rm.ephemeral {
+		return s.cache.entry(rm.key, rm.model).topMCached(M)
+	}
+	top := rm.model.TopM(M)
+	out := make([]prediction, len(top))
+	for i, p := range top {
+		cfg := rm.model.Space().At(p.Index)
+		out[i] = prediction{Index: p.Index, Config: cfg.Map(), Seconds: p.Seconds}
+	}
+	return out
+}
+
+// model resolves the benchmark/device/descriptor query parameters to a
+// servable model, writing the error response itself on failure.
+func (s *Server) model(w http.ResponseWriter, r *http.Request) (resolvedModel, bool) {
+	desc, err := descriptorFromQuery(r)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return resolvedModel{}, false
+	}
+	return s.modelFor(w, r.URL.Query().Get("benchmark"), r.URL.Query().Get("device"), desc)
+}
+
+// descriptorFromQuery parses the optional ?descriptor= parameter: a
+// URL-escaped devsim.Descriptor JSON object describing hardware the
+// daemon has never seen, for the portable resolution path.
+func descriptorFromQuery(r *http.Request) (*devsim.Descriptor, error) {
+	v := r.URL.Query().Get("descriptor")
+	if v == "" {
+		return nil, nil
+	}
+	var d devsim.Descriptor
+	dec := json.NewDecoder(strings.NewReader(v))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&d); err != nil {
+		return nil, fmt.Errorf("descriptor: %w", err)
+	}
+	return &d, nil
+}
+
+// modelFor resolves a prediction request to a servable model, in the
+// documented resolution order (see modelResolutionOrder):
+//
+//  1. exact — the registry's <benchmark>@<device> model (skipped when an
+//     inline descriptor is given: a descriptor explicitly requests
+//     device-featurised resolution);
+//  2. portable — the <benchmark>@* model bound to the requesting
+//     device's feature vector, derived from the devsim catalog for a
+//     known device name or from the inline descriptor for unseen
+//     hardware.
+//
+// It returns the resolution, writing the error response itself on
+// failure.
+func (s *Server) modelFor(w http.ResponseWriter, benchmark, device string, desc *devsim.Descriptor) (resolvedModel, bool) {
+	fail := func(code int, format string, args ...any) (resolvedModel, bool) {
+		writeErr(w, code, format, args...)
+		return resolvedModel{}, false
+	}
+	if benchmark == "" {
+		return fail(http.StatusBadRequest, "benchmark is required")
+	}
+	if device == PortableDevice {
+		return fail(http.StatusBadRequest,
+			"device %q is the portable slot itself; pass the device to predict for (or an inline descriptor)", PortableDevice)
+	}
+	if device == "" && desc == nil {
+		return fail(http.StatusBadRequest, "device (or an inline descriptor) is required")
+	}
+
+	if desc == nil {
+		key := ModelKey{Benchmark: benchmark, Device: device}
+		m, err := s.reg.Get(key)
+		switch {
+		case err == nil:
+			if !m.Portable() {
+				return resolvedModel{model: m, key: key, via: resolutionExact}, true
+			}
+			// A portable artifact stored under a concrete device name
+			// (e.g. a renamed file): still servable, bound to that device.
+			vec, verr := catalogVector(device)
+			if verr != nil {
+				return fail(http.StatusBadRequest,
+					"model %s is portable but %v; pass an inline descriptor", key, verr)
+			}
+			bound, berr := s.cache.bound(key, m, vec)
+			if berr != nil {
+				return fail(http.StatusInternalServerError, "%v", berr)
+			}
+			return resolvedModel{model: bound, key: key, via: resolutionPortable}, true
+		case !errors.Is(err, ErrModelNotFound):
+			return fail(http.StatusInternalServerError, "%v", err)
+		}
+	}
+
+	pkey := ModelKey{Benchmark: benchmark, Device: PortableDevice}
+	pm, err := s.reg.Get(pkey)
 	if errors.Is(err, ErrModelNotFound) {
-		writeErr(w, http.StatusNotFound, "%v (submit a tuning job first)", err)
-		return nil, key, false
+		return fail(http.StatusNotFound,
+			"no model for %s@%s and no portable %s model (submit a tuning job, or POST /v1/train with device %q)",
+			benchmark, device, pkey, PortableDevice)
 	}
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return nil, key, false
+		return fail(http.StatusInternalServerError, "%v", err)
 	}
-	return m, key, true
+	if !pm.Portable() {
+		return fail(http.StatusInternalServerError,
+			"model %s is not device-featurised; retrain it with device %q", pkey, PortableDevice)
+	}
+	if desc != nil {
+		if err := desc.Validate(); err != nil {
+			return fail(http.StatusBadRequest, "%v", err)
+		}
+		label := device
+		if label == "" {
+			label = desc.Name
+		}
+		// Inline descriptors bind fresh per request and resolve as
+		// ephemeral: nothing — bindings, scratch pools, top-M sweeps —
+		// is memoised under a client-controlled key.
+		bound, berr := pm.WithDevice(tuning.DeviceVector(desc, nil))
+		if berr != nil {
+			return fail(http.StatusInternalServerError, "%v", berr)
+		}
+		return resolvedModel{model: bound, key: ModelKey{Benchmark: benchmark, Device: label},
+			via: resolutionPortable, ephemeral: true}, true
+	}
+	vec, verr := catalogVector(device)
+	if verr != nil {
+		return fail(http.StatusNotFound,
+			"no model for %s@%s, and the portable %s model needs a descriptor: %v (pass an inline descriptor)",
+			benchmark, device, pkey, verr)
+	}
+	key := ModelKey{Benchmark: benchmark, Device: device}
+	bound, berr := s.cache.bound(key, pm, vec)
+	if berr != nil {
+		return fail(http.StatusInternalServerError, "%v", berr)
+	}
+	return resolvedModel{model: bound, key: key, via: resolutionPortable}, true
 }
 
 // configFromQuery builds the configuration to predict: either ?index=N
@@ -380,21 +544,22 @@ type prediction struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
-	m, key, ok := s.model(w, r)
+	rm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
-	cfg, err := configFromQuery(m.Space(), r)
+	cfg, err := configFromQuery(rm.model.Space(), r)
 	if err != nil {
 		writeErr(w, http.StatusBadRequest, "%v", err)
 		return
 	}
-	secs := s.cache.entry(key, m).predictBatch([]tuning.Config{cfg}, nil)[0]
+	secs := s.predictBatch(rm, []tuning.Config{cfg}, nil)[0]
 	writeJSON(w, http.StatusOK, struct {
-		Benchmark string `json:"benchmark"`
-		Device    string `json:"device"`
+		Benchmark  string `json:"benchmark"`
+		Device     string `json:"device"`
+		Resolution string `json:"resolution"`
 		prediction
-	}{key.Benchmark, key.Device, prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs}})
+	}{rm.key.Benchmark, rm.key.Device, rm.via, prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs}})
 }
 
 // maxPredictBatch bounds one POST /v1/predict request.
@@ -402,12 +567,15 @@ const maxPredictBatch = 10000
 
 // predictBatchRequest is the POST /v1/predict body: the model key plus
 // exactly one of Indices (dense space indices) or Configs (parameter
-// maps, every parameter present).
+// maps, every parameter present). Descriptor, when set, is an inline
+// devsim descriptor of hardware the daemon has never seen; resolution
+// then goes straight to the portable <benchmark>@* model bound to it.
 type predictBatchRequest struct {
-	Benchmark string           `json:"benchmark"`
-	Device    string           `json:"device"`
-	Indices   []int64          `json:"indices,omitempty"`
-	Configs   []map[string]int `json:"configs,omitempty"`
+	Benchmark  string             `json:"benchmark"`
+	Device     string             `json:"device,omitempty"`
+	Descriptor *devsim.Descriptor `json:"descriptor,omitempty"`
+	Indices    []int64            `json:"indices,omitempty"`
+	Configs    []map[string]int   `json:"configs,omitempty"`
 }
 
 // maxPredictBatchBytes bounds the POST /v1/predict body so the size
@@ -431,11 +599,11 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		writeErr(w, http.StatusBadRequest, "batch of %d exceeds the limit of %d", n, maxPredictBatch)
 		return
 	}
-	m, key, ok := s.modelFor(w, req.Benchmark, req.Device)
+	rm, ok := s.modelFor(w, req.Benchmark, req.Device, req.Descriptor)
 	if !ok {
 		return
 	}
-	space := m.Space()
+	space := rm.model.Space()
 	cfgs := make([]tuning.Config, 0, len(req.Indices)+len(req.Configs))
 	for _, idx := range req.Indices {
 		if idx < 0 || idx >= space.Size() {
@@ -452,7 +620,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 		}
 		cfgs = append(cfgs, cfg)
 	}
-	secs := s.cache.entry(key, m).predictBatch(cfgs, make([]float64, 0, len(cfgs)))
+	secs := s.predictBatch(rm, cfgs, make([]float64, 0, len(cfgs)))
 	out := make([]prediction, len(cfgs))
 	for i, cfg := range cfgs {
 		out[i] = prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs[i]}
@@ -460,8 +628,9 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		Benchmark   string       `json:"benchmark"`
 		Device      string       `json:"device"`
+		Resolution  string       `json:"resolution"`
 		Predictions []prediction `json:"predictions"`
-	}{key.Benchmark, key.Device, out})
+	}{rm.key.Benchmark, rm.key.Device, rm.via, out})
 }
 
 // maxTopM bounds one top-M response; the full candidate sweep stays
@@ -471,7 +640,7 @@ func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
 const maxTopM = 10000
 
 func (s *Server) handleTopM(w http.ResponseWriter, r *http.Request) {
-	m, key, ok := s.model(w, r)
+	rm, ok := s.model(w, r)
 	if !ok {
 		return
 	}
@@ -488,13 +657,14 @@ func (s *Server) handleTopM(w http.ResponseWriter, r *http.Request) {
 		}
 		M = n
 	}
-	out := s.cache.entry(key, m).topMCached(M)
+	out := s.topM(rm, M)
 	writeJSON(w, http.StatusOK, struct {
-		Benchmark string       `json:"benchmark"`
-		Device    string       `json:"device"`
-		M         int          `json:"m"`
-		Top       []prediction `json:"top"`
-	}{key.Benchmark, key.Device, M, out})
+		Benchmark  string       `json:"benchmark"`
+		Device     string       `json:"device"`
+		Resolution string       `json:"resolution"`
+		M          int          `json:"m"`
+		Top        []prediction `json:"top"`
+	}{rm.key.Benchmark, rm.key.Device, rm.via, M, out})
 }
 
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {

@@ -343,10 +343,16 @@ func TestServiceEndToEnd(t *testing.T) {
 	ts2 := httptest.NewServer(srv2)
 	defer ts2.Close()
 
-	var models []ModelInfo
-	jget(t, ts2.Client(), ts2.URL, "/v1/models", http.StatusOK, &models)
-	if len(models) != 1 || models[0].Loaded {
-		t.Fatalf("restarted registry listing %+v", models)
+	var listing struct {
+		ResolutionOrder []string    `json:"resolution_order"`
+		Models          []ModelInfo `json:"models"`
+	}
+	jget(t, ts2.Client(), ts2.URL, "/v1/models", http.StatusOK, &listing)
+	if len(listing.Models) != 1 || listing.Models[0].Loaded {
+		t.Fatalf("restarted registry listing %+v", listing.Models)
+	}
+	if len(listing.ResolutionOrder) == 0 {
+		t.Fatal("listing does not surface the resolution order")
 	}
 	var pred2 struct {
 		Seconds float64 `json:"seconds"`

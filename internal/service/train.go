@@ -6,11 +6,14 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	"sort"
+	"strings"
 	"time"
 
 	"repro/internal/ann"
 	"repro/internal/bench"
 	"repro/internal/core"
+	"repro/internal/devsim"
 	"repro/internal/tuning"
 )
 
@@ -44,6 +47,8 @@ func (ms *ModelSpec) config(seed int64) core.ModelConfig {
 // atomically swap it into the registry. It is the queue's worker body
 // for KindTrain jobs. Progress surfaces on the job's seq-numbered event
 // stream as "train-progress" records, one per trained ensemble member.
+// Jobs keyed device "*" train the benchmark's portable model instead,
+// pooling samples across devices (see trainPortable).
 func (s *Server) train(ctx context.Context, j *Job) (*core.Result, bool, error) {
 	spec := j.Spec
 	b, err := bench.Lookup(spec.Benchmark)
@@ -52,21 +57,47 @@ func (s *Server) train(ctx context.Context, j *Job) (*core.Result, bool, error) 
 	}
 	space := b.Space()
 
-	recs := spec.Samples
-	if len(recs) == 0 {
-		recs, err = s.samples.Load(spec.Key())
+	var samples []core.Sample
+	var invalid []tuning.Config
+	cfg := spec.Model.config(spec.Seed)
+	cfg.Ensemble.Workers = s.trainBudget(spec.Workers)
+
+	if spec.Key().Portable() {
+		sets, err := s.pooledSets(spec)
 		if err != nil {
 			return nil, false, err
 		}
+		var devices, skipped []string
+		samples, devices, skipped = pooledSamples(space, sets)
+		rec := EventRecord{Kind: "pooled-devices", Stage: "train",
+			Done: len(devices), Total: len(devices) + len(skipped)}
+		if len(skipped) > 0 {
+			rec.Error = "skipped: " + strings.Join(skipped, "; ")
+		}
+		j.observeRecord(rec)
+		if len(devices) < 2 {
+			return nil, false, fmt.Errorf("service: portable training for %s pools samples from at least 2 catalog devices, have %d %v",
+				spec.Key(), len(devices), devices)
+		}
+		// The portable schema replaces the invalid-penalty extension:
+		// validity is device-specific, so invalid records were dropped
+		// per device by pooledSamples instead of being penalised.
+		cfg.DeviceFeatures = true
+		cfg.InvalidPenalty = 0
+	} else {
+		recs := spec.Samples
+		if len(recs) == 0 {
+			recs, err = s.samples.Load(spec.Key())
+			if err != nil {
+				return nil, false, err
+			}
+		}
+		samples, invalid = splitRecords(space, recs)
 	}
-	samples, invalid := splitRecords(space, recs)
 	if len(samples) < spec.MinSamples {
 		return nil, false, fmt.Errorf("service: %d valid samples for %s, need at least %d (ingest more via POST /v1/samples)",
 			len(samples), spec.Key(), spec.MinSamples)
 	}
-
-	cfg := spec.Model.config(spec.Seed)
-	cfg.Ensemble.Workers = s.trainBudget(spec.Workers)
 
 	j.observe(core.Event{Kind: core.EventStageStarted, Stage: "train"})
 	t0 := time.Now()
@@ -101,31 +132,147 @@ func (s *Server) trainBudget(requested int) int {
 	return requested
 }
 
-// countValid returns how many records are trainable measurements (not
-// invalid-config markers).
-func countValid(recs []SampleRecord) int {
+// trainPreflight reports what a training job would see before it is
+// queued: the valid-sample count (inline batch, stored set, or — for a
+// portable job — the pool across catalog-resolvable devices) and, for
+// portable jobs, how many distinct devices contribute. The error is a
+// store read failure, not a shortage; callers compare the counts to
+// MinSamples and the two-device floor.
+func (s *Server) trainPreflight(spec JobSpec) (n, devices int, err error) {
+	b, err := bench.Lookup(spec.Benchmark)
+	if err != nil {
+		return 0, 0, err
+	}
+	space := b.Space()
+	if spec.Key().Portable() {
+		sets, err := s.pooledSets(spec)
+		if err != nil {
+			return 0, 0, err
+		}
+		samples, used, _ := pooledSamplesCount(space, sets)
+		return samples, used, nil
+	}
+	recs := spec.Samples
+	if len(recs) == 0 {
+		recs, err = s.samples.Load(spec.Key())
+		if err != nil {
+			return 0, 0, err
+		}
+	}
+	n = countValidIn(space, recs)
+	if n > 0 {
+		devices = 1
+	}
+	return n, devices, nil
+}
+
+// pooledSets groups a portable training job's records by device label:
+// the inline samples by their per-record Device field, otherwise one
+// stored set per device of the benchmark. The portable slot itself never
+// contributes (nothing is ever stored under device "*").
+func (s *Server) pooledSets(spec JobSpec) (map[string][]SampleRecord, error) {
+	sets := make(map[string][]SampleRecord)
+	if len(spec.Samples) > 0 {
+		for _, rec := range spec.Samples {
+			sets[rec.Device] = append(sets[rec.Device], rec)
+		}
+		return sets, nil
+	}
+	for _, key := range s.samples.Keys() {
+		if key.Benchmark != spec.Benchmark || key.Portable() {
+			continue
+		}
+		recs, err := s.samples.Load(key)
+		if err != nil {
+			return nil, err
+		}
+		if len(recs) > 0 {
+			sets[key.Device] = recs
+		}
+	}
+	return sets, nil
+}
+
+// catalogVector resolves a device label to its normalised feature vector
+// via the devsim catalog.
+func catalogVector(label string) ([]float64, error) {
+	d, err := devsim.Lookup(label)
+	if err != nil {
+		return nil, err
+	}
+	desc := d.Descriptor()
+	return tuning.DeviceVector(&desc, nil), nil
+}
+
+// pooledSamples resolves per-device record sets into device-featurised
+// training samples: each valid record becomes a core.Sample carrying its
+// device's feature vector. Devices whose labels have no catalog
+// descriptor are skipped (external measurers may store sets under labels
+// the daemon cannot featurise), as are devices contributing no valid
+// record and all invalid-config records — validity is device-specific
+// and the portable model only learns from measurements. Each skipped
+// entry carries its reason, surfaced on the job's pooled-devices event.
+// Devices are processed in sorted label order so the training set, and
+// therefore the trained model, is deterministic.
+func pooledSamples(space *tuning.Space, sets map[string][]SampleRecord) (samples []core.Sample, devices, skipped []string) {
+	labels := make([]string, 0, len(sets))
+	for label := range sets {
+		labels = append(labels, label)
+	}
+	sort.Strings(labels)
+	for _, label := range labels {
+		vec, err := catalogVector(label)
+		if err != nil {
+			skipped = append(skipped, label+" (no descriptor in the devsim catalog)")
+			continue
+		}
+		valid, _ := splitRecords(space, sets[label])
+		if len(valid) == 0 {
+			skipped = append(skipped, label+" (no valid samples)")
+			continue
+		}
+		for _, sm := range valid {
+			sm.Device = vec
+			samples = append(samples, sm)
+		}
+		devices = append(devices, label)
+	}
+	return samples, devices, skipped
+}
+
+// pooledSamplesCount is pooledSamples without materialising the set —
+// the preflight's cheap counting pass. It must agree with pooledSamples
+// on what counts: in-space valid records from catalog-resolvable
+// devices.
+func pooledSamplesCount(space *tuning.Space, sets map[string][]SampleRecord) (n, devices int, skipped int) {
+	for label, recs := range sets {
+		if _, err := devsim.Lookup(label); err != nil {
+			skipped++
+			continue
+		}
+		v := countValidIn(space, recs)
+		if v == 0 {
+			skipped++
+			continue
+		}
+		n += v
+		devices++
+	}
+	return n, devices, skipped
+}
+
+// countValidIn counts the records that would survive splitRecords as
+// training samples: in-space index, valid, positive time. Preflight
+// counting must use it so a submit-time 400 and the job's own check
+// agree on the same number.
+func countValidIn(space *tuning.Space, recs []SampleRecord) int {
 	n := 0
 	for _, rec := range recs {
-		if !rec.Invalid && rec.Seconds > 0 {
+		if rec.Index >= 0 && rec.Index < space.Size() && !rec.Invalid && rec.Seconds > 0 {
 			n++
 		}
 	}
 	return n
-}
-
-// validTrainSamples counts the valid samples a training job would see —
-// its inline batch, or the stored set. The error is a store read
-// failure, not a shortage; callers compare the count to MinSamples.
-func (s *Server) validTrainSamples(spec JobSpec) (int, error) {
-	recs := spec.Samples
-	if len(recs) == 0 {
-		var err error
-		recs, err = s.samples.Load(spec.Key())
-		if err != nil {
-			return 0, err
-		}
-	}
-	return countValid(recs), nil
 }
 
 // splitRecords resolves stored records against the space: valid records
@@ -203,13 +350,17 @@ const maxIngestBytes = 4 << 20
 // sampleInput is one ingested sample: exactly one of Index (dense space
 // index) or Config (parameter map, every parameter present) identifies
 // the configuration. Source, when set, overrides the request-level
-// source label, so a replayed sample file keeps its provenance.
+// source label, so a replayed sample file keeps its provenance. Device
+// names the device the measurement was taken on; it is required per
+// sample on the inline batch of a portable (device "*") training job
+// and informational elsewhere.
 type sampleInput struct {
 	Index   *int64         `json:"index,omitempty"`
 	Config  map[string]int `json:"config,omitempty"`
 	Seconds float64        `json:"seconds,omitempty"`
 	Invalid bool           `json:"invalid,omitempty"`
 	Source  string         `json:"source,omitempty"`
+	Device  string         `json:"device,omitempty"`
 }
 
 // sampleIngestRequest is the POST /v1/samples body.
@@ -245,7 +396,7 @@ func (in sampleInput) resolve(space *tuning.Space, source string, i int) (Sample
 	if in.Source != "" {
 		source = in.Source
 	}
-	rec := SampleRecord{Index: idx, Invalid: in.Invalid, Source: source}
+	rec := SampleRecord{Index: idx, Invalid: in.Invalid, Source: source, Device: in.Device}
 	if !in.Invalid {
 		rec.Seconds = in.Seconds
 	}
@@ -262,6 +413,11 @@ func (s *Server) handleSamplesIngest(w http.ResponseWriter, r *http.Request) {
 	}
 	if req.Benchmark == "" || req.Device == "" {
 		writeErr(w, http.StatusBadRequest, "benchmark and device are required")
+		return
+	}
+	if req.Device == PortableDevice {
+		writeErr(w, http.StatusBadRequest,
+			"ingest samples under their concrete device; POST /v1/train with device %q pools them", PortableDevice)
 		return
 	}
 	b, err := bench.Lookup(req.Benchmark)
@@ -304,8 +460,21 @@ func (s *Server) handleSamplesIngest(w http.ResponseWriter, r *http.Request) {
 func (s *Server) handleSamplesList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
 	benchmark, device := q.Get("benchmark"), q.Get("device")
-	if (benchmark == "") != (device == "") {
-		writeErr(w, http.StatusBadRequest, "pass both benchmark and device for one set's count, or neither for the listing")
+	if benchmark == "" && device != "" {
+		writeErr(w, http.StatusBadRequest, "device alone is ambiguous: pass benchmark (and optionally device)")
+		return
+	}
+	if benchmark != "" && device == "" {
+		// Benchmark-only filter: every device's set for this benchmark —
+		// the enumeration behind pooled (device "*") training.
+		all := s.samples.List()
+		out := make([]SampleSetInfo, 0, len(all))
+		for _, info := range all {
+			if info.Benchmark == benchmark {
+				out = append(out, info)
+			}
+		}
+		writeJSON(w, http.StatusOK, out)
 		return
 	}
 	if benchmark != "" && device != "" {
@@ -326,8 +495,35 @@ func (s *Server) handleSamplesList(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.samples.List())
 }
 
+// trainFailFast runs the shared submission-time checks of a training
+// job (POST /v1/train and POST /v1/jobs must enforce identical limits),
+// writing the error response itself and reporting whether the job may
+// queue.
+func (s *Server) trainFailFast(w http.ResponseWriter, spec JobSpec) bool {
+	n, devices, err := s.trainPreflight(spec)
+	if err != nil {
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return false
+	}
+	if spec.Key().Portable() && devices < 2 {
+		writeErr(w, http.StatusBadRequest,
+			"portable training for %s pools samples from at least 2 catalog devices, have %d (ingest per-device via POST /v1/samples)",
+			spec.Key(), devices)
+		return false
+	}
+	if n < spec.MinSamples {
+		writeErr(w, http.StatusBadRequest,
+			"%d valid samples for %s, need at least %d (ingest via POST /v1/samples or inline samples)",
+			n, spec.Key(), spec.MinSamples)
+		return false
+	}
+	return true
+}
+
 // trainRequest is the POST /v1/train body: the model key plus optional
-// model configuration and inline samples.
+// model configuration and inline samples. Device "*" trains the
+// benchmark's portable model from every catalog device's stored samples
+// (or from inline samples carrying per-record device labels).
 type trainRequest struct {
 	Benchmark string `json:"benchmark"`
 	Device    string `json:"device"`
@@ -390,16 +586,9 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	// Fail fast when nothing could possibly train: fewer valid samples
-	// than the floor — inline or stored — is a doomed job.
-	n, err := s.validTrainSamples(spec)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	if n < spec.MinSamples {
-		writeErr(w, http.StatusBadRequest,
-			"%d valid samples for %s, need at least %d (ingest via POST /v1/samples or inline samples)",
-			n, spec.Key(), spec.MinSamples)
+	// than the floor — inline, stored or pooled — is a doomed job, as is
+	// a portable job with fewer than two contributing devices.
+	if !s.trainFailFast(w, spec) {
 		return
 	}
 	j, err := s.queue.Submit(spec)

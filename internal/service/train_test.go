@@ -8,6 +8,7 @@ import (
 	"math/rand"
 	"net/http"
 	"net/http/httptest"
+	"net/url"
 	"sync"
 	"testing"
 
@@ -110,8 +111,14 @@ func TestTrainingPipelineEndToEnd(t *testing.T) {
 		"benchmark": "nope", "device": devsim.IntelI7,
 		"samples": []map[string]any{{"index": 3, "seconds": 0.1}}}, http.StatusBadRequest, nil)
 
-	// A half-specified listing filter is a 400, not a silent full list.
-	jget(t, client, ts.URL, "/v1/samples?benchmark=convolution", http.StatusBadRequest, nil)
+	// A benchmark-only filter lists that benchmark's sets across devices
+	// (empty so far); a device-only filter stays a 400.
+	var empty []SampleSetInfo
+	jget(t, client, ts.URL, "/v1/samples?benchmark=convolution", http.StatusOK, &empty)
+	if len(empty) != 0 {
+		t.Fatalf("benchmark-only listing before ingest: %+v", empty)
+	}
+	jget(t, client, ts.URL, "/v1/samples?device="+url.QueryEscape(devsim.IntelI7), http.StatusBadRequest, nil)
 
 	// Inline samples below the valid floor fail fast at submission —
 	// invalid markers do not count toward min_samples.

@@ -1,11 +1,14 @@
 // Package tuning defines tuning-parameter spaces: named parameters with
 // finite value sets, dense index <-> configuration bijections over the
 // cartesian product, random sampling without replacement, and the feature
-// encoding used to feed configurations to the machine-learning model.
+// schema used to feed configurations — and, for portable models, device
+// descriptors — to the machine-learning model (see FeatureSchema).
 //
-// The package is deliberately independent of both the benchmarks that
-// declare spaces and the devices that constrain them; device-dependent
-// validity is expressed by predicates supplied by callers.
+// The package is deliberately independent of the benchmarks that declare
+// spaces; device-dependent validity is expressed by predicates supplied
+// by callers. Device *features* are different: the FeatureSchema's device
+// block derives normalised architectural features from devsim.Descriptor,
+// the lever behind cross-device performance portability.
 package tuning
 
 import (

@@ -2,8 +2,11 @@
 # e2e_smoke.sh — the daemon must not rot: build the real binaries, start
 # mltuned, gather samples with the devsim measurer, ingest them over
 # POST /v1/samples, run a POST /v1/train job, and round-trip a
-# /v1/predict from the freshly trained model. CI runs this on every
-# push; it is also runnable locally from the repo root.
+# /v1/predict from the freshly trained model. Then the portable path:
+# gather a second device's samples, train the pooled <bench>@* model,
+# and predict for a third device that never trained — by catalog name
+# and by inline descriptor. CI runs this on every push; it is also
+# runnable locally from the repo root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -11,6 +14,8 @@ ADDR="127.0.0.1:18372"
 BASE="http://$ADDR"
 DEVICE="Intel i7 3770"
 DEVICE_Q="Intel%20i7%203770"
+DEVICE2="AMD Radeon HD 7970"
+DEVICE3_Q="Nvidia%20K40"
 WORKDIR="$(mktemp -d)"
 BIN="$WORKDIR/bin"
 mkdir -p "$BIN"
@@ -58,6 +63,34 @@ echo "$out" | grep -q '"seconds"' || { echo "prediction missing seconds" >&2; ex
 echo "== sample store and registry report the artifacts"
 curl -fs "$BASE/v1/samples?benchmark=convolution&device=$DEVICE_Q" | grep -q '"records"'
 curl -fs "$BASE/v1/models" | grep -q '"benchmark": "convolution"'
+curl -fs "$BASE/v1/models" | grep -q '"resolution_order"'
+
+echo "== portable path: second device's samples, pooled @* training"
+"$BIN/mltune" -bench convolution -device "$DEVICE2" -n 60 -m 8 -seed 9 \
+    -dump-samples "$WORKDIR/samples2.jsonl" >/dev/null
+"$BIN/mltune" train -daemon "$BASE" -bench convolution -device "$DEVICE2" \
+    -samples "$WORKDIR/samples2.jsonl" -ensemble-k 3 -hidden 8 -epochs 150
+curl -fs "$BASE/v1/samples?benchmark=convolution" | grep -q "$DEVICE2" \
+    || { echo "benchmark-only sample listing misses $DEVICE2" >&2; exit 1; }
+"$BIN/mltune" train -daemon "$BASE" -bench convolution -device '*' \
+    -ensemble-k 3 -hidden 8 -epochs 150 -verify -verify-device "$DEVICE"
+curl -fs "$BASE/v1/models" | grep -q '"portable": true' \
+    || { echo "registry does not list the portable model" >&2; exit 1; }
+
+echo "== portable predict for a device that never trained (catalog name)"
+out="$(curl -fs "$BASE/v1/predict?benchmark=convolution&device=$DEVICE3_Q&index=7")"
+echo "$out"
+echo "$out" | grep -q '"resolution": "portable"' \
+    || { echo "expected portable resolution for $DEVICE3_Q" >&2; exit 1; }
+
+echo "== portable predict for unseen hardware (inline descriptor)"
+DESC='{"name":"Hypothetical GPU X","kind":"GPU","compute_units":24,"simd_width":32,"clock_ghz":1.3,"mem_bandwidth_gbs":512,"mem_latency_ns":300,"cache_line_bytes":128,"llc_bytes":4194304,"lds_bytes_per_cu":65536,"max_work_group_size":1024}'
+DESC_Q="$(python3 -c 'import sys,urllib.parse; print(urllib.parse.quote(sys.argv[1]))' "$DESC")"
+out="$(curl -fs "$BASE/v1/predict?benchmark=convolution&index=7&descriptor=$DESC_Q")"
+echo "$out"
+echo "$out" | grep -q '"resolution": "portable"' \
+    || { echo "inline-descriptor predict did not resolve portable" >&2; exit 1; }
+echo "$out" | grep -q '"seconds"' || { echo "inline prediction missing seconds" >&2; exit 1; }
 
 echo "== graceful shutdown"
 kill -TERM "$DAEMON_PID"
