@@ -1,0 +1,82 @@
+package main
+
+import "math"
+
+// latHist is an HDR-style latency histogram: logarithmically spaced
+// buckets from 1µs to 10s (factor 2^(1/4) per bucket, ~4 buckets per
+// octave, so any quantile is off by at most ~19% of its value — plenty
+// for a load report), plus an overflow bucket. Each worker records into
+// a private instance, so the hot loop never contends; instances merge
+// after the run.
+type latHist struct {
+	bounds []float64 // upper bounds, seconds; counts has one extra overflow slot
+	counts []uint64
+	total  uint64
+	sum    float64
+	max    float64
+}
+
+func newLatHist() *latHist {
+	var bounds []float64
+	for b := 1e-6; b < 10; b *= math.Sqrt(math.Sqrt2) {
+		bounds = append(bounds, b)
+	}
+	bounds = append(bounds, 10)
+	return &latHist{bounds: bounds, counts: make([]uint64, len(bounds)+1)}
+}
+
+func (h *latHist) observe(v float64) {
+	// Binary search: the bucket count is ~100, but the loop runs per
+	// request and log-spaced bounds make the search exact.
+	lo, hi := 0, len(h.bounds)
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if v > h.bounds[mid] {
+			lo = mid + 1
+		} else {
+			hi = mid
+		}
+	}
+	h.counts[lo]++
+	h.total++
+	h.sum += v
+	if v > h.max {
+		h.max = v
+	}
+}
+
+// merge folds o into h; both must come from newLatHist.
+func (h *latHist) merge(o *latHist) {
+	for i, c := range o.counts {
+		h.counts[i] += c
+	}
+	h.total += o.total
+	h.sum += o.sum
+	if o.max > h.max {
+		h.max = o.max
+	}
+}
+
+// quantile returns the upper bound of the bucket holding the q-th
+// observation (0 < q <= 1), clamped to the observed maximum so p99
+// never exceeds max on sparse data.
+func (h *latHist) quantile(q float64) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	rank := uint64(math.Ceil(q * float64(h.total)))
+	if rank < 1 {
+		rank = 1
+	}
+	cum := uint64(0)
+	for i, c := range h.counts {
+		cum += c
+		if cum >= rank {
+			if i < len(h.bounds) {
+				return math.Min(h.bounds[i], h.max)
+			}
+			return h.max
+		}
+	}
+	return h.max
+}

@@ -1,0 +1,472 @@
+// Command mlbench is the mltuned load generator: it drives a live
+// daemon's read path (GET/POST /v1/predict, GET /v1/topm) with a
+// configurable worker pool and request mix, measures client-side
+// latency into per-worker HDR-style histograms, and writes a
+// machine-readable BENCH_serve.json report (schema "mltuned-bench/v1")
+// with p50/p95/p99/max latency and achieved QPS per endpoint, plus the
+// daemon's own metrics-counter deltas over the run.
+//
+// Usage:
+//
+//	mlbench [-addr http://127.0.0.1:8372] [-benchmark convolution]
+//	        [-device "Intel i7 3770"] [-workers 4] [-qps 0]
+//	        [-duration 10s] [-warmup 2s] [-mix single=2,batch=1,topm=1]
+//	        [-batch-size 16] [-m 10] [-seed 1] [-out BENCH_serve.json]
+//	mlbench -validate BENCH_serve.json
+//
+// With -qps 0 the loop is closed: each worker re-issues the next
+// request as soon as the previous response lands, measuring the
+// daemon's capacity. With -qps N the loop is open: requests are paced
+// globally at N per second regardless of response times, measuring
+// latency at a fixed offered load (the honest way to observe queueing
+// delay). The warmup phase runs the same mix but discards its numbers,
+// so cold caches (model load, scratch pools, top-M sweeps) do not
+// pollute the report.
+//
+// The daemon must already serve a model for the benchmark/device pair;
+// the e2e smoke script trains one first. -validate checks an existing
+// report against the schema and exits, so CI can gate on report shape
+// without re-running load.
+package main
+
+import (
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"net/url"
+	"os"
+	"sort"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"repro/internal/telemetry"
+)
+
+// endpoint identifies one request shape in the mix.
+type endpoint int
+
+const (
+	epSingle endpoint = iota // GET /v1/predict, one random index
+	epBatch                  // POST /v1/predict, -batch-size random indices
+	epTopM                   // GET /v1/topm?m=-m
+	numEndpoints
+)
+
+var endpointNames = [numEndpoints]string{"predict_single", "predict_batch", "topm"}
+
+func main() {
+	var (
+		addr      = flag.String("addr", "http://127.0.0.1:8372", "daemon base URL")
+		benchmark = flag.String("benchmark", "convolution", "benchmark to query")
+		device    = flag.String("device", "Intel i7 3770", "device to query")
+		workers   = flag.Int("workers", 4, "concurrent client workers")
+		qps       = flag.Float64("qps", 0, "offered load in requests/second across all workers (0 = closed loop)")
+		duration  = flag.Duration("duration", 10*time.Second, "measure-phase length")
+		warmup    = flag.Duration("warmup", 2*time.Second, "warmup length (same mix, numbers discarded)")
+		mix       = flag.String("mix", "single=2,batch=1,topm=1", "request mix weights: single=W,batch=W,topm=W")
+		batchSize = flag.Int("batch-size", 16, "indices per POST /v1/predict batch")
+		topM      = flag.Int("m", 10, "M for /v1/topm requests")
+		seed      = flag.Int64("seed", 1, "index-stream seed (per worker: seed+worker)")
+		out       = flag.String("out", "BENCH_serve.json", "report output path")
+		validate  = flag.String("validate", "", "validate an existing report file and exit")
+	)
+	flag.Parse()
+
+	if *validate != "" {
+		if err := validateFile(*validate); err != nil {
+			fmt.Fprintln(os.Stderr, "mlbench: invalid report:", err)
+			os.Exit(1)
+		}
+		fmt.Printf("mlbench: %s conforms to %s\n", *validate, SchemaVersion)
+		return
+	}
+
+	weights, err := parseMix(*mix)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlbench:", err)
+		os.Exit(1)
+	}
+	if *workers < 1 || *duration <= 0 || *batchSize < 1 || *topM < 1 {
+		fmt.Fprintln(os.Stderr, "mlbench: workers, duration, batch-size and m must be positive")
+		os.Exit(1)
+	}
+
+	b := &bench{
+		base:      strings.TrimRight(*addr, "/"),
+		benchmark: *benchmark,
+		device:    *device,
+		batchSize: *batchSize,
+		topM:      *topM,
+		weights:   weights,
+		client: &http.Client{
+			Timeout: 30 * time.Second,
+			Transport: &http.Transport{
+				MaxIdleConns:        *workers + 2,
+				MaxIdleConnsPerHost: *workers + 2,
+			},
+		},
+	}
+
+	spaceSize, err := b.probe()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlbench:", err)
+		os.Exit(1)
+	}
+	b.spaceSize = spaceSize
+	fmt.Printf("mlbench: %s %s@%s, space %d, %d workers, mix %s, %s\n",
+		b.base, b.benchmark, b.device, spaceSize, *workers, *mix, loopDesc(*qps))
+
+	if *warmup > 0 {
+		b.run(*workers, *qps, *warmup, *seed)
+	}
+	before, err := b.stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlbench:", err)
+		os.Exit(1)
+	}
+	started := time.Now()
+	results, elapsed := b.run(*workers, *qps, *duration, *seed+int64(*workers))
+	after, err := b.stats()
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mlbench:", err)
+		os.Exit(1)
+	}
+
+	report := &Report{
+		Schema: SchemaVersion,
+		Run: RunInfo{
+			Addr:            b.base,
+			Benchmark:       b.benchmark,
+			Device:          b.device,
+			Workers:         *workers,
+			TargetQPS:       *qps,
+			DurationSeconds: elapsed.Seconds(),
+			WarmupSeconds:   warmup.Seconds(),
+			BatchSize:       *batchSize,
+			TopM:            *topM,
+			SpaceSize:       spaceSize,
+			Started:         started.UTC().Format(time.RFC3339),
+		},
+		Endpoints: make(map[string]EndpointStats),
+		Daemon:    DaemonInfo{MetricsDiff: diffCounters(before, after)},
+	}
+	for ep := endpoint(0); ep < numEndpoints; ep++ {
+		r := results[ep]
+		if r.requests == 0 {
+			continue
+		}
+		report.Endpoints[endpointNames[ep]] = EndpointStats{
+			Requests:    r.requests,
+			OK:          r.ok,
+			Shed:        r.shed,
+			Errors:      r.errors,
+			AchievedQPS: float64(r.requests) / elapsed.Seconds(),
+			Latency: LatencySummary{
+				P50:  r.hist.quantile(0.50),
+				P95:  r.hist.quantile(0.95),
+				P99:  r.hist.quantile(0.99),
+				Max:  r.hist.max,
+				Mean: r.hist.sum / float64(r.hist.total),
+			},
+		}
+	}
+	if err := report.Validate(); err != nil {
+		fmt.Fprintln(os.Stderr, "mlbench: generated report failed validation:", err)
+		os.Exit(1)
+	}
+	doc, _ := json.MarshalIndent(report, "", "  ")
+	doc = append(doc, '\n')
+	if err := os.WriteFile(*out, doc, 0o644); err != nil {
+		fmt.Fprintln(os.Stderr, "mlbench:", err)
+		os.Exit(1)
+	}
+	printSummary(report)
+	fmt.Printf("mlbench: wrote %s\n", *out)
+}
+
+func loopDesc(qps float64) string {
+	if qps > 0 {
+		return fmt.Sprintf("open loop @ %g req/s", qps)
+	}
+	return "closed loop"
+}
+
+// parseMix parses "single=2,batch=1,topm=1" into per-endpoint weights.
+func parseMix(s string) ([numEndpoints]int, error) {
+	var w [numEndpoints]int
+	aliases := map[string]endpoint{"single": epSingle, "batch": epBatch, "topm": epTopM}
+	for _, part := range strings.Split(s, ",") {
+		name, val, ok := strings.Cut(strings.TrimSpace(part), "=")
+		if !ok {
+			return w, fmt.Errorf("mix part %q is not name=weight", part)
+		}
+		ep, ok := aliases[name]
+		if !ok {
+			return w, fmt.Errorf("mix names one of single, batch, topm; got %q", name)
+		}
+		n, err := strconv.Atoi(val)
+		if err != nil || n < 0 {
+			return w, fmt.Errorf("mix weight %q is not a non-negative integer", val)
+		}
+		w[ep] = n
+	}
+	total := 0
+	for _, n := range w {
+		total += n
+	}
+	if total == 0 {
+		return w, fmt.Errorf("mix %q has zero total weight", s)
+	}
+	return w, nil
+}
+
+// bench holds the run-wide request-building state.
+type bench struct {
+	base      string
+	benchmark string
+	device    string
+	spaceSize int64
+	batchSize int
+	topM      int
+	weights   [numEndpoints]int
+	client    *http.Client
+}
+
+// epResult is one endpoint's aggregate.
+type epResult struct {
+	requests uint64
+	ok       uint64
+	shed     uint64
+	errors   uint64
+	hist     *latHist
+}
+
+// probe checks the daemon serves the benchmark/device pair (one predict,
+// which also loads the model so the warmup starts warm-ish) and reads
+// the tuning-space size from the model listing. Falling back to 1024
+// keeps the tool usable against daemons whose listing omits the size.
+func (b *bench) probe() (int64, error) {
+	resp, err := b.client.Get(b.singleURL(0))
+	if err != nil {
+		return 0, fmt.Errorf("probing %s: %w (is mltuned running?)", b.base, err)
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return 0, fmt.Errorf("probe predict returned %d: train a model for %s@%s first",
+			resp.StatusCode, b.benchmark, b.device)
+	}
+	resp, err = b.client.Get(b.base + "/v1/models?benchmark=" + url.QueryEscape(b.benchmark))
+	if err != nil {
+		return 0, err
+	}
+	defer resp.Body.Close()
+	var listing struct {
+		Models []struct {
+			Device    string `json:"device"`
+			SpaceSize int64  `json:"space_size"`
+		} `json:"models"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
+		return 0, fmt.Errorf("decoding model listing: %w", err)
+	}
+	size := int64(0)
+	for _, m := range listing.Models {
+		if m.SpaceSize > 0 && (m.Device == b.device || size == 0) {
+			size = m.SpaceSize
+		}
+	}
+	if size == 0 {
+		size = 1024
+	}
+	return size, nil
+}
+
+func (b *bench) singleURL(idx int64) string {
+	return b.base + "/v1/predict?benchmark=" + url.QueryEscape(b.benchmark) +
+		"&device=" + url.QueryEscape(b.device) + "&index=" + strconv.FormatInt(idx, 10)
+}
+
+func (b *bench) topMURL() string {
+	return b.base + "/v1/topm?benchmark=" + url.QueryEscape(b.benchmark) +
+		"&device=" + url.QueryEscape(b.device) + "&m=" + strconv.Itoa(b.topM)
+}
+
+// pick draws an endpoint according to the mix weights.
+func (b *bench) pick(rng *rand.Rand) endpoint {
+	total := 0
+	for _, w := range b.weights {
+		total += w
+	}
+	n := rng.Intn(total)
+	for ep, w := range b.weights {
+		if n < w {
+			return endpoint(ep)
+		}
+		n -= w
+	}
+	return epSingle
+}
+
+// issue sends one request of the given shape and returns its status
+// code; any transport error reports as status 0.
+func (b *bench) issue(ep endpoint, rng *rand.Rand) int {
+	var resp *http.Response
+	var err error
+	switch ep {
+	case epSingle:
+		resp, err = b.client.Get(b.singleURL(rng.Int63n(b.spaceSize)))
+	case epBatch:
+		indices := make([]int64, b.batchSize)
+		for i := range indices {
+			indices[i] = rng.Int63n(b.spaceSize)
+		}
+		body, _ := json.Marshal(struct {
+			Benchmark string  `json:"benchmark"`
+			Device    string  `json:"device"`
+			Indices   []int64 `json:"indices"`
+		}{b.benchmark, b.device, indices})
+		resp, err = b.client.Post(b.base+"/v1/predict", "application/json", bytes.NewReader(body))
+	case epTopM:
+		resp, err = b.client.Get(b.topMURL())
+	}
+	if err != nil {
+		return 0
+	}
+	io.Copy(io.Discard, resp.Body)
+	resp.Body.Close()
+	return resp.StatusCode
+}
+
+// run drives one phase of load and returns the merged per-endpoint
+// results plus the measured wall-clock elapsed. Closed loop (qps 0):
+// every worker re-issues immediately. Open loop: workers share a paced
+// ticket stream, so the offered load is qps regardless of worker count
+// or response times (up to the point every worker is stuck waiting).
+func (b *bench) run(workers int, qps float64, d time.Duration, seed int64) ([numEndpoints]*epResult, time.Duration) {
+	start := time.Now()
+	deadline := start.Add(d)
+	var tickets atomic.Int64
+	perWorker := make([][numEndpoints]*epResult, workers)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			rng := rand.New(rand.NewSource(seed + int64(w)))
+			var res [numEndpoints]*epResult
+			for ep := range res {
+				res[ep] = &epResult{hist: newLatHist()}
+			}
+			perWorker[w] = res
+			for {
+				if qps > 0 {
+					due := start.Add(time.Duration(float64(tickets.Add(1)-1) / qps * float64(time.Second)))
+					if due.After(deadline) {
+						return
+					}
+					time.Sleep(time.Until(due))
+				} else if !time.Now().Before(deadline) {
+					return
+				}
+				ep := b.pick(rng)
+				t0 := time.Now()
+				code := b.issue(ep, rng)
+				lat := time.Since(t0).Seconds()
+				r := res[ep]
+				r.requests++
+				r.hist.observe(lat)
+				switch {
+				case code == http.StatusOK:
+					r.ok++
+				case code == http.StatusTooManyRequests:
+					r.shed++
+				default:
+					r.errors++
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	elapsed := time.Since(start)
+	var merged [numEndpoints]*epResult
+	for ep := range merged {
+		merged[ep] = &epResult{hist: newLatHist()}
+	}
+	for _, res := range perWorker {
+		for ep, r := range res {
+			merged[ep].requests += r.requests
+			merged[ep].ok += r.ok
+			merged[ep].shed += r.shed
+			merged[ep].errors += r.errors
+			merged[ep].hist.merge(r.hist)
+		}
+	}
+	return merged, elapsed
+}
+
+// stats fetches the daemon's counter totals from GET /v1/stats.
+func (b *bench) stats() (map[string]float64, error) {
+	resp, err := b.client.Get(b.base + "/v1/stats")
+	if err != nil {
+		return nil, fmt.Errorf("fetching /v1/stats: %w", err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusOK {
+		return nil, fmt.Errorf("/v1/stats returned %d", resp.StatusCode)
+	}
+	var st struct {
+		Telemetry telemetry.Snapshot `json:"telemetry"`
+	}
+	if err := json.NewDecoder(resp.Body).Decode(&st); err != nil {
+		return nil, fmt.Errorf("decoding /v1/stats: %w", err)
+	}
+	return st.Telemetry.CounterTotals(), nil
+}
+
+// diffCounters returns after-minus-before, keeping only series that
+// moved during the run.
+func diffCounters(before, after map[string]float64) map[string]float64 {
+	diff := make(map[string]float64)
+	for k, v := range after {
+		if d := v - before[k]; d != 0 {
+			diff[k] = d
+		}
+	}
+	return diff
+}
+
+func validateFile(path string) error {
+	doc, err := os.ReadFile(path)
+	if err != nil {
+		return err
+	}
+	var r Report
+	if err := json.Unmarshal(doc, &r); err != nil {
+		return err
+	}
+	return r.Validate()
+}
+
+func printSummary(r *Report) {
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("%-16s %9s %9s %6s %6s %9s %9s %9s %9s\n",
+		"endpoint", "requests", "qps", "shed", "errs", "p50", "p95", "p99", "max")
+	for _, name := range names {
+		ep := r.Endpoints[name]
+		fmt.Printf("%-16s %9d %9.1f %6d %6d %8.2fms %8.2fms %8.2fms %8.2fms\n",
+			name, ep.Requests, ep.AchievedQPS, ep.Shed, ep.Errors,
+			ep.Latency.P50*1e3, ep.Latency.P95*1e3, ep.Latency.P99*1e3, ep.Latency.Max*1e3)
+	}
+}

@@ -1,0 +1,136 @@
+package main
+
+import (
+	"math/rand"
+	"testing"
+)
+
+func TestLatHistQuantiles(t *testing.T) {
+	h := newLatHist()
+	// 1000 observations spread uniformly over [1ms, 101ms): the bucket
+	// digest must land within one log-bucket (~19%) of the true value.
+	rng := rand.New(rand.NewSource(3))
+	for i := 0; i < 1000; i++ {
+		h.observe(0.001 + rng.Float64()*0.1)
+	}
+	if h.total != 1000 {
+		t.Fatalf("total %d", h.total)
+	}
+	for _, tc := range []struct{ q, want float64 }{
+		{0.50, 0.051}, {0.95, 0.096}, {0.99, 0.100},
+	} {
+		got := h.quantile(tc.q)
+		if got < tc.want*0.75 || got > tc.want*1.25 {
+			t.Errorf("q%.2f = %v, want within 25%% of %v", tc.q, got, tc.want)
+		}
+	}
+	if h.quantile(1) != h.max {
+		t.Errorf("q1.00 = %v, want max %v", h.quantile(1), h.max)
+	}
+
+	// Merging two histograms must agree with observing into one.
+	a, b, both := newLatHist(), newLatHist(), newLatHist()
+	for i := 0; i < 500; i++ {
+		v1, v2 := rng.Float64(), rng.Float64()*10
+		a.observe(v1)
+		b.observe(v2)
+		both.observe(v1)
+		both.observe(v2)
+	}
+	a.merge(b)
+	if a.total != both.total || a.max != both.max || a.quantile(0.95) != both.quantile(0.95) {
+		t.Errorf("merge diverges: total %d/%d max %v/%v p95 %v/%v",
+			a.total, both.total, a.max, both.max, a.quantile(0.95), both.quantile(0.95))
+	}
+}
+
+func TestLatHistEmptyAndOverflow(t *testing.T) {
+	h := newLatHist()
+	if h.quantile(0.5) != 0 {
+		t.Error("empty histogram quantile not 0")
+	}
+	h.observe(42) // beyond the 10s top bound
+	if got := h.quantile(0.99); got != 42 {
+		t.Errorf("overflow quantile %v, want the observed max 42", got)
+	}
+}
+
+func TestParseMix(t *testing.T) {
+	w, err := parseMix("single=2,batch=1,topm=1")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if w[epSingle] != 2 || w[epBatch] != 1 || w[epTopM] != 1 {
+		t.Errorf("weights %v", w)
+	}
+	w, err = parseMix("topm=5")
+	if err != nil || w[epTopM] != 5 || w[epSingle] != 0 {
+		t.Errorf("partial mix: %v, %v", w, err)
+	}
+	for _, bad := range []string{"", "single", "single=-1", "predict=1", "single=0,batch=0,topm=0"} {
+		if _, err := parseMix(bad); err == nil {
+			t.Errorf("mix %q: accepted", bad)
+		}
+	}
+}
+
+func TestMixPickCoversWeightedEndpoints(t *testing.T) {
+	b := &bench{weights: [numEndpoints]int{2, 1, 0}}
+	rng := rand.New(rand.NewSource(1))
+	var hits [numEndpoints]int
+	for i := 0; i < 3000; i++ {
+		hits[b.pick(rng)]++
+	}
+	if hits[epTopM] != 0 {
+		t.Errorf("zero-weight endpoint drawn %d times", hits[epTopM])
+	}
+	if hits[epSingle] == 0 || hits[epBatch] == 0 {
+		t.Errorf("weighted endpoints not all drawn: %v", hits)
+	}
+	if ratio := float64(hits[epSingle]) / float64(hits[epBatch]); ratio < 1.5 || ratio > 2.5 {
+		t.Errorf("2:1 mix drew ratio %v", ratio)
+	}
+}
+
+func validReport() *Report {
+	return &Report{
+		Schema: SchemaVersion,
+		Run: RunInfo{Addr: "http://x", Benchmark: "convolution", Device: "Intel i7 3770",
+			Workers: 2, DurationSeconds: 1, SpaceSize: 1024},
+		Endpoints: map[string]EndpointStats{
+			"predict_single": {Requests: 10, OK: 8, Shed: 2, AchievedQPS: 10,
+				Latency: LatencySummary{P50: 0.001, P95: 0.002, P99: 0.003, Max: 0.004, Mean: 0.001}},
+		},
+		Daemon: DaemonInfo{MetricsDiff: map[string]float64{}},
+	}
+}
+
+func TestReportValidate(t *testing.T) {
+	if err := validReport().Validate(); err != nil {
+		t.Fatalf("valid report rejected: %v", err)
+	}
+	for name, breakIt := range map[string]func(*Report){
+		"wrong schema":   func(r *Report) { r.Schema = "v0" },
+		"missing device": func(r *Report) { r.Run.Device = "" },
+		"zero space":     func(r *Report) { r.Run.SpaceSize = 0 },
+		"no endpoints":   func(r *Report) { r.Endpoints = nil },
+		"zero requests": func(r *Report) {
+			ep := r.Endpoints["predict_single"]
+			ep.Requests = 0
+			r.Endpoints["predict_single"] = ep
+		},
+		"counts disagree": func(r *Report) { ep := r.Endpoints["predict_single"]; ep.OK = 1; r.Endpoints["predict_single"] = ep },
+		"unordered quantiles": func(r *Report) {
+			ep := r.Endpoints["predict_single"]
+			ep.Latency.P95 = 0.0005
+			r.Endpoints["predict_single"] = ep
+		},
+		"missing diff": func(r *Report) { r.Daemon.MetricsDiff = nil },
+	} {
+		r := validReport()
+		breakIt(r)
+		if err := r.Validate(); err == nil {
+			t.Errorf("%s: accepted", name)
+		}
+	}
+}

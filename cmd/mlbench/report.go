@@ -1,0 +1,109 @@
+package main
+
+import (
+	"fmt"
+	"sort"
+)
+
+// SchemaVersion identifies the BENCH_serve.json layout. Consumers (CI,
+// the e2e smoke test, before/after comparisons on serve-path PRs) pin
+// it; bump it only with a corresponding reader change.
+const SchemaVersion = "mltuned-bench/v1"
+
+// Report is the BENCH_serve.json document.
+type Report struct {
+	Schema    string                   `json:"schema"`
+	Run       RunInfo                  `json:"run"`
+	Endpoints map[string]EndpointStats `json:"endpoints"`
+	Daemon    DaemonInfo               `json:"daemon"`
+}
+
+// RunInfo records how the load was generated, so a report is
+// interpretable (and reproducible) on its own.
+type RunInfo struct {
+	Addr      string `json:"addr"`
+	Benchmark string `json:"benchmark"`
+	Device    string `json:"device"`
+	Workers   int    `json:"workers"`
+	// TargetQPS is 0 for a closed loop (workers re-issue as fast as
+	// responses come back) and the pacing target for an open loop.
+	TargetQPS       float64 `json:"target_qps"`
+	DurationSeconds float64 `json:"duration_seconds"`
+	WarmupSeconds   float64 `json:"warmup_seconds"`
+	BatchSize       int     `json:"batch_size"`
+	TopM            int     `json:"top_m"`
+	// SpaceSize is the tuning-space size indices were drawn from.
+	SpaceSize int64  `json:"space_size"`
+	Started   string `json:"started"`
+}
+
+// EndpointStats is one endpoint's aggregate over the measure phase.
+type EndpointStats struct {
+	Requests    uint64         `json:"requests"`
+	OK          uint64         `json:"ok"`
+	Shed        uint64         `json:"shed"`
+	Errors      uint64         `json:"errors"`
+	AchievedQPS float64        `json:"achieved_qps"`
+	Latency     LatencySummary `json:"latency_seconds"`
+}
+
+// LatencySummary is the quantile digest of one endpoint's latencies,
+// in seconds.
+type LatencySummary struct {
+	P50  float64 `json:"p50"`
+	P95  float64 `json:"p95"`
+	P99  float64 `json:"p99"`
+	Max  float64 `json:"max"`
+	Mean float64 `json:"mean"`
+}
+
+// DaemonInfo carries the daemon's own view of the run: the counter
+// deltas between the /v1/stats snapshots taken around the measure
+// phase. Client-side and server-side request counts must agree; a
+// mismatch means dropped or double-counted requests somewhere.
+type DaemonInfo struct {
+	MetricsDiff map[string]float64 `json:"metrics_diff"`
+}
+
+// Validate checks the report against the schema contract the e2e smoke
+// test and CI consumers rely on.
+func (r *Report) Validate() error {
+	if r.Schema != SchemaVersion {
+		return fmt.Errorf("schema %q, want %q", r.Schema, SchemaVersion)
+	}
+	if r.Run.Addr == "" || r.Run.Benchmark == "" || r.Run.Device == "" {
+		return fmt.Errorf("run is missing addr/benchmark/device: %+v", r.Run)
+	}
+	if r.Run.Workers < 1 || r.Run.DurationSeconds <= 0 || r.Run.SpaceSize < 1 {
+		return fmt.Errorf("run has non-positive workers/duration/space_size: %+v", r.Run)
+	}
+	if len(r.Endpoints) == 0 {
+		return fmt.Errorf("no endpoints measured")
+	}
+	names := make([]string, 0, len(r.Endpoints))
+	for name := range r.Endpoints {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		ep := r.Endpoints[name]
+		if ep.Requests == 0 {
+			return fmt.Errorf("endpoint %s measured zero requests", name)
+		}
+		if ep.OK+ep.Shed+ep.Errors != ep.Requests {
+			return fmt.Errorf("endpoint %s: ok %d + shed %d + errors %d != requests %d",
+				name, ep.OK, ep.Shed, ep.Errors, ep.Requests)
+		}
+		if ep.AchievedQPS <= 0 {
+			return fmt.Errorf("endpoint %s: non-positive achieved_qps", name)
+		}
+		l := ep.Latency
+		if !(l.P50 > 0 && l.P50 <= l.P95 && l.P95 <= l.P99 && l.P99 <= l.Max) {
+			return fmt.Errorf("endpoint %s: quantiles not ordered: %+v", name, l)
+		}
+	}
+	if r.Daemon.MetricsDiff == nil {
+		return fmt.Errorf("daemon.metrics_diff is missing")
+	}
+	return nil
+}

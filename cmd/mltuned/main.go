@@ -6,6 +6,7 @@
 //
 //	mltuned [-addr :8372] [-models DIR] [-samples DIR] [-workers N]
 //	        [-train-workers N] [-backlog N] [-drain-timeout D]
+//	        [-max-inflight N] [-pprof]
 //
 // On startup the registry directory is scanned for saved models
 // (benchmark@device.mlt files in the core.Model.Save format — the same
@@ -26,6 +27,15 @@
 // portable <bench>@* model; predict/top-M requests for devices without
 // a model of their own fall back to it, binding the requesting device's
 // descriptor (catalog name or inline descriptor JSON).
+//
+// The daemon is observable in production: GET /metrics exports every
+// internal counter, gauge and latency histogram in the Prometheus text
+// exposition format, GET /v1/stats returns the same snapshot as JSON,
+// and GET /readyz tells load balancers when to stop routing here
+// (draining, or job backlog full). The read path sheds load past
+// -max-inflight concurrent predict/top-M requests with 429 plus a
+// Retry-After hint instead of queueing unboundedly; -pprof exposes the
+// net/http/pprof profiling handlers under /debug/pprof/.
 //
 // SIGINT/SIGTERM trigger a graceful shutdown: the listener stops,
 // queued jobs are canceled, and running jobs get -drain-timeout to
@@ -60,6 +70,8 @@ func main() {
 		trainWorkers = flag.Int("train-workers", 0, "per-job ensemble training parallelism budget (0 = GOMAXPROCS)")
 		backlog      = flag.Int("backlog", 64, "job queue capacity beyond the running jobs")
 		drain        = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
+		maxInflight  = flag.Int("max-inflight", 256, "concurrent predict/top-M requests before shedding with 429 (0 = unlimited)")
+		pprof        = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
 	)
 	flag.Parse()
 
@@ -79,6 +91,12 @@ func main() {
 	}
 	if *trainWorkers > 0 {
 		opts = append(opts, service.WithTrainWorkers(*trainWorkers))
+	}
+	if *maxInflight > 0 {
+		opts = append(opts, service.WithMaxInflight(*maxInflight))
+	}
+	if *pprof {
+		opts = append(opts, service.WithPprof())
 	}
 	srv, err := service.New(reg, *workers, *backlog, opts...)
 	if err != nil {

@@ -18,6 +18,8 @@ import (
 // the registry hands out a different *core.Model than the slot was built
 // for, so a cache can never serve results from a replaced model.
 type serveCache struct {
+	m *cacheMetrics // nil-safe: a bare cache runs unmetered
+
 	mu      sync.Mutex
 	entries map[ModelKey]*serveEntry
 	// binds memoises portable-model device bindings per resolved key, so
@@ -37,6 +39,7 @@ type bindRec struct {
 // serveEntry caches read-path state for one loaded model.
 type serveEntry struct {
 	model     *core.Model
+	m         *cacheMetrics
 	scratches sync.Pool // of *core.BatchScratch
 
 	mu   sync.Mutex
@@ -47,8 +50,8 @@ type serveEntry struct {
 // values; beyond it the map is reset rather than evicted piecemeal.
 const maxTopMCacheEntries = 8
 
-func newServeCache() *serveCache {
-	return &serveCache{entries: make(map[ModelKey]*serveEntry), binds: make(map[ModelKey]bindRec)}
+func newServeCache(m *cacheMetrics) *serveCache {
+	return &serveCache{m: m, entries: make(map[ModelKey]*serveEntry), binds: make(map[ModelKey]bindRec)}
 }
 
 // bound returns parent bound to the given device vector, memoised under
@@ -59,8 +62,10 @@ func (c *serveCache) bound(key ModelKey, parent *core.Model, device []float64) (
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	if r, ok := c.binds[key]; ok && r.parent == parent {
+		c.m.bind(true)
 		return r.bound, nil
 	}
+	c.m.bind(false)
 	bound, err := parent.WithDevice(device)
 	if err != nil {
 		return nil, err
@@ -76,9 +81,12 @@ func (c *serveCache) entry(key ModelKey, m *core.Model) *serveEntry {
 	defer c.mu.Unlock()
 	e := c.entries[key]
 	if e == nil || e.model != m {
-		e = &serveEntry{model: m, topM: make(map[int][]prediction)}
+		c.m.entry(false)
+		e = &serveEntry{model: m, m: c.m, topM: make(map[int][]prediction)}
 		e.scratches.New = func() any { return m.NewBatchScratch() }
 		c.entries[key] = e
+	} else {
+		c.m.entry(true)
 	}
 	return e
 }
@@ -91,6 +99,7 @@ func (c *serveCache) invalidate(key ModelKey) {
 	defer c.mu.Unlock()
 	delete(c.entries, key)
 	delete(c.binds, key)
+	c.m.invalidated()
 }
 
 // invalidateAll drops every slot (the registry was reloaded).
@@ -99,6 +108,7 @@ func (c *serveCache) invalidateAll() {
 	defer c.mu.Unlock()
 	c.entries = make(map[ModelKey]*serveEntry)
 	c.binds = make(map[ModelKey]bindRec)
+	c.m.invalidated()
 }
 
 // predictBatch predicts cfgs through a pooled scratch, appending to dst.
@@ -116,8 +126,10 @@ func (e *serveEntry) topMCached(M int) []prediction {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if top, ok := e.topM[M]; ok {
+		e.m.topm(true)
 		return top
 	}
+	e.m.topm(false)
 	top := e.model.TopM(M)
 	out := make([]prediction, len(top))
 	for i, p := range top {

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"sync"
+	"time"
 )
 
 // Queue is the bounded asynchronous job queue: one goroutine pool of
@@ -18,6 +19,7 @@ type Queue struct {
 	wg      sync.WaitGroup
 	baseCtx context.Context
 	stop    context.CancelFunc // cancels every running job (hard drain)
+	m       *queueMetrics      // nil-safe: a bare queue runs unmetered
 
 	mu      sync.Mutex
 	cond    *sync.Cond // signalled when pending grows or the queue closes
@@ -45,7 +47,10 @@ var ErrQueueClosed = fmt.Errorf("service: job queue is shut down")
 
 // NewQueue starts a queue with the given worker-pool size and backlog
 // capacity; run executes one job and must return when ctx is done.
-func NewQueue(workers, backlog int, run func(ctx context.Context, j *Job)) *Queue {
+// m instruments the queue (nil runs unmetered) and must be passed here,
+// not set later: workers start immediately, so a late assignment would
+// race them.
+func NewQueue(workers, backlog int, run func(ctx context.Context, j *Job), m *queueMetrics) *Queue {
 	if workers < 1 {
 		workers = 1
 	}
@@ -57,6 +62,7 @@ func NewQueue(workers, backlog int, run func(ctx context.Context, j *Job)) *Queu
 		run:     run,
 		baseCtx: base,
 		stop:    stop,
+		m:       m,
 		backlog: backlog,
 		jobs:    make(map[string]*Job),
 		retain:  defaultRetainedJobs,
@@ -82,15 +88,21 @@ func (q *Queue) worker() {
 		}
 		j := q.pending[0]
 		q.pending = q.pending[1:]
+		q.m.setDepth(len(q.pending))
 		q.mu.Unlock()
 
 		ctx, cancel := context.WithCancel(q.baseCtx)
 		if !j.start(cancel) {
-			cancel() // canceled while queued; skip
+			cancel()
+			// Canceled after we popped it but before start: Cancel saw it
+			// outside the backlog, so the accounting falls to us.
+			q.m.jobCanceledQueued(j.Spec.Kind)
 			continue
 		}
+		started := time.Now()
 		q.run(ctx, j)
 		cancel()
+		q.m.jobFinished(j.Spec.Kind, j.State(), time.Since(started))
 	}
 }
 
@@ -101,9 +113,11 @@ func (q *Queue) Submit(spec JobSpec) (*Job, error) {
 	q.mu.Lock()
 	defer q.mu.Unlock()
 	if q.closed {
+		q.m.rejectedJob("closed")
 		return nil, ErrQueueClosed
 	}
 	if len(q.pending) >= q.backlog {
+		q.m.rejectedJob("full")
 		return nil, ErrQueueFull
 	}
 	q.nextID++
@@ -111,9 +125,27 @@ func (q *Queue) Submit(spec JobSpec) (*Job, error) {
 	q.pending = append(q.pending, j)
 	q.jobs[j.ID] = j
 	q.order = append(q.order, j.ID)
+	q.m.submittedJob()
+	q.m.setDepth(len(q.pending))
 	q.evictLocked()
 	q.cond.Signal()
 	return j, nil
+}
+
+// Draining reports whether shutdown has begun: new submissions are
+// rejected and /readyz must tell load balancers to stop routing here.
+func (q *Queue) Draining() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return q.closed
+}
+
+// AtCapacity reports whether the backlog is full — the point where the
+// next submission would be rejected with ErrQueueFull.
+func (q *Queue) AtCapacity() bool {
+	q.mu.Lock()
+	defer q.mu.Unlock()
+	return len(q.pending) >= q.backlog
 }
 
 // evictLocked drops the oldest terminal jobs once the history exceeds
@@ -160,10 +192,13 @@ func (q *Queue) Jobs() []*Job {
 func (q *Queue) Cancel(id string) (*Job, error) {
 	q.mu.Lock()
 	j, ok := q.jobs[id]
+	wasQueued := false
 	if ok {
 		for i, p := range q.pending {
 			if p == j {
 				q.pending = append(q.pending[:i], q.pending[i+1:]...)
+				wasQueued = true
+				q.m.setDepth(len(q.pending))
 				break
 			}
 		}
@@ -173,6 +208,11 @@ func (q *Queue) Cancel(id string) (*Job, error) {
 		return nil, fmt.Errorf("service: no job %q", id)
 	}
 	j.requestCancel()
+	if wasQueued {
+		// The job left the backlog without a worker ever seeing it; the
+		// worker-side completion accounting will never fire for it.
+		q.m.jobCanceledQueued(j.Spec.Kind)
+	}
 	return j, nil
 }
 
@@ -200,13 +240,16 @@ func (q *Queue) Drain(ctx context.Context) error {
 	q.closed = true
 	pending := q.pending
 	q.pending = nil
+	q.m.setDepth(0)
 	q.cond.Broadcast()
 	q.mu.Unlock()
 
 	// Everything still in the backlog is canceled without starting;
 	// jobs that made it to a worker keep running until the deadline.
 	for _, j := range pending {
-		j.cancelIfQueued()
+		if j.cancelIfQueued() {
+			q.m.jobCanceledQueued(j.Spec.Kind)
+		}
 	}
 
 	done := make(chan struct{})

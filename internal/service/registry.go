@@ -25,6 +25,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/telemetry"
 )
 
 // modelExt is the registry file suffix, matching cmd/mltune -save-model
@@ -109,7 +110,8 @@ type regEntry struct {
 // Registry stores trained models keyed by benchmark×device, backed by a
 // directory of core.Model.Save files. It is safe for concurrent use.
 type Registry struct {
-	dir string
+	dir   string
+	loads *telemetry.Counter // disk loads; nil-safe, unmetered standalone
 
 	// fsMu serialises directory-level operations (Reload's scan+swap,
 	// Put's rename+insert) so a reload snapshot taken mid-Put cannot
@@ -136,6 +138,11 @@ func OpenRegistry(dir string) (*Registry, error) {
 
 // Dir returns the registry directory.
 func (r *Registry) Dir() string { return r.dir }
+
+// setMetrics points the registry's disk-load counter at the daemon's
+// telemetry; a registry opened standalone (tests, cmd/mltune) stays
+// unmetered.
+func (r *Registry) setMetrics(loads *telemetry.Counter) { r.loads = loads }
 
 // Reload rescans the registry directory, picking up models written by
 // other processes and dropping keys whose files disappeared. Cached
@@ -195,6 +202,7 @@ func (r *Registry) Get(key ModelKey) (*core.Model, error) {
 	if err != nil {
 		return nil, fmt.Errorf("service: loading model %s: %w", key, err)
 	}
+	r.loads.Inc()
 	e.model.Store(m)
 	return m, nil
 }

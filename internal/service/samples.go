@@ -73,6 +73,7 @@ type sampleEntry struct {
 type SampleStore struct {
 	dir string
 	cap int
+	m   storeMetrics // zero value discards; see setMetrics
 
 	mu      sync.Mutex
 	entries map[ModelKey]*sampleEntry
@@ -112,6 +113,10 @@ func OpenSampleStore(dir string) (*SampleStore, error) {
 // Dir returns the sample directory.
 func (st *SampleStore) Dir() string { return st.dir }
 
+// setMetrics points the store at the daemon's telemetry; a store opened
+// standalone keeps the zero value and runs unmetered.
+func (st *SampleStore) setMetrics(m storeMetrics) { st.m = m }
+
 // entry returns (creating if needed) the slot for key.
 func (st *SampleStore) entry(key ModelKey) *sampleEntry {
 	st.mu.Lock()
@@ -126,9 +131,9 @@ func (st *SampleStore) entry(key ModelKey) *sampleEntry {
 
 // load reads the entry's file into memory once; callers hold e.mu.
 // Malformed lines — for example a line truncated by a crash between an
-// append's write and its fsync — are skipped, not fatal: the store
-// serves every record that survived.
-func (e *sampleEntry) load() error {
+// append's write and its fsync — are skipped (and counted through m),
+// not fatal: the store serves every record that survived.
+func (e *sampleEntry) load(m storeMetrics) error {
 	if e.loaded {
 		return nil
 	}
@@ -150,9 +155,11 @@ func (e *sampleEntry) load() error {
 		}
 		var rec SampleRecord
 		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			m.corrupt.Inc()
 			continue
 		}
 		if rec.Index < 0 || (!rec.Invalid && rec.Seconds <= 0) {
+			m.corrupt.Inc()
 			continue
 		}
 		e.recs = append(e.recs, rec)
@@ -174,7 +181,7 @@ func (st *SampleStore) Append(key ModelKey, recs []SampleRecord) (total int, err
 	e := st.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.load(); err != nil {
+	if err := e.load(st.m); err != nil {
 		return 0, err
 	}
 	f, err := os.OpenFile(e.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
@@ -203,12 +210,15 @@ func (st *SampleStore) Append(key ModelKey, recs []SampleRecord) (total int, err
 		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
 	}
 	e.recs = append(e.recs, recs...)
+	st.m.appended.Add(len(recs))
 	if len(e.recs) > st.cap {
 		// A failed rotation must not fail the append: the records are
 		// already durable, and surfacing an error here would make the
 		// client retry and duplicate them. The set stays over cap and
 		// the next append retries the rotation.
-		e.rotate(st.dir, st.cap)
+		if e.rotate(st.dir, st.cap) == nil {
+			st.m.rotations.Inc()
+		}
 	}
 	return len(e.recs), nil
 }
@@ -259,7 +269,7 @@ func (st *SampleStore) Load(key ModelKey) ([]SampleRecord, error) {
 	e := st.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.load(); err != nil {
+	if err := e.load(st.m); err != nil {
 		return nil, err
 	}
 	return append([]SampleRecord(nil), e.recs...), nil
@@ -270,7 +280,7 @@ func (st *SampleStore) Count(key ModelKey) (int, error) {
 	e := st.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.load(); err != nil {
+	if err := e.load(st.m); err != nil {
 		return 0, err
 	}
 	return len(e.recs), nil

@@ -6,6 +6,7 @@ import (
 	"errors"
 	"fmt"
 	"net/http"
+	nhpprof "net/http/pprof"
 	"path/filepath"
 	"runtime"
 	"strconv"
@@ -15,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/devsim"
+	"repro/internal/telemetry"
 	"repro/internal/tuning"
 )
 
@@ -39,7 +41,10 @@ import (
 //	                      ?descriptor=<JSON> resolves unseen hardware through the portable model)
 //	POST   /v1/predict    predict a batch                (JSON: indices or config maps; optional descriptor)
 //	GET    /v1/topm       M best-predicted configurations (?benchmark=&device=&m=N; ?descriptor= as above)
-//	GET    /healthz       liveness + queue/registry counters
+//	GET    /v1/stats      health counters + full JSON metrics snapshot
+//	GET    /healthz       liveness + queue/registry counters (always 200 while up)
+//	GET    /readyz        readiness: 503 while draining or queue-full
+//	GET    /metrics       Prometheus text exposition format
 //
 // The read path (predict/top-M) runs on the batched prediction engine:
 // per-model scratch pools keep steady-state predictions allocation-free,
@@ -48,6 +53,12 @@ import (
 // the training pipeline: completed tuning jobs and external measurers
 // feed the persistent sample store, and training jobs turn stored
 // samples into registry models without a restart.
+//
+// Every route is instrumented (request count, latency histogram,
+// status-class counters — see the README's Operations section for the
+// metric reference), and the read path is bounded by WithMaxInflight:
+// requests beyond the in-flight limit are shed with 429 + Retry-After
+// rather than queueing behind a saturated prediction engine.
 type Server struct {
 	reg          *Registry
 	samples      *SampleStore
@@ -56,6 +67,21 @@ type Server struct {
 	mux          *http.ServeMux
 	trainWorkers int
 	started      time.Time
+
+	// metrics is the telemetry wiring behind GET /metrics and
+	// GET /v1/stats; always non-nil.
+	metrics *serverMetrics
+	// readSem bounds in-flight predict/top-M work (nil = no limit):
+	// over-limit requests shed with 429 instead of piling onto the
+	// prediction engine.
+	readSem chan struct{}
+	// pprof mounts net/http/pprof under /debug/pprof/ when set.
+	pprof bool
+
+	// testHookPredict, when non-nil, runs at the start of handlePredict
+	// while the request's -max-inflight slot is held; the shed tests use
+	// it to pin slots open and saturate the read path deterministically.
+	testHookPredict func()
 }
 
 // Option customises a Server at construction time.
@@ -78,6 +104,25 @@ func WithTrainWorkers(n int) Option {
 	}
 }
 
+// WithMaxInflight bounds the number of predict/top-M requests served
+// concurrently (the daemon's -max-inflight flag; 0 = unlimited).
+// Requests beyond the bound are shed immediately with 429 and a
+// Retry-After hint rather than queueing.
+func WithMaxInflight(n int) Option {
+	return func(s *Server) {
+		if n > 0 {
+			s.readSem = make(chan struct{}, n)
+		}
+	}
+}
+
+// WithPprof mounts net/http/pprof under /debug/pprof/ (the daemon's
+// -pprof flag). Off by default: profiling endpoints expose heap and
+// goroutine internals and cost real CPU when scraped.
+func WithPprof() Option {
+	return func(s *Server) { s.pprof = true }
+}
+
 // New builds a server over the registry with a worker pool of the given
 // size (0 = GOMAXPROCS) and job backlog (0 = 64). Unless WithSampleStore
 // is given, the sample store opens under <registry dir>/samples.
@@ -90,10 +135,11 @@ func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 	}
 	s := &Server{
 		reg:          reg,
-		cache:        newServeCache(),
+		metrics:      newServerMetrics(),
 		trainWorkers: runtime.GOMAXPROCS(0),
 		started:      time.Now().UTC(),
 	}
+	s.cache = newServeCache(s.metrics.cache)
 	for _, opt := range opts {
 		opt(s)
 	}
@@ -104,24 +150,54 @@ func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 		}
 		s.samples = st
 	}
-	s.queue = NewQueue(workers, backlog, s.runJob)
+	// Attach metrics to the components built before the Server existed.
+	// This happens before any traffic (the mux below is the only way in),
+	// so no reader can observe the handles half-wired.
+	reg.setMetrics(s.metrics.modelLoads)
+	s.samples.setMetrics(s.metrics.store)
+	s.queue = NewQueue(workers, backlog, s.runJob, s.metrics.queue)
+
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/jobs", s.handleSubmit)
-	mux.HandleFunc("GET /v1/jobs", s.handleJobs)
-	mux.HandleFunc("GET /v1/jobs/{id}", s.handleJob)
-	mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancel)
-	mux.HandleFunc("POST /v1/samples", s.handleSamplesIngest)
-	mux.HandleFunc("GET /v1/samples", s.handleSamplesList)
-	mux.HandleFunc("POST /v1/train", s.handleTrain)
-	mux.HandleFunc("GET /v1/models", s.handleModels)
-	mux.HandleFunc("POST /v1/reload", s.handleReload)
-	mux.HandleFunc("GET /v1/predict", s.handlePredict)
-	mux.HandleFunc("POST /v1/predict", s.handlePredictBatch)
-	mux.HandleFunc("GET /v1/topm", s.handleTopM)
-	mux.HandleFunc("GET /healthz", s.handleHealthz)
+	// handle wraps every route with the per-route instrumentation;
+	// handleRead additionally bounds it by the -max-inflight semaphore.
+	// The route label is the mux pattern, so the metrics reference in
+	// the README matches what the mux matched.
+	handle := func(pattern string, h http.HandlerFunc) {
+		mux.HandleFunc(pattern, s.instrument(s.metrics.route(pattern), h))
+	}
+	handleRead := func(pattern string, h http.HandlerFunc) {
+		rm := s.metrics.route(pattern)
+		mux.HandleFunc(pattern, s.instrument(rm, s.withShed(rm, h)))
+	}
+	handle("POST /v1/jobs", s.handleSubmit)
+	handle("GET /v1/jobs", s.handleJobs)
+	handle("GET /v1/jobs/{id}", s.handleJob)
+	handle("DELETE /v1/jobs/{id}", s.handleCancel)
+	handle("POST /v1/samples", s.handleSamplesIngest)
+	handle("GET /v1/samples", s.handleSamplesList)
+	handle("POST /v1/train", s.handleTrain)
+	handle("GET /v1/models", s.handleModels)
+	handle("POST /v1/reload", s.handleReload)
+	handleRead("GET /v1/predict", s.handlePredict)
+	handleRead("POST /v1/predict", s.handlePredictBatch)
+	handleRead("GET /v1/topm", s.handleTopM)
+	handle("GET /v1/stats", s.handleStats)
+	handle("GET /healthz", s.handleHealthz)
+	handle("GET /readyz", s.handleReadyz)
+	mux.HandleFunc("GET /metrics", s.handleMetrics)
+	if s.pprof {
+		mux.HandleFunc("GET /debug/pprof/", nhpprof.Index)
+		mux.HandleFunc("GET /debug/pprof/cmdline", nhpprof.Cmdline)
+		mux.HandleFunc("GET /debug/pprof/profile", nhpprof.Profile)
+		mux.HandleFunc("GET /debug/pprof/symbol", nhpprof.Symbol)
+		mux.HandleFunc("GET /debug/pprof/trace", nhpprof.Trace)
+	}
 	s.mux = mux
 	return s, nil
 }
+
+// Metrics exposes the telemetry registry (for tests and the daemon).
+func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
 
 // Samples exposes the sample store (for tests and the daemon).
 func (s *Server) Samples() *SampleStore { return s.samples }
@@ -192,8 +268,28 @@ func (s *Server) tune(ctx context.Context, j *Job) (*core.Result, bool, error) {
 
 // --- JSON helpers -----------------------------------------------------
 
+// Machine-readable error kinds: clients branch on these, not on the
+// human-readable message.
+const (
+	// errKindQueueFull: the backlog is at capacity; retry after the
+	// Retry-After hint.
+	errKindQueueFull = "queue_full"
+	// errKindQueueClosed: the daemon is draining for shutdown; do not
+	// retry against this instance.
+	errKindQueueClosed = "queue_closed"
+	// errKindOverloaded: the read path shed the request (429); retry
+	// after the Retry-After hint.
+	errKindOverloaded = "overloaded"
+)
+
 type apiError struct {
 	Error string `json:"error"`
+	// Kind is a stable machine-readable error class (see errKind*);
+	// empty for plain validation and not-found errors.
+	Kind string `json:"kind,omitempty"`
+	// Retryable reports whether retrying the same request against this
+	// instance can succeed; responses that set it also set Retry-After.
+	Retryable bool `json:"retryable,omitempty"`
 }
 
 func writeJSON(w http.ResponseWriter, code int, v any) {
@@ -206,6 +302,30 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 
 func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
 	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
+}
+
+// writeErrCoded writes an error with a machine-readable kind and retry
+// hint; retryable errors carry a Retry-After header set by the caller.
+func writeErrCoded(w http.ResponseWriter, code int, kind string, retryable bool, format string, args ...any) {
+	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...), Kind: kind, Retryable: retryable})
+}
+
+// retryAfterHint is the Retry-After value (seconds) on queue-full and
+// shed responses: long enough for a burst to clear, short enough that
+// clients do not sit idle against a recovered daemon.
+const retryAfterHint = "1"
+
+// writeQueueErr maps a queue submission error to its response:
+// queue-full is retryable (503 + Retry-After), queue-closed means the
+// daemon is draining and the client must go elsewhere (503, no
+// Retry-After).
+func writeQueueErr(w http.ResponseWriter, err error) {
+	if errors.Is(err, ErrQueueFull) {
+		w.Header().Set("Retry-After", retryAfterHint)
+		writeErrCoded(w, http.StatusServiceUnavailable, errKindQueueFull, true, "%v", err)
+		return
+	}
+	writeErrCoded(w, http.StatusServiceUnavailable, errKindQueueClosed, false, "%v", err)
 }
 
 // --- job handlers -----------------------------------------------------
@@ -229,11 +349,8 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	}
 	j, err := s.queue.Submit(spec)
 	switch {
-	case errors.Is(err, ErrQueueFull):
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
-		return
-	case errors.Is(err, ErrQueueClosed):
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
+		writeQueueErr(w, err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "%v", err)
@@ -544,6 +661,9 @@ type prediction struct {
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
+	if s.testHookPredict != nil {
+		s.testHookPredict()
+	}
 	rm, ok := s.model(w, r)
 	if !ok {
 		return
@@ -667,6 +787,9 @@ func (s *Server) handleTopM(w http.ResponseWriter, r *http.Request) {
 	}{rm.key.Benchmark, rm.key.Device, rm.via, M, out})
 }
 
+// handleHealthz is pure liveness: the process is up and serving HTTP.
+// It answers 200 even while draining — a draining daemon is alive; the
+// routing decision belongs to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, struct {
 		OK            bool             `json:"ok"`
@@ -675,4 +798,56 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 		SampleSets    int              `json:"sample_sets"`
 		Jobs          map[JobState]int `json:"jobs"`
 	}{true, time.Since(s.started).Seconds(), s.reg.Len(), s.samples.Len(), s.queue.Counts()})
+}
+
+// readiness is the GET /readyz payload.
+type readiness struct {
+	Ready  bool   `json:"ready"`
+	Reason string `json:"reason,omitempty"`
+}
+
+// handleReadyz is the load-balancer routing signal: 503 once Drain has
+// begun (stop routing before shutdown completes) or while the job
+// queue is at capacity (new submissions would be rejected anyway). The
+// read path keeps serving in both cases — readiness gates routing of
+// new traffic, not in-flight work.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	switch {
+	case s.queue.Draining():
+		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining: shutdown in progress"})
+	case s.queue.AtCapacity():
+		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "job queue at capacity"})
+	default:
+		writeJSON(w, http.StatusOK, readiness{Ready: true})
+	}
+}
+
+// handleMetrics renders the telemetry registry in Prometheus text
+// exposition format.
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", telemetry.ContentType)
+	s.metrics.reg.WritePrometheus(w)
+}
+
+// statsResponse is the GET /v1/stats payload: the health counters plus
+// a full JSON snapshot of every metric — the structured twin of
+// GET /metrics, and what cmd/mlbench diffs across a load run.
+type statsResponse struct {
+	UptimeSeconds float64            `json:"uptime_seconds"`
+	Models        int                `json:"models"`
+	SampleSets    int                `json:"sample_sets"`
+	Jobs          map[JobState]int   `json:"jobs"`
+	MaxInflight   int                `json:"max_inflight"`
+	Telemetry     telemetry.Snapshot `json:"telemetry"`
+}
+
+func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, statsResponse{
+		UptimeSeconds: time.Since(s.started).Seconds(),
+		Models:        s.reg.Len(),
+		SampleSets:    s.samples.Len(),
+		Jobs:          s.queue.Counts(),
+		MaxInflight:   cap(s.readSem),
+		Telemetry:     s.metrics.reg.Snapshot(),
+	})
 }

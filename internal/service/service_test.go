@@ -430,7 +430,7 @@ func TestQueueBackpressureCancelAndDrain(t *testing.T) {
 		case <-ctx.Done():
 			j.finish(nil, false, ctx.Err())
 		}
-	})
+	}, nil)
 	spec := JobSpec{Benchmark: "convolution", Device: devsim.IntelI7, Strategy: "ml"}
 
 	running, err := q.Submit(spec)
@@ -496,7 +496,7 @@ func TestQueueBackpressureCancelAndDrain(t *testing.T) {
 func TestQueueEvictsOldTerminalJobs(t *testing.T) {
 	q := NewQueue(1, 8, func(ctx context.Context, j *Job) {
 		j.finish(&core.Result{Strategy: "ml"}, false, nil)
-	})
+	}, nil)
 	q.mu.Lock()
 	q.retain = 3
 	q.mu.Unlock()
@@ -551,7 +551,7 @@ func TestQueueDrainLetsRunningJobsFinish(t *testing.T) {
 		started <- struct{}{}
 		time.Sleep(30 * time.Millisecond)
 		j.finish(&core.Result{Strategy: "ml"}, false, nil)
-	})
+	}, nil)
 	var jobs []*Job
 	for i := 0; i < 3; i++ {
 		j, err := q.Submit(JobSpec{Benchmark: "convolution", Device: devsim.IntelI7, Strategy: "ml"})

@@ -100,8 +100,16 @@ func (s *Server) train(ctx context.Context, j *Job) (*core.Result, bool, error) 
 	}
 
 	j.observe(core.Event{Kind: core.EventStageStarted, Stage: "train"})
+	s.metrics.trainSamplesUsed.Add(len(samples))
 	t0 := time.Now()
+	// Progress callbacks are serialised by the trainer, so the delta
+	// between consecutive events is one member's training time (first
+	// event measured from the training start).
+	last := t0
 	model, err := core.TrainModelProgress(ctx, space, samples, invalid, cfg, func(done, total int) {
+		now := time.Now()
+		s.metrics.trainMemberDuration.Observe(now.Sub(last).Seconds())
+		last = now
 		j.observeRecord(EventRecord{Kind: "train-progress", Stage: "train", Done: done, Total: total})
 	})
 	if err != nil {
@@ -594,7 +602,7 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	j, err := s.queue.Submit(spec)
 	switch {
 	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
-		writeErr(w, http.StatusServiceUnavailable, "%v", err)
+		writeQueueErr(w, err)
 		return
 	case err != nil:
 		writeErr(w, http.StatusInternalServerError, "%v", err)

@@ -1,0 +1,324 @@
+package telemetry
+
+import (
+	"math"
+	"strconv"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func TestCounterGaugeBasics(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "a counter")
+	g := r.Gauge("g", "a gauge")
+	c.Inc()
+	c.Add(4)
+	c.Add(-3) // ignored: counters never go down
+	if got := c.Value(); got != 5 {
+		t.Errorf("counter = %d, want 5", got)
+	}
+	g.Set(10)
+	g.Inc()
+	g.Dec()
+	g.Add(-4)
+	if got := g.Value(); got != 6 {
+		t.Errorf("gauge = %d, want 6", got)
+	}
+}
+
+func TestNilHandlesAreSafe(t *testing.T) {
+	var c *Counter
+	var g *Gauge
+	var h *Histogram
+	c.Inc()
+	c.Add(3)
+	g.Set(1)
+	g.Inc()
+	g.Dec()
+	g.Add(2)
+	h.Observe(0.5)
+}
+
+func TestHistogramBucketsAndSum(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{0.01, 0.1, 1})
+	for _, v := range []float64{0.005, 0.01, 0.05, 0.5, 5} {
+		h.Observe(v)
+	}
+	if got := h.Count(); got != 5 {
+		t.Errorf("count = %d, want 5", got)
+	}
+	if got, want := h.Sum(), 0.005+0.01+0.05+0.5+5; math.Abs(got-want) > 1e-12 {
+		t.Errorf("sum = %g, want %g", got, want)
+	}
+	// Raw (non-cumulative) per-bucket counts: ≤0.01 gets 0.005 and the
+	// boundary value 0.01; ≤0.1 gets 0.05; ≤1 gets 0.5; +Inf gets 5.
+	want := []uint64{2, 1, 1, 1}
+	for i := range want {
+		if got := h.counts[i].Load(); got != want[i] {
+			t.Errorf("bucket %d = %d, want %d", i, got, want[i])
+		}
+	}
+}
+
+func TestVecResolvesStableHandles(t *testing.T) {
+	r := NewRegistry()
+	v := r.CounterVec("req_total", "requests", "route", "class")
+	a := v.With("/v1/predict", "2xx")
+	b := v.With("/v1/predict", "2xx")
+	if a != b {
+		t.Error("With returned distinct handles for identical labels")
+	}
+	other := v.With("/v1/topm", "2xx")
+	if a == other {
+		t.Error("distinct labels share a handle")
+	}
+	a.Inc()
+	a.Inc()
+	other.Inc()
+	if a.Value() != 2 || other.Value() != 1 {
+		t.Errorf("values %d/%d, want 2/1", a.Value(), other.Value())
+	}
+}
+
+func TestLabelKeyCollisions(t *testing.T) {
+	// ("ab","c") and ("a","bc") must resolve to different children.
+	r := NewRegistry()
+	v := r.CounterVec("x_total", "", "p", "q")
+	if v.With("ab", "c") == v.With("a", "bc") {
+		t.Error("label tuples collide")
+	}
+}
+
+func TestDuplicateRegistrationPanics(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("dup_total", "")
+	defer func() {
+		if recover() == nil {
+			t.Error("duplicate registration did not panic")
+		}
+	}()
+	r.Gauge("dup_total", "")
+}
+
+// TestHotPathZeroAlloc is the acceptance gate for the metrics hot
+// path: incrementing counters, moving gauges and observing histograms
+// through pre-resolved handles must not allocate.
+func TestHotPathZeroAlloc(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	cv := r.CounterVec("cv_total", "", "route").With("/v1/predict")
+	g := r.Gauge("g", "")
+	h := r.Histogram("h", "", nil)
+	if allocs := testing.AllocsPerRun(1000, func() {
+		c.Inc()
+		cv.Add(2)
+		g.Inc()
+		g.Dec()
+		h.Observe(0.0042)
+	}); allocs != 0 {
+		t.Errorf("hot path allocates %.1f times per run, want 0", allocs)
+	}
+}
+
+func TestConcurrentObservations(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("c_total", "")
+	h := r.Histogram("h", "", []float64{0.5})
+	var wg sync.WaitGroup
+	const workers, per = 8, 2000
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				c.Inc()
+				h.Observe(0.25)
+			}
+		}()
+	}
+	wg.Wait()
+	if c.Value() != workers*per {
+		t.Errorf("counter = %d, want %d", c.Value(), workers*per)
+	}
+	if h.Count() != workers*per {
+		t.Errorf("histogram count = %d, want %d", h.Count(), workers*per)
+	}
+	if got, want := h.Sum(), 0.25*workers*per; math.Abs(got-want) > 1e-6 {
+		t.Errorf("histogram sum = %g, want %g", got, want)
+	}
+}
+
+// parseExposition is a strict-enough parser of the text exposition
+// format (version 0.0.4) for tests: it validates line structure and
+// returns series → value. It rejects lines that do not parse, so a
+// formatting regression fails the test rather than vanishing.
+func parseExposition(t *testing.T, text string) map[string]float64 {
+	t.Helper()
+	series := make(map[string]float64)
+	typed := make(map[string]string)
+	for ln, line := range strings.Split(text, "\n") {
+		if line == "" {
+			continue
+		}
+		if strings.HasPrefix(line, "# HELP ") {
+			rest := strings.TrimPrefix(line, "# HELP ")
+			if !strings.Contains(rest, " ") {
+				t.Fatalf("line %d: HELP without text: %q", ln+1, line)
+			}
+			continue
+		}
+		if strings.HasPrefix(line, "# TYPE ") {
+			fields := strings.Fields(strings.TrimPrefix(line, "# TYPE "))
+			if len(fields) != 2 {
+				t.Fatalf("line %d: malformed TYPE: %q", ln+1, line)
+			}
+			switch fields[1] {
+			case "counter", "gauge", "histogram":
+			default:
+				t.Fatalf("line %d: unknown type %q", ln+1, fields[1])
+			}
+			typed[fields[0]] = fields[1]
+			continue
+		}
+		if strings.HasPrefix(line, "#") {
+			t.Fatalf("line %d: unknown comment %q", ln+1, line)
+		}
+		// Sample line: name[{labels}] value
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("line %d: no value separator: %q", ln+1, line)
+		}
+		key, valStr := line[:sp], line[sp+1:]
+		val, err := strconv.ParseFloat(valStr, 64)
+		if err != nil && valStr != "+Inf" {
+			t.Fatalf("line %d: bad value %q: %v", ln+1, valStr, err)
+		}
+		name := key
+		if i := strings.IndexByte(key, '{'); i >= 0 {
+			if !strings.HasSuffix(key, "}") {
+				t.Fatalf("line %d: unterminated label set: %q", ln+1, line)
+			}
+			name = key[:i]
+			body := key[i+1 : len(key)-1]
+			for _, pair := range splitLabels(body) {
+				eq := strings.IndexByte(pair, '=')
+				if eq < 0 || len(pair) < eq+3 || pair[eq+1] != '"' || pair[len(pair)-1] != '"' {
+					t.Fatalf("line %d: malformed label %q", ln+1, pair)
+				}
+			}
+		}
+		base := name
+		for _, suffix := range []string{"_bucket", "_sum", "_count"} {
+			if b, ok := strings.CutSuffix(name, suffix); ok {
+				if typed[b] == "histogram" {
+					base = b
+				}
+				break
+			}
+		}
+		if _, ok := typed[base]; !ok {
+			t.Fatalf("line %d: sample %q has no TYPE header", ln+1, name)
+		}
+		series[key] = val
+	}
+	return series
+}
+
+// splitLabels splits `a="b",c="d"` on commas outside quotes.
+func splitLabels(s string) []string {
+	var out []string
+	inQuotes, start := false, 0
+	for i := 0; i < len(s); i++ {
+		switch s[i] {
+		case '\\':
+			if inQuotes {
+				i++
+			}
+		case '"':
+			inQuotes = !inQuotes
+		case ',':
+			if !inQuotes {
+				out = append(out, s[start:i])
+				start = i + 1
+			}
+		}
+	}
+	if start < len(s) {
+		out = append(out, s[start:])
+	}
+	return out
+}
+
+func TestWritePrometheusParses(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("plain_total", "plain counter").Add(7)
+	rv := r.CounterVec("routed_total", "per route", "route")
+	rv.With(`/v1/predict`).Add(3)
+	rv.With(`weird"label\with
+newline`).Inc()
+	r.Gauge("depth", "queue depth").Set(-2)
+	h := r.Histogram("latency_seconds", "request latency", []float64{0.001, 0.01})
+	h.Observe(0.0005)
+	h.Observe(0.5)
+
+	var sb strings.Builder
+	if err := r.WritePrometheus(&sb); err != nil {
+		t.Fatal(err)
+	}
+	series := parseExposition(t, sb.String())
+
+	checks := map[string]float64{
+		"plain_total":                        7,
+		`routed_total{route="/v1/predict"}`:  3,
+		"depth":                              -2,
+		`latency_seconds_bucket{le="0.001"}`: 1,
+		`latency_seconds_bucket{le="0.01"}`:  1,
+		`latency_seconds_bucket{le="+Inf"}`:  2,
+		"latency_seconds_count":              2,
+	}
+	for key, want := range checks {
+		got, ok := series[key]
+		if !ok {
+			t.Errorf("series %q missing from exposition:\n%s", key, sb.String())
+			continue
+		}
+		if got != want {
+			t.Errorf("series %q = %g, want %g", key, got, want)
+		}
+	}
+	if got := series["latency_seconds_sum"]; math.Abs(got-0.5005) > 1e-9 {
+		t.Errorf("latency_seconds_sum = %g, want 0.5005", got)
+	}
+}
+
+func TestSnapshotAndCounterTotals(t *testing.T) {
+	r := NewRegistry()
+	rv := r.CounterVec("req_total", "", "route", "class")
+	rv.With("/v1/predict", "2xx").Add(9)
+	r.Gauge("inflight", "").Set(3)
+	h := r.Histogram("lat", "", []float64{1})
+	h.Observe(0.5)
+
+	snap := r.Snapshot()
+	totals := snap.CounterTotals()
+	if got := totals[`req_total{class="2xx",route="/v1/predict"}`]; got != 9 {
+		t.Errorf("CounterTotals = %v, want req_total … = 9", totals)
+	}
+	var found bool
+	for _, m := range snap.Metrics {
+		if m.Name == "lat" {
+			found = true
+			if len(m.Values) != 1 || m.Values[0].Count != 1 || m.Values[0].Sum != 0.5 {
+				t.Errorf("histogram snapshot %+v", m.Values)
+			}
+			if n := len(m.Values[0].Buckets); n != 2 {
+				t.Errorf("histogram snapshot has %d buckets, want 2", n)
+			}
+		}
+	}
+	if !found {
+		t.Error("histogram family missing from snapshot")
+	}
+}

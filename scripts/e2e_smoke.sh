@@ -2,11 +2,15 @@
 # e2e_smoke.sh — the daemon must not rot: build the real binaries, start
 # mltuned, gather samples with the devsim measurer, ingest them over
 # POST /v1/samples, run a POST /v1/train job, and round-trip a
-# /v1/predict from the freshly trained model. Then the portable path:
-# gather a second device's samples, train the pooled <bench>@* model,
-# and predict for a third device that never trained — by catalog name
-# and by inline descriptor. CI runs this on every push; it is also
-# runnable locally from the repo root.
+# /v1/predict from the freshly trained model. Then the telemetry path:
+# a short mlbench load pass against the trained model, schema validation
+# of its BENCH_serve.json report (exported via $BENCH_OUT for CI to
+# upload), and a /metrics scrape asserting the core series are present
+# and counting. Then the portable path: gather a second device's
+# samples, train the pooled <bench>@* model, and predict for a third
+# device that never trained — by catalog name and by inline descriptor.
+# CI runs this on every push; it is also runnable locally from the repo
+# root.
 set -euo pipefail
 cd "$(dirname "$0")/.."
 
@@ -29,6 +33,7 @@ trap cleanup EXIT
 echo "== building binaries"
 go build -o "$BIN/mltune" ./cmd/mltune
 go build -o "$BIN/mltuned" ./cmd/mltuned
+go build -o "$BIN/mlbench" ./cmd/mlbench
 
 echo "== gathering samples offline (devsim measurer)"
 "$BIN/mltune" -bench convolution -device "$DEVICE" -n 60 -m 8 -seed 7 \
@@ -59,6 +64,35 @@ echo "== predict after training serves the swapped model"
 out="$(curl -fs "$BASE/v1/predict?benchmark=convolution&device=$DEVICE_Q&index=7")"
 echo "$out"
 echo "$out" | grep -q '"seconds"' || { echo "prediction missing seconds" >&2; exit 1; }
+
+echo "== mlbench load pass + report schema validation"
+BENCH_OUT="${BENCH_OUT:-$WORKDIR/BENCH_serve.json}"
+"$BIN/mlbench" -addr "$BASE" -device "$DEVICE" -workers 2 \
+    -warmup 1s -duration 3s -out "$BENCH_OUT"
+"$BIN/mlbench" -validate "$BENCH_OUT"
+
+echo "== /metrics scrape exposes the core series, counting"
+metrics="$(curl -fs "$BASE/metrics")"
+for want in \
+    '^# TYPE mltuned_http_requests_total counter' \
+    '^# TYPE mltuned_http_request_duration_seconds histogram' \
+    'mltuned_http_requests_total\{route="GET /v1/predict"\} [1-9]' \
+    'mltuned_http_request_duration_seconds_count\{route="GET /v1/predict"\} [1-9]' \
+    'mltuned_http_requests_total\{route="GET /v1/topm"\} [1-9]' \
+    '^mltuned_jobs_submitted_total [1-9]' \
+    '^mltuned_samples_appended_total [1-9]' \
+    '^mltuned_serve_cache_hits_total [1-9]' \
+    ; do
+    echo "$metrics" | grep -Eq "$want" \
+        || { echo "/metrics is missing or zero: $want" >&2; exit 1; }
+done
+curl -fs "$BASE/readyz" | grep -q '"ready": true' \
+    || { echo "/readyz not ready on a healthy daemon" >&2; exit 1; }
+# Capture before grepping: grep -q closing the pipe early on the large
+# stats body would fail curl -f under pipefail despite a match.
+stats="$(curl -fs "$BASE/v1/stats")"
+echo "$stats" | grep -q '"telemetry"' \
+    || { echo "/v1/stats missing the telemetry snapshot" >&2; exit 1; }
 
 echo "== sample store and registry report the artifacts"
 curl -fs "$BASE/v1/samples?benchmark=convolution&device=$DEVICE_Q" | grep -q '"records"'
