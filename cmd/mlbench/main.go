@@ -16,12 +16,15 @@
 //
 // With -qps 0 the loop is closed: each worker re-issues the next
 // request as soon as the previous response lands, measuring the
-// daemon's capacity. With -qps N the loop is open: requests are paced
-// globally at N per second regardless of response times, measuring
-// latency at a fixed offered load (the honest way to observe queueing
-// delay). The warmup phase runs the same mix but discards its numbers,
-// so cold caches (model load, scratch pools, top-M sweeps) do not
-// pollute the report.
+// daemon's capacity. A closed-loop worker that is shed (429) honors the
+// daemon's Retry-After hint — sleep, then retry the same request shape
+// — instead of hammering the 429 path; retried attempts count in the
+// report's requests/shed as always, plus an additive retries field.
+// With -qps N the loop is open: requests are paced globally at N per
+// second regardless of response times, measuring latency at a fixed
+// offered load (the honest way to observe queueing delay). The warmup
+// phase runs the same mix but discards its numbers, so cold caches
+// (model load, scratch pools, top-M sweeps) do not pollute the report.
 //
 // The daemon must already serve a model for the benchmark/device pair;
 // the e2e smoke script trains one first. -validate checks an existing
@@ -167,6 +170,7 @@ func main() {
 			OK:          r.ok,
 			Shed:        r.shed,
 			Errors:      r.errors,
+			Retries:     r.retries,
 			AchievedQPS: float64(r.requests) / elapsed.Seconds(),
 			Latency: LatencySummary{
 				P50:  r.hist.quantile(0.50),
@@ -245,7 +249,12 @@ type epResult struct {
 	ok       uint64
 	shed     uint64
 	errors   uint64
-	hist     *latHist
+	// retries counts shed (429) responses the closed loop followed up by
+	// honoring Retry-After and re-issuing the same request shape. Every
+	// retried attempt still counts in requests and shed, so the
+	// ok+shed+errors == requests invariant is unchanged.
+	retries uint64
+	hist    *latHist
 }
 
 // probe checks the daemon serves the benchmark/device pair (one predict,
@@ -316,8 +325,9 @@ func (b *bench) pick(rng *rand.Rand) endpoint {
 }
 
 // issue sends one request of the given shape and returns its status
-// code; any transport error reports as status 0.
-func (b *bench) issue(ep endpoint, rng *rand.Rand) int {
+// code plus the server's Retry-After backoff hint (zero when absent);
+// any transport error reports as status 0.
+func (b *bench) issue(ep endpoint, rng *rand.Rand) (int, time.Duration) {
 	var resp *http.Response
 	var err error
 	switch ep {
@@ -338,11 +348,32 @@ func (b *bench) issue(ep endpoint, rng *rand.Rand) int {
 		resp, err = b.client.Get(b.topMURL())
 	}
 	if err != nil {
-		return 0
+		return 0, 0
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
-	return resp.StatusCode
+	return resp.StatusCode, retryAfter(resp)
+}
+
+// defaultRetryAfter backs off shed responses that carry no (or an
+// unparseable) Retry-After header.
+const defaultRetryAfter = time.Second
+
+// retryAfter parses a 429's Retry-After header (delta-seconds form, the
+// only form mltuned emits).
+func retryAfter(resp *http.Response) time.Duration {
+	if resp.StatusCode != http.StatusTooManyRequests {
+		return 0
+	}
+	v := resp.Header.Get("Retry-After")
+	if v == "" {
+		return defaultRetryAfter
+	}
+	secs, err := strconv.Atoi(v)
+	if err != nil || secs < 0 {
+		return defaultRetryAfter
+	}
+	return time.Duration(secs) * time.Second
 }
 
 // run drives one phase of load and returns the merged per-endpoint
@@ -366,6 +397,10 @@ func (b *bench) run(workers int, qps float64, d time.Duration, seed int64) ([num
 				res[ep] = &epResult{hist: newLatHist()}
 			}
 			perWorker[w] = res
+			// retryEp pins the next iteration to the endpoint a 429 shed,
+			// so the closed loop retries the same request shape after
+			// honoring Retry-After instead of rolling a fresh one.
+			retryEp, retrying := epSingle, false
 			for {
 				if qps > 0 {
 					due := start.Add(time.Duration(float64(tickets.Add(1)-1) / qps * float64(time.Second)))
@@ -377,8 +412,11 @@ func (b *bench) run(workers int, qps float64, d time.Duration, seed int64) ([num
 					return
 				}
 				ep := b.pick(rng)
+				if retrying {
+					ep, retrying = retryEp, false
+				}
 				t0 := time.Now()
-				code := b.issue(ep, rng)
+				code, backoff := b.issue(ep, rng)
 				lat := time.Since(t0).Seconds()
 				r := res[ep]
 				r.requests++
@@ -388,6 +426,21 @@ func (b *bench) run(workers int, qps float64, d time.Duration, seed int64) ([num
 					r.ok++
 				case code == http.StatusTooManyRequests:
 					r.shed++
+					// Closed loop: the daemon asked for backoff, so hammering
+					// it again immediately would only measure its 429 path.
+					// Sleep the hint (never past the deadline) and retry the
+					// same shape. Open loop leaves pacing to the tickets —
+					// its offered load is the point of the measurement.
+					if qps == 0 {
+						if wait := time.Until(deadline); backoff > wait {
+							backoff = wait
+						}
+						if backoff > 0 {
+							time.Sleep(backoff)
+						}
+						r.retries++
+						retryEp, retrying = ep, true
+					}
 				default:
 					r.errors++
 				}
@@ -406,6 +459,7 @@ func (b *bench) run(workers int, qps float64, d time.Duration, seed int64) ([num
 			merged[ep].ok += r.ok
 			merged[ep].shed += r.shed
 			merged[ep].errors += r.errors
+			merged[ep].retries += r.retries
 			merged[ep].hist.merge(r.hist)
 		}
 	}
@@ -461,12 +515,12 @@ func printSummary(r *Report) {
 		names = append(names, name)
 	}
 	sort.Strings(names)
-	fmt.Printf("%-16s %9s %9s %6s %6s %9s %9s %9s %9s\n",
-		"endpoint", "requests", "qps", "shed", "errs", "p50", "p95", "p99", "max")
+	fmt.Printf("%-16s %9s %9s %6s %6s %6s %9s %9s %9s %9s\n",
+		"endpoint", "requests", "qps", "shed", "retry", "errs", "p50", "p95", "p99", "max")
 	for _, name := range names {
 		ep := r.Endpoints[name]
-		fmt.Printf("%-16s %9d %9.1f %6d %6d %8.2fms %8.2fms %8.2fms %8.2fms\n",
-			name, ep.Requests, ep.AchievedQPS, ep.Shed, ep.Errors,
+		fmt.Printf("%-16s %9d %9.1f %6d %6d %6d %8.2fms %8.2fms %8.2fms %8.2fms\n",
+			name, ep.Requests, ep.AchievedQPS, ep.Shed, ep.Retries, ep.Errors,
 			ep.Latency.P50*1e3, ep.Latency.P95*1e3, ep.Latency.P99*1e3, ep.Latency.Max*1e3)
 	}
 }

@@ -1,8 +1,13 @@
 package main
 
 import (
+	"fmt"
 	"math/rand"
+	"net/http"
+	"net/http/httptest"
+	"sync/atomic"
 	"testing"
+	"time"
 )
 
 func TestLatHistQuantiles(t *testing.T) {
@@ -132,5 +137,86 @@ func TestReportValidate(t *testing.T) {
 		if err := r.Validate(); err == nil {
 			t.Errorf("%s: accepted", name)
 		}
+	}
+}
+
+// TestClosedLoopHonorsRetryAfter pins the backoff contract: a closed
+// loop that is shed sleeps the daemon's Retry-After hint and retries
+// the same request shape, counting each attempt in requests/shed and
+// the follow-up in retries — so ok+shed+errors == requests still holds.
+func TestClosedLoopHonorsRetryAfter(t *testing.T) {
+	// Shed the first two predicts with Retry-After: 0 (keep the test
+	// fast), then serve everything.
+	var calls atomic.Int64
+	ts := httptest.NewServer(http.HandlerFunc(func(w http.ResponseWriter, r *http.Request) {
+		if calls.Add(1) <= 2 {
+			w.Header().Set("Retry-After", "0")
+			w.WriteHeader(http.StatusTooManyRequests)
+			fmt.Fprint(w, `{"error":"shed","kind":"overloaded","retryable":true}`)
+			return
+		}
+		fmt.Fprint(w, `{"seconds":0.001}`)
+	}))
+	defer ts.Close()
+
+	b := &bench{
+		base: ts.URL, benchmark: "convolution", device: "Intel i7 3770",
+		spaceSize: 64, batchSize: 4, topM: 5,
+		weights: [numEndpoints]int{1, 0, 0},
+		client:  ts.Client(),
+	}
+	results, _ := b.run(1, 0, 100*time.Millisecond, 1)
+	r := results[epSingle]
+	if r.shed != 2 || r.retries != 2 {
+		t.Errorf("shed %d retries %d, want 2 and 2", r.shed, r.retries)
+	}
+	if r.ok == 0 || r.ok+r.shed+r.errors != r.requests {
+		t.Errorf("counts ok %d shed %d errors %d requests %d", r.ok, r.shed, r.errors, r.requests)
+	}
+}
+
+// TestRetryAfterParsing pins the header handling: delta-seconds parse,
+// absent or garbage headers fall back to the 1s default, and non-429
+// responses never ask for backoff.
+func TestRetryAfterParsing(t *testing.T) {
+	mk := func(code int, header string) *http.Response {
+		resp := &http.Response{StatusCode: code, Header: make(http.Header)}
+		if header != "" {
+			resp.Header.Set("Retry-After", header)
+		}
+		return resp
+	}
+	for _, tc := range []struct {
+		code   int
+		header string
+		want   time.Duration
+	}{
+		{http.StatusTooManyRequests, "3", 3 * time.Second},
+		{http.StatusTooManyRequests, "0", 0},
+		{http.StatusTooManyRequests, "", defaultRetryAfter},
+		{http.StatusTooManyRequests, "soon", defaultRetryAfter},
+		{http.StatusTooManyRequests, "-1", defaultRetryAfter},
+		{http.StatusOK, "5", 0},
+		{http.StatusServiceUnavailable, "5", 0},
+	} {
+		if got := retryAfter(mk(tc.code, tc.header)); got != tc.want {
+			t.Errorf("retryAfter(%d, %q) = %v, want %v", tc.code, tc.header, got, tc.want)
+		}
+	}
+}
+
+// TestReportValidateRetries pins the additive-field contract.
+func TestReportValidateRetries(t *testing.T) {
+	r := validReport()
+	ep := r.Endpoints["predict_single"]
+	ep.Retries = ep.Shed // every shed retried: fine
+	r.Endpoints["predict_single"] = ep
+	if err := r.Validate(); err != nil {
+		t.Errorf("retries == shed rejected: %v", err)
+	}
+	ep.Retries = ep.Shed + 1
+	r.Endpoints["predict_single"] = ep
+	if err := r.Validate(); err == nil {
+		t.Error("retries > shed accepted")
 	}
 }

@@ -39,10 +39,15 @@ type RunInfo struct {
 
 // EndpointStats is one endpoint's aggregate over the measure phase.
 type EndpointStats struct {
-	Requests    uint64         `json:"requests"`
-	OK          uint64         `json:"ok"`
-	Shed        uint64         `json:"shed"`
-	Errors      uint64         `json:"errors"`
+	Requests uint64 `json:"requests"`
+	OK       uint64 `json:"ok"`
+	Shed     uint64 `json:"shed"`
+	Errors   uint64 `json:"errors"`
+	// Retries counts shed responses the closed loop retried after
+	// honoring the daemon's Retry-After hint. Retried attempts are
+	// already counted in Requests and Shed — this field is additive
+	// detail, so pre-existing readers of the v1 schema are unaffected.
+	Retries     uint64         `json:"retries,omitempty"`
 	AchievedQPS float64        `json:"achieved_qps"`
 	Latency     LatencySummary `json:"latency_seconds"`
 }
@@ -93,6 +98,10 @@ func (r *Report) Validate() error {
 		if ep.OK+ep.Shed+ep.Errors != ep.Requests {
 			return fmt.Errorf("endpoint %s: ok %d + shed %d + errors %d != requests %d",
 				name, ep.OK, ep.Shed, ep.Errors, ep.Requests)
+		}
+		if ep.Retries > ep.Shed {
+			return fmt.Errorf("endpoint %s: retries %d exceed shed %d (every retry follows a shed response)",
+				name, ep.Retries, ep.Shed)
 		}
 		if ep.AchievedQPS <= 0 {
 			return fmt.Errorf("endpoint %s: non-positive achieved_qps", name)

@@ -6,7 +6,8 @@
 //
 //	mltuned [-addr :8372] [-models DIR] [-samples DIR] [-workers N]
 //	        [-train-workers N] [-backlog N] [-drain-timeout D]
-//	        [-max-inflight N] [-pprof]
+//	        [-max-inflight N] [-pprof] [-storage localfs|memory]
+//	        [-role all|serve|train] [-upstream URL] [-sync-interval D]
 //
 // On startup the registry directory is scanned for saved models
 // (benchmark@device.mlt files in the core.Model.Save format — the same
@@ -27,6 +28,20 @@
 // portable <bench>@* model; predict/top-M requests for devices without
 // a model of their own fall back to it, binding the requesting device's
 // descriptor (catalog name or inline descriptor JSON).
+//
+// The daemon splits into planes for fleet deployments. -role train (or
+// the default all) is the train plane: it owns the writable registry.
+// -role serve is a read-only replica: mutating endpoints answer 405
+// with the machine-readable kind "read_only", and with -upstream set
+// the replica polls the train plane's GET /v1/models?since=<generation>
+// delta every -sync-interval, pulling changed model artifacts and
+// installing them through the same atomic-swap + cache-invalidation
+// path a local training job uses — a zero-downtime rollout. /readyz on
+// a replica answers 503 until the first successful sync; replication
+// state shows in /v1/stats and the mltuned_replication_* metrics.
+// -storage memory runs the registry and sample store in memory — the
+// natural fit for an ephemeral replica, whose state re-pulls from the
+// upstream on restart anyway.
 //
 // The daemon is observable in production: GET /metrics exports every
 // internal counter, gauge and latency histogram in the Prometheus text
@@ -59,6 +74,7 @@ import (
 	"time"
 
 	"repro/internal/service"
+	"repro/internal/storage"
 )
 
 func main() {
@@ -72,16 +88,41 @@ func main() {
 		drain        = flag.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
 		maxInflight  = flag.Int("max-inflight", 256, "concurrent predict/top-M requests before shedding with 429 (0 = unlimited)")
 		pprof        = flag.Bool("pprof", false, "expose net/http/pprof handlers under /debug/pprof/")
+		storageKind  = flag.String("storage", "localfs", "storage backend for the registry and sample store: localfs or memory")
+		roleFlag     = flag.String("role", "all", "plane to run: all (single node), train (writable source), serve (read-only replica)")
+		upstream     = flag.String("upstream", "", "train-plane base URL a serve replica pulls models from (requires -role serve)")
+		syncEvery    = flag.Duration("sync-interval", 5*time.Second, "replication poll interval when -upstream is set")
 	)
 	flag.Parse()
 
-	reg, err := service.OpenRegistry(*models)
+	role, err := service.ParseRole(*roleFlag)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mltuned:", err)
 		os.Exit(1)
 	}
-	var opts []service.Option
+
+	var reg *service.Registry
+	switch *storageKind {
+	case "localfs":
+		reg, err = service.OpenRegistry(*models)
+	case "memory":
+		reg, err = service.NewRegistry(storage.NewMemory())
+	default:
+		err = fmt.Errorf("unknown -storage %q (want localfs or memory)", *storageKind)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "mltuned:", err)
+		os.Exit(1)
+	}
+	opts := []service.Option{service.WithRole(role)}
+	if *upstream != "" {
+		opts = append(opts, service.WithUpstream(*upstream, *syncEvery))
+	}
 	if *samples != "" {
+		if *storageKind == "memory" {
+			fmt.Fprintln(os.Stderr, "mltuned: -samples is a directory flag; it does not apply with -storage memory")
+			os.Exit(1)
+		}
 		st, err := service.OpenSampleStore(*samples)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "mltuned:", err)
@@ -103,12 +144,21 @@ func main() {
 		fmt.Fprintln(os.Stderr, "mltuned:", err)
 		os.Exit(1)
 	}
-	log.Printf("mltuned: serving on %s (registry %s, %d models; samples %s)",
-		*addr, reg.Dir(), reg.Len(), srv.Samples().Dir())
+	regName := reg.Dir()
+	if regName == "" {
+		regName = reg.Backend().Name()
+	}
+	log.Printf("mltuned: serving on %s as role %s (registry %s [%s], %d models)",
+		*addr, srv.Role(), regName, reg.Backend().Name(), reg.Len())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	if *upstream != "" {
+		log.Printf("mltuned: replicating from %s every %s", *upstream, *syncEvery)
+		go srv.Replicate(ctx)
+	}
 
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.ListenAndServe() }()

@@ -156,6 +156,37 @@ type storeMetrics struct {
 	corrupt   *telemetry.Counter
 }
 
+// replicationMetrics instruments a serve replica's pull loop. The
+// families register only when -upstream is configured, so a single-node
+// or train-plane daemon's exposition is unchanged.
+type replicationMetrics struct {
+	syncs       *telemetry.Counter
+	syncErrors  *telemetry.Counter
+	installed   *telemetry.Counter
+	generation  *telemetry.Gauge
+	upstreamGen *telemetry.Gauge
+	lastSuccess *telemetry.Gauge
+}
+
+// newReplicationMetrics declares the replication families; see the
+// README's Operations section.
+func newReplicationMetrics(reg *telemetry.Registry) *replicationMetrics {
+	return &replicationMetrics{
+		syncs: reg.Counter("mltuned_replication_syncs_total",
+			"Successful replication sync rounds against the upstream."),
+		syncErrors: reg.Counter("mltuned_replication_sync_errors_total",
+			"Replication sync rounds that failed (poll, fetch, or install error)."),
+		installed: reg.Counter("mltuned_replication_models_installed_total",
+			"Model artifacts pulled from the upstream and installed locally."),
+		generation: reg.Gauge("mltuned_replication_generation",
+			"The replica's sync cursor: the upstream generation it has fully caught up to."),
+		upstreamGen: reg.Gauge("mltuned_replication_upstream_generation",
+			"The upstream's generation high-water mark as of the last poll; minus mltuned_replication_generation this is the replication lag in generations."),
+		lastSuccess: reg.Gauge("mltuned_replication_last_success_timestamp_seconds",
+			"Unix timestamp of the last successful sync round; alert on staleness."),
+	}
+}
+
 // newServerMetrics declares every metric family the daemon exports.
 // The README's Operations section documents each one; keep the two in
 // sync.

@@ -11,13 +11,19 @@
 // device-featurised <benchmark>@* model (trained by pooling the sample
 // store with device "*") answers for devices that never trained, bound
 // per request to the requesting device's descriptor.
+//
+// Since the storage refactor the daemon is also splittable into planes:
+// the registry and sample store persist through a pluggable
+// storage.Backend (local filesystem or memory), every model artifact
+// carries a generation number, and a serve-plane replica keeps its
+// registry fresh by pulling changed artifacts from a train-plane
+// upstream (see replicate.go).
 package service
 
 import (
+	"bytes"
 	"fmt"
 	"net/url"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
@@ -25,6 +31,7 @@ import (
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 )
 
@@ -53,10 +60,10 @@ func (k ModelKey) Portable() bool { return k.Device == PortableDevice }
 
 func (k ModelKey) String() string { return k.Benchmark + "@" + k.Device }
 
-// fileName is the on-disk name of a key's model:
+// fileName is the storage object name of a key's model:
 // <escape(benchmark)>@<escape(device)>.mlt. Query-escaping keeps device
 // names with spaces (e.g. "Nvidia K40") and any future '@' or '/'
-// unambiguous in a flat directory.
+// unambiguous in a flat namespace.
 func (k ModelKey) fileName() string {
 	return url.QueryEscape(k.Benchmark) + "@" + url.QueryEscape(k.Device) + modelExt
 }
@@ -97,24 +104,28 @@ func keyFromEscaped(name, ext string) (ModelKey, error) {
 var ErrModelNotFound = fmt.Errorf("service: no trained model for this benchmark and device")
 
 // regEntry is one registry slot. Models load lazily: startup only scans
-// file names, and the first query for a key pays the LoadModelFile.
+// object names, and the first query for a key pays the backend read.
 // model is an atomic pointer so readers (List, cached Gets) never block
-// on mu, which only serialises the one disk load.
+// on mu, which only serialises the one load.
 type regEntry struct {
-	path string
+	name string
+	// gen is the artifact's storage generation, the replication cursor's
+	// unit of change. Written under Registry.mu (Reload/Put/Install).
+	gen uint64
 
 	mu    sync.Mutex
 	model atomic.Pointer[core.Model]
 }
 
-// Registry stores trained models keyed by benchmark×device, backed by a
-// directory of core.Model.Save files. It is safe for concurrent use.
+// Registry stores trained models keyed by benchmark×device, persisted
+// through a storage.Backend as core.Model.Save artifacts. It is safe
+// for concurrent use.
 type Registry struct {
-	dir   string
-	loads *telemetry.Counter // disk loads; nil-safe, unmetered standalone
+	be    storage.Backend
+	loads *telemetry.Counter // backend loads; nil-safe, unmetered standalone
 
-	// fsMu serialises directory-level operations (Reload's scan+swap,
-	// Put's rename+insert) so a reload snapshot taken mid-Put cannot
+	// fsMu serialises storage-level operations (Reload's scan+swap,
+	// Put's write+insert) so a reload snapshot taken mid-Put cannot
 	// overwrite the entries map without the just-persisted model.
 	fsMu sync.Mutex
 
@@ -122,58 +133,80 @@ type Registry struct {
 	entries map[ModelKey]*regEntry
 }
 
-// OpenRegistry opens (creating if needed) the registry directory and
-// indexes the model files present. Files are indexed by name only; each
-// model's payload loads lazily on first use.
+// OpenRegistry opens (creating if needed) a local-filesystem registry
+// directory and indexes the model files present — today's default
+// deployment, byte-compatible with directories written before the
+// storage layer existed. Each model's payload loads lazily on first
+// use.
 func OpenRegistry(dir string) (*Registry, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("service: creating registry directory: %w", err)
+	be, err := storage.OpenLocalFS(dir)
+	if err != nil {
+		return nil, fmt.Errorf("service: opening registry: %w", err)
 	}
-	r := &Registry{dir: dir}
+	return NewRegistry(be)
+}
+
+// NewRegistry opens a registry over an explicit storage backend and
+// indexes the model objects present.
+func NewRegistry(be storage.Backend) (*Registry, error) {
+	r := &Registry{be: be}
 	if err := r.Reload(); err != nil {
 		return nil, err
 	}
 	return r, nil
 }
 
-// Dir returns the registry directory.
-func (r *Registry) Dir() string { return r.dir }
+// Backend exposes the storage backend (for /v1/stats and the daemon's
+// startup log).
+func (r *Registry) Backend() storage.Backend { return r.be }
 
-// setMetrics points the registry's disk-load counter at the daemon's
+// Dir returns the registry directory for filesystem-backed registries,
+// "" otherwise.
+func (r *Registry) Dir() string {
+	if d, ok := r.be.(interface{ Dir() string }); ok {
+		return d.Dir()
+	}
+	return ""
+}
+
+// setMetrics points the registry's load counter at the daemon's
 // telemetry; a registry opened standalone (tests, cmd/mltune) stays
 // unmetered.
 func (r *Registry) setMetrics(loads *telemetry.Counter) { r.loads = loads }
 
-// Reload rescans the registry directory, picking up models written by
-// other processes and dropping keys whose files disappeared. Cached
-// in-memory models are discarded, so subsequent queries re-read disk —
-// the handler behind POST /v1/reload.
+// Reload rescans the storage backend, picking up models written by
+// other processes and dropping keys whose objects disappeared. Cached
+// in-memory models are discarded, so subsequent queries re-read the
+// backend — the handler behind POST /v1/reload. Crash debris (orphaned
+// write temporaries) is swept on backends that accumulate it.
 func (r *Registry) Reload() error {
 	r.fsMu.Lock()
 	defer r.fsMu.Unlock()
-	names, err := os.ReadDir(r.dir)
+	if sw, ok := r.be.(storage.Sweeper); ok {
+		// No Put is in flight through this registry (we hold fsMu across
+		// write+insert) and the backend skips its own live temporaries,
+		// so it is safe to clean up rather than leak one file per crash.
+		if err := sw.Sweep(); err != nil {
+			return fmt.Errorf("service: sweeping registry storage: %w", err)
+		}
+	}
+	objs, err := r.be.List()
 	if err != nil {
-		return fmt.Errorf("service: scanning registry directory: %w", err)
+		return fmt.Errorf("service: scanning registry storage: %w", err)
 	}
 	entries := make(map[ModelKey]*regEntry)
-	for _, de := range names {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), modelExt) {
+	for _, obj := range objs {
+		if !strings.HasSuffix(obj.Name, modelExt) {
 			continue
 		}
-		if strings.HasPrefix(de.Name(), ".tmp-") {
-			// An orphaned Put temp file from a crash mid-write. No Put is
-			// in flight (we hold fsMu across create+rename), so it is
-			// safe to clean up rather than leak one file per crash.
-			os.Remove(filepath.Join(r.dir, de.Name()))
-			continue
-		}
-		key, err := keyFromFileName(de.Name())
+		key, err := keyFromFileName(obj.Name)
 		if err != nil {
-			// A stray file in the registry directory is skipped, not fatal:
-			// the daemon should come up with whatever models are usable.
+			// A stray object in the registry namespace is skipped, not
+			// fatal: the daemon should come up with whatever models are
+			// usable.
 			continue
 		}
-		entries[key] = &regEntry{path: filepath.Join(r.dir, de.Name())}
+		entries[key] = &regEntry{name: obj.Name, gen: obj.Generation}
 	}
 	r.mu.Lock()
 	r.entries = entries
@@ -181,8 +214,9 @@ func (r *Registry) Reload() error {
 	return nil
 }
 
-// Get returns the model for key, loading it from disk on first use.
-// It returns ErrModelNotFound when the registry has no file for the key.
+// Get returns the model for key, loading it from the backend on first
+// use. It returns ErrModelNotFound when the registry has no object for
+// the key.
 func (r *Registry) Get(key ModelKey) (*core.Model, error) {
 	r.mu.Lock()
 	e, ok := r.entries[key]
@@ -198,7 +232,11 @@ func (r *Registry) Get(key ModelKey) (*core.Model, error) {
 	if m := e.model.Load(); m != nil {
 		return m, nil
 	}
-	m, err := core.LoadModelFile(e.path)
+	data, _, err := r.be.Get(e.name)
+	if err != nil {
+		return nil, fmt.Errorf("service: loading model %s: %w", key, err)
+	}
+	m, err := core.LoadModel(bytes.NewReader(data))
 	if err != nil {
 		return nil, fmt.Errorf("service: loading model %s: %w", key, err)
 	}
@@ -207,70 +245,74 @@ func (r *Registry) Get(key ModelKey) (*core.Model, error) {
 	return m, nil
 }
 
-// Put persists model under key (atomically: temp file + fsync + rename +
-// directory fsync, so neither a crash mid-write nor a power loss right
-// after the swap can corrupt or lose a served model) and caches it in
-// memory.
+// GetRaw returns key's serialised artifact bytes and generation — the
+// payload of the replication fetch endpoint. It does not populate the
+// in-memory model cache.
+func (r *Registry) GetRaw(key ModelKey) ([]byte, uint64, error) {
+	r.mu.Lock()
+	e, ok := r.entries[key]
+	r.mu.Unlock()
+	if !ok {
+		return nil, 0, fmt.Errorf("%w: %s", ErrModelNotFound, key)
+	}
+	data, _, err := r.be.Get(e.name)
+	if err != nil {
+		return nil, 0, fmt.Errorf("service: reading model %s: %w", key, err)
+	}
+	r.mu.Lock()
+	gen := e.gen
+	r.mu.Unlock()
+	return data, gen, nil
+}
+
+// Put persists model under key (atomically and durably, through the
+// backend's temp-write + fsync + rename discipline, so neither a crash
+// mid-write nor a power loss right after the swap can corrupt or lose
+// a served model) and caches it in memory.
 func (r *Registry) Put(key ModelKey, model *core.Model) error {
+	var buf bytes.Buffer
+	if err := model.Save(&buf); err != nil {
+		return fmt.Errorf("service: saving model %s: %w", key, err)
+	}
+	_, err := r.install(key, buf.Bytes(), model)
+	return err
+}
+
+// Install persists a pre-serialised artifact under key after verifying
+// it parses as a loadable model — the replication install path. The
+// parsed model is cached, so the first predict after a sync pays no
+// extra load, and a corrupt or truncated upstream response can never
+// reach the registry.
+func (r *Registry) Install(key ModelKey, data []byte) (uint64, error) {
+	model, err := core.LoadModel(bytes.NewReader(data))
+	if err != nil {
+		return 0, fmt.Errorf("service: installing model %s: artifact does not parse: %w", key, err)
+	}
+	return r.install(key, data, model)
+}
+
+// install writes the artifact and swaps the in-memory slot. It is the
+// shared tail of Put and Install.
+func (r *Registry) install(key ModelKey, data []byte, model *core.Model) (uint64, error) {
 	r.fsMu.Lock()
 	defer r.fsMu.Unlock()
-	final := filepath.Join(r.dir, key.fileName())
-	tmp, err := os.CreateTemp(r.dir, ".tmp-*"+modelExt)
-	if err != nil {
-		return fmt.Errorf("service: saving model %s: %w", key, err)
+	info, err := r.be.Put(key.fileName(), data)
+	if err != nil && info.Generation == 0 {
+		return 0, fmt.Errorf("service: saving model %s: %w", key, err)
 	}
-	if err := model.Save(tmp); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: saving model %s: %w", key, err)
-	}
-	// fsync before the rename: the rename must never become visible
-	// while the file's bytes are still only in the page cache, or a
-	// power loss would leave a truncated model under the final name.
-	if err := tmp.Sync(); err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: saving model %s: %w", key, err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: saving model %s: %w", key, err)
-	}
-	if err := os.Rename(tmp.Name(), final); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: saving model %s: %w", key, err)
-	}
-	// The rename succeeded, so the new model IS the on-disk state:
-	// install it in memory unconditionally, or disk and memory would
-	// disagree until a reload. Only then report a directory-fsync
-	// failure (the swap is visible but its durability across power loss
-	// is not guaranteed).
-	e := &regEntry{path: final}
+	// A non-zero generation means the swap IS the persisted state even
+	// if a trailing durability step (directory fsync) failed: install it
+	// in memory unconditionally, or storage and memory would disagree
+	// until a reload; only then report the durability error.
+	e := &regEntry{name: info.Name, gen: info.Generation}
 	e.model.Store(model)
 	r.mu.Lock()
 	r.entries[key] = e
 	r.mu.Unlock()
-	// fsync the directory so the rename itself (the new directory entry)
-	// is durable, not just the file contents.
-	if err := syncDir(r.dir); err != nil {
-		return fmt.Errorf("service: saving model %s: %w", key, err)
-	}
-	return nil
-}
-
-// syncDir fsyncs a directory, making renames inside it durable across
-// power loss. Callers that just atomically swapped a file in dir must
-// call it before reporting success.
-func syncDir(dir string) error {
-	d, err := os.Open(dir)
 	if err != nil {
-		return err
+		return info.Generation, fmt.Errorf("service: saving model %s: %w", key, err)
 	}
-	err = d.Sync()
-	if cerr := d.Close(); err == nil {
-		err = cerr
-	}
-	return err
+	return info.Generation, nil
 }
 
 // ModelInfo describes one registry slot for the listing endpoint.
@@ -284,6 +326,10 @@ type ModelInfo struct {
 	File     string    `json:"file"`
 	Bytes    int64     `json:"bytes"`
 	Modified time.Time `json:"modified"`
+	// Generation is the artifact's storage change number: it increases
+	// on every swap of this slot, and replicas pull exactly the slots
+	// whose generation moved past their cursor (GET /v1/models?since=).
+	Generation uint64 `json:"generation"`
 	// Loaded reports whether the model is resident in memory (false for
 	// slots that have not been queried since startup or reload).
 	Loaded bool `json:"loaded"`
@@ -294,33 +340,66 @@ type ModelInfo struct {
 
 // List describes every registry slot, sorted by key.
 func (r *Registry) List() []ModelInfo {
-	r.mu.Lock()
-	keys := make([]ModelKey, 0, len(r.entries))
-	for k := range r.entries {
-		keys = append(keys, k)
+	infos, _ := r.ListSince(0)
+	return infos
+}
+
+// ListSince describes the slots whose generation moved past since
+// (since 0 = every slot), plus the registry's generation high-water
+// mark — the delta protocol behind GET /v1/models?since= and pull
+// replication. The slot set and the high-water mark are snapshotted
+// together under the registry lock, so a poller that advances its
+// cursor to the returned generation cannot miss a concurrent swap.
+func (r *Registry) ListSince(since uint64) ([]ModelInfo, uint64) {
+	type slot struct {
+		key ModelKey
+		e   *regEntry
+		gen uint64
 	}
-	entries := make([]*regEntry, len(keys))
-	sort.Slice(keys, func(i, j int) bool { return keys[i].String() < keys[j].String() })
-	for i, k := range keys {
-		entries[i] = r.entries[k]
+	r.mu.Lock()
+	var gen uint64
+	slots := make([]slot, 0, len(r.entries))
+	for k, e := range r.entries {
+		if e.gen > gen {
+			gen = e.gen
+		}
+		if e.gen > since {
+			slots = append(slots, slot{key: k, e: e, gen: e.gen})
+		}
 	}
 	r.mu.Unlock()
+	sort.Slice(slots, func(i, j int) bool { return slots[i].key.String() < slots[j].key.String() })
 
-	out := make([]ModelInfo, 0, len(keys))
-	for i, k := range keys {
-		e := entries[i]
-		info := ModelInfo{Benchmark: k.Benchmark, Device: k.Device, Portable: k.Portable(), File: filepath.Base(e.path)}
-		if st, err := os.Stat(e.path); err == nil {
-			info.Bytes = st.Size()
-			info.Modified = st.ModTime().UTC()
+	out := make([]ModelInfo, 0, len(slots))
+	for _, s := range slots {
+		info := ModelInfo{Benchmark: s.key.Benchmark, Device: s.key.Device,
+			Portable: s.key.Portable(), File: s.e.name, Generation: s.gen}
+		if st, err := r.be.Stat(s.e.name); err == nil {
+			info.Bytes = st.Size
+			info.Modified = st.ModTime.UTC()
 		}
-		if m := e.model.Load(); m != nil {
+		if m := s.e.model.Load(); m != nil {
 			info.Loaded = true
 			info.SpaceSize = m.Space().Size()
 		}
 		out = append(out, info)
 	}
-	return out
+	return out, gen
+}
+
+// Generation returns the registry's generation high-water mark: the
+// largest artifact generation any slot carries, 0 for an empty
+// registry.
+func (r *Registry) Generation() uint64 {
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	var gen uint64
+	for _, e := range r.entries {
+		if e.gen > gen {
+			gen = e.gen
+		}
+	}
+	return gen
 }
 
 // Len returns the number of registry slots.

@@ -2,15 +2,17 @@ package service
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"net/url"
-	"os"
-	"path/filepath"
 	"sort"
 	"strings"
 	"sync"
 	"time"
+
+	"repro/internal/storage"
 )
 
 // sampleExt is the sample-store file suffix: one JSONL file of
@@ -48,16 +50,16 @@ type SampleRecord struct {
 	Device string `json:"device,omitempty"`
 }
 
-// sampleFileName is the on-disk name of a key's sample set, using the
-// registry's escaping scheme with the sample extension.
+// sampleFileName is the storage object name of a key's sample set,
+// using the registry's escaping scheme with the sample extension.
 func (k ModelKey) sampleFileName() string {
 	return url.QueryEscape(k.Benchmark) + "@" + url.QueryEscape(k.Device) + sampleExt
 }
 
-// sampleEntry is one store slot. Records load lazily: startup scans file
-// names only, and the first Append/Load for a key pays the file read.
+// sampleEntry is one store slot. Records load lazily: startup scans
+// object names only, and the first Append/Load for a key pays the read.
 type sampleEntry struct {
-	path string
+	name string
 
 	mu     sync.Mutex
 	loaded bool
@@ -65,13 +67,13 @@ type sampleEntry struct {
 }
 
 // SampleStore persists training samples keyed by benchmark×device,
-// backed by a directory of append-only JSONL files. Appends are durable
-// (fsync before returning) and rotation — trimming a key past its record
-// cap — is atomic (temp file + fsync + rename + directory fsync), so a
-// crash at any point leaves either the old or the new file, never a
-// corrupt one. It is safe for concurrent use.
+// one append-only JSONL object per key in a storage.Backend. Appends
+// are durable before returning and rotation — trimming a key past its
+// record cap — goes through the backend's atomic Put, so a crash at
+// any point leaves either the old or the new object, never a corrupt
+// one. It is safe for concurrent use.
 type SampleStore struct {
-	dir string
+	be  storage.Backend
 	cap int
 	m   storeMetrics // zero value discards; see setMetrics
 
@@ -79,39 +81,50 @@ type SampleStore struct {
 	entries map[ModelKey]*sampleEntry
 }
 
-// OpenSampleStore opens (creating if needed) the sample directory and
-// indexes the sample files present, sweeping temp files orphaned by a
-// crash mid-rotation. Records load lazily on first use per key.
+// OpenSampleStore opens (creating if needed) a local-filesystem sample
+// directory and indexes the sample files present, sweeping temp files
+// orphaned by a crash mid-rotation. Records load lazily on first use
+// per key.
 func OpenSampleStore(dir string) (*SampleStore, error) {
-	if err := os.MkdirAll(dir, 0o755); err != nil {
-		return nil, fmt.Errorf("service: creating sample directory: %w", err)
-	}
-	st := &SampleStore{dir: dir, cap: defaultSampleCap, entries: make(map[ModelKey]*sampleEntry)}
-	names, err := os.ReadDir(dir)
+	be, err := storage.OpenLocalFS(dir)
 	if err != nil {
-		return nil, fmt.Errorf("service: scanning sample directory: %w", err)
+		return nil, fmt.Errorf("service: opening sample store: %w", err)
 	}
-	for _, de := range names {
-		if de.IsDir() || !strings.HasSuffix(de.Name(), sampleExt) {
+	return NewSampleStore(be)
+}
+
+// NewSampleStore opens a sample store over an explicit storage backend
+// and indexes the sample objects present.
+func NewSampleStore(be storage.Backend) (*SampleStore, error) {
+	st := &SampleStore{be: be, cap: defaultSampleCap, entries: make(map[ModelKey]*sampleEntry)}
+	objs, err := be.List()
+	if err != nil {
+		return nil, fmt.Errorf("service: scanning sample store: %w", err)
+	}
+	for _, obj := range objs {
+		if !strings.HasSuffix(obj.Name, sampleExt) {
 			continue
 		}
-		if strings.HasPrefix(de.Name(), ".tmp-") {
-			// A rotation temp file orphaned by a crash; the data it was
-			// trimming is still in the original file.
-			os.Remove(filepath.Join(dir, de.Name()))
-			continue
-		}
-		key, err := keyFromEscaped(de.Name(), sampleExt)
+		key, err := keyFromEscaped(obj.Name, sampleExt)
 		if err != nil {
-			continue // stray file, not fatal
+			continue // stray object, not fatal
 		}
-		st.entries[key] = &sampleEntry{path: filepath.Join(dir, de.Name())}
+		st.entries[key] = &sampleEntry{name: obj.Name}
 	}
 	return st, nil
 }
 
-// Dir returns the sample directory.
-func (st *SampleStore) Dir() string { return st.dir }
+// Backend exposes the storage backend (for /v1/stats).
+func (st *SampleStore) Backend() storage.Backend { return st.be }
+
+// Dir returns the sample directory for filesystem-backed stores, ""
+// otherwise.
+func (st *SampleStore) Dir() string {
+	if d, ok := st.be.(interface{ Dir() string }); ok {
+		return d.Dir()
+	}
+	return ""
+}
 
 // setMetrics points the store at the daemon's telemetry; a store opened
 // standalone keeps the zero value and runs unmetered.
@@ -123,30 +136,29 @@ func (st *SampleStore) entry(key ModelKey) *sampleEntry {
 	defer st.mu.Unlock()
 	e, ok := st.entries[key]
 	if !ok {
-		e = &sampleEntry{path: filepath.Join(st.dir, key.sampleFileName())}
+		e = &sampleEntry{name: key.sampleFileName()}
 		st.entries[key] = e
 	}
 	return e
 }
 
-// load reads the entry's file into memory once; callers hold e.mu.
+// load reads the entry's object into memory once; callers hold e.mu.
 // Malformed lines — for example a line truncated by a crash between an
 // append's write and its fsync — are skipped (and counted through m),
 // not fatal: the store serves every record that survived.
-func (e *sampleEntry) load(m storeMetrics) error {
+func (e *sampleEntry) load(be storage.Backend, m storeMetrics) error {
 	if e.loaded {
 		return nil
 	}
-	f, err := os.Open(e.path)
-	if os.IsNotExist(err) {
+	data, _, err := be.Get(e.name)
+	if errors.Is(err, storage.ErrNotExist) {
 		e.loaded = true
 		return nil
 	}
 	if err != nil {
-		return fmt.Errorf("service: opening sample set: %w", err)
+		return fmt.Errorf("service: reading sample set: %w", err)
 	}
-	defer f.Close()
-	sc := bufio.NewScanner(f)
+	sc := bufio.NewScanner(bytes.NewReader(data))
 	sc.Buffer(make([]byte, 0, 64*1024), 1<<20)
 	for sc.Scan() {
 		line := strings.TrimSpace(sc.Text())
@@ -171,6 +183,20 @@ func (e *sampleEntry) load(m storeMetrics) error {
 	return nil
 }
 
+// encodeRecords marshals records to their JSONL byte form.
+func encodeRecords(recs []SampleRecord) ([]byte, error) {
+	var buf bytes.Buffer
+	for _, rec := range recs {
+		line, err := json.Marshal(rec)
+		if err != nil {
+			return nil, err
+		}
+		buf.Write(line)
+		buf.WriteByte('\n')
+	}
+	return buf.Bytes(), nil
+}
+
 // Append durably adds records to key's sample set and returns the total
 // record count afterwards. When the set exceeds the store's cap, the
 // oldest records are rotated out atomically.
@@ -181,32 +207,14 @@ func (st *SampleStore) Append(key ModelKey, recs []SampleRecord) (total int, err
 	e := st.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.load(st.m); err != nil {
+	if err := e.load(st.be, st.m); err != nil {
 		return 0, err
 	}
-	f, err := os.OpenFile(e.path, os.O_WRONLY|os.O_CREATE|os.O_APPEND, 0o644)
+	data, err := encodeRecords(recs)
 	if err != nil {
-		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
+		return 0, fmt.Errorf("service: encoding samples for %s: %w", key, err)
 	}
-	w := bufio.NewWriter(f)
-	for _, rec := range recs {
-		line, err := json.Marshal(rec)
-		if err != nil {
-			f.Close()
-			return 0, fmt.Errorf("service: encoding sample for %s: %w", key, err)
-		}
-		w.Write(line)
-		w.WriteByte('\n')
-	}
-	if err := w.Flush(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
-	}
-	if err := f.Sync(); err != nil {
-		f.Close()
-		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
-	}
-	if err := f.Close(); err != nil {
+	if _, err := st.be.Append(e.name, data); err != nil {
 		return 0, fmt.Errorf("service: appending samples for %s: %w", key, err)
 	}
 	e.recs = append(e.recs, recs...)
@@ -216,47 +224,22 @@ func (st *SampleStore) Append(key ModelKey, recs []SampleRecord) (total int, err
 		// already durable, and surfacing an error here would make the
 		// client retry and duplicate them. The set stays over cap and
 		// the next append retries the rotation.
-		if e.rotate(st.dir, st.cap) == nil {
+		if e.rotate(st.be, st.cap) == nil {
 			st.m.rotations.Inc()
 		}
 	}
 	return len(e.recs), nil
 }
 
-// rotate rewrites the entry's file with only the newest cap records:
-// write a temp file, fsync it, rename it over the original, fsync the
-// directory. Callers hold e.mu.
-func (e *sampleEntry) rotate(dir string, cap int) error {
+// rotate rewrites the entry's object with only the newest cap records
+// through the backend's atomic Put. Callers hold e.mu.
+func (e *sampleEntry) rotate(be storage.Backend, cap int) error {
 	keep := e.recs[len(e.recs)-cap:]
-	tmp, err := os.CreateTemp(dir, ".tmp-*"+sampleExt)
+	data, err := encodeRecords(keep)
 	if err != nil {
 		return fmt.Errorf("service: rotating sample set: %w", err)
 	}
-	w := bufio.NewWriter(tmp)
-	for _, rec := range keep {
-		line, err := json.Marshal(rec)
-		if err == nil {
-			w.Write(line)
-			w.WriteByte('\n')
-		}
-	}
-	if err := w.Flush(); err == nil {
-		err = tmp.Sync()
-	}
-	if err != nil {
-		tmp.Close()
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: rotating sample set: %w", err)
-	}
-	if err := tmp.Close(); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: rotating sample set: %w", err)
-	}
-	if err := os.Rename(tmp.Name(), e.path); err != nil {
-		os.Remove(tmp.Name())
-		return fmt.Errorf("service: rotating sample set: %w", err)
-	}
-	if err := syncDir(dir); err != nil {
+	if _, err := be.Put(e.name, data); err != nil {
 		return fmt.Errorf("service: rotating sample set: %w", err)
 	}
 	e.recs = append(e.recs[:0], keep...)
@@ -269,7 +252,7 @@ func (st *SampleStore) Load(key ModelKey) ([]SampleRecord, error) {
 	e := st.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.load(st.m); err != nil {
+	if err := e.load(st.be, st.m); err != nil {
 		return nil, err
 	}
 	return append([]SampleRecord(nil), e.recs...), nil
@@ -280,7 +263,7 @@ func (st *SampleStore) Count(key ModelKey) (int, error) {
 	e := st.entry(key)
 	e.mu.Lock()
 	defer e.mu.Unlock()
-	if err := e.load(st.m); err != nil {
+	if err := e.load(st.be, st.m); err != nil {
 		return 0, err
 	}
 	return len(e.recs), nil
@@ -301,7 +284,7 @@ func (st *SampleStore) Keys() []ModelKey {
 }
 
 // Len returns the number of sample sets the store tracks, without
-// touching the filesystem (the liveness-probe counter).
+// touching storage (the liveness-probe counter).
 func (st *SampleStore) Len() int {
 	st.mu.Lock()
 	defer st.mu.Unlock()
@@ -340,11 +323,11 @@ func (st *SampleStore) List() []SampleSetInfo {
 	out := make([]SampleSetInfo, 0, len(keys))
 	for i, k := range keys {
 		e := entries[i]
-		info := SampleSetInfo{Benchmark: k.Benchmark, Device: k.Device, File: filepath.Base(e.path)}
-		stat, statErr := os.Stat(e.path)
+		info := SampleSetInfo{Benchmark: k.Benchmark, Device: k.Device, File: e.name}
+		stat, statErr := st.be.Stat(e.name)
 		if statErr == nil {
-			info.Bytes = stat.Size()
-			info.Modified = stat.ModTime().UTC()
+			info.Bytes = stat.Size
+			info.Modified = stat.ModTime.UTC()
 		}
 		e.mu.Lock()
 		if e.loaded {

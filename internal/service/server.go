@@ -16,6 +16,7 @@ import (
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/devsim"
+	"repro/internal/storage"
 	"repro/internal/telemetry"
 	"repro/internal/tuning"
 )
@@ -68,6 +69,14 @@ type Server struct {
 	trainWorkers int
 	started      time.Time
 
+	// role is the daemon's plane (see Role); repl is the pull loop of a
+	// serve replica with an -upstream, nil otherwise. upstream/interval
+	// hold the WithUpstream configuration until New builds repl.
+	role     Role
+	repl     *replicator
+	upstream string
+	interval time.Duration
+
 	// metrics is the telemetry wiring behind GET /metrics and
 	// GET /v1/stats; always non-nil.
 	metrics *serverMetrics
@@ -84,8 +93,55 @@ type Server struct {
 	testHookPredict func()
 }
 
+// Role selects which plane of the daemon an instance runs:
+//
+//   - RoleAll (the default) is the single-node deployment: training and
+//     serving in one process, exactly the pre-split behaviour.
+//   - RoleTrain is the train plane: it accepts tuning jobs, sample
+//     ingestion, and retrains, and its registry is the source replicas
+//     pull from.
+//   - RoleServe is the serve plane: a read-only replica. Mutating
+//     endpoints answer 405 with the machine-readable kind "read_only",
+//     and with an upstream configured the instance keeps its registry
+//     fresh by pulling changed model artifacts (see Replicate).
+type Role string
+
+const (
+	RoleAll   Role = "all"
+	RoleServe Role = "serve"
+	RoleTrain Role = "train"
+)
+
+// ParseRole validates a -role flag value.
+func ParseRole(s string) (Role, error) {
+	switch Role(s) {
+	case RoleAll, RoleServe, RoleTrain:
+		return Role(s), nil
+	case "":
+		return RoleAll, nil
+	}
+	return "", fmt.Errorf("service: unknown role %q (want %q, %q or %q)", s, RoleAll, RoleServe, RoleTrain)
+}
+
 // Option customises a Server at construction time.
 type Option func(*Server)
+
+// WithRole runs the server as one plane of a split deployment; the
+// zero value behaves like RoleAll.
+func WithRole(role Role) Option {
+	return func(s *Server) { s.role = role }
+}
+
+// WithUpstream points a serve replica at the train-plane daemon's base
+// URL; the replica pulls changed models every interval (<= 0 = the
+// 5-second default). Requires RoleServe: a plane that trains locally
+// and pulls remotely would have two writers per registry slot.
+func WithUpstream(baseURL string, interval time.Duration) Option {
+	return func(s *Server) {
+		s.upstream = baseURL
+		s.interval = interval
+	}
+}
 
 // WithSampleStore uses an explicitly opened sample store instead of the
 // default directory under the registry.
@@ -143,8 +199,25 @@ func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.role == "" {
+		s.role = RoleAll
+	}
+	if s.upstream != "" {
+		if s.role != RoleServe {
+			return nil, fmt.Errorf("service: an upstream requires role %q (got %q): the train plane owns its registry", RoleServe, s.role)
+		}
+		s.repl = newReplicator(s, s.upstream, s.interval)
+	}
 	if s.samples == nil {
-		st, err := OpenSampleStore(filepath.Join(reg.Dir(), "samples"))
+		var st *SampleStore
+		var err error
+		if dir := reg.Dir(); dir != "" {
+			st, err = OpenSampleStore(filepath.Join(dir, "samples"))
+		} else {
+			// A memory-backed registry gets a memory-backed sample store:
+			// an ephemeral replica has nothing worth writing to disk.
+			st, err = NewSampleStore(storage.NewMemory())
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -169,14 +242,15 @@ func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 		rm := s.metrics.route(pattern)
 		mux.HandleFunc(pattern, s.instrument(rm, s.withShed(rm, h)))
 	}
-	handle("POST /v1/jobs", s.handleSubmit)
+	handle("POST /v1/jobs", s.readOnly(s.handleSubmit))
 	handle("GET /v1/jobs", s.handleJobs)
 	handle("GET /v1/jobs/{id}", s.handleJob)
-	handle("DELETE /v1/jobs/{id}", s.handleCancel)
-	handle("POST /v1/samples", s.handleSamplesIngest)
+	handle("DELETE /v1/jobs/{id}", s.readOnly(s.handleCancel))
+	handle("POST /v1/samples", s.readOnly(s.handleSamplesIngest))
 	handle("GET /v1/samples", s.handleSamplesList)
-	handle("POST /v1/train", s.handleTrain)
+	handle("POST /v1/train", s.readOnly(s.handleTrain))
 	handle("GET /v1/models", s.handleModels)
+	handle("GET /v1/models/{file}", s.handleModelArtifact)
 	handle("POST /v1/reload", s.handleReload)
 	handleRead("GET /v1/predict", s.handlePredict)
 	handleRead("POST /v1/predict", s.handlePredictBatch)
@@ -198,6 +272,22 @@ func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 
 // Metrics exposes the telemetry registry (for tests and the daemon).
 func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
+
+// Role reports which plane this instance runs.
+func (s *Server) Role() Role { return s.role }
+
+// readOnly gates a mutating handler by role: a serve-plane replica
+// answers 405 with the machine-readable kind "read_only" instead of
+// accepting writes its upstream would overwrite on the next sync.
+func (s *Server) readOnly(h http.HandlerFunc) http.HandlerFunc {
+	if s.role != RoleServe {
+		return h
+	}
+	return func(w http.ResponseWriter, r *http.Request) {
+		writeErrCoded(w, http.StatusMethodNotAllowed, errKindReadOnly, false,
+			"this instance is a read-only serve replica (role %q); send writes to the train plane", s.role)
+	}
+}
 
 // Samples exposes the sample store (for tests and the daemon).
 func (s *Server) Samples() *SampleStore { return s.samples }
@@ -280,6 +370,9 @@ const (
 	// errKindOverloaded: the read path shed the request (429); retry
 	// after the Retry-After hint.
 	errKindOverloaded = "overloaded"
+	// errKindReadOnly: this instance is a serve-plane replica; mutating
+	// requests belong on the train plane. Never retryable here.
+	errKindReadOnly = "read_only"
 )
 
 type apiError struct {
@@ -419,7 +512,19 @@ var modelResolutionOrder = []string{
 }
 
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	models := s.reg.List()
+	var since uint64
+	if v := r.URL.Query().Get("since"); v != "" {
+		n, err := strconv.ParseUint(v, 10, 64)
+		if err != nil {
+			writeErr(w, http.StatusBadRequest, "since: %v", err)
+			return
+		}
+		since = n
+	}
+	// The slot set and the generation mark come from one snapshot, so a
+	// delta poller that advances its cursor to the returned generation
+	// cannot miss a concurrent model swap.
+	models, gen := s.reg.ListSince(since)
 	if b := r.URL.Query().Get("benchmark"); b != "" {
 		filtered := make([]ModelInfo, 0, len(models))
 		for _, info := range models {
@@ -430,9 +535,37 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 		models = filtered
 	}
 	writeJSON(w, http.StatusOK, struct {
+		Role            Role        `json:"role"`
+		Storage         string      `json:"storage"`
+		Generation      uint64      `json:"generation"`
 		ResolutionOrder []string    `json:"resolution_order"`
 		Models          []ModelInfo `json:"models"`
-	}{modelResolutionOrder, models})
+	}{s.role, s.reg.Backend().Name(), gen, modelResolutionOrder, models})
+}
+
+// handleModelArtifact serves one model's raw serialised bytes — the
+// replication fetch endpoint. {file} is the registry file name from the
+// listing (path-escaped by the client: registry names are query-escaped
+// key parts and may contain '%').
+func (s *Server) handleModelArtifact(w http.ResponseWriter, r *http.Request) {
+	name := r.PathValue("file")
+	key, err := keyFromFileName(name)
+	if err != nil {
+		writeErr(w, http.StatusBadRequest, "%v", err)
+		return
+	}
+	data, gen, err := s.reg.GetRaw(key)
+	switch {
+	case errors.Is(err, ErrModelNotFound):
+		writeErr(w, http.StatusNotFound, "%v", err)
+		return
+	case err != nil:
+		writeErr(w, http.StatusInternalServerError, "%v", err)
+		return
+	}
+	w.Header().Set("Content-Type", "application/octet-stream")
+	w.Header().Set("X-Mltuned-Generation", strconv.FormatUint(gen, 10))
+	w.Write(data)
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
@@ -807,9 +940,11 @@ type readiness struct {
 }
 
 // handleReadyz is the load-balancer routing signal: 503 once Drain has
-// begun (stop routing before shutdown completes) or while the job
-// queue is at capacity (new submissions would be rejected anyway). The
-// read path keeps serving in both cases — readiness gates routing of
+// begun (stop routing before shutdown completes), while the job queue
+// is at capacity (new submissions would be rejected anyway), or — on a
+// serve replica with an upstream — until the first successful sync
+// (before it the replica may hold no, or stale, models). The read path
+// keeps serving in the first two cases — readiness gates routing of
 // new traffic, not in-flight work.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 	switch {
@@ -817,6 +952,8 @@ func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining: shutdown in progress"})
 	case s.queue.AtCapacity():
 		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "job queue at capacity"})
+	case s.repl != nil && !s.repl.synced():
+		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "replica awaiting its first successful upstream sync"})
 	default:
 		writeJSON(w, http.StatusOK, readiness{Ready: true})
 	}
@@ -833,21 +970,42 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // a full JSON snapshot of every metric — the structured twin of
 // GET /metrics, and what cmd/mlbench diffs across a load run.
 type statsResponse struct {
-	UptimeSeconds float64            `json:"uptime_seconds"`
-	Models        int                `json:"models"`
-	SampleSets    int                `json:"sample_sets"`
-	Jobs          map[JobState]int   `json:"jobs"`
-	MaxInflight   int                `json:"max_inflight"`
-	Telemetry     telemetry.Snapshot `json:"telemetry"`
+	UptimeSeconds float64 `json:"uptime_seconds"`
+	// Role is the plane this instance runs (all, serve, train); Storage
+	// names the backend behind each store.
+	Role    Role        `json:"role"`
+	Storage storageInfo `json:"storage"`
+	// Generation is the registry's generation high-water mark — on a
+	// replica, compare with Replication.UpstreamGeneration for lag.
+	Generation  uint64             `json:"generation"`
+	Models      int                `json:"models"`
+	SampleSets  int                `json:"sample_sets"`
+	Jobs        map[JobState]int   `json:"jobs"`
+	MaxInflight int                `json:"max_inflight"`
+	Replication *replicationStatus `json:"replication,omitempty"`
+	Telemetry   telemetry.Snapshot `json:"telemetry"`
+}
+
+// storageInfo names the storage backends in GET /v1/stats.
+type storageInfo struct {
+	Models  string `json:"models"`
+	Samples string `json:"samples"`
 }
 
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, statsResponse{
+	resp := statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
+		Role:          s.role,
+		Storage:       storageInfo{Models: s.reg.Backend().Name(), Samples: s.samples.Backend().Name()},
+		Generation:    s.reg.Generation(),
 		Models:        s.reg.Len(),
 		SampleSets:    s.samples.Len(),
 		Jobs:          s.queue.Counts(),
 		MaxInflight:   cap(s.readSem),
 		Telemetry:     s.metrics.reg.Snapshot(),
-	})
+	}
+	if s.repl != nil {
+		resp.Replication = s.repl.status()
+	}
+	writeJSON(w, http.StatusOK, resp)
 }

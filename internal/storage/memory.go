@@ -1,0 +1,119 @@
+package storage
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"time"
+)
+
+// memory is the in-process backend: tests and ephemeral serve replicas
+// that hold nothing worth keeping across a restart (their registry is
+// re-pulled from the upstream train node anyway). Atomicity is trivial
+// — the object map swaps whole slices under a mutex — and generations
+// are a plain counter.
+type memory struct {
+	mu    sync.Mutex
+	objs  map[string]*memObj
+	clock uint64
+}
+
+type memObj struct {
+	data    []byte
+	modTime time.Time
+	gen     uint64
+}
+
+// NewMemory returns an empty in-memory backend.
+func NewMemory() Backend {
+	return &memory{objs: make(map[string]*memObj)}
+}
+
+func (m *memory) Name() string { return "memory" }
+
+func (m *memory) List() ([]ObjectInfo, error) {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	out := make([]ObjectInfo, 0, len(m.objs))
+	for name, o := range m.objs {
+		out = append(out, o.info(name))
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Name < out[j].Name })
+	return out, nil
+}
+
+func (o *memObj) info(name string) ObjectInfo {
+	return ObjectInfo{Name: name, Size: int64(len(o.data)), ModTime: o.modTime, Generation: o.gen}
+}
+
+func (m *memory) Stat(name string) (ObjectInfo, error) {
+	if err := ValidateName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objs[name]
+	if !ok {
+		return ObjectInfo{}, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	return o.info(name), nil
+}
+
+func (m *memory) Get(name string) ([]byte, ObjectInfo, error) {
+	if err := ValidateName(name); err != nil {
+		return nil, ObjectInfo{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	o, ok := m.objs[name]
+	if !ok {
+		return nil, ObjectInfo{}, fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	// Objects are immutable once stored (Put and Append replace the
+	// slice), so handing out a copy keeps callers from aliasing the
+	// store's view.
+	return append([]byte(nil), o.data...), o.info(name), nil
+}
+
+func (m *memory) Put(name string, data []byte) (ObjectInfo, error) {
+	if err := ValidateName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock++
+	o := &memObj{data: append([]byte(nil), data...), modTime: time.Now().UTC(), gen: m.clock}
+	m.objs[name] = o
+	return o.info(name), nil
+}
+
+func (m *memory) Append(name string, data []byte) (ObjectInfo, error) {
+	if err := ValidateName(name); err != nil {
+		return ObjectInfo{}, err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	m.clock++
+	var prev []byte
+	if o, ok := m.objs[name]; ok {
+		prev = o.data
+	}
+	grown := make([]byte, 0, len(prev)+len(data))
+	grown = append(append(grown, prev...), data...)
+	o := &memObj{data: grown, modTime: time.Now().UTC(), gen: m.clock}
+	m.objs[name] = o
+	return o.info(name), nil
+}
+
+func (m *memory) Delete(name string) error {
+	if err := ValidateName(name); err != nil {
+		return err
+	}
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if _, ok := m.objs[name]; !ok {
+		return fmt.Errorf("%w: %s", ErrNotExist, name)
+	}
+	delete(m.objs, name)
+	return nil
+}

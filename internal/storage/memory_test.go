@@ -1,0 +1,35 @@
+package storage_test
+
+import (
+	"testing"
+
+	"repro/internal/storage"
+	"repro/internal/storage/storagetest"
+)
+
+func TestMemoryConformance(t *testing.T) {
+	storagetest.Run(t, func(t *testing.T) storage.Backend {
+		return storage.NewMemory()
+	})
+}
+
+// TestMemoryGetCopies pins that a caller mutating a returned slice
+// cannot corrupt the stored object.
+func TestMemoryGetCopies(t *testing.T) {
+	be := storage.NewMemory()
+	if _, err := be.Put("a.obj", []byte("immutable")); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err := be.Get("a.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	got[0] = 'X'
+	again, _, err := be.Get("a.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(again) != "immutable" {
+		t.Errorf("stored object mutated through a Get result: %q", again)
+	}
+}

@@ -1,0 +1,245 @@
+// Package storagetest is the storage-backend conformance suite: every
+// storage.Backend implementation must pass Run before the daemon's
+// registry and sample store are built on it. New backends (object
+// store, KV, ...) get their contract checked here, not rediscovered in
+// production; see CONTRIBUTING.
+package storagetest
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"testing"
+
+	"repro/internal/storage"
+)
+
+// Run exercises the Backend contract against a fresh backend from
+// newBackend: CRUD round-trips, sorted listing, strict generation
+// monotonicity across Put/Append, append accumulation, name
+// validation, ErrNotExist sentinels, and atomic visibility under a
+// concurrent writer (run with -race to make the safety claim real).
+func Run(t *testing.T, newBackend func(t *testing.T) storage.Backend) {
+	t.Run("RoundTrip", func(t *testing.T) { testRoundTrip(t, newBackend(t)) })
+	t.Run("ListSorted", func(t *testing.T) { testListSorted(t, newBackend(t)) })
+	t.Run("GenerationMonotonic", func(t *testing.T) { testGenerationMonotonic(t, newBackend(t)) })
+	t.Run("AppendAccumulates", func(t *testing.T) { testAppendAccumulates(t, newBackend(t)) })
+	t.Run("NotExist", func(t *testing.T) { testNotExist(t, newBackend(t)) })
+	t.Run("NameValidation", func(t *testing.T) { testNameValidation(t, newBackend(t)) })
+	t.Run("AtomicVisibility", func(t *testing.T) { testAtomicVisibility(t, newBackend(t)) })
+}
+
+func testRoundTrip(t *testing.T, be storage.Backend) {
+	if be.Name() == "" {
+		t.Error("backend has an empty Name")
+	}
+	want := []byte("payload-one")
+	info, err := be.Put("a.obj", want)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if info.Name != "a.obj" || info.Size != int64(len(want)) || info.Generation == 0 {
+		t.Errorf("Put info %+v", info)
+	}
+	got, ginfo, err := be.Get("a.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("Get returned %q, want %q", got, want)
+	}
+	if ginfo.Generation != info.Generation {
+		t.Errorf("Get generation %d, Put said %d", ginfo.Generation, info.Generation)
+	}
+	st, err := be.Stat("a.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Size != int64(len(want)) || st.Generation != info.Generation {
+		t.Errorf("Stat %+v after Put %+v", st, info)
+	}
+	// Overwrite fully replaces.
+	want2 := []byte("replacement, a different length")
+	if _, err := be.Put("a.obj", want2); err != nil {
+		t.Fatal(err)
+	}
+	got, _, err = be.Get("a.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !bytes.Equal(got, want2) {
+		t.Errorf("after overwrite Get returned %q, want %q", got, want2)
+	}
+	if err := be.Delete("a.obj"); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := be.Get("a.obj"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Get after Delete: %v, want ErrNotExist", err)
+	}
+}
+
+func testListSorted(t *testing.T, be storage.Backend) {
+	for _, name := range []string{"c.obj", "a.obj", "b.obj"} {
+		if _, err := be.Put(name, []byte(name)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	list, err := be.List()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) != 3 {
+		t.Fatalf("listed %d objects, want 3: %+v", len(list), list)
+	}
+	for i, want := range []string{"a.obj", "b.obj", "c.obj"} {
+		if list[i].Name != want {
+			t.Errorf("list[%d] = %q, want %q", i, list[i].Name, want)
+		}
+		if list[i].Generation == 0 {
+			t.Errorf("list[%d] has zero generation", i)
+		}
+	}
+}
+
+func testGenerationMonotonic(t *testing.T, be storage.Backend) {
+	var last uint64
+	bump := func(op string, info storage.ObjectInfo, err error) {
+		t.Helper()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if info.Generation <= last {
+			t.Fatalf("%s assigned generation %d, not above the previous %d", op, info.Generation, last)
+		}
+		last = info.Generation
+	}
+	for i := 0; i < 5; i++ {
+		info, err := be.Put("gen.obj", []byte(fmt.Sprintf("v%d", i)))
+		bump("Put", info, err)
+	}
+	for i := 0; i < 5; i++ {
+		info, err := be.Append("gen.obj", []byte("x"))
+		bump("Append", info, err)
+	}
+	// Mutating a different key must also advance past the global
+	// high-water mark: "changed since G" compares across keys.
+	info, err := be.Put("other.obj", []byte("y"))
+	bump("Put(other)", info, err)
+	// Reads never change generations.
+	st, err := be.Stat("gen.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st2, err := be.Stat("gen.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.Generation != st2.Generation {
+		t.Errorf("Stat moved the generation %d -> %d without a mutation", st.Generation, st2.Generation)
+	}
+}
+
+func testAppendAccumulates(t *testing.T, be storage.Backend) {
+	// Append creates on first use.
+	if _, err := be.Append("log.obj", []byte("one\n")); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := be.Append("log.obj", []byte("two\n")); err != nil {
+		t.Fatal(err)
+	}
+	got, info, err := be.Get("log.obj")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := "one\ntwo\n"; string(got) != want {
+		t.Errorf("appended contents %q, want %q", got, want)
+	}
+	if info.Size != int64(len(got)) {
+		t.Errorf("info.Size %d, contents %d bytes", info.Size, len(got))
+	}
+}
+
+func testNotExist(t *testing.T, be storage.Backend) {
+	if _, _, err := be.Get("missing.obj"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Get(missing): %v, want ErrNotExist", err)
+	}
+	if _, err := be.Stat("missing.obj"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Stat(missing): %v, want ErrNotExist", err)
+	}
+	if err := be.Delete("missing.obj"); !errors.Is(err, storage.ErrNotExist) {
+		t.Errorf("Delete(missing): %v, want ErrNotExist", err)
+	}
+}
+
+func testNameValidation(t *testing.T, be storage.Backend) {
+	for _, bad := range []string{"", "a/b.obj", `a\b.obj`, "../escape", ".tmp-123", ".hidden"} {
+		if _, err := be.Put(bad, []byte("x")); err == nil {
+			t.Errorf("Put(%q) accepted an invalid name", bad)
+		}
+		if _, err := be.Append(bad, []byte("x")); err == nil {
+			t.Errorf("Append(%q) accepted an invalid name", bad)
+		}
+		if _, _, err := be.Get(bad); err == nil {
+			t.Errorf("Get(%q) accepted an invalid name", bad)
+		}
+	}
+}
+
+// testAtomicVisibility pins the Put atomicity contract: with one writer
+// alternating two payloads and concurrent readers, every Get must
+// return exactly one of the payloads — never a mix, a truncation, or
+// torn bytes.
+func testAtomicVisibility(t *testing.T, be storage.Backend) {
+	a := bytes.Repeat([]byte("A"), 8192)
+	b := bytes.Repeat([]byte("B"), 4096)
+	if _, err := be.Put("swap.obj", a); err != nil {
+		t.Fatal(err)
+	}
+	done := make(chan struct{})
+	var wg sync.WaitGroup
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < 200; i++ {
+			payload := a
+			if i%2 == 1 {
+				payload = b
+			}
+			if _, err := be.Put("swap.obj", payload); err != nil {
+				t.Errorf("writer: %v", err)
+				break
+			}
+		}
+		close(done)
+	}()
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			var lastGen uint64
+			for {
+				select {
+				case <-done:
+					return
+				default:
+				}
+				got, info, err := be.Get("swap.obj")
+				if err != nil {
+					t.Errorf("reader: %v", err)
+					return
+				}
+				if !bytes.Equal(got, a) && !bytes.Equal(got, b) {
+					t.Errorf("reader saw a torn object: %d bytes, first %q", len(got), got[:min(8, len(got))])
+					return
+				}
+				if info.Generation < lastGen {
+					t.Errorf("reader saw generation go backwards: %d after %d", info.Generation, lastGen)
+					return
+				}
+				lastGen = info.Generation
+			}
+		}()
+	}
+	wg.Wait()
+}

@@ -1,0 +1,80 @@
+#!/usr/bin/env bash
+# bench_diff.sh — compare a fresh mlbench report against the committed
+# baseline, endpoint by endpoint: achieved QPS and the latency
+# quantiles, with the relative delta. Serve-path PRs run this to show
+# their numbers; CI runs it warn-only after the e2e smoke pass, because
+# shared runners are far too noisy to gate on (set STRICT=1 with a
+# TOLERANCE to turn deltas beyond the tolerance into a failure on
+# dedicated hardware).
+#
+# Usage:
+#   scripts/bench_diff.sh <fresh.json> [baseline.json]
+#   STRICT=1 TOLERANCE=0.25 scripts/bench_diff.sh <fresh.json>
+#
+# Baseline defaults to the repo's committed BENCH_serve.json.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+FRESH="${1:?usage: bench_diff.sh <fresh.json> [baseline.json]}"
+BASELINE="${2:-BENCH_serve.json}"
+STRICT="${STRICT:-}"
+TOLERANCE="${TOLERANCE:-0.25}"
+
+[ -r "$FRESH" ] || { echo "bench_diff: cannot read $FRESH" >&2; exit 1; }
+[ -r "$BASELINE" ] || { echo "bench_diff: cannot read baseline $BASELINE" >&2; exit 1; }
+
+FRESH="$FRESH" BASELINE="$BASELINE" STRICT="$STRICT" TOLERANCE="$TOLERANCE" python3 - <<'EOF'
+import json, os, sys
+
+fresh_path, base_path = os.environ["FRESH"], os.environ["BASELINE"]
+strict = os.environ["STRICT"] != ""
+tol = float(os.environ["TOLERANCE"])
+
+with open(fresh_path) as f:
+    fresh = json.load(f)
+with open(base_path) as f:
+    base = json.load(f)
+
+for name, doc in (("fresh", fresh), ("baseline", base)):
+    if doc.get("schema") != "mltuned-bench/v1":
+        sys.exit(f"bench_diff: {name} report schema {doc.get('schema')!r} is not mltuned-bench/v1")
+
+print(f"bench_diff: {fresh_path} vs {base_path}")
+fr, br = fresh.get("run", {}), base.get("run", {})
+for key in ("workers", "target_qps", "batch_size", "top_m"):
+    if fr.get(key) != br.get(key):
+        print(f"  note: run.{key} differs (fresh {fr.get(key)} vs baseline {br.get(key)}) — "
+              "deltas below are not apples-to-apples")
+
+def fmt_ms(v): return f"{v*1e3:8.2f}ms"
+
+regressed = []
+names = sorted(set(fresh["endpoints"]) | set(base["endpoints"]))
+print(f"  {'endpoint':<16} {'metric':<6} {'baseline':>10} {'fresh':>10} {'delta':>8}")
+for name in names:
+    f_ep, b_ep = fresh["endpoints"].get(name), base["endpoints"].get(name)
+    if f_ep is None or b_ep is None:
+        print(f"  {name:<16} only in {'baseline' if f_ep is None else 'fresh'}")
+        continue
+    rows = [("qps", b_ep["achieved_qps"], f_ep["achieved_qps"], False)]
+    for q in ("p50", "p95", "p99"):
+        rows.append((q, b_ep["latency_seconds"][q], f_ep["latency_seconds"][q], True))
+    for metric, b_v, f_v, lower_is_better in rows:
+        delta = (f_v - b_v) / b_v if b_v else float("inf")
+        worse = delta > tol if lower_is_better else delta < -tol
+        mark = "  <-- worse" if worse else ""
+        if metric == "qps":
+            print(f"  {name:<16} {metric:<6} {b_v:>10.1f} {f_v:>10.1f} {delta:>+7.1%}{mark}")
+        else:
+            print(f"  {name:<16} {metric:<6} {fmt_ms(b_v):>10} {fmt_ms(f_v):>10} {delta:>+7.1%}{mark}")
+        if worse:
+            regressed.append(f"{name}/{metric} {delta:+.1%}")
+
+if regressed:
+    print(f"bench_diff: {len(regressed)} metric(s) beyond the {tol:.0%} tolerance: {', '.join(regressed)}")
+    if strict:
+        sys.exit(1)
+    print("bench_diff: warn-only (set STRICT=1 to fail on this)")
+else:
+    print(f"bench_diff: all endpoint metrics within the {tol:.0%} tolerance")
+EOF

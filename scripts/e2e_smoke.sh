@@ -9,6 +9,11 @@
 # and counting. Then the portable path: gather a second device's
 # samples, train the pooled <bench>@* model, and predict for a third
 # device that never trained — by catalog name and by inline descriptor.
+# Finally the fleet path: a read-only serve replica (-role serve,
+# -storage memory) pulls the train node's models over -upstream, serves
+# predictions from them, refuses writes with 405/read_only, and picks up
+# a retrain with zero downtime — every predict during the rollout must
+# answer 200 while the replication cursor advances.
 # CI runs this on every push; it is also runnable locally from the repo
 # root.
 set -euo pipefail
@@ -25,6 +30,7 @@ BIN="$WORKDIR/bin"
 mkdir -p "$BIN"
 
 cleanup() {
+    [ -n "${REPLICA_PID:-}" ] && kill "$REPLICA_PID" 2>/dev/null || true
     [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
     rm -rf "$WORKDIR"
 }
@@ -83,15 +89,16 @@ for want in \
     '^mltuned_samples_appended_total [1-9]' \
     '^mltuned_serve_cache_hits_total [1-9]' \
     ; do
-    echo "$metrics" | grep -Eq "$want" \
+    echo "$metrics" | grep -E "$want" >/dev/null \
         || { echo "/metrics is missing or zero: $want" >&2; exit 1; }
 done
 curl -fs "$BASE/readyz" | grep -q '"ready": true' \
     || { echo "/readyz not ready on a healthy daemon" >&2; exit 1; }
-# Capture before grepping: grep -q closing the pipe early on the large
-# stats body would fail curl -f under pipefail despite a match.
+# Capture before grepping, and grep without -q: on a body larger than
+# the pipe buffer, grep -q exiting at the first match breaks the pipe
+# under pipefail despite the match.
 stats="$(curl -fs "$BASE/v1/stats")"
-echo "$stats" | grep -q '"telemetry"' \
+echo "$stats" | grep '"telemetry"' >/dev/null \
     || { echo "/v1/stats missing the telemetry snapshot" >&2; exit 1; }
 
 echo "== sample store and registry report the artifacts"
@@ -125,6 +132,76 @@ echo "$out"
 echo "$out" | grep -q '"resolution": "portable"' \
     || { echo "inline-descriptor predict did not resolve portable" >&2; exit 1; }
 echo "$out" | grep -q '"seconds"' || { echo "inline prediction missing seconds" >&2; exit 1; }
+
+echo "== two-node: read-only serve replica pulling from the train node"
+ADDR2="127.0.0.1:18373"
+BASE2="http://$ADDR2"
+"$BIN/mltuned" -addr "$ADDR2" -role serve -storage memory \
+    -upstream "$BASE" -sync-interval 200ms &
+REPLICA_PID=$!
+# /readyz gates on the first successful sync, so readiness here proves
+# the replica has already pulled the train node's models.
+for i in $(seq 1 50); do
+    curl -fs "$BASE2/readyz" 2>/dev/null | grep -q '"ready": true' && break
+    [ "$i" = 50 ] && { echo "replica never became ready (first sync)" >&2; exit 1; }
+    sleep 0.2
+done
+
+echo "== replica serves the train node's model"
+out="$(curl -fs "$BASE2/v1/predict?benchmark=convolution&device=$DEVICE_Q&index=7")"
+echo "$out"
+echo "$out" | grep -q '"seconds"' || { echo "replica prediction missing seconds" >&2; exit 1; }
+
+echo "== replica refuses writes with a machine-readable kind"
+body="$(curl -s -X POST "$BASE2/v1/train" -d '{"benchmark":"convolution","device":"'"$DEVICE"'"}')"
+code="$(curl -s -o /dev/null -w '%{http_code}' -X POST "$BASE2/v1/train" \
+    -d '{"benchmark":"convolution","device":"'"$DEVICE"'"}')"
+[ "$code" = 405 ] || { echo "replica POST /v1/train returned $code, want 405" >&2; exit 1; }
+echo "$body" | grep -q '"kind": "read_only"' \
+    || { echo "replica 405 missing kind read_only: $body" >&2; exit 1; }
+
+echo "== replica stats expose role, storage backend and replication state"
+stats2="$(curl -fs "$BASE2/v1/stats")"
+echo "$stats2" | grep '"role": "serve"' >/dev/null || { echo "replica stats missing role" >&2; exit 1; }
+echo "$stats2" | grep '"models": "memory"' >/dev/null || { echo "replica stats missing storage backend" >&2; exit 1; }
+echo "$stats2" | grep '"synced": true' >/dev/null || { echo "replica stats not synced" >&2; exit 1; }
+gen0="$(echo "$stats2" | python3 -c 'import json,sys; print(json.load(sys.stdin)["replication"]["generation"])')"
+[ "$gen0" -gt 0 ] || { echo "replica cursor is zero after sync" >&2; exit 1; }
+
+echo "== zero-downtime rollout: retrain upstream, replica stays serving"
+"$BIN/mltune" train -daemon "$BASE" -bench convolution -device "$DEVICE" \
+    -samples "$WORKDIR/samples.jsonl" -ensemble-k 3 -hidden 8 -epochs 150
+# Poll with live predicts: every request during the rollout must answer
+# 200 (the atomic swap never leaves a torn or missing model), and the
+# replica's cursor must advance past the retrain within a few sync
+# intervals.
+rolled=""
+for i in $(seq 1 50); do
+    code="$(curl -s -o /dev/null -w '%{http_code}' \
+        "$BASE2/v1/predict?benchmark=convolution&device=$DEVICE_Q&index=7")"
+    [ "$code" = 200 ] || { echo "replica predict returned $code mid-rollout" >&2; exit 1; }
+    gen="$(curl -fs "$BASE2/v1/stats" | python3 -c 'import json,sys; print(json.load(sys.stdin)["replication"]["generation"])')"
+    if [ "$gen" -gt "$gen0" ]; then rolled=1; break; fi
+    sleep 0.2
+done
+[ -n "$rolled" ] || { echo "replica cursor never advanced past the retrain" >&2; exit 1; }
+
+echo "== replication metrics count on the replica"
+metrics2="$(curl -fs "$BASE2/metrics")"
+for want in \
+    '^mltuned_replication_syncs_total [1-9]' \
+    '^mltuned_replication_models_installed_total [1-9]' \
+    '^mltuned_replication_generation [1-9]' \
+    '^mltuned_replication_last_success_timestamp_seconds [1-9]' \
+    ; do
+    echo "$metrics2" | grep -E "$want" >/dev/null \
+        || { echo "replica /metrics is missing or zero: $want" >&2; exit 1; }
+done
+
+echo "== replica shutdown"
+kill -TERM "$REPLICA_PID"
+wait "$REPLICA_PID" 2>/dev/null || true
+REPLICA_PID=""
 
 echo "== graceful shutdown"
 kill -TERM "$DAEMON_PID"
