@@ -416,6 +416,43 @@ func BenchmarkConvolutionTopMBatched(b *testing.B) {
 	}
 }
 
+// BenchmarkConvolutionTopMEngines runs the same full-space top-200 sweep
+// under each inference engine. The result set is engine-independent (the
+// heap only ranks exact reference scores); the engines differ in what the
+// screening pass costs and how tight its bounds are, i.e. how few
+// configurations survive to pay the exact forward pass.
+func BenchmarkConvolutionTopMEngines(b *testing.B) {
+	for _, name := range ann.EngineNames() {
+		b.Run(name, func(b *testing.B) {
+			m, err := convolutionModel(b).WithEngine(name)
+			if err != nil {
+				b.Fatal(err)
+			}
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if got := m.TopM(200); len(got) != 200 {
+					b.Fatal("short result")
+				}
+			}
+		})
+	}
+}
+
+// BenchmarkConvolutionTopMIncremental measures the warm-started sweep:
+// each iteration seeds from the previous result, the steady state of a
+// daemon serving top-M across converged retrains.
+func BenchmarkConvolutionTopMIncremental(b *testing.B) {
+	m := convolutionModel(b)
+	prev := m.TopMIncremental(200, nil)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res := m.TopMIncremental(200, prev)
+		if len(res.Top) != 200 {
+			b.Fatal("short result")
+		}
+	}
+}
+
 // topMServer builds an mltuned server whose registry holds the
 // convolution model.
 func topMServer(b *testing.B) *service.Server {

@@ -117,14 +117,18 @@ func main() {
 		},
 	}
 
-	spaceSize, err := b.probe()
+	info, err := b.probe()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mlbench:", err)
 		os.Exit(1)
 	}
-	b.spaceSize = spaceSize
-	fmt.Printf("mlbench: %s %s@%s, space %d, %d workers, mix %s, %s\n",
-		b.base, b.benchmark, b.device, spaceSize, *workers, *mix, loopDesc(*qps))
+	b.spaceSize = info.spaceSize
+	engineDesc := info.engine
+	if engineDesc == "" {
+		engineDesc = "unreported"
+	}
+	fmt.Printf("mlbench: %s %s@%s, space %d, engine %s, %d workers, mix %s, %s\n",
+		b.base, b.benchmark, b.device, info.spaceSize, engineDesc, *workers, *mix, loopDesc(*qps))
 
 	if *warmup > 0 {
 		b.run(*workers, *qps, *warmup, *seed)
@@ -154,8 +158,10 @@ func main() {
 			WarmupSeconds:   warmup.Seconds(),
 			BatchSize:       *batchSize,
 			TopM:            *topM,
-			SpaceSize:       spaceSize,
+			SpaceSize:       info.spaceSize,
 			Started:         started.UTC().Format(time.RFC3339),
+			Engine:          info.engine,
+			WeightFormat:    info.weightFormat,
 		},
 		Endpoints: make(map[string]EndpointStats),
 		Daemon:    DaemonInfo{MetricsDiff: diffCounters(before, after)},
@@ -257,45 +263,61 @@ type epResult struct {
 	hist    *latHist
 }
 
+// probeInfo is what probe learns about the daemon before load starts.
+type probeInfo struct {
+	spaceSize int64
+	// engine is the daemon's read-path inference engine (from the model
+	// listing; "" against daemons that predate the field), weightFormat
+	// the served model's persistence version (0 when unreported). Both
+	// flow into the report's run block as additive detail.
+	engine       string
+	weightFormat int
+}
+
 // probe checks the daemon serves the benchmark/device pair (one predict,
 // which also loads the model so the warmup starts warm-ish) and reads
-// the tuning-space size from the model listing. Falling back to 1024
-// keeps the tool usable against daemons whose listing omits the size.
-func (b *bench) probe() (int64, error) {
+// the tuning-space size, serving engine and model weight format from the
+// model listing. Falling back to space size 1024 keeps the tool usable
+// against daemons whose listing omits the size.
+func (b *bench) probe() (probeInfo, error) {
+	var info probeInfo
 	resp, err := b.client.Get(b.singleURL(0))
 	if err != nil {
-		return 0, fmt.Errorf("probing %s: %w (is mltuned running?)", b.base, err)
+		return info, fmt.Errorf("probing %s: %w (is mltuned running?)", b.base, err)
 	}
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	if resp.StatusCode != http.StatusOK {
-		return 0, fmt.Errorf("probe predict returned %d: train a model for %s@%s first",
+		return info, fmt.Errorf("probe predict returned %d: train a model for %s@%s first",
 			resp.StatusCode, b.benchmark, b.device)
 	}
 	resp, err = b.client.Get(b.base + "/v1/models?benchmark=" + url.QueryEscape(b.benchmark))
 	if err != nil {
-		return 0, err
+		return info, err
 	}
 	defer resp.Body.Close()
 	var listing struct {
+		Engine string `json:"engine"`
 		Models []struct {
-			Device    string `json:"device"`
-			SpaceSize int64  `json:"space_size"`
+			Device       string `json:"device"`
+			SpaceSize    int64  `json:"space_size"`
+			WeightFormat int    `json:"weight_format"`
 		} `json:"models"`
 	}
 	if err := json.NewDecoder(resp.Body).Decode(&listing); err != nil {
-		return 0, fmt.Errorf("decoding model listing: %w", err)
+		return info, fmt.Errorf("decoding model listing: %w", err)
 	}
-	size := int64(0)
+	info.engine = listing.Engine
 	for _, m := range listing.Models {
-		if m.SpaceSize > 0 && (m.Device == b.device || size == 0) {
-			size = m.SpaceSize
+		if m.SpaceSize > 0 && (m.Device == b.device || info.spaceSize == 0) {
+			info.spaceSize = m.SpaceSize
+			info.weightFormat = m.WeightFormat
 		}
 	}
-	if size == 0 {
-		size = 1024
+	if info.spaceSize == 0 {
+		info.spaceSize = 1024
 	}
-	return size, nil
+	return info, nil
 }
 
 func (b *bench) singleURL(idx int64) string {

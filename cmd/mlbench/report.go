@@ -35,6 +35,14 @@ type RunInfo struct {
 	// SpaceSize is the tuning-space size indices were drawn from.
 	SpaceSize int64  `json:"space_size"`
 	Started   string `json:"started"`
+	// Engine is the daemon's read-path inference engine and WeightFormat
+	// the served model's persistence version, both as reported by the
+	// GET /v1/models listing. Both are additive detail (absent
+	// against daemons that predate them, or when the probe could not
+	// determine them), so pre-existing v1 readers are unaffected —
+	// the schema stays mltuned-bench/v1.
+	Engine       string `json:"engine,omitempty"`
+	WeightFormat int    `json:"weight_format,omitempty"`
 }
 
 // EndpointStats is one endpoint's aggregate over the measure phase.
@@ -81,6 +89,15 @@ func (r *Report) Validate() error {
 	}
 	if r.Run.Workers < 1 || r.Run.DurationSeconds <= 0 || r.Run.SpaceSize < 1 {
 		return fmt.Errorf("run has non-positive workers/duration/space_size: %+v", r.Run)
+	}
+	// Engine and WeightFormat are additive fields; when present they must
+	// still be plausible (a known engine name, a positive persistence
+	// version), so a mangled report cannot hide behind "optional".
+	if e := r.Run.Engine; e != "" && e != "float64" && e != "int16" {
+		return fmt.Errorf("run.engine %q is not a known engine (float64, int16)", e)
+	}
+	if r.Run.WeightFormat < 0 {
+		return fmt.Errorf("run.weight_format %d is negative", r.Run.WeightFormat)
 	}
 	if len(r.Endpoints) == 0 {
 		return fmt.Errorf("no endpoints measured")

@@ -8,6 +8,7 @@
 //	        [-train-workers N] [-backlog N] [-drain-timeout D]
 //	        [-max-inflight N] [-pprof] [-storage localfs|memory]
 //	        [-role all|serve|train] [-upstream URL] [-sync-interval D]
+//	        [-engine float64|int16]
 //
 // On startup the registry directory is scanned for saved models
 // (benchmark@device.mlt files in the core.Model.Save format — the same
@@ -28,6 +29,15 @@
 // portable <bench>@* model; predict/top-M requests for devices without
 // a model of their own fall back to it, binding the requesting device's
 // descriptor (catalog name or inline descriptor JSON).
+//
+// -engine selects the read path's inference engine. The default float64
+// engine is the exact reference; -engine int16 serves batch predictions
+// through the quantised fixed-point engine (within its proven error
+// bound of the reference — see the README's Engines section) and uses it
+// to screen top-M sweeps, whose answers stay identical to the reference.
+// Models the int16 proof does not cover fall back to float64 per model,
+// counted in mltuned_engine_fallbacks_total; /v1/stats and /v1/models
+// report the engine in effect.
 //
 // The daemon splits into planes for fleet deployments. -role train (or
 // the default all) is the train plane: it owns the writable registry.
@@ -92,6 +102,7 @@ func main() {
 		roleFlag     = flag.String("role", "all", "plane to run: all (single node), train (writable source), serve (read-only replica)")
 		upstream     = flag.String("upstream", "", "train-plane base URL a serve replica pulls models from (requires -role serve)")
 		syncEvery    = flag.Duration("sync-interval", 5*time.Second, "replication poll interval when -upstream is set")
+		engine       = flag.String("engine", "", "read-path inference engine: float64 (exact reference, the default) or int16 (quantised fixed point)")
 	)
 	flag.Parse()
 
@@ -139,6 +150,9 @@ func main() {
 	if *pprof {
 		opts = append(opts, service.WithPprof())
 	}
+	if *engine != "" {
+		opts = append(opts, service.WithEngine(*engine))
+	}
 	srv, err := service.New(reg, *workers, *backlog, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mltuned:", err)
@@ -148,8 +162,8 @@ func main() {
 	if regName == "" {
 		regName = reg.Backend().Name()
 	}
-	log.Printf("mltuned: serving on %s as role %s (registry %s [%s], %d models)",
-		*addr, srv.Role(), regName, reg.Backend().Name(), reg.Len())
+	log.Printf("mltuned: serving on %s as role %s, engine %s (registry %s [%s], %d models)",
+		*addr, srv.Role(), srv.Engine(), regName, reg.Backend().Name(), reg.Len())
 
 	httpSrv := &http.Server{Addr: *addr, Handler: srv}
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)

@@ -1,0 +1,55 @@
+package ann
+
+import "math"
+
+// Content fingerprints for networks and ensembles. Incremental top-M
+// (internal/core) keys its cached sweeps on *what the model computes*,
+// not on pointer identity: after an atomic registry swap the new
+// *Model is a different allocation even when a retrain converged to the
+// same weights, and a device re-bind shares member pointers while
+// changing the feature tail. Per-member content tags let that layer
+// decide exactly which predictions can have changed.
+//
+// The mix is splitmix64's finalizer — dependency-free (this package
+// stays stdlib-only), well distributed, and cheap enough to run on
+// every ensemble install.
+
+func fpMix(x uint64) uint64 {
+	x += 0x9e3779b97f4a7c15
+	x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9
+	x = (x ^ (x >> 27)) * 0x94d049bb133111eb
+	return x ^ (x >> 31)
+}
+
+func fpCombine(h, v uint64) uint64 {
+	return fpMix(h ^ fpMix(v))
+}
+
+// Fingerprint returns a content hash of the network's topology,
+// activations and exact weight bits. Equal fingerprints mean (up to
+// hash collision) the network computes the identical function.
+func (n *Network) Fingerprint() uint64 {
+	h := fpMix(uint64(len(n.sizes)))
+	for _, s := range n.sizes {
+		h = fpCombine(h, uint64(s))
+	}
+	for _, a := range n.acts {
+		h = fpCombine(h, uint64(a))
+	}
+	for _, w := range n.weights {
+		for _, v := range w {
+			h = fpCombine(h, math.Float64bits(v))
+		}
+	}
+	return h
+}
+
+// MemberFingerprints appends the per-member content tags to dst and
+// returns it. Order matters: the ensemble mean is member-order
+// dependent in the last float64 ulp, so tags are positional.
+func (e *Ensemble) MemberFingerprints(dst []uint64) []uint64 {
+	for _, n := range e.nets {
+		dst = append(dst, n.Fingerprint())
+	}
+	return dst
+}

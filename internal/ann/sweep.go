@@ -1,0 +1,284 @@
+package ann
+
+import "fmt"
+
+// QuantSweeper is the int16 engine's full-space screening kernel: it
+// bounds every configuration of a dense odometer-indexed space in index
+// order, maintaining the first-layer pre-activation accumulators
+// *incrementally* instead of recomputing them per configuration.
+//
+// The space is the cross product of P positions, position p taking
+// arity_p discrete levels; index digits decode most-significant-first
+// with the last position varying fastest (the layout of
+// tuning.Space.At). Each level of each position contributes a fixed
+// vector to every first-layer accumulator — w_j,p · x_p(level), at the
+// member's own weight scale — so the sweeper keeps one prefix-sum row
+// per position:
+//
+//	prefix[p] = base + contrib[0][digit_0] + … + contrib[p][digit_p]
+//
+// and a step from index i to i+1 only recomputes the rows from the
+// lowest changed digit down: amortised over a full sweep that is ~1.5
+// vector adds per configuration instead of P dot products. The trailing
+// fixed features (a portable model's bound device tail) fold into base
+// once at construction.
+//
+// This is only sound because the accumulators are integers: integer
+// addition is exact and order-independent, so the incremental state is
+// bit-identical to a from-scratch forward pass — Bounds returns exactly
+// what PredictBatchBoundsQ14 would for the same index's EncodeIndexQ14
+// features (pinned by TestSweeperMatchesBatch). A float engine cannot
+// sweep incrementally without invalidating its error argument, which is
+// why the quantised engine wins the full-space sweep: the per-config
+// cost drops to the sigmoid lookups and the output dot.
+//
+// A sweeper is single-goroutine state over an immutable
+// QuantizedEnsemble; each sweep worker builds its own.
+type QuantSweeper struct {
+	q     *QuantizedEnsemble
+	arity []int64
+	size  int64
+	// H is the concatenated first-layer width across members; slot
+	// ranges follow member order.
+	H int
+	// contrib[p][v*H+j] is level v of position p's contribution to slot
+	// j's accumulator (at the owning member's layer-0 scale).
+	contrib [][]int64
+	// base[j] is slot j's bias plus the fixed-tail contribution.
+	base []int64
+	// prefix[p][j] is the running pre-activation after positions 0..p.
+	prefix [][]int64
+	digits []int
+	// invK is the precomputed ensemble-mean reciprocal — the same
+	// multiply PredictBatchQ14 finishes with, so the last float op of
+	// value matches the batch path bit for bit (dividing by K instead
+	// would differ by an ulp whenever 1/K is inexact).
+	invK float64
+	// cur is the index the prefix rows currently describe; -1 before the
+	// first seek.
+	cur int64
+	// actA/actB are single-sample buffers for members with more than one
+	// hidden layer (the paper topology never needs them).
+	actA, actB []int16
+	deep       bool
+}
+
+// NewSweeper builds a sweeper for a space whose position p has
+// len(levels[p]) levels with the given Q14 feature values, followed by
+// the fixed Q14 tail features (nil for parameter-only models). The
+// feature layout must match the ensemble's input width: positions first,
+// tail after — the layout of tuning.FeatureSchema.EncodeIndexQ14.
+func (q *QuantizedEnsemble) NewSweeper(levels [][]int16, tail []int16) (*QuantSweeper, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("ann: sweeper needs at least one position")
+	}
+	if got := len(levels) + len(tail); got != q.inDim {
+		return nil, fmt.Errorf("ann: sweeper features %d (positions %d + tail %d) != engine input width %d",
+			got, len(levels), len(tail), q.inDim)
+	}
+	P := len(levels)
+	s := &QuantSweeper{
+		q:      q,
+		arity:  make([]int64, P),
+		size:   1,
+		digits: make([]int, P),
+		invK:   1 / float64(len(q.members)),
+		cur:    -1,
+	}
+	for p, lv := range levels {
+		if len(lv) == 0 {
+			return nil, fmt.Errorf("ann: sweeper position %d has no levels", p)
+		}
+		s.arity[p] = int64(len(lv))
+		if s.size > (1<<62)/s.arity[p] {
+			return nil, fmt.Errorf("ann: sweeper space size overflows")
+		}
+		s.size *= s.arity[p]
+	}
+	for _, layers := range q.members {
+		s.H += layers[0].out
+		if len(layers) > 2 {
+			s.deep = true
+		}
+	}
+	s.base = make([]int64, s.H)
+	s.contrib = make([][]int64, P)
+	for p := range s.contrib {
+		s.contrib[p] = make([]int64, int(s.arity[p])*s.H)
+	}
+	s.prefix = make([][]int64, P)
+	for p := range s.prefix {
+		s.prefix[p] = make([]int64, s.H)
+	}
+	off := 0
+	for _, layers := range q.members {
+		l0 := layers[0]
+		for j := 0; j < l0.out; j++ {
+			acc := l0.b[j]
+			for t, tv := range tail {
+				acc += int64(l0.w[j*l0.in+P+t]) * int64(tv)
+			}
+			s.base[off+j] = acc
+			for p := 0; p < P; p++ {
+				w := int64(l0.w[j*l0.in+p])
+				for v, lv := range levels[p] {
+					s.contrib[p][v*s.H+off+j] = w * int64(lv)
+				}
+			}
+		}
+		off += l0.out
+	}
+	if s.deep {
+		s.actA = make([]int16, q.maxWidth)
+		s.actB = make([]int16, q.maxWidth)
+	}
+	return s, nil
+}
+
+// Size returns the swept space's configuration count.
+func (s *QuantSweeper) Size() int64 { return s.size }
+
+// seek positions the sweeper at idx: decode the digits, rebuild every
+// prefix row.
+func (s *QuantSweeper) seek(idx int64) {
+	rem := idx
+	for p := len(s.digits) - 1; p >= 0; p-- {
+		s.digits[p] = int(rem % s.arity[p])
+		rem /= s.arity[p]
+	}
+	for p := range s.prefix {
+		s.addRow(p)
+	}
+	s.cur = idx
+}
+
+// step advances the odometer by one and recomputes the changed rows.
+func (s *QuantSweeper) step() {
+	p := len(s.digits) - 1
+	for int64(s.digits[p]+1) == s.arity[p] {
+		s.digits[p] = 0
+		p--
+	}
+	s.digits[p]++
+	for ; p < len(s.prefix); p++ {
+		s.addRow(p)
+	}
+	s.cur++
+}
+
+// addRow recomputes prefix[p] = predecessor + contrib[p][digit_p].
+func (s *QuantSweeper) addRow(p int) {
+	src := s.base
+	if p > 0 {
+		src = s.prefix[p-1]
+	}
+	c := s.contrib[p][s.digits[p]*s.H : (s.digits[p]+1)*s.H]
+	dst := s.prefix[p]
+	_ = dst[len(src)-1]
+	for j, v := range src {
+		dst[j] = v + c[j]
+	}
+}
+
+// value finishes the current configuration from the last prefix row:
+// sigmoid lookups, per-member output layers, ensemble mean. The float
+// accumulation order mirrors PredictBatchQ14 exactly, so the result is
+// bit-identical to the batch path.
+func (s *QuantSweeper) value() float64 {
+	acc := s.prefix[len(s.prefix)-1]
+	lut := s.q.lut
+	sum := 0.0
+	off := 0
+	for _, layers := range s.q.members {
+		l0 := layers[0]
+		if l0.linear {
+			// Single-layer member: the prefix row already holds the linear
+			// output's accumulator (bias folded into base), so finishing is
+			// one scale multiply.
+			sum += float64(acc[off]) * l0.invOut
+			off += l0.out
+			continue
+		}
+		if len(layers) == 2 && layers[1].linear {
+			// Paper topology: fuse shift, lookup and the output dot. The
+			// output dot accumulates in the same 4-chain order as dotQ so
+			// the integer value — and therefore the float conversion — is
+			// identical (integer addition is associative).
+			lOut := layers[1]
+			w := lOut.w
+			var a0, a1, a2, a3 int64
+			j := 0
+			for ; j+4 <= l0.out; j += 4 {
+				a0 += int64(w[j]) * int64(lut[lutCell(acc[off+j], l0.shift)])
+				a1 += int64(w[j+1]) * int64(lut[lutCell(acc[off+j+1], l0.shift)])
+				a2 += int64(w[j+2]) * int64(lut[lutCell(acc[off+j+2], l0.shift)])
+				a3 += int64(w[j+3]) * int64(lut[lutCell(acc[off+j+3], l0.shift)])
+			}
+			for ; j < l0.out; j++ {
+				a0 += int64(w[j]) * int64(lut[lutCell(acc[off+j], l0.shift)])
+			}
+			sum += float64(lOut.b[0]+a0+a1+a2+a3) * lOut.invOut
+			off += l0.out
+			continue
+		}
+		// Deeper members: materialise the first-layer activations, then
+		// run the remaining layers single-sample through the shared cell
+		// arithmetic.
+		cur := s.actA[:l0.out]
+		for j := 0; j < l0.out; j++ {
+			cur[j] = lut[lutCell(acc[off+j], l0.shift)]
+		}
+		nxt := s.actB
+		for _, l := range layers[1:] {
+			if l.linear {
+				sum += float64(l.b[0]+dotQ(l.w[:l.in], cur)) * l.invOut
+				break
+			}
+			row := nxt[:l.out]
+			for j := 0; j < l.out; j++ {
+				a := l.b[j] + dotQ(l.w[j*l.in:(j+1)*l.in], cur)
+				row[j] = lut[lutCell(a, l.shift)]
+			}
+			cur, nxt = row, cur[:cap(cur)]
+		}
+		off += l0.out
+	}
+	return sum * s.invK
+}
+
+// lutCell maps an accumulator onto the sigmoid grid, clamped: the shared
+// cell arithmetic of forwardMember and the sweeper.
+func lutCell(acc int64, shift uint) int {
+	cell := int(acc>>shift) + qLutSize/2
+	if cell < 0 {
+		return 0
+	}
+	if cell >= qLutSize {
+		return qLutSize - 1
+	}
+	return cell
+}
+
+// Bounds writes conservative raw-output brackets for the n sequential
+// configurations starting at index start: lb[i] ≤ reference(start+i) ≤
+// ub[i], exactly as PredictBatchBoundsQ14 would bound them. Sequential
+// calls continue the incremental walk; a non-contiguous start pays one
+// full re-seek (P vector adds) and continues from there. Panics if the
+// range leaves the space, matching EncodeIndex.
+func (s *QuantSweeper) Bounds(start int64, n int, lb, ub []float64) {
+	if start < 0 || n < 0 || start+int64(n) > s.size {
+		panic("ann: sweeper Bounds range outside the space")
+	}
+	bound := s.q.bound
+	for i := 0; i < n; i++ {
+		idx := start + int64(i)
+		if idx != s.cur+1 || s.cur < 0 {
+			s.seek(idx)
+		} else {
+			s.step()
+		}
+		v := s.value()
+		lb[i] = v - bound
+		ub[i] = v + bound
+	}
+}

@@ -72,7 +72,56 @@ type Model struct {
 	// vector WithDevice fixed); nil both for parameter-only models and
 	// for an unbound portable model.
 	tail []float64
+	// engine is the selected inference engine (WithEngine); nil selects
+	// the float64 reference. The scalar Predict path always runs the
+	// reference regardless — the engine drives the batch paths and the
+	// top-M screening.
+	engine ann.Engine
+	// persistVersion records the persistence version the model was loaded
+	// from; 0 for freshly trained models (see WeightFormat).
+	persistVersion int
 }
+
+// eng returns the selected engine, defaulting to the float64 reference.
+// Hand-built models (tests, experiments) construct Model literals without
+// an engine; they get reference behaviour.
+func (m *Model) eng() ann.Engine {
+	if m.engine != nil {
+		return m.engine
+	}
+	return ann.Float64Engine{E: m.ensemble}
+}
+
+// WithEngine returns a view of the model whose batch predictions and
+// top-M sweeps run on the named inference engine (see ann.EngineNames).
+// The view shares the trained weights with m; like WithDevice it is
+// cheap and safe to hold per serving context. Selecting the int16 engine
+// can fail: quantisation refuses topologies its error proof does not
+// cover and diverged weight magnitudes.
+//
+// Engine semantics: batch predictions are within the engine's proven
+// error bound of the reference (bit-identical for the float64 engine),
+// while TopM uses the engine only to *screen* — every score that ranks
+// configurations is computed by the exact reference path, so the
+// returned set and order are engine-independent.
+func (m *Model) WithEngine(name string) (*Model, error) {
+	eng, err := ann.NewEngine(name, m.ensemble)
+	if err != nil {
+		return nil, err
+	}
+	view := *m
+	view.engine = eng
+	return &view, nil
+}
+
+// EngineName returns the selected engine's name (ann.EngineFloat64 when
+// none was selected).
+func (m *Model) EngineName() string { return m.eng().Name() }
+
+// EngineErrorBound returns the selected engine's proven worst-case
+// deviation from the reference on the raw model output (0 for the
+// reference itself).
+func (m *Model) EngineErrorBound() float64 { return m.eng().ErrorBound() }
 
 // TrainModel fits the paper's model to the measured samples. invalid
 // lists configurations that failed to run; they are ignored unless
@@ -141,7 +190,14 @@ func TrainModelProgress(ctx context.Context, space *tuning.Space, samples []Samp
 	if err != nil {
 		return nil, err
 	}
-	return &Model{space: space, schema: schema, ensemble: ensemble, scaler: scaler, logT: cfg.LogTransform}, nil
+	return &Model{
+		space:    space,
+		schema:   schema,
+		ensemble: ensemble,
+		scaler:   scaler,
+		logT:     cfg.LogTransform,
+		engine:   ann.Float64Engine{E: ensemble},
+	}, nil
 }
 
 func target(seconds float64, logT bool) float64 {
@@ -221,28 +277,69 @@ func (m *Model) finish(y float64) float64 {
 const predictBlock = 256
 
 // BatchScratch carries the reusable buffers of blocked batch prediction:
-// an encoded feature matrix, the ensemble's batch buffers and a raw
-// output block. Like PredictScratch it is single-goroutine state.
+// an encoded feature matrix, the engine's batch buffers and a raw output
+// block. A scratch is pinned to the engine it was built for. Like
+// PredictScratch it is single-goroutine state.
 type BatchScratch struct {
-	ps    *ann.BatchPredictScratch
+	eng ann.EngineScratch // selected engine's buffers
+	e   ann.Engine        // the engine the scratch belongs to
+	// Fixed-point fast path, set when e is the int16 engine: features are
+	// encoded straight into Q14 via the precomputed tables, skipping the
+	// float encode and the per-feature rounding.
+	q     *ann.QuantizedEnsemble
+	qs    *ann.QuantScratch
+	qxs   []int16
+	qtail []int16
+	// sweep is the incremental full-space screening kernel, built for
+	// bound models on the int16 engine (see ann.QuantSweeper); nil
+	// otherwise, falling back to per-index bounds.
+	sweep *ann.QuantSweeper
+	idxs  []int64   // per-block index buffer of the bounds fallback
 	xs    []float64 // block-sample-major encoded features
 	raw   []float64 // raw ensemble outputs for one block
 	block int
 }
 
-// NewBatchScratch allocates blocked batch-prediction buffers.
+// NewBatchScratch allocates blocked batch-prediction buffers for the
+// model's selected engine.
 func (m *Model) NewBatchScratch() *BatchScratch {
-	return &BatchScratch{
-		ps:    m.ensemble.NewBatchScratch(predictBlock),
+	return m.newBatchScratchFor(m.eng())
+}
+
+// newBatchScratchFor allocates a scratch pinned to the given engine; the
+// top-M sweep builds one for the screening engine and one for the exact
+// reference scorer.
+func (m *Model) newBatchScratchFor(eng ann.Engine) *BatchScratch {
+	s := &BatchScratch{
+		eng:   eng.NewScratch(predictBlock),
+		e:     eng,
 		xs:    make([]float64, 0, predictBlock*m.schema.Dim()),
 		raw:   make([]float64, predictBlock),
 		block: predictBlock,
 	}
+	if q, ok := eng.(*ann.QuantizedEnsemble); ok {
+		s.q = q
+		s.qs = s.eng.(*ann.QuantScratch)
+		s.qxs = make([]int16, 0, predictBlock*m.schema.Dim())
+		if m.Bound() {
+			s.qtail = m.schema.QuantizeTailQ14(m.tail, make([]int16, 0, m.schema.TailDim()))
+			// The incremental sweeper needs the whole feature layout
+			// pinned (positions then tail); a mismatch means the engine
+			// was built for another model, and the per-index fallback
+			// below stays correct either way.
+			if sw, err := q.NewSweeper(m.schema.Q14Levels(), s.qtail); err == nil {
+				s.sweep = sw
+			}
+		}
+	}
+	return s
 }
 
 // PredictBatchWith predicts cfgs in blocks through s, appending the times
-// (in cfgs order, seconds) to dst. Predictions are bit-identical to
-// calling Predict per configuration.
+// (in cfgs order, seconds) to dst. Under the float64 reference engine,
+// predictions are bit-identical to calling Predict per configuration;
+// under any other engine they are within the engine's proven error bound
+// of that (on the raw output, before the log/scale inversion).
 func (m *Model) PredictBatchWith(cfgs []tuning.Config, s *BatchScratch, dst []float64) []float64 {
 	for lo := 0; lo < len(cfgs); lo += s.block {
 		hi := lo + s.block
@@ -260,32 +357,87 @@ func (m *Model) PredictBatchWith(cfgs []tuning.Config, s *BatchScratch, dst []fl
 
 // PredictIndices predicts the configurations at the given space indices
 // in blocks through s, appending the times to dst. It encodes straight
-// from the dense indices (tuning.Encoder.EncodeIndex), so the sweep never
-// materialises a Config — the allocation-free engine behind TopM.
-// Predictions are bit-identical to Predict(space.At(idx)).
+// from the dense indices (tuning.Encoder.EncodeIndex — Q14 tables for
+// the int16 engine), so the sweep never materialises a Config: the
+// allocation-free primitive behind TopM. Under the reference engine,
+// predictions are bit-identical to Predict(space.At(idx)).
 func (m *Model) PredictIndices(idxs []int64, s *BatchScratch, dst []float64) []float64 {
 	for lo := 0; lo < len(idxs); lo += s.block {
 		hi := lo + s.block
 		if hi > len(idxs) {
 			hi = len(idxs)
 		}
+		n := hi - lo
+		if s.q != nil {
+			s.qxs = s.qxs[:0]
+			for _, idx := range idxs[lo:hi] {
+				s.qxs = m.schema.EncodeIndexQ14(idx, s.qtail, s.qxs)
+			}
+			s.q.PredictBatchQ14(s.qxs, n, s.qs, s.raw[:n])
+			for _, y := range s.raw[:n] {
+				dst = append(dst, m.finish(y))
+			}
+			continue
+		}
 		s.xs = s.xs[:0]
 		for _, idx := range idxs[lo:hi] {
 			s.xs = m.schema.EncodeIndex(idx, m.tail, s.xs)
 		}
-		dst = m.predictEncodedBlock(hi-lo, s, dst)
+		dst = m.predictEncodedBlock(n, s, dst)
 	}
 	return dst
 }
 
 // predictEncodedBlock runs the count samples encoded in s.xs through the
-// ensemble and appends the finished times to dst.
+// scratch's engine and appends the finished times to dst.
 func (m *Model) predictEncodedBlock(count int, s *BatchScratch, dst []float64) []float64 {
-	m.ensemble.PredictBatch(s.xs, count, s.ps, s.raw[:count])
+	s.e.PredictBatch(s.xs, count, s.eng, s.raw[:count])
 	for _, y := range s.raw[:count] {
 		dst = append(dst, m.finish(y))
 	}
 	return dst
+}
+
+// predictIndexBounds writes conservative raw-output brackets of the
+// *reference* prediction for one block of indices: the screening
+// primitive of the pruned top-M sweep. len(idxs) must be at most
+// s.block.
+func (m *Model) predictIndexBounds(idxs []int64, s *BatchScratch, lb, ub []float64) {
+	n := len(idxs)
+	if s.q != nil {
+		s.qxs = s.qxs[:0]
+		for _, idx := range idxs {
+			s.qxs = m.schema.EncodeIndexQ14(idx, s.qtail, s.qxs)
+		}
+		s.q.PredictBatchBoundsQ14(s.qxs, n, s.qs, lb[:n], ub[:n])
+		return
+	}
+	s.xs = s.xs[:0]
+	for _, idx := range idxs {
+		s.xs = m.schema.EncodeIndex(idx, m.tail, s.xs)
+	}
+	s.e.PredictBatchBounds(s.xs, n, s.eng, lb[:n], ub[:n])
+}
+
+// boundIndexRange is predictIndexBounds over the n sequential indices
+// starting at start: the screening shape of the top-M sweep. On the
+// int16 engine it runs the incremental sweeper — the first layer's
+// pre-activations update in place as the index odometer turns, so the
+// per-config cost collapses to the sigmoid lookups and the output dot.
+// n must be at most s.block.
+func (m *Model) boundIndexRange(start int64, n int, s *BatchScratch, lb, ub []float64) {
+	if s.sweep != nil {
+		s.sweep.Bounds(start, n, lb[:n], ub[:n])
+		return
+	}
+	if s.idxs == nil {
+		s.idxs = make([]int64, 0, s.block)
+	}
+	s.idxs = s.idxs[:0]
+	for idx := start; idx < start+int64(n); idx++ {
+		s.idxs = append(s.idxs, idx)
+	}
+	m.predictIndexBounds(s.idxs, s, lb, ub)
 }
 
 // Predicted pairs a configuration index with its predicted time.
@@ -308,20 +460,19 @@ func (p Predicted) less(q Predicted) bool {
 // TopM sweeps the entire tuning space — the paper's "predict the
 // execution time for all possible configurations" step — and returns the
 // M configurations with the lowest predicted times, best first (ties
-// broken towards the lower index). Each worker predicts its partition in
-// blocks through the batched engine and feeds a bounded top-heap; once a
-// worker's heap is full, blocks first go through a cheap conservative
-// lower-bound pass (ann.Ensemble.PredictBatchBounds) and only the
-// configurations whose bound could still beat the heap's worst entry pay
-// the exact forward pass. Pruning never changes emitted values — a
-// pruned configuration provably loses to M already-seen ones — so the
-// result matches the plain sweep exactly. The sweep runs on all
-// available cores; like the session's gather pool, the result is
-// identical no matter how many: block predictions are bit-identical to
-// the scalar path and the (Seconds, Index) order is total, so the
-// heap+merge is worker-count invariant.
+// broken towards the lower index). Each worker screens its partition in
+// blocks through the selected engine's bounds pass and feeds a bounded
+// top-heap; only configurations whose conservative lower bound could
+// still beat the heap's worst entry pay the exact reference forward
+// pass. The heap never holds an engine-approximated score — every value
+// that ranks configurations is exact — so the returned set and order
+// are identical under every engine and every worker count: pruning
+// never changes emitted values (a pruned configuration provably loses
+// to M already-seen ones), block predictions are bit-identical to the
+// scalar path, and the (Seconds, Index) order is total.
 func (m *Model) TopM(M int) []Predicted {
-	return m.topM(M, runtime.GOMAXPROCS(0))
+	top, _ := m.topMSweep(M, runtime.GOMAXPROCS(0), nil)
+	return top
 }
 
 // predictBoundMargin widens the bounds pass's lower bound before it is
@@ -337,6 +488,25 @@ const predictBoundMargin = 1e-9
 // positive Std); this guards hand-built models in tests and experiments.
 func (m *Model) canPrune() bool { return m.scaler.Std > 0 }
 
+// rawCeil inverts finish at the heap's current worst time, returning a
+// raw-output threshold T such that every y accepted by the finished-space
+// test finish(y) ≤ secs satisfies y ≤ T. finish is monotone
+// non-decreasing even at the float level (positive-constant multiply,
+// constant add and exp are each order-preserving under IEEE rounding),
+// so comparing raw lower bounds against T screens at least everything
+// the finished-space comparison would — the sweep pays one log per
+// block instead of one exp per configuration. The slack term towers over
+// every rounding step of the inversion; over-inclusion only costs exact
+// re-scores, never correctness.
+func (m *Model) rawCeil(secs float64) float64 {
+	y := secs
+	if m.logT {
+		y = math.Log(secs)
+	}
+	y = (y - m.scaler.Mean) / m.scaler.Std
+	return y + 1e-9*(1+math.Abs(y))
+}
+
 // mustBeBound panics when a portable model is asked to predict without
 // a device binding: there is no meaningful answer, and the sweep workers
 // would otherwise die on an asynchronous encode panic.
@@ -349,13 +519,28 @@ func (m *Model) mustBeBound() {
 // topM is TopM with an explicit worker count; the invariance tests
 // exercise it directly.
 func (m *Model) topM(M, workers int) []Predicted {
+	top, _ := m.topMSweep(M, workers, nil)
+	return top
+}
+
+// topMSweep is the full-space sweep behind TopM and TopMIncremental.
+// seeds, when non-empty, are *exact* reference-scored predictions
+// pre-offered into every worker's heap (the incremental warm start):
+// with the heap full from block zero, screening engages immediately and
+// against a near-final threshold. Seed indices may also fall inside a
+// worker's partition; the merge deduplicates by index, which is safe
+// because both offers carry the identical exact score.
+//
+// It returns the merged top M and the number of exact forward passes
+// paid — the cost the incremental path exists to shrink.
+func (m *Model) topMSweep(M, workers int, seeds []Predicted) ([]Predicted, int64) {
 	m.mustBeBound()
 	size := m.space.Size()
 	if int64(M) > size {
 		M = int(size)
 	}
 	if M <= 0 {
-		return nil
+		return nil, 0
 	}
 
 	if workers < 1 {
@@ -366,7 +551,39 @@ func (m *Model) topM(M, workers int) []Predicted {
 	}
 	chunk := (size + int64(workers) - 1) / int64(workers)
 
+	// The heap only ever ranks exact scores, so the exact pass always
+	// runs the float64 reference; the selected engine drives screening.
+	refEngine := ann.Float64Engine{E: m.ensemble}
+	screenEngine := m.eng()
+
+	// Seed indices are excluded from the partition scan below — each
+	// already sits in every heap with its exact score, and offering an
+	// index twice would let duplicates hold heap slots: the heap's
+	// "worst" would then overstate the true M-th best (over-pruning) and
+	// the deduplicated merge could come up short of M. Deduping the
+	// seeds themselves first keeps that invariant even against a
+	// degenerate caller; duplicates are interchangeable because every
+	// seed carries the exact reference score.
+	var seedIdx []int64
+	if len(seeds) > 0 {
+		ordered := append([]Predicted(nil), seeds...)
+		sort.Slice(ordered, func(i, j int) bool { return ordered[i].Index < ordered[j].Index })
+		uniq := ordered[:0]
+		for i, p := range ordered {
+			if i > 0 && p.Index == ordered[i-1].Index {
+				continue
+			}
+			uniq = append(uniq, p)
+		}
+		seeds = uniq
+		seedIdx = make([]int64, len(seeds))
+		for i, p := range seeds {
+			seedIdx[i] = p.Index
+		}
+	}
+
 	results := make([][]Predicted, workers)
+	scoredBy := make([]int64, workers)
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
@@ -377,55 +594,85 @@ func (m *Model) topM(M, workers int) []Predicted {
 			if hi > size {
 				hi = size
 			}
-			scratch := m.NewBatchScratch()
-			idxs := make([]int64, 0, scratch.block)
-			preds := make([]float64, 0, scratch.block)
-			lb := make([]float64, scratch.block)
-			ub := make([]float64, scratch.block)
-			survivors := make([]int64, 0, scratch.block)
+			exact := m.newBatchScratchFor(refEngine)
+			screen := exact
+			if screenEngine.Name() != ann.EngineFloat64 {
+				screen = m.newBatchScratchFor(screenEngine)
+			}
+			idxs := make([]int64, 0, exact.block)
+			preds := make([]float64, 0, exact.block)
+			lb := make([]float64, exact.block)
+			ub := make([]float64, exact.block)
+			survivors := make([]int64, 0, exact.block)
 			prune := m.canPrune()
+			var scored int64
 			best := newTopHeap(M)
-			for blockLo := lo; blockLo < hi; blockLo += int64(scratch.block) {
-				blockHi := blockLo + int64(scratch.block)
+			for _, p := range seeds {
+				best.offer(p)
+			}
+			// seedIdx is sorted and indices are scanned in order, so one
+			// cursor skips the already-scored seeds in O(1) per index.
+			nextSeed := sort.Search(len(seedIdx), func(i int) bool { return seedIdx[i] >= lo })
+			for blockLo := lo; blockLo < hi; blockLo += int64(exact.block) {
+				blockHi := blockLo + int64(exact.block)
 				if blockHi > hi {
 					blockHi = hi
 				}
-				idxs = idxs[:0]
-				for idx := blockLo; idx < blockHi; idx++ {
-					idxs = append(idxs, idx)
-				}
 				if prune && best.full() {
-					// Bound pass: keep only configurations whose
-					// conservative lower bound could still enter the heap.
-					n := len(idxs)
-					scratch.xs = scratch.xs[:0]
-					for _, idx := range idxs {
-						scratch.xs = m.schema.EncodeIndex(idx, m.tail, scratch.xs)
-					}
-					m.ensemble.PredictBatchBounds(scratch.xs, n, scratch.ps, lb[:n], ub[:n])
-					worst := best.worst()
+					// Screening pass over the sequential block: keep only
+					// configurations whose conservative lower bound could
+					// still enter the heap. Seed indices are screened too
+					// (the sweeper walks the contiguous range) but never
+					// collected — their exact scores already sit in the heap.
+					n := int(blockHi - blockLo)
+					m.boundIndexRange(blockLo, n, screen, lb, ub)
+					// The admission test runs in raw output space: rawCeil
+					// accepts a superset of what finishing each lower bound
+					// and comparing times would (including the equal-time,
+					// lower-index tie the total order admits), and the extra
+					// admissions are resolved by the exact pass like any
+					// other survivor.
+					rawWorst := m.rawCeil(best.worst().Seconds)
 					survivors = survivors[:0]
 					for k := 0; k < n; k++ {
-						secLb := m.finish(lb[k] - predictBoundMargin)
-						if (Predicted{Index: idxs[k], Seconds: secLb}).less(worst) {
-							survivors = append(survivors, idxs[k])
+						idx := blockLo + int64(k)
+						if nextSeed < len(seedIdx) && seedIdx[nextSeed] == idx {
+							nextSeed++
+							continue
+						}
+						if lb[k]-predictBoundMargin <= rawWorst {
+							survivors = append(survivors, idx)
 						}
 					}
 					if len(survivors) == 0 {
 						continue
 					}
-					preds = m.PredictIndices(survivors, scratch, preds[:0])
+					preds = m.PredictIndices(survivors, exact, preds[:0])
+					scored += int64(len(survivors))
 					for k, t := range preds {
 						best.offer(Predicted{Index: survivors[k], Seconds: t})
 					}
 					continue
 				}
-				preds = m.PredictIndices(idxs, scratch, preds[:0])
+				idxs = idxs[:0]
+				for idx := blockLo; idx < blockHi; idx++ {
+					if nextSeed < len(seedIdx) && seedIdx[nextSeed] == idx {
+						nextSeed++
+						continue
+					}
+					idxs = append(idxs, idx)
+				}
+				if len(idxs) == 0 {
+					continue
+				}
+				preds = m.PredictIndices(idxs, exact, preds[:0])
+				scored += int64(len(idxs))
 				for k, t := range preds {
-					best.offer(Predicted{Index: blockLo + int64(k), Seconds: t})
+					best.offer(Predicted{Index: idxs[k], Seconds: t})
 				}
 			}
 			results[w] = best.items()
+			scoredBy[w] = scored
 		}(w)
 	}
 	wg.Wait()
@@ -435,10 +682,25 @@ func (m *Model) topM(M, workers int) []Predicted {
 		merged = append(merged, r...)
 	}
 	sort.Slice(merged, func(i, j int) bool { return merged[i].less(merged[j]) })
+	// Deduplicate by index: a seed can appear both as a seed and as a
+	// partition hit, with identical exact scores, so duplicates are
+	// always adjacent after the sort.
+	dedup := merged[:0]
+	for i, p := range merged {
+		if i > 0 && p.Index == merged[i-1].Index {
+			continue
+		}
+		dedup = append(dedup, p)
+	}
+	merged = dedup
 	if len(merged) > M {
 		merged = merged[:M]
 	}
-	return merged
+	var scored int64
+	for _, c := range scoredBy {
+		scored += c
+	}
+	return merged, scored
 }
 
 // PredictBatch predicts the times of the given configurations, in order,

@@ -13,29 +13,34 @@ import (
 )
 
 // modelFormat identifies the on-disk model format: a single JSON header
-// line (human-inspectable with `head -1`) followed by a gob payload
-// carrying the ensemble weights and target scaler. Two header versions
-// are in circulation:
+// line (human-inspectable with `head -1`) followed by a versioned body.
+// Three header versions are in circulation:
 //
 //	version 1 — the original parameter-only layout: the header carries
-//	  the tuning space and model flags; the feature schema is implicitly
-//	  tuning.ParamSchema(space).
+//	  the tuning space and model flags, the body is a gob payload; the
+//	  feature schema is implicitly tuning.ParamSchema(space).
 //	version 2 — adds the "schema" field recording the feature blocks
 //	  beyond the parameters (the device block of portable models, and
 //	  any input block). The parameter encoding is unchanged, so a v1
 //	  file loaded by this build predicts bit-identically to the build
-//	  that wrote it.
+//	  that wrote it. Body still gob.
+//	version 3 — same header fields as v2 ("schema" present only when
+//	  the model has a tail), but the body is the compact binary section
+//	  stream of internal/core/persistbin.go: length-prefixed
+//	  little-endian sections with the raw weight block 8-aligned, so
+//	  replica installs parse a flat buffer instead of paying gob's
+//	  reflective decode.
 //
-// Save writes the *lowest* version able to represent the model —
-// parameter-only models still save as v1, so their artifacts remain
-// readable by older builds — and LoadModel dispatches on the header
-// version through a decoder table, returning *UnsupportedVersionError
-// for anything newer than maxModelVersion.
+// Save writes version 3 for every model: the decode-speed win applies
+// fleet-wide and every v1/v2 artifact still loads through the
+// version-keyed decoder table. LoadModel returns
+// *UnsupportedVersionError for anything newer than maxModelVersion.
 const (
 	modelFormat     = "mltune-model"
 	modelVersion    = 1
 	modelVersionV2  = 2
-	maxModelVersion = modelVersionV2
+	modelVersionV3  = 3
+	maxModelVersion = modelVersionV3
 )
 
 // UnsupportedVersionError reports a model file written by a newer build:
@@ -92,11 +97,13 @@ type modelPayload struct {
 	Ensemble ann.EnsembleState
 }
 
-// Save writes the model to w in the versioned persistence format:
-// a one-line JSON header followed by a gob payload. A model saved on one
-// machine reloads with LoadModel to bit-identical predictions. Saving a
-// bound portable view persists the portable model; the binding is
-// per-process state, re-established with WithDevice after loading.
+// Save writes the model to w in the versioned persistence format: a
+// one-line JSON header followed by the version-3 binary body (see
+// persistbin.go). Writing is deterministic byte for byte, and a model
+// saved on one machine reloads with LoadModel to bit-identical
+// predictions. Saving a bound portable view persists the portable
+// model; the binding — like the engine selection — is per-process
+// state, re-established with WithDevice/WithEngine after loading.
 func (m *Model) Save(w io.Writer) error {
 	params := make([]paramHeader, len(m.space.Params()))
 	for i, p := range m.space.Params() {
@@ -104,13 +111,12 @@ func (m *Model) Save(w io.Writer) error {
 	}
 	hdr := modelHeader{
 		Format:       modelFormat,
-		Version:      modelVersion,
+		Version:      modelVersionV3,
 		Space:        spaceHeader{Name: m.space.Name(), Params: params},
 		LogTransform: m.logT,
 		Members:      m.ensemble.Size(),
 	}
 	if m.schema.TailDim() > 0 {
-		hdr.Version = modelVersionV2
 		hdr.Schema = &schemaHeader{
 			Device: m.schema.DeviceFields(),
 			Input:  m.schema.InputFields(),
@@ -123,11 +129,18 @@ func (m *Model) Save(w io.Writer) error {
 	if _, err := w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("core: writing model header: %w", err)
 	}
-	payload := modelPayload{Scaler: m.scaler, Ensemble: m.ensemble.State()}
-	if err := gob.NewEncoder(w).Encode(&payload); err != nil {
-		return fmt.Errorf("core: encoding model payload: %w", err)
+	return writeBinaryPayload(w, m.scaler, m.ensemble.State())
+}
+
+// WeightFormat returns the persistence version the model's weights were
+// loaded from, or the version Save would write (the current one) for a
+// freshly trained model. Surfaced by /v1/models so a fleet rollout can
+// tell which replicas still hold gob-era artifacts.
+func (m *Model) WeightFormat() int {
+	if m.persistVersion != 0 {
+		return m.persistVersion
 	}
-	return nil
+	return modelVersionV3
 }
 
 // SaveFile saves the model to the named file (see Save).
@@ -150,6 +163,8 @@ func (m *Model) SaveFile(path string) error {
 var modelDecoders = map[int]func(hdr *modelHeader, space *tuning.Space) (*tuning.FeatureSchema, error){
 	modelVersion:   decodeSchemaV1,
 	modelVersionV2: decodeSchemaV2,
+	// v3 changed the body encoding, not the header schema semantics.
+	modelVersionV3: decodeSchemaV2,
 }
 
 // decodeSchemaV1 is the original layout: parameter-only features.
@@ -214,20 +229,32 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
-	var payload modelPayload
-	if err := gob.NewDecoder(br).Decode(&payload); err != nil {
-		return nil, fmt.Errorf("core: decoding model payload: %w", err)
+	var scaler ann.TargetScaler
+	var state ann.EnsembleState
+	if hdr.Version >= modelVersionV3 {
+		scaler, state, err = readBinaryPayload(br, hdr.Members)
+		if err != nil {
+			return nil, err
+		}
+	} else {
+		var payload modelPayload
+		if err := gob.NewDecoder(br).Decode(&payload); err != nil {
+			return nil, fmt.Errorf("core: decoding model payload: %w", err)
+		}
+		scaler, state = payload.Scaler, payload.Ensemble
 	}
-	ensemble, err := ann.EnsembleFromState(payload.Ensemble)
+	ensemble, err := ann.EnsembleFromState(state)
 	if err != nil {
 		return nil, err
 	}
 	m := &Model{
-		space:    space,
-		schema:   schema,
-		ensemble: ensemble,
-		scaler:   payload.Scaler,
-		logT:     hdr.LogTransform,
+		space:          space,
+		schema:         schema,
+		ensemble:       ensemble,
+		scaler:         scaler,
+		logT:           hdr.LogTransform,
+		engine:         ann.Float64Engine{E: ensemble},
+		persistVersion: hdr.Version,
 	}
 	// The schema fixes the feature-vector width; the ensemble input
 	// width must match or predictions would read out of bounds.

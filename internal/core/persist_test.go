@@ -77,7 +77,13 @@ func TestGoldenV1ModelBitIdentical(t *testing.T) {
 		if err := os.MkdirAll("testdata", 0o755); err != nil {
 			t.Fatal(err)
 		}
-		if err := model.SaveFile(modelPath); err != nil {
+		// Save writes the current version; the v1 golden pins the legacy
+		// layout, so it is written by the test-local legacy writer.
+		var legacy bytes.Buffer
+		if err := saveLegacyModel(&legacy, model, 1); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(modelPath, legacy.Bytes(), 0o644); err != nil {
 			t.Fatal(err)
 		}
 		space := model.Space()
@@ -231,11 +237,11 @@ func TestPortableModelRoundTrip(t *testing.T) {
 	if err := model.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), `{"format":"mltune-model","version":2`) {
-		t.Errorf("portable model did not save as version 2: %.90q", buf.String())
+	if !strings.HasPrefix(buf.String(), `{"format":"mltune-model","version":3`) {
+		t.Errorf("portable model did not save as version 3: %.90q", buf.String())
 	}
 	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], `"schema"`) {
-		t.Error("v2 header misses the schema record")
+		t.Error("v3 header misses the schema record")
 	}
 	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
 	if err != nil {
@@ -333,16 +339,16 @@ func TestTrainModelDeviceFeatureValidation(t *testing.T) {
 // TestLoadModelUnsupportedVersionTyped pins the decoder-table contract:
 // future versions fail with the typed error naming both versions.
 func TestLoadModelUnsupportedVersionTyped(t *testing.T) {
-	in := `{"format":"mltune-model","version":3,"space":{"name":"x","params":[{"name":"a","values":[1,2]}]}}` + "\n"
+	in := `{"format":"mltune-model","version":4,"space":{"name":"x","params":[{"name":"a","values":[1,2]}]}}` + "\n"
 	_, err := LoadModel(strings.NewReader(in))
 	var uv *UnsupportedVersionError
 	if !errors.As(err, &uv) {
 		t.Fatalf("error %v is not *UnsupportedVersionError", err)
 	}
-	if uv.Version != 3 || uv.Max != 2 {
+	if uv.Version != 4 || uv.Max != 3 {
 		t.Fatalf("error fields %+v", uv)
 	}
-	for _, frag := range []string{"3", "2"} {
+	for _, frag := range []string{"4", "3"} {
 		if !strings.Contains(err.Error(), frag) {
 			t.Errorf("message %q does not name version %s", err, frag)
 		}

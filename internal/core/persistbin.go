@@ -1,0 +1,324 @@
+package core
+
+import (
+	"encoding/binary"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/ann"
+)
+
+// Version-3 binary model body.
+//
+// The v1/v2 body is a gob stream; decoding it dominates replica model
+// installs (reflection-driven, allocation-heavy). The v3 body is a flat
+// little-endian section stream designed so a reader can jump straight
+// to the weights:
+//
+//	magic   "MLT3" + 4 reserved zero bytes          (8 bytes)
+//	section tag[4] | uint32 length | payload | pad  (repeated)
+//
+// Every section payload is padded to an 8-byte boundary *relative to
+// the magic*, and the section header is 8 bytes, so each section —
+// including the raw weight block — starts 8-aligned within the body:
+// an mmap-based reader can point float64 slices at the WGTS payload in
+// place. Unknown tags are skipped on read (additive sections stay
+// backward compatible); the three defined sections are:
+//
+//	"SCAL"  target scaler: Mean, Std            (2 × float64)
+//	"ENSH"  ensemble shape: member count, then per member the layer
+//	        count, the layer sizes (uint32) and the activation codes
+//	        (uint8, see actCode)
+//	"WGTS"  all weights, member-major layer-major, float64, in the
+//	        exact layout ann.NetworkState records
+//
+// Writing is deterministic byte for byte (pinned by the byte-identity
+// persistence tests); reading validates every length against hard
+// limits before allocating, and any truncation or corruption returns an
+// error — never a panic.
+
+var binMagic = [8]byte{'M', 'L', 'T', '3', 0, 0, 0, 0}
+
+const (
+	binSecScaler  = "SCAL"
+	binSecShape   = "ENSH"
+	binSecWeights = "WGTS"
+
+	// Decode limits: far above any real model, low enough that a
+	// corrupted length field cannot drive a huge allocation.
+	binMaxMembers   = 1 << 12
+	binMaxLayers    = 1 << 8
+	binMaxLayerSize = 1 << 20
+	binMaxWeights   = 1 << 27 // 1 GiB of float64s
+)
+
+// actCode pins the on-disk activation encoding independently of the
+// Activation enum's numeric values.
+func actCode(name string) (uint8, bool) {
+	switch name {
+	case "sigmoid":
+		return 0, true
+	case "tanh":
+		return 1, true
+	case "relu":
+		return 2, true
+	case "linear":
+		return 3, true
+	}
+	return 0, false
+}
+
+func actName(code uint8) (string, bool) {
+	switch code {
+	case 0:
+		return "sigmoid", true
+	case 1:
+		return "tanh", true
+	case 2:
+		return "relu", true
+	case 3:
+		return "linear", true
+	}
+	return "", false
+}
+
+// binWriter appends sections with deterministic padding.
+type binWriter struct {
+	w   io.Writer
+	off int // bytes written past the magic
+	err error
+}
+
+func (bw *binWriter) write(p []byte) {
+	if bw.err != nil {
+		return
+	}
+	_, bw.err = bw.w.Write(p)
+	bw.off += len(p)
+}
+
+func (bw *binWriter) section(tag string, payload []byte) {
+	var hdr [8]byte
+	copy(hdr[:4], tag)
+	binary.LittleEndian.PutUint32(hdr[4:], uint32(len(payload)))
+	bw.write(hdr[:])
+	bw.write(payload)
+	if pad := (8 - bw.off%8) % 8; pad > 0 {
+		var zero [8]byte
+		bw.write(zero[:pad])
+	}
+}
+
+// writeBinaryPayload writes the v3 body (magic + sections) for the
+// model's scaler and ensemble state.
+func writeBinaryPayload(w io.Writer, scaler ann.TargetScaler, st ann.EnsembleState) error {
+	bw := &binWriter{w: w}
+	bw.write(binMagic[:])
+
+	var scal [16]byte
+	binary.LittleEndian.PutUint64(scal[0:], math.Float64bits(scaler.Mean))
+	binary.LittleEndian.PutUint64(scal[8:], math.Float64bits(scaler.Std))
+	bw.section(binSecScaler, scal[:])
+
+	var shape []byte
+	u32 := func(v uint32) {
+		var b [4]byte
+		binary.LittleEndian.PutUint32(b[:], v)
+		shape = append(shape, b[:]...)
+	}
+	u32(uint32(len(st.Nets)))
+	totalWeights := 0
+	for _, n := range st.Nets {
+		u32(uint32(len(n.Weights)))
+		for _, sz := range n.Sizes {
+			u32(uint32(sz))
+		}
+		for _, a := range n.Acts {
+			code, ok := actCode(a)
+			if !ok {
+				return fmt.Errorf("core: v3 encode: unknown activation %q", a)
+			}
+			shape = append(shape, code)
+		}
+		for _, lw := range n.Weights {
+			totalWeights += len(lw)
+		}
+	}
+	bw.section(binSecShape, shape)
+
+	weights := make([]byte, 0, totalWeights*8)
+	var b [8]byte
+	for _, n := range st.Nets {
+		for _, lw := range n.Weights {
+			for _, v := range lw {
+				binary.LittleEndian.PutUint64(b[:], math.Float64bits(v))
+				weights = append(weights, b[:]...)
+			}
+		}
+	}
+	bw.section(binSecWeights, weights)
+
+	if bw.err != nil {
+		return fmt.Errorf("core: writing v3 model body: %w", bw.err)
+	}
+	return nil
+}
+
+// binCursor walks a fully-read v3 body with bounds-checked reads.
+type binCursor struct {
+	buf []byte
+	off int
+}
+
+func (c *binCursor) take(n int) ([]byte, error) {
+	if n < 0 || c.off+n > len(c.buf) {
+		return nil, fmt.Errorf("core: v3 model body truncated (want %d bytes at offset %d of %d)", n, c.off, len(c.buf))
+	}
+	p := c.buf[c.off : c.off+n]
+	c.off += n
+	return p, nil
+}
+
+func (c *binCursor) u32() (uint32, error) {
+	p, err := c.take(4)
+	if err != nil {
+		return 0, err
+	}
+	return binary.LittleEndian.Uint32(p), nil
+}
+
+// readBinaryPayload parses a v3 body into the scaler and ensemble state.
+// members is the header's advertised member count, cross-checked against
+// the shape section.
+func readBinaryPayload(r io.Reader, members int) (ann.TargetScaler, ann.EnsembleState, error) {
+	var scaler ann.TargetScaler
+	var st ann.EnsembleState
+
+	body, err := io.ReadAll(r)
+	if err != nil {
+		return scaler, st, fmt.Errorf("core: reading v3 model body: %w", err)
+	}
+	c := &binCursor{buf: body}
+	magic, err := c.take(8)
+	if err != nil {
+		return scaler, st, err
+	}
+	if string(magic) != string(binMagic[:]) {
+		return scaler, st, fmt.Errorf("core: v3 model body has bad magic %q", magic[:4])
+	}
+
+	var scal, shape, weights []byte
+	for c.off < len(c.buf) {
+		hdr, err := c.take(8)
+		if err != nil {
+			return scaler, st, err
+		}
+		tag := string(hdr[:4])
+		length := int(binary.LittleEndian.Uint32(hdr[4:]))
+		payload, err := c.take(length)
+		if err != nil {
+			return scaler, st, err
+		}
+		if pad := (8 - c.off%8) % 8; pad > 0 {
+			if _, err := c.take(pad); err != nil {
+				return scaler, st, err
+			}
+		}
+		switch tag {
+		case binSecScaler:
+			scal = payload
+		case binSecShape:
+			shape = payload
+		case binSecWeights:
+			weights = payload
+		default:
+			// Unknown section: skip. Additive sections from a newer minor
+			// revision must not break this reader.
+		}
+	}
+	if scal == nil || shape == nil || weights == nil {
+		return scaler, st, fmt.Errorf("core: v3 model body is missing a required section (have scaler=%t shape=%t weights=%t)",
+			scal != nil, shape != nil, weights != nil)
+	}
+	if len(scal) != 16 {
+		return scaler, st, fmt.Errorf("core: v3 scaler section is %d bytes, want 16", len(scal))
+	}
+	scaler.Mean = math.Float64frombits(binary.LittleEndian.Uint64(scal[0:]))
+	scaler.Std = math.Float64frombits(binary.LittleEndian.Uint64(scal[8:]))
+
+	sc := &binCursor{buf: shape}
+	k, err := sc.u32()
+	if err != nil {
+		return scaler, st, err
+	}
+	if k == 0 || k > binMaxMembers {
+		return scaler, st, fmt.Errorf("core: v3 model claims %d ensemble members", k)
+	}
+	if members > 0 && int(k) != members {
+		return scaler, st, fmt.Errorf("core: v3 body has %d members, header says %d", k, members)
+	}
+	st.Nets = make([]ann.NetworkState, k)
+	totalWeights := 0
+	for i := range st.Nets {
+		layers, err := sc.u32()
+		if err != nil {
+			return scaler, st, err
+		}
+		if layers == 0 || layers > binMaxLayers {
+			return scaler, st, fmt.Errorf("core: v3 member %d claims %d weight layers", i, layers)
+		}
+		sizes := make([]int, layers+1)
+		for j := range sizes {
+			sz, err := sc.u32()
+			if err != nil {
+				return scaler, st, err
+			}
+			if sz == 0 || sz > binMaxLayerSize {
+				return scaler, st, fmt.Errorf("core: v3 member %d layer size %d out of range", i, sz)
+			}
+			sizes[j] = int(sz)
+		}
+		acts := make([]string, layers)
+		rawActs, err := sc.take(int(layers))
+		if err != nil {
+			return scaler, st, err
+		}
+		for j, code := range rawActs {
+			name, ok := actName(code)
+			if !ok {
+				return scaler, st, fmt.Errorf("core: v3 member %d has unknown activation code %d", i, code)
+			}
+			acts[j] = name
+		}
+		st.Nets[i] = ann.NetworkState{Sizes: sizes, Acts: acts}
+		for l := 0; l < int(layers); l++ {
+			totalWeights += (sizes[l] + 1) * sizes[l+1]
+			if totalWeights > binMaxWeights {
+				return scaler, st, fmt.Errorf("core: v3 model claims more than %d weights", binMaxWeights)
+			}
+		}
+	}
+	if sc.off != len(sc.buf) {
+		return scaler, st, fmt.Errorf("core: v3 shape section has %d trailing bytes", len(sc.buf)-sc.off)
+	}
+
+	if len(weights) != totalWeights*8 {
+		return scaler, st, fmt.Errorf("core: v3 weight section is %d bytes, shape wants %d", len(weights), totalWeights*8)
+	}
+	off := 0
+	for i := range st.Nets {
+		n := &st.Nets[i]
+		n.Weights = make([][]float64, len(n.Acts))
+		for l := range n.Weights {
+			cnt := (n.Sizes[l] + 1) * n.Sizes[l+1]
+			lw := make([]float64, cnt)
+			for j := range lw {
+				lw[j] = math.Float64frombits(binary.LittleEndian.Uint64(weights[off:]))
+				off += 8
+			}
+			n.Weights[l] = lw
+		}
+	}
+	return scaler, st, nil
+}

@@ -105,7 +105,9 @@ type cacheMetrics struct {
 	bindMisses    *telemetry.Counter
 	topmHits      *telemetry.Counter
 	topmMisses    *telemetry.Counter
+	topmSeededC   *telemetry.Counter
 	invalidations *telemetry.Counter
+	fallbacks     *telemetry.Counter
 }
 
 func (m *cacheMetrics) entry(hit bool) {
@@ -141,11 +143,29 @@ func (m *cacheMetrics) topm(hit bool) {
 	}
 }
 
+// topmSeeded counts a top-M sweep that warm-started from a retained
+// previous result instead of sweeping cold.
+func (m *cacheMetrics) topmSeeded() {
+	if m == nil {
+		return
+	}
+	m.topmSeededC.Inc()
+}
+
 func (m *cacheMetrics) invalidated() {
 	if m == nil {
 		return
 	}
 	m.invalidations.Inc()
+}
+
+// engineFallback counts a model the configured serving engine refused;
+// the read path serves it on the float64 reference instead.
+func (m *cacheMetrics) engineFallback() {
+	if m == nil {
+		return
+	}
+	m.fallbacks.Inc()
 }
 
 // storeMetrics instruments the sample store. The zero value (all-nil
@@ -236,8 +256,12 @@ func newServerMetrics() *serverMetrics {
 			"Top-M queries answered from the per-(model, M) sweep cache."),
 		topmMisses: reg.Counter("mltuned_topm_cache_misses_total",
 			"Top-M queries that paid a full-space sweep."),
+		topmSeededC: reg.Counter("mltuned_topm_seeded_total",
+			"Top-M sweeps warm-started from a retained previous result (incremental reuse or seeded screening instead of a cold sweep)."),
 		invalidations: reg.Counter("mltuned_serve_cache_invalidations_total",
 			"Serve-cache invalidations (model Put or registry reload)."),
+		fallbacks: reg.Counter("mltuned_engine_fallbacks_total",
+			"Models the configured -engine could not be applied to, served on the float64 reference instead."),
 	}
 
 	m.store = storeMetrics{

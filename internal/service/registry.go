@@ -336,6 +336,9 @@ type ModelInfo struct {
 	// SpaceSize is the tuning-space size of a loaded model (0 otherwise:
 	// reporting it for unloaded models would defeat lazy loading).
 	SpaceSize int64 `json:"space_size,omitempty"`
+	// WeightFormat is the persistence version of a loaded model's weight
+	// encoding (see core.Model.WeightFormat); 0 for unloaded slots.
+	WeightFormat int `json:"weight_format,omitempty"`
 }
 
 // List describes every registry slot, sorted by key.
@@ -381,6 +384,7 @@ func (r *Registry) ListSince(since uint64) ([]ModelInfo, uint64) {
 		if m := s.e.model.Load(); m != nil {
 			info.Loaded = true
 			info.SpaceSize = m.Space().Size()
+			info.WeightFormat = m.WeightFormat()
 		}
 		out = append(out, info)
 	}

@@ -13,6 +13,7 @@ import (
 	"strings"
 	"time"
 
+	"repro/internal/ann"
 	"repro/internal/bench"
 	"repro/internal/core"
 	"repro/internal/devsim"
@@ -76,6 +77,10 @@ type Server struct {
 	repl     *replicator
 	upstream string
 	interval time.Duration
+
+	// engine is the read path's configured inference engine name
+	// (WithEngine); "" = the float64 reference.
+	engine string
 
 	// metrics is the telemetry wiring behind GET /metrics and
 	// GET /v1/stats; always non-nil.
@@ -143,6 +148,17 @@ func WithUpstream(baseURL string, interval time.Duration) Option {
 	}
 }
 
+// WithEngine serves the read path on the named inference engine (the
+// daemon's -engine flag; see ann.EngineNames). Batch predictions then
+// run within the engine's proven error bound of the float64 reference,
+// and top-M sweeps use it for screening only — top-M answers stay
+// identical to the reference engine's. Models the engine refuses (the
+// int16 proof does not cover every topology) fall back to the reference
+// per model, counted in mltuned_engine_fallbacks_total.
+func WithEngine(name string) Option {
+	return func(s *Server) { s.engine = name }
+}
+
 // WithSampleStore uses an explicitly opened sample store instead of the
 // default directory under the registry.
 func WithSampleStore(st *SampleStore) Option {
@@ -195,10 +211,22 @@ func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 		trainWorkers: runtime.GOMAXPROCS(0),
 		started:      time.Now().UTC(),
 	}
-	s.cache = newServeCache(s.metrics.cache)
 	for _, opt := range opts {
 		opt(s)
 	}
+	if s.engine != "" {
+		valid := false
+		for _, n := range ann.EngineNames() {
+			if n == s.engine {
+				valid = true
+				break
+			}
+		}
+		if !valid {
+			return nil, fmt.Errorf("service: unknown engine %q (want one of %v)", s.engine, ann.EngineNames())
+		}
+	}
+	s.cache = newServeCache(s.metrics.cache, s.engine)
 	if s.role == "" {
 		s.role = RoleAll
 	}
@@ -275,6 +303,15 @@ func (s *Server) Metrics() *telemetry.Registry { return s.metrics.reg }
 
 // Role reports which plane this instance runs.
 func (s *Server) Role() Role { return s.role }
+
+// Engine reports the read path's configured inference engine name,
+// resolving the default to the float64 reference.
+func (s *Server) Engine() string {
+	if s.engine == "" {
+		return ann.EngineFloat64
+	}
+	return s.engine
+}
 
 // readOnly gates a mutating handler by role: a serve-plane replica
 // answers 405 with the machine-readable kind "read_only" instead of
@@ -536,11 +573,12 @@ func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
 	}
 	writeJSON(w, http.StatusOK, struct {
 		Role            Role        `json:"role"`
+		Engine          string      `json:"engine"`
 		Storage         string      `json:"storage"`
 		Generation      uint64      `json:"generation"`
 		ResolutionOrder []string    `json:"resolution_order"`
 		Models          []ModelInfo `json:"models"`
-	}{s.role, s.reg.Backend().Name(), gen, modelResolutionOrder, models})
+	}{s.role, s.Engine(), s.reg.Backend().Name(), gen, modelResolutionOrder, models})
 }
 
 // handleModelArtifact serves one model's raw serialised bytes — the
@@ -971,9 +1009,11 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 // GET /metrics, and what cmd/mlbench diffs across a load run.
 type statsResponse struct {
 	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Role is the plane this instance runs (all, serve, train); Storage
-	// names the backend behind each store.
+	// Role is the plane this instance runs (all, serve, train); Engine is
+	// the read path's inference engine (-engine flag); Storage names the
+	// backend behind each store.
 	Role    Role        `json:"role"`
+	Engine  string      `json:"engine"`
 	Storage storageInfo `json:"storage"`
 	// Generation is the registry's generation high-water mark — on a
 	// replica, compare with Replication.UpstreamGeneration for lag.
@@ -996,6 +1036,7 @@ func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
 	resp := statsResponse{
 		UptimeSeconds: time.Since(s.started).Seconds(),
 		Role:          s.role,
+		Engine:        s.Engine(),
 		Storage:       storageInfo{Models: s.reg.Backend().Name(), Samples: s.samples.Backend().Name()},
 		Generation:    s.reg.Generation(),
 		Models:        s.reg.Len(),

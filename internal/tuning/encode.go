@@ -1,6 +1,10 @@
 package tuning
 
-import "math"
+import (
+	"math"
+
+	"repro/internal/ann"
+)
 
 // Encoder maps configurations to fixed-length float feature vectors for
 // the neural network. Following the paper (§3: "our method uses values of
@@ -21,16 +25,22 @@ type Encoder struct {
 	// feat[i][pos] is the scaled feature of parameter i's pos-th value,
 	// exactly as Encode would compute it.
 	feat [][]float64
+	// featQ14[i][pos] is feat[i][pos] in Q14 fixed point, rounded exactly
+	// as ann.QuantizeQ14 — the int16 engine's input convention — so the
+	// quantised sweep pays a table lookup instead of a float encode plus
+	// per-feature rounding.
+	featQ14 [][]int16
 }
 
 // NewEncoder builds an encoder for the given space.
 func NewEncoder(space *Space) *Encoder {
 	e := &Encoder{
-		space:  space,
-		useLog: make([]bool, len(space.params)),
-		lo:     make([]float64, len(space.params)),
-		hi:     make([]float64, len(space.params)),
-		feat:   make([][]float64, len(space.params)),
+		space:   space,
+		useLog:  make([]bool, len(space.params)),
+		lo:      make([]float64, len(space.params)),
+		hi:      make([]float64, len(space.params)),
+		feat:    make([][]float64, len(space.params)),
+		featQ14: make([][]int16, len(space.params)),
 	}
 	for i, p := range space.params {
 		e.useLog[i] = allPositivePow2(p.Values) && len(p.Values) > 2
@@ -42,8 +52,11 @@ func NewEncoder(space *Space) *Encoder {
 		}
 		e.lo[i], e.hi[i] = lo, hi
 		e.feat[i] = make([]float64, len(p.Values))
+		e.featQ14[i] = make([]int16, len(p.Values))
 		for pos, v := range p.Values {
-			e.feat[i][pos] = e.scale(i, e.raw(i, v))
+			f := e.scale(i, e.raw(i, v))
+			e.feat[i][pos] = f
+			e.featQ14[i][pos] = ann.QuantizeQ14(f)
 		}
 	}
 	return e
@@ -106,6 +119,42 @@ func (e *Encoder) EncodeIndex(idx int64, dst []float64) []float64 {
 		idx /= arity
 	}
 	return dst
+}
+
+// EncodeIndexQ14 is EncodeIndex in Q14 fixed point: it appends the int16
+// feature vector of the configuration with the given dense space index,
+// each feature exactly ann.QuantizeQ14 of what EncodeIndex would
+// produce. It is the allocation-free encode primitive of the int16
+// engine's full-space sweep. It panics if idx is out of range, matching
+// Space.At.
+func (e *Encoder) EncodeIndexQ14(idx int64, dst []int16) []int16 {
+	if idx < 0 || idx >= e.space.size {
+		panic("tuning: EncodeIndexQ14 index out of range")
+	}
+	base := len(dst)
+	n := len(e.space.params)
+	for i := 0; i < n; i++ {
+		dst = append(dst, 0)
+	}
+	for i := n - 1; i >= 0; i-- {
+		arity := int64(e.space.params[i].Arity())
+		dst[base+i] = e.featQ14[i][idx%arity]
+		idx /= arity
+	}
+	return dst
+}
+
+// Q14Levels returns, per parameter in encode order, the Q14 feature
+// value of each parameter level — the tables behind EncodeIndexQ14, in
+// the exact digit layout of EncodeIndex (last parameter fastest). The
+// int16 engine's incremental full-space sweeper is built from them. The
+// returned slices are fresh copies; callers may keep them.
+func (e *Encoder) Q14Levels() [][]int16 {
+	out := make([][]int16, len(e.featQ14))
+	for i, lv := range e.featQ14 {
+		out[i] = append([]int16(nil), lv...)
+	}
+	return out
 }
 
 func allPositivePow2(values []int) bool {

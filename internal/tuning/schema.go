@@ -4,6 +4,7 @@ import (
 	"fmt"
 	"math"
 
+	"repro/internal/ann"
 	"repro/internal/devsim"
 )
 
@@ -123,6 +124,40 @@ func (s *FeatureSchema) EncodeIndex(idx int64, tail, dst []float64) []float64 {
 	dst = s.enc.EncodeIndex(idx, dst)
 	return append(dst, tail...)
 }
+
+// checkTailQ14 is checkTail for the fixed-point tail.
+func (s *FeatureSchema) checkTailQ14(tail []int16) {
+	if len(tail) != s.TailDim() {
+		panic(fmt.Sprintf("tuning: schema wants a %d-feature tail, got %d (portable models must be bound to a device before prediction)",
+			s.TailDim(), len(tail)))
+	}
+}
+
+// QuantizeTailQ14 appends the Q14 quantisation of a pre-normalised tail
+// (see Encode) to dst and returns it. Callers bind a device once and
+// reuse the quantised tail across the whole sweep.
+func (s *FeatureSchema) QuantizeTailQ14(tail []float64, dst []int16) []int16 {
+	s.checkTail(tail)
+	for _, v := range tail {
+		dst = append(dst, ann.QuantizeQ14(v))
+	}
+	return dst
+}
+
+// EncodeIndexQ14 appends the Q14 fixed-point feature vector of the
+// configuration with the given dense space index — parameter block then
+// tail — to dst and returns it. Every feature is exactly ann.QuantizeQ14
+// of the corresponding EncodeIndex output, which is the input convention
+// the int16 engine's error bound is proven against.
+func (s *FeatureSchema) EncodeIndexQ14(idx int64, tail []int16, dst []int16) []int16 {
+	s.checkTailQ14(tail)
+	dst = s.enc.EncodeIndexQ14(idx, dst)
+	return append(dst, tail...)
+}
+
+// Q14Levels returns the parameter block's per-level Q14 feature tables
+// (see Encoder.Q14Levels).
+func (s *FeatureSchema) Q14Levels() [][]int16 { return s.enc.Q14Levels() }
 
 // --- device block ------------------------------------------------------
 
