@@ -12,7 +12,14 @@
 //	        [-device "Intel i7 3770"] [-workers 4] [-qps 0]
 //	        [-duration 10s] [-warmup 2s] [-mix single=2,batch=1,topm=1]
 //	        [-batch-size 16] [-m 10] [-seed 1] [-out BENCH_serve.json]
+//	        [-proto http|rpc] [-rpc-addr 127.0.0.1:9372]
 //	mlbench -validate BENCH_serve.json
+//
+// -proto rpc drives the same mix over the daemon's binary RPC plane
+// (-rpc-addr must name its RPC listener) through the pooled
+// internal/service/rpcclient; probe and stats still go over HTTP, so
+// -addr stays required. The report records proto and rpc_addr, letting
+// BENCH_serve.json (HTTP) and BENCH_rpc.json (RPC) sit side by side.
 //
 // With -qps 0 the loop is closed: each worker re-issues the next
 // request as soon as the previous response lands, measuring the
@@ -35,6 +42,7 @@ package main
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -49,6 +57,8 @@ import (
 	"sync/atomic"
 	"time"
 
+	"repro/internal/service"
+	"repro/internal/service/rpcclient"
 	"repro/internal/telemetry"
 )
 
@@ -79,6 +89,8 @@ func main() {
 		seed      = flag.Int64("seed", 1, "index-stream seed (per worker: seed+worker)")
 		out       = flag.String("out", "BENCH_serve.json", "report output path")
 		validate  = flag.String("validate", "", "validate an existing report file and exit")
+		proto     = flag.String("proto", "http", "load protocol: http (the JSON API) or rpc (the binary plane on -rpc-addr)")
+		rpcAddr   = flag.String("rpc-addr", "127.0.0.1:9372", "daemon RPC address, used with -proto rpc")
 	)
 	flag.Parse()
 
@@ -108,6 +120,7 @@ func main() {
 		batchSize: *batchSize,
 		topM:      *topM,
 		weights:   weights,
+		proto:     *proto,
 		client: &http.Client{
 			Timeout: 30 * time.Second,
 			Transport: &http.Transport{
@@ -115,6 +128,16 @@ func main() {
 				MaxIdleConnsPerHost: *workers + 2,
 			},
 		},
+	}
+	switch *proto {
+	case "http":
+	case "rpc":
+		b.rpcAddr = *rpcAddr
+		b.rpc = rpcclient.New(*rpcAddr, rpcclient.WithMaxIdle(*workers+2))
+		defer b.rpc.Close()
+	default:
+		fmt.Fprintf(os.Stderr, "mlbench: -proto %q is not http or rpc\n", *proto)
+		os.Exit(1)
 	}
 
 	info, err := b.probe()
@@ -127,8 +150,12 @@ func main() {
 	if engineDesc == "" {
 		engineDesc = "unreported"
 	}
+	target := b.base
+	if b.proto == "rpc" {
+		target = "rpc://" + b.rpcAddr
+	}
 	fmt.Printf("mlbench: %s %s@%s, space %d, engine %s, %d workers, mix %s, %s\n",
-		b.base, b.benchmark, b.device, info.spaceSize, engineDesc, *workers, *mix, loopDesc(*qps))
+		target, b.benchmark, b.device, info.spaceSize, engineDesc, *workers, *mix, loopDesc(*qps))
 
 	if *warmup > 0 {
 		b.run(*workers, *qps, *warmup, *seed)
@@ -162,6 +189,8 @@ func main() {
 			Started:         started.UTC().Format(time.RFC3339),
 			Engine:          info.engine,
 			WeightFormat:    info.weightFormat,
+			Proto:           b.proto,
+			RPCAddr:         b.rpcAddr,
 		},
 		Endpoints: make(map[string]EndpointStats),
 		Daemon:    DaemonInfo{MetricsDiff: diffCounters(before, after)},
@@ -247,6 +276,12 @@ type bench struct {
 	topM      int
 	weights   [numEndpoints]int
 	client    *http.Client
+	// proto selects the load transport; with "rpc" the mix goes through
+	// rpc (a pooled rpcclient.Client against rpcAddr) while probe and
+	// stats stay on the HTTP client above.
+	proto   string
+	rpcAddr string
+	rpc     *rpcclient.Client
 }
 
 // epResult is one endpoint's aggregate.
@@ -350,6 +385,9 @@ func (b *bench) pick(rng *rand.Rand) endpoint {
 // code plus the server's Retry-After backoff hint (zero when absent);
 // any transport error reports as status 0.
 func (b *bench) issue(ep endpoint, rng *rand.Rand) (int, time.Duration) {
+	if b.proto == "rpc" {
+		return b.issueRPC(ep, rng)
+	}
 	var resp *http.Response
 	var err error
 	switch ep {
@@ -375,6 +413,48 @@ func (b *bench) issue(ep endpoint, rng *rand.Rand) (int, time.Duration) {
 	io.Copy(io.Discard, resp.Body)
 	resp.Body.Close()
 	return resp.StatusCode, retryAfter(resp)
+}
+
+// issueRPC is issue over the binary plane. Typed service errors map to
+// the same status codes the HTTP adapter would have answered (so the
+// shed/retry accounting and the closed loop's Retry-After handling are
+// transport-independent); transport errors report as status 0.
+func (b *bench) issueRPC(ep endpoint, rng *rand.Rand) (int, time.Duration) {
+	var err error
+	switch ep {
+	case epSingle:
+		_, err = b.rpc.Predict(&service.PredictRequest{
+			Benchmark: b.benchmark, Device: b.device,
+			HasIndex: true, Index: rng.Int63n(b.spaceSize),
+		})
+	case epBatch:
+		indices := make([]int64, b.batchSize)
+		for i := range indices {
+			indices[i] = rng.Int63n(b.spaceSize)
+		}
+		_, err = b.rpc.PredictBatch(&service.PredictBatchRequest{
+			Benchmark: b.benchmark, Device: b.device, Indices: indices,
+		})
+	case epTopM:
+		_, err = b.rpc.TopM(&service.TopMRequest{
+			Benchmark: b.benchmark, Device: b.device, M: b.topM,
+		})
+	}
+	if err == nil {
+		return http.StatusOK, 0
+	}
+	var se *service.Error
+	if !errors.As(err, &se) {
+		return 0, 0
+	}
+	backoff := time.Duration(0)
+	if se.HTTPStatus() == http.StatusTooManyRequests {
+		backoff = defaultRetryAfter
+		if se.RetryAfterSeconds > 0 {
+			backoff = time.Duration(se.RetryAfterSeconds) * time.Second
+		}
+	}
+	return se.HTTPStatus(), backoff
 }
 
 // defaultRetryAfter backs off shed responses that carry no (or an

@@ -43,6 +43,12 @@ type RunInfo struct {
 	// the schema stays mltuned-bench/v1.
 	Engine       string `json:"engine,omitempty"`
 	WeightFormat int    `json:"weight_format,omitempty"`
+	// Proto is the transport the load ran over: "http" (the default,
+	// absent in older reports) or "rpc" (the binary protocol on the
+	// daemon's -rpc-addr listener, recorded in RPCAddr). Additive
+	// detail; the schema stays mltuned-bench/v1.
+	Proto   string `json:"proto,omitempty"`
+	RPCAddr string `json:"rpc_addr,omitempty"`
 }
 
 // EndpointStats is one endpoint's aggregate over the measure phase.
@@ -98,6 +104,12 @@ func (r *Report) Validate() error {
 	}
 	if r.Run.WeightFormat < 0 {
 		return fmt.Errorf("run.weight_format %d is negative", r.Run.WeightFormat)
+	}
+	if p := r.Run.Proto; p != "" && p != "http" && p != "rpc" {
+		return fmt.Errorf("run.proto %q is not a known protocol (http, rpc)", p)
+	}
+	if r.Run.Proto == "rpc" && r.Run.RPCAddr == "" {
+		return fmt.Errorf("run.proto is rpc but run.rpc_addr is empty")
 	}
 	if len(r.Endpoints) == 0 {
 		return fmt.Errorf("no endpoints measured")

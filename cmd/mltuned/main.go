@@ -4,11 +4,12 @@
 //
 // Usage:
 //
-//	mltuned [-addr :8372] [-models DIR] [-samples DIR] [-workers N]
-//	        [-train-workers N] [-backlog N] [-drain-timeout D]
+//	mltuned [-addr :8372] [-rpc-addr :9372] [-models DIR] [-samples DIR]
+//	        [-workers N] [-train-workers N] [-backlog N] [-drain-timeout D]
 //	        [-max-inflight N] [-pprof] [-storage localfs|memory]
 //	        [-role all|serve|train] [-upstream URL] [-sync-interval D]
-//	        [-engine float64|int16]
+//	        [-engine float64|int16] [-shard i/n] [-peers URL,...]
+//	        [-rpc-peers ADDR,...]
 //
 // On startup the registry directory is scanned for saved models
 // (benchmark@device.mlt files in the core.Model.Save format — the same
@@ -53,6 +54,24 @@
 // natural fit for an ephemeral replica, whose state re-pulls from the
 // upstream on restart anyway.
 //
+// -rpc-addr additionally serves the hot read path (predict,
+// predict-batch, top-M, models-delta) over a compact length-prefixed
+// binary protocol on a dedicated listener, skipping HTTP and JSON
+// entirely; see API.md for the wire format and internal/service/rpcclient
+// for the Go client. The RPC plane shares the API core, the error
+// taxonomy, and the -max-inflight shedding with the HTTP plane.
+//
+// -shard i/n runs the instance as one shard of an n-way fleet: a
+// consistent-hash ring over benchmark@device keys decides which
+// instance owns (serves and replicates) each model, portable
+// benchmark@* models belong to every shard, and requests for keys
+// another shard owns answer kind "not_owner" (HTTP 421) naming the
+// owner — including its addresses when -peers (HTTP base URLs, in
+// shard order) and -rpc-peers (RPC host:ports) are configured, so
+// clients follow the redirect without knowing the topology. A sharded
+// replica with -upstream polls with ?shard=i/n and syncs only its own
+// slice of the fleet's models.
+//
 // The daemon is observable in production: GET /metrics exports every
 // internal counter, gauge and latency histogram in the Prometheus text
 // exposition format, GET /v1/stats returns the same snapshot as JSON,
@@ -76,9 +95,11 @@ import (
 	"flag"
 	"fmt"
 	"log"
+	"net"
 	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"sync"
 	"syscall"
 	"time"
@@ -103,6 +124,10 @@ func main() {
 		upstream     = flag.String("upstream", "", "train-plane base URL a serve replica pulls models from (requires -role serve)")
 		syncEvery    = flag.Duration("sync-interval", 5*time.Second, "replication poll interval when -upstream is set")
 		engine       = flag.String("engine", "", "read-path inference engine: float64 (exact reference, the default) or int16 (quantised fixed point)")
+		rpcAddr      = flag.String("rpc-addr", "", "binary RPC listen address for the hot read path (empty = HTTP only)")
+		shardSpec    = flag.String("shard", "", "serve as shard i of n over the benchmark@device keyspace (format i/n; empty = own every key)")
+		peers        = flag.String("peers", "", "comma-separated shard-ordered HTTP base URLs of the fleet (fills not_owner redirects)")
+		rpcPeers     = flag.String("rpc-peers", "", "comma-separated shard-ordered RPC addresses of the fleet (fills not_owner redirects)")
 	)
 	flag.Parse()
 
@@ -153,6 +178,17 @@ func main() {
 	if *engine != "" {
 		opts = append(opts, service.WithEngine(*engine))
 	}
+	if *shardSpec != "" {
+		index, count, err := service.ParseShard(*shardSpec)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mltuned:", err)
+			os.Exit(1)
+		}
+		opts = append(opts, service.WithShard(index, count))
+	}
+	if *peers != "" || *rpcPeers != "" {
+		opts = append(opts, service.WithShardPeers(splitPeers(*peers), splitPeers(*rpcPeers)))
+	}
 	srv, err := service.New(reg, *workers, *backlog, opts...)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "mltuned:", err)
@@ -174,8 +210,24 @@ func main() {
 		go srv.Replicate(ctx)
 	}
 
-	errc := make(chan error, 1)
+	errc := make(chan error, 2)
 	go func() { errc <- httpSrv.ListenAndServe() }()
+
+	if *rpcAddr != "" {
+		lis, err := net.Listen("tcp", *rpcAddr)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "mltuned:", err)
+			os.Exit(1)
+		}
+		log.Printf("mltuned: rpc plane on %s", lis.Addr())
+		go func() {
+			// ServeRPC returns nil on ctx cancellation; only a dead
+			// listener reaches errc.
+			if err := srv.ServeRPC(ctx, lis); err != nil {
+				errc <- fmt.Errorf("rpc: %w", err)
+			}
+		}()
+	}
 
 	select {
 	case err := <-errc:
@@ -206,4 +258,19 @@ func main() {
 	}
 	wg.Wait()
 	log.Printf("mltuned: bye")
+}
+
+// splitPeers parses a comma-separated, shard-ordered address list;
+// empty entries are dropped.
+func splitPeers(s string) []string {
+	if s == "" {
+		return nil
+	}
+	var out []string
+	for _, p := range strings.Split(s, ",") {
+		if p = strings.TrimSpace(p); p != "" {
+			out = append(out, p)
+		}
+	}
+	return out
 }

@@ -1,0 +1,85 @@
+package hashx
+
+import (
+	"fmt"
+	"sort"
+)
+
+// Ring is a consistent-hash ring mapping string keys to one of n
+// shards. Every shard owns DefaultRingReplicas points on a 64-bit
+// circle (derived purely from the shard index, so every process that
+// builds a Ring with the same shard count sees the identical
+// assignment — no coordination, no configuration exchange); a key
+// belongs to the shard owning the first point at or clockwise of the
+// key's hash.
+//
+// Consistent hashing, rather than key-hash modulo n, keeps
+// reassignment minimal when the shard count changes: growing from n to
+// n+1 shards moves only the keys the new shard's points capture
+// (~1/(n+1) of the keyspace), instead of reshuffling nearly
+// everything.
+type Ring struct {
+	shards int
+	points []ringPoint
+}
+
+// ringPoint is one virtual node: a position on the circle and the
+// shard owning it.
+type ringPoint struct {
+	hash  uint64
+	shard int
+}
+
+// DefaultRingReplicas is the virtual-node count per shard: enough that
+// the largest shard's keyspace share stays within a few percent of
+// 1/n, cheap enough that ring construction is microseconds.
+const DefaultRingReplicas = 160
+
+// NewRing builds the canonical ring over n shards (n >= 1) with the
+// default replica count.
+func NewRing(n int) *Ring {
+	return NewRingReplicas(n, DefaultRingReplicas)
+}
+
+// NewRingReplicas builds a ring over n shards with an explicit
+// virtual-node count per shard. Every caller in one deployment must
+// use the same (n, replicas) pair, or owners will disagree.
+func NewRingReplicas(n, replicas int) *Ring {
+	if n < 1 {
+		panic(fmt.Sprintf("hashx: ring needs at least 1 shard, got %d", n))
+	}
+	if replicas < 1 {
+		panic(fmt.Sprintf("hashx: ring needs at least 1 replica per shard, got %d", replicas))
+	}
+	r := &Ring{shards: n, points: make([]ringPoint, 0, n*replicas)}
+	for shard := 0; shard < n; shard++ {
+		base := SplitMix64(uint64(shard) + 0x5ead5ead5ead5ead)
+		for v := 0; v < replicas; v++ {
+			r.points = append(r.points, ringPoint{hash: Combine(base, uint64(v)), shard: shard})
+		}
+	}
+	sort.Slice(r.points, func(i, j int) bool {
+		a, b := r.points[i], r.points[j]
+		if a.hash != b.hash {
+			return a.hash < b.hash
+		}
+		// A full-64-bit collision between virtual nodes is astronomically
+		// unlikely; break the tie on shard index anyway so the sort (and
+		// therefore ownership) stays deterministic even then.
+		return a.shard < b.shard
+	})
+	return r
+}
+
+// Shards returns the shard count the ring was built over.
+func (r *Ring) Shards() int { return r.shards }
+
+// Owner maps a key to its owning shard in [0, Shards()).
+func (r *Ring) Owner(key string) int {
+	h := String(key)
+	i := sort.Search(len(r.points), func(i int) bool { return r.points[i].hash >= h })
+	if i == len(r.points) {
+		i = 0 // wrap: past the last point the circle continues at the first
+	}
+	return r.points[i].shard
+}

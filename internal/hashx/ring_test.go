@@ -1,0 +1,99 @@
+package hashx
+
+import (
+	"fmt"
+	"testing"
+)
+
+func TestRingDeterministicAcrossInstances(t *testing.T) {
+	a, b := NewRing(4), NewRing(4)
+	for i := 0; i < 1000; i++ {
+		key := fmt.Sprintf("bench%d@device%d", i%7, i)
+		if a.Owner(key) != b.Owner(key) {
+			t.Fatalf("two rings with the same shard count disagree on %q", key)
+		}
+	}
+}
+
+func TestRingOwnerInRange(t *testing.T) {
+	for _, n := range []int{1, 2, 3, 8} {
+		r := NewRing(n)
+		for i := 0; i < 500; i++ {
+			key := fmt.Sprintf("k%d", i)
+			o := r.Owner(key)
+			if o < 0 || o >= n {
+				t.Fatalf("Owner(%q) = %d out of [0, %d)", key, o, n)
+			}
+		}
+	}
+}
+
+func TestRingSingleShardOwnsEverything(t *testing.T) {
+	r := NewRing(1)
+	for i := 0; i < 100; i++ {
+		if o := r.Owner(fmt.Sprintf("key%d", i)); o != 0 {
+			t.Fatalf("single-shard ring assigned shard %d", o)
+		}
+	}
+}
+
+// TestRingBalance checks the virtual-node count keeps shard loads
+// within a reasonable factor of even: no shard should own more than
+// twice or less than half its fair share over a large keyset.
+func TestRingBalance(t *testing.T) {
+	const n, keys = 4, 20000
+	r := NewRing(n)
+	counts := make([]int, n)
+	for i := 0; i < keys; i++ {
+		counts[r.Owner(fmt.Sprintf("benchmark%d@device %d", i%11, i))]++
+	}
+	fair := keys / n
+	for shard, c := range counts {
+		if c < fair/2 || c > fair*2 {
+			t.Errorf("shard %d owns %d of %d keys (fair share %d)", shard, c, keys, fair)
+		}
+	}
+}
+
+// TestRingMinimalReassignment pins the consistent-hashing property:
+// growing the ring by one shard must move only a minority of keys, and
+// every moved key must move TO the new shard (never between old ones).
+func TestRingMinimalReassignment(t *testing.T) {
+	const keys = 10000
+	oldRing, newRing := NewRing(3), NewRing(4)
+	moved := 0
+	for i := 0; i < keys; i++ {
+		key := fmt.Sprintf("bench@dev%d", i)
+		o, n := oldRing.Owner(key), newRing.Owner(key)
+		if o == n {
+			continue
+		}
+		moved++
+		if n != 3 {
+			t.Fatalf("key %q moved from shard %d to old shard %d, not the new shard", key, o, n)
+		}
+	}
+	// The new shard's fair share is 1/4; allow slack for imbalance.
+	if moved > keys/2 {
+		t.Errorf("%d of %d keys moved when adding one shard; consistent hashing should move ~1/4", moved, keys)
+	}
+	if moved == 0 {
+		t.Error("no keys moved to the new shard at all")
+	}
+}
+
+func TestRingPanicsOnBadArgs(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewRing(0) },
+		func() { NewRingReplicas(2, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic on invalid ring parameters")
+				}
+			}()
+			fn()
+		}()
+	}
+}

@@ -76,7 +76,7 @@ type serveEntry struct {
 // provenance-carrying result future sweeps warm-start from.
 type topMRec struct {
 	res *core.TopMResult
-	out []prediction
+	out []Prediction
 }
 
 // maxTopMCacheEntries bounds the per-model number of distinct cached M
@@ -211,7 +211,7 @@ func (e *serveEntry) predictBatch(cfgs []tuning.Config, dst []float64) []float64
 // sweep either way. Concurrent requests for the same entry serialise on
 // the entry lock, so a burst of identical top-M queries pays exactly one
 // sweep.
-func (e *serveEntry) topMCached(M int) []prediction {
+func (e *serveEntry) topMCached(M int) []Prediction {
 	e.mu.Lock()
 	defer e.mu.Unlock()
 	if rec, ok := e.topM[M]; ok {
@@ -224,10 +224,10 @@ func (e *serveEntry) topMCached(M int) []prediction {
 	if prev != nil {
 		e.m.topmSeeded()
 	}
-	out := make([]prediction, len(res.Top))
+	out := make([]Prediction, len(res.Top))
 	for i, p := range res.Top {
 		cfg := e.model.Space().At(p.Index)
-		out[i] = prediction{Index: p.Index, Config: cfg.Map(), Seconds: p.Seconds}
+		out[i] = Prediction{Index: p.Index, Config: cfg.Map(), Seconds: p.Seconds}
 	}
 	if len(e.topM) >= maxTopMCacheEntries {
 		e.topM = make(map[int]*topMRec)

@@ -1,0 +1,203 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+	"net/http"
+	"net/http/httptest"
+	"strconv"
+	"strings"
+	"testing"
+
+	"repro/internal/devsim"
+	"repro/internal/hashx"
+	"repro/internal/storage"
+)
+
+// TestErrorEnvelopeConformance enumerates every route's error classes
+// and asserts the one contract satellite clients rely on: every non-2xx
+// JSON body is the shared envelope — non-empty "error" and "kind", the
+// kind's documented status code, and a Retry-After header exactly on
+// retryable kinds.
+func TestErrorEnvelopeConformance(t *testing.T) {
+	newServer := func(t *testing.T, opts ...Option) *httptest.Server {
+		t.Helper()
+		reg, err := NewRegistry(storage.NewMemory())
+		if err != nil {
+			t.Fatal(err)
+		}
+		ts := httptest.NewServer(newTestServer(t, reg, 1, 4, opts...))
+		t.Cleanup(ts.Close)
+		return ts
+	}
+	plain := newServer(t)
+
+	// A serve replica rejects every mutating route with read_only.
+	replica := newServer(t, WithRole(RoleServe))
+
+	// A sharded instance rejects keys it does not own with not_owner.
+	// Shard against whichever side of a 2-ring does NOT own the key.
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	notOwner := 1 - hashx.NewRing(2).Owner(key.String())
+	sharded := newServer(t, WithShard(notOwner, 2),
+		WithShardPeers([]string{"http://s0", "http://s1"}, nil))
+
+	// A drained daemon reports not_ready on /readyz.
+	drained := newServer(t, WithRole(RoleAll))
+
+	q := "benchmark=convolution&device=" + strings.ReplaceAll(devsim.IntelI7, " ", "+")
+	cases := []struct {
+		name       string
+		base       *httptest.Server
+		method     string
+		path       string
+		body       string
+		wantStatus int
+		wantKind   string
+	}{
+		{"jobs submit bad json", plain, "POST", "/v1/jobs", "{", 400, errKindInvalid},
+		{"jobs submit unknown field", plain, "POST", "/v1/jobs", `{"martian":1}`, 400, errKindInvalid},
+		{"job get unknown id", plain, "GET", "/v1/jobs/nope", "", 404, errKindNotFound},
+		{"job get bad cursor", plain, "GET", "/v1/jobs/nope?after=x", "", 400, errKindInvalid},
+		{"job cancel unknown id", plain, "DELETE", "/v1/jobs/nope", "", 404, errKindNotFound},
+		{"samples ingest bad json", plain, "POST", "/v1/samples", "{", 400, errKindInvalid},
+		{"samples ingest empty", plain, "POST", "/v1/samples",
+			`{"benchmark":"convolution","device":"x"}`, 400, errKindInvalid},
+		{"samples list device only", plain, "GET", "/v1/samples?device=x", "", 400, errKindInvalid},
+		{"train bad json", plain, "POST", "/v1/train", "{", 400, errKindInvalid},
+		{"train unknown benchmark", plain, "POST", "/v1/train",
+			`{"benchmark":"martian","device":"x","samples":[{"index":0,"seconds":1}]}`, 400, errKindInvalid},
+		{"models bad since", plain, "GET", "/v1/models?since=x", "", 400, errKindInvalid},
+		{"models bad shard", plain, "GET", "/v1/models?shard=2", "", 400, errKindInvalid},
+		{"models shard out of range", plain, "GET", "/v1/models?shard=9/4", "", 400, errKindInvalid},
+		{"artifact bad name", plain, "GET", "/v1/models/noext", "", 400, errKindInvalid},
+		{"artifact missing", plain, "GET", "/v1/models/convolution@nope.mlt", "", 404, errKindNotFound},
+		{"predict no benchmark", plain, "GET", "/v1/predict", "", 400, errKindInvalid},
+		{"predict portable slot", plain, "GET", "/v1/predict?benchmark=convolution&device=*", "", 400, errKindInvalid},
+		{"predict no device", plain, "GET", "/v1/predict?benchmark=convolution", "", 400, errKindInvalid},
+		{"predict bad descriptor", plain, "GET",
+			"/v1/predict?benchmark=convolution&device=x&descriptor=%7B", "", 400, errKindInvalid},
+		{"predict no model", plain, "GET", "/v1/predict?" + q + "&index=0", "", 404, errKindNotFound},
+		{"predict bad index", plain, "GET", "/v1/predict?" + q + "&index=x", "", 400, errKindInvalid},
+		{"predict bad config value", plain, "GET", "/v1/predict?" + q + "&c.TILE=x", "", 400, errKindInvalid},
+		{"predict batch bad json", plain, "POST", "/v1/predict", "{", 400, errKindInvalid},
+		{"predict batch neither", plain, "POST", "/v1/predict",
+			`{"benchmark":"convolution","device":"x"}`, 400, errKindInvalid},
+		{"predict batch both", plain, "POST", "/v1/predict",
+			`{"benchmark":"convolution","device":"x","indices":[1],"configs":[{"a":1}]}`, 400, errKindInvalid},
+		{"topm bad m", plain, "GET", "/v1/topm?" + q + "&m=0", "", 400, errKindInvalid},
+		{"topm no model", plain, "GET", "/v1/topm?" + q, "", 404, errKindNotFound},
+
+		{"replica jobs", replica, "POST", "/v1/jobs", `{}`, 405, errKindReadOnly},
+		{"replica cancel", replica, "DELETE", "/v1/jobs/nope", "", 405, errKindReadOnly},
+		{"replica ingest", replica, "POST", "/v1/samples", `{}`, 405, errKindReadOnly},
+		{"replica train", replica, "POST", "/v1/train", `{}`, 405, errKindReadOnly},
+
+		{"sharded predict", sharded, "GET", "/v1/predict?" + q + "&index=0", "", 421, errKindNotOwner},
+		{"sharded batch", sharded, "POST", "/v1/predict",
+			`{"benchmark":"convolution","device":"` + devsim.IntelI7 + `","indices":[0]}`, 421, errKindNotOwner},
+		{"sharded topm", sharded, "GET", "/v1/topm?" + q, "", 421, errKindNotOwner},
+
+		{"drained readyz", drained, "GET", "/readyz", "", 503, errKindNotReady},
+	}
+
+	// Retryable kinds carry the Retry-After contract; every other kind
+	// must not.
+	retryable := map[string]bool{errKindQueueFull: true, errKindOverloaded: true}
+
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			if tc.base == drained {
+				drainOnce(t, drained)
+			}
+			var body io.Reader
+			if tc.body != "" {
+				body = strings.NewReader(tc.body)
+			}
+			req, err := http.NewRequest(tc.method, tc.base.URL+tc.path, body)
+			if err != nil {
+				t.Fatal(err)
+			}
+			resp, err := http.DefaultClient.Do(req)
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer resp.Body.Close()
+			if resp.StatusCode != tc.wantStatus {
+				raw, _ := io.ReadAll(resp.Body)
+				t.Fatalf("status %d, want %d (body %s)", resp.StatusCode, tc.wantStatus, raw)
+			}
+			var envelope struct {
+				Error string `json:"error"`
+				Kind  string `json:"kind"`
+			}
+			if err := json.NewDecoder(resp.Body).Decode(&envelope); err != nil {
+				t.Fatalf("body is not JSON: %v", err)
+			}
+			if envelope.Kind != tc.wantKind {
+				t.Errorf("kind %q, want %q", envelope.Kind, tc.wantKind)
+			}
+			if envelope.Error == "" {
+				t.Error("empty error message")
+			}
+			if got := resp.Header.Get("Retry-After"); (got != "") != retryable[tc.wantKind] {
+				t.Errorf("Retry-After %q for kind %q (retryable=%v)", got, tc.wantKind, retryable[tc.wantKind])
+			}
+		})
+	}
+}
+
+// drainOnce drains srv's queue the first time it is asked, making
+// /readyz report not_ready; repeat calls are no-ops.
+func drainOnce(t *testing.T, ts *httptest.Server) {
+	t.Helper()
+	// The handler is the *Server itself.
+	srv, ok := ts.Config.Handler.(*Server)
+	if !ok {
+		t.Fatal("test server handler is not *Server")
+	}
+	if err := srv.Drain(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPredictQueryAliases pins the addressing alignment between the
+// query spelling of /v1/predict and /v1/topm: c.<param> is canonical,
+// p.<param> is the deprecated alias, and c. wins on conflicts.
+func TestPredictQueryAliases(t *testing.T) {
+	reg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	model := trainTinyModel(t, 13)
+	if err := reg.Put(key, model); err != nil {
+		t.Fatal(err)
+	}
+	ts := httptest.NewServer(newTestServer(t, reg, 1, 4))
+	defer ts.Close()
+
+	cfg := model.Space().At(3)
+	canonical, deprecated, conflicted := "", "", ""
+	for name, v := range cfg.Map() {
+		s := "=" + strconv.Itoa(v)
+		canonical += "&c." + name + s
+		deprecated += "&p." + name + s
+		// The conflicting spelling carries garbage under p. — c. must win.
+		conflicted += "&c." + name + s + "&p." + name + "=0"
+	}
+	q := "benchmark=convolution&device=" + strings.ReplaceAll(devsim.IntelI7, " ", "+")
+	var want PredictResponse
+	jget(t, ts.Client(), ts.URL, "/v1/predict?"+q+canonical, http.StatusOK, &want)
+	if want.Index != 3 {
+		t.Fatalf("canonical spelling resolved index %d, want 3", want.Index)
+	}
+	for _, alias := range []string{deprecated, conflicted} {
+		var got PredictResponse
+		jget(t, ts.Client(), ts.URL, "/v1/predict?"+q+alias, http.StatusOK, &got)
+		if got.Index != want.Index || got.Seconds != want.Seconds {
+			t.Errorf("alias %q resolved %+v, want %+v", alias, got, want)
+		}
+	}
+}

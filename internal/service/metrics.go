@@ -379,9 +379,8 @@ func (s *Server) withShed(rm *routeMetrics, h http.HandlerFunc) http.HandlerFunc
 	return func(w http.ResponseWriter, r *http.Request) {
 		if !s.acquireRead() {
 			rm.shed.Inc()
-			w.Header().Set("Retry-After", "1")
-			writeErrCoded(w, http.StatusTooManyRequests, errKindOverloaded, true,
-				"read path at its in-flight limit (%d), retry", cap(s.readSem))
+			writeAPIError(w, errf(errKindOverloaded,
+				"read path at its in-flight limit (%d), retry", cap(s.readSem)))
 			return
 		}
 		defer s.releaseRead()

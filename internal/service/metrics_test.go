@@ -139,8 +139,8 @@ func TestPredictShedHammer(t *testing.T) {
 		if resp.StatusCode != http.StatusTooManyRequests {
 			t.Fatalf("saturated predict: status %d, want 429", resp.StatusCode)
 		}
-		if got := resp.Header.Get("Retry-After"); got != retryAfterHint {
-			t.Errorf("shed Retry-After %q, want %q", got, retryAfterHint)
+		if got := resp.Header.Get("Retry-After"); got != retryAfterHintStr {
+			t.Errorf("shed Retry-After %q, want %q", got, retryAfterHintStr)
 		}
 		var ae apiError
 		if err := json.NewDecoder(resp.Body).Decode(&ae); err != nil {
@@ -255,12 +255,12 @@ func TestPredictShedHammer(t *testing.T) {
 // queue is not (503, no Retry-After, kind queue_closed).
 func TestQueueErrorResponses(t *testing.T) {
 	w := httptest.NewRecorder()
-	writeQueueErr(w, ErrQueueFull)
+	writeAPIError(w, ErrQueueFull)
 	if w.Code != http.StatusServiceUnavailable {
 		t.Errorf("queue-full status %d, want 503", w.Code)
 	}
-	if got := w.Header().Get("Retry-After"); got != retryAfterHint {
-		t.Errorf("queue-full Retry-After %q, want %q", got, retryAfterHint)
+	if got := w.Header().Get("Retry-After"); got != retryAfterHintStr {
+		t.Errorf("queue-full Retry-After %q, want %q", got, retryAfterHintStr)
 	}
 	var ae apiError
 	if err := json.Unmarshal(w.Body.Bytes(), &ae); err != nil {
@@ -271,7 +271,7 @@ func TestQueueErrorResponses(t *testing.T) {
 	}
 
 	w = httptest.NewRecorder()
-	writeQueueErr(w, ErrQueueClosed)
+	writeAPIError(w, ErrQueueClosed)
 	if w.Code != http.StatusServiceUnavailable {
 		t.Errorf("queue-closed status %d, want 503", w.Code)
 	}
@@ -294,7 +294,7 @@ func TestReadyzSplitsFromHealthz(t *testing.T) {
 	srv, ts := metricsTestServer(t)
 	client := ts.Client()
 
-	var rd readiness
+	var rd Readiness
 	jget(t, client, ts.URL, "/readyz", http.StatusOK, &rd)
 	if !rd.Ready {
 		t.Errorf("fresh daemon readiness %+v, want ready", rd)
@@ -306,7 +306,7 @@ func TestReadyzSplitsFromHealthz(t *testing.T) {
 	if err := srv.Drain(ctx); err != nil {
 		t.Fatal(err)
 	}
-	rd = readiness{}
+	rd = Readiness{}
 	jget(t, client, ts.URL, "/readyz", http.StatusServiceUnavailable, &rd)
 	if rd.Ready || !strings.Contains(rd.Reason, "draining") {
 		t.Errorf("draining readiness %+v, want not ready with a draining reason", rd)
@@ -415,7 +415,7 @@ func TestStatsEndpoint(t *testing.T) {
 	client := ts.Client()
 	jget(t, client, ts.URL, "/v1/predict?benchmark=convolution&device="+devQ+"&index=7", http.StatusOK, nil)
 
-	var st statsResponse
+	var st StatsResponse
 	jget(t, client, ts.URL, "/v1/stats", http.StatusOK, &st)
 	if st.MaxInflight != 17 {
 		t.Errorf("max_inflight %d, want 17", st.MaxInflight)

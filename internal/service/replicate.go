@@ -138,9 +138,16 @@ func (rp *replicator) sync(ctx context.Context) error {
 	return nil
 }
 
-// poll fetches the upstream's model delta past since.
+// poll fetches the upstream's model delta past since. A sharded
+// replica asks the upstream to filter server-side (?shard=i/n): only
+// the keys this shard owns — plus the portable models every shard
+// carries — come back, so a shard syncs and stores 1/n of the fleet's
+// models instead of all of them.
 func (rp *replicator) poll(ctx context.Context, since uint64) (*modelsDelta, error) {
 	u := fmt.Sprintf("%s/v1/models?since=%d", rp.upstream, since)
+	if s := rp.s; s.ring != nil {
+		u += "&shard=" + FormatShard(s.ring.index, s.ring.ring.Shards())
+	}
 	req, err := http.NewRequestWithContext(ctx, http.MethodGet, u, nil)
 	if err != nil {
 		return nil, err

@@ -70,7 +70,7 @@ func TestServeRoleReadOnly(t *testing.T) {
 	jget(t, client, ts.URL, "/v1/models", http.StatusOK, nil)
 	jget(t, client, ts.URL, "/v1/samples", http.StatusOK, nil)
 	jget(t, client, ts.URL, "/healthz", http.StatusOK, nil)
-	var stats statsResponse
+	var stats StatsResponse
 	jget(t, client, ts.URL, "/v1/stats", http.StatusOK, &stats)
 	if stats.Role != RoleServe {
 		t.Errorf("stats role %q, want %q", stats.Role, RoleServe)
@@ -178,7 +178,7 @@ func TestReplicationPullsModels(t *testing.T) {
 
 	// Before the first sync: alive but not ready, no models.
 	jget(t, client, rts.URL, "/healthz", http.StatusOK, nil)
-	var ready readiness
+	var ready Readiness
 	jget(t, client, rts.URL, "/readyz", http.StatusServiceUnavailable, &ready)
 	if ready.Ready || !strings.Contains(ready.Reason, "sync") {
 		t.Errorf("pre-sync readiness %+v", ready)
@@ -203,7 +203,7 @@ func TestReplicationPullsModels(t *testing.T) {
 		t.Errorf("replica prediction %+v", pred)
 	}
 
-	var stats statsResponse
+	var stats StatsResponse
 	jget(t, client, rts.URL, "/v1/stats", http.StatusOK, &stats)
 	r := stats.Replication
 	if r == nil {

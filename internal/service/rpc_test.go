@@ -1,0 +1,324 @@
+package service
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"net"
+	"testing"
+
+	"repro/internal/devsim"
+	"repro/internal/hashx"
+	"repro/internal/storage"
+)
+
+// startRPC serves the binary protocol for srv on an ephemeral loopback
+// listener, returning its address. The listener stops with the test.
+func startRPC(t *testing.T, srv *Server) string {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		if err := srv.ServeRPC(ctx, lis); err != nil {
+			t.Errorf("ServeRPC: %v", err)
+		}
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return lis.Addr().String()
+}
+
+// rpcConn is a raw protocol connection for tests: one frame out, one
+// frame in, no client-library smarts in the way.
+type rpcConn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+func dialRPC(t *testing.T, addr string) *rpcConn {
+	t.Helper()
+	c, err := net.Dial("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(func() { c.Close() })
+	return &rpcConn{c: c, br: bufio.NewReader(c)}
+}
+
+func (rc *rpcConn) call(t *testing.T, body []byte) []byte {
+	t.Helper()
+	if err := WriteRPCFrame(rc.c, body); err != nil {
+		t.Fatal(err)
+	}
+	resp, err := ReadRPCFrame(rc.br, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return resp
+}
+
+// wantRPCError asserts err is an *Error of the given kind and returns it.
+func wantRPCError(t *testing.T, err error, kind string) *Error {
+	t.Helper()
+	var e *Error
+	if !errors.As(err, &e) {
+		t.Fatalf("error %v (%T), want *Error", err, err)
+	}
+	if e.Kind != kind {
+		t.Fatalf("error kind %q (%s), want %q", e.Kind, e.Message, kind)
+	}
+	return e
+}
+
+// TestRPCServeEndToEnd drives the four ops and the error paths over a
+// real listener, asserting the RPC plane answers exactly what the API
+// core computes.
+func TestRPCServeEndToEnd(t *testing.T) {
+	reg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	model := trainTinyModel(t, 3)
+	if err := reg.Put(key, model); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, reg, 1, 4)
+	rc := dialRPC(t, startRPC(t, srv))
+
+	// Predict by index agrees with the model itself.
+	body, err := MarshalRPCPredictRequest(&PredictRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, HasIndex: true, Index: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pr, err := UnmarshalRPCPredictResponse(rc.call(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Index != 42 || pr.Resolution != resolutionExact || pr.Benchmark != "convolution" {
+		t.Errorf("predict %+v", pr)
+	}
+	if want := model.Predict(model.Space().At(42), model.NewScratch()); pr.Seconds != want {
+		t.Errorf("predict seconds %v, want %v", pr.Seconds, want)
+	}
+
+	// Predict by config addresses the same point as its index.
+	cfg := model.Space().At(42).Map()
+	body, err = MarshalRPCPredictRequest(&PredictRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, Config: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	pc, err := UnmarshalRPCPredictResponse(rc.call(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pc.Index != 42 || pc.Seconds != pr.Seconds {
+		t.Errorf("config predict %+v, want index 42 seconds %v", pc, pr.Seconds)
+	}
+
+	// Batch over the same indices returns element-wise identical results.
+	body, err = MarshalRPCPredictBatchRequest(&PredictBatchRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, Indices: []int64{42, 0, 7}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	br, err := UnmarshalRPCPredictBatchResponse(rc.call(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Predictions) != 3 || br.Predictions[0].Index != 42 || br.Predictions[0].Seconds != pr.Seconds {
+		t.Errorf("batch %+v", br.Predictions)
+	}
+
+	// Top-M matches the HTTP plane's view of the same model.
+	body, err = MarshalRPCTopMRequest(&TopMRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tr, err := UnmarshalRPCTopMResponse(rc.call(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.M != 5 || len(tr.Top) != 5 {
+		t.Fatalf("topm %+v", tr)
+	}
+	apiTop, err := srv.TopM(&TopMRequest{Benchmark: "convolution", Device: devsim.IntelI7, M: 5})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range tr.Top {
+		if tr.Top[i].Index != apiTop.Top[i].Index || tr.Top[i].Seconds != apiTop.Top[i].Seconds {
+			t.Errorf("topm[%d] = %+v, want %+v", i, tr.Top[i], apiTop.Top[i])
+		}
+	}
+
+	// Models delta carries the registry listing.
+	body, err = MarshalRPCModelsRequest(&ModelsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	mr, err := UnmarshalRPCModelsResponse(rc.call(t, body))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Models) != 1 || mr.Models[0].Benchmark != "convolution" || mr.Generation == 0 {
+		t.Errorf("models %+v", mr)
+	}
+	// A cursor past the generation mark yields an empty delta.
+	body, err = MarshalRPCModelsRequest(&ModelsRequest{Since: mr.Generation})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if mr2, err := UnmarshalRPCModelsResponse(rc.call(t, body)); err != nil || len(mr2.Models) != 0 {
+		t.Errorf("delta past generation: %v, %+v", err, mr2)
+	}
+
+	// Unknown model: a not_found error frame.
+	body, err = MarshalRPCPredictRequest(&PredictRequest{
+		Benchmark: "convolution", Device: "martian accelerator", HasIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = UnmarshalRPCPredictResponse(rc.call(t, body))
+	wantRPCError(t, err, errKindNotFound)
+
+	// Unknown op: an invalid_argument error frame, connection survives.
+	_, err = UnmarshalRPCPredictResponse(rc.call(t, []byte{0xEE}))
+	wantRPCError(t, err, errKindInvalid)
+
+	// Malformed payload: an error frame, and the connection still works.
+	_, err = UnmarshalRPCPredictResponse(rc.call(t, []byte{byte(RPCOpPredict), 0xFF}))
+	wantRPCError(t, err, errKindInvalid)
+	body, err = MarshalRPCTopMRequest(&TopMRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, M: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if after, err := UnmarshalRPCTopMResponse(rc.call(t, body)); err != nil || len(after.Top) != 1 {
+		t.Fatalf("connection dead after payload error: %v", err)
+	}
+}
+
+// TestRPCPipelining writes a burst of request frames before reading any
+// response: the server must answer each in order on one connection.
+func TestRPCPipelining(t *testing.T) {
+	reg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	if err := reg.Put(key, trainTinyModel(t, 5)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, reg, 1, 4)
+	rc := dialRPC(t, startRPC(t, srv))
+
+	const n = 16
+	for i := 0; i < n; i++ {
+		body, err := MarshalRPCPredictRequest(&PredictRequest{
+			Benchmark: "convolution", Device: devsim.IntelI7, HasIndex: true, Index: int64(i)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := WriteRPCFrame(rc.c, body); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		frame, err := ReadRPCFrame(rc.br, nil)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		resp, err := UnmarshalRPCPredictResponse(frame)
+		if err != nil {
+			t.Fatalf("response %d: %v", i, err)
+		}
+		if resp.Index != int64(i) {
+			t.Fatalf("response %d carries index %d: out of order", i, resp.Index)
+		}
+	}
+}
+
+// TestRPCNotOwnerRedirect asserts a sharded instance refuses non-owned
+// keys over RPC with a not_owner frame naming the owner's addresses.
+func TestRPCNotOwnerRedirect(t *testing.T) {
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	owner := hashx.NewRing(2).Owner(key.String())
+	notOwner := 1 - owner
+
+	reg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	peers := []string{"127.0.0.1:8180", "127.0.0.1:8181"}
+	rpcPeers := []string{"127.0.0.1:9180", "127.0.0.1:9181"}
+	srv := newTestServer(t, reg, 1, 4,
+		WithShard(notOwner, 2), WithShardPeers(peers, rpcPeers))
+	rc := dialRPC(t, startRPC(t, srv))
+
+	body, err := MarshalRPCPredictRequest(&PredictRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, HasIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = UnmarshalRPCPredictResponse(rc.call(t, body))
+	e := wantRPCError(t, err, errKindNotOwner)
+	if e.Owner == nil {
+		t.Fatal("not_owner frame without owner ref")
+	}
+	if e.Owner.Shard != owner || e.Owner.Addr != peers[owner] || e.Owner.RPCAddr != rpcPeers[owner] {
+		t.Errorf("owner ref %+v, want shard %d addr %s rpc %s",
+			e.Owner, owner, peers[owner], rpcPeers[owner])
+	}
+}
+
+// TestRPCShedsWhenSaturated holds the read-path semaphore (shared with
+// the HTTP plane) and asserts prediction ops shed with a retryable
+// overloaded frame while the models op — the replication path — stays
+// exempt.
+func TestRPCShedsWhenSaturated(t *testing.T) {
+	reg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	key := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	if err := reg.Put(key, trainTinyModel(t, 7)); err != nil {
+		t.Fatal(err)
+	}
+	srv := newTestServer(t, reg, 1, 4, WithMaxInflight(1))
+	rc := dialRPC(t, startRPC(t, srv))
+
+	if !srv.acquireRead() {
+		t.Fatal("could not take the only read slot")
+	}
+	defer srv.releaseRead()
+
+	body, err := MarshalRPCPredictRequest(&PredictRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, HasIndex: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = UnmarshalRPCPredictResponse(rc.call(t, body))
+	e := wantRPCError(t, err, errKindOverloaded)
+	if !e.Retryable || e.RetryAfterSeconds != retryAfterHintSeconds {
+		t.Errorf("shed frame %+v lost the retry contract", e)
+	}
+
+	body, err = MarshalRPCModelsRequest(&ModelsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := UnmarshalRPCModelsResponse(rc.call(t, body)); err != nil {
+		t.Errorf("models op shed while saturated: %v", err)
+	}
+}

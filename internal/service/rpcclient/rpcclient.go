@@ -1,0 +1,264 @@
+// Package rpcclient is the client of the mltuned RPC plane: the hot
+// read path (predict, predict-batch, top-M, models-delta) over the
+// length-prefixed binary protocol of a daemon's -rpc-addr listener.
+//
+// The client pools connections per address and follows not_owner
+// redirects: on a sharded fleet it learns which shard owns each
+// benchmark@device key from the redirect's owner address and sends
+// subsequent requests for that key straight to the owner.
+package rpcclient
+
+import (
+	"bufio"
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"net"
+	"sync"
+	"time"
+
+	"repro/internal/devsim"
+	"repro/internal/service"
+)
+
+// Client is a connection-pooling RPC client. Safe for concurrent use;
+// concurrent calls use separate pooled connections.
+type Client struct {
+	addr    string
+	timeout time.Duration
+	maxIdle int
+
+	mu     sync.Mutex
+	closed bool
+	// idle pools keep-alive connections per address (the configured
+	// daemon plus any shard owners learned from redirects).
+	idle map[string][]*conn
+	// route memoises benchmark@device → owning shard address, learned
+	// from not_owner redirects, so steady-state traffic to a sharded
+	// fleet pays the redirect hop once per key, not per request.
+	route map[string]string
+}
+
+// conn is one pooled connection: the socket plus its buffered reader
+// (framing reads two fields; unbuffered that is two syscalls each).
+type conn struct {
+	c  net.Conn
+	br *bufio.Reader
+}
+
+// Option customises a Client.
+type Option func(*Client)
+
+// WithTimeout bounds each call's full round trip (default 30s).
+func WithTimeout(d time.Duration) Option {
+	return func(c *Client) { c.timeout = d }
+}
+
+// WithMaxIdle bounds the idle connections kept per address (default 16).
+func WithMaxIdle(n int) Option {
+	return func(c *Client) {
+		if n > 0 {
+			c.maxIdle = n
+		}
+	}
+}
+
+// New builds a client of the daemon's RPC listener at addr (host:port).
+// No connection is made until the first call.
+func New(addr string, opts ...Option) *Client {
+	c := &Client{
+		addr:    addr,
+		timeout: 30 * time.Second,
+		maxIdle: 16,
+		idle:    make(map[string][]*conn),
+		route:   make(map[string]string),
+	}
+	for _, opt := range opts {
+		opt(c)
+	}
+	return c
+}
+
+// Close drops every pooled connection. In-flight calls finish on their
+// own sockets.
+func (c *Client) Close() {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.closed = true
+	for _, conns := range c.idle {
+		for _, pc := range conns {
+			pc.c.Close()
+		}
+	}
+	c.idle = make(map[string][]*conn)
+}
+
+// Predict predicts one configuration.
+func (c *Client) Predict(req *service.PredictRequest) (*service.PredictResponse, error) {
+	body, err := service.MarshalRPCPredictRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return do(c, routeKey(req.Benchmark, req.Device, req.Descriptor), body,
+		service.UnmarshalRPCPredictResponse)
+}
+
+// PredictBatch predicts a batch of configurations.
+func (c *Client) PredictBatch(req *service.PredictBatchRequest) (*service.PredictBatchResponse, error) {
+	body, err := service.MarshalRPCPredictBatchRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return do(c, routeKey(req.Benchmark, req.Device, req.Descriptor), body,
+		service.UnmarshalRPCPredictBatchResponse)
+}
+
+// TopM fetches the M best-predicted configurations.
+func (c *Client) TopM(req *service.TopMRequest) (*service.TopMResponse, error) {
+	body, err := service.MarshalRPCTopMRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	return do(c, routeKey(req.Benchmark, req.Device, req.Descriptor), body,
+		service.UnmarshalRPCTopMResponse)
+}
+
+// Models fetches the model listing or delta. Listings are answered by
+// whichever instance the client is pointed at (there is no key to
+// route on), so no redirect following applies.
+func (c *Client) Models(req *service.ModelsRequest) (*service.ModelsResponse, error) {
+	body, err := service.MarshalRPCModelsRequest(req)
+	if err != nil {
+		return nil, err
+	}
+	raw, err := c.call(c.addr, body)
+	if err != nil {
+		return nil, err
+	}
+	return service.UnmarshalRPCModelsResponse(raw)
+}
+
+// routeKey is the ownership key requests route on: the same
+// benchmark@device (or benchmark@descriptor-name) string the server's
+// ring hashes.
+func routeKey(benchmark, device string, desc *devsim.Descriptor) string {
+	label := device
+	if label == "" && desc != nil {
+		label = desc.Name
+	}
+	return benchmark + "@" + label
+}
+
+// do runs one call with single-hop redirect following: request at the
+// routed address, and on a not_owner error naming an owner address,
+// memoise the route and retry there once.
+func do[T any](c *Client, key string, body []byte, unmarshal func([]byte) (*T, error)) (*T, error) {
+	addr := c.routeFor(key)
+	raw, err := c.call(addr, body)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := unmarshal(raw)
+	if target, ok := redirectTarget(err, addr); ok {
+		c.setRoute(key, target)
+		raw, err = c.call(target, body)
+		if err != nil {
+			return nil, err
+		}
+		return unmarshal(raw)
+	}
+	return resp, err
+}
+
+// redirectTarget extracts a followable owner address from a not_owner
+// error — one that actually differs from where the request just went.
+func redirectTarget(err error, from string) (string, bool) {
+	var se *service.Error
+	if !errors.As(err, &se) || se.Kind != service.ErrKindNotOwner {
+		return "", false
+	}
+	if se.Owner == nil || se.Owner.RPCAddr == "" || se.Owner.RPCAddr == from {
+		return "", false
+	}
+	return se.Owner.RPCAddr, true
+}
+
+func (c *Client) routeFor(key string) string {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if addr, ok := c.route[key]; ok {
+		return addr
+	}
+	return c.addr
+}
+
+func (c *Client) setRoute(key, addr string) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	// The memo is per-key and keys are operator-controlled model slots,
+	// not attacker-controlled: bound it anyway so a scan over bogus keys
+	// cannot grow it without limit.
+	if len(c.route) > 4096 {
+		c.route = make(map[string]string)
+	}
+	c.route[key] = addr
+}
+
+// call runs one framed round trip against addr on a pooled connection.
+// Transport errors drop the connection; the next call dials fresh.
+func (c *Client) call(addr string, body []byte) ([]byte, error) {
+	pc, err := c.conn(addr)
+	if err != nil {
+		return nil, err
+	}
+	if c.timeout > 0 {
+		pc.c.SetDeadline(time.Now().Add(c.timeout))
+	}
+	// One write syscall per request: header and body in one buffer.
+	frame := make([]byte, 4+len(body))
+	binary.LittleEndian.PutUint32(frame, uint32(len(body)))
+	copy(frame[4:], body)
+	if _, err := pc.c.Write(frame); err != nil {
+		pc.c.Close()
+		return nil, fmt.Errorf("rpc %s: %w", addr, err)
+	}
+	resp, err := service.ReadRPCFrame(pc.br, nil)
+	if err != nil {
+		pc.c.Close()
+		return nil, fmt.Errorf("rpc %s: %w", addr, err)
+	}
+	c.putIdle(addr, pc)
+	return resp, nil
+}
+
+// conn takes an idle connection to addr or dials a new one.
+func (c *Client) conn(addr string) (*conn, error) {
+	c.mu.Lock()
+	if pool := c.idle[addr]; len(pool) > 0 {
+		pc := pool[len(pool)-1]
+		c.idle[addr] = pool[:len(pool)-1]
+		c.mu.Unlock()
+		return pc, nil
+	}
+	c.mu.Unlock()
+	d := net.Dialer{Timeout: c.timeout}
+	nc, err := d.Dial("tcp", addr)
+	if err != nil {
+		return nil, fmt.Errorf("rpc %s: %w", addr, err)
+	}
+	if tc, ok := nc.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &conn{c: nc, br: bufio.NewReaderSize(nc, 64<<10)}, nil
+}
+
+// putIdle returns a healthy connection to its pool.
+func (c *Client) putIdle(addr string, pc *conn) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.closed || len(c.idle[addr]) >= c.maxIdle {
+		pc.c.Close()
+		return
+	}
+	c.idle[addr] = append(c.idle[addr], pc)
+}

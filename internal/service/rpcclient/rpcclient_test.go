@@ -1,0 +1,204 @@
+package rpcclient
+
+import (
+	"context"
+	"errors"
+	"math/rand"
+	"net"
+	"testing"
+
+	"repro/internal/bench"
+	"repro/internal/core"
+	"repro/internal/devsim"
+	"repro/internal/hashx"
+	"repro/internal/service"
+	"repro/internal/storage"
+)
+
+// trainTinyModel fits a fast model to a handful of simulated
+// measurements, mirroring the service package's test helper.
+func trainTinyModel(t *testing.T, seed int64) *core.Model {
+	t.Helper()
+	b := bench.MustLookup("convolution")
+	m, err := core.NewSimMeasurer(b, devsim.MustLookup(devsim.IntelI7), bench.Size{}, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	var samples []core.Sample
+	for _, cfg := range b.Space().Sample(rng, 60) {
+		secs, err := m.Measure(context.Background(), cfg)
+		if err != nil {
+			continue
+		}
+		samples = append(samples, core.Sample{Config: cfg, Seconds: secs})
+	}
+	mc := core.DefaultModelConfig(seed)
+	mc.Ensemble.K = 2
+	mc.Ensemble.Hidden = 6
+	mc.Ensemble.Train.Epochs = 200
+	model, err := core.TrainModel(b.Space(), samples, nil, mc)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return model
+}
+
+// serveRPC builds a Server over an in-memory registry (optionally
+// holding the tiny convolution model) and serves the RPC protocol on an
+// ephemeral loopback listener whose address it returns. The lis
+// argument lets callers pre-bind so peer addresses exist before the
+// servers are constructed.
+func serveRPC(t *testing.T, lis net.Listener, withModel bool, opts ...service.Option) string {
+	t.Helper()
+	reg, err := service.NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if withModel {
+		key := service.ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+		if err := reg.Put(key, trainTinyModel(t, 9)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv, err := service.New(reg, 1, 4, opts...)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	done := make(chan struct{})
+	go func() {
+		defer close(done)
+		srv.ServeRPC(ctx, lis)
+	}()
+	t.Cleanup(func() {
+		cancel()
+		<-done
+	})
+	return lis.Addr().String()
+}
+
+func listen(t *testing.T) net.Listener {
+	t.Helper()
+	lis, err := net.Listen("tcp", "127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return lis
+}
+
+func TestClientReadPath(t *testing.T) {
+	addr := serveRPC(t, listen(t), true)
+	c := New(addr)
+	defer c.Close()
+
+	pr, err := c.Predict(&service.PredictRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, HasIndex: true, Index: 42})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if pr.Index != 42 || pr.Benchmark != "convolution" || pr.Seconds <= 0 {
+		t.Errorf("predict %+v", pr)
+	}
+
+	br, err := c.PredictBatch(&service.PredictBatchRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, Indices: []int64{42, 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(br.Predictions) != 2 || br.Predictions[0].Seconds != pr.Seconds {
+		t.Errorf("batch %+v", br.Predictions)
+	}
+
+	tr, err := c.TopM(&service.TopMRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, M: 3})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tr.M != 3 || len(tr.Top) != 3 {
+		t.Errorf("topm %+v", tr)
+	}
+
+	mr, err := c.Models(&service.ModelsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(mr.Models) != 1 || mr.Models[0].Device != devsim.IntelI7 {
+		t.Errorf("models %+v", mr.Models)
+	}
+
+	// Typed errors cross the wire: clients branch on Kind.
+	_, err = c.Predict(&service.PredictRequest{
+		Benchmark: "convolution", Device: "martian accelerator", HasIndex: true})
+	var se *service.Error
+	if !errors.As(err, &se) || se.Kind != service.ErrKindNotFound {
+		t.Errorf("error %v, want kind %q", err, service.ErrKindNotFound)
+	}
+}
+
+// TestClientFollowsNotOwnerRedirect points the client at the shard that
+// does not own convolution@IntelI7 on a two-shard fleet: the first call
+// must follow the not_owner redirect to the owner and succeed, and the
+// memoised route must keep later calls for the key working.
+func TestClientFollowsNotOwnerRedirect(t *testing.T) {
+	key := service.ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	owner := hashx.NewRing(2).Owner(key.String())
+
+	// Bind both listeners first so every server knows the full peer set.
+	lis := []net.Listener{listen(t), listen(t)}
+	rpcPeers := []string{lis[0].Addr().String(), lis[1].Addr().String()}
+	for shard := 0; shard < 2; shard++ {
+		serveRPC(t, lis[shard], shard == owner,
+			service.WithShard(shard, 2), service.WithShardPeers(nil, rpcPeers))
+	}
+
+	c := New(rpcPeers[1-owner]) // aimed at the wrong shard
+	defer c.Close()
+	for call := 0; call < 3; call++ {
+		pr, err := c.Predict(&service.PredictRequest{
+			Benchmark: "convolution", Device: devsim.IntelI7, HasIndex: true, Index: 7})
+		if err != nil {
+			t.Fatalf("call %d: %v", call, err)
+		}
+		if pr.Index != 7 {
+			t.Fatalf("call %d: %+v", call, pr)
+		}
+	}
+	tr, err := c.TopM(&service.TopMRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, M: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(tr.Top) != 2 {
+		t.Errorf("topm via redirect %+v", tr)
+	}
+
+	// The memo is per key: the learned route must be the owner.
+	c.mu.Lock()
+	routed := c.route["convolution@"+devsim.IntelI7]
+	c.mu.Unlock()
+	if routed != rpcPeers[owner] {
+		t.Errorf("memoised route %q, want %q", routed, rpcPeers[owner])
+	}
+}
+
+// TestClientSurfacesUnfollowableRedirect: a not_owner refusal without a
+// peer set has no address to follow; the typed error reaches the caller.
+func TestClientSurfacesUnfollowableRedirect(t *testing.T) {
+	key := service.ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	owner := hashx.NewRing(2).Owner(key.String())
+
+	addr := serveRPC(t, listen(t), false, service.WithShard(1-owner, 2))
+	c := New(addr)
+	defer c.Close()
+
+	_, err := c.Predict(&service.PredictRequest{
+		Benchmark: "convolution", Device: devsim.IntelI7, HasIndex: true})
+	var se *service.Error
+	if !errors.As(err, &se) || se.Kind != service.ErrKindNotOwner {
+		t.Fatalf("error %v, want kind %q", err, service.ErrKindNotOwner)
+	}
+	if se.Owner == nil || se.Owner.Shard != owner {
+		t.Errorf("owner ref %+v, want shard %d", se.Owner, owner)
+	}
+}

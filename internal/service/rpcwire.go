@@ -1,0 +1,705 @@
+package service
+
+import (
+	"encoding/binary"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"repro/internal/devsim"
+)
+
+// The RPC wire format: the hot read path (predict, predict-batch,
+// top-M, models-delta) over length-prefixed little-endian binary frames
+// on a dedicated listener (-rpc-addr), skipping HTTP and JSON entirely.
+// The format follows the persistbin codec discipline: explicit
+// little-endian layout, bounds-checked cursor reads, decode limits
+// before any allocation, errors — never panics — on corrupt input.
+//
+// Framing: every message is `u32 length | body` where length counts the
+// body bytes only. One request frame yields exactly one response frame,
+// in order, on one connection; clients may pipeline.
+//
+// Request body:  `u8 op | payload` (see RPCOp*).
+// Response body: `u8 status | payload`; status 0 is success (payload is
+// the op's response), anything else is an error kind code (payload is
+// the encoded Error envelope — the same taxonomy HTTP renders as JSON).
+//
+// Strings are `u16 length | bytes`; counts are u32; integers i64 (two's
+// complement u64); floats IEEE-754 u64 bits. Responses carry index +
+// seconds per prediction and omit the config maps that dominate the
+// HTTP response bodies — an RPC client addressing by index can derive
+// the config locally, and not serialising the maps is a large part of
+// the protocol's QPS headroom.
+
+// RPCOp identifies the operation of one request frame.
+type RPCOp uint8
+
+const (
+	RPCOpPredict      RPCOp = 1
+	RPCOpPredictBatch RPCOp = 2
+	RPCOpTopM         RPCOp = 3
+	RPCOpModels       RPCOp = 4
+)
+
+// maxRPCFrameBytes bounds one frame in either direction — aligned with
+// maxPredictBatchBytes so the two transports accept the same batches.
+const maxRPCFrameBytes = 4 << 20
+
+// rpcStatusOK is the response status byte of a successful call.
+const rpcStatusOK = 0
+
+// rpcKindCodes maps error kinds to their wire status codes. Codes are
+// part of the protocol: append, never renumber.
+var rpcKindCodes = map[string]uint8{
+	errKindInvalid:     1,
+	errKindNotFound:    2,
+	errKindNotOwner:    3,
+	errKindQueueFull:   4,
+	errKindQueueClosed: 5,
+	errKindOverloaded:  6,
+	errKindReadOnly:    7,
+	errKindNotReady:    8,
+	errKindInternal:    9,
+}
+
+// rpcKindNames is the inverse of rpcKindCodes; index 0 unused.
+var rpcKindNames = func() [10]string {
+	var names [10]string
+	for kind, code := range rpcKindCodes {
+		names[code] = kind
+	}
+	return names
+}()
+
+// WriteRPCFrame writes one length-prefixed frame.
+func WriteRPCFrame(w io.Writer, body []byte) error {
+	if len(body) > maxRPCFrameBytes {
+		return fmt.Errorf("rpc: frame of %d bytes exceeds the limit of %d", len(body), maxRPCFrameBytes)
+	}
+	var hdr [4]byte
+	binary.LittleEndian.PutUint32(hdr[:], uint32(len(body)))
+	if _, err := w.Write(hdr[:]); err != nil {
+		return err
+	}
+	_, err := w.Write(body)
+	return err
+}
+
+// ReadRPCFrame reads one frame body, reusing buf when it is large
+// enough. io.EOF before the header means a clean connection close;
+// anything partial is io.ErrUnexpectedEOF.
+func ReadRPCFrame(r io.Reader, buf []byte) ([]byte, error) {
+	var hdr [4]byte
+	if _, err := io.ReadFull(r, hdr[:]); err != nil {
+		return nil, err
+	}
+	n := binary.LittleEndian.Uint32(hdr[:])
+	if n > maxRPCFrameBytes {
+		return nil, fmt.Errorf("rpc: frame of %d bytes exceeds the limit of %d", n, maxRPCFrameBytes)
+	}
+	if uint32(cap(buf)) < n {
+		buf = make([]byte, n)
+	}
+	buf = buf[:n]
+	if _, err := io.ReadFull(r, buf); err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return nil, err
+	}
+	return buf, nil
+}
+
+// --- buffer primitives ------------------------------------------------
+
+// wireWriter accumulates a frame body. Strings beyond the u16 length
+// prefix make the error sticky; callers check err once at the end.
+type wireWriter struct {
+	b   []byte
+	err error
+}
+
+func (w *wireWriter) u8(v uint8)   { w.b = append(w.b, v) }
+func (w *wireWriter) u16(v uint16) { w.b = binary.LittleEndian.AppendUint16(w.b, v) }
+func (w *wireWriter) u32(v uint32) { w.b = binary.LittleEndian.AppendUint32(w.b, v) }
+func (w *wireWriter) u64(v uint64) { w.b = binary.LittleEndian.AppendUint64(w.b, v) }
+func (w *wireWriter) i64(v int64)  { w.u64(uint64(v)) }
+func (w *wireWriter) f64(v float64) {
+	w.u64(math.Float64bits(v))
+}
+
+func (w *wireWriter) str(s string) {
+	if len(s) > math.MaxUint16 {
+		if w.err == nil {
+			w.err = fmt.Errorf("rpc: string of %d bytes exceeds the u16 length prefix", len(s))
+		}
+		return
+	}
+	w.u16(uint16(len(s)))
+	w.b = append(w.b, s...)
+}
+
+// wireReader is the bounds-checked decode cursor: every take checks the
+// remaining bytes and the error is sticky, so decoders read fields
+// unconditionally and check err once.
+type wireReader struct {
+	b   []byte
+	off int
+	err error
+}
+
+func (r *wireReader) fail(format string, args ...any) {
+	if r.err == nil {
+		r.err = fmt.Errorf("rpc: "+format, args...)
+	}
+}
+
+func (r *wireReader) take(n int) []byte {
+	if r.err != nil {
+		return nil
+	}
+	if n < 0 || len(r.b)-r.off < n {
+		r.fail("truncated frame: need %d bytes at offset %d of %d", n, r.off, len(r.b))
+		return nil
+	}
+	p := r.b[r.off : r.off+n]
+	r.off += n
+	return p
+}
+
+func (r *wireReader) u8() uint8 {
+	p := r.take(1)
+	if p == nil {
+		return 0
+	}
+	return p[0]
+}
+
+func (r *wireReader) u16() uint16 {
+	p := r.take(2)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint16(p)
+}
+
+func (r *wireReader) u32() uint32 {
+	p := r.take(4)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint32(p)
+}
+
+func (r *wireReader) u64() uint64 {
+	p := r.take(8)
+	if p == nil {
+		return 0
+	}
+	return binary.LittleEndian.Uint64(p)
+}
+
+func (r *wireReader) i64() int64   { return int64(r.u64()) }
+func (r *wireReader) f64() float64 { return math.Float64frombits(r.u64()) }
+
+func (r *wireReader) str() string {
+	n := int(r.u16())
+	p := r.take(n)
+	if p == nil {
+		return ""
+	}
+	return string(p)
+}
+
+// remaining reports the undecoded byte count — decode limits use it to
+// reject counts a frame cannot possibly hold before allocating.
+func (r *wireReader) remaining() int { return len(r.b) - r.off }
+
+// finish requires the frame to be fully consumed: trailing garbage is a
+// protocol error, not padding.
+func (r *wireReader) finish() error {
+	if r.err != nil {
+		return r.err
+	}
+	if r.off != len(r.b) {
+		return fmt.Errorf("rpc: %d trailing bytes after the message", len(r.b)-r.off)
+	}
+	return nil
+}
+
+// --- shared fragments -------------------------------------------------
+
+// appendModelRef encodes the addressing triple every read op starts
+// with: benchmark, device, and the optional inline descriptor as its
+// JSON ("" = none — the JSON round-trip keeps the wire format stable
+// across devsim.Descriptor field additions).
+func appendModelRef(w *wireWriter, benchmark, device string, desc *devsim.Descriptor) {
+	w.str(benchmark)
+	w.str(device)
+	if desc == nil {
+		w.str("")
+		return
+	}
+	j, err := json.Marshal(desc)
+	if err != nil && w.err == nil {
+		w.err = err
+	}
+	w.str(string(j))
+}
+
+func readModelRef(r *wireReader) (benchmark, device string, desc *devsim.Descriptor) {
+	benchmark = r.str()
+	device = r.str()
+	if j := r.str(); j != "" && r.err == nil {
+		var d devsim.Descriptor
+		if err := json.Unmarshal([]byte(j), &d); err != nil {
+			r.fail("descriptor: %v", err)
+			return benchmark, device, nil
+		}
+		desc = &d
+	}
+	return benchmark, device, desc
+}
+
+// appendConfigMap encodes a parameter map as sorted-insensitive
+// name/value pairs (order is the map's iteration order; decoders
+// rebuild a map so order does not matter).
+func appendConfigMap(w *wireWriter, cfg map[string]int) {
+	if len(cfg) > math.MaxUint16 {
+		if w.err == nil {
+			w.err = fmt.Errorf("rpc: config of %d parameters exceeds the u16 count prefix", len(cfg))
+		}
+		return
+	}
+	w.u16(uint16(len(cfg)))
+	for name, v := range cfg {
+		w.str(name)
+		w.i64(int64(v))
+	}
+}
+
+func readConfigMap(r *wireReader) map[string]int {
+	n := int(r.u16())
+	if n == 0 || r.err != nil {
+		return nil
+	}
+	// Each pair is at least 2 (name length) + 8 (value) bytes.
+	if r.remaining() < n*10 {
+		r.fail("config count %d exceeds the frame", n)
+		return nil
+	}
+	cfg := make(map[string]int, n)
+	for i := 0; i < n; i++ {
+		name := r.str()
+		cfg[name] = int(r.i64())
+	}
+	return cfg
+}
+
+// appendPredictions encodes the compact (index, seconds) pair list of
+// batch and top-M responses.
+func appendPredictions(w *wireWriter, preds []Prediction) {
+	w.u32(uint32(len(preds)))
+	for _, p := range preds {
+		w.i64(p.Index)
+		w.f64(p.Seconds)
+	}
+}
+
+func readPredictions(r *wireReader) []Prediction {
+	n := int(r.u32())
+	if r.err != nil {
+		return nil
+	}
+	if r.remaining() < n*16 {
+		r.fail("prediction count %d exceeds the frame", n)
+		return nil
+	}
+	preds := make([]Prediction, n)
+	for i := range preds {
+		preds[i] = Prediction{Index: r.i64(), Seconds: r.f64()}
+	}
+	return preds
+}
+
+// --- error frames -----------------------------------------------------
+
+// MarshalRPCError encodes an error response frame: the kind's status
+// byte, then message, retry contract, and the optional owner redirect.
+func MarshalRPCError(e *Error) []byte {
+	code, ok := rpcKindCodes[e.Kind]
+	if !ok {
+		code = rpcKindCodes[errKindInternal]
+	}
+	w := &wireWriter{}
+	w.u8(code)
+	w.str(e.Message)
+	retryable := uint8(0)
+	if e.Retryable {
+		retryable = 1
+	}
+	w.u8(retryable)
+	w.u16(uint16(min(e.RetryAfterSeconds, math.MaxUint16)))
+	if e.Owner == nil {
+		w.u8(0)
+	} else {
+		w.u8(1)
+		w.u32(uint32(e.Owner.Shard))
+		w.str(e.Owner.Addr)
+		w.str(e.Owner.RPCAddr)
+	}
+	return w.b
+}
+
+// unmarshalRPCError decodes an error frame's payload after the status
+// byte was consumed and mapped to kind.
+func unmarshalRPCError(kind string, r *wireReader) (*Error, error) {
+	e := &Error{Kind: kind}
+	e.Message = r.str()
+	e.Retryable = r.u8() != 0
+	e.RetryAfterSeconds = int(r.u16())
+	if r.u8() != 0 {
+		e.Owner = &OwnerRef{Shard: int(r.u32())}
+		e.Owner.Addr = r.str()
+		e.Owner.RPCAddr = r.str()
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return e, nil
+}
+
+// decodeRPCStatus consumes a response frame's status byte: nil reader
+// error and nil Error mean a success payload follows.
+func decodeRPCStatus(r *wireReader) (*Error, error) {
+	code := r.u8()
+	if r.err != nil {
+		return nil, r.err
+	}
+	if code == rpcStatusOK {
+		return nil, nil
+	}
+	if int(code) >= len(rpcKindNames) || rpcKindNames[code] == "" {
+		return nil, fmt.Errorf("rpc: unknown error status %d", code)
+	}
+	return unmarshalRPCError(rpcKindNames[code], r)
+}
+
+// --- predict ----------------------------------------------------------
+
+// Request payload: modelRef | u8 mode (0 = index, 1 = config) |
+// (i64 index | configMap).
+const (
+	rpcAddrIndex  = 0
+	rpcAddrConfig = 1
+)
+
+// MarshalRPCPredictRequest encodes a predict request frame body.
+func MarshalRPCPredictRequest(req *PredictRequest) ([]byte, error) {
+	w := &wireWriter{}
+	w.u8(uint8(RPCOpPredict))
+	appendModelRef(w, req.Benchmark, req.Device, req.Descriptor)
+	if req.HasIndex {
+		w.u8(rpcAddrIndex)
+		w.i64(req.Index)
+	} else {
+		w.u8(rpcAddrConfig)
+		appendConfigMap(w, req.Config)
+	}
+	return w.b, w.err
+}
+
+// unmarshalRPCPredictRequest decodes a predict request payload (the op
+// byte already consumed).
+func unmarshalRPCPredictRequest(r *wireReader) (*PredictRequest, error) {
+	req := &PredictRequest{}
+	req.Benchmark, req.Device, req.Descriptor = readModelRef(r)
+	switch mode := r.u8(); mode {
+	case rpcAddrIndex:
+		req.HasIndex = true
+		req.Index = r.i64()
+	case rpcAddrConfig:
+		req.Config = readConfigMap(r)
+	default:
+		r.fail("unknown predict addressing mode %d", mode)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// MarshalRPCPredictResponse encodes a success predict response.
+func MarshalRPCPredictResponse(resp *PredictResponse) []byte {
+	w := &wireWriter{}
+	w.u8(rpcStatusOK)
+	w.str(resp.Benchmark)
+	w.str(resp.Device)
+	w.str(resp.Resolution)
+	w.i64(resp.Index)
+	w.f64(resp.Seconds)
+	return w.b
+}
+
+// UnmarshalRPCPredictResponse decodes a predict response frame body.
+// Error frames return the decoded *Error as the error value.
+func UnmarshalRPCPredictResponse(body []byte) (*PredictResponse, error) {
+	r := &wireReader{b: body}
+	if e, err := decodeRPCStatus(r); err != nil {
+		return nil, err
+	} else if e != nil {
+		return nil, e
+	}
+	resp := &PredictResponse{}
+	resp.Benchmark = r.str()
+	resp.Device = r.str()
+	resp.Resolution = r.str()
+	resp.Index = r.i64()
+	resp.Seconds = r.f64()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- predict batch ----------------------------------------------------
+
+// MarshalRPCPredictBatchRequest encodes a predict-batch request frame
+// body: modelRef | u8 mode | (u32 count × i64 index | u32 count ×
+// configMap).
+func MarshalRPCPredictBatchRequest(req *PredictBatchRequest) ([]byte, error) {
+	w := &wireWriter{}
+	w.u8(uint8(RPCOpPredictBatch))
+	appendModelRef(w, req.Benchmark, req.Device, req.Descriptor)
+	if len(req.Configs) > 0 {
+		w.u8(rpcAddrConfig)
+		w.u32(uint32(len(req.Configs)))
+		for _, cfg := range req.Configs {
+			appendConfigMap(w, cfg)
+		}
+	} else {
+		w.u8(rpcAddrIndex)
+		w.u32(uint32(len(req.Indices)))
+		for _, idx := range req.Indices {
+			w.i64(idx)
+		}
+	}
+	return w.b, w.err
+}
+
+func unmarshalRPCPredictBatchRequest(r *wireReader) (*PredictBatchRequest, error) {
+	req := &PredictBatchRequest{}
+	req.Benchmark, req.Device, req.Descriptor = readModelRef(r)
+	mode := r.u8()
+	n := int(r.u32())
+	if r.err == nil && n > maxPredictBatch {
+		// The API would reject it anyway; refusing here keeps a hostile
+		// count from driving allocation.
+		r.fail("batch of %d exceeds the limit of %d", n, maxPredictBatch)
+	}
+	switch {
+	case r.err != nil:
+	case mode == rpcAddrIndex:
+		if r.remaining() < n*8 {
+			r.fail("index count %d exceeds the frame", n)
+			break
+		}
+		req.Indices = make([]int64, n)
+		for i := range req.Indices {
+			req.Indices[i] = r.i64()
+		}
+	case mode == rpcAddrConfig:
+		if r.remaining() < n*2 {
+			r.fail("config count %d exceeds the frame", n)
+			break
+		}
+		req.Configs = make([]map[string]int, n)
+		for i := range req.Configs {
+			req.Configs[i] = readConfigMap(r)
+		}
+	default:
+		r.fail("unknown predict addressing mode %d", mode)
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// MarshalRPCPredictBatchResponse encodes a success batch response:
+// benchmark | device | resolution | predictions.
+func MarshalRPCPredictBatchResponse(resp *PredictBatchResponse) []byte {
+	w := &wireWriter{}
+	w.u8(rpcStatusOK)
+	w.str(resp.Benchmark)
+	w.str(resp.Device)
+	w.str(resp.Resolution)
+	appendPredictions(w, resp.Predictions)
+	return w.b
+}
+
+// UnmarshalRPCPredictBatchResponse decodes a predict-batch response
+// frame body; error frames return the *Error.
+func UnmarshalRPCPredictBatchResponse(body []byte) (*PredictBatchResponse, error) {
+	r := &wireReader{b: body}
+	if e, err := decodeRPCStatus(r); err != nil {
+		return nil, err
+	} else if e != nil {
+		return nil, e
+	}
+	resp := &PredictBatchResponse{}
+	resp.Benchmark = r.str()
+	resp.Device = r.str()
+	resp.Resolution = r.str()
+	resp.Predictions = readPredictions(r)
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- top-M ------------------------------------------------------------
+
+// MarshalRPCTopMRequest encodes a top-M request frame body:
+// modelRef | u32 m.
+func MarshalRPCTopMRequest(req *TopMRequest) ([]byte, error) {
+	w := &wireWriter{}
+	w.u8(uint8(RPCOpTopM))
+	appendModelRef(w, req.Benchmark, req.Device, req.Descriptor)
+	w.u32(uint32(req.M))
+	return w.b, w.err
+}
+
+func unmarshalRPCTopMRequest(r *wireReader) (*TopMRequest, error) {
+	req := &TopMRequest{}
+	req.Benchmark, req.Device, req.Descriptor = readModelRef(r)
+	req.M = int(r.u32())
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// MarshalRPCTopMResponse encodes a success top-M response.
+func MarshalRPCTopMResponse(resp *TopMResponse) []byte {
+	w := &wireWriter{}
+	w.u8(rpcStatusOK)
+	w.str(resp.Benchmark)
+	w.str(resp.Device)
+	w.str(resp.Resolution)
+	w.u32(uint32(resp.M))
+	appendPredictions(w, resp.Top)
+	return w.b
+}
+
+// UnmarshalRPCTopMResponse decodes a top-M response frame body; error
+// frames return the *Error.
+func UnmarshalRPCTopMResponse(body []byte) (*TopMResponse, error) {
+	r := &wireReader{b: body}
+	if e, err := decodeRPCStatus(r); err != nil {
+		return nil, err
+	} else if e != nil {
+		return nil, e
+	}
+	resp := &TopMResponse{}
+	resp.Benchmark = r.str()
+	resp.Device = r.str()
+	resp.Resolution = r.str()
+	resp.M = int(r.u32())
+	resp.Top = readPredictions(r)
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}
+
+// --- models delta -----------------------------------------------------
+
+// MarshalRPCModelsRequest encodes a models-delta request frame body:
+// u64 since | str benchmark | str shard.
+func MarshalRPCModelsRequest(req *ModelsRequest) ([]byte, error) {
+	w := &wireWriter{}
+	w.u8(uint8(RPCOpModels))
+	w.u64(req.Since)
+	w.str(req.Benchmark)
+	w.str(req.Shard)
+	return w.b, w.err
+}
+
+func unmarshalRPCModelsRequest(r *wireReader) (*ModelsRequest, error) {
+	req := &ModelsRequest{}
+	req.Since = r.u64()
+	req.Benchmark = r.str()
+	req.Shard = r.str()
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return req, nil
+}
+
+// MarshalRPCModelsResponse encodes a success models-delta response:
+// str role | str engine | u64 generation | u32 count × (str benchmark |
+// str device | str file | u8 portable | i64 bytes | u64 generation).
+// The resolution order and storage name of the HTTP listing are
+// documentation, not replication inputs, and stay HTTP-only.
+func MarshalRPCModelsResponse(resp *ModelsResponse) []byte {
+	w := &wireWriter{}
+	w.u8(rpcStatusOK)
+	w.str(string(resp.Role))
+	w.str(resp.Engine)
+	w.u64(resp.Generation)
+	w.u32(uint32(len(resp.Models)))
+	for _, m := range resp.Models {
+		w.str(m.Benchmark)
+		w.str(m.Device)
+		w.str(m.File)
+		portable := uint8(0)
+		if m.Portable {
+			portable = 1
+		}
+		w.u8(portable)
+		w.i64(m.Bytes)
+		w.u64(m.Generation)
+	}
+	return w.b
+}
+
+// UnmarshalRPCModelsResponse decodes a models-delta response frame
+// body; error frames return the *Error. Modified timestamps do not
+// cross the RPC wire.
+func UnmarshalRPCModelsResponse(body []byte) (*ModelsResponse, error) {
+	r := &wireReader{b: body}
+	if e, err := decodeRPCStatus(r); err != nil {
+		return nil, err
+	} else if e != nil {
+		return nil, e
+	}
+	resp := &ModelsResponse{}
+	resp.Role = Role(r.str())
+	resp.Engine = r.str()
+	resp.Generation = r.u64()
+	n := int(r.u32())
+	if r.err == nil && n > 0 {
+		// Each entry is at least 3 string prefixes + flag + two integers.
+		if r.remaining() < n*23 {
+			r.fail("model count %d exceeds the frame", n)
+		} else {
+			resp.Models = make([]ModelInfo, n)
+			for i := range resp.Models {
+				m := &resp.Models[i]
+				m.Benchmark = r.str()
+				m.Device = r.str()
+				m.File = r.str()
+				m.Portable = r.u8() != 0
+				m.Bytes = r.i64()
+				m.Generation = r.u64()
+			}
+		}
+	}
+	if err := r.finish(); err != nil {
+		return nil, err
+	}
+	return resp, nil
+}

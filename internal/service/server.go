@@ -7,10 +7,12 @@ import (
 	"fmt"
 	"net/http"
 	nhpprof "net/http/pprof"
+	"net/url"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"repro/internal/ann"
@@ -19,13 +21,15 @@ import (
 	"repro/internal/devsim"
 	"repro/internal/storage"
 	"repro/internal/telemetry"
-	"repro/internal/tuning"
 )
 
-// Server is the mltuned HTTP API: job submission and status over the
+// Server is the mltuned daemon: job submission and status over the
 // async queue, model-serving endpoints (predict, top-M, listing)
 // answered straight from the registry without re-tuning, and the
 // server-side training pipeline (sample ingestion + async retrains).
+// The request semantics live in the transport-agnostic API methods
+// (api.go); this file is the HTTP adapter over them, and rpc.go is the
+// binary adapter over the same methods.
 //
 // Endpoints:
 //
@@ -37,16 +41,22 @@ import (
 //	GET    /v1/samples    sample-store listing (?benchmark=&device= for one set's exact count)
 //	POST   /v1/train      submit an async retrain job    → 202 JobStatus
 //	GET    /v1/models     registry listing + resolution order → {resolution_order, models}
-//	                      (?benchmark= filters to one benchmark's models)
+//	                      (?benchmark= filters to one benchmark; ?shard=i/n to one shard's keys)
 //	POST   /v1/reload     rescan the registry directory
-//	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &p.<param>=v;
-//	                      ?descriptor=<JSON> resolves unseen hardware through the portable model)
-//	POST   /v1/predict    predict a batch                (JSON: indices or config maps; optional descriptor)
+//	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &c.<param>=v;
+//	                      p.<param>=v is the deprecated spelling; ?descriptor=<JSON> resolves
+//	                      unseen hardware through the portable model)
+//	POST   /v1/predict    predict a batch                (JSON: indices or configs; optional descriptor)
 //	GET    /v1/topm       M best-predicted configurations (?benchmark=&device=&m=N; ?descriptor= as above)
 //	GET    /v1/stats      health counters + full JSON metrics snapshot
 //	GET    /healthz       liveness + queue/registry counters (always 200 while up)
 //	GET    /readyz        readiness: 503 while draining or queue-full
 //	GET    /metrics       Prometheus text exposition format
+//
+// Every non-2xx response is the shared error envelope (see Error in
+// api.go): {"error","kind",...} plus a Retry-After header on retryable
+// kinds. On a sharded instance (WithShard) requests for keys another
+// shard owns answer 421 with kind "not_owner" naming the owner.
 //
 // The read path (predict/top-M) runs on the batched prediction engine:
 // per-model scratch pools keep steady-state predictions allocation-free,
@@ -78,13 +88,28 @@ type Server struct {
 	upstream string
 	interval time.Duration
 
+	// ring is the ownership ring of a sharded deployment (nil = this
+	// instance owns every key); shardIndex/shardCount hold the WithShard
+	// configuration until New validates it. peers/rpcPeers map shard
+	// index → base address, filling the Owner field of not_owner errors
+	// so clients can follow the redirect.
+	ring       *shardRing
+	shardIndex int
+	shardCount int
+	peers      []string
+	rpcPeers   []string
+
 	// engine is the read path's configured inference engine name
 	// (WithEngine); "" = the float64 reference.
 	engine string
 
 	// metrics is the telemetry wiring behind GET /metrics and
-	// GET /v1/stats; always non-nil.
+	// GET /v1/stats; always non-nil. rpcm holds the RPC-plane families,
+	// registered lazily on the first ServeRPC so an HTTP-only daemon's
+	// exposition is unchanged.
 	metrics *serverMetrics
+	rpcOnce sync.Once
+	rpcm    *rpcMetrics
 	// readSem bounds in-flight predict/top-M work (nil = no limit):
 	// over-limit requests shed with 429 instead of piling onto the
 	// prediction engine.
@@ -145,6 +170,31 @@ func WithUpstream(baseURL string, interval time.Duration) Option {
 	return func(s *Server) {
 		s.upstream = baseURL
 		s.interval = interval
+	}
+}
+
+// WithShard runs the instance as shard index of count over the
+// benchmark@device keyspace (the daemon's -shard i/n flag). The
+// instance then serves and replicates only the keys the consistent-hash
+// ring assigns it (portable benchmark@* models belong to every shard),
+// answering requests for other shards' keys with kind "not_owner" and
+// the owning shard's index — plus its address when WithShardPeers is
+// configured. Every member of one deployment must use the same count.
+func WithShard(index, count int) Option {
+	return func(s *Server) {
+		s.shardIndex = index
+		s.shardCount = count
+	}
+}
+
+// WithShardPeers supplies the shard-indexed peer addresses (HTTP base
+// URLs, and optionally RPC host:port addresses) of a sharded
+// deployment, so not_owner errors carry the owner's address and clients
+// can follow the redirect without knowing the topology themselves.
+func WithShardPeers(httpPeers, rpcPeers []string) Option {
+	return func(s *Server) {
+		s.peers = httpPeers
+		s.rpcPeers = rpcPeers
 	}
 }
 
@@ -225,6 +275,15 @@ func New(reg *Registry, workers, backlog int, opts ...Option) (*Server, error) {
 		if !valid {
 			return nil, fmt.Errorf("service: unknown engine %q (want one of %v)", s.engine, ann.EngineNames())
 		}
+	}
+	if s.shardCount != 0 || s.shardIndex != 0 {
+		if s.shardCount < 1 || s.shardIndex < 0 || s.shardIndex >= s.shardCount {
+			return nil, fmt.Errorf("service: invalid shard %d/%d (want 0 <= index < count)", s.shardIndex, s.shardCount)
+		}
+		s.ring = newShardRing(s.shardIndex, s.shardCount)
+	}
+	if s.ring == nil && (len(s.peers) > 0 || len(s.rpcPeers) > 0) {
+		return nil, fmt.Errorf("service: shard peers configured without a shard (use WithShard / -shard i/n)")
 	}
 	s.cache = newServeCache(s.metrics.cache, s.engine)
 	if s.role == "" {
@@ -314,15 +373,15 @@ func (s *Server) Engine() string {
 }
 
 // readOnly gates a mutating handler by role: a serve-plane replica
-// answers 405 with the machine-readable kind "read_only" instead of
-// accepting writes its upstream would overwrite on the next sync.
+// answers 405 with the machine-readable kind "read_only" before even
+// decoding the body. The API methods enforce the same gate
+// (requireWritable) for transports without this middleware.
 func (s *Server) readOnly(h http.HandlerFunc) http.HandlerFunc {
 	if s.role != RoleServe {
 		return h
 	}
 	return func(w http.ResponseWriter, r *http.Request) {
-		writeErrCoded(w, http.StatusMethodNotAllowed, errKindReadOnly, false,
-			"this instance is a read-only serve replica (role %q); send writes to the train plane", s.role)
+		writeAPIError(w, s.requireWritable())
 	}
 }
 
@@ -395,33 +454,6 @@ func (s *Server) tune(ctx context.Context, j *Job) (*core.Result, bool, error) {
 
 // --- JSON helpers -----------------------------------------------------
 
-// Machine-readable error kinds: clients branch on these, not on the
-// human-readable message.
-const (
-	// errKindQueueFull: the backlog is at capacity; retry after the
-	// Retry-After hint.
-	errKindQueueFull = "queue_full"
-	// errKindQueueClosed: the daemon is draining for shutdown; do not
-	// retry against this instance.
-	errKindQueueClosed = "queue_closed"
-	// errKindOverloaded: the read path shed the request (429); retry
-	// after the Retry-After hint.
-	errKindOverloaded = "overloaded"
-	// errKindReadOnly: this instance is a serve-plane replica; mutating
-	// requests belong on the train plane. Never retryable here.
-	errKindReadOnly = "read_only"
-)
-
-type apiError struct {
-	Error string `json:"error"`
-	// Kind is a stable machine-readable error class (see errKind*);
-	// empty for plain validation and not-found errors.
-	Kind string `json:"kind,omitempty"`
-	// Retryable reports whether retrying the same request against this
-	// instance can succeed; responses that set it also set Retry-After.
-	Retryable bool `json:"retryable,omitempty"`
-}
-
 func writeJSON(w http.ResponseWriter, code int, v any) {
 	w.Header().Set("Content-Type", "application/json")
 	w.WriteHeader(code)
@@ -430,32 +462,15 @@ func writeJSON(w http.ResponseWriter, code int, v any) {
 	enc.Encode(v)
 }
 
-func writeErr(w http.ResponseWriter, code int, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...)})
-}
-
-// writeErrCoded writes an error with a machine-readable kind and retry
-// hint; retryable errors carry a Retry-After header set by the caller.
-func writeErrCoded(w http.ResponseWriter, code int, kind string, retryable bool, format string, args ...any) {
-	writeJSON(w, code, apiError{Error: fmt.Sprintf(format, args...), Kind: kind, Retryable: retryable})
-}
-
-// retryAfterHint is the Retry-After value (seconds) on queue-full and
-// shed responses: long enough for a burst to clear, short enough that
-// clients do not sit idle against a recovered daemon.
-const retryAfterHint = "1"
-
-// writeQueueErr maps a queue submission error to its response:
-// queue-full is retryable (503 + Retry-After), queue-closed means the
-// daemon is draining and the client must go elsewhere (503, no
-// Retry-After).
-func writeQueueErr(w http.ResponseWriter, err error) {
-	if errors.Is(err, ErrQueueFull) {
-		w.Header().Set("Retry-After", retryAfterHint)
-		writeErrCoded(w, http.StatusServiceUnavailable, errKindQueueFull, true, "%v", err)
-		return
+// writeAPIError renders any error as the shared envelope: the kind's
+// HTTP status, the {"error","kind",...} body, and a Retry-After header
+// when the error carries a backoff hint.
+func writeAPIError(w http.ResponseWriter, err error) {
+	e := asError(err)
+	if e.RetryAfterSeconds > 0 {
+		w.Header().Set("Retry-After", strconv.Itoa(e.RetryAfterSeconds))
 	}
-	writeErrCoded(w, http.StatusServiceUnavailable, errKindQueueClosed, false, "%v", err)
+	writeJSON(w, e.HTTPStatus(), e)
 }
 
 // --- job handlers -----------------------------------------------------
@@ -465,120 +480,63 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, 1<<20))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&spec); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding job spec: %v", err)
+		writeAPIError(w, errf(errKindInvalid, "decoding job spec: %v", err))
 		return
 	}
-	if err := spec.normalize(); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+	st, err := s.Submit(spec)
+	if err != nil {
+		writeAPIError(w, err)
 		return
 	}
-	// Training jobs get the same fail-fast as POST /v1/train: the two
-	// entry points must enforce identical limits.
-	if spec.Kind == KindTrain && !s.trainFailFast(w, spec) {
-		return
-	}
-	j, err := s.queue.Submit(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
-		writeQueueErr(w, err)
-		return
-	case err != nil:
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, j.status())
+	writeJSON(w, http.StatusAccepted, st)
 }
 
 func (s *Server) handleJobs(w http.ResponseWriter, r *http.Request) {
-	jobs := s.queue.Jobs()
-	out := make([]JobStatus, len(jobs))
-	for i, j := range jobs {
-		out[i] = j.status()
-	}
-	writeJSON(w, http.StatusOK, out)
-}
-
-// jobWithEvents is the single-job status payload: the status plus the
-// observer event stream from ?after= on (seq-numbered, so clients poll
-// incrementally: pass the last seq seen to get only what is new).
-type jobWithEvents struct {
-	JobStatus
-	Events []EventRecord `json:"events"`
-	// EventsDropped counts the events this client missed: events that
-	// aged out of the buffer beyond its ?after position. Zero for a
-	// poller that kept up, even after the buffer wrapped.
-	EventsDropped int `json:"events_dropped,omitempty"`
+	writeJSON(w, http.StatusOK, s.Jobs())
 }
 
 func (s *Server) handleJob(w http.ResponseWriter, r *http.Request) {
-	j, ok := s.queue.Get(r.PathValue("id"))
-	if !ok {
-		writeErr(w, http.StatusNotFound, "no job %q", r.PathValue("id"))
+	after, aerr := parseAfter(r.URL.Query().Get("after"))
+	if aerr != nil {
+		writeAPIError(w, aerr)
 		return
 	}
-	after := -1
-	if v := r.URL.Query().Get("after"); v != "" {
-		n, err := strconv.Atoi(v)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "after: %v", err)
-			return
-		}
-		after = n
+	resp, err := s.Job(r.PathValue("id"), after)
+	if err != nil {
+		writeAPIError(w, err)
+		return
 	}
-	evs, dropped := j.eventsAfter(after)
-	writeJSON(w, http.StatusOK, jobWithEvents{JobStatus: j.status(), Events: evs, EventsDropped: dropped})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleCancel(w http.ResponseWriter, r *http.Request) {
-	j, err := s.queue.Cancel(r.PathValue("id"))
+	st, err := s.Cancel(r.PathValue("id"))
 	if err != nil {
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeAPIError(w, err)
 		return
 	}
-	writeJSON(w, http.StatusOK, j.status())
+	writeJSON(w, http.StatusOK, st)
 }
 
 // --- model-serving handlers -------------------------------------------
 
-// modelResolutionOrder documents how predict/top-M requests resolve to
-// a registry model; /v1/models surfaces it so clients can see why a
-// device without its own model still gets answers.
-var modelResolutionOrder = []string{
-	"exact: <benchmark>@<device>",
-	"portable: <benchmark>@* bound to the requesting device's descriptor (catalog name, or inline descriptor JSON for unseen hardware)",
-}
-
 func (s *Server) handleModels(w http.ResponseWriter, r *http.Request) {
-	var since uint64
-	if v := r.URL.Query().Get("since"); v != "" {
+	q := r.URL.Query()
+	req := ModelsRequest{Benchmark: q.Get("benchmark"), Shard: q.Get("shard")}
+	if v := q.Get("since"); v != "" {
 		n, err := strconv.ParseUint(v, 10, 64)
 		if err != nil {
-			writeErr(w, http.StatusBadRequest, "since: %v", err)
+			writeAPIError(w, errf(errKindInvalid, "since: %v", err))
 			return
 		}
-		since = n
+		req.Since = n
 	}
-	// The slot set and the generation mark come from one snapshot, so a
-	// delta poller that advances its cursor to the returned generation
-	// cannot miss a concurrent model swap.
-	models, gen := s.reg.ListSince(since)
-	if b := r.URL.Query().Get("benchmark"); b != "" {
-		filtered := make([]ModelInfo, 0, len(models))
-		for _, info := range models {
-			if info.Benchmark == b {
-				filtered = append(filtered, info)
-			}
-		}
-		models = filtered
+	resp, err := s.Models(&req)
+	if err != nil {
+		writeAPIError(w, err)
+		return
 	}
-	writeJSON(w, http.StatusOK, struct {
-		Role            Role        `json:"role"`
-		Engine          string      `json:"engine"`
-		Storage         string      `json:"storage"`
-		Generation      uint64      `json:"generation"`
-		ResolutionOrder []string    `json:"resolution_order"`
-		Models          []ModelInfo `json:"models"`
-	}{s.role, s.Engine(), s.reg.Backend().Name(), gen, modelResolutionOrder, models})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleModelArtifact serves one model's raw serialised bytes — the
@@ -589,16 +547,16 @@ func (s *Server) handleModelArtifact(w http.ResponseWriter, r *http.Request) {
 	name := r.PathValue("file")
 	key, err := keyFromFileName(name)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, errf(errKindInvalid, "%v", err))
 		return
 	}
 	data, gen, err := s.reg.GetRaw(key)
 	switch {
 	case errors.Is(err, ErrModelNotFound):
-		writeErr(w, http.StatusNotFound, "%v", err)
+		writeAPIError(w, errf(errKindNotFound, "%v", err))
 		return
 	case err != nil:
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+		writeAPIError(w, errf(errKindInternal, "%v", err))
 		return
 	}
 	w.Header().Set("Content-Type", "application/octet-stream")
@@ -607,72 +565,12 @@ func (s *Server) handleModelArtifact(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleReload(w http.ResponseWriter, r *http.Request) {
-	if err := s.reg.Reload(); err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
+	resp, err := s.ReloadModels()
+	if err != nil {
+		writeAPIError(w, err)
 		return
 	}
-	s.cache.invalidateAll()
-	writeJSON(w, http.StatusOK, map[string]int{"models": s.reg.Len()})
-}
-
-// Resolution labels of prediction responses: which registry slot
-// answered the request.
-const (
-	// resolutionExact: the benchmark@device model itself.
-	resolutionExact = "exact"
-	// resolutionPortable: the benchmark@* portable model, bound to the
-	// requesting device's feature vector.
-	resolutionPortable = "portable"
-)
-
-// resolvedModel is the outcome of predict/top-M model resolution: the
-// servable (bound) model, the key it serves under, the resolution label,
-// and whether the serve cache may hold state for it. Inline-descriptor
-// resolutions are ephemeral: their keys are client-controlled, so
-// caching under them would grow the cache without bound, and the same
-// name may describe different hardware across requests.
-type resolvedModel struct {
-	model     *core.Model
-	key       ModelKey
-	via       string
-	ephemeral bool
-}
-
-// predictBatch predicts cfgs through the resolved model — pooled and
-// cached for registry-backed resolutions, a throwaway scratch for
-// ephemeral ones.
-func (s *Server) predictBatch(rm resolvedModel, cfgs []tuning.Config, dst []float64) []float64 {
-	if rm.ephemeral {
-		return rm.model.PredictBatchWith(cfgs, rm.model.NewBatchScratch(), dst)
-	}
-	return s.cache.entry(rm.key, rm.model).predictBatch(cfgs, dst)
-}
-
-// topM answers a top-M query through the resolved model; ephemeral
-// resolutions pay the full sweep every time rather than polluting the
-// cache with client-controlled keys.
-func (s *Server) topM(rm resolvedModel, M int) []prediction {
-	if !rm.ephemeral {
-		return s.cache.entry(rm.key, rm.model).topMCached(M)
-	}
-	top := rm.model.TopM(M)
-	out := make([]prediction, len(top))
-	for i, p := range top {
-		cfg := rm.model.Space().At(p.Index)
-		out[i] = prediction{Index: p.Index, Config: cfg.Map(), Seconds: p.Seconds}
-	}
-	return out
-}
-
-// model resolves the benchmark/device/descriptor query parameters to a
-// servable model, writing the error response itself on failure.
-func (s *Server) model(w http.ResponseWriter, r *http.Request) (resolvedModel, bool) {
-	desc, err := descriptorFromQuery(r)
-	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return resolvedModel{}, false
-	}
-	return s.modelFor(w, r.URL.Query().Get("benchmark"), r.URL.Query().Get("device"), desc)
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // descriptorFromQuery parses the optional ?descriptor= parameter: a
@@ -692,176 +590,80 @@ func descriptorFromQuery(r *http.Request) (*devsim.Descriptor, error) {
 	return &d, nil
 }
 
-// modelFor resolves a prediction request to a servable model, in the
-// documented resolution order (see modelResolutionOrder):
-//
-//  1. exact — the registry's <benchmark>@<device> model (skipped when an
-//     inline descriptor is given: a descriptor explicitly requests
-//     device-featurised resolution);
-//  2. portable — the <benchmark>@* model bound to the requesting
-//     device's feature vector, derived from the devsim catalog for a
-//     known device name or from the inline descriptor for unseen
-//     hardware.
-//
-// It returns the resolution, writing the error response itself on
-// failure.
-func (s *Server) modelFor(w http.ResponseWriter, benchmark, device string, desc *devsim.Descriptor) (resolvedModel, bool) {
-	fail := func(code int, format string, args ...any) (resolvedModel, bool) {
-		writeErr(w, code, format, args...)
-		return resolvedModel{}, false
-	}
-	if benchmark == "" {
-		return fail(http.StatusBadRequest, "benchmark is required")
-	}
-	if device == PortableDevice {
-		return fail(http.StatusBadRequest,
-			"device %q is the portable slot itself; pass the device to predict for (or an inline descriptor)", PortableDevice)
-	}
-	if device == "" && desc == nil {
-		return fail(http.StatusBadRequest, "device (or an inline descriptor) is required")
-	}
-
-	if desc == nil {
-		key := ModelKey{Benchmark: benchmark, Device: device}
-		m, err := s.reg.Get(key)
-		switch {
-		case err == nil:
-			if !m.Portable() {
-				return resolvedModel{model: m, key: key, via: resolutionExact}, true
+// configMapFromQuery collects the config-map addressing parameters:
+// one c.<param>=<value> per tuning parameter. p.<param> is the
+// pre-RPC-plane spelling, accepted for one more release (API.md
+// documents the deprecation); c. wins when both name one parameter.
+func configMapFromQuery(q url.Values) (map[string]int, error) {
+	var values map[string]int
+	add := func(prefix string, override bool) error {
+		for name, vs := range q {
+			pname, ok := strings.CutPrefix(name, prefix)
+			if !ok {
+				continue
 			}
-			// A portable artifact stored under a concrete device name
-			// (e.g. a renamed file): still servable, bound to that device.
-			vec, verr := catalogVector(device)
-			if verr != nil {
-				return fail(http.StatusBadRequest,
-					"model %s is portable but %v; pass an inline descriptor", key, verr)
+			if values == nil {
+				values = make(map[string]int)
 			}
-			bound, berr := s.cache.bound(key, m, vec)
-			if berr != nil {
-				return fail(http.StatusInternalServerError, "%v", berr)
+			if _, dup := values[pname]; dup && !override {
+				continue
 			}
-			return resolvedModel{model: bound, key: key, via: resolutionPortable}, true
-		case !errors.Is(err, ErrModelNotFound):
-			return fail(http.StatusInternalServerError, "%v", err)
+			v, err := strconv.Atoi(vs[0])
+			if err != nil {
+				return fmt.Errorf("%s: %v", name, err)
+			}
+			values[pname] = v
 		}
+		return nil
 	}
-
-	pkey := ModelKey{Benchmark: benchmark, Device: PortableDevice}
-	pm, err := s.reg.Get(pkey)
-	if errors.Is(err, ErrModelNotFound) {
-		return fail(http.StatusNotFound,
-			"no model for %s@%s and no portable %s model (submit a tuning job, or POST /v1/train with device %q)",
-			benchmark, device, pkey, PortableDevice)
+	if err := add("p.", false); err != nil {
+		return nil, err
 	}
-	if err != nil {
-		return fail(http.StatusInternalServerError, "%v", err)
+	if err := add("c.", true); err != nil {
+		return nil, err
 	}
-	if !pm.Portable() {
-		return fail(http.StatusInternalServerError,
-			"model %s is not device-featurised; retrain it with device %q", pkey, PortableDevice)
-	}
-	if desc != nil {
-		if err := desc.Validate(); err != nil {
-			return fail(http.StatusBadRequest, "%v", err)
-		}
-		label := device
-		if label == "" {
-			label = desc.Name
-		}
-		// Inline descriptors bind fresh per request and resolve as
-		// ephemeral: nothing — bindings, scratch pools, top-M sweeps —
-		// is memoised under a client-controlled key.
-		bound, berr := pm.WithDevice(tuning.DeviceVector(desc, nil))
-		if berr != nil {
-			return fail(http.StatusInternalServerError, "%v", berr)
-		}
-		return resolvedModel{model: bound, key: ModelKey{Benchmark: benchmark, Device: label},
-			via: resolutionPortable, ephemeral: true}, true
-	}
-	vec, verr := catalogVector(device)
-	if verr != nil {
-		return fail(http.StatusNotFound,
-			"no model for %s@%s, and the portable %s model needs a descriptor: %v (pass an inline descriptor)",
-			benchmark, device, pkey, verr)
-	}
-	key := ModelKey{Benchmark: benchmark, Device: device}
-	bound, berr := s.cache.bound(key, pm, vec)
-	if berr != nil {
-		return fail(http.StatusInternalServerError, "%v", berr)
-	}
-	return resolvedModel{model: bound, key: key, via: resolutionPortable}, true
-}
-
-// configFromQuery builds the configuration to predict: either ?index=N
-// (the flat space index) or one ?p.<name>=<value> per tuning parameter.
-func configFromQuery(space *tuning.Space, r *http.Request) (tuning.Config, error) {
-	q := r.URL.Query()
-	if v := q.Get("index"); v != "" {
-		idx, err := strconv.ParseInt(v, 10, 64)
-		if err != nil {
-			return tuning.Config{}, fmt.Errorf("index: %w", err)
-		}
-		if idx < 0 || idx >= space.Size() {
-			return tuning.Config{}, fmt.Errorf("index %d out of range [0, %d)", idx, space.Size())
-		}
-		return space.At(idx), nil
-	}
-	values := make(map[string]int)
-	for name, vs := range q {
-		pname, ok := strings.CutPrefix(name, "p.")
-		if !ok {
-			continue
-		}
-		v, err := strconv.Atoi(vs[0])
-		if err != nil {
-			return tuning.Config{}, fmt.Errorf("%s: %w", name, err)
-		}
-		values[pname] = v
-	}
-	if len(values) == 0 {
-		return tuning.Config{}, fmt.Errorf("pass index=N or one p.<param>=<value> per tuning parameter")
-	}
-	return space.FromMap(values)
-}
-
-// prediction is one predicted configuration in API responses.
-type prediction struct {
-	Index   int64          `json:"index"`
-	Config  map[string]int `json:"config"`
-	Seconds float64        `json:"seconds"`
+	return values, nil
 }
 
 func (s *Server) handlePredict(w http.ResponseWriter, r *http.Request) {
 	if s.testHookPredict != nil {
 		s.testHookPredict()
 	}
-	rm, ok := s.model(w, r)
-	if !ok {
-		return
-	}
-	cfg, err := configFromQuery(rm.model.Space(), r)
+	q := r.URL.Query()
+	desc, err := descriptorFromQuery(r)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, errf(errKindInvalid, "%v", err))
 		return
 	}
-	secs := s.predictBatch(rm, []tuning.Config{cfg}, nil)[0]
-	writeJSON(w, http.StatusOK, struct {
-		Benchmark  string `json:"benchmark"`
-		Device     string `json:"device"`
-		Resolution string `json:"resolution"`
-		prediction
-	}{rm.key.Benchmark, rm.key.Device, rm.via, prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs}})
+	req := PredictRequest{Benchmark: q.Get("benchmark"), Device: q.Get("device"), Descriptor: desc}
+	if v := q.Get("index"); v != "" {
+		idx, err := strconv.ParseInt(v, 10, 64)
+		if err != nil {
+			writeAPIError(w, errf(errKindInvalid, "index: %v", err))
+			return
+		}
+		req.HasIndex, req.Index = true, idx
+	}
+	cfg, err := configMapFromQuery(q)
+	if err != nil {
+		writeAPIError(w, errf(errKindInvalid, "%v", err))
+		return
+	}
+	req.Config = cfg
+	resp, aerr := s.Predict(&req)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// maxPredictBatch bounds one POST /v1/predict request.
-const maxPredictBatch = 10000
-
-// predictBatchRequest is the POST /v1/predict body: the model key plus
+// predictBatchBody is the POST /v1/predict body: the model key plus
 // exactly one of Indices (dense space indices) or Configs (parameter
 // maps, every parameter present). Descriptor, when set, is an inline
 // devsim descriptor of hardware the daemon has never seen; resolution
 // then goes straight to the portable <benchmark>@* model bound to it.
-type predictBatchRequest struct {
+type predictBatchBody struct {
 	Benchmark  string             `json:"benchmark"`
 	Device     string             `json:"device,omitempty"`
 	Descriptor *devsim.Descriptor `json:"descriptor,omitempty"`
@@ -875,126 +677,67 @@ type predictBatchRequest struct {
 const maxPredictBatchBytes = 4 << 20
 
 func (s *Server) handlePredictBatch(w http.ResponseWriter, r *http.Request) {
-	var req predictBatchRequest
+	var body predictBatchBody
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxPredictBatchBytes))
 	dec.DisallowUnknownFields()
-	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding predict batch: %v", err)
+	if err := dec.Decode(&body); err != nil {
+		writeAPIError(w, errf(errKindInvalid, "decoding predict batch: %v", err))
 		return
 	}
-	if (len(req.Indices) == 0) == (len(req.Configs) == 0) {
-		writeErr(w, http.StatusBadRequest, "pass exactly one of indices or configs (non-empty)")
+	resp, err := s.PredictBatch(&PredictBatchRequest{
+		Benchmark:  body.Benchmark,
+		Device:     body.Device,
+		Descriptor: body.Descriptor,
+		Indices:    body.Indices,
+		Configs:    body.Configs,
+	})
+	if err != nil {
+		writeAPIError(w, err)
 		return
 	}
-	if n := len(req.Indices) + len(req.Configs); n > maxPredictBatch {
-		writeErr(w, http.StatusBadRequest, "batch of %d exceeds the limit of %d", n, maxPredictBatch)
-		return
-	}
-	rm, ok := s.modelFor(w, req.Benchmark, req.Device, req.Descriptor)
-	if !ok {
-		return
-	}
-	space := rm.model.Space()
-	cfgs := make([]tuning.Config, 0, len(req.Indices)+len(req.Configs))
-	for _, idx := range req.Indices {
-		if idx < 0 || idx >= space.Size() {
-			writeErr(w, http.StatusBadRequest, "index %d out of range [0, %d)", idx, space.Size())
-			return
-		}
-		cfgs = append(cfgs, space.At(idx))
-	}
-	for i, values := range req.Configs {
-		cfg, err := space.FromMap(values)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "config %d: %v", i, err)
-			return
-		}
-		cfgs = append(cfgs, cfg)
-	}
-	secs := s.predictBatch(rm, cfgs, make([]float64, 0, len(cfgs)))
-	out := make([]prediction, len(cfgs))
-	for i, cfg := range cfgs {
-		out[i] = prediction{Index: cfg.Index(), Config: cfg.Map(), Seconds: secs[i]}
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Benchmark   string       `json:"benchmark"`
-		Device      string       `json:"device"`
-		Resolution  string       `json:"resolution"`
-		Predictions []prediction `json:"predictions"`
-	}{rm.key.Benchmark, rm.key.Device, rm.via, out})
+	writeJSON(w, http.StatusOK, resp)
 }
 
-// maxTopM bounds one top-M response; the full candidate sweep stays
-// cheap but serialising an unbounded request would not be. Requests
-// beyond it are rejected, not clamped: silently returning fewer results
-// than asked would misrepresent the response.
-const maxTopM = 10000
-
 func (s *Server) handleTopM(w http.ResponseWriter, r *http.Request) {
-	rm, ok := s.model(w, r)
-	if !ok {
+	q := r.URL.Query()
+	desc, err := descriptorFromQuery(r)
+	if err != nil {
+		writeAPIError(w, errf(errKindInvalid, "%v", err))
 		return
 	}
-	M := 10
-	if v := r.URL.Query().Get("m"); v != "" {
+	req := TopMRequest{Benchmark: q.Get("benchmark"), Device: q.Get("device"), Descriptor: desc}
+	if v := q.Get("m"); v != "" {
 		n, err := strconv.Atoi(v)
 		if err != nil || n <= 0 {
-			writeErr(w, http.StatusBadRequest, "m must be a positive integer")
+			writeAPIError(w, errf(errKindInvalid, "m must be a positive integer"))
 			return
 		}
-		if n > maxTopM {
-			writeErr(w, http.StatusBadRequest, "m %d exceeds the limit of %d", n, maxTopM)
-			return
-		}
-		M = n
+		req.M = n
 	}
-	out := s.topM(rm, M)
-	writeJSON(w, http.StatusOK, struct {
-		Benchmark  string       `json:"benchmark"`
-		Device     string       `json:"device"`
-		Resolution string       `json:"resolution"`
-		M          int          `json:"m"`
-		Top        []prediction `json:"top"`
-	}{rm.key.Benchmark, rm.key.Device, rm.via, M, out})
+	resp, aerr := s.TopM(&req)
+	if aerr != nil {
+		writeAPIError(w, aerr)
+		return
+	}
+	writeJSON(w, http.StatusOK, resp)
 }
 
 // handleHealthz is pure liveness: the process is up and serving HTTP.
 // It answers 200 even while draining — a draining daemon is alive; the
 // routing decision belongs to /readyz.
 func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
-	writeJSON(w, http.StatusOK, struct {
-		OK            bool             `json:"ok"`
-		UptimeSeconds float64          `json:"uptime_seconds"`
-		Models        int              `json:"models"`
-		SampleSets    int              `json:"sample_sets"`
-		Jobs          map[JobState]int `json:"jobs"`
-	}{true, time.Since(s.started).Seconds(), s.reg.Len(), s.samples.Len(), s.queue.Counts()})
+	writeJSON(w, http.StatusOK, s.Health())
 }
 
-// readiness is the GET /readyz payload.
-type readiness struct {
-	Ready  bool   `json:"ready"`
-	Reason string `json:"reason,omitempty"`
-}
-
-// handleReadyz is the load-balancer routing signal: 503 once Drain has
-// begun (stop routing before shutdown completes), while the job queue
-// is at capacity (new submissions would be rejected anyway), or — on a
-// serve replica with an upstream — until the first successful sync
-// (before it the replica may hold no, or stale, models). The read path
-// keeps serving in the first two cases — readiness gates routing of
-// new traffic, not in-flight work.
+// handleReadyz renders the readiness decision (see Ready): 200 when the
+// instance should receive traffic, 503 with the reason otherwise.
 func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
-	switch {
-	case s.queue.Draining():
-		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "draining: shutdown in progress"})
-	case s.queue.AtCapacity():
-		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "job queue at capacity"})
-	case s.repl != nil && !s.repl.synced():
-		writeJSON(w, http.StatusServiceUnavailable, readiness{Reason: "replica awaiting its first successful upstream sync"})
-	default:
-		writeJSON(w, http.StatusOK, readiness{Ready: true})
+	rd := s.Ready()
+	if rd.Ready {
+		writeJSON(w, http.StatusOK, rd)
+		return
 	}
+	writeJSON(w, http.StatusServiceUnavailable, rd)
 }
 
 // handleMetrics renders the telemetry registry in Prometheus text
@@ -1004,49 +747,6 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	s.metrics.reg.WritePrometheus(w)
 }
 
-// statsResponse is the GET /v1/stats payload: the health counters plus
-// a full JSON snapshot of every metric — the structured twin of
-// GET /metrics, and what cmd/mlbench diffs across a load run.
-type statsResponse struct {
-	UptimeSeconds float64 `json:"uptime_seconds"`
-	// Role is the plane this instance runs (all, serve, train); Engine is
-	// the read path's inference engine (-engine flag); Storage names the
-	// backend behind each store.
-	Role    Role        `json:"role"`
-	Engine  string      `json:"engine"`
-	Storage storageInfo `json:"storage"`
-	// Generation is the registry's generation high-water mark — on a
-	// replica, compare with Replication.UpstreamGeneration for lag.
-	Generation  uint64             `json:"generation"`
-	Models      int                `json:"models"`
-	SampleSets  int                `json:"sample_sets"`
-	Jobs        map[JobState]int   `json:"jobs"`
-	MaxInflight int                `json:"max_inflight"`
-	Replication *replicationStatus `json:"replication,omitempty"`
-	Telemetry   telemetry.Snapshot `json:"telemetry"`
-}
-
-// storageInfo names the storage backends in GET /v1/stats.
-type storageInfo struct {
-	Models  string `json:"models"`
-	Samples string `json:"samples"`
-}
-
 func (s *Server) handleStats(w http.ResponseWriter, r *http.Request) {
-	resp := statsResponse{
-		UptimeSeconds: time.Since(s.started).Seconds(),
-		Role:          s.role,
-		Engine:        s.Engine(),
-		Storage:       storageInfo{Models: s.reg.Backend().Name(), Samples: s.samples.Backend().Name()},
-		Generation:    s.reg.Generation(),
-		Models:        s.reg.Len(),
-		SampleSets:    s.samples.Len(),
-		Jobs:          s.queue.Counts(),
-		MaxInflight:   cap(s.readSem),
-		Telemetry:     s.metrics.reg.Snapshot(),
-	}
-	if s.repl != nil {
-		resp.Replication = s.repl.status()
-	}
-	writeJSON(w, http.StatusOK, resp)
+	writeJSON(w, http.StatusOK, s.Stats())
 }

@@ -1,0 +1,110 @@
+package service
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/hashx"
+)
+
+// Sharded ownership: a deployment can split the benchmark@device
+// keyspace across n instances (-shard i/n) instead of replicating every
+// model everywhere. Ownership comes from a consistent-hash ring
+// (hashx.Ring) every member builds locally from the shard count alone —
+// no coordinator, no assignment exchange — so all members, the
+// replication filter (GET /v1/models?shard=i/n), and redirect-following
+// clients agree on who owns what. Portable benchmark@* models are the
+// one exception: any owned key may resolve through them, so they belong
+// to (and replicate to) every shard.
+
+// ShardInfo describes an instance's slice of the keyspace in
+// /v1/stats and /v1/models responses.
+type ShardInfo struct {
+	Index int `json:"index"`
+	Count int `json:"count"`
+	// Peers/RPCPeers are the shard-indexed member addresses when the
+	// instance was configured with them (WithShardPeers).
+	Peers    []string `json:"peers,omitempty"`
+	RPCPeers []string `json:"rpc_peers,omitempty"`
+}
+
+// ParseShard parses a shard spec "i/n" (shard index i of n, zero-based)
+// as accepted by the -shard flag and the ?shard= models filter.
+func ParseShard(spec string) (index, count int, err error) {
+	i, n, ok := strings.Cut(spec, "/")
+	if !ok {
+		return 0, 0, fmt.Errorf("shard spec %q is not of the form i/n", spec)
+	}
+	index, err = strconv.Atoi(i)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard index %q: %v", i, err)
+	}
+	count, err = strconv.Atoi(n)
+	if err != nil {
+		return 0, 0, fmt.Errorf("shard count %q: %v", n, err)
+	}
+	if count < 1 || index < 0 || index >= count {
+		return 0, 0, fmt.Errorf("shard %d/%d out of range (want 0 <= index < count)", index, count)
+	}
+	return index, count, nil
+}
+
+// FormatShard renders the canonical spec of shard index of count.
+func FormatShard(index, count int) string {
+	return strconv.Itoa(index) + "/" + strconv.Itoa(count)
+}
+
+// shardRing is one instance's view of the ownership ring: the shared
+// consistent-hash ring plus which shard this instance is.
+type shardRing struct {
+	index int
+	ring  *hashx.Ring
+}
+
+func newShardRing(index, count int) *shardRing {
+	return &shardRing{index: index, ring: hashx.NewRing(count)}
+}
+
+// owner maps a key to the shard owning it.
+func (r *shardRing) owner(key ModelKey) int {
+	return r.ring.Owner(key.String())
+}
+
+// owns reports whether this instance's shard owns the key. Portable
+// keys belong to every shard.
+func (r *shardRing) owns(key ModelKey) bool {
+	return key.Portable() || r.owner(key) == r.index
+}
+
+// checkOwner gates a request addressing the given key: nil when this
+// instance must serve it (unsharded, or the ring assigns it here),
+// otherwise a not_owner error naming the owning shard — with its
+// addresses when the peer set is configured — so the client can follow
+// the redirect.
+func (s *Server) checkOwner(key ModelKey) *Error {
+	if s.ring == nil || s.ring.owns(key) {
+		return nil
+	}
+	owner := s.ring.owner(key)
+	e := errf(errKindNotOwner, "shard %d/%d does not own %s; shard %d does",
+		s.ring.index, s.ring.ring.Shards(), key, owner)
+	ref := &OwnerRef{Shard: owner}
+	if owner < len(s.peers) {
+		ref.Addr = s.peers[owner]
+	}
+	if owner < len(s.rpcPeers) {
+		ref.RPCAddr = s.rpcPeers[owner]
+	}
+	e.Owner = ref
+	return e
+}
+
+// shardInfo snapshots the shard configuration for stats and model
+// listings; nil when the instance is unsharded.
+func (s *Server) shardInfo() *ShardInfo {
+	if s.ring == nil {
+		return nil
+	}
+	return &ShardInfo{Index: s.ring.index, Count: s.ring.ring.Shards(), Peers: s.peers, RPCPeers: s.rpcPeers}
+}

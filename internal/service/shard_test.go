@@ -1,0 +1,177 @@
+package service
+
+import (
+	"context"
+	"net/http/httptest"
+	"sort"
+	"testing"
+
+	"repro/internal/devsim"
+	"repro/internal/hashx"
+	"repro/internal/storage"
+)
+
+func TestParseShard(t *testing.T) {
+	for _, tc := range []struct {
+		spec         string
+		index, count int
+	}{
+		{"0/1", 0, 1}, {"0/2", 0, 2}, {"1/2", 1, 2}, {"7/8", 7, 8},
+	} {
+		index, count, err := ParseShard(tc.spec)
+		if err != nil || index != tc.index || count != tc.count {
+			t.Errorf("ParseShard(%q) = %d, %d, %v; want %d, %d", tc.spec, index, count, err, tc.index, tc.count)
+		}
+		if got := FormatShard(index, count); got != tc.spec {
+			t.Errorf("FormatShard(%d, %d) = %q, want %q", index, count, got, tc.spec)
+		}
+	}
+	for _, bad := range []string{"", "1", "/", "1/", "/2", "2/2", "-1/2", "0/0", "x/2", "1/y", "1/2/3"} {
+		if _, _, err := ParseShard(bad); err == nil {
+			t.Errorf("ParseShard(%q) accepted", bad)
+		}
+	}
+}
+
+// TestPortableKeysBelongToEveryShard pins the one ownership exception:
+// benchmark@* models resolve owned keys on any shard, so every shard
+// owns (and replicates) them.
+func TestPortableKeysBelongToEveryShard(t *testing.T) {
+	portable := ModelKey{Benchmark: "convolution", Device: PortableDevice}
+	concrete := ModelKey{Benchmark: "convolution", Device: devsim.IntelI7}
+	owners := 0
+	for i := 0; i < 4; i++ {
+		ring := newShardRing(i, 4)
+		if !ring.owns(portable) {
+			t.Errorf("shard %d/4 does not own portable key %s", i, portable)
+		}
+		if ring.owns(concrete) {
+			owners++
+		}
+	}
+	if owners != 1 {
+		t.Errorf("%d shards own %s, want exactly 1", owners, concrete)
+	}
+}
+
+// shardTestKeys fabricates model keys and splits them by 2-ring owner.
+func shardTestKeys(n int) (all []ModelKey, owned [2][]string) {
+	ring := hashx.NewRing(2)
+	for i := 0; i < n; i++ {
+		key := ModelKey{Benchmark: "convolution", Device: "shard-test-" + string(rune('a'+i))}
+		all = append(all, key)
+		owned[ring.Owner(key.String())] = append(owned[ring.Owner(key.String())], key.Device)
+	}
+	return all, owned
+}
+
+// TestModelsShardFilter asserts GET /v1/models?shard=i/n returns exactly
+// the slice of the listing the shard owns, and that a sharded instance
+// reports its shard in the listing and in /v1/stats.
+func TestModelsShardFilter(t *testing.T) {
+	reg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := trainTinyModel(t, 17)
+	keys, owned := shardTestKeys(8)
+	if len(owned[0]) == 0 || len(owned[1]) == 0 {
+		t.Fatalf("degenerate split %v (pick more keys)", owned)
+	}
+	for _, key := range keys {
+		if err := reg.Put(key, model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	srv := newTestServer(t, reg, 1, 4,
+		WithShard(0, 2), WithShardPeers([]string{"http://s0", "http://s1"}, []string{"r0", "r1"}))
+
+	for shard := 0; shard < 2; shard++ {
+		resp, err := srv.Models(&ModelsRequest{Shard: FormatShard(shard, 2)})
+		if err != nil {
+			t.Fatal(err)
+		}
+		var got []string
+		for _, m := range resp.Models {
+			got = append(got, m.Device)
+		}
+		sort.Strings(got)
+		want := append([]string(nil), owned[shard]...)
+		sort.Strings(want)
+		if len(got) != len(want) {
+			t.Fatalf("shard %d listing %v, want %v", shard, got, want)
+		}
+		for i := range got {
+			if got[i] != want[i] {
+				t.Fatalf("shard %d listing %v, want %v", shard, got, want)
+			}
+		}
+	}
+
+	// The instance's own shard shows up in the listing and the stats.
+	resp, err := srv.Models(&ModelsRequest{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if resp.Shard == nil || resp.Shard.Index != 0 || resp.Shard.Count != 2 {
+		t.Errorf("models shard info %+v", resp.Shard)
+	}
+	stats := srv.Stats()
+	if stats.Shard == nil || stats.Shard.Index != 0 || stats.Shard.Count != 2 ||
+		len(stats.Shard.Peers) != 2 || len(stats.Shard.RPCPeers) != 2 {
+		t.Errorf("stats shard info %+v", stats.Shard)
+	}
+	if unsharded := newTestServer(t, reg, 1, 4).Stats(); unsharded.Shard != nil {
+		t.Errorf("unsharded stats carry shard info %+v", unsharded.Shard)
+	}
+}
+
+// TestShardedReplication runs one replication round of a sharded serve
+// replica against an upstream holding the whole keyspace: only the keys
+// the replica's shard owns may install.
+func TestShardedReplication(t *testing.T) {
+	upReg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	model := trainTinyModel(t, 19)
+	keys, owned := shardTestKeys(8)
+	for _, key := range keys {
+		if err := upReg.Put(key, model); err != nil {
+			t.Fatal(err)
+		}
+	}
+	up := newTestServer(t, upReg, 1, 4)
+	ts := httptest.NewServer(up)
+	defer ts.Close()
+
+	replicaReg, err := NewRegistry(storage.NewMemory())
+	if err != nil {
+		t.Fatal(err)
+	}
+	replica := newTestServer(t, replicaReg, 1, 4,
+		WithRole(RoleServe), WithUpstream(ts.URL, 0), WithShard(1, 2))
+	if err := replica.repl.syncOnce(context.Background()); err != nil {
+		t.Fatal(err)
+	}
+	var got []string
+	for _, m := range replicaReg.List() {
+		got = append(got, m.Device)
+	}
+	sort.Strings(got)
+	want := append([]string(nil), owned[1]...)
+	sort.Strings(want)
+	if len(got) != len(want) {
+		t.Fatalf("replica holds %v, want shard 1's %v", got, want)
+	}
+	for i := range got {
+		if got[i] != want[i] {
+			t.Fatalf("replica holds %v, want shard 1's %v", got, want)
+		}
+	}
+	// The cursor still advances to the upstream's full generation mark:
+	// filtered-out models are deliberately not wanted, not missed.
+	if cur := replica.repl.status().Generation; cur != upReg.Generation() {
+		t.Errorf("replica cursor %d, upstream generation %d", cur, upReg.Generation())
+	}
+}

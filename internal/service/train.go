@@ -3,7 +3,6 @@ package service
 import (
 	"context"
 	"encoding/json"
-	"errors"
 	"fmt"
 	"net/http"
 	"sort"
@@ -416,116 +415,31 @@ func (s *Server) handleSamplesIngest(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding sample batch: %v", err)
+		writeAPIError(w, errf(errKindInvalid, "decoding sample batch: %v", err))
 		return
 	}
-	if req.Benchmark == "" || req.Device == "" {
-		writeErr(w, http.StatusBadRequest, "benchmark and device are required")
-		return
-	}
-	if req.Device == PortableDevice {
-		writeErr(w, http.StatusBadRequest,
-			"ingest samples under their concrete device; POST /v1/train with device %q pools them", PortableDevice)
-		return
-	}
-	b, err := bench.Lookup(req.Benchmark)
+	resp, err := s.Ingest(&req)
 	if err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
+		writeAPIError(w, err)
 		return
 	}
-	if len(req.Samples) == 0 {
-		writeErr(w, http.StatusBadRequest, "samples must be non-empty")
-		return
-	}
-	if len(req.Samples) > maxIngestBatch {
-		writeErr(w, http.StatusBadRequest, "batch of %d exceeds the limit of %d", len(req.Samples), maxIngestBatch)
-		return
-	}
-	space := b.Space()
-	recs := make([]SampleRecord, len(req.Samples))
-	for i, in := range req.Samples {
-		rec, err := in.resolve(space, req.Source, i)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		recs[i] = rec
-	}
-	key := ModelKey{Benchmark: req.Benchmark, Device: req.Device}
-	total, err := s.samples.Append(key, recs)
-	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusOK, struct {
-		Benchmark string `json:"benchmark"`
-		Device    string `json:"device"`
-		Ingested  int    `json:"ingested"`
-		Total     int    `json:"total"`
-	}{req.Benchmark, req.Device, len(recs), total})
+	writeJSON(w, http.StatusOK, resp)
 }
 
 func (s *Server) handleSamplesList(w http.ResponseWriter, r *http.Request) {
 	q := r.URL.Query()
-	benchmark, device := q.Get("benchmark"), q.Get("device")
-	if benchmark == "" && device != "" {
-		writeErr(w, http.StatusBadRequest, "device alone is ambiguous: pass benchmark (and optionally device)")
-		return
-	}
-	if benchmark != "" && device == "" {
-		// Benchmark-only filter: every device's set for this benchmark —
-		// the enumeration behind pooled (device "*") training.
-		all := s.samples.List()
-		out := make([]SampleSetInfo, 0, len(all))
-		for _, info := range all {
-			if info.Benchmark == benchmark {
-				out = append(out, info)
-			}
-		}
-		writeJSON(w, http.StatusOK, out)
-		return
-	}
-	if benchmark != "" && device != "" {
-		// Exact-count view of one set (loads it, unlike the lazy list).
-		key := ModelKey{Benchmark: benchmark, Device: device}
-		n, err := s.samples.Count(key)
-		if err != nil {
-			writeErr(w, http.StatusInternalServerError, "%v", err)
-			return
-		}
-		writeJSON(w, http.StatusOK, struct {
-			Benchmark string `json:"benchmark"`
-			Device    string `json:"device"`
-			Records   int    `json:"records"`
-		}{benchmark, device, n})
-		return
-	}
-	writeJSON(w, http.StatusOK, s.samples.List())
-}
-
-// trainFailFast runs the shared submission-time checks of a training
-// job (POST /v1/train and POST /v1/jobs must enforce identical limits),
-// writing the error response itself and reporting whether the job may
-// queue.
-func (s *Server) trainFailFast(w http.ResponseWriter, spec JobSpec) bool {
-	n, devices, err := s.trainPreflight(spec)
+	resp, err := s.SampleSets(q.Get("benchmark"), q.Get("device"))
 	if err != nil {
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return false
+		writeAPIError(w, err)
+		return
 	}
-	if spec.Key().Portable() && devices < 2 {
-		writeErr(w, http.StatusBadRequest,
-			"portable training for %s pools samples from at least 2 catalog devices, have %d (ingest per-device via POST /v1/samples)",
-			spec.Key(), devices)
-		return false
+	// The two views keep their historical shapes: a bare array for the
+	// (possibly filtered) listing, an object for the exact count.
+	if resp.Exact != nil {
+		writeJSON(w, http.StatusOK, resp.Exact)
+		return
 	}
-	if n < spec.MinSamples {
-		writeErr(w, http.StatusBadRequest,
-			"%d valid samples for %s, need at least %d (ingest via POST /v1/samples or inline samples)",
-			n, spec.Key(), spec.MinSamples)
-		return false
-	}
-	return true
+	writeJSON(w, http.StatusOK, resp.Sets)
 }
 
 // trainRequest is the POST /v1/train body: the model key plus optional
@@ -556,57 +470,13 @@ func (s *Server) handleTrain(w http.ResponseWriter, r *http.Request) {
 	dec := json.NewDecoder(http.MaxBytesReader(w, r.Body, maxIngestBytes))
 	dec.DisallowUnknownFields()
 	if err := dec.Decode(&req); err != nil {
-		writeErr(w, http.StatusBadRequest, "decoding train request: %v", err)
+		writeAPIError(w, errf(errKindInvalid, "decoding train request: %v", err))
 		return
 	}
-	spec := JobSpec{
-		Kind:       KindTrain,
-		Benchmark:  req.Benchmark,
-		Device:     req.Device,
-		Seed:       req.Seed,
-		Model:      req.Model,
-		MinSamples: req.MinSamples,
-		Workers:    req.Workers,
-	}
-	if len(req.Samples) > maxIngestBatch {
-		writeErr(w, http.StatusBadRequest, "inline batch of %d exceeds the limit of %d", len(req.Samples), maxIngestBatch)
+	st, err := s.Train(&req)
+	if err != nil {
+		writeAPIError(w, err)
 		return
 	}
-	if len(req.Samples) > 0 {
-		b, err := bench.Lookup(req.Benchmark)
-		if err != nil {
-			writeErr(w, http.StatusBadRequest, "%v", err)
-			return
-		}
-		space := b.Space()
-		spec.Samples = make([]SampleRecord, len(req.Samples))
-		for i, in := range req.Samples {
-			rec, err := in.resolve(space, "inline", i)
-			if err != nil {
-				writeErr(w, http.StatusBadRequest, "%v", err)
-				return
-			}
-			spec.Samples[i] = rec
-		}
-	}
-	if err := spec.normalize(); err != nil {
-		writeErr(w, http.StatusBadRequest, "%v", err)
-		return
-	}
-	// Fail fast when nothing could possibly train: fewer valid samples
-	// than the floor — inline, stored or pooled — is a doomed job, as is
-	// a portable job with fewer than two contributing devices.
-	if !s.trainFailFast(w, spec) {
-		return
-	}
-	j, err := s.queue.Submit(spec)
-	switch {
-	case errors.Is(err, ErrQueueFull), errors.Is(err, ErrQueueClosed):
-		writeQueueErr(w, err)
-		return
-	case err != nil:
-		writeErr(w, http.StatusInternalServerError, "%v", err)
-		return
-	}
-	writeJSON(w, http.StatusAccepted, j.status())
+	writeJSON(w, http.StatusAccepted, st)
 }

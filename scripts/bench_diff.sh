@@ -49,9 +49,13 @@ for name, doc in (("fresh", fresh), ("baseline", base)):
 
 print(f"bench_diff: {fresh_path} vs {base_path}")
 fr, br = fresh.get("run", {}), base.get("run", {})
-for key in ("workers", "target_qps", "batch_size", "top_m", "engine", "weight_format"):
-    if fr.get(key) != br.get(key):
-        print(f"  note: run.{key} differs (fresh {fr.get(key)} vs baseline {br.get(key)}) — "
+for key in ("workers", "target_qps", "batch_size", "top_m", "engine", "weight_format", "proto"):
+    fv, bv = fr.get(key), br.get(key)
+    if key == "proto":
+        # Reports that predate the field ran over HTTP.
+        fv, bv = fv or "http", bv or "http"
+    if fv != bv:
+        print(f"  note: run.{key} differs (fresh {fv} vs baseline {bv}) — "
               "deltas below are not apples-to-apples")
 
 def fmt_ms(v): return f"{v*1e3:8.2f}ms"

@@ -13,7 +13,13 @@
 # -storage memory) pulls the train node's models over -upstream, serves
 # predictions from them, refuses writes with 405/read_only, and picks up
 # a retrain with zero downtime — every predict during the rollout must
-# answer 200 while the replication cursor advances.
+# answer 200 while the replication cursor advances. The RPC plane rides
+# along (-rpc-addr on the train node, mlbench -proto rpc, rpc metrics),
+# and a two-shard fleet closes the run: each shard serves only the keys
+# it owns, answers 421 not_owner naming the owner for the rest (the
+# script follows the redirect like a client would), replicates only its
+# own slice, and the owning shard's top-M answer is set-identical to the
+# unsharded node's.
 # CI runs this on every push; it is also runnable locally from the repo
 # root.
 set -euo pipefail
@@ -21,6 +27,7 @@ cd "$(dirname "$0")/.."
 
 ADDR="127.0.0.1:18372"
 BASE="http://$ADDR"
+RPC_ADDR="127.0.0.1:19372"
 DEVICE="Intel i7 3770"
 DEVICE_Q="Intel%20i7%203770"
 DEVICE2="AMD Radeon HD 7970"
@@ -30,6 +37,8 @@ BIN="$WORKDIR/bin"
 mkdir -p "$BIN"
 
 cleanup() {
+    [ -n "${SHARD0_PID:-}" ] && kill "$SHARD0_PID" 2>/dev/null || true
+    [ -n "${SHARD1_PID:-}" ] && kill "$SHARD1_PID" 2>/dev/null || true
     [ -n "${REPLICA_PID:-}" ] && kill "$REPLICA_PID" 2>/dev/null || true
     [ -n "${DAEMON_PID:-}" ] && kill "$DAEMON_PID" 2>/dev/null || true
     rm -rf "$WORKDIR"
@@ -46,8 +55,8 @@ echo "== gathering samples offline (devsim measurer)"
     -dump-samples "$WORKDIR/samples.jsonl" >/dev/null
 [ -s "$WORKDIR/samples.jsonl" ] || { echo "no samples dumped" >&2; exit 1; }
 
-echo "== starting mltuned"
-"$BIN/mltuned" -addr "$ADDR" -models "$WORKDIR/models" \
+echo "== starting mltuned (HTTP + RPC planes)"
+"$BIN/mltuned" -addr "$ADDR" -rpc-addr "$RPC_ADDR" -models "$WORKDIR/models" \
     -samples "$WORKDIR/samples" -train-workers 2 &
 DAEMON_PID=$!
 
@@ -76,6 +85,32 @@ BENCH_OUT="${BENCH_OUT:-$WORKDIR/BENCH_serve.json}"
 "$BIN/mlbench" -addr "$BASE" -device "$DEVICE" -workers 2 \
     -warmup 1s -duration 3s -out "$BENCH_OUT"
 "$BIN/mlbench" -validate "$BENCH_OUT"
+
+echo "== mlbench over the binary RPC plane"
+BENCH_RPC_OUT="${BENCH_RPC_OUT:-$WORKDIR/BENCH_rpc.json}"
+"$BIN/mlbench" -addr "$BASE" -proto rpc -rpc-addr "$RPC_ADDR" \
+    -device "$DEVICE" -workers 2 -warmup 1s -duration 3s -out "$BENCH_RPC_OUT"
+"$BIN/mlbench" -validate "$BENCH_RPC_OUT"
+grep -q '"proto": "rpc"' "$BENCH_RPC_OUT" \
+    || { echo "rpc report does not record proto rpc" >&2; exit 1; }
+python3 - "$BENCH_RPC_OUT" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for name, ep in r["endpoints"].items():
+    if ep["errors"]:
+        sys.exit(f"rpc bench endpoint {name} saw {ep['errors']} errors")
+EOF
+metrics="$(curl -fs "$BASE/metrics")"
+for want in \
+    '^# TYPE mltuned_rpc_requests_total counter' \
+    'mltuned_rpc_requests_total\{method="predict"\} [1-9]' \
+    'mltuned_rpc_requests_total\{method="predict_batch"\} [1-9]' \
+    'mltuned_rpc_requests_total\{method="topm"\} [1-9]' \
+    'mltuned_rpc_responses_total\{method="predict",status="ok"\} [1-9]' \
+    ; do
+    echo "$metrics" | grep -E "$want" >/dev/null \
+        || { echo "/metrics is missing or zero: $want" >&2; exit 1; }
+done
 
 echo "== /metrics scrape exposes the core series, counting"
 metrics="$(curl -fs "$BASE/metrics")"
@@ -202,6 +237,96 @@ echo "== replica shutdown"
 kill -TERM "$REPLICA_PID"
 wait "$REPLICA_PID" 2>/dev/null || true
 REPLICA_PID=""
+
+echo "== two-shard fleet: each shard owns a slice of the keyspace"
+SH0_ADDR="127.0.0.1:18374"; SH0_RPC="127.0.0.1:19374"
+SH1_ADDR="127.0.0.1:18375"; SH1_RPC="127.0.0.1:19375"
+PEERS="http://$SH0_ADDR,http://$SH1_ADDR"
+RPC_PEERS="$SH0_RPC,$SH1_RPC"
+"$BIN/mltuned" -addr "$SH0_ADDR" -rpc-addr "$SH0_RPC" -role serve -storage memory \
+    -upstream "$BASE" -sync-interval 200ms -shard 0/2 -peers "$PEERS" -rpc-peers "$RPC_PEERS" &
+SHARD0_PID=$!
+"$BIN/mltuned" -addr "$SH1_ADDR" -rpc-addr "$SH1_RPC" -role serve -storage memory \
+    -upstream "$BASE" -sync-interval 200ms -shard 1/2 -peers "$PEERS" -rpc-peers "$RPC_PEERS" &
+SHARD1_PID=$!
+for base in "http://$SH0_ADDR" "http://$SH1_ADDR"; do
+    for i in $(seq 1 50); do
+        curl -fs "$base/readyz" 2>/dev/null | grep -q '"ready": true' && break
+        [ "$i" = 50 ] && { echo "shard at $base never became ready" >&2; exit 1; }
+        sleep 0.2
+    done
+done
+
+echo "== shard-filtered replication: concrete keys land on one shard, portable on both"
+models0="$(curl -fs "http://$SH0_ADDR/v1/models")"
+models1="$(curl -fs "http://$SH1_ADDR/v1/models")"
+for m in "$models0" "$models1"; do
+    echo "$m" | grep -q '"portable": true' \
+        || { echo "a shard is missing the portable @* model" >&2; exit 1; }
+done
+for dev in "$DEVICE" "$DEVICE2"; do
+    n=0
+    echo "$models0" | grep -qF "\"device\": \"$dev\"" && n=$((n+1))
+    echo "$models1" | grep -qF "\"device\": \"$dev\"" && n=$((n+1))
+    [ "$n" = 1 ] || { echo "$n shards hold $dev, want exactly 1" >&2; exit 1; }
+done
+
+echo "== owned key serves; the other shard answers 421 not_owner naming the owner"
+PREDICT_Q="benchmark=convolution&device=$DEVICE_Q&index=7"
+if curl -fs "http://$SH0_ADDR/v1/predict?$PREDICT_Q" >/dev/null 2>&1; then
+    OWNER_BASE="http://$SH0_ADDR"; LOSER_BASE="http://$SH1_ADDR"; LOSER_RPC="$SH1_RPC"
+else
+    OWNER_BASE="http://$SH1_ADDR"; LOSER_BASE="http://$SH0_ADDR"; LOSER_RPC="$SH0_RPC"
+fi
+owner_out="$(curl -fs "$OWNER_BASE/v1/predict?$PREDICT_Q")"
+echo "$owner_out" | grep -q '"seconds"' || { echo "owner shard prediction missing seconds" >&2; exit 1; }
+code="$(curl -s -o /dev/null -w '%{http_code}' "$LOSER_BASE/v1/predict?$PREDICT_Q")"
+[ "$code" = 421 ] || { echo "non-owner predict returned $code, want 421" >&2; exit 1; }
+redirect="$(curl -s "$LOSER_BASE/v1/predict?$PREDICT_Q")"
+echo "$redirect"
+echo "$redirect" | grep -q '"kind": "not_owner"' \
+    || { echo "421 body missing kind not_owner" >&2; exit 1; }
+named="$(echo "$redirect" | python3 -c 'import json,sys; print(json.load(sys.stdin)["owner"]["addr"])')"
+[ "$named" = "$OWNER_BASE" ] || { echo "redirect names $named, want $OWNER_BASE" >&2; exit 1; }
+
+echo "== following the redirect reaches the same answer as the unsharded node"
+followed="$(curl -fs "$named/v1/predict?$PREDICT_Q")"
+unsharded="$(curl -fs "$BASE/v1/predict?$PREDICT_Q")"
+python3 - "$followed" "$unsharded" <<'EOF'
+import json, sys
+a, b = json.loads(sys.argv[1]), json.loads(sys.argv[2])
+if (a["index"], a["seconds"]) != (b["index"], b["seconds"]):
+    sys.exit(f"followed redirect answered {a}, unsharded node {b}")
+EOF
+
+echo "== owning shard's top-M is set-identical to the unsharded node's"
+TOPM_Q="benchmark=convolution&device=$DEVICE_Q&m=8"
+python3 - "$(curl -fs "$OWNER_BASE/v1/topm?$TOPM_Q")" "$(curl -fs "$BASE/v1/topm?$TOPM_Q")" <<'EOF'
+import json, sys
+pick = lambda doc: sorted(r["index"] for r in json.loads(doc)["top"])
+sharded, unsharded = pick(sys.argv[1]), pick(sys.argv[2])
+if sharded != unsharded:
+    sys.exit(f"top-M sets differ: sharded {sharded} vs unsharded {unsharded}")
+print(f"top-M set identical across topologies: {sharded}")
+EOF
+
+echo "== rpc client follows the not_owner redirect (mlbench aimed at the wrong shard)"
+"$BIN/mlbench" -addr "$OWNER_BASE" -proto rpc -rpc-addr "$LOSER_RPC" \
+    -device "$DEVICE" -workers 2 -mix single=1,batch=1,topm=1 \
+    -warmup 500ms -duration 2s -out "$WORKDIR/BENCH_shard_rpc.json"
+python3 - "$WORKDIR/BENCH_shard_rpc.json" <<'EOF'
+import json, sys
+r = json.load(open(sys.argv[1]))
+for name, ep in r["endpoints"].items():
+    if ep["errors"] or not ep["ok"]:
+        sys.exit(f"sharded rpc bench endpoint {name}: ok {ep['ok']}, errors {ep['errors']}")
+EOF
+
+echo "== shard shutdown"
+kill -TERM "$SHARD0_PID" "$SHARD1_PID"
+wait "$SHARD0_PID" 2>/dev/null || true
+wait "$SHARD1_PID" 2>/dev/null || true
+SHARD0_PID=""; SHARD1_PID=""
 
 echo "== graceful shutdown"
 kill -TERM "$DAEMON_PID"
