@@ -22,10 +22,13 @@ const (
 	EngineFloat64 = "float64"
 	// EngineInt16 is the fixed-point quantised engine with LUT sigmoids.
 	EngineInt16 = "int16"
+	// EngineInt8 is the narrow fixed-point engine: int8 weights at
+	// per-row power-of-two scales over Q14 inputs, int32 accumulators.
+	EngineInt8 = "int8"
 )
 
 // EngineNames lists the built-in engines, reference first.
-func EngineNames() []string { return []string{EngineFloat64, EngineInt16} }
+func EngineNames() []string { return []string{EngineFloat64, EngineInt16, EngineInt8} }
 
 // EngineScratch is the per-goroutine buffer set of one engine. Like
 // BatchScratch it is single-goroutine state; concurrent predictors each
@@ -58,17 +61,59 @@ type Engine interface {
 	ErrorBound() float64
 }
 
-// NewEngine builds the named engine over e. The int16 engine can fail:
-// quantisation rejects topologies it cannot bound (non-sigmoid hidden
-// layers) and diverged weight magnitudes.
+// IndexSweeper walks an index-addressed configuration space in order,
+// producing conservative bounds on the reference prediction for each
+// flat index. It is the engine-side contract behind the cache-blocked
+// top-M sweep: the core sweep asks for [start, start+n) and the engine
+// keeps whatever prefix rows it needs resident between calls.
+type IndexSweeper interface {
+	// Size returns the total number of configurations in the space.
+	Size() int64
+	// Bounds fills lb[:n], ub[:n] with reference-prediction brackets for
+	// flat indices start..start+n-1. Calls may jump: the sweeper reseeks
+	// when start is not the next index.
+	Bounds(start int64, n int, lb, ub []float64)
+	// BoundsCeil is Bounds with a pruning ceiling: entries whose lower
+	// bound provably exceeds ceil may be reported as +Inf in both lb and
+	// ub instead of being computed, letting the sweeper skip whole
+	// subtrees of the space. A +Inf ceiling degrades to Bounds. Callers
+	// screening against a threshold at or below ceil treat +Inf as
+	// "cannot enter the result" — sound because a skipped entry's true
+	// lower bound exceeds ceil.
+	BoundsCeil(start int64, n int, lb, ub []float64, ceil float64)
+}
+
+// Q14Engine is the optional fast-path contract of engines that consume
+// pre-quantised Q14 inputs directly (today the int16 and int8 engines).
+// It lets the core layer feed index-direct encoded integers — skipping
+// the float materialisation entirely — and drive a full-space sweep.
+type Q14Engine interface {
+	Engine
+	// InputDim returns the input width the engine was built for.
+	InputDim() int
+	// PredictBatchQ14 is PredictBatch over pre-quantised Q14 inputs.
+	PredictBatchQ14(qxs []int16, count int, s EngineScratch, dst []float64)
+	// PredictBatchBoundsQ14 is PredictBatchBounds over Q14 inputs.
+	PredictBatchBoundsQ14(qxs []int16, count int, s EngineScratch, lb, ub []float64)
+	// NewIndexSweeper builds a sweeper over the space spanned by the Q14
+	// level tables (one per parameter, last parameter fastest) with the
+	// fixed Q14 tail appended to every configuration.
+	NewIndexSweeper(levels [][]int16, tail []int16) (IndexSweeper, error)
+}
+
+// NewEngine builds the named engine over e. The quantised engines can
+// fail: quantisation rejects topologies it cannot bound (non-sigmoid
+// hidden layers) and weight magnitudes outside the integer range.
 func NewEngine(name string, e *Ensemble) (Engine, error) {
 	switch name {
 	case "", EngineFloat64:
 		return Float64Engine{E: e}, nil
 	case EngineInt16:
 		return QuantizeEnsemble(e)
+	case EngineInt8:
+		return Quantize8Ensemble(e)
 	}
-	return nil, fmt.Errorf("ann: unknown engine %q (want %q or %q)", name, EngineFloat64, EngineInt16)
+	return nil, fmt.Errorf("ann: unknown engine %q (want one of %q)", name, EngineNames())
 }
 
 // Float64Engine is the reference engine: the ensemble's existing batched

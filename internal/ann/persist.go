@@ -30,6 +30,20 @@ func (n *Network) State() NetworkState {
 // NetworkFromState reconstructs a network from exported state,
 // validating the topology against the weight shapes.
 func NetworkFromState(st NetworkState) (*Network, error) {
+	return networkFromState(st, false)
+}
+
+// NetworkFromStateShared is NetworkFromState without the defensive
+// weight copies: the network aliases st's weight slices directly. The
+// v4 arena loader uses it to serve straight out of a read-only memory
+// mapping — the result must never be mutated or trained (a write to
+// mapped weights faults), and the caller owns keeping the backing
+// store alive.
+func NetworkFromStateShared(st NetworkState) (*Network, error) {
+	return networkFromState(st, true)
+}
+
+func networkFromState(st NetworkState, share bool) (*Network, error) {
 	if len(st.Sizes) < 2 {
 		return nil, fmt.Errorf("ann: state has %d layer sizes, need at least 2", len(st.Sizes))
 	}
@@ -57,7 +71,11 @@ func NetworkFromState(st NetworkState) (*Network, error) {
 		if len(w) != want {
 			return nil, fmt.Errorf("ann: state weight layer %d has %d weights, topology needs %d", l, len(w), want)
 		}
-		n.weights[l] = append([]float64(nil), w...)
+		if share {
+			n.weights[l] = w
+		} else {
+			n.weights[l] = append([]float64(nil), w...)
+		}
 	}
 	return n, nil
 }
@@ -78,12 +96,24 @@ func (e *Ensemble) State() EnsembleState {
 
 // EnsembleFromState reconstructs an ensemble from exported state.
 func EnsembleFromState(st EnsembleState) (*Ensemble, error) {
+	return ensembleFromState(st, false, nil)
+}
+
+// EnsembleFromStateShared reconstructs an ensemble whose member
+// networks alias st's weight slices in place (see
+// NetworkFromStateShared); hold pins the slices' backing store — e.g. a
+// mmapx mapping — for the ensemble's lifetime.
+func EnsembleFromStateShared(st EnsembleState, hold any) (*Ensemble, error) {
+	return ensembleFromState(st, true, hold)
+}
+
+func ensembleFromState(st EnsembleState, share bool, hold any) (*Ensemble, error) {
 	if len(st.Nets) == 0 {
 		return nil, fmt.Errorf("ann: ensemble state has no member networks")
 	}
-	e := &Ensemble{nets: make([]*Network, len(st.Nets))}
+	e := &Ensemble{nets: make([]*Network, len(st.Nets)), hold: hold}
 	for i, ns := range st.Nets {
-		n, err := NetworkFromState(ns)
+		n, err := networkFromState(ns, share)
 		if err != nil {
 			return nil, fmt.Errorf("ann: member %d: %w", i, err)
 		}

@@ -134,11 +134,16 @@ type qLayer struct {
 // immutable after QuantizeEnsemble and safe for concurrent use with
 // distinct scratches.
 type QuantizedEnsemble struct {
-	members  [][]qLayer
+	members [][]qLayer
+	lut     []int16
+	// hold pins the backing store alive when the weight slices alias a
+	// memory-mapped v4 arena (see quantarena.go); nil for heap-built
+	// engines. The GC does not root a mapping through interior pointers,
+	// so every aliasing structure must carry this reference.
+	hold     any
+	bound    float64
 	inDim    int
 	maxWidth int
-	lut      []int16
-	bound    float64
 }
 
 // QuantScratch is the int16 engine's per-goroutine buffer set.
@@ -332,10 +337,11 @@ func (q *QuantizedEnsemble) PredictBatchBounds(xs []float64, count int, s Engine
 // PredictBatchQ14 is the allocation-free fast path for callers that
 // already hold Q14-quantised features (see tuning.FeatureSchema's Q14
 // encoder): count samples, sample-major, stride InputDim.
-func (q *QuantizedEnsemble) PredictBatchQ14(qxs []int16, count int, s *QuantScratch, dst []float64) {
+func (q *QuantizedEnsemble) PredictBatchQ14(qxs []int16, count int, es EngineScratch, dst []float64) {
 	if count == 0 {
 		return
 	}
+	s := es.(*QuantScratch)
 	if count > s.capacity {
 		panic("ann: quant batch exceeds scratch capacity")
 	}
@@ -353,13 +359,18 @@ func (q *QuantizedEnsemble) PredictBatchQ14(qxs []int16, count int, s *QuantScra
 }
 
 // PredictBatchBoundsQ14 is the Q14 fast path of PredictBatchBounds.
-func (q *QuantizedEnsemble) PredictBatchBoundsQ14(qxs []int16, count int, s *QuantScratch, lb, ub []float64) {
+func (q *QuantizedEnsemble) PredictBatchBoundsQ14(qxs []int16, count int, s EngineScratch, lb, ub []float64) {
 	q.PredictBatchQ14(qxs, count, s, lb[:count])
 	for b := 0; b < count; b++ {
 		v := lb[b]
 		lb[b] = v - q.bound
 		ub[b] = v + q.bound
 	}
+}
+
+// NewIndexSweeper implements Q14Engine over the concrete NewSweeper.
+func (q *QuantizedEnsemble) NewIndexSweeper(levels [][]int16, tail []int16) (IndexSweeper, error) {
+	return q.NewSweeper(levels, tail)
 }
 
 // forwardMember runs one member over the block, accumulating its raw

@@ -1,0 +1,432 @@
+package ann
+
+import (
+	"fmt"
+	"math"
+)
+
+// QuantSweeper8 is the int8 engine's full-space screening kernel: the
+// same cache-blocked incremental odometer as QuantSweeper (see sweep.go
+// for the algorithm and the bit-identity argument), but with int32
+// prefix rows and contribution tables — half the resident bytes per
+// tile and twice the packed lanes a vector unit can retire per add.
+// Every accumulator is proven to fit int32 at quantise time: the
+// per-row budget check in q8RowScale bounds |b32| + Σ|w8|·inMaxQ, and
+// any partial prefix sum is bounded by that same series.
+//
+// A sweeper is single-goroutine state over an immutable
+// Quantized8Ensemble; each sweep worker builds its own.
+type QuantSweeper8 struct {
+	q *Quantized8Ensemble
+	// contrib[p][v*H+j] is level v of position p's contribution to slot
+	// j's accumulator (at the owning row's layer-0 scale).
+	contrib [][]int32
+	// base[j] is slot j's bias plus the fixed-tail contribution.
+	base []int32
+	// prefix[p][j] is the running pre-activation after positions 0..p;
+	// only positions 0..P-2 are materialised — the last position is fused
+	// into the finishing pass.
+	prefix [][]int32
+	// shift[j] is slot j's sigmoid-grid shift (per-row scales make it
+	// per-slot, unlike the int16 sweeper's per-layer shift).
+	shift      []uint8
+	arity      []int64
+	digits     []int
+	actA, actB []int16
+	size       int64
+	// cur is the next index Bounds will produce when continuing
+	// sequentially; -1 before the first seek, size once exhausted.
+	cur int64
+	// invK is the precomputed ensemble-mean reciprocal — the same final
+	// multiply PredictBatchQ14 uses, keeping the finish bit-identical to
+	// the batch path.
+	invK float64
+	// pickTail/subSize/pruneInit are BoundsCeil's lazily built
+	// subtree-skip tables; see QuantSweeper.initPrune for the relaxation
+	// argument (identical here, at int32 accumulator width).
+	pickTail [][]int32
+	subSize  []int64
+	// H is the concatenated first-layer width across members; slot
+	// ranges follow member order.
+	H         int
+	deep      bool
+	pruneInit bool
+}
+
+// NewSweeper8 builds a sweeper for a space whose position p has
+// len(levels[p]) levels with the given Q14 feature values, followed by
+// the fixed Q14 tail features (nil for parameter-only models). The
+// feature layout must match the ensemble's input width: positions
+// first, tail after — the layout of tuning.FeatureSchema.EncodeIndexQ14.
+func (q *Quantized8Ensemble) NewSweeper8(levels [][]int16, tail []int16) (*QuantSweeper8, error) {
+	if len(levels) == 0 {
+		return nil, fmt.Errorf("ann: sweeper needs at least one position")
+	}
+	if got := len(levels) + len(tail); got != q.inDim {
+		return nil, fmt.Errorf("ann: sweeper features %d (positions %d + tail %d) != engine input width %d",
+			got, len(levels), len(tail), q.inDim)
+	}
+	P := len(levels)
+	s := &QuantSweeper8{
+		q:      q,
+		arity:  make([]int64, P),
+		size:   1,
+		digits: make([]int, P),
+		invK:   1 / float64(len(q.members)),
+		cur:    -1,
+	}
+	for p, lv := range levels {
+		if len(lv) == 0 {
+			return nil, fmt.Errorf("ann: sweeper position %d has no levels", p)
+		}
+		s.arity[p] = int64(len(lv))
+		if s.size > (1<<62)/s.arity[p] {
+			return nil, fmt.Errorf("ann: sweeper space size overflows")
+		}
+		s.size *= s.arity[p]
+	}
+	for _, layers := range q.members {
+		s.H += layers[0].out
+		if len(layers) > 2 {
+			s.deep = true
+		}
+	}
+	s.base = make([]int32, s.H)
+	s.shift = make([]uint8, s.H)
+	s.contrib = make([][]int32, P)
+	for p := range s.contrib {
+		s.contrib[p] = make([]int32, int(s.arity[p])*s.H)
+	}
+	s.prefix = make([][]int32, P-1)
+	for p := range s.prefix {
+		s.prefix[p] = make([]int32, s.H)
+	}
+	off := 0
+	for _, layers := range q.members {
+		l0 := layers[0]
+		for j := 0; j < l0.out; j++ {
+			acc := l0.b[j]
+			for t, tv := range tail {
+				acc += int32(l0.w[j*l0.in+P+t]) * int32(tv)
+			}
+			s.base[off+j] = acc
+			s.shift[off+j] = l0.shift[j]
+			for p := 0; p < P; p++ {
+				w := int32(l0.w[j*l0.in+p])
+				for v, lv := range levels[p] {
+					s.contrib[p][v*s.H+off+j] = w * int32(lv)
+				}
+			}
+		}
+		off += l0.out
+	}
+	if s.deep {
+		s.actA = make([]int16, q.maxWidth)
+		s.actB = make([]int16, q.maxWidth)
+	}
+	return s, nil
+}
+
+// Size returns the swept space's configuration count.
+func (s *QuantSweeper8) Size() int64 { return s.size }
+
+// seek positions the sweeper so the next produced index is idx.
+func (s *QuantSweeper8) seek(idx int64) {
+	rem := idx
+	for p := len(s.digits) - 1; p >= 0; p-- {
+		s.digits[p] = int(rem % s.arity[p])
+		rem /= s.arity[p]
+	}
+	for p := range s.prefix {
+		s.addRow(p)
+	}
+	s.cur = idx
+}
+
+// carry rolls the odometer past an exhausted last digit and rebuilds
+// the prefix rows from the lowest changed position down. The caller
+// guarantees at least one more index exists.
+func (s *QuantSweeper8) carry() {
+	s.digits[len(s.digits)-1] = 0
+	s.bump(len(s.digits) - 2)
+}
+
+// bump advances the digit at position p by one, propagating carries
+// towards position 0, and rebuilds the prefix rows from the changed
+// position down. The caller guarantees the odometer has room.
+func (s *QuantSweeper8) bump(p int) {
+	for int64(s.digits[p]+1) == s.arity[p] {
+		s.digits[p] = 0
+		p--
+	}
+	s.digits[p]++
+	for ; p < len(s.prefix); p++ {
+		s.addRow(p)
+	}
+}
+
+// addRow recomputes prefix[p] = predecessor + contrib[p][digit_p].
+func (s *QuantSweeper8) addRow(p int) {
+	src := s.base
+	if p > 0 {
+		src = s.prefix[p-1]
+	}
+	c := s.contrib[p][s.digits[p]*s.H : (s.digits[p]+1)*s.H]
+	dst := s.prefix[p]
+	_ = dst[len(src)-1]
+	for j, v := range src {
+		dst[j] = v + c[j]
+	}
+}
+
+// parentRow returns the accumulator row shared by the current tile.
+func (s *QuantSweeper8) parentRow() []int32 {
+	if len(s.prefix) == 0 {
+		return s.base
+	}
+	return s.prefix[len(s.prefix)-1]
+}
+
+// finish computes one configuration's raw ensemble output from the
+// tile's parent row and the last position's contribution slice, fusing
+// the final accumulator add with the per-slot shift, sigmoid lookup,
+// per-member output layers and the ensemble mean — bit-identical to
+// PredictBatchQ14 (same integers, same float op order).
+func (s *QuantSweeper8) finish(parent, c []int32) float64 {
+	lut := s.q.lut
+	shift := s.shift
+	sum := 0.0
+	off := 0
+	for _, layers := range s.q.members {
+		l0 := layers[0]
+		if l0.linear {
+			sum += float64(parent[off]+c[off]) * l0.invOut
+			off += l0.out
+			continue
+		}
+		if len(layers) == 2 && layers[1].linear {
+			// Paper topology: fused add + shift + lookup + output dot in
+			// dotQ8's 4-chain order; the int32 output accumulator is covered
+			// by the output row's quantise-time budget check.
+			lOut := layers[1]
+			w := lOut.w
+			var a0, a1, a2, a3 int32
+			j := 0
+			for ; j+4 <= l0.out; j += 4 {
+				a0 += int32(w[j]) * int32(lut[lutCell8(parent[off+j]+c[off+j], shift[off+j])])
+				a1 += int32(w[j+1]) * int32(lut[lutCell8(parent[off+j+1]+c[off+j+1], shift[off+j+1])])
+				a2 += int32(w[j+2]) * int32(lut[lutCell8(parent[off+j+2]+c[off+j+2], shift[off+j+2])])
+				a3 += int32(w[j+3]) * int32(lut[lutCell8(parent[off+j+3]+c[off+j+3], shift[off+j+3])])
+			}
+			for ; j < l0.out; j++ {
+				a0 += int32(w[j]) * int32(lut[lutCell8(parent[off+j]+c[off+j], shift[off+j])])
+			}
+			sum += float64(lOut.b[0]+a0+a1+a2+a3) * lOut.invOut
+			off += l0.out
+			continue
+		}
+		// Deeper members: materialise the first-layer activations, then
+		// run the remaining layers single-sample.
+		cur := s.actA[:l0.out]
+		for j := 0; j < l0.out; j++ {
+			cur[j] = lut[lutCell8(parent[off+j]+c[off+j], shift[off+j])]
+		}
+		nxt := s.actB
+		for _, l := range layers[1:] {
+			if l.linear {
+				sum += float64(l.b[0]+dotQ8(l.w[:l.in], cur)) * l.invOut
+				break
+			}
+			row := nxt[:l.out]
+			for j := 0; j < l.out; j++ {
+				a := l.b[j] + dotQ8(l.w[j*l.in:(j+1)*l.in], cur)
+				row[j] = lut[lutCell8(a, l.shift[j])]
+			}
+			cur, nxt = row, cur[:cap(cur)]
+		}
+		off += l0.out
+	}
+	return sum * s.invK
+}
+
+// lutCell8 maps an int32 accumulator onto the sigmoid grid, clamped:
+// the shared cell arithmetic of the int8 forward pass and sweeper.
+func lutCell8(acc int32, shift uint8) int {
+	cell := int(acc>>shift) + qLutSize/2
+	if cell < 0 {
+		return 0
+	}
+	if cell >= qLutSize {
+		return qLutSize - 1
+	}
+	return cell
+}
+
+// Bounds writes conservative raw-output brackets for the n sequential
+// configurations starting at index start, exactly as
+// PredictBatchBoundsQ14 would bound them; see QuantSweeper.Bounds for
+// the tiling contract.
+func (s *QuantSweeper8) Bounds(start int64, n int, lb, ub []float64) {
+	if start < 0 || n < 0 || start+int64(n) > s.size {
+		panic("ann: sweeper Bounds range outside the space")
+	}
+	if n == 0 {
+		return
+	}
+	if start != s.cur {
+		s.seek(start)
+	}
+	bound := s.q.bound
+	P := len(s.digits)
+	lastAr := int(s.arity[P-1])
+	lastContrib := s.contrib[P-1]
+	i := 0
+	for i < n {
+		parent := s.parentRow()
+		v := s.digits[P-1]
+		run := lastAr - v
+		if run > n-i {
+			run = n - i
+		}
+		for r := 0; r < run; r++ {
+			val := s.finish(parent, lastContrib[(v+r)*s.H:(v+r+1)*s.H])
+			lb[i] = val - bound
+			ub[i] = val + bound
+			i++
+		}
+		s.cur += int64(run)
+		if v+run == lastAr && s.cur < s.size {
+			s.carry()
+		} else {
+			s.digits[P-1] = v + run
+		}
+	}
+}
+
+// initPrune is QuantSweeper.initPrune at int32 width; per-row scales
+// change nothing in the argument — each slot still owns one monotone
+// output-path gain.
+func (s *QuantSweeper8) initPrune() {
+	s.pruneInit = true
+	wantMin := make([]bool, s.H)
+	off := 0
+	for _, layers := range s.q.members {
+		l0 := layers[0]
+		switch {
+		case l0.linear:
+			for j := 0; j < l0.out; j++ {
+				wantMin[off+j] = l0.invOut >= 0
+			}
+		case len(layers) == 2 && layers[1].linear:
+			lOut := layers[1]
+			for j := 0; j < l0.out; j++ {
+				wantMin[off+j] = (lOut.invOut >= 0) == (lOut.w[j] >= 0)
+			}
+		default:
+			return
+		}
+		off += l0.out
+	}
+	P := len(s.arity)
+	s.subSize = make([]int64, P)
+	pickTail := make([][]int32, P)
+	sz := int64(1)
+	for p := P - 1; p >= 0; p-- {
+		sz *= s.arity[p]
+		s.subSize[p] = sz
+		pick := make([]int32, s.H)
+		for j := 0; j < s.H; j++ {
+			ext := s.contrib[p][j]
+			for v := 1; v < int(s.arity[p]); v++ {
+				c := s.contrib[p][v*s.H+j]
+				if (wantMin[j] && c < ext) || (!wantMin[j] && c > ext) {
+					ext = c
+				}
+			}
+			pick[j] = ext
+			if p < P-1 {
+				pick[j] += pickTail[p+1][j]
+			}
+		}
+		pickTail[p] = pick
+	}
+	s.pickTail = pickTail
+}
+
+// BoundsCeil is Bounds with a pruning ceiling; see QuantSweeper.BoundsCeil
+// for the subtree-skip contract — identical here.
+func (s *QuantSweeper8) BoundsCeil(start int64, n int, lb, ub []float64, ceil float64) {
+	if !s.pruneInit {
+		s.initPrune()
+	}
+	if s.pickTail == nil || math.IsInf(ceil, 1) {
+		s.Bounds(start, n, lb, ub)
+		return
+	}
+	if start < 0 || n < 0 || start+int64(n) > s.size {
+		panic("ann: sweeper Bounds range outside the space")
+	}
+	if n == 0 {
+		return
+	}
+	if start != s.cur {
+		s.seek(start)
+	}
+	bound := s.q.bound
+	P := len(s.digits)
+	lastAr := int(s.arity[P-1])
+	lastContrib := s.contrib[P-1]
+	i := 0
+	for i < n {
+		if s.digits[P-1] == 0 {
+			p := P - 1
+			for p > 0 && s.digits[p-1] == 0 && s.subSize[p-1] <= int64(n-i) {
+				p--
+			}
+			pruned := false
+			for ; p < P; p++ {
+				if s.subSize[p] > int64(n-i) {
+					continue
+				}
+				row := s.base
+				if p > 0 {
+					row = s.prefix[p-1]
+				}
+				if s.finish(row, s.pickTail[p])-bound > ceil {
+					for k := int64(0); k < s.subSize[p]; k++ {
+						lb[i] = math.Inf(1)
+						ub[i] = math.Inf(1)
+						i++
+					}
+					s.cur += s.subSize[p]
+					if s.cur < s.size {
+						s.bump(p - 1)
+					}
+					pruned = true
+					break
+				}
+			}
+			if pruned {
+				continue
+			}
+		}
+		parent := s.parentRow()
+		v := s.digits[P-1]
+		run := lastAr - v
+		if run > n-i {
+			run = n - i
+		}
+		for r := 0; r < run; r++ {
+			val := s.finish(parent, lastContrib[(v+r)*s.H:(v+r+1)*s.H])
+			lb[i] = val - bound
+			ub[i] = val + bound
+			i++
+		}
+		s.cur += int64(run)
+		if v+run == lastAr && s.cur < s.size {
+			s.carry()
+		} else {
+			s.digits[P-1] = v + run
+		}
+	}
+}

@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/ann"
+	"repro/internal/mmapx"
 	"repro/internal/tuning"
 )
 
@@ -77,6 +78,20 @@ type Model struct {
 	// reference regardless — the engine drives the batch paths and the
 	// top-M screening.
 	engine ann.Engine
+	// screen16 is the int16 engine backing the top-M screen when the int8
+	// engine is selected: int8 bounds are an order of magnitude wider
+	// than int16's — too wide to prune a trained model's space — so the
+	// sweep screens through the int16 tables instead (see topMSweep).
+	// Set by WithEngine(int8); nil otherwise.
+	screen16 *ann.QuantizedEnsemble
+	// q16/q8 are prebuilt quantised engines, populated by the v4 arena
+	// loader so WithEngine installs them without a quantisation pass;
+	// nil means quantise on demand.
+	q16 *ann.QuantizedEnsemble
+	q8  *ann.Quantized8Ensemble
+	// arena pins the memory mapping backing a zero-copy loaded model
+	// (weights and engine tables alias it); nil for heap-owned models.
+	arena *mmapx.Data
 	// persistVersion records the persistence version the model was loaded
 	// from; 0 for freshly trained models (see WeightFormat).
 	persistVersion int
@@ -105,13 +120,51 @@ func (m *Model) eng() ann.Engine {
 // configurations is computed by the exact reference path, so the
 // returned set and order are engine-independent.
 func (m *Model) WithEngine(name string) (*Model, error) {
-	eng, err := ann.NewEngine(name, m.ensemble)
-	if err != nil {
-		return nil, err
-	}
 	view := *m
-	view.engine = eng
+	switch name {
+	case ann.EngineInt16:
+		q16, err := m.int16Engine()
+		if err != nil {
+			return nil, err
+		}
+		view.engine = q16
+	case ann.EngineInt8:
+		q8, err := m.int8Engine()
+		if err != nil {
+			return nil, err
+		}
+		view.engine = q8
+		// topMSweep screens int8 models through the int16 tables; int8's
+		// admissible magnitude range is a strict subset of int16's, so the
+		// screen engine quantises whenever int8 itself did.
+		if q16, err := m.int16Engine(); err == nil {
+			view.screen16 = q16
+		}
+	default:
+		eng, err := ann.NewEngine(name, m.ensemble)
+		if err != nil {
+			return nil, err
+		}
+		view.engine = eng
+	}
 	return &view, nil
+}
+
+// int16Engine returns the prebuilt int16 engine when the model was
+// loaded from a v4 arena, quantising on demand otherwise.
+func (m *Model) int16Engine() (*ann.QuantizedEnsemble, error) {
+	if m.q16 != nil {
+		return m.q16, nil
+	}
+	return ann.QuantizeEnsemble(m.ensemble)
+}
+
+// int8Engine is int16Engine for the int8 engine.
+func (m *Model) int8Engine() (*ann.Quantized8Ensemble, error) {
+	if m.q8 != nil {
+		return m.q8, nil
+	}
+	return ann.Quantize8Ensemble(m.ensemble)
 }
 
 // EngineName returns the selected engine's name (ann.EngineFloat64 when
@@ -283,17 +336,17 @@ const predictBlock = 256
 type BatchScratch struct {
 	eng ann.EngineScratch // selected engine's buffers
 	e   ann.Engine        // the engine the scratch belongs to
-	// Fixed-point fast path, set when e is the int16 engine: features are
-	// encoded straight into Q14 via the precomputed tables, skipping the
-	// float encode and the per-feature rounding.
-	q     *ann.QuantizedEnsemble
-	qs    *ann.QuantScratch
+	// Fixed-point fast path, set when e is a quantised (Q14-input)
+	// engine — int16 or int8: features are encoded straight into Q14 via
+	// the precomputed tables, skipping the float encode and the
+	// per-feature rounding.
+	q14   ann.Q14Engine
 	qxs   []int16
 	qtail []int16
 	// sweep is the incremental full-space screening kernel, built for
-	// bound models on the int16 engine (see ann.QuantSweeper); nil
+	// bound models on a quantised engine (see ann.QuantSweeper); nil
 	// otherwise, falling back to per-index bounds.
-	sweep *ann.QuantSweeper
+	sweep ann.IndexSweeper
 	idxs  []int64   // per-block index buffer of the bounds fallback
 	xs    []float64 // block-sample-major encoded features
 	raw   []float64 // raw ensemble outputs for one block
@@ -317,9 +370,8 @@ func (m *Model) newBatchScratchFor(eng ann.Engine) *BatchScratch {
 		raw:   make([]float64, predictBlock),
 		block: predictBlock,
 	}
-	if q, ok := eng.(*ann.QuantizedEnsemble); ok {
-		s.q = q
-		s.qs = s.eng.(*ann.QuantScratch)
+	if q, ok := eng.(ann.Q14Engine); ok {
+		s.q14 = q
 		s.qxs = make([]int16, 0, predictBlock*m.schema.Dim())
 		if m.Bound() {
 			s.qtail = m.schema.QuantizeTailQ14(m.tail, make([]int16, 0, m.schema.TailDim()))
@@ -327,7 +379,7 @@ func (m *Model) newBatchScratchFor(eng ann.Engine) *BatchScratch {
 			// pinned (positions then tail); a mismatch means the engine
 			// was built for another model, and the per-index fallback
 			// below stays correct either way.
-			if sw, err := q.NewSweeper(m.schema.Q14Levels(), s.qtail); err == nil {
+			if sw, err := q.NewIndexSweeper(m.schema.Q14Levels(), s.qtail); err == nil {
 				s.sweep = sw
 			}
 		}
@@ -368,12 +420,12 @@ func (m *Model) PredictIndices(idxs []int64, s *BatchScratch, dst []float64) []f
 			hi = len(idxs)
 		}
 		n := hi - lo
-		if s.q != nil {
+		if s.q14 != nil {
 			s.qxs = s.qxs[:0]
 			for _, idx := range idxs[lo:hi] {
 				s.qxs = m.schema.EncodeIndexQ14(idx, s.qtail, s.qxs)
 			}
-			s.q.PredictBatchQ14(s.qxs, n, s.qs, s.raw[:n])
+			s.q14.PredictBatchQ14(s.qxs, n, s.eng, s.raw[:n])
 			for _, y := range s.raw[:n] {
 				dst = append(dst, m.finish(y))
 			}
@@ -404,12 +456,12 @@ func (m *Model) predictEncodedBlock(count int, s *BatchScratch, dst []float64) [
 // s.block.
 func (m *Model) predictIndexBounds(idxs []int64, s *BatchScratch, lb, ub []float64) {
 	n := len(idxs)
-	if s.q != nil {
+	if s.q14 != nil {
 		s.qxs = s.qxs[:0]
 		for _, idx := range idxs {
 			s.qxs = m.schema.EncodeIndexQ14(idx, s.qtail, s.qxs)
 		}
-		s.q.PredictBatchBoundsQ14(s.qxs, n, s.qs, lb[:n], ub[:n])
+		s.q14.PredictBatchBoundsQ14(s.qxs, n, s.eng, lb[:n], ub[:n])
 		return
 	}
 	s.xs = s.xs[:0]
@@ -421,13 +473,16 @@ func (m *Model) predictIndexBounds(idxs []int64, s *BatchScratch, lb, ub []float
 
 // boundIndexRange is predictIndexBounds over the n sequential indices
 // starting at start: the screening shape of the top-M sweep. On the
-// int16 engine it runs the incremental sweeper — the first layer's
+// quantised engines it runs the incremental sweeper — the first layer's
 // pre-activations update in place as the index odometer turns, so the
-// per-config cost collapses to the sigmoid lookups and the output dot.
-// n must be at most s.block.
-func (m *Model) boundIndexRange(start int64, n int, s *BatchScratch, lb, ub []float64) {
+// per-config cost collapses to the sigmoid lookups and the output dot —
+// and forwards the pruning ceiling: entries (or whole subtrees) the
+// sweeper proves above ceil come back as +Inf instead of being finished.
+// The per-index fallback ignores ceil, which is always sound (it only
+// bounds tighter than required). n must be at most s.block.
+func (m *Model) boundIndexRange(start int64, n int, s *BatchScratch, lb, ub []float64, ceil float64) {
 	if s.sweep != nil {
-		s.sweep.Bounds(start, n, lb[:n], ub[:n])
+		s.sweep.BoundsCeil(start, n, lb[:n], ub[:n], ceil)
 		return
 	}
 	if s.idxs == nil {
@@ -555,6 +610,18 @@ func (m *Model) topMSweep(M, workers int, seeds []Predicted) ([]Predicted, int64
 	// runs the float64 reference; the selected engine drives screening.
 	refEngine := ann.Float64Engine{E: m.ensemble}
 	screenEngine := m.eng()
+	// The int8 engine's proven bound is an order of magnitude wider than
+	// the int16 engine's — wide enough that on trained models most of the
+	// space survives an int8 screen, and every false survivor pays an
+	// exact reference pass. Screening therefore runs over the retained
+	// int16 tables (WithEngine(int8) always carries them: int8's
+	// admissible magnitude range is a strict subset of int16's). Both
+	// engines' brackets contain the reference prediction, so the screen
+	// swap cannot change the result set — only how much of the space pays
+	// an exact score.
+	if screenEngine.Name() == ann.EngineInt8 && m.screen16 != nil {
+		screenEngine = m.screen16
+	}
 
 	// Seed indices are excluded from the partition scan below — each
 	// already sits in every heap with its exact score, and offering an
@@ -625,7 +692,6 @@ func (m *Model) topMSweep(M, workers int, seeds []Predicted) ([]Predicted, int64
 					// (the sweeper walks the contiguous range) but never
 					// collected — their exact scores already sit in the heap.
 					n := int(blockHi - blockLo)
-					m.boundIndexRange(blockLo, n, screen, lb, ub)
 					// The admission test runs in raw output space: rawCeil
 					// accepts a superset of what finishing each lower bound
 					// and comparing times would (including the equal-time,
@@ -633,6 +699,14 @@ func (m *Model) topMSweep(M, workers int, seeds []Predicted) ([]Predicted, int64
 					// admissions are resolved by the exact pass like any
 					// other survivor.
 					rawWorst := m.rawCeil(best.worst().Seconds)
+					// The sweeper may skip (+Inf) whole subtrees it proves
+					// above the ceiling. One extra margin on the ceiling keeps
+					// the skip strictly conservative against the admission test
+					// below even at the ulp level: the sweeper proves lb >
+					// ceil, the test needs lb − margin > rawWorst to reject,
+					// and the margin towers over every rounding step between
+					// the two expressions.
+					m.boundIndexRange(blockLo, n, screen, lb, ub, rawWorst+2*predictBoundMargin)
 					survivors = survivors[:0]
 					for k := 0; k < n; k++ {
 						idx := blockLo + int64(k)

@@ -2,6 +2,7 @@ package core
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/gob"
 	"encoding/json"
 	"fmt"
@@ -9,6 +10,7 @@ import (
 	"os"
 
 	"repro/internal/ann"
+	"repro/internal/mmapx"
 	"repro/internal/tuning"
 )
 
@@ -30,17 +32,27 @@ import (
 //	  little-endian sections with the raw weight block 8-aligned, so
 //	  replica installs parse a flat buffer instead of paying gob's
 //	  reflective decode.
+//	version 4 — same header fields as v3, space-padded to a 64-byte
+//	  boundary, and the body is the zero-copy weight arena of
+//	  internal/core/persistbin4.go: 64-byte-aligned sections carrying
+//	  the float64 weights AND the quantised engine tables, laid out so
+//	  LoadModelFile serves straight out of a read-only memory mapping —
+//	  install cost is O(1) in model size, and selecting the int16/int8
+//	  engine skips the quantisation pass.
 //
-// Save writes version 3 for every model: the decode-speed win applies
-// fleet-wide and every v1/v2 artifact still loads through the
-// version-keyed decoder table. LoadModel returns
-// *UnsupportedVersionError for anything newer than maxModelVersion.
+// Save writes version 4 for every model except one case: a model loaded
+// from a v3 file re-saves as byte-identical v3, so replica fan-out of
+// an existing artifact never rewrites history. Every v1–v3 artifact
+// still loads through the version-keyed decoder table. LoadModel
+// returns *UnsupportedVersionError for anything newer than
+// maxModelVersion.
 const (
 	modelFormat     = "mltune-model"
 	modelVersion    = 1
 	modelVersionV2  = 2
 	modelVersionV3  = 3
-	maxModelVersion = modelVersionV3
+	modelVersionV4  = 4
+	maxModelVersion = modelVersionV4
 )
 
 // UnsupportedVersionError reports a model file written by a newer build:
@@ -98,20 +110,26 @@ type modelPayload struct {
 }
 
 // Save writes the model to w in the versioned persistence format: a
-// one-line JSON header followed by the version-3 binary body (see
-// persistbin.go). Writing is deterministic byte for byte, and a model
-// saved on one machine reloads with LoadModel to bit-identical
-// predictions. Saving a bound portable view persists the portable
-// model; the binding — like the engine selection — is per-process
-// state, re-established with WithDevice/WithEngine after loading.
+// one-line JSON header followed by the version-4 arena body (see
+// persistbin4.go) — or, for a model loaded from a v3 file, the
+// byte-identical version-3 body it came from. Writing is deterministic
+// byte for byte, and a model saved on one machine reloads with
+// LoadModel to bit-identical predictions. Saving a bound portable view
+// persists the portable model; the binding — like the engine selection
+// — is per-process state, re-established with WithDevice/WithEngine
+// after loading.
 func (m *Model) Save(w io.Writer) error {
 	params := make([]paramHeader, len(m.space.Params()))
 	for i, p := range m.space.Params() {
 		params[i] = paramHeader{Name: p.Name, Values: append([]int(nil), p.Values...)}
 	}
+	version := modelVersionV4
+	if m.persistVersion == modelVersionV3 {
+		version = modelVersionV3
+	}
 	hdr := modelHeader{
 		Format:       modelFormat,
-		Version:      modelVersionV3,
+		Version:      version,
 		Space:        spaceHeader{Name: m.space.Name(), Params: params},
 		LogTransform: m.logT,
 		Members:      m.ensemble.Size(),
@@ -126,10 +144,26 @@ func (m *Model) Save(w io.Writer) error {
 	if err != nil {
 		return fmt.Errorf("core: encoding model header: %w", err)
 	}
+	if version == modelVersionV4 {
+		// Space-pad the header so the body starts at a 64-byte file
+		// offset: every v4 section payload then lands cache-line aligned
+		// in a memory mapping (JSON ignores trailing whitespace).
+		for (len(line)+1)%binAlign4 != 0 {
+			line = append(line, ' ')
+		}
+	}
 	if _, err := w.Write(append(line, '\n')); err != nil {
 		return fmt.Errorf("core: writing model header: %w", err)
 	}
-	return writeBinaryPayload(w, m.scaler, m.ensemble.State())
+	if version == modelVersionV3 {
+		return writeBinaryPayload(w, m.scaler, m.ensemble.State())
+	}
+	// Engine tables ride along when the ensemble quantises; refusals
+	// (diverged magnitudes, uncovered topologies) degrade to a v4 file
+	// without tables, which loads fine and quantises on demand.
+	q16, _ := m.int16Engine()
+	q8, _ := m.int8Engine()
+	return writeBinaryPayloadV4(w, m.scaler, m.ensemble.State(), q16, q8)
 }
 
 // WeightFormat returns the persistence version the model's weights were
@@ -140,7 +174,7 @@ func (m *Model) WeightFormat() int {
 	if m.persistVersion != 0 {
 		return m.persistVersion
 	}
-	return modelVersionV3
+	return modelVersionV4
 }
 
 // SaveFile saves the model to the named file (see Save).
@@ -163,8 +197,10 @@ func (m *Model) SaveFile(path string) error {
 var modelDecoders = map[int]func(hdr *modelHeader, space *tuning.Space) (*tuning.FeatureSchema, error){
 	modelVersion:   decodeSchemaV1,
 	modelVersionV2: decodeSchemaV2,
-	// v3 changed the body encoding, not the header schema semantics.
+	// v3 and v4 changed the body encoding, not the header schema
+	// semantics.
 	modelVersionV3: decodeSchemaV2,
+	modelVersionV4: decodeSchemaV2,
 }
 
 // decodeSchemaV1 is the original layout: parameter-only features.
@@ -229,6 +265,13 @@ func LoadModel(r io.Reader) (*Model, error) {
 	if err != nil {
 		return nil, err
 	}
+	if hdr.Version >= modelVersionV4 {
+		body, err := io.ReadAll(br)
+		if err != nil {
+			return nil, fmt.Errorf("core: reading v4 model body: %w", err)
+		}
+		return finishLoadV4(&hdr, space, schema, body, nil)
+	}
 	var scaler ann.TargetScaler
 	var state ann.EnsembleState
 	if hdr.Version >= modelVersionV3 {
@@ -256,25 +299,109 @@ func LoadModel(r io.Reader) (*Model, error) {
 		engine:         ann.Float64Engine{E: ensemble},
 		persistVersion: hdr.Version,
 	}
-	// The schema fixes the feature-vector width; the ensemble input
-	// width must match or predictions would read out of bounds.
-	for _, n := range ensemble.Members() {
-		if n.Sizes()[0] != m.schema.Dim() {
-			return nil, fmt.Errorf("core: model expects %d features, schema for space %q encodes %d",
-				n.Sizes()[0], space.Name(), m.schema.Dim())
-		}
+	if err := m.checkEnsembleWidth(); err != nil {
+		return nil, err
 	}
 	return m, nil
 }
 
-// LoadModelFile loads a model from the named file (see LoadModel).
-func LoadModelFile(path string) (*Model, error) {
-	f, err := os.Open(path)
+// checkEnsembleWidth verifies the ensemble input width against the
+// schema: the schema fixes the feature-vector width, and a mismatch
+// would read out of bounds on every prediction.
+func (m *Model) checkEnsembleWidth() error {
+	for _, n := range m.ensemble.Members() {
+		if n.Sizes()[0] != m.schema.Dim() {
+			return fmt.Errorf("core: model expects %d features, schema for space %q encodes %d",
+				n.Sizes()[0], m.space.Name(), m.schema.Dim())
+		}
+	}
+	return nil
+}
+
+// finishLoadV4 assembles a Model from a decoded v4 arena body.
+func finishLoadV4(hdr *modelHeader, space *tuning.Space, schema *tuning.FeatureSchema, body []byte, arena *mmapx.Data) (*Model, error) {
+	d, err := decodeBinaryPayloadV4(body, hdr.Members, arena)
 	if err != nil {
 		return nil, err
 	}
-	defer f.Close()
-	return LoadModel(f)
+	m := &Model{
+		space:          space,
+		schema:         schema,
+		ensemble:       d.ensemble,
+		scaler:         d.scaler,
+		logT:           hdr.LogTransform,
+		engine:         ann.Float64Engine{E: d.ensemble},
+		q16:            d.q16,
+		q8:             d.q8,
+		arena:          arena,
+		persistVersion: modelVersionV4,
+	}
+	if err := m.checkEnsembleWidth(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// LoadModelBytes loads a model from an in-memory file image — the
+// zero-copy install path. For a v4 image the returned model's weights
+// and engine tables alias data in place (no decode pass, O(1) in model
+// size); arena, when non-nil, is the memory mapping backing data and is
+// pinned by the model for its lifetime. Older versions decode by
+// copying exactly like LoadModel, and arena may then be closed by the
+// caller once LoadModelBytes returns.
+func LoadModelBytes(data []byte, arena *mmapx.Data) (*Model, error) {
+	nl := bytes.IndexByte(data, '\n')
+	if nl < 0 {
+		return nil, fmt.Errorf("core: model image has no header line")
+	}
+	var hdr modelHeader
+	if err := json.Unmarshal(data[:nl], &hdr); err != nil {
+		return nil, fmt.Errorf("core: parsing model header: %w", err)
+	}
+	if hdr.Format != modelFormat {
+		return nil, fmt.Errorf("core: not a saved model (format %q, want %q)", hdr.Format, modelFormat)
+	}
+	if _, ok := modelDecoders[hdr.Version]; !ok {
+		return nil, &UnsupportedVersionError{Version: hdr.Version, Max: maxModelVersion}
+	}
+	if hdr.Version < modelVersionV4 {
+		return LoadModel(bytes.NewReader(data))
+	}
+	space, err := spaceFromHeader(hdr.Space)
+	if err != nil {
+		return nil, err
+	}
+	schema, err := modelDecoders[hdr.Version](&hdr, space)
+	if err != nil {
+		return nil, err
+	}
+	return finishLoadV4(&hdr, space, schema, data[nl+1:], arena)
+}
+
+// LoadModelFile loads a model from the named file (see LoadModel),
+// memory-mapping it when the platform allows: a v4 model is then served
+// straight out of the page cache — the mapping stays alive (and the
+// file's disk blocks stay referenced) until the model is
+// garbage-collected. Older versions decode by copying and release the
+// mapping before returning.
+func LoadModelFile(path string) (*Model, error) {
+	d, err := mmapx.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	return LoadModelData(d)
+}
+
+// LoadModelData loads a model from an already-opened mapping (e.g. a
+// storage backend's Mapper), taking ownership of it: a v4 model pins
+// the mapping for its lifetime, any other outcome — load error, or an
+// older version that decodes by copying — closes it before returning.
+func LoadModelData(d *mmapx.Data) (*Model, error) {
+	m, err := LoadModelBytes(d.Bytes(), d)
+	if err != nil || m.arena == nil {
+		d.Close()
+	}
+	return m, err
 }
 
 // spaceFromHeader validates and rebuilds a tuning space from a saved

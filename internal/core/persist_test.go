@@ -237,11 +237,11 @@ func TestPortableModelRoundTrip(t *testing.T) {
 	if err := model.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), `{"format":"mltune-model","version":3`) {
-		t.Errorf("portable model did not save as version 3: %.90q", buf.String())
+	if !strings.HasPrefix(buf.String(), `{"format":"mltune-model","version":4`) {
+		t.Errorf("portable model did not save as version 4: %.90q", buf.String())
 	}
 	if !strings.Contains(strings.SplitN(buf.String(), "\n", 2)[0], `"schema"`) {
-		t.Error("v3 header misses the schema record")
+		t.Error("v4 header misses the schema record")
 	}
 	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))
 	if err != nil {
@@ -339,16 +339,16 @@ func TestTrainModelDeviceFeatureValidation(t *testing.T) {
 // TestLoadModelUnsupportedVersionTyped pins the decoder-table contract:
 // future versions fail with the typed error naming both versions.
 func TestLoadModelUnsupportedVersionTyped(t *testing.T) {
-	in := `{"format":"mltune-model","version":4,"space":{"name":"x","params":[{"name":"a","values":[1,2]}]}}` + "\n"
+	in := `{"format":"mltune-model","version":5,"space":{"name":"x","params":[{"name":"a","values":[1,2]}]}}` + "\n"
 	_, err := LoadModel(strings.NewReader(in))
 	var uv *UnsupportedVersionError
 	if !errors.As(err, &uv) {
 		t.Fatalf("error %v is not *UnsupportedVersionError", err)
 	}
-	if uv.Version != 4 || uv.Max != 3 {
+	if uv.Version != 5 || uv.Max != 4 {
 		t.Fatalf("error fields %+v", uv)
 	}
-	for _, frag := range []string{"4", "3"} {
+	for _, frag := range []string{"5", "4"} {
 		if !strings.Contains(err.Error(), frag) {
 			t.Errorf("message %q does not name version %s", err, frag)
 		}

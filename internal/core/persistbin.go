@@ -110,17 +110,17 @@ func (bw *binWriter) section(tag string, payload []byte) {
 	}
 }
 
-// writeBinaryPayload writes the v3 body (magic + sections) for the
-// model's scaler and ensemble state.
-func writeBinaryPayload(w io.Writer, scaler ann.TargetScaler, st ann.EnsembleState) error {
-	bw := &binWriter{w: w}
-	bw.write(binMagic[:])
-
+// encodeScalerSection encodes the SCAL payload.
+func encodeScalerSection(scaler ann.TargetScaler) []byte {
 	var scal [16]byte
 	binary.LittleEndian.PutUint64(scal[0:], math.Float64bits(scaler.Mean))
 	binary.LittleEndian.PutUint64(scal[8:], math.Float64bits(scaler.Std))
-	bw.section(binSecScaler, scal[:])
+	return scal[:]
+}
 
+// encodeShapeSection encodes the ENSH payload, shared by the v3 and v4
+// writers, and returns the total weight count the shape implies.
+func encodeShapeSection(st ann.EnsembleState) ([]byte, int, error) {
 	var shape []byte
 	u32 := func(v uint32) {
 		var b [4]byte
@@ -137,7 +137,7 @@ func writeBinaryPayload(w io.Writer, scaler ann.TargetScaler, st ann.EnsembleSta
 		for _, a := range n.Acts {
 			code, ok := actCode(a)
 			if !ok {
-				return fmt.Errorf("core: v3 encode: unknown activation %q", a)
+				return nil, 0, fmt.Errorf("core: binary encode: unknown activation %q", a)
 			}
 			shape = append(shape, code)
 		}
@@ -145,8 +145,12 @@ func writeBinaryPayload(w io.Writer, scaler ann.TargetScaler, st ann.EnsembleSta
 			totalWeights += len(lw)
 		}
 	}
-	bw.section(binSecShape, shape)
+	return shape, totalWeights, nil
+}
 
+// encodeWeightSection encodes the WGTS payload, member-major
+// layer-major float64 little-endian.
+func encodeWeightSection(st ann.EnsembleState, totalWeights int) []byte {
 	weights := make([]byte, 0, totalWeights*8)
 	var b [8]byte
 	for _, n := range st.Nets {
@@ -157,8 +161,21 @@ func writeBinaryPayload(w io.Writer, scaler ann.TargetScaler, st ann.EnsembleSta
 			}
 		}
 	}
-	bw.section(binSecWeights, weights)
+	return weights
+}
 
+// writeBinaryPayload writes the v3 body (magic + sections) for the
+// model's scaler and ensemble state.
+func writeBinaryPayload(w io.Writer, scaler ann.TargetScaler, st ann.EnsembleState) error {
+	bw := &binWriter{w: w}
+	bw.write(binMagic[:])
+	bw.section(binSecScaler, encodeScalerSection(scaler))
+	shape, totalWeights, err := encodeShapeSection(st)
+	if err != nil {
+		return err
+	}
+	bw.section(binSecShape, shape)
+	bw.section(binSecWeights, encodeWeightSection(st, totalWeights))
 	if bw.err != nil {
 		return fmt.Errorf("core: writing v3 model body: %w", bw.err)
 	}
@@ -241,74 +258,117 @@ func readBinaryPayload(r io.Reader, members int) (ann.TargetScaler, ann.Ensemble
 		return scaler, st, fmt.Errorf("core: v3 model body is missing a required section (have scaler=%t shape=%t weights=%t)",
 			scal != nil, shape != nil, weights != nil)
 	}
-	if len(scal) != 16 {
-		return scaler, st, fmt.Errorf("core: v3 scaler section is %d bytes, want 16", len(scal))
-	}
-	scaler.Mean = math.Float64frombits(binary.LittleEndian.Uint64(scal[0:]))
-	scaler.Std = math.Float64frombits(binary.LittleEndian.Uint64(scal[8:]))
-
-	sc := &binCursor{buf: shape}
-	k, err := sc.u32()
+	scaler, err = parseScalerSection(scal)
 	if err != nil {
 		return scaler, st, err
 	}
+	st.Nets, _, err = parseShapeSection(shape, members)
+	if err != nil {
+		return scaler, st, err
+	}
+	if err := decodeWeightSection(st.Nets, weights); err != nil {
+		return scaler, st, err
+	}
+	return scaler, st, nil
+}
+
+// parseScalerSection decodes a SCAL payload.
+func parseScalerSection(scal []byte) (ann.TargetScaler, error) {
+	var scaler ann.TargetScaler
+	if len(scal) != 16 {
+		return scaler, fmt.Errorf("core: model scaler section is %d bytes, want 16", len(scal))
+	}
+	scaler.Mean = math.Float64frombits(binary.LittleEndian.Uint64(scal[0:]))
+	scaler.Std = math.Float64frombits(binary.LittleEndian.Uint64(scal[8:]))
+	return scaler, nil
+}
+
+// parseShapeSection decodes an ENSH payload into per-member topologies
+// (Weights left nil) plus the total weight count the shape implies,
+// validating every length against the decode limits. members, when
+// positive, is cross-checked against the header's advertised count.
+func parseShapeSection(shape []byte, members int) ([]ann.NetworkState, int, error) {
+	sc := &binCursor{buf: shape}
+	k, err := sc.u32()
+	if err != nil {
+		return nil, 0, err
+	}
 	if k == 0 || k > binMaxMembers {
-		return scaler, st, fmt.Errorf("core: v3 model claims %d ensemble members", k)
+		return nil, 0, fmt.Errorf("core: model body claims %d ensemble members", k)
 	}
 	if members > 0 && int(k) != members {
-		return scaler, st, fmt.Errorf("core: v3 body has %d members, header says %d", k, members)
+		return nil, 0, fmt.Errorf("core: model body has %d members, header says %d", k, members)
 	}
-	st.Nets = make([]ann.NetworkState, k)
+	nets := make([]ann.NetworkState, k)
 	totalWeights := 0
-	for i := range st.Nets {
+	for i := range nets {
 		layers, err := sc.u32()
 		if err != nil {
-			return scaler, st, err
+			return nil, 0, err
 		}
 		if layers == 0 || layers > binMaxLayers {
-			return scaler, st, fmt.Errorf("core: v3 member %d claims %d weight layers", i, layers)
+			return nil, 0, fmt.Errorf("core: model member %d claims %d weight layers", i, layers)
 		}
 		sizes := make([]int, layers+1)
 		for j := range sizes {
 			sz, err := sc.u32()
 			if err != nil {
-				return scaler, st, err
+				return nil, 0, err
 			}
 			if sz == 0 || sz > binMaxLayerSize {
-				return scaler, st, fmt.Errorf("core: v3 member %d layer size %d out of range", i, sz)
+				return nil, 0, fmt.Errorf("core: model member %d layer size %d out of range", i, sz)
 			}
 			sizes[j] = int(sz)
 		}
 		acts := make([]string, layers)
 		rawActs, err := sc.take(int(layers))
 		if err != nil {
-			return scaler, st, err
+			return nil, 0, err
 		}
 		for j, code := range rawActs {
 			name, ok := actName(code)
 			if !ok {
-				return scaler, st, fmt.Errorf("core: v3 member %d has unknown activation code %d", i, code)
+				return nil, 0, fmt.Errorf("core: model member %d has unknown activation code %d", i, code)
 			}
 			acts[j] = name
 		}
-		st.Nets[i] = ann.NetworkState{Sizes: sizes, Acts: acts}
+		nets[i] = ann.NetworkState{Sizes: sizes, Acts: acts}
 		for l := 0; l < int(layers); l++ {
 			totalWeights += (sizes[l] + 1) * sizes[l+1]
 			if totalWeights > binMaxWeights {
-				return scaler, st, fmt.Errorf("core: v3 model claims more than %d weights", binMaxWeights)
+				return nil, 0, fmt.Errorf("core: model claims more than %d weights", binMaxWeights)
 			}
 		}
 	}
 	if sc.off != len(sc.buf) {
-		return scaler, st, fmt.Errorf("core: v3 shape section has %d trailing bytes", len(sc.buf)-sc.off)
+		return nil, 0, fmt.Errorf("core: model shape section has %d trailing bytes", len(sc.buf)-sc.off)
 	}
+	return nets, totalWeights, nil
+}
 
+// shapeWeightCount returns the weight count nets imply (shared by the
+// weight-section validators).
+func shapeWeightCount(nets []ann.NetworkState) int {
+	total := 0
+	for _, n := range nets {
+		for l := 0; l < len(n.Acts); l++ {
+			total += (n.Sizes[l] + 1) * n.Sizes[l+1]
+		}
+	}
+	return total
+}
+
+// decodeWeightSection fills nets' Weights by copying out of a WGTS
+// payload (the byte-order-independent path; the v4 loader's
+// zero-copy alias path lives in persistbin4.go).
+func decodeWeightSection(nets []ann.NetworkState, weights []byte) error {
+	totalWeights := shapeWeightCount(nets)
 	if len(weights) != totalWeights*8 {
-		return scaler, st, fmt.Errorf("core: v3 weight section is %d bytes, shape wants %d", len(weights), totalWeights*8)
+		return fmt.Errorf("core: model weight section is %d bytes, shape wants %d", len(weights), totalWeights*8)
 	}
 	off := 0
-	for i := range st.Nets {
-		n := &st.Nets[i]
+	for i := range nets {
+		n := &nets[i]
 		n.Weights = make([][]float64, len(n.Acts))
 		for l := range n.Weights {
 			cnt := (n.Sizes[l] + 1) * n.Sizes[l+1]
@@ -320,5 +380,5 @@ func readBinaryPayload(r io.Reader, members int) (ann.TargetScaler, ann.Ensemble
 			n.Weights[l] = lw
 		}
 	}
-	return scaler, st, nil
+	return nil
 }

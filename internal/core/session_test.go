@@ -531,7 +531,7 @@ func TestModelSaveLoadRoundTrip(t *testing.T) {
 	if err := model.Save(&buf); err != nil {
 		t.Fatal(err)
 	}
-	if !strings.HasPrefix(buf.String(), `{"format":"mltune-model","version":3`) {
+	if !strings.HasPrefix(buf.String(), `{"format":"mltune-model","version":4`) {
 		t.Errorf("saved model does not start with the JSON header: %.80q", buf.String())
 	}
 	loaded, err := LoadModel(bytes.NewReader(buf.Bytes()))

@@ -24,30 +24,35 @@ func engineView(t testing.TB, m *Model, name string) *Model {
 }
 
 // TestTopMEngineSetIdentity pins the engine contract on the fast test
-// model: the int16-screened sweep returns exactly the float-reference
-// set, same indices, same order, same bits, for every worker count.
+// model: every screening engine's sweep returns exactly the
+// float-reference set, same indices, same order, same bits, for every
+// worker count.
 func TestTopMEngineSetIdentity(t *testing.T) {
 	m := trainedTestModel(t)
 	const M = 50
 	want := bruteTopM(m, M)
-	q := engineView(t, m, ann.EngineInt16)
-	if q.EngineName() != ann.EngineInt16 {
-		t.Fatalf("EngineName() = %q", q.EngineName())
-	}
-	if q.EngineErrorBound() <= 0 {
-		t.Fatalf("int16 engine reports error bound %g", q.EngineErrorBound())
-	}
-	for workers := 1; workers <= 8; workers++ {
-		got := q.topM(M, workers)
-		if len(got) != M {
-			t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), M)
-		}
-		for i := range got {
-			if got[i] != want[i] {
-				t.Fatalf("workers=%d: result %d = %+v, want %+v (engine changed the ranking)",
-					workers, i, got[i], want[i])
+	for _, name := range ann.EngineNames() {
+		t.Run(name, func(t *testing.T) {
+			q := engineView(t, m, name)
+			if q.EngineName() != name {
+				t.Fatalf("EngineName() = %q", q.EngineName())
 			}
-		}
+			if name != ann.EngineFloat64 && q.EngineErrorBound() <= 0 {
+				t.Fatalf("%s engine reports error bound %g", name, q.EngineErrorBound())
+			}
+			for workers := 1; workers <= 8; workers++ {
+				got := q.topM(M, workers)
+				if len(got) != M {
+					t.Fatalf("workers=%d: got %d results, want %d", workers, len(got), M)
+				}
+				for i := range got {
+					if got[i] != want[i] {
+						t.Fatalf("workers=%d: result %d = %+v, want %+v (engine changed the ranking)",
+							workers, i, got[i], want[i])
+					}
+				}
+			}
+		})
 	}
 }
 
@@ -92,21 +97,28 @@ func paperConvolutionModel(t *testing.T) *Model {
 }
 
 // TestConvolutionTopMEngineSetIdentity is the acceptance pin: over the
-// full 131K convolution space, the int16 engine's TopM returns the
-// identical set — indices AND order after tie-break — as the float
-// engine's.
+// full 131K convolution space, every engine's TopM — including the
+// int8 engine over the cache-blocked sweeper — returns the identical
+// set, indices AND order after tie-break, as the float engine's.
 func TestConvolutionTopMEngineSetIdentity(t *testing.T) {
 	m := paperConvolutionModel(t)
 	const M = 200
 	want := m.TopM(M)
-	got := engineView(t, m, ann.EngineInt16).TopM(M)
-	if len(want) != M || len(got) != M {
-		t.Fatalf("lengths %d/%d, want %d", len(want), len(got), M)
+	if len(want) != M {
+		t.Fatalf("reference length %d, want %d", len(want), M)
 	}
-	for i := range want {
-		if got[i] != want[i] {
-			t.Fatalf("result %d: int16 engine %+v, float reference %+v", i, got[i], want[i])
-		}
+	for _, name := range ann.EngineNames() {
+		t.Run(name, func(t *testing.T) {
+			got := engineView(t, m, name).TopM(M)
+			if len(got) != M {
+				t.Fatalf("length %d, want %d", len(got), M)
+			}
+			for i := range want {
+				if got[i] != want[i] {
+					t.Fatalf("result %d: %s engine %+v, float reference %+v", i, name, got[i], want[i])
+				}
+			}
+		})
 	}
 }
 

@@ -1,0 +1,9 @@
+//go:build !(linux || darwin || freebsd || netbsd || openbsd)
+
+package mmapx
+
+// openMapped always reports "no mapping available" on platforms without
+// a wired-up mmap syscall; Open falls back to reading the file.
+func openMapped(string) (*Data, error) { return nil, nil }
+
+func unmap([]byte) error { return nil }

@@ -1,0 +1,34 @@
+//go:build linux || darwin || freebsd || netbsd || openbsd
+
+package mmapx
+
+import (
+	"os"
+	"syscall"
+)
+
+// openMapped maps path read-only. It returns (nil, nil) when the file
+// is empty or the kernel refuses the mapping, signalling Open to take
+// the read-copy fallback instead of failing the load.
+func openMapped(path string) (*Data, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, err
+	}
+	size := st.Size()
+	if size <= 0 || size != int64(int(size)) {
+		return nil, nil
+	}
+	b, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+	if err != nil {
+		return nil, nil
+	}
+	return &Data{b: b, mapped: true}, nil
+}
+
+func unmap(b []byte) error { return syscall.Munmap(b) }

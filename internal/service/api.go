@@ -324,13 +324,18 @@ type StatsResponse struct {
 	Shard *ShardInfo `json:"shard,omitempty"`
 	// Generation is the registry's generation high-water mark — on a
 	// replica, compare with Replication.UpstreamGeneration for lag.
-	Generation  uint64             `json:"generation"`
-	Models      int                `json:"models"`
-	SampleSets  int                `json:"sample_sets"`
-	Jobs        map[JobState]int   `json:"jobs"`
-	MaxInflight int                `json:"max_inflight"`
-	Replication *replicationStatus `json:"replication,omitempty"`
-	Telemetry   telemetry.Snapshot `json:"telemetry"`
+	Generation  uint64           `json:"generation"`
+	Models      int              `json:"models"`
+	SampleSets  int              `json:"sample_sets"`
+	Jobs        map[JobState]int `json:"jobs"`
+	MaxInflight int              `json:"max_inflight"`
+	// LastSwapAgeSeconds is the age of the last completed model swap
+	// (tuning-job Put, training-job Put, or replication install); absent
+	// until the first swap. Alert on staleness where models are expected
+	// to refresh continuously.
+	LastSwapAgeSeconds *float64           `json:"last_swap_age_seconds,omitempty"`
+	Replication        *replicationStatus `json:"replication,omitempty"`
+	Telemetry          telemetry.Snapshot `json:"telemetry"`
 }
 
 // storageInfo names the storage backends in GET /v1/stats.
@@ -877,6 +882,10 @@ func (s *Server) Stats() *StatsResponse {
 		Jobs:          s.queue.Counts(),
 		MaxInflight:   cap(s.readSem),
 		Telemetry:     s.metrics.reg.Snapshot(),
+	}
+	if ns := s.lastSwap.Load(); ns != 0 {
+		age := time.Since(time.Unix(0, ns)).Seconds()
+		resp.LastSwapAgeSeconds = &age
 	}
 	if s.repl != nil {
 		resp.Replication = s.repl.status()

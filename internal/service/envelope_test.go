@@ -162,9 +162,11 @@ func drainOnce(t *testing.T, ts *httptest.Server) {
 	}
 }
 
-// TestPredictQueryAliases pins the addressing alignment between the
-// query spelling of /v1/predict and /v1/topm: c.<param> is canonical,
-// p.<param> is the deprecated alias, and c. wins on conflicts.
+// TestPredictQueryAliases pins the config-map addressing of
+// /v1/predict and /v1/topm: c.<param> is the only spelling. The
+// removed pre-RPC-plane p.<param> alias must be rejected with a 400
+// invalid_argument naming the replacement — not silently ignored,
+// which would surface as a confusing "parameter missing" error.
 func TestPredictQueryAliases(t *testing.T) {
 	reg, err := NewRegistry(storage.NewMemory())
 	if err != nil {
@@ -179,13 +181,12 @@ func TestPredictQueryAliases(t *testing.T) {
 	defer ts.Close()
 
 	cfg := model.Space().At(3)
-	canonical, deprecated, conflicted := "", "", ""
+	canonical, deprecated, mixed := "", "", ""
 	for name, v := range cfg.Map() {
 		s := "=" + strconv.Itoa(v)
 		canonical += "&c." + name + s
 		deprecated += "&p." + name + s
-		// The conflicting spelling carries garbage under p. — c. must win.
-		conflicted += "&c." + name + s + "&p." + name + "=0"
+		mixed += "&c." + name + s + "&p." + name + "=0"
 	}
 	q := "benchmark=convolution&device=" + strings.ReplaceAll(devsim.IntelI7, " ", "+")
 	var want PredictResponse
@@ -193,11 +194,24 @@ func TestPredictQueryAliases(t *testing.T) {
 	if want.Index != 3 {
 		t.Fatalf("canonical spelling resolved index %d, want 3", want.Index)
 	}
-	for _, alias := range []string{deprecated, conflicted} {
-		var got PredictResponse
-		jget(t, ts.Client(), ts.URL, "/v1/predict?"+q+alias, http.StatusOK, &got)
-		if got.Index != want.Index || got.Seconds != want.Seconds {
-			t.Errorf("alias %q resolved %+v, want %+v", alias, got, want)
+	for _, alias := range []string{deprecated, mixed} {
+		resp, err := ts.Client().Get(ts.URL + "/v1/predict?" + q + alias)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var envelope struct {
+			Kind string `json:"kind"`
+			Err  string `json:"error"`
+		}
+		if derr := json.NewDecoder(resp.Body).Decode(&envelope); derr != nil {
+			t.Fatal(derr)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != http.StatusBadRequest || envelope.Kind != "invalid_argument" {
+			t.Errorf("p. spelling %q: status %d kind %q, want 400 invalid_argument", alias, resp.StatusCode, envelope.Kind)
+		}
+		if !strings.Contains(envelope.Err, "c.") {
+			t.Errorf("p. rejection %q does not point at the c. replacement", envelope.Err)
 		}
 	}
 }

@@ -34,6 +34,11 @@ type serverMetrics struct {
 	// Model registry + serve cache.
 	modelLoads *telemetry.Counter
 	cache      *cacheMetrics
+	// swapDuration observes model swaps end to end: registry persist (or
+	// replication install) through serve-cache invalidation — the
+	// install-to-servable latency the v4 zero-copy arena exists to keep
+	// flat as models grow.
+	swapDuration *telemetry.Histogram
 
 	// Sample store.
 	store storeMetrics
@@ -272,6 +277,10 @@ func newServerMetrics() *serverMetrics {
 		corrupt: reg.Counter("mltuned_sample_corrupt_lines_total",
 			"Sample-store lines skipped at load time (truncated or malformed JSON, out-of-range records)."),
 	}
+
+	m.swapDuration = reg.Histogram("mltuned_model_swap_duration_seconds",
+		"Model swap latency, from registry persist/install start to serve-cache invalidation.",
+		[]float64{0.0001, 0.0005, 0.001, 0.005, 0.01, 0.05, 0.1, 0.5, 1})
 
 	m.trainSamplesUsed = reg.Counter("mltuned_train_samples_used_total",
 		"Valid samples consumed by training jobs.")

@@ -1,0 +1,7 @@
+//go:build race
+
+package service
+
+// raceEnabled reports whether the race detector is compiled in; the
+// mmap lifecycle hammer keys its -short behaviour on it.
+const raceEnabled = true

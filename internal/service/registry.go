@@ -232,17 +232,35 @@ func (r *Registry) Get(key ModelKey) (*core.Model, error) {
 	if m := e.model.Load(); m != nil {
 		return m, nil
 	}
-	data, _, err := r.be.Get(e.name)
-	if err != nil {
-		return nil, fmt.Errorf("service: loading model %s: %w", key, err)
-	}
-	m, err := core.LoadModel(bytes.NewReader(data))
+	m, err := r.load(e.name)
 	if err != nil {
 		return nil, fmt.Errorf("service: loading model %s: %w", key, err)
 	}
 	r.loads.Inc()
 	e.model.Store(m)
 	return m, nil
+}
+
+// load reads one artifact from the backend, zero-copy when it offers
+// mappings: a v4 model on a Mapper backend then serves straight out of
+// the page cache with no decode pass — install-to-servable cost stops
+// scaling with model size — and the mapping stays valid across
+// concurrent Puts because Mapper backends replace objects by rename
+// only. Older versions (and non-mapping backends) copy-decode exactly
+// as before.
+func (r *Registry) load(name string) (*core.Model, error) {
+	if mp, ok := r.be.(storage.Mapper); ok {
+		d, _, err := mp.Map(name)
+		if err != nil {
+			return nil, err
+		}
+		return core.LoadModelData(d) // takes ownership of the mapping
+	}
+	data, _, err := r.be.Get(name)
+	if err != nil {
+		return nil, err
+	}
+	return core.LoadModelBytes(data, nil)
 }
 
 // GetRaw returns key's serialised artifact bytes and generation — the
@@ -284,7 +302,10 @@ func (r *Registry) Put(key ModelKey, model *core.Model) error {
 // extra load, and a corrupt or truncated upstream response can never
 // reach the registry.
 func (r *Registry) Install(key ModelKey, data []byte) (uint64, error) {
-	model, err := core.LoadModel(bytes.NewReader(data))
+	// LoadModelBytes, not LoadModel: a v4 artifact pulled over the wire
+	// installs zero-copy, aliasing the fetched buffer in place instead of
+	// decoding every weight onto the heap.
+	model, err := core.LoadModelBytes(data, nil)
 	if err != nil {
 		return 0, fmt.Errorf("service: installing model %s: artifact does not parse: %w", key, err)
 	}

@@ -106,13 +106,17 @@ func (rp *replicator) sync(ctx context.Context) error {
 		if err != nil {
 			return fmt.Errorf("service: replication fetch %s: %w", key, err)
 		}
-		if _, err := rp.s.reg.Install(key, data); err != nil {
+		// swapModel wraps the install with the same invalidation a local
+		// training job performs — the next read builds a fresh serve-cache
+		// slot over the new model while in-flight reads finish on the old
+		// pointer — and the same swap-duration observation.
+		err = rp.s.swapModel(key, func() error {
+			_, err := rp.s.reg.Install(key, data)
+			return err
+		})
+		if err != nil {
 			return fmt.Errorf("service: replication install %s: %w", key, err)
 		}
-		// The same invalidation a local training job performs: the next
-		// read builds a fresh serve-cache slot over the new model while
-		// in-flight reads finish on the old pointer.
-		rp.s.cache.invalidate(key)
 		installed++
 	}
 

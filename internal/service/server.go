@@ -13,6 +13,7 @@ import (
 	"strconv"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"repro/internal/ann"
@@ -44,8 +45,8 @@ import (
 //	                      (?benchmark= filters to one benchmark; ?shard=i/n to one shard's keys)
 //	POST   /v1/reload     rescan the registry directory
 //	GET    /v1/predict    predict one configuration      (?benchmark=&device=&index=N | &c.<param>=v;
-//	                      p.<param>=v is the deprecated spelling; ?descriptor=<JSON> resolves
-//	                      unseen hardware through the portable model)
+//	                      ?descriptor=<JSON> resolves unseen hardware through the
+//	                      portable model)
 //	POST   /v1/predict    predict a batch                (JSON: indices or configs; optional descriptor)
 //	GET    /v1/topm       M best-predicted configurations (?benchmark=&device=&m=N; ?descriptor= as above)
 //	GET    /v1/stats      health counters + full JSON metrics snapshot
@@ -114,6 +115,10 @@ type Server struct {
 	// over-limit requests shed with 429 instead of piling onto the
 	// prediction engine.
 	readSem chan struct{}
+	// lastSwap is the wall-clock time (unix nanoseconds, 0 = never) of
+	// the last completed model swap, behind last_swap_age_seconds in
+	// GET /v1/stats.
+	lastSwap atomic.Int64
 	// pprof mounts net/http/pprof under /debug/pprof/ when set.
 	pprof bool
 
@@ -439,10 +444,9 @@ func (s *Server) tune(ctx context.Context, j *Job) (*core.Result, bool, error) {
 	}
 	saved := false
 	if res.Model != nil {
-		if err := s.reg.Put(spec.Key(), res.Model); err != nil {
+		if err := s.swapModel(spec.Key(), func() error { return s.reg.Put(spec.Key(), res.Model) }); err != nil {
 			return res, false, err
 		}
-		s.cache.invalidate(spec.Key())
 		saved = true
 	}
 	// Every completed tuning run contributes its measurements to the
@@ -450,6 +454,25 @@ func (s *Server) tune(ctx context.Context, j *Job) (*core.Result, bool, error) {
 	// from data the daemon already paid for.
 	s.feedStore(j, res)
 	return res, saved, nil
+}
+
+// swapModel runs one model swap — a registry Put or replication
+// Install via install, then the serve-cache invalidation that makes
+// the new model visible to the read path — and observes it end to end
+// in mltuned_model_swap_duration_seconds, stamping the last-swap time
+// behind last_swap_age_seconds. All three swap sites (tuning jobs,
+// training jobs, replication installs) go through it, so the histogram
+// is the install-to-servable latency regardless of where the model
+// came from.
+func (s *Server) swapModel(key ModelKey, install func() error) error {
+	start := time.Now()
+	if err := install(); err != nil {
+		return err
+	}
+	s.cache.invalidate(key)
+	s.metrics.swapDuration.Observe(time.Since(start).Seconds())
+	s.lastSwap.Store(time.Now().UnixNano())
+	return nil
 }
 
 // --- JSON helpers -----------------------------------------------------
@@ -591,36 +614,28 @@ func descriptorFromQuery(r *http.Request) (*devsim.Descriptor, error) {
 }
 
 // configMapFromQuery collects the config-map addressing parameters:
-// one c.<param>=<value> per tuning parameter. p.<param> is the
-// pre-RPC-plane spelling, accepted for one more release (API.md
-// documents the deprecation); c. wins when both name one parameter.
+// one c.<param>=<value> per tuning parameter. The pre-RPC-plane
+// p.<param> spelling completed its announced deprecation window and is
+// rejected with a pointer at the replacement, so a stale client gets a
+// 400 naming the fix rather than a confusing "parameter missing".
 func configMapFromQuery(q url.Values) (map[string]int, error) {
 	var values map[string]int
-	add := func(prefix string, override bool) error {
-		for name, vs := range q {
-			pname, ok := strings.CutPrefix(name, prefix)
-			if !ok {
-				continue
-			}
-			if values == nil {
-				values = make(map[string]int)
-			}
-			if _, dup := values[pname]; dup && !override {
-				continue
-			}
-			v, err := strconv.Atoi(vs[0])
-			if err != nil {
-				return fmt.Errorf("%s: %v", name, err)
-			}
-			values[pname] = v
+	for name, vs := range q {
+		if pname, ok := strings.CutPrefix(name, "p."); ok {
+			return nil, fmt.Errorf("%s: the p.<param> spelling was removed, use c.%s", name, pname)
 		}
-		return nil
-	}
-	if err := add("p.", false); err != nil {
-		return nil, err
-	}
-	if err := add("c.", true); err != nil {
-		return nil, err
+		pname, ok := strings.CutPrefix(name, "c.")
+		if !ok {
+			continue
+		}
+		if values == nil {
+			values = make(map[string]int)
+		}
+		v, err := strconv.Atoi(vs[0])
+		if err != nil {
+			return nil, fmt.Errorf("%s: %v", name, err)
+		}
+		values[pname] = v
 	}
 	return values, nil
 }

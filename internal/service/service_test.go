@@ -306,7 +306,7 @@ func TestServiceEndToEnd(t *testing.T) {
 	}
 	params := ""
 	for name, v := range pred.Config {
-		params += fmt.Sprintf("&p.%s=%d", name, v)
+		params += fmt.Sprintf("&c.%s=%d", name, v)
 	}
 	jget(t, client, ts.URL, "/v1/predict?benchmark=convolution&device="+devQ+params,
 		http.StatusOK, &byParams)

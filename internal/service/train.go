@@ -123,10 +123,9 @@ func (s *Server) train(ctx context.Context, j *Job) (*core.Result, bool, error) 
 
 	res := &core.Result{Strategy: "train", Model: model, Measured: len(samples), Invalid: len(invalid)}
 	res.Cost.TrainSeconds = time.Since(t0).Seconds()
-	if err := s.reg.Put(spec.Key(), model); err != nil {
+	if err := s.swapModel(spec.Key(), func() error { return s.reg.Put(spec.Key(), model) }); err != nil {
 		return res, false, err
 	}
-	s.cache.invalidate(spec.Key())
 	return res, true, nil
 }
 

@@ -7,8 +7,17 @@
 # the run, which is what CI does after the e2e smoke pass. Because
 # shared runners are noisy, STRICT_ENDPOINTS narrows the gate to the
 # endpoints whose latency is dominated by compute rather than scheduling
-# (CI gates predict_single/predict_batch; the top-M sweep's long tail
-# stays warn-only there) — leave it empty to gate everything.
+# — leave it empty to gate everything. CI gates predict_single,
+# predict_batch and topm_full: all three are compute-bound (the top-M
+# sweep qualified once subtree pruning made it a per-request compute
+# kernel rather than a scheduler-visible long tail), under a 50%
+# tolerance that absorbs shared-runner noise while still catching the
+# multiples a real sweep regression produces.
+#
+# The run key must match before any delta is trusted: a fresh report
+# whose run.engine differs from the baseline's is refused outright (an
+# int8 report diffed against an int16 baseline would "regress" by
+# engine choice alone, or worse, mask a real regression).
 #
 # Usage:
 #   scripts/bench_diff.sh <fresh.json> [baseline.json]
@@ -55,6 +64,12 @@ for key in ("workers", "target_qps", "batch_size", "top_m", "engine", "weight_fo
         # Reports that predate the field ran over HTTP.
         fv, bv = fv or "http", bv or "http"
     if fv != bv:
+        if key == "engine":
+            # The engine is part of the run key, not a tunable: latency
+            # deltas across engines measure the engine choice, not the
+            # code under test. Refuse instead of noting.
+            sys.exit(f"bench_diff: run.engine differs (fresh {fv!r} vs baseline {bv!r}); "
+                     "re-run mlbench against a daemon serving the baseline's engine")
         print(f"  note: run.{key} differs (fresh {fv} vs baseline {bv}) — "
               "deltas below are not apples-to-apples")
 
